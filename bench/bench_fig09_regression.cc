@@ -1,0 +1,133 @@
+// Reproduces Section 5.1 / Figure 9: fitting the latency estimation model.
+//
+// Function 1 (Table 3): rule latency from (window length, #thresholds),
+// measured on the real cep::Engine over the Table 6 parameter grid.
+// Function 2 (Table 4): engine latency when two rule sets share an engine,
+// fit from (latency1, latency2) -> measured combined latency. The paper
+// found the 1st-order polynomial has ~60% lower mean absolute error than the
+// 2nd-order one on held-out data; this bench reports the same comparison.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/latency_model.h"
+#include "model/regression.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+core::RuleTemplate Rule(const std::string& name, size_t window) {
+  return core::MakeRule(name, "delay", "area_leaf", window);
+}
+
+void FitFunction1() {
+  std::printf("=== Function 1: single-rule latency(window, thresholds) ===\n");
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::printf("%12s %12s %16s\n", "window", "thresholds", "measured_us");
+  for (size_t window : {1u, 10u, 50u, 100u, 200u, 300u}) {
+    for (size_t locations : {8u, 24u, 48u}) {
+      double latency =
+          MeasureEngineServiceMicros({Rule("r", window)}, locations, 3000);
+      double thresholds = static_cast<double>(locations * 24 * 2);
+      x.push_back({static_cast<double>(window), thresholds});
+      y.push_back(latency);
+      std::printf("%12zu %12.0f %16.3f\n", window, thresholds, latency);
+    }
+  }
+  model::PolynomialRegression f1(2, 1);
+  auto status = f1.Fit(x, y);
+  std::printf("fit %s\n", status.ok() ? "ok" : status.ToString().c_str());
+  std::printf("Function 1: latency_us = %s\n", f1.ToString().c_str());
+  std::printf("train MAE: %.3f us\n\n", f1.MeanAbsoluteError(x, y));
+}
+
+void FitFunction2() {
+  std::printf("=== Function 2: engine latency(latency1, latency2) ===\n");
+  // Rule-set pairs: measure each alone, then combined in one engine.
+  std::vector<size_t> windows = {1, 10, 50, 100, 200, 300};
+  struct Sample {
+    double lat1, lat2, combined;
+  };
+  std::vector<Sample> samples;
+  std::vector<double> singles(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    singles[i] = MeasureEngineServiceMicros({Rule("a", windows[i])}, 32, 3000);
+  }
+  std::printf("%10s %10s %12s %12s %14s\n", "win1", "win2", "lat1_us",
+              "lat2_us", "combined_us");
+  for (size_t i = 0; i < windows.size(); ++i) {
+    for (size_t j = i; j < windows.size(); ++j) {
+      double combined = MeasureEngineServiceMicros(
+          {Rule("a", windows[i]), Rule("b", windows[j])}, 32, 3000);
+      samples.push_back({singles[i], singles[j], combined});
+      std::printf("%10zu %10zu %12.3f %12.3f %14.3f\n", windows[i], windows[j],
+                  singles[i], singles[j], combined);
+    }
+  }
+
+  // Train/test split: even samples train, odd samples test (the paper splits
+  // its experiment data the same way: "we splitted it in training and test
+  // set").
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<double> train_y, test_y;
+  for (size_t k = 0; k < samples.size(); ++k) {
+    if (k % 2 == 0) {
+      train_x.push_back({samples[k].lat1, samples[k].lat2});
+      train_y.push_back(samples[k].combined);
+    } else {
+      test_x.push_back({samples[k].lat1, samples[k].lat2});
+      test_y.push_back(samples[k].combined);
+    }
+  }
+  model::PolynomialRegression first(2, 1);
+  model::PolynomialRegression second(2, 2);
+  auto s1 = first.Fit(train_x, train_y);
+  auto s2 = second.Fit(train_x, train_y);
+  std::printf("\n1st-order fit %s: %s\n",
+              s1.ok() ? "ok" : s1.ToString().c_str(), first.ToString().c_str());
+  std::printf("2nd-order fit %s: %s\n",
+              s2.ok() ? "ok" : s2.ToString().c_str(), second.ToString().c_str());
+  double mae1 = first.MeanAbsoluteError(test_x, test_y);
+  double mae2 = second.MeanAbsoluteError(test_x, test_y);
+  std::printf("test MAE 1st order: %.3f us\n", mae1);
+  std::printf("test MAE 2nd order: %.3f us\n", mae2);
+  std::printf("paper: 1st order has lower avg abs error (around 60%%) -> %s\n\n",
+              mae1 <= mae2 ? "REPRODUCED (1st <= 2nd)" : "NOT reproduced");
+}
+
+void FitFunction3() {
+  std::printf("=== Function 3: co-location (modeled) ===\n");
+  // Without real VMs, Function 3 is fit against the DES ground truth: an
+  // engine co-located with others on a 1-core node sees its effective
+  // per-tuple latency inflated by the co-located engines' work. The DES
+  // (src/sim) models this exactly; the linear fit below is the paper's
+  // regression form over that behaviour.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double own : {5.0, 10.0, 20.0}) {
+    for (double others : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+      // Timesharing a single core: effective service = own + others
+      // (round-robin interleave at tuple granularity).
+      x.push_back({own, others});
+      y.push_back(own + others);
+    }
+  }
+  model::PolynomialRegression f3(2, 1);
+  auto status = f3.Fit(x, y);
+  std::printf("fit %s\n", status.ok() ? "ok" : status.ToString().c_str());
+  std::printf("Function 3: adjusted_us = %s\n\n", f3.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+int main() {
+  std::printf("Figure 9 / Section 5.1 reproduction: regression model\n\n");
+  insight::bench::FitFunction1();
+  insight::bench::FitFunction2();
+  insight::bench::FitFunction3();
+  return 0;
+}

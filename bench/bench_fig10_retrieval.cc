@@ -1,0 +1,160 @@
+// Reproduces Figure 10 (a, b) / Section 5.2: observed per-tuple latency of
+// the threshold retrieval techniques on one Esper engine:
+//   * Many Rules      — one concrete rule per (location, hour, day) threshold
+//   * Join With SQL   — a storage query per incoming tuple
+//   * Optimal         — static literal threshold (no retrieval)
+//   * New Stream      — thresholds preloaded into an Esper stream (adopted)
+//
+// The paper's y-axis is milliseconds per tuple over a 300-second replay;
+// here the series is bucketed by tuple index. Storage round trips are
+// charged from TableStore's modeled per-query cost (an in-process map lookup
+// would otherwise hide the client-server latency a real MySQL pays; see
+// EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/retrieval.h"
+#include "storage/table_store.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+constexpr size_t kLocations = 24;
+constexpr size_t kHours = 24;
+constexpr size_t kEvents = 12000;
+constexpr size_t kBuckets = 12;
+
+void FillStore(storage::TableStore* store) {
+  INSIGHT_CHECK(
+      store->CreateTable("statistics_delay", storage::StatisticsColumns()).ok());
+  Rng rng(31);
+  for (size_t loc = 0; loc < kLocations; ++loc) {
+    for (size_t hour = 0; hour < kHours; ++hour) {
+      for (const char* day : {"weekday", "weekend"}) {
+        INSIGHT_CHECK(store
+                          ->Insert("statistics_delay",
+                                   {storage::Value(static_cast<int64_t>(loc)),
+                                    storage::Value(static_cast<int64_t>(hour)),
+                                    storage::Value(day),
+                                    storage::Value(rng.Uniform(60.0, 140.0)),
+                                    storage::Value(rng.Uniform(5.0, 25.0)),
+                                    storage::Value(int64_t{50})})
+                          .ok());
+      }
+    }
+  }
+}
+
+/// Runs one strategy; returns per-bucket average latency in msec (engine
+/// processing + charged storage cost).
+std::vector<double> RunStrategy(core::ThresholdRetrieval strategy,
+                                const storage::TableStore& store) {
+  std::vector<core::RuleTemplate> rules = {
+      core::MakeRule("delay_rule", "delay", "area_leaf", 100)};
+  core::RetrievalOptions options;
+  options.s = 1.0;
+  options.static_threshold = 120.0;
+  auto setup = core::BuildRetrieval(strategy, rules, &store, options);
+  INSIGHT_CHECK(setup.ok()) << setup.status().ToString();
+
+  cep::Engine engine;
+  INSIGHT_CHECK(
+      engine.RegisterEventType("bus", traffic::BusEventFields({})).ok());
+  for (const char* attr : {"delay", "actual_delay", "speed", "congestion"}) {
+    for (const char* suffix : {"", "_stop"}) {
+      INSIGHT_CHECK(engine
+                        .RegisterEventType(
+                            traffic::ThresholdEventTypeName(
+                                std::string(attr) + suffix),
+                            traffic::ThresholdEventFields())
+                        .ok());
+    }
+  }
+  for (const auto& [name, epl] : setup->rules) {
+    auto stmt = engine.AddStatement(epl, name);
+    INSIGHT_CHECK(stmt.ok()) << stmt.status().ToString();
+  }
+  if (setup->preload) setup->preload(&engine, 0);
+
+  // Tuples carry the fields the join strategy reads.
+  auto tuple_fields = std::make_shared<dsps::Fields>(
+      dsps::Fields({"area_leaf", "hour", "date_type"}));
+
+  Rng rng(57);
+  std::vector<double> bucket_sums(kBuckets, 0.0);
+  std::vector<size_t> bucket_counts(kBuckets, 0);
+  SystemClock clock;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    cep::EventPtr event = SyntheticBusEvent(&engine, &rng, kLocations, i);
+    dsps::Tuple tuple(tuple_fields,
+                      {*event->Get("area_leaf"), *event->Get("hour"),
+                       *event->Get("date_type")});
+    int64_t queries_before =
+        static_cast<int64_t>(store.query_count());
+    MicrosT start = clock.NowMicros();
+    if (setup->before_send) setup->before_send(&engine, 0, tuple);
+    engine.SendEvent(event);
+    MicrosT elapsed = clock.NowMicros() - start;
+    int64_t queries =
+        static_cast<int64_t>(store.query_count()) - queries_before;
+    double total_micros = static_cast<double>(elapsed) +
+                          static_cast<double>(queries) *
+                              static_cast<double>(store.per_query_cost_micros());
+    size_t bucket = i * kBuckets / kEvents;
+    bucket_sums[bucket] += total_micros / 1000.0;  // msec
+    ++bucket_counts[bucket];
+  }
+  std::vector<double> averages(kBuckets);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    averages[b] = bucket_counts[b] ? bucket_sums[b] / bucket_counts[b] : 0.0;
+  }
+  return averages;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+int main() {
+  using insight::core::ThresholdRetrieval;
+  std::printf(
+      "Figure 10 / Section 5.2 reproduction: threshold retrieval latency\n"
+      "(msec per tuple, averaged per replay bucket; %zu tuples, %zu "
+      "locations)\n\n",
+      insight::bench::kEvents, insight::bench::kLocations);
+
+  insight::storage::TableStore store;
+  insight::bench::FillStore(&store);
+  struct Series {
+    const char* label;
+    ThresholdRetrieval strategy;
+  };
+  const Series series[] = {
+      {"Many Rules", ThresholdRetrieval::kMultipleRules},
+      {"Join With SQL", ThresholdRetrieval::kJoinWithDatabase},
+      {"Optimal (static)", ThresholdRetrieval::kStatic},
+      {"New Stream", ThresholdRetrieval::kThresholdStream},
+  };
+  std::vector<int> buckets;
+  for (size_t b = 0; b < insight::bench::kBuckets; ++b) {
+    buckets.push_back(static_cast<int>(b));
+  }
+  insight::bench::PrintHeader("strategy \\ bucket", buckets);
+  std::vector<std::pair<std::string, double>> means;
+  for (const Series& s : series) {
+    auto row = insight::bench::RunStrategy(s.strategy, store);
+    insight::bench::PrintRow(s.label, row, "%10.3f");
+    double mean = 0;
+    for (double v : row) mean += v;
+    means.emplace_back(s.label, mean / static_cast<double>(row.size()));
+  }
+  std::printf("\nmean latency (msec):\n");
+  for (const auto& [label, mean] : means) {
+    std::printf("  %-20s %8.3f\n", label.c_str(), mean);
+  }
+  std::printf(
+      "\npaper shape: JoinWithSQL >> ManyRules > NewStream ~= Optimal\n");
+  return 0;
+}

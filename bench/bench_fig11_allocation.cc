@@ -1,0 +1,198 @@
+// Reproduces Figure 11 / Section 5.4: throughput of the proposed rules
+// allocation algorithm vs the round-robin-per-layer baseline, for two
+// workloads, as the number of Esper engines grows.
+//
+//   Workload 1: rules with window lengths {1, 10, 100}
+//   Workload 2: rules with window lengths {100, 1000}
+//
+// Rules span three quadtree layers plus the bus stops (five attribute rules
+// each). The proposed algorithm groups layers together (partitioning at the
+// coarsest layer) so a tuple is transmitted once, and considers splitting
+// the bus stops into their own engines when that lowers the bottleneck
+// score; round-robin gives each layer its own engine set, so every tuple is
+// re-transmitted to all four layers.
+
+#include <cstdio>
+
+#include "sim_bench_util.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+/// One location family of the workload.
+struct LayerRules {
+  std::string name;
+  std::vector<core::RuleTemplate> rules;
+};
+
+std::vector<LayerRules> MakeWorkload(const std::vector<size_t>& windows) {
+  // Each layer's rules use one of the workload's window lengths, so layer
+  // loads are unequal — a round-robin allocator that ignores load starves
+  // the heavy layers while over-provisioning the light ones.
+  const char* attrs[] = {"delay", "actual_delay", "speed", "congestion",
+                         "delay"};
+  std::vector<LayerRules> layers;
+  int family = 0;
+  for (const char* layer_name : {"layer2", "layer3", "leaves", "stops"}) {
+    LayerRules layer;
+    layer.name = layer_name;
+    bool stops = std::string(layer_name) == "stops";
+    size_t window = windows[static_cast<size_t>(family) % windows.size()];
+    for (int a = 0; a < 5; ++a) {
+      layer.rules.push_back(core::MakeRule(
+          std::string(layer_name) + "_" + attrs[a] + std::to_string(a),
+          attrs[a], stops ? "bus_stop" : "area_leaf", window,
+          stops ? -1 : family + 2));
+    }
+    layers.push_back(std::move(layer));
+    ++family;
+  }
+  return layers;
+}
+
+core::RuleGrouping MakeGrouping(const std::string& name,
+                                std::vector<core::RuleTemplate> rules,
+                                double rate) {
+  core::RuleGrouping grouping;
+  grouping.name = name;
+  grouping.rules = std::move(rules);
+  grouping.input_rate = rate;
+  grouping.thresholds_per_rule = 32 * 24 * 2;
+  return grouping;
+}
+
+constexpr double kRate = 12000.0;  // offered tuples/second (full speed)
+constexpr int kNodes = 7;
+
+/// Proposed: evaluate both grouping candidates (everything merged vs bus
+/// stops split out), allocate with Algorithm 2, keep the plan whose
+/// bottleneck (max grouping score) is smaller.
+SweepPoint RunProposed(const std::vector<LayerRules>& layers, int engines,
+                       ServiceCache* cache, std::string* chosen) {
+  model::LatencyModel model = model::LatencyModel::Default();
+  core::RulesAllocator allocator(&model);
+
+  std::vector<core::RuleTemplate> all_rules, area_rules, stop_rules;
+  for (const LayerRules& layer : layers) {
+    for (const core::RuleTemplate& rule : layer.rules) {
+      all_rules.push_back(rule);
+      (rule.location_field == "bus_stop" ? stop_rules : area_rules)
+          .push_back(rule);
+    }
+  }
+
+  struct Plan {
+    std::vector<core::RuleGrouping> groupings;
+    core::AllocationResult allocation;
+    std::vector<double> services;
+    /// Estimated logical tuples/second the plan sustains: the bottleneck
+    /// grouping's engines divided by its per-copy cost (rule evaluation +
+    /// transport overhead). More groupings = more copies per tuple.
+    double capacity = 0.0;
+    bool feasible = false;
+  };
+  const double transport = ClusterOf(kNodes).deserialization_micros;
+  auto evaluate = [&](std::vector<core::RuleGrouping> groupings) {
+    Plan plan;
+    plan.groupings = std::move(groupings);
+    auto allocation = allocator.Allocate(plan.groupings, engines);
+    if (!allocation.ok()) return plan;
+    plan.allocation = *allocation;
+    plan.capacity = -1.0;
+    for (size_t g = 0; g < plan.groupings.size(); ++g) {
+      plan.services.push_back(cache->Measure(plan.groupings[g].rules));
+      double per_copy = plan.services.back() + transport;
+      double grouping_capacity =
+          static_cast<double>(plan.allocation.engines_per_grouping[g]) * 1e6 /
+          per_copy;
+      if (plan.capacity < 0 || grouping_capacity < plan.capacity) {
+        plan.capacity = grouping_capacity;
+      }
+    }
+    plan.feasible = true;
+    return plan;
+  };
+
+  Plan merged = evaluate({MakeGrouping("all", all_rules, kRate)});
+  Plan split = evaluate({MakeGrouping("areas", area_rules, kRate),
+                         MakeGrouping("stops", stop_rules, kRate)});
+  const Plan* best = nullptr;
+  if (merged.feasible && split.feasible) {
+    best = merged.capacity >= split.capacity ? &merged : &split;
+  } else if (merged.feasible) {
+    best = &merged;
+  } else {
+    best = &split;
+  }
+  *chosen = best == &merged ? "merged" : "split";
+
+  EngineLayout layout = LayoutEngines(best->allocation.engines_per_grouping,
+                                      best->services, kNodes);
+  return RunPointBottleneck(ClusterOf(kNodes), layout, kRate,
+                            PartitionedRouter(layout));
+}
+
+/// Round-robin: every layer is its own grouping; engines dealt in turn.
+SweepPoint RunRoundRobin(const std::vector<LayerRules>& layers, int engines,
+                         ServiceCache* cache) {
+  std::vector<core::RuleGrouping> groupings;
+  for (const LayerRules& layer : layers) {
+    groupings.push_back(MakeGrouping(layer.name, layer.rules, kRate));
+  }
+  core::AllocationResult allocation = core::RoundRobinAllocate(groupings, engines);
+  std::vector<double> services;
+  for (const core::RuleGrouping& grouping : groupings) {
+    services.push_back(cache->Measure(grouping.rules));
+  }
+  EngineLayout layout =
+      LayoutEngines(allocation.engines_per_grouping, services, kNodes);
+  return RunPointBottleneck(ClusterOf(kNodes), layout, kRate,
+                            PartitionedRouter(layout));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+int main() {
+  using namespace insight::bench;
+  std::printf(
+      "Figure 11 / Section 5.4 reproduction: rules allocation throughput\n"
+      "(tuples fully processed per 40 s vs number of engines; rate %.0f/s, "
+      "%d nodes)\n\n",
+      kRate, kNodes);
+
+  auto workload1 = MakeWorkload({1, 10, 100});
+  auto workload2 = MakeWorkload({100, 1000});
+  std::vector<int> engine_counts = {4, 6, 8, 10, 14, 18, 22, 26, 30};
+
+  // Model-only services: both schemes' engines must be estimated the same
+  // way for the comparison to be fair (W2's 1000-event windows would be
+  // model-estimated anyway).
+  ServiceCache cache(/*model_only=*/true);
+  std::vector<double> p1, p2, r1, r2;
+  std::vector<std::string> chosen1, chosen2;
+  for (int engines : engine_counts) {
+    std::string c1, c2;
+    p1.push_back(RunProposed(workload1, engines, &cache, &c1).throughput);
+    p2.push_back(RunProposed(workload2, engines, &cache, &c2).throughput);
+    r1.push_back(RunRoundRobin(workload1, engines, &cache).throughput);
+    r2.push_back(RunRoundRobin(workload2, engines, &cache).throughput);
+    chosen1.push_back(c1);
+    chosen2.push_back(c2);
+  }
+  PrintHeader("series \\ engines", engine_counts);
+  PrintRow("proposed W1", p1, "%10.0f");
+  PrintRow("proposed W2", p2, "%10.0f");
+  PrintRow("round-robin W1", r1, "%10.0f");
+  PrintRow("round-robin W2", r2, "%10.0f");
+  std::printf("\nproposed grouping choice per engine count:\n  W1:");
+  for (const auto& c : chosen1) std::printf(" %s", c.c_str());
+  std::printf("\n  W2:");
+  for (const auto& c : chosen2) std::printf(" %s", c.c_str());
+  std::printf(
+      "\n\npaper shape: proposed >= round-robin at every engine count; the\n"
+      "gap comes from round-robin's per-layer re-transmissions.\n");
+  return 0;
+}

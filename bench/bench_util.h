@@ -1,0 +1,149 @@
+#ifndef INSIGHT_BENCH_BENCH_UTIL_H_
+#define INSIGHT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cep/engine.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/rule_template.h"
+#include "traffic/bolts.h"
+
+namespace insight {
+namespace bench {
+
+/// A CEP engine loaded with the given rule templates and `num_locations x
+/// hours x daytypes` synthetic thresholds per referenced attribute stream.
+struct LoadedEngine {
+  std::unique_ptr<cep::Engine> engine;
+  size_t thresholds_per_attribute = 0;
+};
+
+inline LoadedEngine MakeLoadedEngine(const std::vector<core::RuleTemplate>& rules,
+                                     size_t num_locations, size_t num_hours = 24,
+                                     uint64_t seed = 17) {
+  LoadedEngine out;
+  out.engine = std::make_unique<cep::Engine>();
+  cep::Engine& engine = *out.engine;
+  INSIGHT_CHECK(
+      engine.RegisterEventType("bus", traffic::BusEventFields({})).ok());
+  for (const char* attr : {"delay", "actual_delay", "speed", "congestion"}) {
+    for (const char* suffix : {"", "_stop"}) {
+      INSIGHT_CHECK(engine
+                        .RegisterEventType(
+                            traffic::ThresholdEventTypeName(
+                                std::string(attr) + suffix),
+                            traffic::ThresholdEventFields())
+                        .ok());
+    }
+  }
+  std::set<std::string> attribute_keys;
+  for (const core::RuleTemplate& rule : rules) {
+    auto epl = rule.ToEpl();
+    INSIGHT_CHECK(epl.ok()) << epl.status().ToString();
+    auto stmt = engine.AddStatement(*epl, rule.name);
+    INSIGHT_CHECK(stmt.ok()) << stmt.status().ToString() << "\n" << *epl;
+    for (const core::RuleAttribute& attr : rule.attributes) {
+      attribute_keys.insert(rule.AttributeKey(attr.name));
+    }
+  }
+  // Thresholds: synthetic mean levels; tight enough that some rules fire.
+  Rng rng(seed);
+  for (const std::string& key : attribute_keys) {
+    auto type = engine.GetEventType(traffic::ThresholdEventTypeName(key));
+    INSIGHT_CHECK(type.ok());
+    for (size_t loc = 0; loc < num_locations; ++loc) {
+      for (size_t hour = 0; hour < num_hours; ++hour) {
+        for (const char* day : {"weekday", "weekend"}) {
+          engine.SendEvent(cep::EventBuilder(*type)
+                               .Set("location", static_cast<int64_t>(loc))
+                               .Set("hour", static_cast<int64_t>(hour))
+                               .Set("day", day)
+                               .Set("value", rng.Uniform(50.0, 150.0))
+                               .Build());
+          ++out.thresholds_per_attribute;
+        }
+      }
+    }
+  }
+  out.thresholds_per_attribute /= attribute_keys.empty() ? 1 : attribute_keys.size();
+  engine.ResetStats();
+  return out;
+}
+
+/// A synthetic enriched bus event cycling over `num_locations` locations.
+inline cep::EventPtr SyntheticBusEvent(cep::Engine* engine, Rng* rng,
+                                       size_t num_locations, uint64_t index) {
+  auto type = engine->GetEventType("bus");
+  INSIGHT_CHECK(type.ok());
+  int64_t location = static_cast<int64_t>(index % num_locations);
+  cep::EventBuilder builder(*type);
+  builder.Set("timestamp", static_cast<int64_t>(index * 1000))
+      .Set("line", static_cast<int64_t>(index % 67))
+      .Set("direction", (index & 1) == 0)
+      .Set("lon", -6.26 + rng->Gaussian(0.0, 0.01))
+      .Set("lat", 53.35 + rng->Gaussian(0.0, 0.01))
+      .Set("delay", rng->Gaussian(90.0, 40.0))
+      .Set("congestion", rng->Bernoulli(0.2))
+      .Set("reported_stop", int64_t{-1})
+      .Set("vehicle", static_cast<int64_t>(index % 911))
+      .Set("speed", rng->Gaussian(22.0, 6.0))
+      .Set("actual_delay", rng->Gaussian(0.0, 5.0))
+      .Set("hour", static_cast<int64_t>((index / 500) % 24))
+      .Set("date_type", "weekday")
+      .Set("area_leaf", location)
+      .Set("bus_stop", location);
+  return builder.Build();
+}
+
+/// Measures the real engine's average per-tuple processing cost for a rule
+/// set (microseconds). This is the calibration feeding the latency model and
+/// the DES service times — measured, not assumed.
+inline double MeasureEngineServiceMicros(
+    const std::vector<core::RuleTemplate>& rules, size_t num_locations = 32,
+    size_t num_events = 4000, uint64_t seed = 23) {
+  LoadedEngine loaded = MakeLoadedEngine(rules, num_locations, 24, seed);
+  Rng rng(seed + 1);
+  // Warm-up until every per-location group window is full, otherwise the
+  // measured cost under-states the steady-state aggregation work (the cost
+  // is linear in the *filled* window size, not the declared one).
+  size_t max_window = 1;
+  for (const core::RuleTemplate& rule : rules) {
+    max_window = std::max(max_window, rule.window_length);
+  }
+  size_t warmup = std::min<size_t>(num_locations * (max_window + 1), 80000);
+  for (uint64_t i = 0; i < warmup; ++i) {
+    loaded.engine->SendEvent(
+        SyntheticBusEvent(loaded.engine.get(), &rng, num_locations, i));
+  }
+  loaded.engine->ResetStats();
+  for (uint64_t i = 0; i < num_events; ++i) {
+    loaded.engine->SendEvent(
+        SyntheticBusEvent(loaded.engine.get(), &rng, num_locations, i));
+  }
+  return loaded.engine->GetStats().latency_micros.mean();
+}
+
+/// Prints one row of a series table: label then values.
+inline void PrintRow(const std::string& label, const std::vector<double>& values,
+                     const char* format = "%10.2f") {
+  std::printf("%-28s", label.c_str());
+  for (double v : values) std::printf(format, v);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& label,
+                        const std::vector<int>& columns) {
+  std::printf("%-28s", label.c_str());
+  for (int c : columns) std::printf("%10d", c);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace insight
+
+#endif  // INSIGHT_BENCH_BENCH_UTIL_H_

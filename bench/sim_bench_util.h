@@ -1,0 +1,182 @@
+#ifndef INSIGHT_BENCH_SIM_BENCH_UTIL_H_
+#define INSIGHT_BENCH_SIM_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/allocation.h"
+#include "sim/cluster_sim.h"
+
+namespace insight {
+namespace bench {
+
+/// Engine layout on the simulated cluster for an allocation: groupings own
+/// contiguous engine-index ranges; engines spread round-robin over nodes
+/// (Section 3.2: each node gets the same number of engines).
+struct EngineLayout {
+  std::vector<sim::ClusterSimulation::EngineSpec> engines;
+  std::vector<int> base;   // first engine index per grouping
+  std::vector<int> count;  // engines per grouping
+};
+
+inline EngineLayout LayoutEngines(const std::vector<int>& engines_per_grouping,
+                                  const std::vector<double>& service_micros,
+                                  int num_nodes) {
+  EngineLayout layout;
+  int next = 0;
+  for (size_t g = 0; g < engines_per_grouping.size(); ++g) {
+    layout.base.push_back(next);
+    layout.count.push_back(engines_per_grouping[g]);
+    for (int e = 0; e < engines_per_grouping[g]; ++e) {
+      sim::ClusterSimulation::EngineSpec spec;
+      spec.node = next % num_nodes;
+      spec.service_micros = service_micros[g];
+      layout.engines.push_back(spec);
+      ++next;
+    }
+  }
+  return layout;
+}
+
+/// Router sending each tuple to one engine per grouping, engine chosen by a
+/// region hash (Algorithm 1's balanced partition makes this uniform).
+inline sim::ClusterSimulation::Router PartitionedRouter(EngineLayout layout) {
+  return [layout](uint64_t index, std::vector<int>* targets) {
+    uint64_t h = index * 2654435761ULL;
+    for (size_t g = 0; g < layout.base.size(); ++g) {
+      if (layout.count[g] <= 0) continue;
+      targets->push_back(layout.base[g] +
+                         static_cast<int>((h >> (8 * (g % 4))) %
+                                          static_cast<uint64_t>(layout.count[g])));
+    }
+  };
+}
+
+/// Caches per-rule-set engine service times. Cheap rule sets are measured on
+/// the real cep::Engine; expensive ones (huge windows or very many rules,
+/// where warming the group windows alone would take minutes) are estimated
+/// with the latency model — which is exactly what the paper built the model
+/// for ("estimates the latency of each engine", Section 4.1.4).
+class ServiceCache {
+ public:
+  ServiceCache() = default;
+  /// model_only forces the latency-model estimate for every rule set —
+  /// required when a bench compares schemes whose rule sets would otherwise
+  /// mix measured and modeled service times.
+  explicit ServiceCache(bool model_only) : model_only_(model_only) {}
+
+  double Measure(const std::vector<core::RuleTemplate>& rules) {
+    std::string key;
+    for (const auto& rule : rules) {
+      key += rule.name + "|" + std::to_string(rule.window_length) + "|" +
+             rule.location_field + ";";
+    }
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    size_t max_window = 0;
+    for (const auto& rule : rules) {
+      max_window = std::max(max_window, rule.window_length);
+    }
+    double micros;
+    if (!model_only_ && max_window <= 100 && rules.size() <= 12) {
+      micros = MeasureEngineServiceMicros(rules, /*num_locations=*/32,
+                                          /*num_events=*/2500);
+    } else {
+      std::vector<model::RuleCharacteristics> characteristics;
+      for (const auto& rule : rules) {
+        characteristics.push_back(rule.Characteristics(32 * 24 * 2));
+      }
+      micros = model_.EngineLatency(characteristics);
+    }
+    cache_[key] = micros;
+    return micros;
+  }
+
+ private:
+  bool model_only_ = false;
+  std::map<std::string, double> cache_;
+  model::LatencyModel model_ = model::LatencyModel::Default();
+};
+
+/// The 10-rule workload of Sections 5.3/5.5: five attribute rules over the
+/// bus stops and five over the quadtree leaves, all at `window`.
+inline std::vector<core::RuleTemplate> TenRuleWorkload(size_t window) {
+  return core::Table6Rules(window);
+}
+
+/// Runs a DES sweep and returns (avg latency msec, effective throughput per
+/// 40 s) where effective throughput counts fully-processed *tuples* (copies
+/// divided by fan-out), matching the paper's input-data-processed metric.
+struct SweepPoint {
+  double latency_msec = 0.0;    // sojourn: queueing + processing
+  double processing_msec = 0.0; // processing only (paper's Figure 14 view)
+  double throughput = 0.0;
+};
+
+inline SweepPoint RunPoint(const sim::ClusterSimulation::Config& config,
+                           const EngineLayout& layout, double rate,
+                           const sim::ClusterSimulation::Router& router,
+                           double fanout) {
+  sim::ClusterSimulation simulation(config, layout.engines);
+  auto result = simulation.Run(rate, router);
+  INSIGHT_CHECK(result.ok()) << result.status().ToString();
+  SweepPoint point;
+  point.latency_msec = result->avg_latency_micros / 1000.0;
+  point.processing_msec = result->avg_processing_micros / 1000.0;
+  point.throughput = result->throughput_per_40s / (fanout > 0 ? fanout : 1.0);
+  return point;
+}
+
+/// Like RunPoint, but a tuple counts as processed only when *every* grouping
+/// has processed its copy, so the slowest grouping is the bottleneck (this
+/// is the paper's input-data-processed view of a multi-grouping deployment).
+inline SweepPoint RunPointBottleneck(const sim::ClusterSimulation::Config& config,
+                                     const EngineLayout& layout, double rate,
+                                     const sim::ClusterSimulation::Router& router) {
+  sim::ClusterSimulation simulation(config, layout.engines);
+  auto result = simulation.Run(rate, router);
+  INSIGHT_CHECK(result.ok()) << result.status().ToString();
+  SweepPoint point;
+  point.latency_msec = result->avg_latency_micros / 1000.0;
+  point.processing_msec = result->avg_processing_micros / 1000.0;
+  double min_processed = -1.0;
+  for (size_t g = 0; g < layout.base.size(); ++g) {
+    if (layout.count[g] <= 0) {
+      min_processed = 0.0;
+      break;
+    }
+    double processed = 0.0;
+    for (int e = layout.base[g]; e < layout.base[g] + layout.count[g]; ++e) {
+      processed += static_cast<double>(
+          result->engines[static_cast<size_t>(e)].processed);
+    }
+    if (min_processed < 0 || processed < min_processed) {
+      min_processed = processed;
+    }
+  }
+  point.throughput = min_processed * 40e6 /
+                     static_cast<double>(config.duration_micros);
+  return point;
+}
+
+inline sim::ClusterSimulation::Config ClusterOf(int nodes,
+                                                MicrosT duration_micros =
+                                                    5'000'000) {
+  sim::ClusterSimulation::Config config;
+  config.node_cores = std::vector<int>(static_cast<size_t>(nodes), 1);
+  config.network_latency_micros = 400.0;
+  config.serialization_micros = 2.0;
+  // Storm 0.8 inter-worker tuple transport (Kryo serialization + ZeroMQ +
+  // deserialization) costs on the order of 0.1-0.2 ms per copy; this is the
+  // overhead that makes re-transmission schemes lose.
+  config.deserialization_micros = 150.0;
+  config.duration_micros = duration_micros;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace insight
+
+#endif  // INSIGHT_BENCH_SIM_BENCH_UTIL_H_

@@ -1,0 +1,127 @@
+// Consecutive stops: the DCC motivating requirement of Section 3.1 — "a
+// rule that checks if in three consecutive bus stops, buses traversing them,
+// reported simultaneously delays greater than the expected".
+//
+// Per-stop delay anomalies come from the generic rule template running over
+// the canonical bus stops; the ConsecutiveStopsDetector composes them along
+// each line's route order and fires when three consecutive stops are
+// anomalous within a 15-minute window. An injected incident supplies the
+// ground truth.
+//
+//   ./consecutive_stops
+
+#include <cstdio>
+
+#include <map>
+
+#include "core/dynamic.h"
+#include "core/retrieval.h"
+#include "core/sequence.h"
+#include "core/system.h"
+#include "traffic/generator.h"
+
+using namespace insight;
+
+int main() {
+  traffic::TraceGenerator::Options options;
+  options.num_buses = 120;
+  options.num_lines = 12;
+  options.stops_per_line = 16;
+  options.start_hour = 8;
+  options.end_hour = 11;
+  options.seed = 31;
+  options.incidents_per_hour = 3.0;
+
+  // Substrate: quadtree, canonical stops, per-stop statistics.
+  geo::RegionQuadtree quadtree = geo::BuildDublinQuadtree(options.seed, 500);
+  geo::BusStopIndex stops;
+  {
+    traffic::TraceGenerator sampler(options);
+    stops.Build(sampler.CollectStopReports(2500));
+  }
+  std::printf("canonical bus stops: %zu\n", stops.stops().size());
+
+  traffic::TraceGenerator history_gen(options);
+  auto history = history_gen.GenerateAll(50000);
+  core::EnrichTraces(&history, quadtree, stops);
+  dfs::MiniDfs fs;
+  storage::TableStore store;
+  core::DynamicRuleManager manager(&fs, &store, {});
+  if (!manager.AppendHistory(history).ok() || !manager.RunBatchCycle().ok()) {
+    return 1;
+  }
+
+  // Register each line's route as the ordered canonical stops its buses
+  // visit (derived from the history: stop sequence by median visit order).
+  core::ConsecutiveStopsDetector::Options seq_options;
+  seq_options.k = 3;
+  seq_options.window_micros = 15 * 60 * 1'000'000LL;
+  core::ConsecutiveStopsDetector detector(seq_options);
+  {
+    // order stops per (line, direction) by average timestamp-progress.
+    std::map<std::pair<int, bool>, std::map<int64_t, std::pair<double, int>>>
+        orders;
+    std::map<int, MicrosT> first_seen;
+    for (const auto& t : history) {
+      if (t.bus_stop < 0) continue;
+      auto& entry = orders[{t.line_id, t.direction}][t.bus_stop];
+      // proxy for route position: distance from the line's first stop seen
+      // by this vehicle would be ideal; average report time per vehicle trip
+      // is good enough for a demo, use position along route via stop center
+      // ordering below instead.
+      entry.first += static_cast<double>(t.timestamp);
+      entry.second += 1;
+    }
+    for (auto& [key, stop_map] : orders) {
+      std::vector<std::pair<double, int64_t>> ordered;
+      for (auto& [stop, acc] : stop_map) {
+        ordered.push_back({acc.first / acc.second, stop});
+      }
+      std::sort(ordered.begin(), ordered.end());
+      std::vector<int64_t> route;
+      for (auto& [avg_ts, stop] : ordered) route.push_back(stop);
+      if (static_cast<int>(route.size()) >= seq_options.k) {
+        (void)detector.RegisterLine(key.first, key.second, std::move(route));
+      }
+    }
+  }
+
+  // Live day with incidents; per-stop anomaly = delay above the learned
+  // threshold for that stop and hour.
+  traffic::TraceGenerator::Options live = options;
+  live.seed = 77;
+  live.incidents_per_hour = 6.0;
+  traffic::TraceGenerator live_gen(live);
+  auto traces = live_gen.GenerateAll(50000);
+  core::EnrichTraces(&traces, quadtree, stops);
+
+  size_t anomalies = 0, sequences = 0;
+  for (const auto& t : traces) {
+    if (t.bus_stop < 0) continue;
+    auto threshold = storage::QueryThresholdFor(store, "delay_stop", 1.5,
+                                                t.bus_stop, t.hour, t.date_type);
+    if (!threshold.ok() || t.delay_seconds <= *threshold) continue;
+    ++anomalies;
+    auto match = detector.Observe(t.line_id, t.direction, t.bus_stop,
+                                  t.timestamp);
+    if (match.has_value()) {
+      ++sequences;
+      if (sequences <= 5) {
+        std::printf(
+            "SEQUENCE line %d dir %d: stops [%lld %lld %lld] anomalous within "
+            "%.1f min\n",
+            match->line_id, match->direction ? 1 : 0,
+            static_cast<long long>(match->stops[0]),
+            static_cast<long long>(match->stops[1]),
+            static_cast<long long>(match->stops[2]),
+            static_cast<double>(match->last_timestamp - match->first_timestamp) /
+                60e6);
+      }
+    }
+  }
+  std::printf("\n%zu per-stop anomalies -> %zu consecutive-stop sequences\n",
+              anomalies, sequences);
+  std::printf("ground truth: %zu injected incidents\n",
+              live_gen.incidents().size());
+  return 0;
+}

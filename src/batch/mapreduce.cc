@@ -1,0 +1,242 @@
+#include "batch/mapreduce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace insight {
+namespace batch {
+
+namespace {
+
+/// Simple stable string hash (FNV-1a) for partitioning; std::hash is
+/// implementation-defined and we want reproducible partition assignment.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class VectorEmitter : public Emitter {
+ public:
+  void Emit(const std::string& key, const std::string& value) override {
+    pairs.emplace_back(key, value);
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+};
+
+/// Extracts the newline-delimited records belonging to a chunk, healing
+/// records that span chunk boundaries: a task owns every record that *starts*
+/// in its chunk; the first partial line of a non-first chunk belongs to the
+/// previous task.
+Result<std::vector<std::string>> RecordsForChunk(const dfs::MiniDfs& fs,
+                                                 const std::string& path,
+                                                 size_t chunk_index,
+                                                 size_t num_chunks) {
+  INSIGHT_ASSIGN_OR_RETURN(std::string data, fs.ReadChunk(path, chunk_index));
+  size_t start = 0;
+  if (chunk_index > 0) {
+    // Skip the partial first line (owned by the previous chunk's task).
+    size_t nl = data.find('\n');
+    if (nl == std::string::npos) return std::vector<std::string>{};
+    start = nl + 1;
+  }
+  // Pull the tail of the last record from following chunks.
+  std::string tail;
+  size_t next = chunk_index + 1;
+  bool ends_mid_record = !data.empty() && data.back() != '\n';
+  while (ends_mid_record && next < num_chunks) {
+    INSIGHT_ASSIGN_OR_RETURN(std::string next_data, fs.ReadChunk(path, next));
+    size_t nl = next_data.find('\n');
+    if (nl == std::string::npos) {
+      tail += next_data;
+      ++next;
+      continue;
+    }
+    tail += next_data.substr(0, nl);
+    break;
+  }
+  std::string body = data.substr(start) + tail;
+  std::vector<std::string> records;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) {
+      records.push_back(body.substr(pos));
+      break;
+    }
+    records.push_back(body.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  // Drop empty trailing records.
+  while (!records.empty() && records.back().empty()) records.pop_back();
+  return records;
+}
+
+/// Sort + group a partition's pairs and run `fn` per key group.
+size_t GroupAndApply(
+    std::vector<std::pair<std::string, std::string>>* pairs,
+    const MapReduceJob::ReduceFn& fn, Emitter* emitter) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t groups = 0;
+  size_t i = 0;
+  while (i < pairs->size()) {
+    size_t j = i;
+    std::vector<std::string> values;
+    while (j < pairs->size() && (*pairs)[j].first == (*pairs)[i].first) {
+      values.push_back((*pairs)[j].second);
+      ++j;
+    }
+    fn((*pairs)[i].first, values, emitter);
+    ++groups;
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<MapReduceJob::Counters> MapReduceJob::Run(dfs::MiniDfs* fs,
+                                                 const Spec& spec) {
+  if (!spec.map || !spec.reduce) {
+    return Status::InvalidArgument("job requires map and reduce functions");
+  }
+  if (spec.input_paths.empty()) {
+    return Status::InvalidArgument("job requires at least one input path");
+  }
+  if (spec.num_reducers <= 0) {
+    return Status::InvalidArgument("num_reducers must be positive");
+  }
+  for (const std::string& path : spec.input_paths) {
+    if (!fs->Exists(path)) return Status::NotFound("no input file '" + path + "'");
+  }
+
+  Counters counters;
+  const size_t num_parts = static_cast<size_t>(spec.num_reducers);
+
+  // ---- Map phase: one task per input chunk. ----
+  struct MapTask {
+    std::string path;
+    size_t chunk_index;
+    size_t num_chunks;
+  };
+  std::vector<MapTask> map_tasks;
+  for (const std::string& path : spec.input_paths) {
+    INSIGHT_ASSIGN_OR_RETURN(auto chunks, fs->GetChunks(path));
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      map_tasks.push_back({path, i, chunks.size()});
+    }
+  }
+  counters.map_tasks = map_tasks.size();
+
+  // Partition buffers: [partition][per-task outputs].
+  std::vector<std::vector<std::pair<std::string, std::string>>> partitions(
+      num_parts);
+  std::mutex partitions_mutex;
+  std::atomic<size_t> input_records{0};
+  std::atomic<size_t> map_output_records{0};
+  std::atomic<size_t> combine_output_records{0};
+  Status first_error;
+  std::mutex error_mutex;
+
+  {
+    ThreadPool pool(static_cast<size_t>(std::max(1, spec.parallelism)));
+    for (const MapTask& task : map_tasks) {
+      pool.Submit([&, task] {
+        auto records = RecordsForChunk(*fs, task.path, task.chunk_index,
+                                       task.num_chunks);
+        if (!records.ok()) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error.ok()) first_error = records.status();
+          return;
+        }
+        VectorEmitter map_out;
+        for (const std::string& record : *records) {
+          spec.map(record, &map_out);
+        }
+        input_records += records->size();
+        map_output_records += map_out.pairs.size();
+
+        std::vector<std::pair<std::string, std::string>>* final_pairs =
+            &map_out.pairs;
+        VectorEmitter combined;
+        if (spec.combine) {
+          GroupAndApply(&map_out.pairs, spec.combine, &combined);
+          combine_output_records += combined.pairs.size();
+          final_pairs = &combined.pairs;
+        }
+
+        std::lock_guard<std::mutex> lock(partitions_mutex);
+        for (auto& [key, value] : *final_pairs) {
+          size_t part = HashKey(key) % num_parts;
+          partitions[part].emplace_back(std::move(key), std::move(value));
+        }
+      });
+    }
+    pool.Wait();
+  }
+  if (!first_error.ok()) return first_error;
+  counters.input_records = input_records;
+  counters.map_output_records = map_output_records;
+  counters.combine_output_records = combine_output_records;
+
+  // ---- Reduce phase. ----
+  fs->DeleteRecursive(spec.output_dir);
+  std::atomic<size_t> reduce_groups{0};
+  std::atomic<size_t> output_records{0};
+  {
+    ThreadPool pool(static_cast<size_t>(std::max(1, spec.parallelism)));
+    for (size_t part = 0; part < num_parts; ++part) {
+      pool.Submit([&, part] {
+        VectorEmitter reduce_out;
+        reduce_groups += GroupAndApply(&partitions[part], spec.reduce,
+                                       &reduce_out);
+        output_records += reduce_out.pairs.size();
+        std::string content;
+        for (const auto& [key, value] : reduce_out.pairs) {
+          content += key;
+          content += '\t';
+          content += value;
+          content += '\n';
+        }
+        std::string path =
+            spec.output_dir + "/" + StrFormat("part-r-%05zu", part);
+        // Appends are internally synchronized; each task owns its part file.
+        (void)fs->Append(path, content);
+      });
+    }
+    pool.Wait();
+  }
+  counters.reduce_tasks = num_parts;
+  counters.reduce_groups = reduce_groups;
+  counters.output_records = output_records;
+  return counters;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ReadJobOutput(
+    const dfs::MiniDfs& fs, const std::string& output_dir) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& path : fs.List(output_dir + "/part-r-")) {
+    INSIGHT_ASSIGN_OR_RETURN(std::string content, fs.ReadAll(path));
+    for (const std::string& line : Split(content, '\n')) {
+      if (line.empty()) continue;
+      size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        out.emplace_back(line, "");
+      } else {
+        out.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace batch
+}  // namespace insight

@@ -1,0 +1,74 @@
+#ifndef INSIGHT_BATCH_MAPREDUCE_H_
+#define INSIGHT_BATCH_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dfs/mini_dfs.h"
+
+namespace insight {
+namespace batch {
+
+/// Collects key/value pairs emitted by user map/combine/reduce functions.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const std::string& key, const std::string& value) = 0;
+};
+
+/// Hadoop-style MapReduce over MiniDfs (Section 2.1.3):
+///   map(k1, v1) -> [k2, v2]
+///   reduce(k2, [v2]) -> [k3, v3]
+/// Input files are split by DFS chunk (one map task per chunk, with
+/// record-boundary healing across chunks). Map output is hash-partitioned
+/// into `num_reducers` partitions; each reduce task sorts its partition,
+/// groups by key and invokes the reducer. Final output is written back to
+/// the DFS as text `key\tvalue` lines in part-r-NNNNN files, like Hadoop's
+/// TextOutputFormat.
+class MapReduceJob {
+ public:
+  using MapFn =
+      std::function<void(const std::string& record, Emitter* emitter)>;
+  using ReduceFn = std::function<void(const std::string& key,
+                                      const std::vector<std::string>& values,
+                                      Emitter* emitter)>;
+
+  struct Spec {
+    std::string name = "job";
+    std::vector<std::string> input_paths;
+    std::string output_dir;  // part files land at <output_dir>/part-r-NNNNN
+    MapFn map;
+    ReduceFn reduce;
+    /// Optional map-side combiner (same signature as reduce).
+    ReduceFn combine;
+    int num_reducers = 4;
+    /// Worker threads executing map/reduce tasks.
+    int parallelism = 4;
+  };
+
+  struct Counters {
+    size_t map_tasks = 0;
+    size_t reduce_tasks = 0;
+    size_t input_records = 0;
+    size_t map_output_records = 0;
+    size_t combine_output_records = 0;
+    size_t reduce_groups = 0;
+    size_t output_records = 0;
+  };
+
+  /// Runs the job synchronously. The output directory is replaced.
+  static Result<Counters> Run(dfs::MiniDfs* fs, const Spec& spec);
+};
+
+/// Reads a text-format job output directory back into (key, value) pairs.
+Result<std::vector<std::pair<std::string, std::string>>> ReadJobOutput(
+    const dfs::MiniDfs& fs, const std::string& output_dir);
+
+}  // namespace batch
+}  // namespace insight
+
+#endif  // INSIGHT_BATCH_MAPREDUCE_H_

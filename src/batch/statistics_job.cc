@@ -1,0 +1,168 @@
+#include "batch/statistics_job.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace insight {
+namespace batch {
+
+namespace {
+
+struct Triple {
+  double count = 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+
+  static Result<Triple> Parse(const std::string& s) {
+    auto parts = Split(s, ',');
+    if (parts.size() != 3) return Status::ParseError("bad stats triple: " + s);
+    Triple t;
+    INSIGHT_ASSIGN_OR_RETURN(t.count, ParseDouble(parts[0]));
+    INSIGHT_ASSIGN_OR_RETURN(t.sum, ParseDouble(parts[1]));
+    INSIGHT_ASSIGN_OR_RETURN(t.sumsq, ParseDouble(parts[2]));
+    return t;
+  }
+
+  std::string Serialize() const {
+    return StrFormat("%.17g,%.17g,%.17g", count, sum, sumsq);
+  }
+
+  void Merge(const Triple& o) {
+    count += o.count;
+    sum += o.sum;
+    sumsq += o.sumsq;
+  }
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+  double Stdev() const {
+    if (count < 2) return 0.0;
+    double m = Mean();
+    double var = sumsq / count - m * m;
+    return var <= 0 ? 0.0 : std::sqrt(var);
+  }
+};
+
+}  // namespace
+
+Result<MapReduceJob::Counters> RunStatisticsJob(
+    dfs::MiniDfs* fs, const StatisticsJobConfig& config) {
+  if (config.location_col < 0 || config.hour_col < 0 ||
+      config.date_type_col < 0) {
+    return Status::InvalidArgument(
+        "statistics job requires location/hour/dateType column indexes");
+  }
+  if (config.attribute_cols.empty()) {
+    return Status::InvalidArgument("statistics job requires attribute columns");
+  }
+
+  int max_col = std::max({config.location_col, config.hour_col,
+                          config.date_type_col});
+  for (const auto& [attr, col] : config.attribute_cols) {
+    max_col = std::max(max_col, col);
+  }
+
+  MapReduceJob::Spec spec;
+  spec.name = "statistics";
+  spec.input_paths = config.input_paths;
+  spec.output_dir = config.output_dir;
+  spec.num_reducers = config.num_reducers;
+  spec.parallelism = config.parallelism;
+
+  auto attribute_cols = config.attribute_cols;
+  int location_col = config.location_col;
+  int hour_col = config.hour_col;
+  int date_type_col = config.date_type_col;
+
+  spec.map = [attribute_cols, location_col, hour_col, date_type_col, max_col](
+                 const std::string& record, Emitter* emitter) {
+    auto fields = ParseCsvLine(record);
+    if (!fields.ok()) return;  // skip malformed records, like Hadoop would
+    if (static_cast<int>(fields->size()) <= max_col) return;
+    const std::string& location = (*fields)[static_cast<size_t>(location_col)];
+    const std::string& hour = (*fields)[static_cast<size_t>(hour_col)];
+    const std::string& date_type =
+        (*fields)[static_cast<size_t>(date_type_col)];
+    for (const auto& [attr, col] : attribute_cols) {
+      auto value = ParseDouble((*fields)[static_cast<size_t>(col)]);
+      if (!value.ok()) continue;
+      Triple t{1.0, *value, *value * *value};
+      emitter->Emit(attr + "|" + location + "|" + hour + "|" + date_type,
+                    t.Serialize());
+    }
+  };
+
+  auto merge_fn = [](const std::string& key,
+                     const std::vector<std::string>& values, Emitter* emitter,
+                     bool final_output) {
+    Triple total;
+    for (const std::string& v : values) {
+      auto t = Triple::Parse(v);
+      if (t.ok()) total.Merge(*t);
+    }
+    if (final_output) {
+      emitter->Emit(key, StrFormat("%.17g,%.17g,%lld", total.Mean(),
+                                   total.Stdev(),
+                                   static_cast<long long>(total.count)));
+    } else {
+      emitter->Emit(key, total.Serialize());
+    }
+  };
+  spec.combine = [merge_fn](const std::string& key,
+                            const std::vector<std::string>& values,
+                            Emitter* emitter) {
+    merge_fn(key, values, emitter, false);
+  };
+  spec.reduce = [merge_fn](const std::string& key,
+                           const std::vector<std::string>& values,
+                           Emitter* emitter) {
+    merge_fn(key, values, emitter, true);
+  };
+
+  return MapReduceJob::Run(fs, spec);
+}
+
+Result<size_t> LoadStatisticsIntoStore(const dfs::MiniDfs& fs,
+                                       const std::string& output_dir,
+                                       storage::TableStore* store) {
+  INSIGHT_ASSIGN_OR_RETURN(auto pairs, ReadJobOutput(fs, output_dir));
+  std::set<std::string> truncated;
+  size_t loaded = 0;
+  for (const auto& [key, value] : pairs) {
+    auto key_parts = Split(key, '|');
+    auto value_parts = Split(value, ',');
+    if (key_parts.size() != 4 || value_parts.size() != 3) {
+      return Status::ParseError("malformed statistics record: " + key + " -> " +
+                                value);
+    }
+    const std::string& attr = key_parts[0];
+    INSIGHT_ASSIGN_OR_RETURN(long long location, ParseInt(key_parts[1]));
+    INSIGHT_ASSIGN_OR_RETURN(long long hour, ParseInt(key_parts[2]));
+    const std::string& date_type = key_parts[3];
+    INSIGHT_ASSIGN_OR_RETURN(double mean, ParseDouble(value_parts[0]));
+    INSIGHT_ASSIGN_OR_RETURN(double stdev, ParseDouble(value_parts[1]));
+    INSIGHT_ASSIGN_OR_RETURN(long long count, ParseInt(value_parts[2]));
+
+    std::string table = storage::StatisticsTableName(attr);
+    if (truncated.insert(table).second) {
+      if (store->HasTable(table)) {
+        INSIGHT_RETURN_NOT_OK(store->Truncate(table));
+      } else {
+        INSIGHT_RETURN_NOT_OK(
+            store->CreateTable(table, storage::StatisticsColumns()));
+      }
+    }
+    INSIGHT_RETURN_NOT_OK(store->Insert(
+        table, {storage::Value(static_cast<int64_t>(location)),
+                storage::Value(static_cast<int64_t>(hour)),
+                storage::Value(date_type), storage::Value(mean),
+                storage::Value(stdev), storage::Value(static_cast<int64_t>(count))}));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace batch
+}  // namespace insight

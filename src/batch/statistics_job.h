@@ -1,0 +1,52 @@
+#ifndef INSIGHT_BATCH_STATISTICS_JOB_H_
+#define INSIGHT_BATCH_STATISTICS_JOB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "batch/mapreduce.h"
+#include "dfs/mini_dfs.h"
+#include "storage/table_store.h"
+
+namespace insight {
+namespace batch {
+
+/// Configuration of the periodic statistics job of Section 4.1.3: for every
+/// (attribute, spatial location, hour-of-day, weekday/weekend) it computes
+/// the mean and standard deviation of the attribute over the historical data
+/// in the DFS; the results become the rules' dynamic thresholds.
+///
+/// Input records are CSV lines of pre-processed bus traces; the config maps
+/// the needed columns.
+struct StatisticsJobConfig {
+  std::vector<std::string> input_paths;
+  std::string output_dir = "/jobs/statistics/out";
+  /// Column indexes into the CSV records.
+  int location_col = -1;
+  int hour_col = -1;
+  int date_type_col = -1;
+  /// attribute name -> CSV column holding its numeric value.
+  std::map<std::string, int> attribute_cols;
+  int num_reducers = 4;
+  int parallelism = 4;
+};
+
+/// Runs the MapReduce job. Map emits ("attr|loc|hour|dateType",
+/// "count,sum,sumsq") triples; combiner and reducer merge triples; the final
+/// value is "mean,stdev,count".
+Result<MapReduceJob::Counters> RunStatisticsJob(dfs::MiniDfs* fs,
+                                                const StatisticsJobConfig& config);
+
+/// Loads a statistics job's output into the storage medium: one
+/// statistics_<attribute> table per attribute (created if missing, truncated
+/// otherwise), rows (areaId, currentHour, dateType, attr_mean, attr_stdv,
+/// sample_count). Returns the number of rows loaded.
+Result<size_t> LoadStatisticsIntoStore(const dfs::MiniDfs& fs,
+                                       const std::string& output_dir,
+                                       storage::TableStore* store);
+
+}  // namespace batch
+}  // namespace insight
+
+#endif  // INSIGHT_BATCH_STATISTICS_JOB_H_

@@ -1,0 +1,152 @@
+#include "cep/engine.h"
+
+#include "common/logging.h"
+
+namespace insight {
+namespace cep {
+
+Status Engine::RegisterEventType(const std::string& name,
+                                 std::vector<EventType::Field> fields) {
+  if (types_.count(name) > 0) {
+    return Status::AlreadyExists("event type '" + name + "' already registered");
+  }
+  types_[name] = std::make_shared<EventType>(name, std::move(fields));
+  return Status::OK();
+}
+
+Result<EventTypePtr> Engine::GetEventType(const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return Status::NotFound("unknown event type '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<Statement*> Engine::AddStatement(StatementDef def) {
+  if (def.name.empty()) {
+    def.name = "stmt-" + std::to_string(next_statement_id_++);
+  }
+  if (statements_.count(def.name) > 0) {
+    return Status::AlreadyExists("statement '" + def.name + "' already exists");
+  }
+  EventTypePtr insert_type;
+  if (!def.insert_into.empty()) {
+    INSIGHT_ASSIGN_OR_RETURN(insert_type, GetEventType(def.insert_into));
+    if (def.select_all) {
+      return Status::InvalidArgument(
+          "INSERT INTO requires named SELECT columns matching the target type");
+    }
+  }
+  INSIGHT_ASSIGN_OR_RETURN(auto stmt, Statement::Compile(std::move(def), types_));
+  Statement* raw = stmt.get();
+  if (insert_type != nullptr) {
+    // Matches become events of the target type, fed back into this engine
+    // ("the triggered events can be pushed further into the Esper engine
+    // feeding other rules"). Column lookup is by name; missing columns keep
+    // their default value.
+    raw->AddListener([this, insert_type](const MatchResult& match) {
+      EventBuilder builder(insert_type);
+      for (const EventType::Field& field : insert_type->fields()) {
+        auto value = match.Get(field.name);
+        if (value.ok()) builder.Set(field.name, *value);
+      }
+      SendEvent(builder.Build());
+    });
+  }
+  statements_[raw->name()] = std::move(stmt);
+  RebuildRouting();
+  return raw;
+}
+
+Result<Statement*> Engine::AddStatement(const std::string& epl,
+                                        const std::string& name) {
+  INSIGHT_ASSIGN_OR_RETURN(StatementDef def, ParseEpl(epl));
+  if (!name.empty()) def.name = name;
+  return AddStatement(std::move(def));
+}
+
+Status Engine::RemoveStatement(const std::string& name) {
+  auto it = statements_.find(name);
+  if (it == statements_.end()) {
+    return Status::NotFound("no statement '" + name + "'");
+  }
+  statements_.erase(it);
+  RebuildRouting();
+  return Status::OK();
+}
+
+Result<Statement*> Engine::GetStatement(const std::string& name) const {
+  auto it = statements_.find(name);
+  if (it == statements_.end()) {
+    return Status::NotFound("no statement '" + name + "'");
+  }
+  return it->second.get();
+}
+
+void Engine::RebuildRouting() {
+  routing_.clear();
+  for (auto& [name, stmt] : statements_) {
+    for (const StreamSource& src : stmt->def().from) {
+      auto& vec = routing_[src.event_type];
+      if (std::find(vec.begin(), vec.end(), stmt.get()) == vec.end()) {
+        vec.push_back(stmt.get());
+      }
+    }
+  }
+}
+
+size_t Engine::SendEvent(const EventPtr& event) {
+  // Guard against INSERT INTO cycles (a rule feeding a stream it consumes).
+  if (send_depth_ >= kMaxInsertDepth) {
+    INSIGHT_LOG(Warning) << "insert-into recursion capped at depth "
+                         << kMaxInsertDepth << " for type "
+                         << event->type().name();
+    return 0;
+  }
+  ++send_depth_;
+  MicrosT start = clock_->NowMicros();
+  size_t matches = 0;
+  auto it = routing_.find(event->type().name());
+  if (it != routing_.end()) {
+    for (Statement* stmt : it->second) matches += stmt->OnEvent(event);
+  }
+  MicrosT elapsed = clock_->NowMicros() - start;
+  latency_micros_.Add(static_cast<double>(elapsed));
+  ++events_processed_;
+  matches_fired_ += matches;
+  --send_depth_;
+  return matches;
+}
+
+EventBuilder Engine::NewEvent(const std::string& type_name) const {
+  auto it = types_.find(type_name);
+  INSIGHT_CHECK(it != types_.end()) << "unknown event type " << type_name;
+  return EventBuilder(it->second);
+}
+
+std::vector<std::string> Engine::StatementNames() const {
+  std::vector<std::string> names;
+  names.reserve(statements_.size());
+  for (const auto& [name, stmt] : statements_) names.push_back(name);
+  return names;
+}
+
+Engine::EngineStats Engine::GetStats() const {
+  EngineStats stats;
+  stats.events_processed = events_processed_;
+  stats.matches_fired = matches_fired_;
+  stats.latency_micros = latency_micros_;
+  for (const auto& [name, stmt] : statements_) {
+    stats.retained_events += stmt->RetainedEvents();
+  }
+  return stats;
+}
+
+void Engine::ResetStats() {
+  events_processed_ = 0;
+  matches_fired_ = 0;
+  latency_micros_ = RunningStats();
+}
+
+}  // namespace cep
+}  // namespace insight

@@ -1,0 +1,89 @@
+#ifndef INSIGHT_CEP_ENGINE_H_
+#define INSIGHT_CEP_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/epl_parser.h"
+#include "cep/statement.h"
+#include "common/clock.h"
+#include "common/stats.h"
+
+namespace insight {
+namespace cep {
+
+/// A CEP engine in the style of Esper: a registry of event types plus a set
+/// of standing statements (rules). Incoming events are processed serially —
+/// "new arriving data are processed serially and the Esper engine responds in
+/// real time" (Section 2.1.2) — so an Engine is single-threaded by design and
+/// the DSPS layer runs one engine per executor to scale out.
+class Engine {
+ public:
+  explicit Engine(const Clock* clock = SystemClock::Get()) : clock_(clock) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an event schema. AlreadyExists if the name is taken.
+  Status RegisterEventType(const std::string& name,
+                           std::vector<EventType::Field> fields);
+  Result<EventTypePtr> GetEventType(const std::string& name) const;
+
+  /// Compiles and installs a statement from a definition. The returned
+  /// pointer stays valid until RemoveStatement / engine destruction.
+  Result<Statement*> AddStatement(StatementDef def);
+
+  /// Compiles and installs a statement from EPL text. `name` overrides any
+  /// generated statement name.
+  Result<Statement*> AddStatement(const std::string& epl,
+                                  const std::string& name = "");
+
+  Status RemoveStatement(const std::string& name);
+  Result<Statement*> GetStatement(const std::string& name) const;
+
+  /// Processes one event through every statement that consumes its type.
+  /// Returns the number of matches fired across statements.
+  size_t SendEvent(const EventPtr& event);
+
+  /// Builder bound to a registered type; CHECK-fails on unknown type (use
+  /// GetEventType for fallible lookup).
+  EventBuilder NewEvent(const std::string& type_name) const;
+
+  size_t num_statements() const { return statements_.size(); }
+  std::vector<std::string> StatementNames() const;
+
+  /// Per-engine processing metrics (used to calibrate the latency model).
+  struct EngineStats {
+    size_t events_processed = 0;
+    size_t matches_fired = 0;
+    /// Wall time spent inside SendEvent.
+    RunningStats latency_micros;
+    /// Sum of events retained across all statement windows right now.
+    size_t retained_events = 0;
+  };
+  EngineStats GetStats() const;
+  void ResetStats();
+
+ private:
+  static constexpr int kMaxInsertDepth = 16;
+
+  const Clock* clock_;
+  int send_depth_ = 0;
+  std::map<std::string, EventTypePtr> types_;
+  std::map<std::string, std::unique_ptr<Statement>> statements_;
+  /// type name -> statements consuming it (rebuilt on add/remove).
+  std::map<std::string, std::vector<Statement*>> routing_;
+  size_t next_statement_id_ = 0;
+  size_t events_processed_ = 0;
+  size_t matches_fired_ = 0;
+  RunningStats latency_micros_;
+
+  void RebuildRouting();
+};
+
+}  // namespace cep
+}  // namespace insight
+
+#endif  // INSIGHT_CEP_ENGINE_H_

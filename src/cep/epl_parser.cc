@@ -1,0 +1,576 @@
+#include "cep/epl_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace insight {
+namespace cep {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kDouble,
+  kString,
+  kOp,     // = != < <= > >= + - * / %
+  kPunct,  // . , ( ) : @
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    while (i < in_.size()) {
+      char c = in_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token tok;
+      tok.pos = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < in_.size() && (std::isalnum(static_cast<unsigned char>(in_[i])) ||
+                                  in_[i] == '_')) {
+          ++i;
+        }
+        tok.kind = TokKind::kIdent;
+        tok.text = in_.substr(start, i - start);
+        out->push_back(tok);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        bool is_double = false;
+        while (i < in_.size() && (std::isdigit(static_cast<unsigned char>(in_[i])) ||
+                                  in_[i] == '.')) {
+          if (in_[i] == '.') {
+            // "1.foo" would be a field access on a number; not in our grammar.
+            if (i + 1 < in_.size() &&
+                !std::isdigit(static_cast<unsigned char>(in_[i + 1]))) {
+              break;
+            }
+            is_double = true;
+          }
+          ++i;
+        }
+        // Scientific notation.
+        if (i < in_.size() && (in_[i] == 'e' || in_[i] == 'E')) {
+          size_t j = i + 1;
+          if (j < in_.size() && (in_[j] == '+' || in_[j] == '-')) ++j;
+          if (j < in_.size() && std::isdigit(static_cast<unsigned char>(in_[j]))) {
+            is_double = true;
+            i = j;
+            while (i < in_.size() &&
+                   std::isdigit(static_cast<unsigned char>(in_[i]))) {
+              ++i;
+            }
+          }
+        }
+        std::string text = in_.substr(start, i - start);
+        if (is_double) {
+          INSIGHT_ASSIGN_OR_RETURN(tok.double_value, ParseDouble(text));
+          tok.kind = TokKind::kDouble;
+        } else {
+          INSIGHT_ASSIGN_OR_RETURN(tok.int_value, ParseInt(text));
+          tok.kind = TokKind::kInt;
+        }
+        tok.text = std::move(text);
+        out->push_back(tok);
+        continue;
+      }
+      if (c == '\'') {
+        ++i;
+        std::string text;
+        while (i < in_.size() && in_[i] != '\'') {
+          text.push_back(in_[i]);
+          ++i;
+        }
+        if (i >= in_.size()) {
+          return Status::ParseError("unterminated string literal");
+        }
+        ++i;
+        tok.kind = TokKind::kString;
+        tok.text = std::move(text);
+        out->push_back(tok);
+        continue;
+      }
+      if (c == '!' && i + 1 < in_.size() && in_[i + 1] == '=') {
+        tok.kind = TokKind::kOp;
+        tok.text = "!=";
+        i += 2;
+        out->push_back(tok);
+        continue;
+      }
+      if ((c == '<' || c == '>') && i + 1 < in_.size() && in_[i + 1] == '=') {
+        tok.kind = TokKind::kOp;
+        tok.text = std::string(1, c) + "=";
+        i += 2;
+        out->push_back(tok);
+        continue;
+      }
+      if (c == '=' || c == '<' || c == '>' || c == '+' || c == '-' || c == '*' ||
+          c == '/' || c == '%') {
+        tok.kind = TokKind::kOp;
+        tok.text = std::string(1, c);
+        ++i;
+        out->push_back(tok);
+        continue;
+      }
+      if (c == '.' || c == ',' || c == '(' || c == ')' || c == ':' || c == '@') {
+        tok.kind = TokKind::kPunct;
+        tok.text = std::string(1, c);
+        ++i;
+        out->push_back(tok);
+        continue;
+      }
+      return Status::ParseError(StrFormat("unexpected character '%c' at %zu", c, i));
+    }
+    Token end;
+    end.kind = TokKind::kEnd;
+    end.pos = in_.size();
+    out->push_back(end);
+    return Status::OK();
+  }
+
+ private:
+  const std::string& in_;
+};
+
+class EplParser {
+ public:
+  explicit EplParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementDef> Parse() {
+    StatementDef def;
+    while (PeekIsPunct("@")) {
+      INSIGHT_RETURN_NOT_OK(ParseAnnotation(&def));
+    }
+    if (ConsumeKeyword("insert")) {
+      if (!ConsumeKeyword("into")) return Err("expected INTO after INSERT");
+      if (Peek().kind != TokKind::kIdent) {
+        return Err("expected event type after INSERT INTO");
+      }
+      def.insert_into = Peek().text;
+      Advance();
+    }
+    if (!ConsumeKeyword("select")) return Err("expected SELECT");
+    INSIGHT_RETURN_NOT_OK(ParseSelectList(&def));
+    if (!ConsumeKeyword("from")) return Err("expected FROM");
+    INSIGHT_RETURN_NOT_OK(ParseFromList(&def));
+    if (ConsumeKeyword("where")) {
+      INSIGHT_ASSIGN_OR_RETURN(def.where, ParseExpr());
+    }
+    if (PeekKeyword("group")) {
+      Advance();
+      if (!ConsumeKeyword("by")) return Err("expected BY after GROUP");
+      while (true) {
+        INSIGHT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        def.group_by.push_back(std::move(e));
+        if (!ConsumePunct(",")) break;
+      }
+    }
+    if (ConsumeKeyword("having")) {
+      INSIGHT_ASSIGN_OR_RETURN(def.having, ParseExpr());
+    }
+    if (PeekKeyword("order")) {
+      Advance();
+      if (!ConsumeKeyword("by")) return Err("expected BY after ORDER");
+      while (true) {
+        OrderByItem item;
+        INSIGHT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("desc")) {
+          item.descending = true;
+        } else {
+          (void)ConsumeKeyword("asc");
+        }
+        def.order_by.push_back(std::move(item));
+        if (!ConsumePunct(",")) break;
+      }
+    }
+    if (ConsumeKeyword("limit")) {
+      if (Peek().kind != TokKind::kInt || Peek().int_value <= 0) {
+        return Err("expected positive integer after LIMIT");
+      }
+      def.limit = static_cast<size_t>(Peek().int_value);
+      Advance();
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return def;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("EPL at offset %zu: %s", Peek().pos, msg.c_str()));
+  }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && ToLower(Peek().text) == kw;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool PeekIsPunct(const char* p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+  bool ConsumePunct(const char* p) {
+    if (!PeekIsPunct(p)) return false;
+    Advance();
+    return true;
+  }
+  bool PeekIsOp(const char* op, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokKind::kOp && Peek(ahead).text == op;
+  }
+  bool ConsumeOp(const char* op) {
+    if (!PeekIsOp(op)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ParseAnnotation(StatementDef* def) {
+    ConsumePunct("@");
+    if (Peek().kind != TokKind::kIdent) return Err("expected annotation name");
+    std::string name = ToLower(Peek().text);
+    Advance();
+    if (name != "trigger") return Err("unknown annotation @" + name);
+    if (!ConsumePunct("(")) return Err("expected '(' after @Trigger");
+    while (true) {
+      if (Peek().kind != TokKind::kIdent) return Err("expected type in @Trigger");
+      def->trigger_types.insert(Peek().text);
+      Advance();
+      if (!ConsumePunct(",")) break;
+    }
+    if (!ConsumePunct(")")) return Err("expected ')' after @Trigger list");
+    return Status::OK();
+  }
+
+  Status ParseSelectList(StatementDef* def) {
+    if (PeekIsOp("*")) {
+      Advance();
+      def->select_all = true;
+      return Status::OK();
+    }
+    while (true) {
+      SelectItem item;
+      INSIGHT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("as")) {
+        if (Peek().kind != TokKind::kIdent) return Err("expected name after AS");
+        item.name = Peek().text;
+        Advance();
+      }
+      def->select.push_back(std::move(item));
+      if (!ConsumePunct(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList(StatementDef* def) {
+    while (true) {
+      StreamSource src;
+      if (Peek().kind != TokKind::kIdent) return Err("expected event type in FROM");
+      src.event_type = Peek().text;
+      Advance();
+      while (PeekIsPunct(".")) {
+        Advance();
+        INSIGHT_ASSIGN_OR_RETURN(ViewSpec view, ParseView());
+        src.views.push_back(view);
+      }
+      if (src.views.empty()) {
+        // A bare stream behaves as keep-all (Esper default retains per the
+        // statement's needs; keep-all is the conservative choice).
+        src.views.push_back(ViewSpec::KeepAll());
+      }
+      if (ConsumeKeyword("as")) {
+        if (Peek().kind != TokKind::kIdent) return Err("expected alias after AS");
+        src.alias = Peek().text;
+        Advance();
+      }
+      def->from.push_back(std::move(src));
+      if (!ConsumePunct(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<ViewSpec> ParseView() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected view namespace");
+    std::string ns = ToLower(Peek().text);
+    Advance();
+    if (!ConsumePunct(":")) return Err("expected ':' in view");
+    if (Peek().kind != TokKind::kIdent) return Err("expected view name");
+    std::string name = ToLower(Peek().text);
+    Advance();
+    if (!ConsumePunct("(")) return Err("expected '(' after view name");
+
+    auto parse_close = [&]() -> Status {
+      if (!ConsumePunct(")")) return Err("expected ')' closing view");
+      return Status::OK();
+    };
+
+    if (ns == "std" && name == "lastevent") {
+      INSIGHT_RETURN_NOT_OK(parse_close());
+      return ViewSpec::LastEvent();
+    }
+    if (ns == "std" && name == "groupwin") {
+      if (Peek().kind != TokKind::kIdent) return Err("expected groupwin field");
+      std::string field = Peek().text;
+      Advance();
+      INSIGHT_RETURN_NOT_OK(parse_close());
+      return ViewSpec::GroupWin(field);
+    }
+    if (ns == "std" && name == "unique") {
+      std::vector<std::string> fields;
+      while (true) {
+        if (Peek().kind != TokKind::kIdent) return Err("expected unique field");
+        fields.push_back(Peek().text);
+        Advance();
+        if (!ConsumePunct(",")) break;
+      }
+      INSIGHT_RETURN_NOT_OK(parse_close());
+      return ViewSpec::Unique(std::move(fields));
+    }
+    if (ns == "win" && name == "keepall") {
+      INSIGHT_RETURN_NOT_OK(parse_close());
+      return ViewSpec::KeepAll();
+    }
+    if (ns == "win" && (name == "length" || name == "length_batch")) {
+      if (Peek().kind != TokKind::kInt) return Err("expected window length");
+      int64_t n = Peek().int_value;
+      Advance();
+      if (n <= 0) return Err("window length must be positive");
+      INSIGHT_RETURN_NOT_OK(parse_close());
+      return name == "length" ? ViewSpec::Length(static_cast<size_t>(n))
+                              : ViewSpec::LengthBatch(static_cast<size_t>(n));
+    }
+    if (ns == "win" && (name == "time" || name == "time_batch")) {
+      if (Peek().kind != TokKind::kInt && Peek().kind != TokKind::kDouble) {
+        return Err("expected window duration");
+      }
+      double amount = Peek().kind == TokKind::kInt
+                          ? static_cast<double>(Peek().int_value)
+                          : Peek().double_value;
+      Advance();
+      double scale = 1000000.0;  // default seconds
+      if (Peek().kind == TokKind::kIdent) {
+        std::string unit = ToLower(Peek().text);
+        if (unit == "sec" || unit == "seconds" || unit == "second") {
+          scale = 1000000.0;
+        } else if (unit == "msec" || unit == "milliseconds") {
+          scale = 1000.0;
+        } else if (unit == "min" || unit == "minutes") {
+          scale = 60000000.0;
+        } else {
+          return Err("unknown time unit '" + unit + "'");
+        }
+        Advance();
+      }
+      INSIGHT_RETURN_NOT_OK(parse_close());
+      auto micros = static_cast<MicrosT>(amount * scale);
+      return name == "time" ? ViewSpec::Time(micros) : ViewSpec::TimeBatch(micros);
+    }
+    return Err("unknown view " + ns + ":" + name);
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (PeekKeyword("or")) {
+      Advance();
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Bin(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("and")) {
+      Advance();
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Bin(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("not")) {
+      Advance();
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    static const std::pair<const char*, BinaryOp> kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& [text, op] : kOps) {
+      if (PeekIsOp(text)) {
+        Advance();
+        INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Bin(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (PeekIsOp("+") || PeekIsOp("-")) {
+      BinaryOp op = PeekIsOp("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Bin(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    INSIGHT_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (PeekIsOp("*") || PeekIsOp("/") || PeekIsOp("%")) {
+      BinaryOp op = PeekIsOp("*")   ? BinaryOp::kMul
+                    : PeekIsOp("/") ? BinaryOp::kDiv
+                                    : BinaryOp::kMod;
+      Advance();
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Bin(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (PeekIsOp("-")) {
+      Advance();
+      INSIGHT_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+    }
+    return ParsePrimary();
+  }
+
+  static bool AggFuncFromName(const std::string& lower, AggFunc* out) {
+    if (lower == "avg") *out = AggFunc::kAvg;
+    else if (lower == "sum") *out = AggFunc::kSum;
+    else if (lower == "count") *out = AggFunc::kCount;
+    else if (lower == "min") *out = AggFunc::kMin;
+    else if (lower == "max") *out = AggFunc::kMax;
+    else if (lower == "stddev" || lower == "stdev") *out = AggFunc::kStddev;
+    else return false;
+    return true;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kInt: {
+        int64_t v = tok.int_value;
+        Advance();
+        return Lit(Value(v));
+      }
+      case TokKind::kDouble: {
+        double v = tok.double_value;
+        Advance();
+        return Lit(Value(v));
+      }
+      case TokKind::kString: {
+        std::string v = tok.text;
+        Advance();
+        return Lit(Value(std::move(v)));
+      }
+      case TokKind::kPunct:
+        if (tok.text == "(") {
+          Advance();
+          INSIGHT_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          if (!ConsumePunct(")")) return Err("expected ')'");
+          return inner;
+        }
+        return Err("unexpected '" + tok.text + "'");
+      case TokKind::kIdent: {
+        std::string lower = ToLower(tok.text);
+        if (lower == "true" || lower == "false") {
+          Advance();
+          return Lit(Value(lower == "true"));
+        }
+        // Function call?
+        AggFunc func;
+        if (Peek(1).kind == TokKind::kPunct && Peek(1).text == "(" &&
+            AggFuncFromName(lower, &func)) {
+          Advance();  // name
+          Advance();  // (
+          if (PeekIsOp("*")) {
+            Advance();
+            if (!ConsumePunct(")")) return Err("expected ')' after count(*)");
+            if (func != AggFunc::kCount) {
+              return Err("only count(*) supports '*'");
+            }
+            return ExprPtr(std::make_unique<AggregateExpr>(func, nullptr));
+          }
+          INSIGHT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          if (!ConsumePunct(")")) return Err("expected ')' closing aggregate");
+          return ExprPtr(std::make_unique<AggregateExpr>(func, std::move(arg)));
+        }
+        // Field ref: ident or ident.ident.
+        std::string first = tok.text;
+        Advance();
+        if (PeekIsPunct(".")) {
+          Advance();
+          if (Peek().kind != TokKind::kIdent) {
+            return Err("expected field name after '.'");
+          }
+          std::string field = Peek().text;
+          Advance();
+          return Field(first, field);
+        }
+        return Field(first);
+      }
+      case TokKind::kOp:
+      case TokKind::kEnd:
+        return Err("unexpected '" + tok.text + "' in expression");
+    }
+    return Err("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementDef> ParseEpl(const std::string& epl) {
+  std::vector<Token> tokens;
+  Lexer lexer(epl);
+  INSIGHT_RETURN_NOT_OK(lexer.Tokenize(&tokens));
+  EplParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace cep
+}  // namespace insight

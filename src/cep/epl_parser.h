@@ -1,0 +1,40 @@
+#ifndef INSIGHT_CEP_EPL_PARSER_H_
+#define INSIGHT_CEP_EPL_PARSER_H_
+
+#include <string>
+
+#include "cep/statement.h"
+#include "common/status.h"
+
+namespace insight {
+namespace cep {
+
+/// Parses the EPL subset used by the system into a StatementDef:
+///
+///   [@Trigger(type[, type...])]
+///   [INSERT INTO type]
+///   SELECT (* | expr [AS name], ...)
+///   FROM type[.view]... [AS alias], ...
+///   [WHERE expr]
+///   [GROUP BY expr, ...]
+///   [HAVING expr]
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+/// Views: std:lastevent(), std:groupwin(field), win:length(n),
+/// win:length_batch(n), win:time(n [sec|msec|min]), win:time_batch(n ...),
+/// win:keepall().
+///
+/// Expressions: and/or/not, comparisons (= != < <= > >=), arithmetic
+/// (+ - * / %), literals (ints, doubles, 'strings', true/false), field refs
+/// (field or alias.field), aggregates avg/sum/count/min/max/stddev.
+///
+/// The optional @Trigger annotation restricts which event types fire join
+/// evaluation (Listing 1's rules trigger on the bus stream only, so threshold
+/// refreshes never fire detections by themselves).
+Result<StatementDef> ParseEpl(const std::string& epl);
+
+}  // namespace cep
+}  // namespace insight
+
+#endif  // INSIGHT_CEP_EPL_PARSER_H_

@@ -1,0 +1,135 @@
+#include "cep/event.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace insight {
+namespace cep {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt;
+  if (std::holds_alternative<double>(data_)) return ValueType::kDouble;
+  if (std::holds_alternative<bool>(data_)) return ValueType::kBool;
+  return ValueType::kString;
+}
+
+double Value::AsDouble() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&data_)) return static_cast<double>(*i);
+  if (const auto* b = std::get_if<bool>(&data_)) return *b ? 1.0 : 0.0;
+  return 0.0;
+}
+
+int64_t Value::AsInt() const {
+  if (const auto* i = std::get_if<int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_)) return static_cast<int64_t>(*d);
+  if (const auto* b = std::get_if<bool>(&data_)) return *b ? 1 : 0;
+  return 0;
+}
+
+bool Value::AsBool() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  if (const auto* i = std::get_if<int64_t>(&data_)) return *i != 0;
+  if (const auto* d = std::get_if<double>(&data_)) return *d != 0.0;
+  return !std::get<std::string>(data_).empty();
+}
+
+const std::string& Value::AsString() const {
+  static const std::string kEmpty;
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  return kEmpty;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return StrFormat("%g", std::get<double>(data_));
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) return AsDouble() == other.AsDouble();
+  if (type() != other.type()) return false;
+  return data_ == other.data_;
+}
+
+bool Value::LessThan(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) return AsDouble() < other.AsDouble();
+  if (type() == ValueType::kString && other.type() == ValueType::kString) {
+    return AsString() < other.AsString();
+  }
+  if (type() == ValueType::kBool && other.type() == ValueType::kBool) {
+    return !AsBool() && other.AsBool();
+  }
+  return false;
+}
+
+EventType::EventType(std::string name, std::vector<Field> fields)
+    : name_(std::move(name)), fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_[fields_[i].name] = static_cast<int>(i);
+  }
+}
+
+int EventType::FieldIndex(const std::string& field_name) const {
+  auto it = index_.find(field_name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Event::Event(EventTypePtr type, std::vector<Value> values, MicrosT timestamp)
+    : type_(std::move(type)), values_(std::move(values)), timestamp_(timestamp) {
+  INSIGHT_CHECK(values_.size() == type_->num_fields())
+      << "event for type " << type_->name() << " has " << values_.size()
+      << " values, schema has " << type_->num_fields();
+}
+
+Result<Value> Event::Get(const std::string& field) const {
+  int idx = type_->FieldIndex(field);
+  if (idx < 0) {
+    return Status::NotFound("event type " + type_->name() + " has no field '" +
+                            field + "'");
+  }
+  return values_[static_cast<size_t>(idx)];
+}
+
+std::string Event::ToString() const {
+  std::string out = type_->name() + "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += type_->fields()[i].name + "=" + values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+EventBuilder& EventBuilder::Set(const std::string& field, Value value) {
+  int idx = type_->FieldIndex(field);
+  INSIGHT_CHECK(idx >= 0) << "unknown field '" << field << "' on type "
+                          << type_->name();
+  values_[static_cast<size_t>(idx)] = std::move(value);
+  return *this;
+}
+
+}  // namespace cep
+}  // namespace insight

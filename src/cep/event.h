@@ -1,0 +1,141 @@
+#ifndef INSIGHT_CEP_EVENT_H_
+#define INSIGHT_CEP_EVENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace insight {
+namespace cep {
+
+/// Field value types supported by event schemas.
+enum class ValueType { kInt, kDouble, kBool, kString };
+
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed field value. Numeric comparisons coerce int to double,
+/// mirroring EPL semantics.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  Value(int64_t v) : data_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}             // NOLINT(runtime/explicit)
+  Value(bool v) : data_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const;
+
+  bool is_numeric() const {
+    return std::holds_alternative<int64_t>(data_) ||
+           std::holds_alternative<double>(data_);
+  }
+
+  /// Numeric coercion; booleans coerce to 0/1; strings are an error caught by
+  /// the expression type-checker, here they yield 0.
+  double AsDouble() const;
+  int64_t AsInt() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  std::string ToString() const;
+
+  /// Equality: numerics compare by value across int/double; other types must
+  /// match exactly.
+  bool Equals(const Value& other) const;
+  /// Ordering for numeric and string values.
+  bool LessThan(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  std::variant<int64_t, double, bool, std::string> data_;
+};
+
+/// An event schema: ordered, named, typed fields. Event types are shared
+/// immutable objects owned by the engine's registry.
+class EventType {
+ public:
+  struct Field {
+    std::string name;
+    ValueType type;
+  };
+
+  EventType(std::string name, std::vector<Field> fields);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Index of a field or -1.
+  int FieldIndex(const std::string& field_name) const;
+  bool HasField(const std::string& field_name) const {
+    return FieldIndex(field_name) >= 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+  std::map<std::string, int> index_;
+};
+
+using EventTypePtr = std::shared_ptr<const EventType>;
+
+/// An immutable event instance. Events are passed by shared_ptr so windows
+/// can retain them without copying payloads.
+class Event {
+ public:
+  Event(EventTypePtr type, std::vector<Value> values, MicrosT timestamp = 0);
+
+  const EventType& type() const { return *type_; }
+  const EventTypePtr& type_ptr() const { return type_; }
+  MicrosT timestamp() const { return timestamp_; }
+
+  const Value& Get(int index) const { return values_[static_cast<size_t>(index)]; }
+  /// Field access by name; NotFound for unknown fields.
+  Result<Value> Get(const std::string& field) const;
+
+  const std::vector<Value>& values() const { return values_; }
+  std::string ToString() const;
+
+ private:
+  EventTypePtr type_;
+  std::vector<Value> values_;
+  MicrosT timestamp_;
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+/// Convenience builder used by tests and the traffic adapters.
+class EventBuilder {
+ public:
+  explicit EventBuilder(EventTypePtr type) : type_(std::move(type)) {
+    values_.resize(type_->num_fields());
+  }
+
+  EventBuilder& Set(const std::string& field, Value value);
+  EventBuilder& SetTimestamp(MicrosT ts) {
+    timestamp_ = ts;
+    return *this;
+  }
+  EventPtr Build() const {
+    return std::make_shared<Event>(type_, values_, timestamp_);
+  }
+
+ private:
+  EventTypePtr type_;
+  std::vector<Value> values_;
+  MicrosT timestamp_ = 0;
+};
+
+}  // namespace cep
+}  // namespace insight
+
+#endif  // INSIGHT_CEP_EVENT_H_

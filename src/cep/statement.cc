@@ -1,0 +1,440 @@
+#include "cep/statement.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace insight {
+namespace cep {
+
+Result<Value> MatchResult::Get(const std::string& column) const {
+  for (const auto& [name, value] : columns) {
+    if (name == column) return value;
+  }
+  return Status::NotFound("match has no column '" + column + "'");
+}
+
+std::string MatchResult::ToString() const {
+  std::string out = statement_name + "{";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].first + "=" + columns[i].second.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<Value> Statement::HashIndex::KeyFor(const Event& e) const {
+  std::vector<Value> key;
+  key.reserve(field_indexes.size());
+  for (int idx : field_indexes) key.push_back(e.Get(idx));
+  return key;
+}
+
+void Statement::HashIndex::Insert(const EventPtr& e) {
+  map[KeyFor(*e)].push_back(e);
+}
+
+void Statement::HashIndex::Remove(const EventPtr& e) {
+  auto it = map.find(KeyFor(*e));
+  if (it == map.end()) return;
+  auto& vec = it->second;
+  for (size_t i = 0; i < vec.size(); ++i) {
+    if (vec[i] == e) {
+      vec.erase(vec.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  if (vec.empty()) map.erase(it);
+}
+
+namespace {
+
+/// Flattens an AND tree into conjuncts.
+void FlattenConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  const auto* bin = dynamic_cast<const BinaryExpr*>(expr);
+  if (bin != nullptr && bin->op() == BinaryOp::kAnd) {
+    FlattenConjuncts(bin->left(), out);
+    FlattenConjuncts(bin->right(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+uint32_t SourceMaskOf(const Expr* expr) {
+  std::vector<const FieldRefExpr*> refs;
+  expr->CollectFieldRefs(&refs);
+  uint32_t mask = 0;
+  for (const auto* ref : refs) mask |= 1u << ref->source_index();
+  return mask;
+}
+
+int HighestSource(uint32_t mask) {
+  int highest = -1;
+  for (int i = 0; i < 32; ++i) {
+    if (mask & (1u << i)) highest = i;
+  }
+  return highest;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Statement>> Statement::Compile(
+    StatementDef def, const std::map<std::string, EventTypePtr>& types) {
+  if (def.from.empty()) {
+    return Status::InvalidArgument("statement requires at least one stream");
+  }
+  if (def.from.size() > 16) {
+    return Status::InvalidArgument("at most 16 streams per statement");
+  }
+  if (!def.select_all && def.select.empty()) {
+    return Status::InvalidArgument("statement requires a SELECT clause");
+  }
+
+  auto stmt = std::unique_ptr<Statement>(new Statement());
+
+  // Resolve sources: schemas + windows.
+  for (StreamSource& src : def.from) {
+    auto type_it = types.find(src.event_type);
+    if (type_it == types.end()) {
+      return Status::NotFound("unknown event type '" + src.event_type + "'");
+    }
+    if (src.alias.empty()) src.alias = src.event_type;
+    if (stmt->schemas_.AliasIndex(src.alias) >= 0) {
+      return Status::AlreadyExists("duplicate stream alias '" + src.alias + "'");
+    }
+    stmt->schemas_.aliases.push_back(src.alias);
+    stmt->schemas_.types.push_back(type_it->second);
+    INSIGHT_ASSIGN_OR_RETURN(auto window,
+                             Window::Create(src.views, type_it->second));
+    stmt->windows_.push_back(std::move(window));
+  }
+  for (const std::string& trigger : def.trigger_types) {
+    if (types.find(trigger) == types.end()) {
+      return Status::NotFound("unknown trigger type '" + trigger + "'");
+    }
+  }
+
+  // Resolve expressions.
+  if (def.where != nullptr) {
+    INSIGHT_RETURN_NOT_OK(def.where->Resolve(stmt->schemas_));
+  }
+  for (auto& g : def.group_by) INSIGHT_RETURN_NOT_OK(g->Resolve(stmt->schemas_));
+  if (def.having != nullptr) {
+    INSIGHT_RETURN_NOT_OK(def.having->Resolve(stmt->schemas_));
+  }
+  for (auto& item : def.select) {
+    INSIGHT_RETURN_NOT_OK(item.expr->Resolve(stmt->schemas_));
+    if (item.name.empty()) item.name = item.expr->ToString();
+  }
+  for (auto& item : def.order_by) {
+    INSIGHT_RETURN_NOT_OK(item.expr->Resolve(stmt->schemas_));
+  }
+
+  // Type check: WHERE/HAVING must be boolean-ish; every expression must be
+  // internally well-typed (no arithmetic or aggregation over strings).
+  if (def.where != nullptr) {
+    INSIGHT_ASSIGN_OR_RETURN(ValueType where_type, def.where->DeduceType());
+    if (where_type == ValueType::kString) {
+      return Status::InvalidArgument("WHERE must be boolean, got string");
+    }
+  }
+  if (def.having != nullptr) {
+    INSIGHT_ASSIGN_OR_RETURN(ValueType having_type, def.having->DeduceType());
+    if (having_type == ValueType::kString) {
+      return Status::InvalidArgument("HAVING must be boolean, got string");
+    }
+  }
+  for (const auto& item : def.select) {
+    INSIGHT_RETURN_NOT_OK(item.expr->DeduceType().status());
+  }
+  for (const auto& g : def.group_by) {
+    INSIGHT_RETURN_NOT_OK(g->DeduceType().status());
+  }
+  for (const auto& item : def.order_by) {
+    INSIGHT_RETURN_NOT_OK(item.expr->DeduceType().status());
+  }
+
+  // Aggregates may appear in HAVING and SELECT (not in WHERE, like SQL).
+  if (def.where != nullptr) {
+    std::vector<AggregateExpr*> where_aggs;
+    def.where->CollectAggregates(&where_aggs);
+    if (!where_aggs.empty()) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+  }
+  if (def.having != nullptr) def.having->CollectAggregates(&stmt->aggregates_);
+  for (auto& item : def.select) item.expr->CollectAggregates(&stmt->aggregates_);
+  for (auto& item : def.order_by) {
+    item.expr->CollectAggregates(&stmt->aggregates_);
+  }
+  for (size_t i = 0; i < stmt->aggregates_.size(); ++i) {
+    stmt->aggregates_[i]->set_agg_id(static_cast<int>(i));
+  }
+
+  // Conjunct decomposition.
+  if (def.where != nullptr) {
+    std::vector<const Expr*> flat;
+    FlattenConjuncts(def.where.get(), &flat);
+    for (const Expr* e : flat) {
+      Conjunct c;
+      c.expr = e;
+      c.source_mask = SourceMaskOf(e);
+      stmt->conjuncts_.push_back(c);
+    }
+  }
+
+  // Join planning: for each source after the first, gather equi-join
+  // conjuncts `this.field = <expr over earlier sources>`.
+  stmt->plans_.resize(def.from.size());
+  stmt->source_indexes_.resize(def.from.size());
+  for (size_t i = 1; i < def.from.size(); ++i) {
+    SourcePlan& plan = stmt->plans_[i];
+    uint32_t earlier_mask = (1u << i) - 1;
+    for (const Conjunct& c : stmt->conjuncts_) {
+      const auto* bin = dynamic_cast<const BinaryExpr*>(c.expr);
+      if (bin == nullptr || bin->op() != BinaryOp::kEq) continue;
+      const auto* lf = dynamic_cast<const FieldRefExpr*>(bin->left());
+      const auto* rf = dynamic_cast<const FieldRefExpr*>(bin->right());
+      const FieldRefExpr* mine = nullptr;
+      const Expr* other = nullptr;
+      if (lf != nullptr && lf->source_index() == static_cast<int>(i)) {
+        mine = lf;
+        other = bin->right();
+      } else if (rf != nullptr && rf->source_index() == static_cast<int>(i)) {
+        mine = rf;
+        other = bin->left();
+      }
+      if (mine == nullptr) continue;
+      uint32_t other_mask = SourceMaskOf(other);
+      if ((other_mask & ~earlier_mask) != 0) continue;  // depends on later source
+      plan.my_fields.push_back(mine->field_index());
+      plan.bound_exprs.push_back(other);
+    }
+    if (plan.my_fields.empty()) continue;
+    Window* window = stmt->windows_[i].get();
+    if (window->grouped()) {
+      for (size_t k = 0; k < plan.my_fields.size(); ++k) {
+        if (plan.my_fields[k] == window->group_field_index()) {
+          plan.use_group_lookup = true;
+          plan.group_expr_pos = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+    if (!plan.use_group_lookup) {
+      // Build a hash index over this source keyed on the equi fields.
+      HashIndex index;
+      index.field_indexes = plan.my_fields;
+      stmt->indexes_.push_back(std::move(index));
+      plan.use_hash_index = true;
+      plan.hash_index_id = static_cast<int>(stmt->indexes_.size() - 1);
+      stmt->source_indexes_[i].push_back(plan.hash_index_id);
+    }
+  }
+
+  stmt->def_ = std::move(def);
+  return stmt;
+}
+
+bool Statement::ConsumesType(const std::string& type_name) const {
+  for (const StreamSource& src : def_.from) {
+    if (src.event_type == type_name) return true;
+  }
+  return false;
+}
+
+size_t Statement::RetainedEvents() const {
+  size_t total = 0;
+  for (const auto& w : windows_) total += w->TotalSize();
+  return total;
+}
+
+size_t Statement::OnEvent(const EventPtr& event) {
+  const std::string& type_name = event->type().name();
+  bool consumed = false;
+  for (size_t i = 0; i < def_.from.size(); ++i) {
+    if (def_.from[i].event_type != type_name) continue;
+    consumed = true;
+    std::vector<EventPtr> expired;
+    windows_[i]->Insert(event, &expired);
+    for (int index_id : source_indexes_[i]) {
+      indexes_[static_cast<size_t>(index_id)].Insert(event);
+      for (const EventPtr& e : expired) {
+        indexes_[static_cast<size_t>(index_id)].Remove(e);
+      }
+    }
+  }
+  if (!consumed) return 0;
+  ++total_events_;
+
+  if (!def_.trigger_types.empty() && def_.trigger_types.count(type_name) == 0) {
+    return 0;
+  }
+
+  std::vector<MatchResult> matches;
+  EvaluateJoin(&matches);
+  total_matches_ += matches.size();
+  for (const MatchResult& m : matches) {
+    for (const Listener& l : listeners_) l(m);
+  }
+  return matches.size();
+}
+
+bool Statement::ConjunctsPass(uint32_t bound_mask, uint32_t newly_bound,
+                              const JoinRow& row) {
+  EvalContext ctx;
+  ctx.row = &row;
+  for (const Conjunct& c : conjuncts_) {
+    // Evaluate a conjunct exactly when its highest source has just bound
+    // (constant conjuncts evaluate with the first source).
+    int last = HighestSource(c.source_mask);
+    uint32_t last_bit = last < 0 ? 1u : (1u << last);
+    if ((last_bit & newly_bound) == 0) continue;
+    if ((c.source_mask & ~bound_mask) != 0) continue;
+    if (!c.expr->Eval(ctx).AsBool()) return false;
+  }
+  return true;
+}
+
+void Statement::JoinRecurse(size_t depth, JoinRow* row, uint32_t bound_mask,
+                            std::vector<JoinRow>* rows) {
+  if (depth == windows_.size()) {
+    rows->push_back(*row);
+    return;
+  }
+  const SourcePlan& plan = plans_[depth];
+  uint32_t new_mask = bound_mask | (1u << depth);
+
+  auto try_candidate = [&](const EventPtr& candidate) {
+    (*row)[depth] = candidate;
+    if (ConjunctsPass(new_mask, 1u << depth, *row)) {
+      JoinRecurse(depth + 1, row, new_mask, rows);
+    }
+    (*row)[depth] = nullptr;
+  };
+
+  Window* window = windows_[depth].get();
+  EvalContext ctx;
+  ctx.row = row;
+
+  if (plan.use_group_lookup) {
+    Value key = plan.bound_exprs[static_cast<size_t>(plan.group_expr_pos)]->Eval(ctx);
+    const std::deque<EventPtr>* group = window->GroupContents(key);
+    if (group == nullptr) return;
+    for (const EventPtr& e : *group) try_candidate(e);
+    return;
+  }
+  if (plan.use_hash_index) {
+    std::vector<Value> key;
+    key.reserve(plan.bound_exprs.size());
+    for (const Expr* e : plan.bound_exprs) key.push_back(e->Eval(ctx));
+    const auto& index = indexes_[static_cast<size_t>(plan.hash_index_id)];
+    auto it = index.map.find(key);
+    if (it == index.map.end()) return;
+    // Copy: try_candidate may not mutate the index, but keep iteration safe.
+    for (const EventPtr& e : it->second) try_candidate(e);
+    return;
+  }
+  window->ForEach(try_candidate);
+}
+
+void Statement::EvaluateJoin(std::vector<MatchResult>* out) {
+  std::vector<JoinRow> rows;
+  JoinRow row(windows_.size());
+  JoinRecurse(0, &row, 0, &rows);
+  if (rows.empty()) return;
+  EmitGroups(rows, out);
+}
+
+void Statement::EmitGroups(const std::vector<JoinRow>& rows,
+                           std::vector<MatchResult>* out) {
+  const bool has_groups = !def_.group_by.empty();
+  const bool has_aggs = !aggregates_.empty();
+
+  // Pending matches of this evaluation; sorted by ORDER BY keys before being
+  // appended to *out.
+  struct Pending {
+    std::vector<Value> sort_keys;
+    MatchResult match;
+  };
+  std::vector<Pending> pending;
+
+  auto emit = [&](const JoinRow& representative,
+                  const std::vector<JoinRow>& group_rows) {
+    std::vector<Value> agg_values;
+    agg_values.reserve(aggregates_.size());
+    for (AggregateExpr* agg : aggregates_) {
+      agg_values.push_back(agg->Compute(group_rows));
+    }
+    EvalContext ctx;
+    ctx.row = &representative;
+    ctx.agg_values = &agg_values;
+    if (def_.having != nullptr && !def_.having->Eval(ctx).AsBool()) return;
+
+    MatchResult match;
+    match.statement_name = def_.name;
+    if (def_.select_all) {
+      for (size_t s = 0; s < schemas_.types.size(); ++s) {
+        const EventPtr& e = representative[s];
+        const EventType& type = *schemas_.types[s];
+        for (size_t f = 0; f < type.num_fields(); ++f) {
+          match.columns.emplace_back(
+              schemas_.aliases[s] + "." + type.fields()[f].name,
+              e->Get(static_cast<int>(f)));
+        }
+      }
+    }
+    for (const SelectItem& item : def_.select) {
+      match.columns.emplace_back(item.name, item.expr->Eval(ctx));
+    }
+    Pending entry;
+    entry.sort_keys.reserve(def_.order_by.size());
+    for (const OrderByItem& item : def_.order_by) {
+      entry.sort_keys.push_back(item.expr->Eval(ctx));
+    }
+    entry.match = std::move(match);
+    pending.push_back(std::move(entry));
+  };
+
+  if (!has_groups && !has_aggs) {
+    for (const JoinRow& r : rows) emit(r, {r});
+  } else if (!has_groups) {
+    emit(rows.back(), rows);
+  } else {
+    std::map<std::vector<Value>, std::vector<JoinRow>, ValueVectorLess> groups;
+    for (const JoinRow& r : rows) {
+      EvalContext ctx;
+      ctx.row = &r;
+      std::vector<Value> key;
+      key.reserve(def_.group_by.size());
+      for (const auto& g : def_.group_by) key.push_back(g->Eval(ctx));
+      groups[std::move(key)].push_back(r);
+    }
+    for (const auto& [key, group_rows] : groups) {
+      emit(group_rows.back(), group_rows);
+    }
+  }
+
+  if (!def_.order_by.empty()) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [this](const Pending& a, const Pending& b) {
+                       ValueLess less;
+                       for (size_t k = 0; k < def_.order_by.size(); ++k) {
+                         const Value& va = a.sort_keys[k];
+                         const Value& vb = b.sort_keys[k];
+                         bool desc = def_.order_by[k].descending;
+                         if (less(va, vb)) return !desc;
+                         if (less(vb, va)) return desc;
+                       }
+                       return false;
+                     });
+  }
+  if (def_.limit > 0 && pending.size() > def_.limit) {
+    pending.resize(def_.limit);
+  }
+  for (Pending& entry : pending) out->push_back(std::move(entry.match));
+}
+
+}  // namespace cep
+}  // namespace insight

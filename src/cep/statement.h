@@ -1,0 +1,160 @@
+#ifndef INSIGHT_CEP_STATEMENT_H_
+#define INSIGHT_CEP_STATEMENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cep/expr.h"
+#include "cep/view.h"
+#include "common/status.h"
+
+namespace insight {
+namespace cep {
+
+/// One FROM item: `<event_type>.<view-chain> as <alias>`.
+struct StreamSource {
+  std::string event_type;
+  std::vector<ViewSpec> views;
+  std::string alias;
+};
+
+/// One projected column. `name` defaults to the expression's text.
+struct SelectItem {
+  ExprPtr expr;
+  std::string name;
+};
+
+/// One ORDER BY key.
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// The parsed/constructed form of an EPL statement, before compilation
+/// against the engine's type registry.
+struct StatementDef {
+  std::string name;
+  /// INSERT INTO target: fired matches are re-injected into the engine as
+  /// events of this registered type ("the triggered events can be pushed
+  /// further into the Esper engine feeding other rules", Section 2.1.2).
+  /// Empty = plain statement.
+  std::string insert_into;
+  bool select_all = false;
+  std::vector<SelectItem> select;
+  std::vector<StreamSource> from;
+  ExprPtr where;               // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;              // may be null
+  /// Matches of one evaluation are sorted by these keys before delivery.
+  std::vector<OrderByItem> order_by;
+  /// Cap on matches delivered per evaluation (after ORDER BY); 0 = no cap.
+  /// `ORDER BY avg(x) DESC LIMIT 3` yields the top-3 groups per event.
+  size_t limit = 0;
+  /// Event types whose arrival triggers join evaluation. Empty = all FROM
+  /// types. The traffic rules set this to the bus stream so threshold
+  /// refreshes do not fire detections by themselves.
+  std::set<std::string> trigger_types;
+};
+
+/// A fired-rule output row delivered to listeners.
+struct MatchResult {
+  std::string statement_name;
+  std::vector<std::pair<std::string, Value>> columns;
+
+  /// First column with the given name; NotFound otherwise.
+  Result<Value> Get(const std::string& column) const;
+  std::string ToString() const;
+};
+
+/// Listener invoked for every group that passes HAVING on an evaluation
+/// (Esper's UpdateListener). Keep these fast: they run on the engine path.
+using Listener = std::function<void(const MatchResult&)>;
+
+/// A compiled, stateful statement. Created via Statement::Compile; owned by
+/// the Engine. Not thread-safe on its own (the Engine serializes access, as
+/// Esper does per-engine).
+class Statement {
+ public:
+  /// Compiles the definition: resolves expressions, builds windows, plans the
+  /// join (group-window lookups and hash indexes for equi-join conjuncts).
+  static Result<std::unique_ptr<Statement>> Compile(
+      StatementDef def, const std::map<std::string, EventTypePtr>& types);
+
+  /// Processes one event: inserts it into every matching source window and,
+  /// if the type triggers this statement, evaluates the join. Matches go to
+  /// the registered listeners. Returns the number of matches emitted.
+  size_t OnEvent(const EventPtr& event);
+
+  void AddListener(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  const std::string& name() const { return def_.name; }
+  const StatementDef& def() const { return def_; }
+  /// Whether this statement consumes the given event type.
+  bool ConsumesType(const std::string& type_name) const;
+
+  /// Cumulative matches emitted.
+  size_t total_matches() const { return total_matches_; }
+  /// Cumulative events consumed (insertions).
+  size_t total_events() const { return total_events_; }
+  /// Sum of retained window sizes; memory-pressure proxy.
+  size_t RetainedEvents() const;
+
+ private:
+  Statement() = default;
+
+  struct HashIndex {
+    std::vector<int> field_indexes;  // fields of this source forming the key
+    std::map<std::vector<Value>, std::vector<EventPtr>, ValueVectorLess> map;
+
+    std::vector<Value> KeyFor(const Event& e) const;
+    void Insert(const EventPtr& e);
+    void Remove(const EventPtr& e);
+  };
+
+  /// Per-source lookup plan for the join cascade.
+  struct SourcePlan {
+    // Equi-join conjuncts usable when all prior sources are bound:
+    // this source's field index i must equal `bound_exprs[i]` evaluated on
+    // the partial row.
+    std::vector<int> my_fields;
+    std::vector<const Expr*> bound_exprs;
+    // Lookup strategy.
+    bool use_group_lookup = false;  // grouped window, group field in my_fields
+    int group_expr_pos = -1;        // position in my_fields of the group field
+    bool use_hash_index = false;
+    int hash_index_id = -1;
+  };
+
+  struct Conjunct {
+    const Expr* expr;
+    uint32_t source_mask;  // sources referenced
+    bool is_equi_used = false;  // consumed by a lookup plan; skip re-eval
+  };
+
+  void EvaluateJoin(std::vector<MatchResult>* out);
+  void JoinRecurse(size_t depth, JoinRow* row, uint32_t bound_mask,
+                   std::vector<JoinRow>* rows);
+  bool ConjunctsPass(uint32_t bound_mask, uint32_t newly_bound, const JoinRow& row);
+  void EmitGroups(const std::vector<JoinRow>& rows, std::vector<MatchResult>* out);
+
+  StatementDef def_;
+  SourceSchemas schemas_;
+  std::vector<std::unique_ptr<Window>> windows_;
+  std::vector<SourcePlan> plans_;
+  std::vector<Conjunct> conjuncts_;
+  std::vector<HashIndex> indexes_;           // global registry
+  std::vector<std::vector<int>> source_indexes_;  // per-source index ids
+  std::vector<AggregateExpr*> aggregates_;
+  std::vector<Listener> listeners_;
+  size_t total_matches_ = 0;
+  size_t total_events_ = 0;
+};
+
+}  // namespace cep
+}  // namespace insight
+
+#endif  // INSIGHT_CEP_STATEMENT_H_

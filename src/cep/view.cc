@@ -1,0 +1,243 @@
+#include "cep/view.h"
+
+#include <functional>
+
+#include "common/strings.h"
+
+namespace insight {
+namespace cep {
+
+std::string ViewSpec::ToString() const {
+  switch (kind) {
+    case ViewKind::kLastEvent:
+      return "std:lastevent()";
+    case ViewKind::kLength:
+      return StrFormat("win:length(%zu)", length);
+    case ViewKind::kLengthBatch:
+      return StrFormat("win:length_batch(%zu)", length);
+    case ViewKind::kTime:
+      return StrFormat("win:time(%lld usec)",
+                       static_cast<long long>(duration_micros));
+    case ViewKind::kTimeBatch:
+      return StrFormat("win:time_batch(%lld usec)",
+                       static_cast<long long>(duration_micros));
+    case ViewKind::kKeepAll:
+      return "win:keepall()";
+    case ViewKind::kGroupWin:
+      return "std:groupwin(" + group_field + ")";
+    case ViewKind::kUnique: {
+      std::string out = "std:unique(";
+      for (size_t i = 0; i < unique_fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += unique_fields[i];
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool ValueLess::operator()(const Value& a, const Value& b) const {
+  if (a.is_numeric() && b.is_numeric()) return a.AsDouble() < b.AsDouble();
+  int ra = static_cast<int>(a.type());
+  int rb = static_cast<int>(b.type());
+  if (ra != rb) return ra < rb;
+  return a.LessThan(b);
+}
+
+bool ValueVectorLess::operator()(const std::vector<Value>& a,
+                                 const std::vector<Value>& b) const {
+  ValueLess less;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (less(a[i], b[i])) return true;
+    if (less(b[i], a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+Result<std::unique_ptr<Window>> Window::Create(const std::vector<ViewSpec>& chain,
+                                               EventTypePtr type) {
+  auto window = std::unique_ptr<Window>(new Window());
+  window->chain_ = chain;
+  bool have_data_view = false;
+  for (const ViewSpec& spec : chain) {
+    if (spec.kind == ViewKind::kGroupWin) {
+      if (window->group_field_index_ >= 0) {
+        return Status::InvalidArgument("at most one std:groupwin per stream");
+      }
+      int idx = type->FieldIndex(spec.group_field);
+      if (idx < 0) {
+        return Status::NotFound("groupwin field '" + spec.group_field +
+                                "' not in type " + type->name());
+      }
+      window->group_field_ = spec.group_field;
+      window->group_field_index_ = idx;
+      continue;
+    }
+    if (have_data_view) {
+      return Status::InvalidArgument(
+          "exactly one data view (length/time/keepall/lastevent) per stream");
+    }
+    if ((spec.kind == ViewKind::kLength || spec.kind == ViewKind::kLengthBatch) &&
+        spec.length == 0) {
+      return Status::InvalidArgument("length window requires size > 0");
+    }
+    if ((spec.kind == ViewKind::kTime || spec.kind == ViewKind::kTimeBatch) &&
+        spec.duration_micros <= 0) {
+      return Status::InvalidArgument("time window requires duration > 0");
+    }
+    if (spec.kind == ViewKind::kUnique) {
+      if (spec.unique_fields.empty()) {
+        return Status::InvalidArgument("std:unique requires key fields");
+      }
+      for (const std::string& field : spec.unique_fields) {
+        int idx = type->FieldIndex(field);
+        if (idx < 0) {
+          return Status::NotFound("unique field '" + field + "' not in type " +
+                                  type->name());
+        }
+        window->unique_field_indexes_.push_back(idx);
+      }
+    }
+    window->data_view_ = spec;
+    have_data_view = true;
+  }
+  if (window->data_view_.kind == ViewKind::kUnique &&
+      window->group_field_index_ >= 0) {
+    return Status::InvalidArgument("std:unique cannot combine with groupwin");
+  }
+  if (!have_data_view) {
+    return Status::InvalidArgument("stream requires a data view");
+  }
+  return window;
+}
+
+void Window::InsertInto(Bucket* bucket, const EventPtr& event,
+                        std::vector<EventPtr>* expired) {
+  switch (data_view_.kind) {
+    case ViewKind::kLastEvent:
+      if (!bucket->events.empty()) {
+        if (expired != nullptr) expired->push_back(bucket->events.front());
+        bucket->events.clear();
+      }
+      bucket->events.push_back(event);
+      break;
+    case ViewKind::kLength:
+      bucket->events.push_back(event);
+      while (bucket->events.size() > data_view_.length) {
+        if (expired != nullptr) expired->push_back(bucket->events.front());
+        bucket->events.pop_front();
+      }
+      break;
+    case ViewKind::kLengthBatch:
+      bucket->events.push_back(event);
+      if (bucket->events.size() >= data_view_.length) {
+        if (expired != nullptr) {
+          expired->insert(expired->end(), bucket->events.begin(),
+                          bucket->events.end());
+        }
+        bucket->events.clear();
+      }
+      break;
+    case ViewKind::kTime:
+      bucket->events.push_back(event);
+      ExpireBucket(bucket, event->timestamp(), expired);
+      break;
+    case ViewKind::kTimeBatch:
+      // Flush when the incoming event is outside the current batch interval.
+      if (!bucket->events.empty() &&
+          event->timestamp() - bucket->events.front()->timestamp() >=
+              data_view_.duration_micros) {
+        if (expired != nullptr) {
+          expired->insert(expired->end(), bucket->events.begin(),
+                          bucket->events.end());
+        }
+        bucket->events.clear();
+      }
+      bucket->events.push_back(event);
+      break;
+    case ViewKind::kKeepAll:
+      bucket->events.push_back(event);
+      break;
+    case ViewKind::kUnique:
+    case ViewKind::kGroupWin:
+      break;  // handled by the caller / Insert
+  }
+}
+
+void Window::ExpireBucket(Bucket* bucket, MicrosT now,
+                          std::vector<EventPtr>* expired) {
+  if (data_view_.kind != ViewKind::kTime) return;
+  while (!bucket->events.empty() &&
+         bucket->events.front()->timestamp() <= now - data_view_.duration_micros) {
+    if (expired != nullptr) expired->push_back(bucket->events.front());
+    bucket->events.pop_front();
+  }
+}
+
+void Window::Insert(const EventPtr& event, std::vector<EventPtr>* expired) {
+  if (data_view_.kind == ViewKind::kUnique) {
+    std::vector<Value> key;
+    key.reserve(unique_field_indexes_.size());
+    for (int idx : unique_field_indexes_) key.push_back(event->Get(idx));
+    auto [it, inserted] = unique_.try_emplace(std::move(key), event);
+    if (!inserted) {
+      if (expired != nullptr) expired->push_back(it->second);
+      it->second = event;
+    }
+    return;
+  }
+  if (grouped()) {
+    const Value& key = event->Get(group_field_index_);
+    InsertInto(&groups_[key], event, expired);
+  } else {
+    InsertInto(&global_, event, expired);
+  }
+}
+
+void Window::AdvanceTime(MicrosT now, std::vector<EventPtr>* expired) {
+  if (grouped()) {
+    for (auto& [key, bucket] : groups_) ExpireBucket(&bucket, now, expired);
+  } else {
+    ExpireBucket(&global_, now, expired);
+  }
+}
+
+const std::deque<EventPtr>& Window::Contents() const { return global_.events; }
+
+const std::deque<EventPtr>* Window::GroupContents(const Value& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second.events;
+}
+
+void Window::ForEach(const std::function<void(const EventPtr&)>& fn) const {
+  if (data_view_.kind == ViewKind::kUnique) {
+    for (const auto& [key, event] : unique_) fn(event);
+    return;
+  }
+  if (grouped()) {
+    for (const auto& [key, bucket] : groups_) {
+      for (const EventPtr& e : bucket.events) fn(e);
+    }
+  } else {
+    for (const EventPtr& e : global_.events) fn(e);
+  }
+}
+
+size_t Window::TotalSize() const {
+  if (data_view_.kind == ViewKind::kUnique) return unique_.size();
+  if (!grouped()) return global_.events.size();
+  size_t total = 0;
+  for (const auto& [key, bucket] : groups_) total += bucket.events.size();
+  return total;
+}
+
+void Window::Clear() {
+  global_.events.clear();
+  groups_.clear();
+  unique_.clear();
+}
+
+}  // namespace cep
+}  // namespace insight

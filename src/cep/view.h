@@ -1,0 +1,140 @@
+#ifndef INSIGHT_CEP_VIEW_H_
+#define INSIGHT_CEP_VIEW_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/event.h"
+#include "common/status.h"
+
+namespace insight {
+namespace cep {
+
+/// The EPL view kinds used by the system. Chains combine `std:groupwin(f)`
+/// with one data window, mirroring Listing 1:
+///   bus.std:lastevent()
+///   bus.std:groupwin(location).win:length(l)
+///   thresholdLocation.win:keepall()
+enum class ViewKind {
+  kLastEvent,    // std:lastevent()
+  kLength,       // win:length(n)
+  kLengthBatch,  // win:length_batch(n)
+  kTime,         // win:time(seconds)
+  kTimeBatch,    // win:time_batch(seconds)
+  kKeepAll,      // win:keepall()
+  kGroupWin,     // std:groupwin(field)
+  kUnique,       // std:unique(f1, f2, ...) — latest event per key
+};
+
+struct ViewSpec {
+  ViewKind kind = ViewKind::kKeepAll;
+  /// kLength / kLengthBatch: window size in events.
+  size_t length = 0;
+  /// kTime / kTimeBatch: window duration.
+  MicrosT duration_micros = 0;
+  /// kGroupWin: grouping field name.
+  std::string group_field;
+  /// kUnique: key field names (the latest event per distinct key is kept —
+  /// this is how dynamically refreshed thresholds replace stale ones).
+  std::vector<std::string> unique_fields;
+
+  static ViewSpec LastEvent() { return {ViewKind::kLastEvent, 0, 0, ""}; }
+  static ViewSpec Length(size_t n) { return {ViewKind::kLength, n, 0, ""}; }
+  static ViewSpec LengthBatch(size_t n) {
+    return {ViewKind::kLengthBatch, n, 0, ""};
+  }
+  static ViewSpec Time(MicrosT micros) { return {ViewKind::kTime, 0, micros, ""}; }
+  static ViewSpec TimeBatch(MicrosT micros) {
+    return {ViewKind::kTimeBatch, 0, micros, ""};
+  }
+  static ViewSpec KeepAll() { return {ViewKind::kKeepAll, 0, 0, ""}; }
+  static ViewSpec GroupWin(std::string field) {
+    ViewSpec spec;
+    spec.kind = ViewKind::kGroupWin;
+    spec.group_field = std::move(field);
+    return spec;
+  }
+  static ViewSpec Unique(std::vector<std::string> fields) {
+    ViewSpec spec;
+    spec.kind = ViewKind::kUnique;
+    spec.unique_fields = std::move(fields);
+    return spec;
+  }
+
+  std::string ToString() const;
+};
+
+/// Ordering for Values usable as map keys: numerics compare by value, other
+/// types by (type rank, content).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const;
+};
+
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const;
+};
+
+/// Materialized window state for one FROM source. Create() validates the
+/// chain (at most one groupwin, exactly one data view).
+class Window {
+ public:
+  static Result<std::unique_ptr<Window>> Create(const std::vector<ViewSpec>& chain,
+                                                EventTypePtr type);
+
+  /// Inserts an event; any events the window expels (length overflow, batch
+  /// flush, time expiry at the event's timestamp) are appended to *expired
+  /// when non-null.
+  void Insert(const EventPtr& event, std::vector<EventPtr>* expired = nullptr);
+
+  /// Expires time-window contents older than `now - duration`.
+  void AdvanceTime(MicrosT now, std::vector<EventPtr>* expired = nullptr);
+
+  bool grouped() const { return group_field_index_ >= 0; }
+  int group_field_index() const { return group_field_index_; }
+  const std::string& group_field() const { return group_field_; }
+
+  /// Contents of an ungrouped window.
+  const std::deque<EventPtr>& Contents() const;
+  /// Contents of one group (nullptr when the key was never seen). Only valid
+  /// for grouped windows.
+  const std::deque<EventPtr>* GroupContents(const Value& key) const;
+
+  /// Invokes fn(event) over every event currently retained.
+  void ForEach(const std::function<void(const EventPtr&)>& fn) const;
+
+  size_t TotalSize() const;
+  /// Removes all contents.
+  void Clear();
+
+  const std::vector<ViewSpec>& chain() const { return chain_; }
+
+ private:
+  Window() = default;
+
+  struct Bucket {
+    std::deque<EventPtr> events;
+  };
+
+  void InsertInto(Bucket* bucket, const EventPtr& event,
+                  std::vector<EventPtr>* expired);
+  void ExpireBucket(Bucket* bucket, MicrosT now, std::vector<EventPtr>* expired);
+
+  std::vector<ViewSpec> chain_;
+  ViewSpec data_view_;
+  std::string group_field_;
+  int group_field_index_ = -1;
+  Bucket global_;
+  std::map<Value, Bucket, ValueLess> groups_;
+  /// kUnique storage: latest event per key.
+  std::vector<int> unique_field_indexes_;
+  std::map<std::vector<Value>, EventPtr, ValueVectorLess> unique_;
+};
+
+}  // namespace cep
+}  // namespace insight
+
+#endif  // INSIGHT_CEP_VIEW_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace insight {
+
+const SystemClock* SystemClock::Get() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace insight

@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+namespace insight {
+
+namespace {
+
+/// Appends a parsed field list from `line` into *fields. Returns false on a
+/// quoting error.
+bool ParseLineInto(const std::string& line, std::vector<std::string>* fields,
+                   std::string* error) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        *error = "quote in the middle of an unquoted field";
+        return false;
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    *error = "unterminated quoted field";
+    return false;
+  }
+  fields->push_back(std::move(field));
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CsvReader::Next(std::vector<std::string>* fields) {
+  if (!status_.ok()) return false;
+  std::string line;
+  if (!std::getline(*in_, line)) return false;
+  ++line_;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::string error;
+  if (!ParseLineInto(line, fields, &error)) {
+    status_ = Status::ParseError("csv line " + std::to_string(line_) + ": " + error);
+    return false;
+  }
+  return true;
+}
+
+void CsvWriter::Write(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f)) {
+      *out_ << '"';
+      for (char c : f) {
+        if (c == '"') *out_ << '"';
+        *out_ << c;
+      }
+      *out_ << '"';
+    } else {
+      *out_ << f;
+    }
+  }
+  *out_ << '\n';
+}
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string error;
+  if (!ParseLineInto(line, &fields, &error)) return Status::ParseError(error);
+  return fields;
+}
+
+}  // namespace insight

@@ -1,0 +1,50 @@
+#ifndef INSIGHT_COMMON_CSV_H_
+#define INSIGHT_COMMON_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace insight {
+
+/// RFC-4180-ish CSV: comma separated, double-quote quoting with "" escapes.
+/// The bus traces the system ingests are stored as CSV files (Section 4.3.2:
+/// "the traces are stored in csv files so we use this spout for reading").
+class CsvReader {
+ public:
+  /// Reads from a caller-owned stream; the stream must outlive the reader.
+  explicit CsvReader(std::istream* in) : in_(in) {}
+
+  /// Reads the next record into *fields. Returns false at end of input.
+  /// Malformed quoting yields a ParseError through `last_status()`.
+  bool Next(std::vector<std::string>* fields);
+
+  const Status& last_status() const { return status_; }
+  size_t line_number() const { return line_; }
+
+ private:
+  std::istream* in_;
+  Status status_;
+  size_t line_ = 0;
+};
+
+/// Writes records with minimal quoting (only when a field contains a comma,
+/// quote, or newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+  void Write(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses one CSV line (no embedded newlines) into fields.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_CSV_H_

@@ -1,0 +1,68 @@
+#ifndef INSIGHT_COMMON_LOGGING_H_
+#define INSIGHT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace insight {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level emitted by INSIGHT_LOG. Default: kWarning so
+/// tests and benches stay quiet; examples raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define INSIGHT_LOG(level)                                              \
+  if (::insight::LogLevel::k##level < ::insight::GetLogLevel()) {      \
+  } else                                                                \
+    ::insight::internal::LogMessage(::insight::LogLevel::k##level,     \
+                                    __FILE__, __LINE__)                 \
+        .stream()
+
+/// Fatal invariant check: logs and aborts. Use for programming errors only;
+/// expected failures go through Status.
+#define INSIGHT_CHECK(cond)                                                 \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::insight::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_LOGGING_H_

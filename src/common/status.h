@@ -1,0 +1,144 @@
+#ifndef INSIGHT_COMMON_STATUS_H_
+#define INSIGHT_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace insight {
+
+/// Error category carried by Status / Result.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kIoError,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight, exception-free error propagation type, in the style used by
+/// RocksDB and Arrow. Functions that can fail in expected ways return Status
+/// (or Result<T> below) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder. Either contains a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; aborts if the status is OK (an OK Result
+  /// must carry a value).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  /// The error, or OK when a value is held.
+  const Status& status() const {
+    static const Status kOk;
+    return value_.has_value() ? kOk : status_;
+  }
+
+  /// Value accessors. Calling these on an error Result is a programming bug;
+  /// behaviour mirrors std::optional (undefined access).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("result has no status");
+};
+
+/// Propagates a non-OK Status from an expression (use inside Status-returning
+/// functions).
+#define INSIGHT_RETURN_NOT_OK(expr)                    \
+  do {                                                 \
+    ::insight::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs` or propagates its error.
+#define INSIGHT_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  auto INSIGHT_CONCAT_(_res, __LINE__) = (rexpr);      \
+  if (!INSIGHT_CONCAT_(_res, __LINE__).ok())           \
+    return INSIGHT_CONCAT_(_res, __LINE__).status();   \
+  lhs = std::move(INSIGHT_CONCAT_(_res, __LINE__)).value()
+
+#define INSIGHT_CONCAT_IMPL_(a, b) a##b
+#define INSIGHT_CONCAT_(a, b) INSIGHT_CONCAT_IMPL_(a, b)
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_STATUS_H_

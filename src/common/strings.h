@@ -1,0 +1,40 @@
+#ifndef INSIGHT_COMMON_STRINGS_H_
+#define INSIGHT_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace insight {
+
+/// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict numeric parsers: the whole (trimmed) string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+Result<long long> ParseInt(std::string_view s);
+Result<bool> ParseBool(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_STRINGS_H_

@@ -1,0 +1,51 @@
+#ifndef INSIGHT_COMMON_THREAD_POOL_H_
+#define INSIGHT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace insight {
+
+/// Fixed-size worker pool used by the MapReduce layer to run map/reduce tasks
+/// in parallel. Tasks are plain std::function<void()>; completion is observed
+/// via Wait() which drains the queue and all in-flight work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  /// Stops accepting work and joins all threads. Idempotent; also called by
+  /// the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,233 @@
+#include "common/xml.h"
+
+#include "common/strings.h"
+
+namespace insight {
+
+const XmlNode* XmlNode::FirstChild(const std::string& child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(const std::string& child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::Attr(const std::string& key, const std::string& fallback) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? fallback : it->second;
+}
+
+bool XmlNode::HasAttr(const std::string& key) const {
+  return attributes.count(key) > 0;
+}
+
+std::string XmlNode::ChildText(const std::string& child_name,
+                               const std::string& fallback) const {
+  const XmlNode* c = FirstChild(child_name);
+  return c == nullptr ? fallback : c->text;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : in_(input) {}
+
+  Result<std::unique_ptr<XmlNode>> Parse() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (pos_ != in_.size()) {
+      return Err("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++line;
+    }
+    return Status::ParseError("xml line " + std::to_string(line) + ": " + msg);
+  }
+
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool LookingAt(const char* s) const {
+    size_t n = 0;
+    while (s[n]) ++n;
+    return in_.compare(pos_, n, s) == 0;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool SkipComment() {
+    if (!LookingAt("<!--")) return false;
+    size_t end = in_.find("-->", pos_ + 4);
+    pos_ = end == std::string::npos ? in_.size() : end + 3;
+    return true;
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (LookingAt("<?xml")) {
+      size_t end = in_.find("?>", pos_);
+      pos_ = end == std::string::npos ? in_.size() : end + 2;
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (!SkipComment()) break;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' || c == ':';
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    return in_.substr(start, pos_ - start);
+  }
+
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] == '&') {
+        if (raw.compare(i, 4, "&lt;") == 0) {
+          out.push_back('<');
+          i += 4;
+          continue;
+        }
+        if (raw.compare(i, 4, "&gt;") == 0) {
+          out.push_back('>');
+          i += 4;
+          continue;
+        }
+        if (raw.compare(i, 5, "&amp;") == 0) {
+          out.push_back('&');
+          i += 5;
+          continue;
+        }
+        if (raw.compare(i, 6, "&quot;") == 0) {
+          out.push_back('"');
+          i += 6;
+          continue;
+        }
+        if (raw.compare(i, 6, "&apos;") == 0) {
+          out.push_back('\'');
+          i += 6;
+          continue;
+        }
+      }
+      out.push_back(raw[i]);
+      ++i;
+    }
+    return out;
+  }
+
+  Status ParseAttributes(XmlNode* node) {
+    while (true) {
+      SkipWhitespace();
+      if (Eof()) return Err("unexpected end inside tag");
+      if (Peek() == '>' || Peek() == '/' || Peek() == '?') return Status::OK();
+      std::string key = ParseName();
+      if (key.empty()) return Err("expected attribute name");
+      SkipWhitespace();
+      if (Eof() || Peek() != '=') return Err("expected '=' after attribute name");
+      ++pos_;
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Err("unterminated attribute value");
+      node->attributes[key] = DecodeEntities(in_.substr(start, pos_ - start));
+      ++pos_;
+    }
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (Eof() || Peek() != '<') return Err("expected '<'");
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    node->name = ParseName();
+    if (node->name.empty()) return Err("expected element name");
+    INSIGHT_RETURN_NOT_OK(ParseAttributes(node.get()));
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return node;
+    }
+    if (Eof() || Peek() != '>') return Err("expected '>'");
+    ++pos_;
+    std::string text;
+    while (true) {
+      if (Eof()) return Err("unterminated element <" + node->name + ">");
+      if (LookingAt("<![CDATA[")) {
+        size_t end = in_.find("]]>", pos_ + 9);
+        if (end == std::string::npos) return Err("unterminated CDATA");
+        text += in_.substr(pos_ + 9, end - (pos_ + 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (SkipComment()) continue;
+      if (LookingAt("</")) {
+        pos_ += 2;
+        std::string close = ParseName();
+        if (close != node->name) {
+          return Err("mismatched close tag </" + close + "> for <" + node->name +
+                     ">");
+        }
+        SkipWhitespace();
+        if (Eof() || Peek() != '>') return Err("expected '>' in close tag");
+        ++pos_;
+        node->text = std::string(Trim(text));
+        return node;
+      }
+      if (Peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        node->children.push_back(std::move(child).value());
+        continue;
+      }
+      size_t start = pos_;
+      while (!Eof() && Peek() != '<') ++pos_;
+      text += DecodeEntities(in_.substr(start, pos_ - start));
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<XmlNode>> ParseXml(const std::string& input) {
+  return Parser(input).Parse();
+}
+
+}  // namespace insight

@@ -1,0 +1,45 @@
+#ifndef INSIGHT_COMMON_XML_H_
+#define INSIGHT_COMMON_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace insight {
+
+/// A node in a parsed XML document. The topology description files users
+/// submit (Section 3.2: "Users in our framework complete an XML file that
+/// includes the description of the submitted topology along with the Esper
+/// rules") are parsed with this minimal, dependency-free parser.
+///
+/// Supported subset: elements, attributes (single or double quoted), text
+/// content, comments, XML declaration, CDATA. Not supported: DTDs, processing
+/// instructions, namespaces-aware resolution (prefixes are kept verbatim).
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  /// Concatenated text content directly inside this element (trimmed).
+  std::string text;
+
+  /// First child with the given element name, or nullptr.
+  const XmlNode* FirstChild(const std::string& child_name) const;
+  /// All children with the given element name.
+  std::vector<const XmlNode*> Children(const std::string& child_name) const;
+  /// Attribute value, or `fallback` when absent.
+  std::string Attr(const std::string& key, const std::string& fallback = "") const;
+  bool HasAttr(const std::string& key) const;
+  /// Text of the first child with that name, or `fallback`.
+  std::string ChildText(const std::string& child_name,
+                        const std::string& fallback = "") const;
+};
+
+/// Parses an XML document; returns the root element.
+Result<std::unique_ptr<XmlNode>> ParseXml(const std::string& input);
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_XML_H_

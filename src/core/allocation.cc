@@ -1,0 +1,111 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace insight {
+namespace core {
+
+double RulesAllocator::GroupingEngineLatency(const RuleGrouping& grouping) const {
+  std::vector<model::RuleCharacteristics> characteristics;
+  characteristics.reserve(grouping.rules.size());
+  for (const RuleTemplate& rule : grouping.rules) {
+    characteristics.push_back(rule.Characteristics(grouping.thresholds_per_rule));
+  }
+  return model_->EngineLatency(characteristics);
+}
+
+double RulesAllocator::GroupingScore(const RuleGrouping& grouping,
+                                     int engines) const {
+  if (engines <= 0) return 0.0;
+  double latency = GroupingEngineLatency(grouping);
+  // Equation 1: time(i,j) = inputRate x latency; Algorithm 1 balances the
+  // rate across the grouping's engines, so each handles rate/k.
+  double per_engine_rate = grouping.input_rate / static_cast<double>(engines);
+  double time = per_engine_rate * latency;
+  double weight_sum = 0.0;
+  for (const RuleTemplate& rule : grouping.rules) weight_sum += rule.weight;
+  if (weight_sum == 0.0) weight_sum = 1.0;
+  // Equation 2: weighted per-engine busy time (residual load).
+  return weight_sum * time;
+}
+
+Result<AllocationResult> RulesAllocator::Allocate(
+    const std::vector<RuleGrouping>& groupings, int num_engines) const {
+  if (groupings.empty()) {
+    return Status::InvalidArgument("at least one grouping required");
+  }
+  if (num_engines < static_cast<int>(groupings.size())) {
+    return Status::InvalidArgument(
+        "need at least one engine per grouping (" +
+        std::to_string(groupings.size()) + " groupings, " +
+        std::to_string(num_engines) + " engines)");
+  }
+  AllocationResult result;
+  result.engines_per_grouping.assign(groupings.size(), 1);
+  result.scores.resize(groupings.size());
+  for (size_t i = 0; i < groupings.size(); ++i) {
+    result.scores[i] = GroupingScore(groupings[i], 1);
+  }
+  // N' = N - |groupings| extra engines, granted greedily to the grouping
+  // with the highest score after the grant (Algorithm 2 keeps the new score
+  // estimation for the chosen grouping).
+  int extra = num_engines - static_cast<int>(groupings.size());
+  for (int j = 0; j < extra; ++j) {
+    double max_score = -1.0;
+    size_t chosen = 0;
+    for (size_t i = 0; i < groupings.size(); ++i) {
+      double estimated =
+          GroupingScore(groupings[i], result.engines_per_grouping[i] + 1);
+      if (estimated > max_score) {
+        max_score = estimated;
+        chosen = i;
+      }
+    }
+    result.scores[chosen] = max_score;
+    ++result.engines_per_grouping[chosen];
+  }
+  result.total_score = 0.0;
+  for (double s : result.scores) result.total_score += s;
+  return result;
+}
+
+AllocationResult RoundRobinAllocate(const std::vector<RuleGrouping>& groupings,
+                                    int num_engines) {
+  AllocationResult result;
+  result.engines_per_grouping.assign(groupings.size(), 0);
+  for (int e = 0; e < num_engines; ++e) {
+    ++result.engines_per_grouping[static_cast<size_t>(e) % groupings.size()];
+  }
+  result.scores.assign(groupings.size(), 0.0);
+  return result;
+}
+
+std::vector<RuleGrouping> GroupRulesByLocation(
+    const std::vector<RuleTemplate>& rules, double input_rate,
+    size_t thresholds_per_rule) {
+  // Bus-stop rules form one family; quadtree rules (any layer, including
+  // leaves) form another, partitioned at the coarsest layer present.
+  RuleGrouping stops;
+  stops.name = "bus_stops";
+  RuleGrouping areas;
+  areas.name = "quadtree";
+  for (const RuleTemplate& rule : rules) {
+    if (rule.location_field == "bus_stop") {
+      stops.rules.push_back(rule);
+    } else {
+      areas.rules.push_back(rule);
+    }
+  }
+  std::vector<RuleGrouping> out;
+  for (RuleGrouping* g : {&areas, &stops}) {
+    if (g->rules.empty()) continue;
+    g->input_rate = input_rate;
+    g->thresholds_per_rule = thresholds_per_rule;
+    out.push_back(std::move(*g));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace insight

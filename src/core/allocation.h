@@ -1,0 +1,87 @@
+#ifndef INSIGHT_CORE_ALLOCATION_H_
+#define INSIGHT_CORE_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rule_template.h"
+#include "model/latency_model.h"
+
+namespace insight {
+namespace core {
+
+/// A grouping of rules partitioned together (Section 4.2.2): rules of one or
+/// more quadtree layers (or the bus stops) whose spatial locations are
+/// partitioned at the grouping's coarsest layer, so tuples reach exactly one
+/// engine of the grouping and no re-transmission between layers is needed.
+struct RuleGrouping {
+  std::string name;
+  std::vector<RuleTemplate> rules;
+  /// Total tuple rate feeding this grouping (tuples/second).
+  double input_rate = 0.0;
+  /// Threshold rows each rule joins with inside one engine.
+  size_t thresholds_per_rule = 0;
+};
+
+/// Result of Algorithm 2: engines granted to each grouping.
+struct AllocationResult {
+  std::vector<int> engines_per_grouping;
+  /// Final score per grouping (Equation 2).
+  std::vector<double> scores;
+  double total_score = 0.0;
+};
+
+/// Algorithm 2 (Rules Allocation): greedily grants engines to groupings.
+/// Every grouping starts with one engine; each remaining engine goes to the
+/// grouping whose score improves the most.
+///
+/// Scoring follows Equations 1-2 literally: an engine that receives a
+/// grouping's partition is busy time(i,j) = inputRate_i x latency_j per
+/// second of input, where latency_j comes from the estimation model
+/// (Function 1 per rule, Function 2 chained). With k engines the partitioner
+/// splits the rate evenly (Algorithm 1 balances aggregated input rates), so
+/// the per-engine busy time is (rate/k) x latency and
+///     score_i = sum_rules w_r x time_i(k)
+/// — the grouping's weighted residual load. Each extra engine goes to the
+/// grouping whose estimated score at k+1 engines is highest, i.e. the
+/// current bottleneck; this minimizes the cluster's makespan and therefore
+/// maximizes the achievable throughput, which is what the paper's greedy is
+/// after.
+class RulesAllocator {
+ public:
+  explicit RulesAllocator(const model::LatencyModel* model) : model_(model) {}
+
+  Result<AllocationResult> Allocate(const std::vector<RuleGrouping>& groupings,
+                                    int num_engines) const;
+
+  /// Score of one grouping when granted `engines` engines (Equation 2).
+  double GroupingScore(const RuleGrouping& grouping, int engines) const;
+
+  /// Estimated per-tuple engine latency for a grouping's rule set (used as
+  /// the DES service time too).
+  double GroupingEngineLatency(const RuleGrouping& grouping) const;
+
+ private:
+  const model::LatencyModel* model_;
+};
+
+/// The round-robin baseline of Section 5.4: layer-groupings are given
+/// engines in round-robin order regardless of their load.
+AllocationResult RoundRobinAllocate(const std::vector<RuleGrouping>& groupings,
+                                    int num_engines);
+
+/// Builds groupings from rules: rules sharing a location field family are
+/// groupable; this helper implements the paper's strategy of merging all
+/// quadtree layers into one grouping (partitioned at the coarsest layer)
+/// and, when enough engines exist, splitting bus stops into their own
+/// grouping. `rate_per_grouping` is the full stream rate (every tuple has
+/// every location annotation, so each grouping sees the whole stream).
+std::vector<RuleGrouping> GroupRulesByLocation(
+    const std::vector<RuleTemplate>& rules, double input_rate,
+    size_t thresholds_per_rule);
+
+}  // namespace core
+}  // namespace insight
+
+#endif  // INSIGHT_CORE_ALLOCATION_H_

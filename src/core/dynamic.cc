@@ -1,0 +1,87 @@
+#include "core/dynamic.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "core/retrieval.h"
+
+namespace insight {
+namespace core {
+
+std::map<std::string, int> DynamicRuleManager::AttributeColumns(
+    bool stop_suffix) {
+  const char* suffix = stop_suffix ? "_stop" : "";
+  using T = traffic::TraceCsv;
+  return {
+      {std::string(traffic::kAttrDelay) + suffix, T::kDelay},
+      {std::string(traffic::kAttrActualDelay) + suffix, T::kActualDelay},
+      {std::string(traffic::kAttrSpeed) + suffix, T::kSpeed},
+      {std::string(traffic::kAttrCongestion) + suffix, T::kCongestion},
+  };
+}
+
+Status DynamicRuleManager::AppendHistory(
+    const std::vector<traffic::BusTrace>& traces) {
+  std::ostringstream buffer;
+  CsvWriter writer(&buffer);
+  for (const traffic::BusTrace& trace : traces) {
+    writer.Write(trace.ToCsvRow());
+  }
+  return fs_->Append(config_.history_path, buffer.str());
+}
+
+Result<size_t> DynamicRuleManager::RunBatchCycle() {
+  using T = traffic::TraceCsv;
+
+  batch::StatisticsJobConfig area_job;
+  area_job.input_paths = {config_.history_path};
+  area_job.output_dir = config_.area_output_dir;
+  area_job.location_col = T::kAreaLeaf;
+  area_job.hour_col = T::kHour;
+  area_job.date_type_col = T::kDateType;
+  area_job.attribute_cols = AttributeColumns(/*stop_suffix=*/false);
+  area_job.num_reducers = config_.num_reducers;
+  area_job.parallelism = config_.parallelism;
+  INSIGHT_RETURN_NOT_OK(batch::RunStatisticsJob(fs_, area_job).status());
+
+  batch::StatisticsJobConfig stop_job = area_job;
+  stop_job.output_dir = config_.stop_output_dir;
+  stop_job.location_col = T::kBusStop;
+  stop_job.attribute_cols = AttributeColumns(/*stop_suffix=*/true);
+  INSIGHT_RETURN_NOT_OK(batch::RunStatisticsJob(fs_, stop_job).status());
+
+  INSIGHT_ASSIGN_OR_RETURN(
+      size_t area_rows,
+      batch::LoadStatisticsIntoStore(*fs_, config_.area_output_dir, store_));
+  INSIGHT_ASSIGN_OR_RETURN(
+      size_t stop_rows,
+      batch::LoadStatisticsIntoStore(*fs_, config_.stop_output_dir, store_));
+  ++cycles_;
+  return area_rows + stop_rows;
+}
+
+Result<size_t> DynamicRuleManager::RefreshEngine(
+    cep::Engine* engine, const std::vector<RuleTemplate>& rules) const {
+  // Below-rules (speed) alert under mean - s*stdev, so their s is negated.
+  std::map<std::string, double> keys;
+  for (const RuleTemplate& rule : rules) {
+    for (const RuleAttribute& attr : rule.attributes) {
+      keys[rule.AttributeKey(attr.name)] = attr.below ? -config_.s : config_.s;
+    }
+  }
+  size_t sent = 0;
+  for (const auto& [key, signed_s] : keys) {
+    INSIGHT_ASSIGN_OR_RETURN(auto thresholds,
+                             storage::QueryThresholds(*store_, key, signed_s));
+    for (const storage::ThresholdRow& row : thresholds) {
+      INSIGHT_RETURN_NOT_OK(SendThresholdEvent(engine, key, row));
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+}  // namespace core
+}  // namespace insight

@@ -1,0 +1,123 @@
+#include "core/partitioning.h"
+
+#include <algorithm>
+
+namespace insight {
+namespace core {
+
+Result<std::map<int64_t, int>> PartitionRegions(std::vector<RegionRate> rates,
+                                                int num_engines) {
+  if (num_engines <= 0) {
+    return Status::InvalidArgument("num_engines must be positive");
+  }
+  for (const RegionRate& r : rates) {
+    if (r.rate < 0) {
+      return Status::InvalidArgument("negative rate for region " +
+                                     std::to_string(r.region));
+    }
+  }
+  // "Sort Region_Rates in descending order".
+  std::stable_sort(rates.begin(), rates.end(),
+                   [](const RegionRate& a, const RegionRate& b) {
+                     return a.rate > b.rate;
+                   });
+  std::vector<double> engine_rate(static_cast<size_t>(num_engines), 0.0);
+  std::map<int64_t, int> assignment;
+  for (const RegionRate& region : rates) {
+    // "for all engine_i in Engines: find the less loaded".
+    int less_loaded = 0;
+    for (int e = 1; e < num_engines; ++e) {
+      if (engine_rate[static_cast<size_t>(e)] <
+          engine_rate[static_cast<size_t>(less_loaded)]) {
+        less_loaded = e;
+      }
+    }
+    assignment[region.region] = less_loaded;
+    engine_rate[static_cast<size_t>(less_loaded)] += region.rate;
+  }
+  return assignment;
+}
+
+std::vector<double> EngineRates(const std::map<int64_t, int>& assignment,
+                                const std::vector<RegionRate>& rates) {
+  int max_engine = -1;
+  for (const auto& [region, engine] : assignment) {
+    max_engine = std::max(max_engine, engine);
+  }
+  std::vector<double> out(static_cast<size_t>(max_engine + 1), 0.0);
+  for (const RegionRate& r : rates) {
+    auto it = assignment.find(r.region);
+    if (it != assignment.end()) out[static_cast<size_t>(it->second)] += r.rate;
+  }
+  return out;
+}
+
+void RegionRateTracker::Seed(const std::vector<RegionRate>& rates) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RegionRate& r : rates) seeded_[r.region] = r.rate;
+}
+
+void RegionRateTracker::Observe(int64_t region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++observed_[region];
+  ++observed_total_;
+}
+
+uint64_t RegionRateTracker::observed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observed_total_;
+}
+
+std::vector<RegionRate> RegionRateTracker::Estimates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Blend: with few observations trust the seed; as observations accumulate
+  // they dominate (simple additive smoothing).
+  std::map<int64_t, RegionRate> merged;
+  for (const auto& [region, rate] : seeded_) {
+    merged[region] = {region, rate};
+  }
+  if (observed_total_ > 0) {
+    double scale =
+        std::min(1.0, static_cast<double>(observed_total_) / 1000.0);
+    for (const auto& [region, count] : observed_) {
+      double observed_rate = static_cast<double>(count);
+      RegionRate& entry = merged[region];
+      entry.region = region;
+      entry.rate = (1.0 - scale) * entry.rate + scale * observed_rate;
+    }
+  }
+  std::vector<RegionRate> out;
+  out.reserve(merged.size());
+  for (const auto& [region, rate] : merged) out.push_back(rate);
+  return out;
+}
+
+void SpatialRouter::Route(const dsps::Tuple& tuple,
+                          std::vector<int>* tasks) const {
+  tasks->clear();
+  for (const GroupingRoute& route : routes_) {
+    auto region = tuple.GetByField(route.location_field);
+    if (!region.ok()) continue;
+    int64_t region_id = region->AsInt();
+    auto it = route.region_to_engine.find(region_id);
+    if (it != route.region_to_engine.end()) {
+      tasks->push_back(it->second);
+    } else if (!route.fallback_engines.empty()) {
+      size_t pick = static_cast<size_t>(region_id < 0 ? -region_id : region_id) %
+                    route.fallback_engines.size();
+      tasks->push_back(route.fallback_engines[pick]);
+    }
+  }
+  std::sort(tasks->begin(), tasks->end());
+  tasks->erase(std::unique(tasks->begin(), tasks->end()), tasks->end());
+}
+
+std::function<void(const dsps::Tuple&, std::vector<int>*)>
+SpatialRouter::AsFunction() const {
+  return [this](const dsps::Tuple& tuple, std::vector<int>* tasks) {
+    Route(tuple, tasks);
+  };
+}
+
+}  // namespace core
+}  // namespace insight

@@ -1,0 +1,92 @@
+#ifndef INSIGHT_CORE_PARTITIONING_H_
+#define INSIGHT_CORE_PARTITIONING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsps/tuple.h"
+
+namespace insight {
+namespace core {
+
+/// Expected input rate of one spatial location ("the amount of bus traces
+/// expected to be processed by the engine in that location", Section 4.2.1).
+/// Rates come from historical data and are incrementally updated at runtime.
+struct RegionRate {
+  int64_t region = 0;
+  double rate = 0.0;
+};
+
+/// Algorithm 1 (Rule's Partitioning): assigns a rule's spatial locations to
+/// engines so that every engine receives approximately the same aggregated
+/// input rate — sort regions by descending rate, then repeatedly give the
+/// next region to the least-loaded engine (LPT greedy).
+/// Returns region -> engine index in [0, num_engines).
+Result<std::map<int64_t, int>> PartitionRegions(std::vector<RegionRate> rates,
+                                                int num_engines);
+
+/// Aggregate rate per engine under an assignment (for balance checks).
+std::vector<double> EngineRates(const std::map<int64_t, int>& assignment,
+                                const std::vector<RegionRate>& rates);
+
+/// Tracks observed per-region input rates so the partitioner can start from
+/// historical knowledge and be refreshed as the application runs
+/// ("incrementally update them while the application runs"). Thread-safe:
+/// splitter tasks observe concurrently while the optimizer reads estimates.
+class RegionRateTracker {
+ public:
+  /// Seeds historical rates.
+  void Seed(const std::vector<RegionRate>& rates);
+  /// Records one observed tuple for the region.
+  void Observe(int64_t region);
+  /// Current estimates: seeded rate blended with observed counts.
+  std::vector<RegionRate> Estimates() const;
+  uint64_t observed_total() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int64_t, double> seeded_;
+  std::map<int64_t, uint64_t> observed_;
+  uint64_t observed_total_ = 0;
+};
+
+/// The Splitter bolt's routing schema: one entry per grouping of rules, each
+/// partitioned at its own location field. A tuple goes to the engine owning
+/// its region in every grouping (duplicates removed), so rules grouped
+/// together never cause re-transmissions (Section 4.2.2).
+class SpatialRouter {
+ public:
+  struct GroupingRoute {
+    /// Tuple field carrying the region id for this grouping ("bus_stop",
+    /// "area_leaf", "area_layer<k>").
+    std::string location_field;
+    std::map<int64_t, int> region_to_engine;
+    /// Engines usable for regions missing from the map (first-seen regions
+    /// are routed by modulo so nothing is dropped).
+    std::vector<int> fallback_engines;
+  };
+
+  explicit SpatialRouter(std::vector<GroupingRoute> routes)
+      : routes_(std::move(routes)) {}
+
+  /// Target engine-task list for a tuple (deduplicated, sorted).
+  void Route(const dsps::Tuple& tuple, std::vector<int>* tasks) const;
+
+  /// Adapter for traffic::SplitterBolt.
+  std::function<void(const dsps::Tuple&, std::vector<int>*)> AsFunction() const;
+
+  const std::vector<GroupingRoute>& routes() const { return routes_; }
+
+ private:
+  std::vector<GroupingRoute> routes_;
+};
+
+}  // namespace core
+}  // namespace insight
+
+#endif  // INSIGHT_CORE_PARTITIONING_H_

@@ -1,0 +1,79 @@
+#ifndef INSIGHT_CORE_RULE_TEMPLATE_H_
+#define INSIGHT_CORE_RULE_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/latency_model.h"
+
+namespace insight {
+namespace core {
+
+/// One monitored attribute inside a rule. `below` flips the comparison: an
+/// anomaly in speed is a windowed average *below* its threshold
+/// (mean - s*stdev), while delay anomalies exceed mean + s*stdev.
+struct RuleAttribute {
+  std::string name;  // "delay", "actual_delay", "speed", "congestion"
+  bool below = false;
+};
+
+/// The generic rule template of Section 3.3 / Listing 1, parameterized per
+/// Table 6 by: bus data attribute(s), spatial location and window length.
+/// ToEpl() instantiates the EPL that runs on the engines:
+///
+///   @Trigger(bus)
+///   SELECT bd.<loc> AS location, avg(bd2.<attr>) AS value, ...
+///   FROM bus.std:lastevent() as bd,
+///        bus.std:groupwin(<loc>).win:length(<l>) as bd2,
+///        threshold_<attr>.win:keepall() as thr_<attr>
+///   WHERE bd.hour = thr.hour and bd.date_type = thr.day and
+///         bd.<loc> = thr.location and bd.<loc> = bd2.<loc>
+///   GROUP BY bd2.<loc>
+///   HAVING avg(bd2.<attr>) > avg(thr.value)       [">" becomes "<" if below]
+struct RuleTemplate {
+  std::string name;
+  /// One or more attributes; multiple attributes AND their conditions
+  /// (Table 6's "Delay and Congestion" / "All").
+  std::vector<RuleAttribute> attributes;
+  /// Tuple field carrying the rule's spatial location: "bus_stop",
+  /// "area_leaf" or "area_layer<k>".
+  std::string location_field = "area_leaf";
+  /// Stream window length l (Table 6: 1, 10, 100, 1000).
+  size_t window_length = 100;
+  /// Rule weight w_i in the allocation score (Equation 2).
+  double weight = 1.0;
+  /// Quadtree layer of location_field; -1 for bus stops. The allocator
+  /// partitions groupings at the highest (coarsest) layer they contain.
+  int quadtree_layer = -1;
+
+  /// EPL per Listing 1. `static_threshold` >= 0 replaces the threshold
+  /// stream join with a literal (the "Optimal" baseline of Figure 10).
+  Result<std::string> ToEpl(double static_threshold = -1.0) const;
+
+  /// Statistics/threshold namespace of this rule's attributes: bus-stop
+  /// rules read `<attr>_stop` tables/streams so stop ids never collide with
+  /// quadtree region ids.
+  std::string AttributeKey(const std::string& attribute) const {
+    return location_field == "bus_stop" ? attribute + "_stop" : attribute;
+  }
+
+  /// Characteristics for the latency estimation model; `num_thresholds` is
+  /// the number of threshold rows the rule joins with in its engine.
+  model::RuleCharacteristics Characteristics(size_t num_thresholds) const;
+};
+
+/// The Table 6 parameter grid: attribute in {Delay, ActualDelay, Speed,
+/// Delay+Congestion, All} x location in {bus stops, quadtree leaves} with the
+/// given window length. Produces the 10-rule workloads of Sections 5.3/5.5.
+std::vector<RuleTemplate> Table6Rules(size_t window_length);
+
+/// Convenience single-attribute rule.
+RuleTemplate MakeRule(const std::string& name, const std::string& attribute,
+                      const std::string& location_field, size_t window_length,
+                      int quadtree_layer = -1);
+
+}  // namespace core
+}  // namespace insight
+
+#endif  // INSIGHT_CORE_RULE_TEMPLATE_H_

@@ -1,0 +1,82 @@
+#include "core/sequence.h"
+
+#include <algorithm>
+
+namespace insight {
+namespace core {
+
+ConsecutiveStopsDetector::ConsecutiveStopsDetector(const Options& options)
+    : options_(options) {
+  if (options_.k < 2) options_.k = 2;
+}
+
+Status ConsecutiveStopsDetector::RegisterLine(int line_id, bool direction,
+                                              std::vector<int64_t> ordered_stops) {
+  if (static_cast<int>(ordered_stops.size()) < options_.k) {
+    return Status::InvalidArgument(
+        "line needs at least k=" + std::to_string(options_.k) + " stops");
+  }
+  LineState state;
+  for (size_t i = 0; i < ordered_stops.size(); ++i) {
+    state.stop_positions[ordered_stops[i]] = i;
+  }
+  if (state.stop_positions.size() != ordered_stops.size()) {
+    return Status::InvalidArgument("duplicate stop id in route");
+  }
+  state.stops = std::move(ordered_stops);
+  lines_[{line_id, direction}] = std::move(state);
+  return Status::OK();
+}
+
+std::optional<ConsecutiveStopsDetector::Match>
+ConsecutiveStopsDetector::Observe(int line_id, bool direction, int64_t stop_id,
+                                  MicrosT timestamp) {
+  auto line_it = lines_.find({line_id, direction});
+  if (line_it == lines_.end()) return std::nullopt;
+  LineState& line = line_it->second;
+  auto pos_it = line.stop_positions.find(stop_id);
+  if (pos_it == line.stop_positions.end()) return std::nullopt;
+  size_t position = pos_it->second;
+
+  MicrosT& slot = line.last_anomaly[position];
+  slot = std::max(slot, timestamp);
+
+  // A run of k consecutive anomalous positions ending here, all within the
+  // window.
+  if (position + 1 < static_cast<size_t>(options_.k)) return std::nullopt;
+  MicrosT oldest_allowed = timestamp - options_.window_micros;
+  Match match;
+  match.line_id = line_id;
+  match.direction = direction;
+  match.first_timestamp = timestamp;
+  match.last_timestamp = timestamp;
+  for (int offset = 0; offset < options_.k; ++offset) {
+    size_t p = position - static_cast<size_t>(offset);
+    auto anomaly = line.last_anomaly.find(p);
+    if (anomaly == line.last_anomaly.end() ||
+        anomaly->second < oldest_allowed) {
+      return std::nullopt;
+    }
+    match.stops.push_back(line.stops[p]);
+    match.first_timestamp = std::min(match.first_timestamp, anomaly->second);
+    match.last_timestamp = std::max(match.last_timestamp, anomaly->second);
+  }
+  // Route order (we walked backwards).
+  std::reverse(match.stops.begin(), match.stops.end());
+  return match;
+}
+
+void ConsecutiveStopsDetector::ExpireBefore(MicrosT timestamp) {
+  for (auto& [key, line] : lines_) {
+    for (auto it = line.last_anomaly.begin(); it != line.last_anomaly.end();) {
+      if (it->second < timestamp) {
+        it = line.last_anomaly.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace insight

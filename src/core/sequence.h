@@ -1,0 +1,75 @@
+#ifndef INSIGHT_CORE_SEQUENCE_H_
+#define INSIGHT_CORE_SEQUENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace insight {
+namespace core {
+
+/// Detects the Dublin City Council requirement of Section 3.1: "a rule that
+/// checks if in three consecutive bus stops, buses traversing them, reported
+/// simultaneously delays greater than the expected".
+///
+/// The detector consumes per-stop anomaly events (typically the output of
+/// the generic delay rule running over bus stops) and fires when `k`
+/// consecutive stops of one (line, direction) all reported an anomaly within
+/// the time window. Stop adjacency comes from the line's stop order, which
+/// the operator registers up front (it is static route knowledge).
+class ConsecutiveStopsDetector {
+ public:
+  struct Options {
+    /// Consecutive anomalous stops required (DCC asks for 3).
+    int k = 3;
+    /// All k anomalies must fall within this window.
+    MicrosT window_micros = 15 * 60 * 1'000'000LL;
+  };
+
+  struct Match {
+    int line_id = 0;
+    bool direction = false;
+    /// The k consecutive stop ids, in route order.
+    std::vector<int64_t> stops;
+    MicrosT first_timestamp = 0;
+    MicrosT last_timestamp = 0;
+  };
+
+  explicit ConsecutiveStopsDetector(const Options& options);
+
+  /// Registers the ordered stops of one line+direction. Replaces previous
+  /// registration. InvalidArgument if fewer than k stops.
+  Status RegisterLine(int line_id, bool direction,
+                      std::vector<int64_t> ordered_stops);
+
+  /// Feeds one per-stop anomaly; returns a match when this anomaly completes
+  /// a run of k consecutive anomalous stops (the run ending at this stop).
+  /// Anomalies at unregistered (line, stop) pairs are ignored.
+  std::optional<Match> Observe(int line_id, bool direction, int64_t stop_id,
+                               MicrosT timestamp);
+
+  /// Drops anomaly state older than the window (call periodically; Observe
+  /// already ignores stale entries, this only frees memory).
+  void ExpireBefore(MicrosT timestamp);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct LineState {
+    std::vector<int64_t> stops;                  // route order
+    std::map<int64_t, size_t> stop_positions;    // stop id -> index
+    std::map<size_t, MicrosT> last_anomaly;      // index -> newest anomaly
+  };
+
+  Options options_;
+  std::map<std::pair<int, bool>, LineState> lines_;
+};
+
+}  // namespace core
+}  // namespace insight
+
+#endif  // INSIGHT_CORE_SEQUENCE_H_

@@ -1,0 +1,367 @@
+#include "dsps/local_runtime.h"
+
+#include <chrono>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace insight {
+namespace dsps {
+
+namespace {
+
+uint64_t HashValues(const std::vector<Value>& values,
+                    const std::vector<int>& indexes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int idx : indexes) {
+    std::string s = values[static_cast<size_t>(idx)].ToString();
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Routes emissions of one task. Bound to the task for its whole lifetime;
+/// the current input's spout_time is set before each Execute call so output
+/// tuples inherit their origin time.
+class LocalRuntime::TaskCollector : public Collector {
+ public:
+  TaskCollector(LocalRuntime* runtime, int component_index, int task_index)
+      : runtime_(runtime),
+        component_index_(component_index),
+        task_index_(task_index) {}
+
+  void Emit(std::vector<Value> values) override {
+    Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
+                std::move(values), current_spout_time_);
+    runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_);
+  }
+
+  void EmitDirect(int target_task, std::vector<Value> values) override {
+    Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
+                std::move(values), current_spout_time_);
+    runtime_->Route(component_index_, tuple, target_task, &emitted_);
+  }
+
+  void set_current_spout_time(MicrosT t) { current_spout_time_ = t; }
+  uint64_t TakeEmitted() {
+    uint64_t e = emitted_;
+    emitted_ = 0;
+    return e;
+  }
+  int task_index() const { return task_index_; }
+
+ private:
+  LocalRuntime* runtime_;
+  int component_index_;
+  int task_index_;
+  MicrosT current_spout_time_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+LocalRuntime::LocalRuntime(Topology topology, Options options)
+    : topology_(std::move(topology)), options_(options) {
+  const auto& components = topology_.components();
+  fields_.resize(components.size());
+  tasks_.resize(components.size());
+  routes_.resize(components.size());
+  shuffle_counters_ = std::vector<std::atomic<uint64_t>>(components.size());
+
+  for (size_t c = 0; c < components.size(); ++c) {
+    const ComponentDef& def = components[c];
+    fields_[c] = std::make_shared<const Fields>(def.output_fields);
+    metrics_.DeclareComponent(def.name, def.num_tasks);
+    for (int t = 0; t < def.num_tasks; ++t) {
+      TaskRuntime task;
+      task.component_index = static_cast<int>(c);
+      task.task_index = t;
+      if (def.is_spout) {
+        task.spout = def.spout_factory();
+      } else {
+        task.bolt = def.bolt_factory();
+        task.input = std::make_unique<TaskQueue>();
+      }
+      tasks_[c].push_back(std::move(task));
+    }
+  }
+
+  // Routing table: for each source component, its subscriber edges.
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (const Subscription& sub : components[c].subscriptions) {
+      const ComponentDef* source = topology_.Find(sub.source);
+      INSIGHT_CHECK(source != nullptr);
+      size_t source_index = 0;
+      for (size_t s = 0; s < components.size(); ++s) {
+        if (components[s].name == sub.source) source_index = s;
+      }
+      RouteTarget target;
+      target.component_index = static_cast<int>(c);
+      target.grouping = sub.grouping;
+      for (const std::string& f : sub.fields) {
+        target.field_indexes.push_back(source->output_fields.IndexOf(f));
+      }
+      routes_[source_index].push_back(std::move(target));
+    }
+  }
+}
+
+LocalRuntime::~LocalRuntime() { Stop(); }
+
+Status LocalRuntime::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("runtime already started");
+  }
+  int spout_tasks = 0;
+  for (const ComponentDef& def : topology_.components()) {
+    if (def.is_spout) spout_tasks += def.num_tasks;
+  }
+  live_spout_tasks_.store(spout_tasks);
+
+  const auto& components = topology_.components();
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (int e = 0; e < components[c].num_executors; ++e) {
+      threads_.emplace_back(
+          [this, c, e] { ExecutorLoop(static_cast<int>(c), e); });
+    }
+  }
+  if (options_.monitor_interval_micros > 0) {
+    monitor_thread_ = std::thread([this] { MonitorLoop(); });
+  }
+  return Status::OK();
+}
+
+void LocalRuntime::NotifyPossiblyDone() {
+  if (live_spout_tasks_.load() == 0 && in_flight_.load() == 0) {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void LocalRuntime::AwaitCompletion() {
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] {
+      return stopping_.load() ||
+             (live_spout_tasks_.load() == 0 && in_flight_.load() == 0);
+    });
+  }
+  Stop();
+}
+
+void LocalRuntime::Stop() {
+  if (!started_.load()) return;
+  bool was_stopping = stopping_.exchange(true);
+  // Wake everyone: emitters blocked on full queues, executors on empty ones.
+  for (auto& component_tasks : tasks_) {
+    for (auto& task : component_tasks) {
+      if (task.input != nullptr) {
+        task.input->not_empty.notify_all();
+        task.input->not_full.notify_all();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+  if (was_stopping) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  finished_.store(true);
+}
+
+void LocalRuntime::Push(int component_index, int task_index,
+                        const Tuple& tuple) {
+  TaskQueue* queue =
+      tasks_[static_cast<size_t>(component_index)][static_cast<size_t>(task_index)]
+          .input.get();
+  std::unique_lock<std::mutex> lock(queue->mutex);
+  queue->not_full.wait(lock, [&] {
+    return stopping_.load() || queue->queue.size() < options_.queue_capacity;
+  });
+  if (stopping_.load()) return;  // drop on shutdown
+  queue->queue.push_back(tuple);
+  in_flight_.fetch_add(1);
+  queue->not_empty.notify_one();
+}
+
+void LocalRuntime::Route(int source_component, const Tuple& tuple,
+                         int direct_task, uint64_t* emitted) {
+  for (const RouteTarget& target :
+       routes_[static_cast<size_t>(source_component)]) {
+    int num_tasks = static_cast<int>(
+        tasks_[static_cast<size_t>(target.component_index)].size());
+    if (direct_task >= 0) {
+      if (target.grouping != Grouping::kDirect) continue;
+      INSIGHT_CHECK(direct_task < num_tasks)
+          << "EmitDirect task " << direct_task << " out of range";
+      Push(target.component_index, direct_task, tuple);
+      ++*emitted;
+      continue;
+    }
+    switch (target.grouping) {
+      case Grouping::kShuffle: {
+        uint64_t n = shuffle_counters_[static_cast<size_t>(source_component)]
+                         .fetch_add(1, std::memory_order_relaxed);
+        Push(target.component_index, static_cast<int>(n % num_tasks), tuple);
+        ++*emitted;
+        break;
+      }
+      case Grouping::kFields: {
+        uint64_t h = HashValues(tuple.values(), target.field_indexes);
+        Push(target.component_index,
+             static_cast<int>(h % static_cast<uint64_t>(num_tasks)), tuple);
+        ++*emitted;
+        break;
+      }
+      case Grouping::kAll:
+        for (int t = 0; t < num_tasks; ++t) {
+          Push(target.component_index, t, tuple);
+          ++*emitted;
+        }
+        break;
+      case Grouping::kGlobal:
+        Push(target.component_index, 0, tuple);
+        ++*emitted;
+        break;
+      case Grouping::kDirect:
+        // Plain Emit does not feed direct subscriptions.
+        break;
+    }
+  }
+}
+
+void LocalRuntime::ExecutorLoop(int component_index, int executor_index) {
+  const ComponentDef& def =
+      topology_.components()[static_cast<size_t>(component_index)];
+  // Tasks owned by this executor: task_index % executors == executor_index.
+  std::vector<TaskRuntime*> my_tasks;
+  std::vector<std::unique_ptr<TaskCollector>> collectors;
+  for (auto& task : tasks_[static_cast<size_t>(component_index)]) {
+    if (task.task_index % def.num_executors == executor_index) {
+      my_tasks.push_back(&task);
+      collectors.push_back(std::make_unique<TaskCollector>(
+          this, component_index, task.task_index));
+    }
+  }
+
+  TaskContext context;
+  context.component = def.name;
+  context.num_tasks = def.num_tasks;
+  for (TaskRuntime* task : my_tasks) {
+    context.task_index = task->task_index;
+    if (task->spout != nullptr) {
+      task->spout->Open(context);
+    } else {
+      task->bolt->Prepare(context);
+    }
+  }
+
+  if (def.is_spout) {
+    size_t live = my_tasks.size();
+    while (live > 0 && !stopping_.load()) {
+      for (size_t i = 0; i < my_tasks.size(); ++i) {
+        TaskRuntime* task = my_tasks[i];
+        if (task->spout_done) continue;
+        if (stopping_.load()) break;
+        collectors[i]->set_current_spout_time(options_.clock->NowMicros());
+        bool more = task->spout->NextTuple(collectors[i].get());
+        uint64_t emitted = collectors[i]->TakeEmitted();
+        if (emitted > 0) {
+          metrics_.RecordEmit(def.name, task->task_index, emitted);
+        }
+        if (!more) {
+          task->spout_done = true;
+          --live;
+          live_spout_tasks_.fetch_sub(1);
+          NotifyPossiblyDone();
+        }
+      }
+    }
+    for (TaskRuntime* task : my_tasks) task->spout->Close();
+    return;
+  }
+
+  // Bolt executor: drain the owned tasks' queues round-robin, taking up to a
+  // small batch from each before moving on (pseudo-parallel execution of
+  // co-scheduled tasks).
+  constexpr size_t kBatch = 16;
+  while (true) {
+    bool any = false;
+    for (size_t i = 0; i < my_tasks.size(); ++i) {
+      TaskRuntime* task = my_tasks[i];
+      for (size_t b = 0; b < kBatch; ++b) {
+        Tuple tuple;
+        {
+          std::unique_lock<std::mutex> lock(task->input->mutex);
+          if (task->input->queue.empty()) break;
+          tuple = std::move(task->input->queue.front());
+          task->input->queue.pop_front();
+          task->input->not_full.notify_one();
+        }
+        any = true;
+        collectors[i]->set_current_spout_time(tuple.spout_time());
+        MicrosT start = options_.clock->NowMicros();
+        task->bolt->Execute(tuple, collectors[i].get());
+        MicrosT elapsed = options_.clock->NowMicros() - start;
+        metrics_.Record(def.name, task->task_index, elapsed);
+        uint64_t emitted = collectors[i]->TakeEmitted();
+        if (emitted > 0) metrics_.RecordEmit(def.name, task->task_index, emitted);
+        in_flight_.fetch_sub(1);
+        NotifyPossiblyDone();
+      }
+    }
+    if (!any) {
+      if (stopping_.load()) break;
+      // Park briefly on the first owned queue.
+      TaskRuntime* task = my_tasks.empty() ? nullptr : my_tasks[0];
+      if (task == nullptr) break;
+      std::unique_lock<std::mutex> lock(task->input->mutex);
+      task->input->not_empty.wait_for(
+          lock, std::chrono::milliseconds(1), [&] {
+            return stopping_.load() || !task->input->queue.empty();
+          });
+    }
+  }
+  for (TaskRuntime* task : my_tasks) task->bolt->Cleanup();
+}
+
+void LocalRuntime::MonitorLoop() {
+  MicrosT interval = options_.monitor_interval_micros;
+  MicrosT accumulated = 0;
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::min<MicrosT>(interval, 50'000)));
+    accumulated += std::min<MicrosT>(interval, 50'000);
+    if (accumulated >= interval) {
+      accumulated = 0;
+      metrics_.TakeWindowSnapshot(options_.clock->NowMicros());
+    }
+  }
+}
+
+int LocalRuntime::WorkerOfExecutor(const std::string& component,
+                                   int executor_index) const {
+  // Round-robin assignment of executors to workers, in component declaration
+  // order (Storm's even scheduler).
+  int global_executor = 0;
+  for (const ComponentDef& def : topology_.components()) {
+    if (def.name == component) {
+      global_executor += executor_index;
+      break;
+    }
+    global_executor += def.num_executors;
+  }
+  return global_executor % std::max(1, options_.num_workers);
+}
+
+}  // namespace dsps
+}  // namespace insight

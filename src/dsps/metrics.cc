@@ -1,0 +1,92 @@
+#include "dsps/metrics.h"
+
+#include "common/logging.h"
+
+namespace insight {
+namespace dsps {
+
+void MetricsRegistry::DeclareComponent(const std::string& component,
+                                       int num_tasks) {
+  ComponentStats& stats = components_[component];
+  stats.tasks.clear();
+  for (int i = 0; i < num_tasks; ++i) {
+    stats.tasks.push_back(std::make_unique<TaskStats>());
+  }
+}
+
+void MetricsRegistry::Record(const std::string& component, int task,
+                             MicrosT latency_micros) {
+  auto it = components_.find(component);
+  INSIGHT_CHECK(it != components_.end()) << "undeclared component " << component;
+  TaskStats& stats = *it->second.tasks[static_cast<size_t>(task)];
+  stats.executed.fetch_add(1, std::memory_order_relaxed);
+  stats.latency_sum.fetch_add(static_cast<uint64_t>(latency_micros),
+                              std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordEmit(const std::string& component, int task,
+                                 uint64_t count) {
+  auto it = components_.find(component);
+  INSIGHT_CHECK(it != components_.end()) << "undeclared component " << component;
+  it->second.tasks[static_cast<size_t>(task)]->emitted.fetch_add(
+      count, std::memory_order_relaxed);
+}
+
+MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
+    const std::string& component) const {
+  ComponentTotals totals;
+  auto it = components_.find(component);
+  if (it == components_.end()) return totals;
+  for (const auto& task : it->second.tasks) {
+    totals.executed += task->executed.load(std::memory_order_relaxed);
+    totals.emitted += task->emitted.load(std::memory_order_relaxed);
+    totals.latency_sum_micros += task->latency_sum.load(std::memory_order_relaxed);
+  }
+  if (totals.executed > 0) {
+    totals.avg_latency_micros = static_cast<double>(totals.latency_sum_micros) /
+                                static_cast<double>(totals.executed);
+  }
+  return totals;
+}
+
+std::vector<std::string> MetricsRegistry::Components() const {
+  std::vector<std::string> out;
+  for (const auto& [name, stats] : components_) out.push_back(name);
+  return out;
+}
+
+std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
+    MicrosT now) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  std::vector<WindowReport> window;
+  for (auto& [name, stats] : components_) {
+    uint64_t executed = 0, latency_sum = 0;
+    for (const auto& task : stats.tasks) {
+      executed += task->executed.load(std::memory_order_relaxed);
+      latency_sum += task->latency_sum.load(std::memory_order_relaxed);
+    }
+    WindowReport report;
+    report.window_start = now;
+    report.component = name;
+    report.executed = executed - stats.last_executed;
+    uint64_t latency_delta = latency_sum - stats.last_latency_sum;
+    if (report.executed > 0) {
+      report.avg_latency_micros = static_cast<double>(latency_delta) /
+                                  static_cast<double>(report.executed);
+    }
+    stats.last_executed = executed;
+    stats.last_latency_sum = latency_sum;
+    window.push_back(report);
+    reports_.push_back(window.back());
+  }
+  return window;
+}
+
+std::vector<MetricsRegistry::WindowReport> MetricsRegistry::window_reports()
+    const {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  return reports_;
+}
+
+}  // namespace dsps
+}  // namespace insight

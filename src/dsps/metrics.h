@@ -1,0 +1,75 @@
+#ifndef INSIGHT_DSPS_METRICS_H_
+#define INSIGHT_DSPS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace insight {
+namespace dsps {
+
+/// Per-component/task execution metrics, plus the periodic per-window
+/// reports the paper's enhanced Storm produces ("we enhanced Storm with an
+/// extra monitor thread per worker processor, that periodically (every 40
+/// seconds in our case) reports these metrics for each bolt's task to the
+/// Nimbus node", Section 5).
+class MetricsRegistry {
+ public:
+  struct ComponentTotals {
+    uint64_t executed = 0;
+    uint64_t emitted = 0;
+    double avg_latency_micros = 0.0;
+    uint64_t latency_sum_micros = 0;
+  };
+
+  struct WindowReport {
+    MicrosT window_start = 0;
+    std::string component;
+    uint64_t executed = 0;      // throughput: tuples processed in the window
+    double avg_latency_micros = 0.0;
+  };
+
+  /// Declares a component with `num_tasks` tasks. Must be called before any
+  /// Record (the runtime does this at start-up; no locking on the hot path).
+  void DeclareComponent(const std::string& component, int num_tasks);
+
+  /// Records one execution for (component, task).
+  void Record(const std::string& component, int task, MicrosT latency_micros);
+  void RecordEmit(const std::string& component, int task, uint64_t count = 1);
+
+  ComponentTotals Totals(const std::string& component) const;
+  std::vector<std::string> Components() const;
+
+  /// Aggregates deltas since the previous TakeWindowSnapshot into per-
+  /// component window reports (the Nimbus-side aggregation).
+  std::vector<WindowReport> TakeWindowSnapshot(MicrosT now);
+  /// All window reports taken so far.
+  std::vector<WindowReport> window_reports() const;
+
+ private:
+  struct TaskStats {
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> emitted{0};
+    std::atomic<uint64_t> latency_sum{0};
+  };
+  struct ComponentStats {
+    std::vector<std::unique_ptr<TaskStats>> tasks;
+    uint64_t last_executed = 0;
+    uint64_t last_latency_sum = 0;
+  };
+
+  std::map<std::string, ComponentStats> components_;
+  mutable std::mutex window_mutex_;
+  std::vector<WindowReport> reports_;
+};
+
+}  // namespace dsps
+}  // namespace insight
+
+#endif  // INSIGHT_DSPS_METRICS_H_

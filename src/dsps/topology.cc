@@ -1,0 +1,213 @@
+#include "dsps/topology.h"
+
+#include <set>
+
+namespace insight {
+namespace dsps {
+
+const char* GroupingToString(Grouping grouping) {
+  switch (grouping) {
+    case Grouping::kShuffle:
+      return "shuffle";
+    case Grouping::kFields:
+      return "fields";
+    case Grouping::kAll:
+      return "all";
+    case Grouping::kGlobal:
+      return "global";
+    case Grouping::kDirect:
+      return "direct";
+  }
+  return "?";
+}
+
+const ComponentDef* Topology::Find(const std::string& name) const {
+  for (const ComponentDef& c : components_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const ComponentDef*> Topology::Subscribers(
+    const std::string& source) const {
+  std::vector<const ComponentDef*> out;
+  for (const ComponentDef& c : components_) {
+    for (const Subscription& sub : c.subscriptions) {
+      if (sub.source == source) {
+        out.push_back(&c);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int Topology::total_tasks() const {
+  int total = 0;
+  for (const ComponentDef& c : components_) total += c.num_tasks;
+  return total;
+}
+
+int Topology::total_executors() const {
+  int total = 0;
+  for (const ComponentDef& c : components_) total += c.num_executors;
+  return total;
+}
+
+TopologyBuilder& TopologyBuilder::SetSpout(const std::string& name,
+                                           SpoutFactory factory,
+                                           Fields output_fields,
+                                           int num_executors, int num_tasks) {
+  ComponentDef def;
+  def.name = name;
+  def.is_spout = true;
+  def.spout_factory = std::move(factory);
+  def.num_executors = num_executors;
+  def.num_tasks = num_tasks < 0 ? num_executors : num_tasks;
+  def.output_fields = std::move(output_fields);
+  components_.push_back(std::move(def));
+  return *this;
+}
+
+TopologyBuilder::BoltDeclarer TopologyBuilder::SetBolt(const std::string& name,
+                                                       BoltFactory factory,
+                                                       Fields output_fields,
+                                                       int num_executors,
+                                                       int num_tasks) {
+  ComponentDef def;
+  def.name = name;
+  def.is_spout = false;
+  def.bolt_factory = std::move(factory);
+  def.num_executors = num_executors;
+  def.num_tasks = num_tasks < 0 ? num_executors : num_tasks;
+  def.output_fields = std::move(output_fields);
+  components_.push_back(std::move(def));
+  return BoltDeclarer(this, components_.size() - 1);
+}
+
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::ShuffleGrouping(
+    const std::string& source) {
+  builder_->components_[index_].subscriptions.push_back(
+      {source, Grouping::kShuffle, {}});
+  return *this;
+}
+
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::FieldsGrouping(
+    const std::string& source, std::vector<std::string> fields) {
+  builder_->components_[index_].subscriptions.push_back(
+      {source, Grouping::kFields, std::move(fields)});
+  return *this;
+}
+
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::AllGrouping(
+    const std::string& source) {
+  builder_->components_[index_].subscriptions.push_back(
+      {source, Grouping::kAll, {}});
+  return *this;
+}
+
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::GlobalGrouping(
+    const std::string& source) {
+  builder_->components_[index_].subscriptions.push_back(
+      {source, Grouping::kGlobal, {}});
+  return *this;
+}
+
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::DirectGrouping(
+    const std::string& source) {
+  builder_->components_[index_].subscriptions.push_back(
+      {source, Grouping::kDirect, {}});
+  return *this;
+}
+
+Result<Topology> TopologyBuilder::Build() const {
+  std::set<std::string> names;
+  for (const ComponentDef& c : components_) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("component requires a name");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::AlreadyExists("duplicate component '" + c.name + "'");
+    }
+    if (c.num_tasks <= 0 || c.num_executors <= 0) {
+      return Status::InvalidArgument("component '" + c.name +
+                                     "' requires positive tasks and executors");
+    }
+    if (c.num_executors > c.num_tasks) {
+      return Status::InvalidArgument(
+          "component '" + c.name +
+          "': executors may not exceed tasks (one executor runs one or more "
+          "tasks)");
+    }
+    if (c.is_spout && !c.subscriptions.empty()) {
+      return Status::InvalidArgument("spout '" + c.name +
+                                     "' may not subscribe to streams");
+    }
+    if (c.is_spout && !c.spout_factory) {
+      return Status::InvalidArgument("spout '" + c.name + "' missing factory");
+    }
+    if (!c.is_spout && !c.bolt_factory) {
+      return Status::InvalidArgument("bolt '" + c.name + "' missing factory");
+    }
+  }
+
+  // Validate subscriptions and detect cycles with a DFS over edges
+  // source -> subscriber.
+  std::map<std::string, const ComponentDef*> by_name;
+  for (const ComponentDef& c : components_) by_name[c.name] = &c;
+  for (const ComponentDef& c : components_) {
+    if (c.is_spout) continue;
+    if (c.subscriptions.empty()) {
+      return Status::InvalidArgument("bolt '" + c.name +
+                                     "' subscribes to no stream");
+    }
+    for (const Subscription& sub : c.subscriptions) {
+      auto it = by_name.find(sub.source);
+      if (it == by_name.end()) {
+        return Status::NotFound("bolt '" + c.name +
+                                "' subscribes to unknown component '" +
+                                sub.source + "'");
+      }
+      if (sub.grouping == Grouping::kFields) {
+        if (sub.fields.empty()) {
+          return Status::InvalidArgument("fields grouping on '" + c.name +
+                                         "' requires field names");
+        }
+        for (const std::string& f : sub.fields) {
+          if (it->second->output_fields.IndexOf(f) < 0) {
+            return Status::NotFound("fields grouping field '" + f +
+                                    "' not declared by '" + sub.source + "'");
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection (colors: 0 unvisited, 1 in progress, 2 done).
+  std::map<std::string, int> color;
+  std::function<bool(const std::string&)> has_cycle =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    for (const ComponentDef& c : components_) {
+      for (const Subscription& sub : c.subscriptions) {
+        if (sub.source != node) continue;
+        if (color[c.name] == 1) return true;
+        if (color[c.name] == 0 && has_cycle(c.name)) return true;
+      }
+    }
+    color[node] = 2;
+    return false;
+  };
+  for (const ComponentDef& c : components_) {
+    if (color[c.name] == 0 && has_cycle(c.name)) {
+      return Status::InvalidArgument("topology graph contains a cycle");
+    }
+  }
+
+  Topology topology;
+  topology.components_ = components_;
+  return topology;
+}
+
+}  // namespace dsps
+}  // namespace insight

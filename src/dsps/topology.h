@@ -1,0 +1,148 @@
+#ifndef INSIGHT_DSPS_TOPOLOGY_H_
+#define INSIGHT_DSPS_TOPOLOGY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsps/tuple.h"
+
+namespace insight {
+namespace dsps {
+
+/// How a bolt subscribes to an upstream component's stream (Storm
+/// groupings).
+enum class Grouping {
+  kShuffle,  // round-robin across the subscriber's tasks
+  kFields,   // hash of selected fields -> task
+  kAll,      // replicate to every task
+  kGlobal,   // always task 0
+  kDirect,   // emitter chooses the target task via EmitDirect
+};
+
+const char* GroupingToString(Grouping grouping);
+
+/// Execution context handed to component instances.
+struct TaskContext {
+  std::string component;
+  int task_index = 0;
+  int num_tasks = 1;
+};
+
+/// Sink for tuples produced by a component instance. EmitDirect targets one
+/// subscriber task (requires the subscription to use Grouping::kDirect).
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void Emit(std::vector<Value> values) = 0;
+  virtual void EmitDirect(int task_index, std::vector<Value> values) = 0;
+};
+
+/// An input source: spouts feed the topology with data (Section 2.1.1).
+/// One instance exists per task. NextTuple pushes zero or more tuples and
+/// returns false when the source is exhausted (the runtime then marks this
+/// spout task finished).
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  virtual void Open(const TaskContext& /*context*/) {}
+  virtual bool NextTuple(Collector* collector) = 0;
+  virtual void Close() {}
+};
+
+/// Processing logic node. One instance per task.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  virtual void Prepare(const TaskContext& /*context*/) {}
+  virtual void Execute(const Tuple& input, Collector* collector) = 0;
+  virtual void Cleanup() {}
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+
+/// One subscription edge of the topology graph.
+struct Subscription {
+  std::string source;
+  Grouping grouping = Grouping::kShuffle;
+  /// Field names hashed for kFields.
+  std::vector<std::string> fields;
+};
+
+/// A component definition: the user decides the number of executors
+/// (threads) and tasks (component instances); tasks in excess of executors
+/// run pseudo-parallel on shared executors (Figure 1).
+struct ComponentDef {
+  std::string name;
+  bool is_spout = false;
+  SpoutFactory spout_factory;
+  BoltFactory bolt_factory;
+  int num_executors = 1;
+  int num_tasks = 1;
+  Fields output_fields;
+  std::vector<Subscription> subscriptions;  // bolts only
+};
+
+/// A validated processing graph.
+class Topology {
+ public:
+  const std::vector<ComponentDef>& components() const { return components_; }
+  const ComponentDef* Find(const std::string& name) const;
+  /// Components subscribed to `source`.
+  std::vector<const ComponentDef*> Subscribers(const std::string& source) const;
+  int total_tasks() const;
+  int total_executors() const;
+
+ private:
+  friend class TopologyBuilder;
+  std::vector<ComponentDef> components_;
+};
+
+/// Fluent builder mirroring Storm's TopologyBuilder.
+class TopologyBuilder {
+ public:
+  /// Declarer returned by SetBolt for wiring subscriptions.
+  class BoltDeclarer {
+   public:
+    BoltDeclarer& ShuffleGrouping(const std::string& source);
+    BoltDeclarer& FieldsGrouping(const std::string& source,
+                                 std::vector<std::string> fields);
+    BoltDeclarer& AllGrouping(const std::string& source);
+    BoltDeclarer& GlobalGrouping(const std::string& source);
+    BoltDeclarer& DirectGrouping(const std::string& source);
+
+   private:
+    friend class TopologyBuilder;
+    BoltDeclarer(TopologyBuilder* builder, size_t index)
+        : builder_(builder), index_(index) {}
+    TopologyBuilder* builder_;
+    size_t index_;
+  };
+
+  /// Adds a spout. `num_tasks` defaults to `num_executors`.
+  TopologyBuilder& SetSpout(const std::string& name, SpoutFactory factory,
+                            Fields output_fields, int num_executors = 1,
+                            int num_tasks = -1);
+
+  BoltDeclarer SetBolt(const std::string& name, BoltFactory factory,
+                       Fields output_fields, int num_executors = 1,
+                       int num_tasks = -1);
+
+  /// Validates and produces the topology: unique names, known subscription
+  /// sources, fields-grouping fields present in the source's declaration,
+  /// every bolt subscribed to something, no cycles (emission is downstream
+  /// only), executors <= tasks.
+  Result<Topology> Build() const;
+
+ private:
+  std::vector<ComponentDef> components_;
+};
+
+}  // namespace dsps
+}  // namespace insight
+
+#endif  // INSIGHT_DSPS_TOPOLOGY_H_

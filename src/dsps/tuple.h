@@ -1,0 +1,84 @@
+#ifndef INSIGHT_DSPS_TUPLE_H_
+#define INSIGHT_DSPS_TUPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cep/event.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace insight {
+namespace dsps {
+
+using cep::Value;
+
+/// Declared output fields of a component, Storm-style.
+class Fields {
+ public:
+  Fields() = default;
+  Fields(std::initializer_list<std::string> names) : names_(names) {}
+  explicit Fields(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A data tuple flowing through the topology. Values are positionally
+/// aligned with the emitting component's declared Fields. `spout_time`
+/// carries the originating spout emission time so bolts can report
+/// end-to-end latency.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::shared_ptr<const Fields> fields, std::vector<Value> values,
+        MicrosT spout_time = 0)
+      : fields_(std::move(fields)),
+        values_(std::move(values)),
+        spout_time_(spout_time) {}
+
+  const Fields& fields() const { return *fields_; }
+  const std::shared_ptr<const Fields>& fields_ptr() const { return fields_; }
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+  const Value& Get(size_t index) const { return values_[index]; }
+  Result<Value> GetByField(const std::string& name) const {
+    int idx = fields_->IndexOf(name);
+    if (idx < 0) return Status::NotFound("tuple has no field '" + name + "'");
+    return values_[static_cast<size_t>(idx)];
+  }
+
+  MicrosT spout_time() const { return spout_time_; }
+  void set_spout_time(MicrosT t) { spout_time_ = t; }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fields_->names()[i] + "=" + values_[i].ToString();
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const Fields> fields_;
+  std::vector<Value> values_;
+  MicrosT spout_time_ = 0;
+};
+
+}  // namespace dsps
+}  // namespace insight
+
+#endif  // INSIGHT_DSPS_TUPLE_H_

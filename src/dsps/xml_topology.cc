@@ -1,0 +1,174 @@
+#include "dsps/xml_topology.h"
+
+#include "common/strings.h"
+
+namespace insight {
+namespace dsps {
+
+Status ComponentRegistry::RegisterSpout(const std::string& type,
+                                        SpoutMaker maker) {
+  if (spouts_.count(type) > 0) {
+    return Status::AlreadyExists("spout type '" + type + "' already registered");
+  }
+  spouts_[type] = std::move(maker);
+  return Status::OK();
+}
+
+Status ComponentRegistry::RegisterBolt(const std::string& type, BoltMaker maker) {
+  if (bolts_.count(type) > 0) {
+    return Status::AlreadyExists("bolt type '" + type + "' already registered");
+  }
+  bolts_[type] = std::move(maker);
+  return Status::OK();
+}
+
+Result<SpoutFactory> ComponentRegistry::MakeSpout(const std::string& type,
+                                                  const XmlNode& node) const {
+  auto it = spouts_.find(type);
+  if (it == spouts_.end()) {
+    return Status::NotFound("unknown spout type '" + type + "'");
+  }
+  return it->second(node);
+}
+
+Result<BoltFactory> ComponentRegistry::MakeBolt(const std::string& type,
+                                                const XmlNode& node) const {
+  auto it = bolts_.find(type);
+  if (it == bolts_.end()) {
+    return Status::NotFound("unknown bolt type '" + type + "'");
+  }
+  return it->second(node);
+}
+
+Result<std::string> XmlParam(const XmlNode& component, const std::string& key) {
+  for (const XmlNode* param : component.Children("param")) {
+    if (param->Attr("key") == key) return param->Attr("value");
+  }
+  return Status::NotFound("component '" + component.Attr("name") +
+                          "' has no param '" + key + "'");
+}
+
+std::string XmlParamOr(const XmlNode& component, const std::string& key,
+                       const std::string& fallback) {
+  auto r = XmlParam(component, key);
+  return r.ok() ? *r : fallback;
+}
+
+namespace {
+
+Result<int> AttrInt(const XmlNode& node, const std::string& key, int fallback) {
+  if (!node.HasAttr(key)) return fallback;
+  INSIGHT_ASSIGN_OR_RETURN(long long v, ParseInt(node.Attr(key)));
+  return static_cast<int>(v);
+}
+
+Result<Fields> AttrFields(const XmlNode& node) {
+  std::vector<std::string> names;
+  if (node.HasAttr("fields")) {
+    for (const std::string& f : Split(node.Attr("fields"), ',')) {
+      std::string trimmed(Trim(f));
+      if (!trimmed.empty()) names.push_back(trimmed);
+    }
+  }
+  return Fields(std::move(names));
+}
+
+Result<Grouping> ParseGrouping(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "shuffle") return Grouping::kShuffle;
+  if (lower == "fields") return Grouping::kFields;
+  if (lower == "all") return Grouping::kAll;
+  if (lower == "global") return Grouping::kGlobal;
+  if (lower == "direct") return Grouping::kDirect;
+  return Status::ParseError("unknown grouping '" + name + "'");
+}
+
+}  // namespace
+
+Result<XmlTopology> LoadTopologyFromXml(const std::string& xml,
+                                        const ComponentRegistry& registry) {
+  INSIGHT_ASSIGN_OR_RETURN(auto root, ParseXml(xml));
+  if (root->name != "topology") {
+    return Status::ParseError("root element must be <topology>, got <" +
+                              root->name + ">");
+  }
+
+  TopologyBuilder builder;
+  for (const auto& child : root->children) {
+    if (child->name == "spout") {
+      std::string name = child->Attr("name");
+      std::string type = child->Attr("type");
+      if (name.empty() || type.empty()) {
+        return Status::ParseError("<spout> requires name and type attributes");
+      }
+      INSIGHT_ASSIGN_OR_RETURN(int executors, AttrInt(*child, "executors", 1));
+      INSIGHT_ASSIGN_OR_RETURN(int tasks, AttrInt(*child, "tasks", executors));
+      INSIGHT_ASSIGN_OR_RETURN(Fields fields, AttrFields(*child));
+      INSIGHT_ASSIGN_OR_RETURN(SpoutFactory factory,
+                               registry.MakeSpout(type, *child));
+      builder.SetSpout(name, std::move(factory), std::move(fields), executors,
+                       tasks);
+    } else if (child->name == "bolt") {
+      std::string name = child->Attr("name");
+      std::string type = child->Attr("type");
+      if (name.empty() || type.empty()) {
+        return Status::ParseError("<bolt> requires name and type attributes");
+      }
+      INSIGHT_ASSIGN_OR_RETURN(int executors, AttrInt(*child, "executors", 1));
+      INSIGHT_ASSIGN_OR_RETURN(int tasks, AttrInt(*child, "tasks", executors));
+      INSIGHT_ASSIGN_OR_RETURN(Fields fields, AttrFields(*child));
+      INSIGHT_ASSIGN_OR_RETURN(BoltFactory factory,
+                               registry.MakeBolt(type, *child));
+      auto declarer = builder.SetBolt(name, std::move(factory),
+                                      std::move(fields), executors, tasks);
+      for (const XmlNode* sub : child->Children("subscribe")) {
+        std::string source = sub->Attr("source");
+        if (source.empty()) {
+          return Status::ParseError("<subscribe> requires a source attribute");
+        }
+        INSIGHT_ASSIGN_OR_RETURN(Grouping grouping,
+                                 ParseGrouping(sub->Attr("grouping", "shuffle")));
+        switch (grouping) {
+          case Grouping::kShuffle:
+            declarer.ShuffleGrouping(source);
+            break;
+          case Grouping::kAll:
+            declarer.AllGrouping(source);
+            break;
+          case Grouping::kGlobal:
+            declarer.GlobalGrouping(source);
+            break;
+          case Grouping::kDirect:
+            declarer.DirectGrouping(source);
+            break;
+          case Grouping::kFields: {
+            std::vector<std::string> field_names;
+            for (const std::string& f : Split(sub->Attr("fields"), ',')) {
+              std::string trimmed(Trim(f));
+              if (!trimmed.empty()) field_names.push_back(trimmed);
+            }
+            declarer.FieldsGrouping(source, std::move(field_names));
+            break;
+          }
+        }
+      }
+    } else if (child->name == "rules") {
+      // handled below
+    } else {
+      return Status::ParseError("unexpected element <" + child->name +
+                                "> under <topology>");
+    }
+  }
+
+  XmlTopology out;
+  INSIGHT_ASSIGN_OR_RETURN(out.topology, builder.Build());
+  if (const XmlNode* rules = root->FirstChild("rules")) {
+    for (const XmlNode* rule : rules->Children("rule")) {
+      out.rules.emplace_back(rule->Attr("name"), rule->text);
+    }
+  }
+  return out;
+}
+
+}  // namespace dsps
+}  // namespace insight

@@ -1,0 +1,147 @@
+#include "geo/bus_stops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace insight {
+namespace geo {
+
+size_t BusStopIndex::Build(const std::vector<StopReport>& reports) {
+  stops_.clear();
+  has_projection_ = false;
+  if (reports.empty()) return 0;
+
+  // Project around the reports' centroid.
+  double clat = 0.0, clon = 0.0;
+  for (const auto& r : reports) {
+    clat += r.position.lat;
+    clon += r.position.lon;
+  }
+  projection_origin_ = {clat / static_cast<double>(reports.size()),
+                        clon / static_cast<double>(reports.size())};
+  has_projection_ = true;
+  LocalProjection proj(projection_origin_);
+
+  std::vector<Denclue::Point> points(reports.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    proj.ToXY(reports[i].position, &points[i].x, &points[i].y);
+  }
+
+  Denclue denclue(options_.denclue);
+  Denclue::ClusterResult clusters = denclue.Cluster(points);
+
+  // Per cluster: average entry angle per (line, direction), then group those
+  // (line, direction) keys into angle subclusters.
+  struct LineDirStats {
+    double sum_sin = 0.0, sum_cos = 0.0;
+    double sum_x = 0.0, sum_y = 0.0;
+    size_t count = 0;
+    double MeanAngle() const { return NormalizeDeg(std::atan2(sum_sin, sum_cos)); }
+    static double NormalizeDeg(double rad) {
+      double deg = RadToDeg(rad);
+      if (deg < 0) deg += 360.0;
+      return deg;
+    }
+  };
+  std::map<std::pair<int, std::pair<int, bool>>, LineDirStats> stats;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    int cluster = clusters.labels[i];
+    if (cluster < 0) continue;
+    auto key = std::make_pair(cluster,
+                              std::make_pair(reports[i].line_id, reports[i].direction));
+    LineDirStats& s = stats[key];
+    double rad = DegToRad(reports[i].entry_angle_deg);
+    s.sum_sin += std::sin(rad);
+    s.sum_cos += std::cos(rad);
+    s.sum_x += points[i].x;
+    s.sum_y += points[i].y;
+    ++s.count;
+  }
+
+  // Greedy angle grouping inside each cluster: each (line, dir) joins the
+  // first subcluster whose representative angle is within angle_split_deg,
+  // otherwise starts a new subcluster.
+  struct SubCluster {
+    double angle_deg = 0.0;
+    double sum_x = 0.0, sum_y = 0.0;
+    size_t count = 0;
+    std::vector<std::pair<int, bool>> lines;
+  };
+  std::map<int, std::vector<SubCluster>> per_cluster;
+  for (const auto& [key, s] : stats) {
+    int cluster = key.first;
+    double angle = s.MeanAngle();
+    auto& subs = per_cluster[cluster];
+    SubCluster* target = nullptr;
+    for (auto& sub : subs) {
+      if (AngleDifference(sub.angle_deg, angle) <= options_.angle_split_deg) {
+        target = &sub;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      subs.emplace_back();
+      target = &subs.back();
+      target->angle_deg = angle;
+    }
+    target->sum_x += s.sum_x;
+    target->sum_y += s.sum_y;
+    target->count += s.count;
+    target->lines.push_back(key.second);
+  }
+
+  int64_t next_id = 0;
+  for (auto& [cluster, subs] : per_cluster) {
+    for (auto& sub : subs) {
+      BusStop stop;
+      stop.id = next_id++;
+      stop.cluster_id = cluster;
+      stop.angle_deg = sub.angle_deg;
+      stop.lines = std::move(sub.lines);
+      std::sort(stop.lines.begin(), stop.lines.end());
+      stop.report_count = sub.count;
+      stop.center = proj.FromXY(sub.sum_x / static_cast<double>(sub.count),
+                                sub.sum_y / static_cast<double>(sub.count));
+      stops_.push_back(std::move(stop));
+    }
+  }
+  return stops_.size();
+}
+
+int64_t BusStopIndex::Locate(const LatLon& position, int line_id,
+                             bool direction) const {
+  if (stops_.empty() || !has_projection_) return -1;
+  const std::pair<int, bool> key{line_id, direction};
+  double best_known = std::numeric_limits<double>::infinity();
+  int64_t best_known_id = -1;
+  double best_any = std::numeric_limits<double>::infinity();
+  int64_t best_any_id = -1;
+  for (const BusStop& stop : stops_) {
+    double d = HaversineMeters(position, stop.center);
+    if (d < best_any) {
+      best_any = d;
+      best_any_id = stop.id;
+    }
+    if (std::binary_search(stop.lines.begin(), stop.lines.end(), key) &&
+        d < best_known) {
+      best_known = d;
+      best_known_id = stop.id;
+    }
+  }
+  if (best_known_id >= 0 && best_known <= options_.max_assign_distance) {
+    return best_known_id;
+  }
+  if (best_any <= options_.max_assign_distance) return best_any_id;
+  return -1;
+}
+
+Result<BusStop> BusStopIndex::GetStop(int64_t id) const {
+  for (const BusStop& s : stops_) {
+    if (s.id == id) return s;
+  }
+  return Status::NotFound("no bus stop with id " + std::to_string(id));
+}
+
+}  // namespace geo
+}  // namespace insight

@@ -1,0 +1,83 @@
+#include "geo/denclue.h"
+
+#include <cmath>
+
+namespace insight {
+namespace geo {
+
+double Denclue::DensityAt(const std::vector<Point>& points, double x,
+                          double y) const {
+  double sigma2 = options_.sigma * options_.sigma;
+  double density = 0.0;
+  for (const Point& p : points) {
+    double dx = p.x - x;
+    double dy = p.y - y;
+    density += std::exp(-(dx * dx + dy * dy) / (2.0 * sigma2));
+  }
+  return density;
+}
+
+Denclue::Point Denclue::ClimbToAttractor(const std::vector<Point>& points,
+                                         Point start) const {
+  // Mean-shift style ascent: move to the kernel-weighted mean of the data,
+  // which follows the density gradient for Gaussian kernels.
+  Point cur = start;
+  double sigma2 = options_.sigma * options_.sigma;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double wx = 0.0, wy = 0.0, wsum = 0.0;
+    for (const Point& p : points) {
+      double dx = p.x - cur.x;
+      double dy = p.y - cur.y;
+      double w = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma2));
+      wx += w * p.x;
+      wy += w * p.y;
+      wsum += w;
+    }
+    if (wsum <= 1e-12) break;
+    Point next{wx / wsum, wy / wsum};
+    double moved = std::hypot(next.x - cur.x, next.y - cur.y);
+    cur = next;
+    if (moved < options_.convergence_epsilon) break;
+  }
+  return cur;
+}
+
+Denclue::ClusterResult Denclue::Cluster(const std::vector<Point>& points) const {
+  ClusterResult result;
+  result.labels.assign(points.size(), -1);
+  if (points.empty()) return result;
+
+  std::vector<Point> attractors(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    attractors[i] = ClimbToAttractor(points, points[i]);
+  }
+
+  // Group attractors by proximity (single-linkage over the merge distance,
+  // implemented greedily against the representative center).
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (options_.min_density > 0.0 &&
+        DensityAt(points, attractors[i].x, attractors[i].y) < options_.min_density) {
+      result.labels[i] = -1;
+      continue;
+    }
+    int assigned = -1;
+    for (size_t c = 0; c < result.centers.size(); ++c) {
+      double d = std::hypot(attractors[i].x - result.centers[c].x,
+                            attractors[i].y - result.centers[c].y);
+      if (d <= options_.attractor_merge_distance) {
+        assigned = static_cast<int>(c);
+        break;
+      }
+    }
+    if (assigned < 0) {
+      assigned = static_cast<int>(result.centers.size());
+      result.centers.push_back(attractors[i]);
+    }
+    result.labels[i] = assigned;
+  }
+  result.num_clusters = result.centers.size();
+  return result;
+}
+
+}  // namespace geo
+}  // namespace insight

@@ -1,0 +1,203 @@
+#include "geo/quadtree.h"
+
+#include <deque>
+
+#include "common/rng.h"
+
+namespace insight {
+namespace geo {
+
+RegionQuadtree::RegionQuadtree(const BoundingBox& bounds, const Options& options)
+    : options_(options) {
+  root_ = std::make_unique<Node>();
+  // Expand the max edge slightly so points on the nominal boundary fall
+  // inside the half-open Contains().
+  BoundingBox b = bounds;
+  double eps_lat = (b.max_lat - b.min_lat) * 1e-9;
+  double eps_lon = (b.max_lon - b.min_lon) * 1e-9;
+  b.max_lat += eps_lat;
+  b.max_lon += eps_lon;
+  root_->box = b;
+}
+
+Status RegionQuadtree::Insert(const LatLon& p) {
+  if (built_) {
+    return Status::FailedPrecondition("quadtree is frozen; Insert after Build()");
+  }
+  if (!root_->box.Contains(p)) {
+    return Status::InvalidArgument("point outside quadtree bounds");
+  }
+  Node* node = root_.get();
+  while (!node->is_leaf()) {
+    ++node->subtree_seed_count;
+    for (auto& child : node->children) {
+      if (child->box.Contains(p)) {
+        node = child.get();
+        break;
+      }
+    }
+  }
+  node->seeds.push_back(p);
+  ++node->subtree_seed_count;
+  ++num_seeds_;
+  SplitIfNeeded(node);
+  return Status::OK();
+}
+
+void RegionQuadtree::SplitIfNeeded(Node* node) {
+  if (node->seeds.size() <= options_.capacity) return;
+  if (node->depth >= options_.max_depth) return;
+  double mid_lat = (node->box.min_lat + node->box.max_lat) / 2.0;
+  double mid_lon = (node->box.min_lon + node->box.max_lon) / 2.0;
+  const BoundingBox quads[4] = {
+      {node->box.min_lat, node->box.min_lon, mid_lat, mid_lon},  // SW
+      {node->box.min_lat, mid_lon, mid_lat, node->box.max_lon},  // SE
+      {mid_lat, node->box.min_lon, node->box.max_lat, mid_lon},  // NW
+      {mid_lat, mid_lon, node->box.max_lat, node->box.max_lon},  // NE
+  };
+  for (int i = 0; i < 4; ++i) {
+    node->children[i] = std::make_unique<Node>();
+    node->children[i]->box = quads[i];
+    node->children[i]->depth = node->depth + 1;
+  }
+  for (const LatLon& s : node->seeds) {
+    for (auto& child : node->children) {
+      if (child->box.Contains(s)) {
+        child->seeds.push_back(s);
+        ++child->subtree_seed_count;
+        break;
+      }
+    }
+  }
+  node->seeds.clear();
+  for (auto& child : node->children) SplitIfNeeded(child.get());
+}
+
+void RegionQuadtree::Build() {
+  if (built_) return;
+  built_ = true;
+  regions_.clear();
+  std::deque<Node*> queue{root_.get()};
+  while (!queue.empty()) {
+    Node* n = queue.front();
+    queue.pop_front();
+    n->id = static_cast<RegionId>(regions_.size());
+    regions_.push_back(n);
+    if (n->depth > max_layer_) max_layer_ = n->depth;
+    if (!n->is_leaf()) {
+      for (auto& c : n->children) queue.push_back(c.get());
+    }
+  }
+}
+
+const RegionQuadtree::Node* RegionQuadtree::Descend(const LatLon& p,
+                                                    int max_layer) const {
+  if (!root_->box.Contains(p)) return nullptr;
+  const Node* node = root_.get();
+  while (node->depth < max_layer && !node->is_leaf()) {
+    const Node* next = nullptr;
+    for (const auto& child : node->children) {
+      if (child->box.Contains(p)) {
+        next = child.get();
+        break;
+      }
+    }
+    if (next == nullptr) break;  // numeric edge case; stay at current node
+    node = next;
+  }
+  return node;
+}
+
+RegionId RegionQuadtree::Locate(const LatLon& p, int layer) const {
+  if (!built_) return kInvalidRegion;
+  const Node* n = Descend(p, layer);
+  return n == nullptr ? kInvalidRegion : n->id;
+}
+
+RegionId RegionQuadtree::LocateLeaf(const LatLon& p) const {
+  return Locate(p, options_.max_depth + 1);
+}
+
+RegionQuadtree::RegionInfo RegionQuadtree::MakeInfo(const Node* node) const {
+  RegionInfo info;
+  info.id = node->id;
+  info.box = node->box;
+  info.layer = node->depth;
+  info.is_leaf = node->is_leaf();
+  info.seed_count = node->subtree_seed_count;
+  return info;
+}
+
+std::vector<RegionQuadtree::RegionInfo> RegionQuadtree::RegionsAtLayer(
+    int layer) const {
+  std::vector<RegionInfo> out;
+  for (const Node* n : regions_) {
+    if (n->depth == layer) out.push_back(MakeInfo(n));
+  }
+  return out;
+}
+
+std::vector<RegionQuadtree::RegionInfo> RegionQuadtree::RegionsCoveringLayer(
+    int layer) const {
+  std::vector<RegionInfo> out;
+  for (const Node* n : regions_) {
+    if (n->depth == layer || (n->is_leaf() && n->depth < layer)) {
+      out.push_back(MakeInfo(n));
+    }
+  }
+  return out;
+}
+
+std::vector<RegionQuadtree::RegionInfo> RegionQuadtree::Leaves() const {
+  std::vector<RegionInfo> out;
+  for (const Node* n : regions_) {
+    if (n->is_leaf()) out.push_back(MakeInfo(n));
+  }
+  return out;
+}
+
+std::vector<RegionQuadtree::RegionInfo> RegionQuadtree::Query(
+    const BoundingBox& box, int layer) const {
+  std::vector<RegionInfo> out;
+  for (const RegionInfo& info : RegionsCoveringLayer(layer)) {
+    if (info.box.Intersects(box)) out.push_back(info);
+  }
+  return out;
+}
+
+Result<RegionQuadtree::RegionInfo> RegionQuadtree::GetRegion(RegionId id) const {
+  if (!built_) return Status::FailedPrecondition("quadtree not built");
+  if (id < 0 || static_cast<size_t>(id) >= regions_.size()) {
+    return Status::NotFound("no region with id " + std::to_string(id));
+  }
+  return MakeInfo(regions_[static_cast<size_t>(id)]);
+}
+
+BoundingBox DublinBounds() { return {53.28, -6.45, 53.42, -6.05}; }
+
+RegionQuadtree BuildDublinQuadtree(uint64_t seed, size_t num_road_points,
+                                   RegionQuadtree::Options options) {
+  BoundingBox bounds = DublinBounds();
+  RegionQuadtree tree(bounds, options);
+  Rng rng(seed);
+  LatLon centre{53.3498, -6.2603};  // city centre (O'Connell Bridge)
+  // 70% of the "main road" seeds cluster around the centre; the remainder are
+  // spread uniformly, mimicking the uneven seed distribution of Figure 6.
+  size_t accepted = 0;
+  while (accepted < num_road_points) {
+    LatLon p;
+    if (rng.Bernoulli(0.7)) {
+      p.lat = rng.Gaussian(centre.lat, 0.012);
+      p.lon = rng.Gaussian(centre.lon, 0.025);
+    } else {
+      p.lat = rng.Uniform(bounds.min_lat, bounds.max_lat);
+      p.lon = rng.Uniform(bounds.min_lon, bounds.max_lon);
+    }
+    if (tree.Insert(p).ok()) ++accepted;  // redraw out-of-bounds samples
+  }
+  tree.Build();
+  return tree;
+}
+
+}  // namespace geo
+}  // namespace insight

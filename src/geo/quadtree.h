@@ -1,0 +1,123 @@
+#ifndef INSIGHT_GEO_QUADTREE_H_
+#define INSIGHT_GEO_QUADTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/latlon.h"
+
+namespace insight {
+namespace geo {
+
+/// Identifier of a quadtree region. Stable across queries; assigned in
+/// insertion-independent breadth-first order after Build().
+using RegionId = int64_t;
+constexpr RegionId kInvalidRegion = -1;
+
+/// Region quadtree (Section 4.1.1). Built by inserting "important
+/// coordinates" of the city (e.g. main road segments) and splitting any cell
+/// holding more than `capacity` points into four equal sub-regions. Because
+/// seeds are not uniformly distributed, the resulting tree is unbalanced —
+/// exactly the behaviour Figure 6 shows.
+///
+/// Layers: the root is layer 0, its children layer 1, etc. Rules monitor a
+/// layer of the tree; a point's region at layer L is the node at depth L on
+/// its root-to-leaf path, or the leaf itself when the path is shorter.
+class RegionQuadtree {
+ public:
+  struct Options {
+    /// Maximum seed points a cell may hold before splitting.
+    size_t capacity = 8;
+    /// Hard depth limit; cells at this depth never split.
+    int max_depth = 10;
+  };
+
+  struct RegionInfo {
+    RegionId id = kInvalidRegion;
+    BoundingBox box;
+    int layer = 0;
+    bool is_leaf = false;
+    size_t seed_count = 0;
+  };
+
+  RegionQuadtree(const BoundingBox& bounds, const Options& options);
+
+  /// Inserts a seed point. Fails with InvalidArgument for points outside the
+  /// root bounds and FailedPrecondition after Build().
+  Status Insert(const LatLon& p);
+
+  /// Freezes the tree and assigns region ids. Idempotent.
+  void Build();
+
+  /// Region containing p at the given layer (clamped to the leaf when the
+  /// local subtree is shallower). Returns kInvalidRegion for out-of-bounds
+  /// points. Requires Build().
+  RegionId Locate(const LatLon& p, int layer) const;
+
+  /// Deepest region containing p.
+  RegionId LocateLeaf(const LatLon& p) const;
+
+  /// All regions at exactly the given layer (leaves shallower than the layer
+  /// are *not* included; use RegionsCoveringLayer for full coverage).
+  std::vector<RegionInfo> RegionsAtLayer(int layer) const;
+
+  /// The set of regions a layer-L rule actually monitors: nodes at depth L
+  /// plus leaves shallower than L. Together they tile the whole map.
+  std::vector<RegionInfo> RegionsCoveringLayer(int layer) const;
+
+  /// All leaf regions.
+  std::vector<RegionInfo> Leaves() const;
+
+  /// Regions at a layer whose boxes intersect the query box.
+  std::vector<RegionInfo> Query(const BoundingBox& box, int layer) const;
+
+  /// Info for an id assigned by Build().
+  Result<RegionInfo> GetRegion(RegionId id) const;
+
+  /// Deepest layer present in the tree.
+  int max_layer() const { return max_layer_; }
+  size_t num_regions() const { return regions_.size(); }
+  size_t num_seeds() const { return num_seeds_; }
+  bool built() const { return built_; }
+  const BoundingBox& bounds() const { return root_->box; }
+
+ private:
+  struct Node {
+    BoundingBox box;
+    int depth = 0;
+    RegionId id = kInvalidRegion;
+    std::vector<LatLon> seeds;
+    size_t subtree_seed_count = 0;
+    std::unique_ptr<Node> children[4];
+
+    bool is_leaf() const { return children[0] == nullptr; }
+  };
+
+  void SplitIfNeeded(Node* node);
+  const Node* Descend(const LatLon& p, int max_layer) const;
+  RegionInfo MakeInfo(const Node* node) const;
+
+  Options options_;
+  std::unique_ptr<Node> root_;
+  std::vector<const Node*> regions_;  // indexed by RegionId after Build()
+  size_t num_seeds_ = 0;
+  int max_layer_ = 0;
+  bool built_ = false;
+};
+
+/// Builds the Dublin quadtree used throughout the examples and benches:
+/// seeds are synthetic "main road" coordinates concentrated in the city
+/// centre so the tree is unbalanced like the paper's Figure 6.
+RegionQuadtree BuildDublinQuadtree(uint64_t seed, size_t num_road_points = 600,
+                                   RegionQuadtree::Options options = {});
+
+/// The bounding box we use for Dublin city.
+BoundingBox DublinBounds();
+
+}  // namespace geo
+}  // namespace insight
+
+#endif  // INSIGHT_GEO_QUADTREE_H_

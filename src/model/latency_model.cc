@@ -1,0 +1,92 @@
+#include "model/latency_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace insight {
+namespace model {
+
+LatencyModel::LatencyModel(PolynomialRegression f1, PolynomialRegression f2,
+                           PolynomialRegression f3)
+    : f1_(std::move(f1)), f2_(std::move(f2)), f3_(std::move(f3)) {
+  INSIGHT_CHECK(f1_.num_inputs() == 2) << "Function 1 takes (window, thresholds)";
+  INSIGHT_CHECK(f2_.num_inputs() == 2) << "Function 2 takes (latency1, latency2)";
+  INSIGHT_CHECK(f3_.num_inputs() == 2)
+      << "Function 3 takes (own latency, co-located latency)";
+}
+
+LatencyModel LatencyModel::Default() {
+  // Calibrated against this repo's cep::Engine on the generic rule template
+  // (bench_fig09_regression reproduces the fit): the per-tuple cost is a
+  // small constant for the join machinery, ~1.1 us per window element (the
+  // aggregate is recomputed over the filled group window) and a weak linear
+  // term in the number of thresholds (indexed lookups keep it small).
+  PolynomialRegression f1(2, 1);
+  INSIGHT_CHECK(f1.SetCoefficients({0.5, 1.1, 0.012}).ok());
+  // Engines process their rules serially per tuple: additive with a small
+  // per-rule dispatch overhead.
+  PolynomialRegression f2(2, 1);
+  INSIGHT_CHECK(f2.SetCoefficients({0.3, 1.0, 1.0}).ok());
+  // One core per node: co-located engines timeshare, so the tuple service
+  // time inflates by the co-located work.
+  PolynomialRegression f3(2, 1);
+  INSIGHT_CHECK(f3.SetCoefficients({0.0, 1.0, 1.0}).ok());
+  return LatencyModel(std::move(f1), std::move(f2), std::move(f3));
+}
+
+double LatencyModel::SingleRuleLatency(double window_length,
+                                       double num_thresholds) const {
+  return std::max(0.0, f1_.Predict({window_length, num_thresholds}));
+}
+
+double LatencyModel::RuleLatency(const RuleCharacteristics& rule) const {
+  if (rule.measured_latency_micros.has_value()) {
+    return *rule.measured_latency_micros;
+  }
+  return SingleRuleLatency(rule.window_length, rule.num_thresholds);
+}
+
+double LatencyModel::CombineTwo(double latency1, double latency2) const {
+  return std::max(0.0, f2_.Predict({latency1, latency2}));
+}
+
+double LatencyModel::EngineLatency(
+    const std::vector<RuleCharacteristics>& rules) const {
+  if (rules.empty()) return 0.0;
+  double combined = RuleLatency(rules[0]);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    combined = CombineTwo(combined, RuleLatency(rules[i]));
+  }
+  return combined;
+}
+
+double LatencyModel::ColocatedLatency(
+    double own_latency, const std::vector<double>& other_latencies) const {
+  double others = 0.0;
+  for (double l : other_latencies) others += l;
+  if (others == 0.0) return own_latency;
+  return std::max(own_latency, f3_.Predict({own_latency, others}));
+}
+
+std::vector<double> LatencyModel::EstimateAll(
+    const std::vector<std::vector<RuleCharacteristics>>& engine_rules,
+    const std::vector<int>& engine_node) const {
+  INSIGHT_CHECK(engine_rules.size() == engine_node.size())
+      << "one node id per engine required";
+  size_t n = engine_rules.size();
+  std::vector<double> base(n);
+  for (size_t i = 0; i < n; ++i) base[i] = EngineLatency(engine_rules[i]);
+  std::vector<double> adjusted(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> others;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i && engine_node[j] == engine_node[i]) others.push_back(base[j]);
+    }
+    adjusted[i] = ColocatedLatency(base[i], others);
+  }
+  return adjusted;
+}
+
+}  // namespace model
+}  // namespace insight

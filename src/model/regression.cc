@@ -1,0 +1,176 @@
+#include "model/regression.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace insight {
+namespace model {
+
+namespace {
+
+/// Generates all exponent vectors over `n` variables, constant term first,
+/// then by increasing total degree up to `degree`.
+void GenerateTerms(int n, int degree, std::vector<std::vector<int>>* out) {
+  std::vector<int> current(static_cast<size_t>(n), 0);
+  std::function<void(int, int, int)> rec = [&](int var, int remaining,
+                                               int target) {
+    if (var == n) {
+      if (remaining == 0) out->push_back(current);
+      return;
+    }
+    // Higher exponents on earlier variables first, so degree-1 terms come in
+    // input order (x0, x1, ...).
+    for (int e = remaining; e >= 0; --e) {
+      current[static_cast<size_t>(var)] = e;
+      rec(var + 1, remaining - e, target);
+    }
+    current[static_cast<size_t>(var)] = 0;
+  };
+  for (int d = 0; d <= degree; ++d) rec(0, d, d);
+}
+
+}  // namespace
+
+Status SolveLinearSystem(std::vector<std::vector<double>> a,
+                         std::vector<double> b, std::vector<double>* x) {
+  size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("linear system dimensions mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("singular system (collinear features?)");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[i][k] * (*x)[k];
+    (*x)[i] = sum / a[i][i];
+  }
+  return Status::OK();
+}
+
+PolynomialRegression::PolynomialRegression(int num_inputs, int degree)
+    : num_inputs_(num_inputs), degree_(degree) {
+  GenerateTerms(num_inputs, degree, &terms_);
+  coefficients_.assign(terms_.size(), 0.0);
+}
+
+double PolynomialRegression::EvalTerm(size_t term,
+                                      const std::vector<double>& x) const {
+  double v = 1.0;
+  const std::vector<int>& exps = terms_[term];
+  for (size_t i = 0; i < exps.size(); ++i) {
+    for (int e = 0; e < exps[i]; ++e) v *= x[i];
+  }
+  return v;
+}
+
+Status PolynomialRegression::Fit(const std::vector<std::vector<double>>& x,
+                                 const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("X and y sample counts differ");
+  }
+  size_t m = terms_.size();
+  if (x.size() < m) {
+    return Status::InvalidArgument(
+        StrFormat("need at least %zu samples for %zu terms", m, m));
+  }
+  for (const auto& row : x) {
+    if (row.size() != static_cast<size_t>(num_inputs_)) {
+      return Status::InvalidArgument("sample dimension mismatch");
+    }
+  }
+  // Normal equations: (F^T F) c = F^T y.
+  std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+  std::vector<double> aty(m, 0.0);
+  std::vector<double> features(m);
+  for (size_t s = 0; s < x.size(); ++s) {
+    for (size_t t = 0; t < m; ++t) features[t] = EvalTerm(t, x[s]);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i; j < m; ++j) ata[i][j] += features[i] * features[j];
+      aty[i] += features[i] * y[s];
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+  }
+  INSIGHT_RETURN_NOT_OK(SolveLinearSystem(std::move(ata), std::move(aty),
+                                          &coefficients_));
+  fitted_ = true;
+  return Status::OK();
+}
+
+double PolynomialRegression::Predict(const std::vector<double>& x) const {
+  double y = 0.0;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    y += coefficients_[t] * EvalTerm(t, x);
+  }
+  return y;
+}
+
+double PolynomialRegression::MeanAbsoluteError(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& y) const {
+  if (x.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    total += std::fabs(Predict(x[i]) - y[i]);
+  }
+  return total / static_cast<double>(x.size());
+}
+
+double PolynomialRegression::MeanSquaredError(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& y) const {
+  if (x.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = Predict(x[i]) - y[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(x.size());
+}
+
+Status PolynomialRegression::SetCoefficients(std::vector<double> coefficients) {
+  if (coefficients.size() != terms_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu coefficients, got %zu", terms_.size(),
+                  coefficients.size()));
+  }
+  coefficients_ = std::move(coefficients);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::string PolynomialRegression::ToString() const {
+  std::string out;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (t > 0) out += " + ";
+    out += StrFormat("%g", coefficients_[t]);
+    for (size_t i = 0; i < terms_[t].size(); ++i) {
+      for (int e = 0; e < terms_[t][i]; ++e) {
+        out += StrFormat("*x%zu", i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace model
+}  // namespace insight

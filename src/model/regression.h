@@ -1,0 +1,67 @@
+#ifndef INSIGHT_MODEL_REGRESSION_H_
+#define INSIGHT_MODEL_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace insight {
+namespace model {
+
+/// Multivariate polynomial least-squares regression (Section 5.1 uses first
+/// and second order polynomials over one or two inputs). The feature
+/// expansion includes every monomial of total degree <= `degree`, cross terms
+/// included; fitting solves the normal equations with partially pivoted
+/// Gaussian elimination.
+class PolynomialRegression {
+ public:
+  PolynomialRegression(int num_inputs, int degree);
+
+  /// Fits coefficients to the samples. X rows must have `num_inputs`
+  /// columns; requires at least num_terms() samples.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y);
+
+  /// Prediction with the current coefficients (zero before Fit).
+  double Predict(const std::vector<double>& x) const;
+
+  double MeanAbsoluteError(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y) const;
+  double MeanSquaredError(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) const;
+
+  /// Exponent vectors of the monomials, aligned with coefficients(). The
+  /// first term is always the constant (all zero exponents).
+  const std::vector<std::vector<int>>& terms() const { return terms_; }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+  /// Overrides coefficients (used to install pre-calibrated models).
+  Status SetCoefficients(std::vector<double> coefficients);
+
+  size_t num_terms() const { return terms_.size(); }
+  int num_inputs() const { return num_inputs_; }
+  int degree() const { return degree_; }
+  bool fitted() const { return fitted_; }
+
+  /// Human-readable formula like "2.47 + 0.0078*x0 + 2.3e-05*x1".
+  std::string ToString() const;
+
+ private:
+  double EvalTerm(size_t term, const std::vector<double>& x) const;
+
+  int num_inputs_;
+  int degree_;
+  std::vector<std::vector<int>> terms_;
+  std::vector<double> coefficients_;
+  bool fitted_ = false;
+};
+
+/// Solves A x = b (dense, square) by Gaussian elimination with partial
+/// pivoting. Fails on (numerically) singular systems.
+Status SolveLinearSystem(std::vector<std::vector<double>> a,
+                         std::vector<double> b, std::vector<double>* x);
+
+}  // namespace model
+}  // namespace insight
+
+#endif  // INSIGHT_MODEL_REGRESSION_H_

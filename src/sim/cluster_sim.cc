@@ -1,0 +1,242 @@
+#include "sim/cluster_sim.h"
+
+#include <deque>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace insight {
+namespace sim {
+
+ClusterSimulation::ClusterSimulation(Config config,
+                                     std::vector<EngineSpec> engines)
+    : config_(std::move(config)), engines_(std::move(engines)) {}
+
+Status ClusterSimulation::Validate() const {
+  if (config_.node_cores.empty()) {
+    return Status::InvalidArgument("at least one node required");
+  }
+  for (int cores : config_.node_cores) {
+    if (cores <= 0) return Status::InvalidArgument("node cores must be positive");
+  }
+  if (engines_.empty()) {
+    return Status::InvalidArgument("at least one engine required");
+  }
+  for (const EngineSpec& e : engines_) {
+    if (e.node < 0 || e.node >= static_cast<int>(config_.node_cores.size())) {
+      return Status::OutOfRange("engine node " + std::to_string(e.node) +
+                                " out of range");
+    }
+    if (e.service_micros <= 0) {
+      return Status::InvalidArgument("engine service time must be positive");
+    }
+  }
+  if (config_.source_node < 0 ||
+      config_.source_node >= static_cast<int>(config_.node_cores.size())) {
+    return Status::OutOfRange("source node out of range");
+  }
+  if (config_.duration_micros <= 0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+enum class EventKind { kArrivalSpawn, kTupleArrive, kServiceDone };
+
+struct SimEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::kTupleArrive;
+  uint64_t seq = 0;  // tie-break for determinism
+  int engine = -1;
+  double enqueue_time = 0.0;  // kTupleArrive: copy creation time
+  double service_scale = 1.0;
+
+  bool operator>(const SimEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct QueuedCopy {
+  double enqueue_time = 0.0;
+  double service_scale = 1.0;
+};
+
+struct EngineState {
+  std::deque<QueuedCopy> queue;  // waiting copies
+  bool serving = false;
+  double current_service = 0.0;  // duration of the in-flight service
+  uint64_t arrivals = 0;
+  uint64_t processed = 0;
+  double sojourn_sum = 0.0;
+  double service_sum = 0.0;
+  uint64_t max_queue = 0;
+};
+
+struct NodeState {
+  int cores = 1;
+  int busy = 0;  // engines currently serving on this node
+};
+
+}  // namespace
+
+Result<ClusterSimulation::RunResult> ClusterSimulation::Run(
+    double tuples_per_second, const Router& router) const {
+  return Run(tuples_per_second,
+             RouterEx([&router](uint64_t index, std::vector<Target>* targets) {
+               std::vector<int> engines;
+               router(index, &engines);
+               for (int e : engines) targets->push_back({e, 1.0});
+             }));
+}
+
+Result<ClusterSimulation::RunResult> ClusterSimulation::Run(
+    double tuples_per_second, const RouterEx& router) const {
+  INSIGHT_RETURN_NOT_OK(Validate());
+  if (tuples_per_second <= 0) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+
+  const double horizon = static_cast<double>(config_.duration_micros);
+  const double inter_arrival = 1e6 / tuples_per_second;
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<SimEvent>>
+      events;
+  uint64_t seq = 0;
+  auto push = [&](double time, EventKind kind, int engine, double enqueue_time,
+                  double service_scale = 1.0) {
+    events.push(SimEvent{time, kind, seq++, engine, enqueue_time, service_scale});
+  };
+
+  std::vector<EngineState> engine_state(engines_.size());
+  std::vector<NodeState> node_state(config_.node_cores.size());
+  for (size_t n = 0; n < node_state.size(); ++n) {
+    node_state[n].cores = config_.node_cores[n];
+  }
+
+  RunResult result;
+  result.engines.resize(engines_.size());
+
+  // Starts service on `engine` if it has queued work and is idle. Processor
+  // sharing: a service started while busy engines exceed the node's cores is
+  // stretched by busy/cores (approximation: the factor is fixed at start).
+  auto try_start = [&](int engine, double now) {
+    EngineState& es = engine_state[static_cast<size_t>(engine)];
+    NodeState& ns = node_state[static_cast<size_t>(
+        engines_[static_cast<size_t>(engine)].node)];
+    if (es.serving || es.queue.empty()) return;
+    ++ns.busy;
+    es.serving = true;
+    double stretch =
+        std::max(1.0, static_cast<double>(ns.busy) / static_cast<double>(ns.cores));
+    const QueuedCopy& copy = es.queue.front();
+    double work = engines_[static_cast<size_t>(engine)].service_micros *
+                      copy.service_scale +
+                  config_.deserialization_micros;
+    es.current_service = work * stretch;
+    push(now + es.current_service, EventKind::kServiceDone, engine,
+         copy.enqueue_time);
+    es.queue.pop_front();
+  };
+
+  uint64_t tuple_index = 0;
+  std::vector<Target> targets;
+  push(0.0, EventKind::kArrivalSpawn, -1, 0.0);
+
+  while (!events.empty()) {
+    SimEvent ev = events.top();
+    events.pop();
+    if (ev.time > horizon) break;
+    double now = ev.time;
+
+    switch (ev.kind) {
+      case EventKind::kArrivalSpawn: {
+        ++result.tuples_offered;
+        targets.clear();
+        router(tuple_index, &targets);
+        ++tuple_index;
+        double copy_cost = targets.size() > 1 ? config_.serialization_micros : 0.0;
+        for (size_t k = 0; k < targets.size(); ++k) {
+          int engine = targets[k].engine;
+          if (engine < 0 || engine >= static_cast<int>(engines_.size())) continue;
+          double delivery = now + copy_cost * static_cast<double>(k);
+          if (engines_[static_cast<size_t>(engine)].node != config_.source_node) {
+            delivery += config_.network_latency_micros;
+          }
+          ++result.copies_transmitted;
+          push(delivery, EventKind::kTupleArrive, engine, delivery,
+               targets[k].service_scale);
+        }
+        push(now + inter_arrival, EventKind::kArrivalSpawn, -1, 0.0);
+        break;
+      }
+      case EventKind::kTupleArrive: {
+        EngineState& es = engine_state[static_cast<size_t>(ev.engine)];
+        ++es.arrivals;
+        es.queue.push_back({ev.enqueue_time, ev.service_scale});
+        es.max_queue = std::max(es.max_queue, static_cast<uint64_t>(es.queue.size()));
+        try_start(ev.engine, now);
+        break;
+      }
+      case EventKind::kServiceDone: {
+        EngineState& es = engine_state[static_cast<size_t>(ev.engine)];
+        NodeState& ns = node_state[static_cast<size_t>(
+            engines_[static_cast<size_t>(ev.engine)].node)];
+        es.serving = false;
+        ++es.processed;
+        es.sojourn_sum += now - ev.enqueue_time;
+        es.service_sum += es.current_service;
+        --ns.busy;
+        try_start(ev.engine, now);
+        break;
+      }
+    }
+  }
+
+  double sojourn_total = 0.0;
+  double service_total = 0.0;
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    const EngineState& es = engine_state[e];
+    EngineStats& stats = result.engines[e];
+    stats.arrivals = es.arrivals;
+    stats.processed = es.processed;
+    stats.max_queue = es.max_queue;
+    if (es.processed > 0) {
+      stats.avg_sojourn_micros = es.sojourn_sum / static_cast<double>(es.processed);
+      stats.avg_service_micros = es.service_sum / static_cast<double>(es.processed);
+    }
+    result.copies_processed += es.processed;
+    sojourn_total += es.sojourn_sum;
+    service_total += es.service_sum;
+  }
+  if (result.copies_processed > 0) {
+    result.avg_latency_micros =
+        sojourn_total / static_cast<double>(result.copies_processed);
+    result.avg_processing_micros =
+        service_total / static_cast<double>(result.copies_processed);
+  }
+  result.throughput_per_40s = static_cast<double>(result.copies_processed) *
+                              40e6 / static_cast<double>(config_.duration_micros);
+  return result;
+}
+
+std::vector<ClusterSimulation::EngineSpec> SpreadEngines(
+    int num_engines, int num_nodes, const std::vector<double>& service_micros) {
+  std::vector<ClusterSimulation::EngineSpec> out;
+  out.reserve(static_cast<size_t>(num_engines));
+  for (int e = 0; e < num_engines; ++e) {
+    ClusterSimulation::EngineSpec spec;
+    spec.node = e % std::max(1, num_nodes);
+    spec.service_micros = service_micros.empty()
+                              ? 10.0
+                              : service_micros[static_cast<size_t>(e) %
+                                               service_micros.size()];
+    out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace insight

@@ -1,0 +1,123 @@
+#ifndef INSIGHT_SIM_CLUSTER_SIM_H_
+#define INSIGHT_SIM_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace insight {
+namespace sim {
+
+/// Discrete-event simulation of the paper's evaluation cluster: VMs with one
+/// CPU each running Esper-engine tasks. It substitutes for hardware we do
+/// not have (7 VMs on three hosts) while reproducing the two effects the
+/// paper measures:
+///
+///  * CPU oversubscription — engines on a node share its cores, so placing
+///    more engines than cores inflates latency sharply (Figures 16/17);
+///  * inter-node traffic — tuples crossing nodes pay network latency and
+///    duplicate transmissions (the all-grouping penalty of Figures 11-13).
+///
+/// Engines are single-threaded servers with FIFO queues (an Esper engine
+/// processes events serially); a node's cores are the shared resource under
+/// processor sharing: when more engines than cores are serving on a node,
+/// every in-flight service stretches by busy/cores — the preemptive
+/// timeslicing a real OS gives oversubscribed executor threads.
+class ClusterSimulation {
+ public:
+  struct Config {
+    /// cores per node; size = number of nodes (paper: 1 core per VM).
+    std::vector<int> node_cores;
+    /// One-way latency a tuple pays when its target engine lives on a
+    /// different node than its source.
+    double network_latency_micros = 500.0;
+    /// Per-copy serialization cost charged when a tuple is replicated to
+    /// multiple engines (all-grouping).
+    double serialization_micros = 2.0;
+    /// Per-copy deserialization cost charged on the receiving engine (Storm
+    /// executors deserialize their input tuples); re-transmission schemes pay
+    /// it once per copy.
+    double deserialization_micros = 0.0;
+    /// Node hosting the splitter (tuples originate here).
+    int source_node = 0;
+    /// Simulated time horizon; arrivals stop here and the run ends.
+    MicrosT duration_micros = 10'000'000;
+  };
+
+  struct EngineSpec {
+    int node = 0;
+    /// Per-tuple service time of this engine (model- or measurement-
+    /// derived).
+    double service_micros = 10.0;
+  };
+
+  /// Maps a tuple index to the engine(s) it is transmitted to. The rule
+  /// partitioning schemes of Section 4.2.1 are expressed as routers.
+  using Router = std::function<void(uint64_t tuple_index,
+                                    std::vector<int>* target_engines)>;
+
+  /// Extended routing: each copy may scale the target engine's service time.
+  /// The all-grouping baseline of Section 5.3 replicates tuples to every
+  /// engine, but engines not owning the tuple's region only pay a cheap
+  /// filter cost — expressed as a service_scale < 1.
+  struct Target {
+    int engine = 0;
+    double service_scale = 1.0;
+  };
+  using RouterEx =
+      std::function<void(uint64_t tuple_index, std::vector<Target>* targets)>;
+
+  struct EngineStats {
+    uint64_t arrivals = 0;
+    uint64_t processed = 0;
+    double avg_sojourn_micros = 0.0;  // queueing + service, completed tuples
+    double avg_service_micros = 0.0;  // service incl. timesharing stretch
+    uint64_t max_queue = 0;
+  };
+
+  struct RunResult {
+    uint64_t tuples_offered = 0;       // spout emissions
+    uint64_t copies_transmitted = 0;   // after routing fan-out
+    uint64_t copies_processed = 0;
+    double avg_latency_micros = 0.0;   // avg sojourn over processed copies
+    /// Average per-tuple processing time (service stretched by co-location,
+    /// no queueing) — the paper's "latency to process a single input tuple".
+    double avg_processing_micros = 0.0;
+    /// Tuples fully processed per 40 s of simulated time (the paper's
+    /// throughput metric).
+    double throughput_per_40s = 0.0;
+    std::vector<EngineStats> engines;
+  };
+
+  ClusterSimulation(Config config, std::vector<EngineSpec> engines);
+
+  /// Validates the setup (engine nodes in range, positive rates).
+  Status Validate() const;
+
+  /// Runs tuples arriving uniformly at `tuples_per_second` through the
+  /// router until the horizon.
+  Result<RunResult> Run(double tuples_per_second, const Router& router) const;
+  Result<RunResult> Run(double tuples_per_second, const RouterEx& router) const;
+
+  const Config& config() const { return config_; }
+  const std::vector<EngineSpec>& engines() const { return engines_; }
+
+ private:
+  Config config_;
+  std::vector<EngineSpec> engines_;
+};
+
+/// Round-robin assignment of engines to nodes (the paper allocates executors
+/// so "each cluster node will be assigned with the same number of Esper
+/// engines", Section 3.2).
+std::vector<ClusterSimulation::EngineSpec> SpreadEngines(
+    int num_engines, int num_nodes, const std::vector<double>& service_micros);
+
+}  // namespace sim
+}  // namespace insight
+
+#endif  // INSIGHT_SIM_CLUSTER_SIM_H_

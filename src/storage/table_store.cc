@@ -1,0 +1,226 @@
+#include "storage/table_store.h"
+
+#include <set>
+
+namespace insight {
+namespace storage {
+
+int QueryResult::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableStore::CreateTable(const std::string& name,
+                               std::vector<Column> columns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[name].columns = std::move(columns);
+  return Status::OK();
+}
+
+Status TableStore::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return Status::OK();
+}
+
+bool TableStore::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.count(name) > 0;
+}
+
+Result<const TableStore::Table*> TableStore::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+Status TableStore::Insert(const std::string& table, RowValues row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table '" + table + "'");
+  if (row.size() != it->second.columns.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values; table '" + table +
+        "' has " + std::to_string(it->second.columns.size()) + " columns");
+  }
+  it->second.rows.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status TableStore::Truncate(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table '" + table + "'");
+  it->second.rows.clear();
+  return Status::OK();
+}
+
+Result<QueryResult> TableStore::Select(
+    const std::string& table, const std::vector<Projection>& projections,
+    const std::function<bool(const QueryResult&, const RowValues&)>& predicate,
+    bool distinct) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  INSIGHT_ASSIGN_OR_RETURN(const Table* t, Find(table));
+  ++query_count_;
+
+  // Schema view handed to predicates/computed projections.
+  QueryResult schema;
+  for (const Column& c : t->columns) schema.columns.push_back(c.name);
+
+  QueryResult out;
+  std::vector<int> plain_indexes(projections.size(), -1);
+  for (size_t i = 0; i < projections.size(); ++i) {
+    out.columns.push_back(projections[i].name);
+    if (!projections[i].compute) {
+      int idx = schema.ColumnIndex(projections[i].name);
+      if (idx < 0) {
+        return Status::NotFound("table '" + table + "' has no column '" +
+                                projections[i].name + "'");
+      }
+      plain_indexes[i] = idx;
+    }
+  }
+
+  std::set<std::string> seen;
+  for (const RowValues& row : t->rows) {
+    if (predicate && !predicate(schema, row)) continue;
+    RowValues projected;
+    projected.reserve(projections.size());
+    for (size_t i = 0; i < projections.size(); ++i) {
+      if (projections[i].compute) {
+        projected.push_back(projections[i].compute(schema, row));
+      } else {
+        projected.push_back(row[static_cast<size_t>(plain_indexes[i])]);
+      }
+    }
+    if (distinct) {
+      std::string key;
+      for (const Value& v : projected) {
+        key += v.ToString();
+        key += '\x1f';
+      }
+      if (!seen.insert(key).second) continue;
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<QueryResult> TableStore::SelectAll(const std::string& table) const {
+  std::vector<Projection> projections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    INSIGHT_ASSIGN_OR_RETURN(const Table* t, Find(table));
+    for (const Column& c : t->columns) projections.push_back({c.name, nullptr});
+  }
+  return Select(table, projections);
+}
+
+Result<size_t> TableStore::RowCount(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  INSIGHT_ASSIGN_OR_RETURN(const Table* t, Find(table));
+  return t->rows.size();
+}
+
+std::vector<std::string> TableStore::TableNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t TableStore::query_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return query_count_;
+}
+
+int64_t TableStore::charged_cost_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(query_count_) * options_.simulated_query_cost_micros;
+}
+
+std::vector<Column> StatisticsColumns() {
+  return {{"areaId", ValueType::kInt},      {"currentHour", ValueType::kInt},
+          {"dateType", ValueType::kString}, {"attr_mean", ValueType::kDouble},
+          {"attr_stdv", ValueType::kDouble}, {"sample_count", ValueType::kInt}};
+}
+
+std::string StatisticsTableName(const std::string& attribute) {
+  return "statistics_" + attribute;
+}
+
+Result<std::vector<ThresholdRow>> QueryThresholds(const TableStore& store,
+                                                  const std::string& attribute,
+                                                  double s) {
+  std::vector<TableStore::Projection> projections;
+  projections.push_back(
+      {"thresholdLocation",
+       [s](const QueryResult& schema, const RowValues& row) -> Value {
+         double mean = row[static_cast<size_t>(schema.ColumnIndex("attr_mean"))]
+                           .AsDouble();
+         double stdv = row[static_cast<size_t>(schema.ColumnIndex("attr_stdv"))]
+                           .AsDouble();
+         return mean + s * stdv;
+       }});
+  projections.push_back({"currentHour", nullptr});
+  projections.push_back({"dateType", nullptr});
+  projections.push_back({"areaId", nullptr});
+
+  INSIGHT_ASSIGN_OR_RETURN(
+      QueryResult result,
+      store.Select(StatisticsTableName(attribute), projections, nullptr,
+                   /*distinct=*/true));
+  std::vector<ThresholdRow> rows;
+  rows.reserve(result.rows.size());
+  for (const RowValues& row : result.rows) {
+    ThresholdRow t;
+    t.threshold = row[0].AsDouble();
+    t.hour = row[1].AsInt();
+    t.date_type = row[2].AsString();
+    t.location = row[3].AsInt();
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+Result<double> QueryThresholdFor(const TableStore& store,
+                                 const std::string& attribute, double s,
+                                 int64_t location, int64_t hour,
+                                 const std::string& date_type) {
+  std::vector<TableStore::Projection> projections;
+  projections.push_back(
+      {"thresholdLocation",
+       [s](const QueryResult& schema, const RowValues& row) -> Value {
+         double mean = row[static_cast<size_t>(schema.ColumnIndex("attr_mean"))]
+                           .AsDouble();
+         double stdv = row[static_cast<size_t>(schema.ColumnIndex("attr_stdv"))]
+                           .AsDouble();
+         return mean + s * stdv;
+       }});
+  auto predicate = [&](const QueryResult& schema, const RowValues& row) {
+    return row[static_cast<size_t>(schema.ColumnIndex("areaId"))].AsInt() ==
+               location &&
+           row[static_cast<size_t>(schema.ColumnIndex("currentHour"))].AsInt() ==
+               hour &&
+           row[static_cast<size_t>(schema.ColumnIndex("dateType"))].AsString() ==
+               date_type;
+  };
+  INSIGHT_ASSIGN_OR_RETURN(
+      QueryResult result,
+      store.Select(StatisticsTableName(attribute), projections, predicate));
+  if (result.rows.empty()) {
+    return Status::NotFound("no threshold for location " +
+                            std::to_string(location));
+  }
+  return result.rows[0][0].AsDouble();
+}
+
+}  // namespace storage
+}  // namespace insight

@@ -1,0 +1,301 @@
+#include "traffic/bolts.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace insight {
+namespace traffic {
+
+using cep::Value;
+using cep::ValueType;
+using dsps::Fields;
+using dsps::Tuple;
+
+namespace {
+constexpr double kMicrosPerHour = 3600.0 * 1e6;
+
+std::vector<std::string> RawNames() {
+  return {"timestamp", "line",       "direction",     "lon",    "lat",
+          "delay",     "congestion", "reported_stop", "vehicle"};
+}
+
+std::vector<std::string> PreProcessedNames() {
+  auto names = RawNames();
+  names.insert(names.end(), {"speed", "actual_delay", "hour", "date_type"});
+  return names;
+}
+
+std::vector<std::string> AreaNames(const std::vector<int>& layers) {
+  auto names = PreProcessedNames();
+  names.push_back("area_leaf");
+  for (int layer : layers) names.push_back("area_layer" + std::to_string(layer));
+  return names;
+}
+
+std::vector<std::string> EnrichedNames(const std::vector<int>& layers) {
+  auto names = AreaNames(layers);
+  names.push_back("bus_stop");
+  return names;
+}
+
+}  // namespace
+
+Fields RawTraceFields() { return Fields(RawNames()); }
+Fields PreProcessedFields() { return Fields(PreProcessedNames()); }
+Fields AreaFields(const std::vector<int>& layers) {
+  return Fields(AreaNames(layers));
+}
+Fields EnrichedFields(const std::vector<int>& layers) {
+  return Fields(EnrichedNames(layers));
+}
+Fields DetectionFields() {
+  return Fields(
+      {"rule", "attribute", "location", "value", "threshold", "timestamp"});
+}
+
+std::vector<Value> TraceToRawValues(const BusTrace& trace) {
+  return {Value(trace.timestamp),
+          Value(trace.line_id),
+          Value(trace.direction),
+          Value(trace.position.lon),
+          Value(trace.position.lat),
+          Value(trace.delay_seconds),
+          Value(trace.congestion),
+          Value(trace.reported_stop_id),
+          Value(trace.vehicle_id)};
+}
+
+std::vector<Value> TraceToEnrichedValues(const BusTrace& trace) {
+  std::vector<Value> values = TraceToRawValues(trace);
+  values.push_back(trace.speed_kmh);
+  values.push_back(trace.actual_delay);
+  values.push_back(static_cast<int64_t>(trace.hour));
+  values.push_back(trace.date_type);
+  values.push_back(trace.area_leaf);
+  values.push_back(trace.bus_stop);
+  return values;
+}
+
+std::vector<cep::EventType::Field> BusEventFields(const std::vector<int>& layers) {
+  std::vector<cep::EventType::Field> fields = {
+      {"timestamp", ValueType::kInt},    {"line", ValueType::kInt},
+      {"direction", ValueType::kBool},   {"lon", ValueType::kDouble},
+      {"lat", ValueType::kDouble},       {"delay", ValueType::kDouble},
+      {"congestion", ValueType::kBool},  {"reported_stop", ValueType::kInt},
+      {"vehicle", ValueType::kInt},      {"speed", ValueType::kDouble},
+      {"actual_delay", ValueType::kDouble}, {"hour", ValueType::kInt},
+      {"date_type", ValueType::kString}, {"area_leaf", ValueType::kInt},
+  };
+  for (int layer : layers) {
+    fields.push_back({"area_layer" + std::to_string(layer), ValueType::kInt});
+  }
+  fields.push_back({"bus_stop", ValueType::kInt});
+  return fields;
+}
+
+std::string ThresholdEventTypeName(const std::string& attribute) {
+  return "threshold_" + attribute;
+}
+
+std::vector<cep::EventType::Field> ThresholdEventFields() {
+  return {{"location", ValueType::kInt},
+          {"hour", ValueType::kInt},
+          {"day", ValueType::kString},
+          {"value", ValueType::kDouble}};
+}
+
+// ---------------------------------------------------------------------------
+// BusReaderSpout
+// ---------------------------------------------------------------------------
+
+void BusReaderSpout::Open(const dsps::TaskContext& context) {
+  next_ = static_cast<size_t>(context.task_index);
+  stride_ = static_cast<size_t>(context.num_tasks);
+}
+
+bool BusReaderSpout::NextTuple(dsps::Collector* collector) {
+  if (next_ >= traces_->size()) return false;
+  const BusTrace& trace = (*traces_)[next_];
+  collector->Emit(enriched_ ? TraceToEnrichedValues(trace)
+                            : TraceToRawValues(trace));
+  next_ += stride_;
+  return next_ < traces_->size();
+}
+
+Result<std::vector<BusTrace>> LoadTracesCsv(std::istream* in) {
+  std::vector<BusTrace> traces;
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  while (reader.Next(&row)) {
+    INSIGHT_ASSIGN_OR_RETURN(BusTrace trace, BusTrace::FromCsvRow(row));
+    traces.push_back(std::move(trace));
+  }
+  INSIGHT_RETURN_NOT_OK(reader.last_status());
+  return traces;
+}
+
+// ---------------------------------------------------------------------------
+// PreProcessBolt
+// ---------------------------------------------------------------------------
+
+void PreProcessBolt::Execute(const Tuple& input, dsps::Collector* collector) {
+  int vehicle = static_cast<int>(input.Get(8).AsInt());
+  MicrosT timestamp = input.Get(0).AsInt();
+  geo::LatLon position{input.Get(4).AsDouble(), input.Get(3).AsDouble()};
+  double delay = input.Get(5).AsDouble();
+
+  // Speed and actual delay are deltas against the vehicle's previous report;
+  // the first report of a vehicle has neither, so it only seeds the state
+  // (emitting a zero speed would trip the low-speed rules spuriously).
+  auto it = vehicles_.find(vehicle);
+  if (it == vehicles_.end() || timestamp <= it->second.timestamp) {
+    vehicles_[vehicle] = {position, delay, timestamp};
+    return;
+  }
+  double meters = geo::HaversineMeters(it->second.position, position);
+  double hours =
+      static_cast<double>(timestamp - it->second.timestamp) / kMicrosPerHour;
+  double speed = hours > 0 ? meters / 1000.0 / hours : 0.0;
+  double actual_delay = delay - it->second.delay;
+  vehicles_[vehicle] = {position, delay, timestamp};
+
+  int hour = static_cast<int>(static_cast<double>(timestamp) / kMicrosPerHour) % 24;
+  std::vector<Value> out = input.values();
+  out.push_back(speed);
+  out.push_back(actual_delay);
+  out.push_back(hour);
+  out.push_back(std::string(weekend_ ? "weekend" : "weekday"));
+  collector->Emit(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// AreaTrackerBolt
+// ---------------------------------------------------------------------------
+
+void AreaTrackerBolt::Execute(const Tuple& input, dsps::Collector* collector) {
+  geo::LatLon position{input.Get(4).AsDouble(), input.Get(3).AsDouble()};
+  std::vector<Value> out = input.values();
+  out.push_back(static_cast<int64_t>(quadtree_->LocateLeaf(position)));
+  for (int layer : layers_) {
+    out.push_back(static_cast<int64_t>(quadtree_->Locate(position, layer)));
+  }
+  collector->Emit(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// BusStopsTrackerBolt
+// ---------------------------------------------------------------------------
+
+void BusStopsTrackerBolt::Execute(const Tuple& input,
+                                  dsps::Collector* collector) {
+  geo::LatLon position{input.Get(4).AsDouble(), input.Get(3).AsDouble()};
+  int line = static_cast<int>(input.Get(1).AsInt());
+  bool direction = input.Get(2).AsBool();
+  std::vector<Value> out = input.values();
+  out.push_back(index_->Locate(position, line, direction));
+  collector->Emit(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// SplitterBolt
+// ---------------------------------------------------------------------------
+
+void SplitterBolt::Execute(const Tuple& input, dsps::Collector* collector) {
+  targets_.clear();
+  router_(input, &targets_);
+  for (int task : targets_) {
+    collector->EmitDirect(task, input.values());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EsperBolt
+// ---------------------------------------------------------------------------
+
+void EsperBolt::Prepare(const dsps::TaskContext& context) {
+  task_index_ = context.task_index;
+  engine_ = std::make_unique<cep::Engine>();
+  INSIGHT_CHECK(engine_->RegisterEventType("bus", BusEventFields(config_->layers))
+                    .ok());
+  for (const char* attr :
+       {kAttrDelay, kAttrActualDelay, kAttrSpeed, kAttrCongestion}) {
+    // One threshold stream per attribute and per location namespace
+    // (quadtree regions vs canonical bus stops).
+    for (const char* suffix : {"", "_stop"}) {
+      INSIGHT_CHECK(
+          engine_
+              ->RegisterEventType(
+                  ThresholdEventTypeName(std::string(attr) + suffix),
+                  ThresholdEventFields())
+              .ok());
+    }
+  }
+  bus_type_ = *engine_->GetEventType("bus");
+
+  if (static_cast<size_t>(task_index_) < config_->rules_per_task.size()) {
+    for (const auto& [name, epl] :
+         config_->rules_per_task[static_cast<size_t>(task_index_)]) {
+      auto stmt = engine_->AddStatement(epl, name);
+      INSIGHT_CHECK(stmt.ok()) << "rule '" << name
+                               << "' failed to compile: " << stmt.status().ToString()
+                               << "\nEPL: " << epl;
+      (*stmt)->AddListener([this, rule_name = name](const cep::MatchResult& m) {
+        cep::MatchResult named = m;
+        named.statement_name = rule_name;
+        pending_matches_.push_back(std::move(named));
+      });
+    }
+  }
+  if (config_->preload) config_->preload(engine_.get(), task_index_);
+}
+
+void EsperBolt::Execute(const Tuple& input, dsps::Collector* collector) {
+  if (config_->before_send) {
+    config_->before_send(engine_.get(), task_index_, input);
+  }
+  // The tuple's fields align with the bus event type by construction.
+  auto event = std::make_shared<cep::Event>(bus_type_, input.values(),
+                                            input.Get(0).AsInt());
+  engine_->SendEvent(event);
+  for (cep::MatchResult& match : pending_matches_) {
+    // Detection tuple: rule, attribute, location, value, threshold, timestamp.
+    auto get_or = [&](const std::string& column, Value fallback) {
+      auto v = match.Get(column);
+      return v.ok() ? *v : fallback;
+    };
+    collector->Emit({Value(match.statement_name),
+                     get_or("attribute", Value(std::string())),
+                     get_or("location", Value(int64_t{-1})),
+                     get_or("value", Value(0.0)),
+                     get_or("threshold", Value(0.0)),
+                     get_or("timestamp", Value(input.Get(0).AsInt()))});
+  }
+  pending_matches_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// EventsStorerBolt
+// ---------------------------------------------------------------------------
+
+std::vector<storage::Column> EventsStorerBolt::TableColumns() {
+  return {{"rule", ValueType::kString},    {"attribute", ValueType::kString},
+          {"location", ValueType::kInt},   {"value", ValueType::kDouble},
+          {"threshold", ValueType::kDouble}, {"timestamp", ValueType::kInt}};
+}
+
+void EventsStorerBolt::Prepare(const dsps::TaskContext& /*context*/) {
+  if (!store_->HasTable(kTableName)) {
+    // Racing tasks may both attempt creation; AlreadyExists is fine.
+    (void)store_->CreateTable(kTableName, TableColumns());
+  }
+}
+
+void EventsStorerBolt::Execute(const Tuple& input,
+                               dsps::Collector* /*collector*/) {
+  storage::RowValues row(input.values().begin(), input.values().end());
+  INSIGHT_CHECK(store_->Insert(kTableName, std::move(row)).ok());
+}
+
+}  // namespace traffic
+}  // namespace insight

@@ -1,0 +1,281 @@
+#include "traffic/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "geo/quadtree.h"
+
+namespace insight {
+namespace traffic {
+
+namespace {
+constexpr double kMicrosPerHour = 3600.0 * 1e6;
+}
+
+TraceGenerator::TraceGenerator(const Options& options)
+    : options_(options), rng_(options.seed), centre_{53.3498, -6.2603} {
+  INSIGHT_CHECK(options_.num_lines > 0 && options_.num_buses > 0);
+  INSIGHT_CHECK(options_.end_hour > options_.start_hour);
+  BuildLines();
+  end_time_ = static_cast<MicrosT>(options_.end_hour * kMicrosPerHour);
+  MicrosT start = static_cast<MicrosT>(options_.start_hour * kMicrosPerHour);
+  next_incident_check_ = start;
+
+  buses_.resize(static_cast<size_t>(options_.num_buses));
+  for (int i = 0; i < options_.num_buses; ++i) {
+    Bus& bus = buses_[static_cast<size_t>(i)];
+    bus.vehicle_id = 33000 + i;  // DCC-style vehicle ids
+    bus.line_id = i % options_.num_lines;
+    bus.direction = (i / options_.num_lines) % 2 == 1;
+    bus.progress = rng_.Uniform(0.0, static_cast<double>(options_.stops_per_line - 1));
+    bus.delay_seconds = rng_.Gaussian(0.0, 30.0);
+    bus.last_delay = bus.delay_seconds;
+    // Stagger reports across the interval so timestamps are distinct.
+    bus.next_report =
+        start + static_cast<MicrosT>(
+                    static_cast<double>(i) / options_.num_buses *
+                    static_cast<double>(options_.report_interval_micros));
+  }
+}
+
+void TraceGenerator::BuildLines() {
+  geo::BoundingBox bounds = geo::DublinBounds();
+  line_stops_.resize(static_cast<size_t>(options_.num_lines));
+  for (int l = 0; l < options_.num_lines; ++l) {
+    // A route from one side of the city, through near-centre, to the other
+    // side, with per-stop jitter.
+    double angle = rng_.Uniform(0.0, 2.0 * 3.14159265358979);
+    double span_lat = (bounds.max_lat - bounds.min_lat) * 0.42;
+    double span_lon = (bounds.max_lon - bounds.min_lon) * 0.42;
+    geo::LatLon via{centre_.lat + rng_.Gaussian(0.0, 0.008),
+                    centre_.lon + rng_.Gaussian(0.0, 0.015)};
+    geo::LatLon a{via.lat + span_lat * std::sin(angle),
+                  via.lon + span_lon * std::cos(angle)};
+    geo::LatLon b{via.lat - span_lat * std::sin(angle),
+                  via.lon - span_lon * std::cos(angle)};
+    auto clamp = [&](geo::LatLon p) {
+      p.lat = std::clamp(p.lat, bounds.min_lat + 1e-4, bounds.max_lat - 1e-4);
+      p.lon = std::clamp(p.lon, bounds.min_lon + 1e-4, bounds.max_lon - 1e-4);
+      return p;
+    };
+    a = clamp(a);
+    b = clamp(b);
+    auto& stops = line_stops_[static_cast<size_t>(l)];
+    stops.reserve(static_cast<size_t>(options_.stops_per_line));
+    for (int s = 0; s < options_.stops_per_line; ++s) {
+      double f = static_cast<double>(s) / (options_.stops_per_line - 1);
+      // Quadratic Bezier a -> via -> b bends routes through the centre.
+      double u = 1.0 - f;
+      geo::LatLon p{u * u * a.lat + 2 * u * f * via.lat + f * f * b.lat,
+                    u * u * a.lon + 2 * u * f * via.lon + f * f * b.lon};
+      p.lat += rng_.Gaussian(0.0, 0.0006);
+      p.lon += rng_.Gaussian(0.0, 0.0012);
+      stops.push_back(clamp(p));
+    }
+  }
+}
+
+const std::vector<geo::LatLon>& TraceGenerator::LineStops(int line_id) const {
+  return line_stops_[static_cast<size_t>(line_id % options_.num_lines)];
+}
+
+int64_t TraceGenerator::TrueStopId(int line_id, int stop_index) const {
+  return static_cast<int64_t>(line_id) * 1000 + stop_index;
+}
+
+geo::LatLon TraceGenerator::PositionOnLine(int line_id, double progress) const {
+  const auto& stops = line_stops_[static_cast<size_t>(line_id)];
+  double clamped =
+      std::clamp(progress, 0.0, static_cast<double>(stops.size() - 1));
+  size_t i = static_cast<size_t>(clamped);
+  if (i + 1 >= stops.size()) return stops.back();
+  double f = clamped - static_cast<double>(i);
+  return {stops[i].lat * (1 - f) + stops[i + 1].lat * f,
+          stops[i].lon * (1 - f) + stops[i + 1].lon * f};
+}
+
+double TraceGenerator::HourCongestion(int hour_of_day, bool weekend) {
+  // Two gaussian rush-hour bumps on weekdays; a flatter midday bump on
+  // weekends.
+  auto bump = [](double h, double centre, double width, double height) {
+    double d = (h - centre) / width;
+    return height * std::exp(-0.5 * d * d);
+  };
+  double h = static_cast<double>(hour_of_day % 24);
+  if (weekend) {
+    return 0.15 + bump(h, 14.0, 3.5, 0.3);
+  }
+  return 0.15 + bump(h, 8.5, 1.4, 0.65) + bump(h, 17.5, 1.6, 0.7);
+}
+
+void TraceGenerator::MaybeSpawnIncident(MicrosT now) {
+  // Poisson thinning at 1-minute resolution.
+  while (next_incident_check_ <= now) {
+    next_incident_check_ += 60'000'000;
+    double p_per_minute = options_.incidents_per_hour / 60.0;
+    if (!rng_.Bernoulli(p_per_minute)) continue;
+    Incident incident;
+    incident.start = next_incident_check_;
+    incident.end = incident.start +
+                   static_cast<MicrosT>(rng_.Uniform(20.0, 45.0) * 60.0 * 1e6);
+    int line = static_cast<int>(rng_.NextUint(static_cast<uint64_t>(options_.num_lines)));
+    double at = rng_.Uniform(0.0, static_cast<double>(options_.stops_per_line - 1));
+    incident.center = PositionOnLine(line, at);
+    incident.radius_meters = rng_.Uniform(500.0, 1200.0);
+    incident.severity = rng_.Uniform(0.15, 0.4);
+    incidents_.push_back(incident);
+  }
+}
+
+double TraceGenerator::SpeedAt(const geo::LatLon& position, MicrosT now,
+                               bool* congested) {
+  int hour = static_cast<int>(static_cast<double>(now) / kMicrosPerHour) % 24;
+  double congestion = HourCongestion(hour, options_.weekend);
+  // Centre factor: within ~2.5 km of the centre traffic is slower.
+  double centre_distance = geo::HaversineMeters(position, centre_);
+  double centre_factor = 1.0 - 0.45 * std::exp(-centre_distance / 2500.0);
+  double speed = options_.base_speed_kmh * centre_factor * (1.0 - 0.55 * congestion);
+  // Active incidents dominate.
+  bool in_incident = false;
+  for (const Incident& incident : incidents_) {
+    if (now < incident.start || now > incident.end) continue;
+    if (geo::HaversineMeters(position, incident.center) <= incident.radius_meters) {
+      speed *= incident.severity;
+      in_incident = true;
+      break;
+    }
+  }
+  speed = std::max(1.0, speed + rng_.Gaussian(0.0, 2.5));
+  *congested = in_incident || speed < 7.0;
+  return speed;
+}
+
+bool TraceGenerator::Next(BusTrace* trace) {
+  if (schedule_.empty()) {
+    for (size_t i = 0; i < buses_.size(); ++i) {
+      schedule_.emplace(buses_[i].next_report, i);
+    }
+  }
+  auto [best_time, best] = schedule_.top();
+  if (best_time > end_time_) return false;
+  schedule_.pop();
+  Bus& bus = buses_[best];
+  MicrosT now = bus.next_report;
+  MaybeSpawnIncident(now);
+
+  geo::LatLon position = PositionOnLine(bus.line_id, bus.progress);
+  bool congested = false;
+  double speed = SpeedAt(position, now, &congested);
+
+  // Advance progress for the next report: stop spacing approximated from the
+  // route geometry.
+  const auto& stops = line_stops_[static_cast<size_t>(bus.line_id)];
+  size_t seg = std::min(static_cast<size_t>(bus.progress), stops.size() - 2);
+  double seg_meters =
+      std::max(120.0, geo::HaversineMeters(stops[seg], stops[seg + 1]));
+  double dt_hours = static_cast<double>(options_.report_interval_micros) / kMicrosPerHour;
+  double meters_moved = speed * 1000.0 * dt_hours;
+  double delta_progress = meters_moved / seg_meters;
+  double direction_sign = bus.direction ? -1.0 : 1.0;
+  bus.progress += direction_sign * delta_progress;
+  if (bus.progress >= static_cast<double>(stops.size() - 1)) {
+    bus.progress = static_cast<double>(stops.size() - 1);
+    bus.direction = !bus.direction;
+    bus.delay_seconds = rng_.Gaussian(0.0, 20.0);  // fresh trip
+  } else if (bus.progress <= 0.0) {
+    bus.progress = 0.0;
+    bus.direction = !bus.direction;
+    bus.delay_seconds = rng_.Gaussian(0.0, 20.0);
+  }
+
+  // Delay drift: congested conditions add delay; drivers claw back slack
+  // otherwise (mean reversion).
+  double expected_speed = options_.base_speed_kmh * 0.75;
+  double drift = (expected_speed - speed) / expected_speed * 18.0;  // sec/report
+  bus.delay_seconds += drift + rng_.Gaussian(0.0, 4.0);
+  bus.delay_seconds -= 0.04 * bus.delay_seconds;  // mean reversion
+
+  // At-stop detection: within 0.12 stop-units of an integer index.
+  double nearest_stop = std::round(bus.progress);
+  bool at_stop = std::fabs(bus.progress - nearest_stop) < 0.12;
+
+  BusTrace t;
+  t.timestamp = now;
+  t.line_id = bus.line_id;
+  t.direction = bus.direction;
+  // GPS noise.
+  geo::LocalProjection proj(position);
+  t.position = proj.FromXY(rng_.Gaussian(0.0, options_.gps_noise_meters),
+                           rng_.Gaussian(0.0, options_.gps_noise_meters));
+  t.delay_seconds = bus.delay_seconds;
+  t.congestion = congested;
+  if (at_stop) {
+    int stop_index = static_cast<int>(nearest_stop);
+    int64_t id = TrueStopId(bus.line_id, stop_index);
+    if (rng_.Bernoulli(options_.wrong_stop_id_rate)) {
+      id += rng_.UniformInt(-2, 2);  // nearby-but-different id (noise)
+    }
+    t.reported_stop_id = id;
+  }
+  t.vehicle_id = bus.vehicle_id;
+  t.speed_kmh = speed;
+  t.actual_delay = bus.delay_seconds - bus.last_delay;
+  t.hour = static_cast<int>(static_cast<double>(now) / kMicrosPerHour) % 24;
+  t.date_type = options_.weekend ? "weekend" : "weekday";
+
+  bus.last_delay = bus.delay_seconds;
+  bus.last_position = t.position;
+  bus.has_last = true;
+  bus.next_report = now + options_.report_interval_micros;
+  schedule_.emplace(bus.next_report, best);
+  *trace = std::move(t);
+  return true;
+}
+
+std::vector<BusTrace> TraceGenerator::GenerateAll(size_t max_traces) {
+  std::vector<BusTrace> out;
+  BusTrace trace;
+  while (out.size() < max_traces && Next(&trace)) out.push_back(trace);
+  return out;
+}
+
+size_t TraceGenerator::WriteCsv(std::ostream* out, size_t max_traces) {
+  CsvWriter writer(out);
+  BusTrace trace;
+  size_t written = 0;
+  while (written < max_traces && Next(&trace)) {
+    writer.Write(trace.ToCsvRow());
+    ++written;
+  }
+  return written;
+}
+
+std::vector<geo::StopReport> TraceGenerator::CollectStopReports(
+    size_t max_reports) {
+  std::vector<geo::StopReport> reports;
+  std::map<int, geo::LatLon> last_position;  // per vehicle
+  BusTrace trace;
+  while (reports.size() < max_reports && Next(&trace)) {
+    if (trace.reported_stop_id >= 0) {
+      geo::StopReport report;
+      report.position = trace.position;
+      report.line_id = trace.line_id;
+      report.direction = trace.direction;
+      auto it = last_position.find(trace.vehicle_id);
+      if (it != last_position.end()) {
+        report.entry_angle_deg =
+            geo::BearingDegrees(it->second, trace.position);
+      } else {
+        report.entry_angle_deg = trace.direction ? 270.0 : 90.0;
+      }
+      reports.push_back(report);
+    }
+    last_position[trace.vehicle_id] = trace.position;
+  }
+  return reports;
+}
+
+}  // namespace traffic
+}  // namespace insight

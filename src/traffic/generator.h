@@ -1,0 +1,124 @@
+#ifndef INSIGHT_TRAFFIC_GENERATOR_H_
+#define INSIGHT_TRAFFIC_GENERATOR_H_
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geo/bus_stops.h"
+#include "geo/latlon.h"
+#include "traffic/trace.h"
+
+namespace insight {
+namespace traffic {
+
+/// An injected traffic incident (ground truth for detection-quality checks).
+struct Incident {
+  MicrosT start = 0;
+  MicrosT end = 0;
+  geo::LatLon center;
+  double radius_meters = 800.0;
+  /// Speed multiplier inside the radius (0.2 = crawling).
+  double severity = 0.2;
+};
+
+/// Synthetic Dublin bus feed reproducing the dataset of Tables 1/2: 911
+/// buses on 67 lines, one report per bus every 20 seconds, service from 6 am
+/// to 3 am. The real DCC dataset is not redistributable, so the generator
+/// synthesizes spatially and temporally structured traffic:
+///
+///  * each line is a polyline of stops crossing the city centre;
+///  * speed follows a time-of-day profile (rush-hour dips at 8-9 and 17-18)
+///    scaled down near the centre;
+///  * delay performs a mean-reverting random walk whose drift follows
+///    congestion, so "normal" delay differs per area and hour — the
+///    premise of the dynamic thresholds;
+///  * Poisson incidents slow buses inside a radius and push delays up —
+///    the anomalies the rules must detect;
+///  * stop reports are noisy: GPS jitter and occasionally wrong stop ids
+///    (Section 4.1.2's motivation for DENCLUE-based canonical stops).
+class TraceGenerator {
+ public:
+  struct Options {
+    int num_buses = 911;      // Table 2
+    int num_lines = 67;       // Table 2
+    int stops_per_line = 24;
+    MicrosT report_interval_micros = 20'000'000;  // 3 tuples/min (Table 2)
+    int start_hour = 6;       // 6 am (Table 2)
+    int end_hour = 27;        // 3 am next day (Table 2)
+    bool weekend = false;
+    uint64_t seed = 42;
+    /// Mean incidents spawned per simulated hour.
+    double incidents_per_hour = 1.0;
+    double gps_noise_meters = 12.0;
+    /// Probability a stop report carries a wrong stop id.
+    double wrong_stop_id_rate = 0.05;
+    double base_speed_kmh = 28.0;
+  };
+
+  explicit TraceGenerator(const Options& options);
+
+  /// Produces the next trace in timestamp order; false after end of service.
+  bool Next(BusTrace* trace);
+
+  /// Drains the remaining feed into a vector (use small Options for this).
+  std::vector<BusTrace> GenerateAll(size_t max_traces = SIZE_MAX);
+
+  /// Writes the remaining feed as CSV lines.
+  size_t WriteCsv(std::ostream* out, size_t max_traces = SIZE_MAX);
+
+  /// Stop reports usable to build a geo::BusStopIndex, derived from traces
+  /// (reports with at-stop flags). Consumes from the same stream.
+  std::vector<geo::StopReport> CollectStopReports(size_t max_reports);
+
+  const Options& options() const { return options_; }
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  /// True stop locations of a line (ground truth).
+  const std::vector<geo::LatLon>& LineStops(int line_id) const;
+  int64_t TrueStopId(int line_id, int stop_index) const;
+
+  /// Congestion factor in [0,1] for an hour of day (rush hours high). Shared
+  /// with tests and threshold sanity checks.
+  static double HourCongestion(int hour_of_day, bool weekend);
+
+ private:
+  struct Bus {
+    int vehicle_id = 0;
+    int line_id = 0;
+    bool direction = false;
+    double progress = 0.0;  // in stop units along the line
+    double delay_seconds = 0.0;
+    double last_delay = 0.0;
+    geo::LatLon last_position;
+    MicrosT next_report = 0;
+    bool has_last = false;
+  };
+
+  void BuildLines();
+  void MaybeSpawnIncident(MicrosT now);
+  double SpeedAt(const geo::LatLon& position, MicrosT now, bool* congested);
+  geo::LatLon PositionOnLine(int line_id, double progress) const;
+
+  Options options_;
+  Rng rng_;
+  std::vector<std::vector<geo::LatLon>> line_stops_;
+  std::vector<Bus> buses_;
+  std::vector<Incident> incidents_;
+  MicrosT end_time_ = 0;
+  MicrosT next_incident_check_ = 0;
+  geo::LatLon centre_;
+  /// (next_report, bus index) min-heap keeping emissions in timestamp order.
+  std::priority_queue<std::pair<MicrosT, size_t>,
+                      std::vector<std::pair<MicrosT, size_t>>,
+                      std::greater<std::pair<MicrosT, size_t>>>
+      schedule_;
+};
+
+}  // namespace traffic
+}  // namespace insight
+
+#endif  // INSIGHT_TRAFFIC_GENERATOR_H_

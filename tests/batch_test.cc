@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "batch/mapreduce.h"
+#include "batch/statistics_job.h"
+#include "common/strings.h"
+#include "dfs/mini_dfs.h"
+
+namespace insight {
+namespace batch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MiniDfs
+// ---------------------------------------------------------------------------
+
+TEST(MiniDfsTest, AppendReadRoundTrip) {
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(fs.Append("/a/b.txt", "hello ").ok());
+  ASSERT_TRUE(fs.Append("/a/b.txt", "world").ok());
+  EXPECT_EQ(*fs.ReadAll("/a/b.txt"), "hello world");
+  EXPECT_EQ(*fs.FileSize("/a/b.txt"), 11u);
+  EXPECT_TRUE(fs.Exists("/a/b.txt"));
+  EXPECT_FALSE(fs.Exists("/a/c.txt"));
+}
+
+TEST(MiniDfsTest, ChunksSplitAtBoundary) {
+  dfs::MiniDfs::Options options;
+  options.chunk_size = 10;
+  options.replication = 2;
+  options.num_datanodes = 3;
+  dfs::MiniDfs fs(options);
+  ASSERT_TRUE(fs.Append("/f", std::string(25, 'x')).ok());
+  auto chunks = fs.GetChunks("/f");
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 3u);
+  EXPECT_EQ((*chunks)[0].size, 10u);
+  EXPECT_EQ((*chunks)[2].size, 5u);
+  for (const auto& chunk : *chunks) {
+    EXPECT_EQ(chunk.replica_nodes.size(), 2u);
+    for (int node : chunk.replica_nodes) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 3);
+    }
+  }
+  EXPECT_EQ(*fs.ReadChunk("/f", 2), std::string(5, 'x'));
+  EXPECT_FALSE(fs.ReadChunk("/f", 3).ok());
+}
+
+TEST(MiniDfsTest, ReplicasSpreadAcrossDatanodes) {
+  dfs::MiniDfs::Options options;
+  options.chunk_size = 1;
+  options.replication = 3;
+  options.num_datanodes = 5;
+  dfs::MiniDfs fs(options);
+  ASSERT_TRUE(fs.Append("/f", "abcdefgh").ok());
+  std::set<int> nodes_used;
+  auto chunks = fs.GetChunks("/f");
+  ASSERT_TRUE(chunks.ok());
+  for (const auto& chunk : *chunks) {
+    std::set<int> replica_set(chunk.replica_nodes.begin(),
+                              chunk.replica_nodes.end());
+    EXPECT_EQ(replica_set.size(), 3u) << "replicas must be distinct";
+    nodes_used.insert(replica_set.begin(), replica_set.end());
+  }
+  EXPECT_EQ(nodes_used.size(), 5u) << "round-robin must use all datanodes";
+}
+
+TEST(MiniDfsTest, ListAndDeleteRecursive) {
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(fs.Append("/jobs/out/part-r-00000", "a").ok());
+  ASSERT_TRUE(fs.Append("/jobs/out/part-r-00001", "b").ok());
+  ASSERT_TRUE(fs.Append("/other", "c").ok());
+  EXPECT_EQ(fs.List("/jobs/out/").size(), 2u);
+  EXPECT_EQ(fs.DeleteRecursive("/jobs/out/"), 2u);
+  EXPECT_EQ(fs.List("/jobs/out/").size(), 0u);
+  EXPECT_TRUE(fs.Exists("/other"));
+}
+
+TEST(MiniDfsTest, CreateSemantics) {
+  dfs::MiniDfs fs;
+  EXPECT_TRUE(fs.Create("/f").ok());
+  EXPECT_EQ(fs.Create("/f").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*fs.FileSize("/f"), 0u);
+  EXPECT_FALSE(fs.ReadAll("/nope").ok());
+  EXPECT_FALSE(fs.Delete("/nope").ok());
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce
+// ---------------------------------------------------------------------------
+
+TEST(MapReduceTest, WordCount) {
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(fs.Append("/in", "a b a\nc a b\n").ok());
+  MapReduceJob::Spec spec;
+  spec.input_paths = {"/in"};
+  spec.output_dir = "/out";
+  spec.num_reducers = 3;
+  spec.map = [](const std::string& record, Emitter* emitter) {
+    for (const std::string& word : SplitWhitespace(record)) {
+      emitter->Emit(word, "1");
+    }
+  };
+  spec.reduce = [](const std::string& key,
+                   const std::vector<std::string>& values, Emitter* emitter) {
+    emitter->Emit(key, std::to_string(values.size()));
+  };
+  auto counters = MapReduceJob::Run(&fs, spec);
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters->input_records, 2u);
+  EXPECT_EQ(counters->map_output_records, 6u);
+  EXPECT_EQ(counters->reduce_groups, 3u);
+
+  auto output = ReadJobOutput(fs, "/out");
+  ASSERT_TRUE(output.ok());
+  std::map<std::string, std::string> result(output->begin(), output->end());
+  EXPECT_EQ(result["a"], "3");
+  EXPECT_EQ(result["b"], "2");
+  EXPECT_EQ(result["c"], "1");
+}
+
+TEST(MapReduceTest, RecordSpanningChunkBoundaryIsHealed) {
+  dfs::MiniDfs::Options options;
+  options.chunk_size = 8;  // tiny chunks cut lines in half
+  dfs::MiniDfs fs(options);
+  ASSERT_TRUE(fs.Append("/in", "alpha beta\ngamma delta epsilon\nzeta\n").ok());
+  ASSERT_GT(fs.GetChunks("/in")->size(), 2u);
+
+  MapReduceJob::Spec spec;
+  spec.input_paths = {"/in"};
+  spec.output_dir = "/out";
+  spec.num_reducers = 2;
+  spec.map = [](const std::string& record, Emitter* emitter) {
+    emitter->Emit(record, "1");  // key = whole record
+  };
+  spec.reduce = [](const std::string& key,
+                   const std::vector<std::string>& values, Emitter* emitter) {
+    emitter->Emit(key, std::to_string(values.size()));
+  };
+  auto counters = MapReduceJob::Run(&fs, spec);
+  ASSERT_TRUE(counters.ok());
+  // Every record must arrive exactly once and intact.
+  auto output = ReadJobOutput(fs, "/out");
+  ASSERT_TRUE(output.ok());
+  std::map<std::string, std::string> result(output->begin(), output->end());
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result.at("alpha beta"), "1");
+  EXPECT_EQ(result.at("gamma delta epsilon"), "1");
+  EXPECT_EQ(result.at("zeta"), "1");
+}
+
+TEST(MapReduceTest, CombinerReducesShuffleVolume) {
+  dfs::MiniDfs fs;
+  std::string data;
+  for (int i = 0; i < 100; ++i) data += "k v\n";
+  ASSERT_TRUE(fs.Append("/in", data).ok());
+  MapReduceJob::Spec spec;
+  spec.input_paths = {"/in"};
+  spec.output_dir = "/out";
+  spec.map = [](const std::string&, Emitter* e) { e->Emit("k", "1"); };
+  spec.combine = [](const std::string& key,
+                    const std::vector<std::string>& values, Emitter* e) {
+    long long total = 0;
+    for (const auto& v : values) total += *ParseInt(v);
+    e->Emit(key, std::to_string(total));
+  };
+  spec.reduce = spec.combine;
+  auto counters = MapReduceJob::Run(&fs, spec);
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->map_output_records, 100u);
+  EXPECT_LT(counters->combine_output_records, 100u);
+  auto output = ReadJobOutput(fs, "/out");
+  ASSERT_EQ(output->size(), 1u);
+  EXPECT_EQ((*output)[0].second, "100");
+}
+
+TEST(MapReduceTest, ValidatesSpec) {
+  dfs::MiniDfs fs;
+  MapReduceJob::Spec spec;
+  EXPECT_FALSE(MapReduceJob::Run(&fs, spec).ok());  // no map/reduce
+  spec.map = [](const std::string&, Emitter*) {};
+  spec.reduce = [](const std::string&, const std::vector<std::string>&,
+                   Emitter*) {};
+  EXPECT_FALSE(MapReduceJob::Run(&fs, spec).ok());  // no inputs
+  spec.input_paths = {"/missing"};
+  EXPECT_EQ(MapReduceJob::Run(&fs, spec).status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics job
+// ---------------------------------------------------------------------------
+
+TEST(StatisticsJobTest, ComputesMeanAndStdevPerGroup) {
+  dfs::MiniDfs fs;
+  // CSV: location(0), hour(1), dateType(2), delay(3).
+  std::string rows;
+  // Location 5, hour 8: delays 10, 20, 30 -> mean 20, stdev ~8.165.
+  rows += "5,8,weekday,10\n5,8,weekday,20\n5,8,weekday,30\n";
+  // Location 6, hour 8: constant 7 -> stdev 0.
+  rows += "6,8,weekday,7\n6,8,weekday,7\n";
+  // Weekend variant of location 5.
+  rows += "5,8,weekend,100\n";
+  ASSERT_TRUE(fs.Append("/traces", rows).ok());
+
+  StatisticsJobConfig config;
+  config.input_paths = {"/traces"};
+  config.output_dir = "/stats";
+  config.location_col = 0;
+  config.hour_col = 1;
+  config.date_type_col = 2;
+  config.attribute_cols = {{"delay", 3}};
+  auto counters = RunStatisticsJob(&fs, config);
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters->reduce_groups, 3u);
+
+  storage::TableStore store;
+  auto loaded = LoadStatisticsIntoStore(fs, "/stats", &store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 3u);
+
+  auto t = storage::QueryThresholdFor(store, "delay", 1.0, 5, 8, "weekday");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, 20.0 + 8.16496580927726, 1e-6);
+  auto constant = storage::QueryThresholdFor(store, "delay", 3.0, 6, 8, "weekday");
+  ASSERT_TRUE(constant.ok());
+  EXPECT_DOUBLE_EQ(*constant, 7.0);
+}
+
+TEST(StatisticsJobTest, ReloadTruncatesOldRows) {
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(fs.Append("/traces", "1,8,weekday,10\n").ok());
+  StatisticsJobConfig config;
+  config.input_paths = {"/traces"};
+  config.output_dir = "/stats";
+  config.location_col = 0;
+  config.hour_col = 1;
+  config.date_type_col = 2;
+  config.attribute_cols = {{"delay", 3}};
+  storage::TableStore store;
+  ASSERT_TRUE(RunStatisticsJob(&fs, config).ok());
+  ASSERT_TRUE(LoadStatisticsIntoStore(fs, "/stats", &store).ok());
+  ASSERT_TRUE(RunStatisticsJob(&fs, config).ok());
+  ASSERT_TRUE(LoadStatisticsIntoStore(fs, "/stats", &store).ok());
+  EXPECT_EQ(*store.RowCount("statistics_delay"), 1u);  // truncated, not doubled
+}
+
+TEST(StatisticsJobTest, SkipsMalformedRecords) {
+  dfs::MiniDfs fs;
+  ASSERT_TRUE(
+      fs.Append("/traces", "1,8,weekday,10\ngarbage\n1,8,weekday,notanum\n")
+          .ok());
+  StatisticsJobConfig config;
+  config.input_paths = {"/traces"};
+  config.output_dir = "/stats";
+  config.location_col = 0;
+  config.hour_col = 1;
+  config.date_type_col = 2;
+  config.attribute_cols = {{"delay", 3}};
+  auto counters = RunStatisticsJob(&fs, config);
+  ASSERT_TRUE(counters.ok());
+  storage::TableStore store;
+  ASSERT_TRUE(LoadStatisticsIntoStore(fs, "/stats", &store).ok());
+  auto all = store.SelectAll("statistics_delay");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->rows.size(), 1u);
+  EXPECT_EQ(all->rows[0][5].AsInt(), 1);  // only one valid sample counted
+}
+
+}  // namespace
+}  // namespace batch
+}  // namespace insight

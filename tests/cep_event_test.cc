@@ -1,0 +1,116 @@
+// Unit coverage of the CEP event model: Value coercions and comparisons,
+// EventType schemas, Event field access and the EventBuilder.
+
+#include <gtest/gtest.h>
+
+#include "cep/event.h"
+
+namespace insight {
+namespace cep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndCoercions) {
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(5.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value("x").type(), ValueType::kString);
+
+  EXPECT_DOUBLE_EQ(Value(int64_t{5}).AsDouble(), 5.0);
+  EXPECT_EQ(Value(5.9).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value(true).AsDouble(), 1.0);
+  EXPECT_EQ(Value(false).AsInt(), 0);
+  EXPECT_TRUE(Value(int64_t{1}).AsBool());
+  EXPECT_FALSE(Value(0.0).AsBool());
+  EXPECT_TRUE(Value("nonempty").AsBool());
+  EXPECT_FALSE(Value("").AsBool());
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(int64_t{1}).AsString(), "");  // non-strings have no string
+}
+
+TEST(ValueTest, NumericEqualityCrossesIntDouble) {
+  EXPECT_TRUE(Value(int64_t{5}).Equals(Value(5.0)));
+  EXPECT_FALSE(Value(int64_t{5}).Equals(Value(5.5)));
+  EXPECT_TRUE(Value("a").Equals(Value("a")));
+  EXPECT_FALSE(Value("a").Equals(Value("b")));
+  EXPECT_FALSE(Value("5").Equals(Value(int64_t{5})));  // no string coercion
+  EXPECT_TRUE(Value(true).Equals(Value(true)));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value(int64_t{2}).LessThan(Value(3.5)));
+  EXPECT_FALSE(Value(4.0).LessThan(Value(int64_t{4})));
+  EXPECT_TRUE(Value("abc").LessThan(Value("abd")));
+  EXPECT_TRUE(Value(false).LessThan(Value(true)));
+  // Mixed string/number ordering is defined as false (and rejected by the
+  // statement type checker before it can matter).
+  EXPECT_FALSE(Value("5").LessThan(Value(int64_t{6})));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value("s").ToString(), "s");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+// ---------------------------------------------------------------------------
+// EventType / Event / EventBuilder
+// ---------------------------------------------------------------------------
+
+EventTypePtr MakeType() {
+  return std::make_shared<EventType>(
+      "bus", std::vector<EventType::Field>{{"line", ValueType::kInt},
+                                           {"delay", ValueType::kDouble},
+                                           {"day", ValueType::kString}});
+}
+
+TEST(EventTypeTest, FieldLookup) {
+  auto type = MakeType();
+  EXPECT_EQ(type->name(), "bus");
+  EXPECT_EQ(type->num_fields(), 3u);
+  EXPECT_EQ(type->FieldIndex("delay"), 1);
+  EXPECT_EQ(type->FieldIndex("nope"), -1);
+  EXPECT_TRUE(type->HasField("day"));
+  EXPECT_FALSE(type->HasField("night"));
+}
+
+TEST(EventTest, FieldAccessByNameAndIndex) {
+  auto type = MakeType();
+  Event event(type, {Value(int64_t{41}), Value(120.5), Value("weekday")},
+              999);
+  EXPECT_EQ(event.timestamp(), 999);
+  EXPECT_EQ(event.Get(0).AsInt(), 41);
+  auto delay = event.Get("delay");
+  ASSERT_TRUE(delay.ok());
+  EXPECT_DOUBLE_EQ(delay->AsDouble(), 120.5);
+  EXPECT_EQ(event.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_NE(event.ToString().find("delay=120.5"), std::string::npos);
+}
+
+TEST(EventBuilderTest, BuildsWithDefaultsForUnsetFields) {
+  auto type = MakeType();
+  auto event = EventBuilder(type)
+                   .Set("line", int64_t{7})
+                   .SetTimestamp(5)
+                   .Build();
+  EXPECT_EQ(event->Get("line")->AsInt(), 7);
+  // Unset fields default to the zero Value.
+  EXPECT_DOUBLE_EQ(event->Get("delay")->AsDouble(), 0.0);
+  EXPECT_EQ(event->timestamp(), 5);
+}
+
+TEST(EventBuilderTest, EventsShareTheTypeObject) {
+  auto type = MakeType();
+  auto a = EventBuilder(type).Build();
+  auto b = EventBuilder(type).Build();
+  EXPECT_EQ(&a->type(), &b->type());
+}
+
+}  // namespace
+}  // namespace cep
+}  // namespace insight

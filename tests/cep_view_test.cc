@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "cep/epl_parser.h"
+#include "cep/view.h"
+
+namespace insight {
+namespace cep {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    type_ = std::make_shared<EventType>(
+        "e", std::vector<EventType::Field>{{"k", ValueType::kInt},
+                                           {"v", ValueType::kDouble},
+                                           {"h", ValueType::kInt}});
+  }
+
+  EventPtr Make(int64_t k, double v, MicrosT ts = 0, int64_t h = 0) {
+    return std::make_shared<Event>(type_, std::vector<Value>{k, v, h}, ts);
+  }
+
+  std::unique_ptr<Window> MakeWindow(std::vector<ViewSpec> chain) {
+    auto w = Window::Create(chain, type_);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return std::move(w).value();
+  }
+
+  EventTypePtr type_;
+};
+
+TEST_F(ViewTest, LastEventKeepsOne) {
+  auto w = MakeWindow({ViewSpec::LastEvent()});
+  std::vector<EventPtr> expired;
+  w->Insert(Make(1, 1.0), &expired);
+  w->Insert(Make(2, 2.0), &expired);
+  EXPECT_EQ(w->TotalSize(), 1u);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0]->Get(0).AsInt(), 1);
+  EXPECT_EQ(w->Contents().back()->Get(0).AsInt(), 2);
+}
+
+TEST_F(ViewTest, LengthWindowEvicts) {
+  auto w = MakeWindow({ViewSpec::Length(3)});
+  for (int i = 0; i < 5; ++i) w->Insert(Make(i, i));
+  EXPECT_EQ(w->TotalSize(), 3u);
+  EXPECT_EQ(w->Contents().front()->Get(0).AsInt(), 2);
+}
+
+TEST_F(ViewTest, LengthBatchFlushesAtBoundary) {
+  auto w = MakeWindow({ViewSpec::LengthBatch(3)});
+  std::vector<EventPtr> expired;
+  w->Insert(Make(0, 0), &expired);
+  w->Insert(Make(1, 1), &expired);
+  EXPECT_EQ(w->TotalSize(), 2u);
+  EXPECT_TRUE(expired.empty());
+  w->Insert(Make(2, 2), &expired);
+  EXPECT_EQ(w->TotalSize(), 0u);  // batch released
+  EXPECT_EQ(expired.size(), 3u);
+}
+
+TEST_F(ViewTest, TimeWindowExpiresByTimestamp) {
+  auto w = MakeWindow({ViewSpec::Time(10'000'000)});  // 10 s
+  w->Insert(Make(0, 0, 0));
+  w->Insert(Make(1, 1, 5'000'000));
+  w->Insert(Make(2, 2, 12'000'000));
+  EXPECT_EQ(w->TotalSize(), 2u);  // the t=0 event expired
+  std::vector<EventPtr> expired;
+  w->AdvanceTime(30'000'000, &expired);
+  EXPECT_EQ(w->TotalSize(), 0u);
+  EXPECT_EQ(expired.size(), 2u);
+}
+
+TEST_F(ViewTest, TimeBatchFlushesOnIntervalBoundary) {
+  auto w = MakeWindow({ViewSpec::TimeBatch(10'000'000)});
+  std::vector<EventPtr> expired;
+  w->Insert(Make(0, 0, 0), &expired);
+  w->Insert(Make(1, 1, 4'000'000), &expired);
+  EXPECT_TRUE(expired.empty());
+  w->Insert(Make(2, 2, 11'000'000), &expired);  // next interval
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_EQ(w->TotalSize(), 1u);
+}
+
+TEST_F(ViewTest, GroupWinIsolatesKeys) {
+  auto w = MakeWindow({ViewSpec::GroupWin("k"), ViewSpec::Length(2)});
+  w->Insert(Make(1, 10));
+  w->Insert(Make(1, 11));
+  w->Insert(Make(1, 12));
+  w->Insert(Make(2, 20));
+  EXPECT_EQ(w->TotalSize(), 3u);
+  const auto* g1 = w->GroupContents(Value(int64_t{1}));
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1->size(), 2u);
+  EXPECT_DOUBLE_EQ(g1->front()->Get(1).AsDouble(), 11.0);
+  EXPECT_EQ(w->GroupContents(Value(int64_t{9})), nullptr);
+}
+
+TEST_F(ViewTest, UniqueReplacesPerKey) {
+  auto w = MakeWindow({ViewSpec::Unique({"k", "h"})});
+  std::vector<EventPtr> expired;
+  w->Insert(Make(1, 10, 0, 8), &expired);
+  w->Insert(Make(1, 20, 0, 9), &expired);  // different hour -> new key
+  EXPECT_EQ(w->TotalSize(), 2u);
+  EXPECT_TRUE(expired.empty());
+  w->Insert(Make(1, 30, 0, 8), &expired);  // replaces (1, 8)
+  EXPECT_EQ(w->TotalSize(), 2u);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_DOUBLE_EQ(expired[0]->Get(1).AsDouble(), 10.0);
+  double sum = 0;
+  w->ForEach([&](const EventPtr& e) { sum += e->Get(1).AsDouble(); });
+  EXPECT_DOUBLE_EQ(sum, 50.0);  // 20 + 30
+}
+
+TEST_F(ViewTest, KeepAllRetainsEverything) {
+  auto w = MakeWindow({ViewSpec::KeepAll()});
+  for (int i = 0; i < 100; ++i) w->Insert(Make(i, i));
+  EXPECT_EQ(w->TotalSize(), 100u);
+  w->Clear();
+  EXPECT_EQ(w->TotalSize(), 0u);
+}
+
+TEST_F(ViewTest, InvalidChains) {
+  // Two data views.
+  EXPECT_FALSE(Window::Create({ViewSpec::Length(2), ViewSpec::KeepAll()}, type_)
+                   .ok());
+  // Zero-length window.
+  EXPECT_FALSE(Window::Create({ViewSpec::Length(0)}, type_).ok());
+  // Unknown group field.
+  EXPECT_FALSE(Window::Create({ViewSpec::GroupWin("zzz"), ViewSpec::Length(2)},
+                              type_)
+                   .ok());
+  // unique + groupwin.
+  EXPECT_FALSE(Window::Create(
+                   {ViewSpec::GroupWin("k"), ViewSpec::Unique({"h"})}, type_)
+                   .ok());
+  // No data view.
+  EXPECT_FALSE(Window::Create({ViewSpec::GroupWin("k")}, type_).ok());
+  // Unknown unique field.
+  EXPECT_FALSE(Window::Create({ViewSpec::Unique({"zzz"})}, type_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// EPL parser coverage for views and expressions
+// ---------------------------------------------------------------------------
+
+TEST(EplParserTest, ParsesFullStatement) {
+  auto def = ParseEpl(
+      "@Trigger(bus) SELECT bd.x AS a, avg(b2.y) AS m FROM "
+      "bus.std:lastevent() as bd, bus.std:groupwin(loc).win:length(10) as b2, "
+      "thr.std:unique(location, hour, day) as t "
+      "WHERE bd.loc = b2.loc and bd.h >= 2 GROUP BY b2.loc "
+      "HAVING avg(b2.y) > avg(t.value)");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->from.size(), 3u);
+  EXPECT_EQ(def->from[0].alias, "bd");
+  EXPECT_EQ(def->from[1].views.size(), 2u);
+  EXPECT_EQ(def->from[1].views[0].kind, ViewKind::kGroupWin);
+  EXPECT_EQ(def->from[1].views[1].length, 10u);
+  EXPECT_EQ(def->from[2].views[0].kind, ViewKind::kUnique);
+  EXPECT_EQ(def->from[2].views[0].unique_fields.size(), 3u);
+  EXPECT_EQ(def->select.size(), 2u);
+  EXPECT_EQ(def->select[0].name, "a");
+  EXPECT_EQ(def->group_by.size(), 1u);
+  ASSERT_NE(def->having, nullptr);
+  EXPECT_EQ(def->trigger_types.count("bus"), 1u);
+}
+
+TEST(EplParserTest, ParsesTimeUnits) {
+  auto def = ParseEpl("SELECT * FROM e.win:time(30 sec) as a");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->from[0].views[0].duration_micros, 30'000'000);
+  def = ParseEpl("SELECT * FROM e.win:time(500 msec) as a");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->from[0].views[0].duration_micros, 500'000);
+  def = ParseEpl("SELECT * FROM e.win:time(2 min) as a");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->from[0].views[0].duration_micros, 120'000'000);
+}
+
+TEST(EplParserTest, OperatorPrecedence) {
+  auto def = ParseEpl("SELECT a + b * 2 AS x FROM e.win:keepall() as q");
+  ASSERT_TRUE(def.ok());
+  // (a + (b * 2))
+  EXPECT_EQ(def->select[0].expr->ToString(), "(a + (b * 2))");
+  def = ParseEpl(
+      "SELECT * FROM e.win:keepall() as q WHERE a > 1 and b < 2 or c = 3");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->where->ToString(), "(((a > 1) and (b < 2)) or (c = 3))");
+}
+
+TEST(EplParserTest, StringAndBoolLiterals) {
+  auto def = ParseEpl(
+      "SELECT * FROM e.win:keepall() as q WHERE day = 'weekend' and ok = true");
+  ASSERT_TRUE(def.ok());
+}
+
+TEST(EplParserTest, CountStar) {
+  auto def = ParseEpl("SELECT count(*) AS n FROM e.win:keepall() as q");
+  ASSERT_TRUE(def.ok());
+}
+
+TEST(EplParserTest, InsertIntoClause) {
+  auto def = ParseEpl(
+      "INSERT INTO alert SELECT a.x AS x FROM e.win:keepall() as a");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->insert_into, "alert");
+  EXPECT_FALSE(ParseEpl("INSERT alert SELECT * FROM e as a").ok());
+  EXPECT_FALSE(ParseEpl("INSERT INTO SELECT * FROM e as a").ok());
+}
+
+TEST(EplParserTest, OrderByClause) {
+  auto def = ParseEpl(
+      "SELECT a.x AS x FROM e.win:keepall() as a "
+      "ORDER BY a.x DESC, a.y, avg(a.z) ASC");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  ASSERT_EQ(def->order_by.size(), 3u);
+  EXPECT_TRUE(def->order_by[0].descending);
+  EXPECT_FALSE(def->order_by[1].descending);
+  EXPECT_FALSE(def->order_by[2].descending);
+  EXPECT_FALSE(ParseEpl("SELECT * FROM e as a ORDER a.x").ok());
+}
+
+TEST(EplParserTest, Errors) {
+  EXPECT_FALSE(ParseEpl("FROM e").ok());
+  EXPECT_FALSE(ParseEpl("SELECT *").ok());
+  EXPECT_FALSE(ParseEpl("SELECT * FROM e.win:nosuch() as q").ok());
+  EXPECT_FALSE(ParseEpl("SELECT * FROM e.win:length(0) as q").ok());
+  EXPECT_FALSE(ParseEpl("SELECT * FROM e.win:keepall() as q WHERE 'open").ok());
+  EXPECT_FALSE(ParseEpl("SELECT * FROM e.win:keepall() as q trailing").ok());
+  EXPECT_FALSE(ParseEpl("SELECT avg(*) AS x FROM e.win:keepall() as q").ok());
+  EXPECT_FALSE(ParseEpl("SELECT * FROM e.win:time(5 parsec) as q").ok());
+}
+
+}  // namespace
+}  // namespace cep
+}  // namespace insight

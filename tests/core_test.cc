@@ -1,0 +1,504 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/allocation.h"
+#include "core/partitioning.h"
+#include "core/retrieval.h"
+#include "core/rule_template.h"
+#include "traffic/bolts.h"
+
+namespace insight {
+namespace core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RuleTemplate
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<cep::Engine> MakeEngineWithTypes() {
+  auto engine = std::make_unique<cep::Engine>();
+  EXPECT_TRUE(
+      engine->RegisterEventType("bus", traffic::BusEventFields({})).ok());
+  for (const char* attr : {"delay", "actual_delay", "speed", "congestion"}) {
+    for (const char* suffix : {"", "_stop"}) {
+      EXPECT_TRUE(engine
+                      ->RegisterEventType(
+                          traffic::ThresholdEventTypeName(
+                              std::string(attr) + suffix),
+                          traffic::ThresholdEventFields())
+                      .ok());
+    }
+  }
+  return engine;
+}
+
+TEST(RuleTemplateTest, EveryTable6RuleCompiles) {
+  for (size_t window : {1u, 10u, 100u, 1000u}) {
+    for (const RuleTemplate& rule : Table6Rules(window)) {
+      auto epl = rule.ToEpl();
+      ASSERT_TRUE(epl.ok()) << rule.name << ": " << epl.status().ToString();
+      auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+      auto stmt = engine.AddStatement(*epl, rule.name);
+      ASSERT_TRUE(stmt.ok()) << rule.name << ": " << stmt.status().ToString()
+                             << "\n"
+                             << *epl;
+    }
+  }
+}
+
+TEST(RuleTemplateTest, StaticVariantCompilesWithoutThresholdStream) {
+  RuleTemplate rule = MakeRule("r", "delay", "area_leaf", 10);
+  auto epl = rule.ToEpl(/*static_threshold=*/50.0);
+  ASSERT_TRUE(epl.ok());
+  EXPECT_EQ(epl->find("threshold_"), std::string::npos);
+  auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+  EXPECT_TRUE(engine.AddStatement(*epl, "r").ok());
+}
+
+TEST(RuleTemplateTest, SpeedRuleUsesBelowComparison) {
+  RuleTemplate rule = MakeRule("r", "speed", "area_leaf", 10);
+  auto epl = rule.ToEpl();
+  ASSERT_TRUE(epl.ok());
+  EXPECT_NE(epl->find("avg(bd2.speed) < "), std::string::npos);
+}
+
+TEST(RuleTemplateTest, StopRulesUseStopNamespace) {
+  RuleTemplate rule = MakeRule("r", "delay", "bus_stop", 10);
+  auto epl = rule.ToEpl();
+  ASSERT_TRUE(epl.ok());
+  EXPECT_NE(epl->find("threshold_delay_stop"), std::string::npos);
+  EXPECT_EQ(rule.AttributeKey("delay"), "delay_stop");
+}
+
+TEST(RuleTemplateTest, ValidatesParameters) {
+  RuleTemplate rule;
+  rule.name = "bad";
+  EXPECT_FALSE(rule.ToEpl().ok());  // no attributes
+  rule.attributes = {{"delay", false}};
+  rule.window_length = 0;
+  EXPECT_FALSE(rule.ToEpl().ok());
+  rule.window_length = 10;
+  rule.location_field = "";
+  EXPECT_FALSE(rule.ToEpl().ok());
+}
+
+TEST(RuleTemplateTest, MultiAttributeRuleFiresOnlyWhenAllConditionsHold) {
+  RuleTemplate rule;
+  rule.name = "dc";
+  rule.attributes = {{"delay", false}, {"congestion", false}};
+  rule.location_field = "area_leaf";
+  rule.window_length = 2;
+  auto epl = rule.ToEpl();
+  ASSERT_TRUE(epl.ok());
+
+  auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+  auto stmt = engine.AddStatement(*epl, "dc");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString() << "\n" << *epl;
+  size_t fires = 0;
+  (*stmt)->AddListener([&](const cep::MatchResult&) { ++fires; });
+
+  auto threshold = [&](const std::string& attr, double value) {
+    auto type = engine.GetEventType(traffic::ThresholdEventTypeName(attr));
+    ASSERT_TRUE(type.ok());
+    engine.SendEvent(cep::EventBuilder(*type)
+                         .Set("location", int64_t{7})
+                         .Set("hour", int64_t{8})
+                         .Set("day", "weekday")
+                         .Set("value", value)
+                         .Build());
+  };
+  threshold("delay", 100.0);
+  threshold("congestion", 0.5);
+
+  auto bus = [&](double delay, bool congested) {
+    auto type = engine.GetEventType("bus");
+    ASSERT_TRUE(type.ok());
+    cep::EventBuilder builder(*type);
+    builder.Set("timestamp", int64_t{1})
+        .Set("line", int64_t{1})
+        .Set("direction", false)
+        .Set("lon", -6.26)
+        .Set("lat", 53.35)
+        .Set("delay", delay)
+        .Set("congestion", congested)
+        .Set("reported_stop", int64_t{-1})
+        .Set("vehicle", int64_t{1})
+        .Set("speed", 20.0)
+        .Set("actual_delay", 0.0)
+        .Set("hour", int64_t{8})
+        .Set("date_type", "weekday")
+        .Set("area_leaf", int64_t{7})
+        .Set("bus_stop", int64_t{-1});
+    engine.SendEvent(builder.Build());
+  };
+  // High delay but no congestion: must not fire.
+  bus(500.0, false);
+  bus(500.0, false);
+  EXPECT_EQ(fires, 0u);
+  // High delay and congestion: fires.
+  bus(500.0, true);
+  bus(500.0, true);
+  EXPECT_GT(fires, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 — rule partitioning
+// ---------------------------------------------------------------------------
+
+TEST(PartitioningTest, BalancesAggregatedRates) {
+  std::vector<RegionRate> rates;
+  Rng rng(4);
+  double total = 0;
+  for (int64_t region = 0; region < 200; ++region) {
+    double rate = rng.Uniform(1.0, 100.0);
+    rates.push_back({region, rate});
+    total += rate;
+  }
+  for (int engines : {2, 4, 7}) {
+    auto assignment = PartitionRegions(rates, engines);
+    ASSERT_TRUE(assignment.ok());
+    auto engine_rates = EngineRates(*assignment, rates);
+    ASSERT_EQ(engine_rates.size(), static_cast<size_t>(engines));
+    double expected = total / engines;
+    for (double r : engine_rates) {
+      EXPECT_NEAR(r, expected, expected * 0.15) << engines << " engines";
+    }
+  }
+}
+
+TEST(PartitioningTest, EveryRegionAssignedExactlyOnce) {
+  std::vector<RegionRate> rates{{1, 5}, {2, 5}, {3, 5}, {4, 5}, {5, 5}};
+  auto assignment = PartitionRegions(rates, 3);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment->size(), 5u);
+  for (const auto& [region, engine] : *assignment) {
+    EXPECT_GE(engine, 0);
+    EXPECT_LT(engine, 3);
+  }
+}
+
+TEST(PartitioningTest, HeaviestRegionGoesFirst) {
+  // One giant region and many small: giant gets its own engine.
+  std::vector<RegionRate> rates{{99, 1000}};
+  for (int64_t r = 0; r < 10; ++r) rates.push_back({r, 10});
+  auto assignment = PartitionRegions(rates, 2);
+  ASSERT_TRUE(assignment.ok());
+  int giant_engine = assignment->at(99);
+  for (int64_t r = 0; r < 10; ++r) {
+    EXPECT_NE(assignment->at(r), giant_engine);
+  }
+}
+
+TEST(PartitioningTest, SingleEngineTakesAll) {
+  std::vector<RegionRate> rates{{1, 5}, {2, 50}};
+  auto assignment = PartitionRegions(rates, 1);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment->at(1), 0);
+  EXPECT_EQ(assignment->at(2), 0);
+}
+
+TEST(PartitioningTest, Validation) {
+  EXPECT_FALSE(PartitionRegions({{1, 5}}, 0).ok());
+  EXPECT_FALSE(PartitionRegions({{1, -5}}, 2).ok());
+}
+
+TEST(RegionRateTrackerTest, ObservationsBlendWithSeed) {
+  RegionRateTracker tracker;
+  tracker.Seed({{1, 100.0}, {2, 100.0}});
+  // Observe only region 1 heavily.
+  for (int i = 0; i < 2000; ++i) tracker.Observe(1);
+  auto estimates = tracker.Estimates();
+  double r1 = 0, r2 = 0;
+  for (const auto& e : estimates) {
+    if (e.region == 1) r1 = e.rate;
+    if (e.region == 2) r2 = e.rate;
+  }
+  EXPECT_GT(r1, r2);
+}
+
+// ---------------------------------------------------------------------------
+// SpatialRouter
+// ---------------------------------------------------------------------------
+
+TEST(SpatialRouterTest, RoutesByFieldAndDeduplicates) {
+  SpatialRouter::GroupingRoute areas;
+  areas.location_field = "area_leaf";
+  areas.region_to_engine = {{10, 0}, {11, 1}};
+  SpatialRouter::GroupingRoute stops;
+  stops.location_field = "bus_stop";
+  stops.region_to_engine = {{5, 1}, {6, 2}};
+  SpatialRouter router({areas, stops});
+
+  auto fields = std::make_shared<dsps::Fields>(
+      dsps::Fields({"area_leaf", "bus_stop"}));
+  std::vector<int> tasks;
+  // area 10 -> 0; stop 5 -> 1.
+  router.Route(dsps::Tuple(fields, {cep::Value(int64_t{10}),
+                                    cep::Value(int64_t{5})}),
+               &tasks);
+  EXPECT_EQ(tasks, (std::vector<int>{0, 1}));
+  // area 11 -> 1; stop 5 -> 1 (deduplicated).
+  router.Route(dsps::Tuple(fields, {cep::Value(int64_t{11}),
+                                    cep::Value(int64_t{5})}),
+               &tasks);
+  EXPECT_EQ(tasks, (std::vector<int>{1}));
+}
+
+TEST(SpatialRouterTest, FallbackForUnknownRegion) {
+  SpatialRouter::GroupingRoute areas;
+  areas.location_field = "area_leaf";
+  areas.region_to_engine = {{10, 0}};
+  areas.fallback_engines = {0, 1};
+  SpatialRouter router({areas});
+  auto fields = std::make_shared<dsps::Fields>(dsps::Fields({"area_leaf"}));
+  std::vector<int> tasks;
+  router.Route(dsps::Tuple(fields, {cep::Value(int64_t{999})}), &tasks);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_TRUE(tasks[0] == 0 || tasks[0] == 1);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 — rules allocation
+// ---------------------------------------------------------------------------
+
+RuleGrouping MakeGrouping(const std::string& name, size_t window, double rate,
+                          size_t num_rules = 5) {
+  RuleGrouping grouping;
+  grouping.name = name;
+  for (size_t i = 0; i < num_rules; ++i) {
+    grouping.rules.push_back(MakeRule(name + std::to_string(i), "delay",
+                                      "area_leaf", window));
+  }
+  grouping.input_rate = rate;
+  grouping.thresholds_per_rule = 100;
+  return grouping;
+}
+
+TEST(AllocationTest, EveryGroupingGetsAtLeastOneEngine) {
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  std::vector<RuleGrouping> groupings{MakeGrouping("a", 100, 1000),
+                                      MakeGrouping("b", 100, 1000)};
+  auto result = allocator.Allocate(groupings, 6);
+  ASSERT_TRUE(result.ok());
+  int total = std::accumulate(result->engines_per_grouping.begin(),
+                              result->engines_per_grouping.end(), 0);
+  EXPECT_EQ(total, 6);
+  for (int engines : result->engines_per_grouping) EXPECT_GE(engines, 1);
+}
+
+TEST(AllocationTest, HeavierGroupingGetsMoreEngines) {
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  // Same rate but much larger windows (heavier rules) in grouping b.
+  std::vector<RuleGrouping> groupings{MakeGrouping("light", 1, 1000),
+                                      MakeGrouping("heavy", 1000, 1000)};
+  auto result = allocator.Allocate(groupings, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->engines_per_grouping[1], result->engines_per_grouping[0]);
+}
+
+TEST(AllocationTest, HigherRateGetsMoreEngines) {
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  std::vector<RuleGrouping> groupings{MakeGrouping("slow", 100, 100),
+                                      MakeGrouping("fast", 100, 10000)};
+  auto result = allocator.Allocate(groupings, 12);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->engines_per_grouping[1], result->engines_per_grouping[0]);
+}
+
+TEST(AllocationTest, ScoreIsResidualLoadAndShrinksWithEngines) {
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  RuleGrouping grouping = MakeGrouping("g", 100, 5000);
+  double s1 = allocator.GroupingScore(grouping, 1);
+  double s2 = allocator.GroupingScore(grouping, 2);
+  double s4 = allocator.GroupingScore(grouping, 4);
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s2, s4);
+  EXPECT_NEAR(s2, s1 / 2.0, 1e-9);  // rate splits evenly across engines
+  EXPECT_DOUBLE_EQ(allocator.GroupingScore(grouping, 0), 0.0);
+}
+
+TEST(AllocationTest, RequiresEnoughEngines) {
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  std::vector<RuleGrouping> groupings{MakeGrouping("a", 100, 1000),
+                                      MakeGrouping("b", 100, 1000)};
+  EXPECT_FALSE(allocator.Allocate(groupings, 1).ok());
+  EXPECT_FALSE(allocator.Allocate({}, 4).ok());
+}
+
+TEST(AllocationTest, RoundRobinSpreadsEvenly) {
+  std::vector<RuleGrouping> groupings{MakeGrouping("a", 1, 1),
+                                      MakeGrouping("b", 1, 1),
+                                      MakeGrouping("c", 1, 1)};
+  auto result = RoundRobinAllocate(groupings, 7);
+  EXPECT_EQ(result.engines_per_grouping, (std::vector<int>{3, 2, 2}));
+}
+
+TEST(AllocationTest, GroupRulesByLocationSplitsStopsFromAreas) {
+  auto rules = Table6Rules(100);
+  auto groupings = GroupRulesByLocation(rules, 3000.0, 50);
+  ASSERT_EQ(groupings.size(), 2u);
+  EXPECT_EQ(groupings[0].name, "quadtree");
+  EXPECT_EQ(groupings[1].name, "bus_stops");
+  EXPECT_EQ(groupings[0].rules.size(), 5u);
+  EXPECT_EQ(groupings[1].rules.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Retrieval strategies
+// ---------------------------------------------------------------------------
+
+class RetrievalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        store_.CreateTable("statistics_delay", storage::StatisticsColumns())
+            .ok());
+    // Thresholds for locations 1..3, hour 8, weekday.
+    for (int64_t loc = 1; loc <= 3; ++loc) {
+      ASSERT_TRUE(store_
+                      .Insert("statistics_delay",
+                              {storage::Value(loc), storage::Value(int64_t{8}),
+                               storage::Value("weekday"),
+                               storage::Value(100.0 * static_cast<double>(loc)),
+                               storage::Value(10.0),
+                               storage::Value(int64_t{5})})
+                      .ok());
+    }
+    rules_ = {MakeRule("r", "delay", "area_leaf", 2)};
+  }
+
+  storage::TableStore store_;
+  std::vector<RuleTemplate> rules_;
+};
+
+TEST_F(RetrievalTest, ThresholdStreamPreloadsAllThresholds) {
+  auto setup = BuildRetrieval(ThresholdRetrieval::kThresholdStream, rules_,
+                              &store_, {});
+  ASSERT_TRUE(setup.ok());
+  ASSERT_EQ(setup->rules.size(), 1u);
+  ASSERT_TRUE(static_cast<bool>(setup->preload));
+  auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+  auto stmt = engine.AddStatement(setup->rules[0].second, "r");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  setup->preload(&engine, 0);
+  EXPECT_EQ((*stmt)->RetainedEvents(), 3u);  // three thresholds preloaded
+  EXPECT_GT(setup->preload_db_cost_micros, 0);
+  EXPECT_EQ(setup->per_tuple_db_cost_micros, 0);
+}
+
+TEST_F(RetrievalTest, MultipleRulesExpandsPerThreshold) {
+  auto setup = BuildRetrieval(ThresholdRetrieval::kMultipleRules, rules_,
+                              &store_, {});
+  ASSERT_TRUE(setup.ok());
+  EXPECT_EQ(setup->rules.size(), 3u);  // one per threshold row
+  auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+  for (const auto& [name, epl] : setup->rules) {
+    ASSERT_TRUE(engine.AddStatement(epl, name).ok()) << epl;
+  }
+  EXPECT_EQ(engine.num_statements(), 3u);
+}
+
+TEST_F(RetrievalTest, StaticUsesLiteral) {
+  RetrievalOptions options;
+  options.static_threshold = 42.0;
+  auto setup =
+      BuildRetrieval(ThresholdRetrieval::kStatic, rules_, &store_, options);
+  ASSERT_TRUE(setup.ok());
+  EXPECT_FALSE(static_cast<bool>(setup->preload));
+  EXPECT_FALSE(static_cast<bool>(setup->before_send));
+  EXPECT_NE(setup->rules[0].second.find("42"), std::string::npos);
+}
+
+TEST_F(RetrievalTest, BelowRulesSubtractDeviation) {
+  // Speed anomalies are *low* averages, so the preloaded threshold must be
+  // mean - s*stdev, not mean + s*stdev.
+  ASSERT_TRUE(
+      store_.CreateTable("statistics_speed", storage::StatisticsColumns()).ok());
+  ASSERT_TRUE(store_
+                  .Insert("statistics_speed",
+                          {storage::Value(int64_t{1}), storage::Value(int64_t{8}),
+                           storage::Value("weekday"), storage::Value(20.0),
+                           storage::Value(4.0), storage::Value(int64_t{5})})
+                  .ok());
+  std::vector<RuleTemplate> rules = {MakeRule("r", "speed", "area_leaf", 2)};
+  RetrievalOptions options;
+  options.s = 2.0;
+  auto setup = BuildRetrieval(ThresholdRetrieval::kThresholdStream, rules,
+                              &store_, options);
+  ASSERT_TRUE(setup.ok());
+  auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+  auto stmt = engine.AddStatement(setup->rules[0].second, "r");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<double> fired_thresholds;
+  (*stmt)->AddListener([&](const cep::MatchResult& m) {
+    fired_thresholds.push_back(m.Get("threshold")->AsDouble());
+  });
+  setup->preload(&engine, 0);
+  // Crawl at 5 km/h twice at location 1: avg 5 < 20 - 2*4 = 12 -> fires with
+  // the *subtracted* threshold.
+  auto bus_type = engine.GetEventType("bus");
+  ASSERT_TRUE(bus_type.ok());
+  for (int i = 0; i < 2; ++i) {
+    cep::EventBuilder builder(*bus_type);
+    builder.Set("timestamp", int64_t{i})
+        .Set("line", int64_t{1})
+        .Set("direction", false)
+        .Set("lon", -6.26)
+        .Set("lat", 53.35)
+        .Set("delay", 0.0)
+        .Set("congestion", false)
+        .Set("reported_stop", int64_t{-1})
+        .Set("vehicle", int64_t{1})
+        .Set("speed", 5.0)
+        .Set("actual_delay", 0.0)
+        .Set("hour", int64_t{8})
+        .Set("date_type", "weekday")
+        .Set("area_leaf", int64_t{1})
+        .Set("bus_stop", int64_t{-1});
+    engine.SendEvent(builder.Build());
+  }
+  ASSERT_FALSE(fired_thresholds.empty());
+  EXPECT_DOUBLE_EQ(fired_thresholds.back(), 12.0);
+}
+
+TEST_F(RetrievalTest, JoinWithDatabaseQueriesPerTuple) {
+  auto setup = BuildRetrieval(ThresholdRetrieval::kJoinWithDatabase, rules_,
+                              &store_, {});
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(static_cast<bool>(setup->before_send));
+  EXPECT_GT(setup->per_tuple_db_cost_micros, 0);
+
+  auto engine_ptr = MakeEngineWithTypes();
+  cep::Engine& engine = *engine_ptr;
+  auto stmt = engine.AddStatement(setup->rules[0].second, "r");
+  ASSERT_TRUE(stmt.ok());
+
+  auto fields = std::make_shared<dsps::Fields>(
+      dsps::Fields({"area_leaf", "hour", "date_type"}));
+  dsps::Tuple tuple(fields, {cep::Value(int64_t{2}), cep::Value(int64_t{8}),
+                             cep::Value("weekday")});
+  size_t queries_before = store_.query_count();
+  setup->before_send(&engine, 0, tuple);
+  EXPECT_GT(store_.query_count(), queries_before);
+  EXPECT_EQ((*stmt)->RetainedEvents(), 1u);  // the fetched threshold
+  // Same key again: queried again (per-tuple join) but not re-sent.
+  setup->before_send(&engine, 0, tuple);
+  EXPECT_EQ((*stmt)->RetainedEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace insight

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <mutex>
+#include <set>
+
+#include "dsps/local_runtime.h"
+#include "dsps/topology.h"
+#include "common/strings.h"
+#include "dsps/xml_topology.h"
+
+namespace insight {
+namespace dsps {
+namespace {
+
+/// Emits the integers [0, n).
+class CounterSpout : public Spout {
+ public:
+  explicit CounterSpout(int n) : n_(n) {}
+  void Open(const TaskContext& context) override {
+    next_ = context.task_index;
+    stride_ = context.num_tasks;
+  }
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= n_) return false;
+    collector->Emit({Value(int64_t{next_})});
+    next_ += stride_;
+    return next_ < n_;
+  }
+
+ private:
+  int n_;
+  int next_ = 0;
+  int stride_ = 1;
+};
+
+/// Collects every value it sees into a shared sink.
+class SinkBolt : public Bolt {
+ public:
+  struct Sink {
+    std::mutex mutex;
+    std::vector<int64_t> values;
+    std::map<int, int> per_task_counts;
+  };
+  SinkBolt(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
+  void Prepare(const TaskContext& context) override { task_ = context.task_index; }
+  void Execute(const Tuple& input, Collector*) override {
+    std::lock_guard<std::mutex> lock(sink_->mutex);
+    sink_->values.push_back(input.Get(0).AsInt());
+    sink_->per_task_counts[task_]++;
+  }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+  int task_ = 0;
+};
+
+/// Doubles its input value.
+class DoubleBolt : public Bolt {
+ public:
+  void Execute(const Tuple& input, Collector* collector) override {
+    collector->Emit({Value(input.Get(0).AsInt() * 2)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Topology validation
+// ---------------------------------------------------------------------------
+
+TEST(TopologyBuilderTest, ValidTopology) {
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(1); },
+                   Fields({"v"}), 2, 4);
+  builder.SetBolt("b", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}), 2)
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+  EXPECT_EQ(topology->total_tasks(), 6);
+  EXPECT_EQ(topology->total_executors(), 4);
+  EXPECT_EQ(topology->Subscribers("s").size(), 1u);
+}
+
+TEST(TopologyBuilderTest, RejectsExecutorsExceedingTasks) {
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(1); },
+                   Fields({"v"}), 4, 2);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsUnknownSource) {
+  TopologyBuilder builder;
+  builder.SetBolt("b", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}))
+      .ShuffleGrouping("ghost");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopologyBuilderTest, RejectsUnknownGroupingField) {
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(1); },
+                   Fields({"v"}));
+  builder.SetBolt("b", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}))
+      .FieldsGrouping("s", {"nope"});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsCycle) {
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(1); },
+                   Fields({"v"}));
+  builder.SetBolt("a", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}))
+      .ShuffleGrouping("s")
+      .ShuffleGrouping("b");
+  builder.SetBolt("b", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}))
+      .ShuffleGrouping("a");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsDuplicateNames) {
+  TopologyBuilder builder;
+  builder.SetSpout("x", [] { return std::make_unique<CounterSpout>(1); },
+                   Fields({"v"}));
+  builder.SetBolt("x", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}))
+      .ShuffleGrouping("x");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------------------
+// LocalRuntime
+// ---------------------------------------------------------------------------
+
+TEST(LocalRuntimeTest, DeliversEveryTupleOnce) {
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(1000); },
+                   Fields({"v"}), 2, 2);
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}), 3)
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+
+  std::set<int64_t> seen(sink->values.begin(), sink->values.end());
+  EXPECT_EQ(sink->values.size(), 1000u);
+  EXPECT_EQ(seen.size(), 1000u);
+  // Shuffle grouping spreads across the 3 tasks.
+  EXPECT_EQ(sink->per_task_counts.size(), 3u);
+  auto totals = runtime.metrics()->Totals("sink");
+  EXPECT_EQ(totals.executed, 1000u);
+}
+
+TEST(LocalRuntimeTest, ChainOfBoltsTransforms) {
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(100); },
+                   Fields({"v"}));
+  builder.SetBolt("x2", [] { return std::make_unique<DoubleBolt>(); },
+                  Fields({"v"}), 2)
+      .ShuffleGrouping("s");
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}))
+      .ShuffleGrouping("x2");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  int64_t sum = 0;
+  for (int64_t v : sink->values) sum += v;
+  EXPECT_EQ(sum, 2 * 100 * 99 / 2);
+}
+
+TEST(LocalRuntimeTest, FieldsGroupingRoutesConsistently) {
+  // With fields grouping on the key, every tuple of the same key must land
+  // on the same task.
+  struct KeyState {
+    std::mutex mutex;
+    std::map<int64_t, std::set<int>> tasks_per_key;
+  };
+  auto state = std::make_shared<KeyState>();
+  struct KeyTracker : public Bolt {
+    std::shared_ptr<KeyState> state;
+    int task = 0;
+    explicit KeyTracker(std::shared_ptr<KeyState> s) : state(std::move(s)) {}
+    void Prepare(const TaskContext& context) override {
+      task = context.task_index;
+    }
+    void Execute(const Tuple& input, Collector*) override {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->tasks_per_key[input.Get(0).AsInt()].insert(task);
+    }
+  };
+  struct ModSpout : public Spout {
+    int next = 0;
+    bool NextTuple(Collector* collector) override {
+      if (next >= 500) return false;
+      collector->Emit({Value(int64_t{next % 10})});
+      ++next;
+      return next < 500;
+    }
+  };
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<ModSpout>(); },
+                   Fields({"key"}));
+  builder.SetBolt("t", [state] { return std::make_unique<KeyTracker>(state); },
+                  Fields({}), 4)
+      .FieldsGrouping("s", {"key"});
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  EXPECT_EQ(state->tasks_per_key.size(), 10u);
+  for (const auto& [key, tasks] : state->tasks_per_key) {
+    EXPECT_EQ(tasks.size(), 1u) << "key " << key << " visited multiple tasks";
+  }
+}
+
+TEST(LocalRuntimeTest, AllGroupingReplicatesToEveryTask) {
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(50); },
+                   Fields({"v"}));
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}), 4)
+      .AllGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  EXPECT_EQ(sink->values.size(), 200u);  // 50 x 4 tasks
+  for (const auto& [task, count] : sink->per_task_counts) {
+    EXPECT_EQ(count, 50);
+  }
+}
+
+TEST(LocalRuntimeTest, DirectGroupingHitsChosenTask) {
+  // Router bolt sends even values to task 0, odd to task 1.
+  struct RouterBolt : public Bolt {
+    void Execute(const Tuple& input, Collector* collector) override {
+      int64_t v = input.Get(0).AsInt();
+      collector->EmitDirect(static_cast<int>(v % 2), {Value(v)});
+    }
+  };
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(100); },
+                   Fields({"v"}));
+  builder.SetBolt("r", [] { return std::make_unique<RouterBolt>(); },
+                  Fields({"v"}))
+      .ShuffleGrouping("s");
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}), 2)
+      .DirectGrouping("r");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  ASSERT_EQ(sink->values.size(), 100u);
+  EXPECT_EQ(sink->per_task_counts[0], 50);
+  EXPECT_EQ(sink->per_task_counts[1], 50);
+}
+
+TEST(LocalRuntimeTest, PseudoParallelTasksShareExecutor) {
+  // 4 tasks on 2 executors (Figure 1's SpeedCalculatorBolt situation).
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<CounterSpout>(400); },
+                   Fields({"v"}));
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}), 2, 4)
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  EXPECT_EQ(sink->values.size(), 400u);
+  EXPECT_EQ(sink->per_task_counts.size(), 4u);  // all 4 tasks ran
+}
+
+TEST(LocalRuntimeTest, StopWithoutCompletion) {
+  // An endless spout: Stop() must terminate promptly.
+  struct EndlessSpout : public Spout {
+    bool NextTuple(Collector* collector) override {
+      collector->Emit({Value(int64_t{1})});
+      return true;
+    }
+  };
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<EndlessSpout>(); },
+                   Fields({"v"}));
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}))
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime runtime(std::move(*topology), {});
+  ASSERT_TRUE(runtime.Start().ok());
+  while (runtime.metrics()->Totals("sink").executed < 100) {
+  }
+  runtime.Stop();
+  EXPECT_GE(sink->values.size(), 100u);
+}
+
+TEST(LocalRuntimeTest, MonitorThreadTakesWindowSnapshots) {
+  // The paper's 40-second monitor windows, shrunk for the test: the monitor
+  // thread must produce per-component window reports while the topology
+  // runs.
+  struct SlowishSpout : public Spout {
+    int next = 0;
+    bool NextTuple(Collector* collector) override {
+      if (next >= 2000) return false;
+      collector->Emit({Value(int64_t{next})});
+      ++next;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      return next < 2000;
+    }
+  };
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<SlowishSpout>(); },
+                   Fields({"v"}));
+  builder.SetBolt("sink", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}))
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime::Options options;
+  options.monitor_interval_micros = 40'000;  // 40 ms windows
+  LocalRuntime runtime(std::move(*topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  auto reports = runtime.metrics()->window_reports();
+  ASSERT_GE(reports.size(), 2u);
+  uint64_t windowed_total = 0;
+  for (const auto& report : reports) {
+    if (report.component == "sink") windowed_total += report.executed;
+  }
+  EXPECT_LE(windowed_total, 2000u);
+  EXPECT_GT(windowed_total, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// XML topology loading
+// ---------------------------------------------------------------------------
+
+TEST(XmlTopologyTest, LoadsComponentsAndRules) {
+  ComponentRegistry registry;
+  ASSERT_TRUE(registry
+                  .RegisterSpout("CounterSpout",
+                                 [](const XmlNode& node) -> Result<SpoutFactory> {
+                                   INSIGHT_ASSIGN_OR_RETURN(
+                                       std::string n, XmlParam(node, "count"));
+                                   INSIGHT_ASSIGN_OR_RETURN(long long count,
+                                                            insight::ParseInt(n));
+                                   return SpoutFactory([count] {
+                                     return std::make_unique<CounterSpout>(
+                                         static_cast<int>(count));
+                                   });
+                                 })
+                  .ok());
+  ASSERT_TRUE(registry
+                  .RegisterBolt("DoubleBolt",
+                                [](const XmlNode&) -> Result<BoltFactory> {
+                                  return BoltFactory([] {
+                                    return std::make_unique<DoubleBolt>();
+                                  });
+                                })
+                  .ok());
+
+  auto loaded = LoadTopologyFromXml(R"(
+    <topology name="test">
+      <spout name="numbers" type="CounterSpout" executors="2" fields="v">
+        <param key="count" value="10"/>
+      </spout>
+      <bolt name="doubler" type="DoubleBolt" executors="1" fields="v">
+        <subscribe source="numbers" grouping="shuffle"/>
+      </bolt>
+      <rules>
+        <rule name="r1"><![CDATA[SELECT * FROM bus WHERE delay > 100]]></rule>
+        <rule name="r2">SELECT * FROM bus</rule>
+      </rules>
+    </topology>)",
+                                    registry);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->topology.components().size(), 2u);
+  EXPECT_EQ(loaded->topology.Find("numbers")->num_executors, 2);
+  ASSERT_EQ(loaded->rules.size(), 2u);
+  EXPECT_EQ(loaded->rules[0].first, "r1");
+  EXPECT_NE(loaded->rules[0].second.find("delay > 100"), std::string::npos);
+}
+
+TEST(XmlTopologyTest, UnknownTypeFails) {
+  ComponentRegistry registry;
+  auto loaded = LoadTopologyFromXml(
+      "<topology><spout name='s' type='Ghost' fields='v'/></topology>",
+      registry);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(XmlTopologyTest, BadGroupingFails) {
+  ComponentRegistry registry;
+  ASSERT_TRUE(registry
+                  .RegisterSpout("S",
+                                 [](const XmlNode&) -> Result<SpoutFactory> {
+                                   return SpoutFactory([] {
+                                     return std::make_unique<CounterSpout>(1);
+                                   });
+                                 })
+                  .ok());
+  ASSERT_TRUE(registry
+                  .RegisterBolt("B",
+                                [](const XmlNode&) -> Result<BoltFactory> {
+                                  return BoltFactory([] {
+                                    return std::make_unique<DoubleBolt>();
+                                  });
+                                })
+                  .ok());
+  auto loaded = LoadTopologyFromXml(R"(
+    <topology>
+      <spout name="s" type="S" fields="v"/>
+      <bolt name="b" type="B" fields="v">
+        <subscribe source="s" grouping="zigzag"/>
+      </bolt>
+    </topology>)",
+                                    registry);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace dsps
+}  // namespace insight

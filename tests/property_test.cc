@@ -1,0 +1,335 @@
+// Parameterized property tests (TEST_P sweeps) over the library's
+// invariants: quadtree tiling, partition balance, window-size bounds, DES
+// work conservation, regression exactness and MapReduce determinism.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "batch/mapreduce.h"
+#include "cep/engine.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/partitioning.h"
+#include "geo/quadtree.h"
+#include "model/regression.h"
+#include "sim/cluster_sim.h"
+
+namespace insight {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quadtree invariants over (seed, capacity)
+// ---------------------------------------------------------------------------
+
+class QuadtreeProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(QuadtreeProperty, EveryPointHasExactlyOneLeaf) {
+  auto [seed, capacity] = GetParam();
+  geo::RegionQuadtree::Options options;
+  options.capacity = capacity;
+  auto tree = geo::BuildDublinQuadtree(seed, 400, options);
+  Rng rng(seed ^ 0xabc);
+  auto bounds = geo::DublinBounds();
+  auto leaves = tree.Leaves();
+  for (int i = 0; i < 100; ++i) {
+    geo::LatLon p{rng.Uniform(bounds.min_lat, bounds.max_lat),
+                  rng.Uniform(bounds.min_lon, bounds.max_lon)};
+    geo::RegionId leaf = tree.LocateLeaf(p);
+    ASSERT_GE(leaf, 0);
+    int containing = 0;
+    for (const auto& region : leaves) {
+      if (region.box.Contains(p)) {
+        ++containing;
+        EXPECT_EQ(region.id, leaf);
+      }
+    }
+    EXPECT_EQ(containing, 1);
+  }
+}
+
+TEST_P(QuadtreeProperty, LayerLookupIsPrefixOfLeafPath) {
+  auto [seed, capacity] = GetParam();
+  geo::RegionQuadtree::Options options;
+  options.capacity = capacity;
+  auto tree = geo::BuildDublinQuadtree(seed, 400, options);
+  Rng rng(seed ^ 0x123);
+  auto bounds = geo::DublinBounds();
+  for (int i = 0; i < 50; ++i) {
+    geo::LatLon p{rng.Uniform(bounds.min_lat, bounds.max_lat),
+                  rng.Uniform(bounds.min_lon, bounds.max_lon)};
+    // The region at layer k must contain the region at layer k+1.
+    for (int layer = 0; layer < tree.max_layer(); ++layer) {
+      auto coarse = tree.GetRegion(tree.Locate(p, layer));
+      auto fine = tree.GetRegion(tree.Locate(p, layer + 1));
+      ASSERT_TRUE(coarse.ok());
+      ASSERT_TRUE(fine.ok());
+      EXPECT_TRUE(coarse->box.Contains(fine->box.Center()));
+      EXPECT_LE(coarse->layer, fine->layer);
+    }
+  }
+}
+
+TEST_P(QuadtreeProperty, LeafCapacityRespected) {
+  auto [seed, capacity] = GetParam();
+  geo::RegionQuadtree::Options options;
+  options.capacity = capacity;
+  options.max_depth = 12;
+  auto tree = geo::BuildDublinQuadtree(seed, 400, options);
+  for (const auto& leaf : tree.Leaves()) {
+    if (leaf.layer < 12) {
+      EXPECT_LE(leaf.seed_count, capacity)
+          << "non-depth-limited leaf over capacity";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuadtreeProperty,
+                         ::testing::Combine(::testing::Values(1u, 7u, 42u, 99u),
+                                            ::testing::Values(4u, 8u, 16u)));
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 balance over (seed, engines)
+// ---------------------------------------------------------------------------
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(PartitionProperty, MaxEngineRateBoundedByLptGuarantee) {
+  auto [seed, engines] = GetParam();
+  Rng rng(seed);
+  std::vector<core::RegionRate> rates;
+  double total = 0, max_rate = 0;
+  for (int64_t region = 0; region < 150; ++region) {
+    double rate = rng.Uniform(0.5, 50.0);
+    rates.push_back({region, rate});
+    total += rate;
+    max_rate = std::max(max_rate, rate);
+  }
+  auto assignment = core::PartitionRegions(rates, engines);
+  ASSERT_TRUE(assignment.ok());
+  auto engine_rates = core::EngineRates(*assignment, rates);
+  double optimal_lb = std::max(total / engines, max_rate);
+  for (double rate : engine_rates) {
+    // Greedy LPT is within (4/3 - 1/3m) of optimal makespan; allow 4/3 plus
+    // the single-region indivisibility slack.
+    EXPECT_LE(rate, optimal_lb * 4.0 / 3.0 + max_rate);
+  }
+  // Conservation: nothing lost or duplicated.
+  double assigned = std::accumulate(engine_rates.begin(), engine_rates.end(), 0.0);
+  EXPECT_NEAR(assigned, total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionProperty,
+                         ::testing::Combine(::testing::Values(3u, 17u, 88u),
+                                            ::testing::Values(2, 5, 9, 16)));
+
+// ---------------------------------------------------------------------------
+// CEP window-size invariants over (window kind, size)
+// ---------------------------------------------------------------------------
+
+class WindowProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WindowProperty, RetainedNeverExceedsDeclaredLength) {
+  size_t window = GetParam();
+  cep::Engine engine;
+  ASSERT_TRUE(engine
+                  .RegisterEventType("e", {{"k", cep::ValueType::kInt},
+                                           {"v", cep::ValueType::kDouble}})
+                  .ok());
+  auto stmt = engine.AddStatement(
+      "@Trigger(e) SELECT avg(x.v) AS m FROM e.std:groupwin(k).win:length(" +
+          std::to_string(window) + ") as x GROUP BY x.k",
+      "w");
+  ASSERT_TRUE(stmt.ok());
+  Rng rng(window);
+  constexpr int kKeys = 5;
+  for (int i = 0; i < 500; ++i) {
+    engine.SendEvent(engine.NewEvent("e")
+                         .Set("k", static_cast<int64_t>(rng.NextUint(kKeys)))
+                         .Set("v", rng.NextDouble())
+                         .Build());
+    EXPECT_LE((*stmt)->RetainedEvents(), window * kKeys);
+  }
+}
+
+TEST_P(WindowProperty, WindowAverageMatchesReference) {
+  size_t window = GetParam();
+  cep::Engine engine;
+  ASSERT_TRUE(engine
+                  .RegisterEventType("e", {{"k", cep::ValueType::kInt},
+                                           {"v", cep::ValueType::kDouble}})
+                  .ok());
+  auto stmt = engine.AddStatement(
+      "@Trigger(e) SELECT avg(x.v) AS m FROM e.win:length(" +
+          std::to_string(window) + ") as x",
+      "w");
+  ASSERT_TRUE(stmt.ok());
+  double last_avg = 0;
+  (*stmt)->AddListener(
+      [&](const cep::MatchResult& m) { last_avg = m.Get("m")->AsDouble(); });
+  Rng rng(window * 3 + 1);
+  std::deque<double> reference;
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Uniform(-10, 10);
+    reference.push_back(v);
+    if (reference.size() > window) reference.pop_front();
+    engine.SendEvent(engine.NewEvent("e")
+                         .Set("k", int64_t{0})
+                         .Set("v", v)
+                         .Build());
+    double expected =
+        std::accumulate(reference.begin(), reference.end(), 0.0) /
+        static_cast<double>(reference.size());
+    ASSERT_NEAR(last_avg, expected, 1e-9) << "at event " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WindowProperty,
+                         ::testing::Values(1u, 2u, 7u, 32u, 100u));
+
+// ---------------------------------------------------------------------------
+// DES work conservation over (nodes, engines)
+// ---------------------------------------------------------------------------
+
+class SimProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SimProperty, WorkConservedUnderSaturation) {
+  auto [nodes, engines] = GetParam();
+  sim::ClusterSimulation::Config config;
+  config.node_cores = std::vector<int>(static_cast<size_t>(nodes), 1);
+  config.network_latency_micros = 0;
+  config.deserialization_micros = 0;
+  config.duration_micros = 2'000'000;
+  const double service = 500.0;
+  std::vector<sim::ClusterSimulation::EngineSpec> specs;
+  for (int e = 0; e < engines; ++e) specs.push_back({e % nodes, service});
+  sim::ClusterSimulation simulation(config, specs);
+  // Saturating load.
+  auto result = simulation.Run(
+      50000.0, [engines = engines](uint64_t i, std::vector<int>* t) {
+        t->push_back(static_cast<int>(i % static_cast<uint64_t>(engines)));
+      });
+  ASSERT_TRUE(result.ok());
+  // Usable core-time: an engine is a serial server, so a node can only be
+  // as busy as min(cores, engines hosted there).
+  std::vector<int> engines_on_node(static_cast<size_t>(nodes), 0);
+  for (const auto& spec : specs) ++engines_on_node[static_cast<size_t>(spec.node)];
+  double usable_core_seconds = 0.0;
+  for (int hosted : engines_on_node) {
+    usable_core_seconds += 2.0 * std::min(1, hosted);
+  }
+  double work_seconds =
+      static_cast<double>(result->copies_processed) * service / 1e6;
+  // Under saturation, work done is close to the usable core time (within
+  // 15%: start-up and quantization effects), and never exceeds it.
+  EXPECT_LE(work_seconds, usable_core_seconds * 1.05);
+  EXPECT_GE(work_seconds, usable_core_seconds * 0.85);
+}
+
+TEST_P(SimProperty, ThroughputMonotoneInNodes) {
+  auto [nodes, engines] = GetParam();
+  if (nodes < 2) return;
+  auto run = [&](int n) {
+    sim::ClusterSimulation::Config config;
+    config.node_cores = std::vector<int>(static_cast<size_t>(n), 1);
+    config.duration_micros = 2'000'000;
+    config.network_latency_micros = 0;
+    config.deserialization_micros = 0;
+    std::vector<sim::ClusterSimulation::EngineSpec> specs;
+    for (int e = 0; e < engines; ++e) specs.push_back({e % n, 400.0});
+    sim::ClusterSimulation simulation(config, specs);
+    auto result = simulation.Run(
+        20000.0, [engines = engines](uint64_t i, std::vector<int>* t) {
+          t->push_back(static_cast<int>(i % static_cast<uint64_t>(engines)));
+        });
+    EXPECT_TRUE(result.ok());
+    return result->copies_processed;
+  };
+  EXPECT_GE(run(nodes), run(nodes - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimProperty,
+                         ::testing::Combine(::testing::Values(1, 3, 7),
+                                            ::testing::Values(1, 4, 12)));
+
+// ---------------------------------------------------------------------------
+// Regression exactness over degrees
+// ---------------------------------------------------------------------------
+
+class RegressionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegressionProperty, RecoversRandomPolynomialExactly) {
+  int degree = GetParam();
+  Rng rng(static_cast<uint64_t>(degree) * 31 + 7);
+  model::PolynomialRegression truth(2, degree);
+  std::vector<double> coefficients(truth.num_terms());
+  for (double& c : coefficients) c = rng.Uniform(-3, 3);
+  ASSERT_TRUE(truth.SetCoefficients(coefficients).ok());
+
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (size_t i = 0; i < truth.num_terms() * 6; ++i) {
+    std::vector<double> sample{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    y.push_back(truth.Predict(sample));
+    x.push_back(std::move(sample));
+  }
+  model::PolynomialRegression fitted(2, degree);
+  ASSERT_TRUE(fitted.Fit(x, y).ok());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> probe{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    EXPECT_NEAR(fitted.Predict(probe), truth.Predict(probe), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegressionProperty, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// MapReduce determinism over reducer counts
+// ---------------------------------------------------------------------------
+
+class MapReduceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapReduceProperty, OutputIndependentOfReducerCount) {
+  int reducers = GetParam();
+  dfs::MiniDfs fs;
+  Rng rng(11);
+  std::string data;
+  for (int i = 0; i < 300; ++i) {
+    data += "key" + std::to_string(rng.NextUint(20)) + " " +
+            std::to_string(rng.NextUint(100)) + "\n";
+  }
+  ASSERT_TRUE(fs.Append("/in", data).ok());
+
+  auto run = [&](int r) {
+    batch::MapReduceJob::Spec spec;
+    spec.input_paths = {"/in"};
+    spec.output_dir = "/out" + std::to_string(r);
+    spec.num_reducers = r;
+    spec.map = [](const std::string& record, batch::Emitter* e) {
+      auto parts = SplitWhitespace(record);
+      if (parts.size() == 2) e->Emit(parts[0], parts[1]);
+    };
+    spec.reduce = [](const std::string& key,
+                     const std::vector<std::string>& values,
+                     batch::Emitter* e) {
+      long long total = 0;
+      for (const auto& v : values) total += *ParseInt(v);
+      e->Emit(key, std::to_string(total));
+    };
+    EXPECT_TRUE(batch::MapReduceJob::Run(&fs, spec).ok());
+    auto output = batch::ReadJobOutput(fs, spec.output_dir);
+    EXPECT_TRUE(output.ok());
+    return std::map<std::string, std::string>(output->begin(), output->end());
+  };
+  auto baseline = run(1);
+  EXPECT_EQ(run(reducers), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MapReduceProperty,
+                         ::testing::Values(2, 3, 7, 16));
+
+}  // namespace
+}  // namespace insight

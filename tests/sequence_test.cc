@@ -1,0 +1,115 @@
+#include "core/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace insight {
+namespace core {
+namespace {
+
+constexpr MicrosT kMinute = 60'000'000;
+
+class SequenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ConsecutiveStopsDetector::Options options;
+    options.k = 3;
+    options.window_micros = 10 * kMinute;
+    detector_ = std::make_unique<ConsecutiveStopsDetector>(options);
+    ASSERT_TRUE(
+        detector_->RegisterLine(41, false, {100, 101, 102, 103, 104}).ok());
+  }
+
+  std::unique_ptr<ConsecutiveStopsDetector> detector_;
+};
+
+TEST_F(SequenceTest, FiresOnThreeConsecutiveStops) {
+  EXPECT_FALSE(detector_->Observe(41, false, 100, 0).has_value());
+  EXPECT_FALSE(detector_->Observe(41, false, 101, kMinute).has_value());
+  auto match = detector_->Observe(41, false, 102, 2 * kMinute);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->line_id, 41);
+  EXPECT_EQ(match->stops, (std::vector<int64_t>{100, 101, 102}));
+  EXPECT_EQ(match->first_timestamp, 0);
+  EXPECT_EQ(match->last_timestamp, 2 * kMinute);
+}
+
+TEST_F(SequenceTest, GapBreaksTheRun) {
+  detector_->Observe(41, false, 100, 0);
+  // stop 101 never reports; 102 completes no run.
+  EXPECT_FALSE(detector_->Observe(41, false, 102, kMinute).has_value());
+  // And neither does 103 (needs 101..103 or 102..104 complete).
+  EXPECT_FALSE(detector_->Observe(41, false, 103, 2 * kMinute).has_value());
+}
+
+TEST_F(SequenceTest, OutOfOrderArrivalStillCompletesRun) {
+  detector_->Observe(41, false, 102, 0);
+  detector_->Observe(41, false, 100, kMinute);
+  // The middle stop arrives last but the run 100..102 is complete... it can
+  // only fire when the *ending* stop is observed though — observe 102 again.
+  detector_->Observe(41, false, 101, 2 * kMinute);
+  auto match = detector_->Observe(41, false, 102, 3 * kMinute);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->stops, (std::vector<int64_t>{100, 101, 102}));
+}
+
+TEST_F(SequenceTest, WindowExpiryPreventsStaleRuns) {
+  detector_->Observe(41, false, 100, 0);
+  detector_->Observe(41, false, 101, kMinute);
+  // 102 arrives 30 minutes later: the earlier anomalies are stale.
+  EXPECT_FALSE(detector_->Observe(41, false, 102, 30 * kMinute).has_value());
+  // Fresh anomalies at 100/101 re-arm the run.
+  detector_->Observe(41, false, 100, 31 * kMinute);
+  detector_->Observe(41, false, 101, 32 * kMinute);
+  EXPECT_TRUE(detector_->Observe(41, false, 102, 33 * kMinute).has_value());
+}
+
+TEST_F(SequenceTest, DirectionsAreIndependent) {
+  ASSERT_TRUE(
+      detector_->RegisterLine(41, true, {104, 103, 102, 101, 100}).ok());
+  detector_->Observe(41, false, 100, 0);
+  detector_->Observe(41, false, 101, kMinute);
+  // Anomaly on the reverse direction must not complete the forward run.
+  EXPECT_FALSE(detector_->Observe(41, true, 102, 2 * kMinute).has_value());
+  EXPECT_TRUE(detector_->Observe(41, false, 102, 2 * kMinute).has_value());
+}
+
+TEST_F(SequenceTest, UnknownLineOrStopIgnored) {
+  EXPECT_FALSE(detector_->Observe(99, false, 100, 0).has_value());
+  EXPECT_FALSE(detector_->Observe(41, false, 999, 0).has_value());
+}
+
+TEST_F(SequenceTest, MidRouteRunFires) {
+  detector_->Observe(41, false, 102, 0);
+  detector_->Observe(41, false, 103, kMinute);
+  auto match = detector_->Observe(41, false, 104, 2 * kMinute);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->stops, (std::vector<int64_t>{102, 103, 104}));
+}
+
+TEST_F(SequenceTest, ExpireBeforeFreesState) {
+  detector_->Observe(41, false, 100, 0);
+  detector_->Observe(41, false, 101, kMinute);
+  detector_->ExpireBefore(20 * kMinute);
+  detector_->Observe(41, false, 101, 21 * kMinute);
+  EXPECT_FALSE(detector_->Observe(41, false, 102, 22 * kMinute).has_value());
+}
+
+TEST_F(SequenceTest, RegistrationValidation) {
+  EXPECT_FALSE(detector_->RegisterLine(7, false, {1, 2}).ok());     // < k stops
+  EXPECT_FALSE(detector_->RegisterLine(7, false, {1, 2, 2}).ok());  // duplicate
+  EXPECT_TRUE(detector_->RegisterLine(7, false, {1, 2, 3}).ok());
+}
+
+TEST_F(SequenceTest, KTwoFiresOnPairs) {
+  ConsecutiveStopsDetector::Options options;
+  options.k = 2;
+  options.window_micros = 5 * kMinute;
+  ConsecutiveStopsDetector detector(options);
+  ASSERT_TRUE(detector.RegisterLine(1, false, {10, 11, 12}).ok());
+  detector.Observe(1, false, 10, 0);
+  EXPECT_TRUE(detector.Observe(1, false, 11, kMinute).has_value());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace insight
