@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quadtree.dir/bench_ablation_quadtree.cc.o"
+  "CMakeFiles/bench_ablation_quadtree.dir/bench_ablation_quadtree.cc.o.d"
+  "bench_ablation_quadtree"
+  "bench_ablation_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cep_engine.cc" "bench/CMakeFiles/bench_cep_engine.dir/bench_cep_engine.cc.o" "gcc" "bench/CMakeFiles/bench_cep_engine.dir/bench_cep_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/insight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/insight_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/insight_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/insight_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/insight_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsps/CMakeFiles/insight_dsps.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/insight_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/insight_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/insight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

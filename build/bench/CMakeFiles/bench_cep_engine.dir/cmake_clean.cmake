@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cep_engine.dir/bench_cep_engine.cc.o"
+  "CMakeFiles/bench_cep_engine.dir/bench_cep_engine.cc.o.d"
+  "bench_cep_engine"
+  "bench_cep_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cep_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

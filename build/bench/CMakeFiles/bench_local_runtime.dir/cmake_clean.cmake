@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_runtime.dir/bench_local_runtime.cc.o"
+  "CMakeFiles/bench_local_runtime.dir/bench_local_runtime.cc.o.d"
+  "bench_local_runtime"
+  "bench_local_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_planner.dir/allocation_planner.cpp.o"
+  "CMakeFiles/allocation_planner.dir/allocation_planner.cpp.o.d"
+  "allocation_planner"
+  "allocation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_monitoring.dir/city_monitoring.cpp.o"
+  "CMakeFiles/city_monitoring.dir/city_monitoring.cpp.o.d"
+  "city_monitoring"
+  "city_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consecutive_stops.dir/consecutive_stops.cpp.o"
+  "CMakeFiles/consecutive_stops.dir/consecutive_stops.cpp.o.d"
+  "consecutive_stops"
+  "consecutive_stops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consecutive_stops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for consecutive_stops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_thresholds.dir/dynamic_thresholds.cpp.o"
+  "CMakeFiles/dynamic_thresholds.dir/dynamic_thresholds.cpp.o.d"
+  "dynamic_thresholds"
+  "dynamic_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

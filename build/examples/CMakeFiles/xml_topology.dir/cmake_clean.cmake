@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_topology.dir/xml_topology.cpp.o"
+  "CMakeFiles/xml_topology.dir/xml_topology.cpp.o.d"
+  "xml_topology"
+  "xml_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

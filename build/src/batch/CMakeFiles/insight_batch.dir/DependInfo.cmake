@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batch/mapreduce.cc" "src/batch/CMakeFiles/insight_batch.dir/mapreduce.cc.o" "gcc" "src/batch/CMakeFiles/insight_batch.dir/mapreduce.cc.o.d"
+  "/root/repo/src/batch/statistics_job.cc" "src/batch/CMakeFiles/insight_batch.dir/statistics_job.cc.o" "gcc" "src/batch/CMakeFiles/insight_batch.dir/statistics_job.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/insight_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/insight_cep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

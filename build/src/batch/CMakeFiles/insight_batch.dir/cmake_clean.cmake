@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_batch.dir/mapreduce.cc.o"
+  "CMakeFiles/insight_batch.dir/mapreduce.cc.o.d"
+  "CMakeFiles/insight_batch.dir/statistics_job.cc.o"
+  "CMakeFiles/insight_batch.dir/statistics_job.cc.o.d"
+  "libinsight_batch.a"
+  "libinsight_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cep/engine.cc" "src/cep/CMakeFiles/insight_cep.dir/engine.cc.o" "gcc" "src/cep/CMakeFiles/insight_cep.dir/engine.cc.o.d"
+  "/root/repo/src/cep/epl_parser.cc" "src/cep/CMakeFiles/insight_cep.dir/epl_parser.cc.o" "gcc" "src/cep/CMakeFiles/insight_cep.dir/epl_parser.cc.o.d"
+  "/root/repo/src/cep/event.cc" "src/cep/CMakeFiles/insight_cep.dir/event.cc.o" "gcc" "src/cep/CMakeFiles/insight_cep.dir/event.cc.o.d"
+  "/root/repo/src/cep/expr.cc" "src/cep/CMakeFiles/insight_cep.dir/expr.cc.o" "gcc" "src/cep/CMakeFiles/insight_cep.dir/expr.cc.o.d"
+  "/root/repo/src/cep/statement.cc" "src/cep/CMakeFiles/insight_cep.dir/statement.cc.o" "gcc" "src/cep/CMakeFiles/insight_cep.dir/statement.cc.o.d"
+  "/root/repo/src/cep/view.cc" "src/cep/CMakeFiles/insight_cep.dir/view.cc.o" "gcc" "src/cep/CMakeFiles/insight_cep.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

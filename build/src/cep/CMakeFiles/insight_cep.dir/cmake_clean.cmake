@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_cep.dir/engine.cc.o"
+  "CMakeFiles/insight_cep.dir/engine.cc.o.d"
+  "CMakeFiles/insight_cep.dir/epl_parser.cc.o"
+  "CMakeFiles/insight_cep.dir/epl_parser.cc.o.d"
+  "CMakeFiles/insight_cep.dir/event.cc.o"
+  "CMakeFiles/insight_cep.dir/event.cc.o.d"
+  "CMakeFiles/insight_cep.dir/expr.cc.o"
+  "CMakeFiles/insight_cep.dir/expr.cc.o.d"
+  "CMakeFiles/insight_cep.dir/statement.cc.o"
+  "CMakeFiles/insight_cep.dir/statement.cc.o.d"
+  "CMakeFiles/insight_cep.dir/view.cc.o"
+  "CMakeFiles/insight_cep.dir/view.cc.o.d"
+  "libinsight_cep.a"
+  "libinsight_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

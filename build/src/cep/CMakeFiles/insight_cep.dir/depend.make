@@ -1,0 +1,2 @@
+# Empty dependencies file for insight_cep.
+# This may be replaced when dependencies are built.

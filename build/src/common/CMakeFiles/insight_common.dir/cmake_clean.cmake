@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_common.dir/clock.cc.o"
+  "CMakeFiles/insight_common.dir/clock.cc.o.d"
+  "CMakeFiles/insight_common.dir/csv.cc.o"
+  "CMakeFiles/insight_common.dir/csv.cc.o.d"
+  "CMakeFiles/insight_common.dir/logging.cc.o"
+  "CMakeFiles/insight_common.dir/logging.cc.o.d"
+  "CMakeFiles/insight_common.dir/status.cc.o"
+  "CMakeFiles/insight_common.dir/status.cc.o.d"
+  "CMakeFiles/insight_common.dir/strings.cc.o"
+  "CMakeFiles/insight_common.dir/strings.cc.o.d"
+  "CMakeFiles/insight_common.dir/thread_pool.cc.o"
+  "CMakeFiles/insight_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/insight_common.dir/xml.cc.o"
+  "CMakeFiles/insight_common.dir/xml.cc.o.d"
+  "libinsight_common.a"
+  "libinsight_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

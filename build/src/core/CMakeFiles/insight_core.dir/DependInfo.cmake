@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/insight_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/dynamic.cc" "src/core/CMakeFiles/insight_core.dir/dynamic.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/dynamic.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/core/CMakeFiles/insight_core.dir/partitioning.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/partitioning.cc.o.d"
+  "/root/repo/src/core/retrieval.cc" "src/core/CMakeFiles/insight_core.dir/retrieval.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/retrieval.cc.o.d"
+  "/root/repo/src/core/rule_template.cc" "src/core/CMakeFiles/insight_core.dir/rule_template.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/rule_template.cc.o.d"
+  "/root/repo/src/core/sequence.cc" "src/core/CMakeFiles/insight_core.dir/sequence.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/sequence.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/insight_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/insight_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/insight_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsps/CMakeFiles/insight_dsps.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/insight_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/insight_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/insight_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/insight_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/insight_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/insight_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

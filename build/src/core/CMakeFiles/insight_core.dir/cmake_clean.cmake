@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_core.dir/allocation.cc.o"
+  "CMakeFiles/insight_core.dir/allocation.cc.o.d"
+  "CMakeFiles/insight_core.dir/dynamic.cc.o"
+  "CMakeFiles/insight_core.dir/dynamic.cc.o.d"
+  "CMakeFiles/insight_core.dir/partitioning.cc.o"
+  "CMakeFiles/insight_core.dir/partitioning.cc.o.d"
+  "CMakeFiles/insight_core.dir/retrieval.cc.o"
+  "CMakeFiles/insight_core.dir/retrieval.cc.o.d"
+  "CMakeFiles/insight_core.dir/rule_template.cc.o"
+  "CMakeFiles/insight_core.dir/rule_template.cc.o.d"
+  "CMakeFiles/insight_core.dir/sequence.cc.o"
+  "CMakeFiles/insight_core.dir/sequence.cc.o.d"
+  "CMakeFiles/insight_core.dir/system.cc.o"
+  "CMakeFiles/insight_core.dir/system.cc.o.d"
+  "libinsight_core.a"
+  "libinsight_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_dfs.dir/mini_dfs.cc.o"
+  "CMakeFiles/insight_dfs.dir/mini_dfs.cc.o.d"
+  "libinsight_dfs.a"
+  "libinsight_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsps/local_runtime.cc" "src/dsps/CMakeFiles/insight_dsps.dir/local_runtime.cc.o" "gcc" "src/dsps/CMakeFiles/insight_dsps.dir/local_runtime.cc.o.d"
+  "/root/repo/src/dsps/metrics.cc" "src/dsps/CMakeFiles/insight_dsps.dir/metrics.cc.o" "gcc" "src/dsps/CMakeFiles/insight_dsps.dir/metrics.cc.o.d"
+  "/root/repo/src/dsps/topology.cc" "src/dsps/CMakeFiles/insight_dsps.dir/topology.cc.o" "gcc" "src/dsps/CMakeFiles/insight_dsps.dir/topology.cc.o.d"
+  "/root/repo/src/dsps/xml_topology.cc" "src/dsps/CMakeFiles/insight_dsps.dir/xml_topology.cc.o" "gcc" "src/dsps/CMakeFiles/insight_dsps.dir/xml_topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/insight_cep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_dsps.dir/local_runtime.cc.o"
+  "CMakeFiles/insight_dsps.dir/local_runtime.cc.o.d"
+  "CMakeFiles/insight_dsps.dir/metrics.cc.o"
+  "CMakeFiles/insight_dsps.dir/metrics.cc.o.d"
+  "CMakeFiles/insight_dsps.dir/topology.cc.o"
+  "CMakeFiles/insight_dsps.dir/topology.cc.o.d"
+  "CMakeFiles/insight_dsps.dir/xml_topology.cc.o"
+  "CMakeFiles/insight_dsps.dir/xml_topology.cc.o.d"
+  "libinsight_dsps.a"
+  "libinsight_dsps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_dsps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

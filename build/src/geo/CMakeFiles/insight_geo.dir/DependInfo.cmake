@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bus_stops.cc" "src/geo/CMakeFiles/insight_geo.dir/bus_stops.cc.o" "gcc" "src/geo/CMakeFiles/insight_geo.dir/bus_stops.cc.o.d"
+  "/root/repo/src/geo/denclue.cc" "src/geo/CMakeFiles/insight_geo.dir/denclue.cc.o" "gcc" "src/geo/CMakeFiles/insight_geo.dir/denclue.cc.o.d"
+  "/root/repo/src/geo/latlon.cc" "src/geo/CMakeFiles/insight_geo.dir/latlon.cc.o" "gcc" "src/geo/CMakeFiles/insight_geo.dir/latlon.cc.o.d"
+  "/root/repo/src/geo/quadtree.cc" "src/geo/CMakeFiles/insight_geo.dir/quadtree.cc.o" "gcc" "src/geo/CMakeFiles/insight_geo.dir/quadtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_geo.dir/bus_stops.cc.o"
+  "CMakeFiles/insight_geo.dir/bus_stops.cc.o.d"
+  "CMakeFiles/insight_geo.dir/denclue.cc.o"
+  "CMakeFiles/insight_geo.dir/denclue.cc.o.d"
+  "CMakeFiles/insight_geo.dir/latlon.cc.o"
+  "CMakeFiles/insight_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/insight_geo.dir/quadtree.cc.o"
+  "CMakeFiles/insight_geo.dir/quadtree.cc.o.d"
+  "libinsight_geo.a"
+  "libinsight_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

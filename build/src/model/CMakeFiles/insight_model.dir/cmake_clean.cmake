@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_model.dir/latency_model.cc.o"
+  "CMakeFiles/insight_model.dir/latency_model.cc.o.d"
+  "CMakeFiles/insight_model.dir/regression.cc.o"
+  "CMakeFiles/insight_model.dir/regression.cc.o.d"
+  "libinsight_model.a"
+  "libinsight_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

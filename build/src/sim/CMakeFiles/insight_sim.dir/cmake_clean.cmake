@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/insight_sim.dir/cluster_sim.cc.o.d"
+  "libinsight_sim.a"
+  "libinsight_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_storage.dir/table_store.cc.o"
+  "CMakeFiles/insight_storage.dir/table_store.cc.o.d"
+  "libinsight_storage.a"
+  "libinsight_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

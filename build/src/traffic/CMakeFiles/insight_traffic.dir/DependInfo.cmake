@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/bolts.cc" "src/traffic/CMakeFiles/insight_traffic.dir/bolts.cc.o" "gcc" "src/traffic/CMakeFiles/insight_traffic.dir/bolts.cc.o.d"
+  "/root/repo/src/traffic/generator.cc" "src/traffic/CMakeFiles/insight_traffic.dir/generator.cc.o" "gcc" "src/traffic/CMakeFiles/insight_traffic.dir/generator.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "src/traffic/CMakeFiles/insight_traffic.dir/trace.cc.o" "gcc" "src/traffic/CMakeFiles/insight_traffic.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/insight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/insight_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/insight_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsps/CMakeFiles/insight_dsps.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/insight_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

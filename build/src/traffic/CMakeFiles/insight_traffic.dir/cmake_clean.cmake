@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_traffic.dir/bolts.cc.o"
+  "CMakeFiles/insight_traffic.dir/bolts.cc.o.d"
+  "CMakeFiles/insight_traffic.dir/generator.cc.o"
+  "CMakeFiles/insight_traffic.dir/generator.cc.o.d"
+  "CMakeFiles/insight_traffic.dir/trace.cc.o"
+  "CMakeFiles/insight_traffic.dir/trace.cc.o.d"
+  "libinsight_traffic.a"
+  "libinsight_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_engine_test.dir/cep_engine_test.cc.o"
+  "CMakeFiles/cep_engine_test.dir/cep_engine_test.cc.o.d"
+  "cep_engine_test"
+  "cep_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_event_test.dir/cep_event_test.cc.o"
+  "CMakeFiles/cep_event_test.dir/cep_event_test.cc.o.d"
+  "cep_event_test"
+  "cep_event_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_statement_test.dir/cep_statement_test.cc.o"
+  "CMakeFiles/cep_statement_test.dir/cep_statement_test.cc.o.d"
+  "cep_statement_test"
+  "cep_statement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_view_test.dir/cep_view_test.cc.o"
+  "CMakeFiles/cep_view_test.dir/cep_view_test.cc.o.d"
+  "cep_view_test"
+  "cep_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_test.dir/dsps_test.cc.o"
+  "CMakeFiles/dsps_test.dir/dsps_test.cc.o.d"
+  "dsps_test"
+  "dsps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
