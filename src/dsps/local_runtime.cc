@@ -25,31 +25,82 @@ uint64_t HashValues(const std::vector<Value>& values,
   return h;
 }
 
+uint64_t Splitmix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Acker key of (message, attempt). Mixing the attempt in means tuples of a
+/// timed-out attempt still draining through the topology ack a key that no
+/// longer exists, instead of corrupting the replay's fresh tree.
+uint64_t RootKey(uint64_t message_id, int attempt) {
+  uint64_t z = Splitmix(message_id + 0x9e3779b97f4a7c15ULL *
+                                         static_cast<uint64_t>(attempt + 1));
+  return z == 0 ? 1 : z;
+}
+
 }  // namespace
 
 /// Routes emissions of one task. Bound to the task for its whole lifetime;
 /// the current input's spout_time is set before each Execute call so output
-/// tuples inherit their origin time.
+/// tuples inherit their origin time, and — under acking — the input's root
+/// key so emitted tuples are anchored to the same tree.
 class LocalRuntime::TaskCollector : public Collector {
  public:
-  TaskCollector(LocalRuntime* runtime, int component_index, int task_index)
+  TaskCollector(LocalRuntime* runtime, int component_index, int task_index,
+                bool is_spout)
       : runtime_(runtime),
         component_index_(component_index),
-        task_index_(task_index) {}
+        task_index_(task_index),
+        is_spout_(is_spout) {}
 
   void Emit(std::vector<Value> values) override {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
                 std::move(values), current_spout_time_);
-    runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_);
+    uint64_t* batch = nullptr;
+    if (current_root_key_ != 0) {
+      tuple.set_root_key(current_root_key_);
+      batch = &ack_batch_;
+    }
+    runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_,
+                    batch);
   }
 
   void EmitDirect(int target_task, std::vector<Value> values) override {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
                 std::move(values), current_spout_time_);
-    runtime_->Route(component_index_, tuple, target_task, &emitted_);
+    uint64_t* batch = nullptr;
+    if (current_root_key_ != 0) {
+      tuple.set_root_key(current_root_key_);
+      batch = &ack_batch_;
+    }
+    runtime_->Route(component_index_, tuple, target_task, &emitted_, batch);
+  }
+
+  void EmitRooted(uint64_t message_id, std::vector<Value> values) override {
+    if (is_spout_ && runtime_->options_.enable_acking) {
+      runtime_->EmitTracked(component_index_, task_index_, message_id,
+                            /*attempt=*/0, std::move(values),
+                            current_spout_time_, &emitted_);
+      return;
+    }
+    Emit(std::move(values));
+  }
+
+  /// Bolt-side: bind the collector to the input about to be executed.
+  void BeginExecute(const Tuple& input) {
+    current_spout_time_ = input.spout_time();
+    current_root_key_ = input.root_key();
+    ack_batch_ = 0;
   }
 
   void set_current_spout_time(MicrosT t) { current_spout_time_ = t; }
+  uint64_t TakeAckBatch() {
+    uint64_t b = ack_batch_;
+    ack_batch_ = 0;
+    return b;
+  }
   uint64_t TakeEmitted() {
     uint64_t e = emitted_;
     emitted_ = 0;
@@ -61,12 +112,24 @@ class LocalRuntime::TaskCollector : public Collector {
   LocalRuntime* runtime_;
   int component_index_;
   int task_index_;
+  bool is_spout_;
   MicrosT current_spout_time_ = 0;
+  uint64_t current_root_key_ = 0;
+  uint64_t ack_batch_ = 0;
   uint64_t emitted_ = 0;
 };
 
 LocalRuntime::LocalRuntime(Topology topology, Options options)
     : topology_(std::move(topology)), options_(options) {
+  if (options_.enable_acking) {
+    acker_ = std::make_unique<reliability::Acker>();
+    reliability::ReplayPolicy policy;
+    policy.max_replays = options_.max_replays;
+    policy.backoff_base_micros = options_.replay_backoff_micros;
+    policy.backoff_factor = options_.replay_backoff_factor;
+    replay_ = std::make_unique<reliability::ReplayBuffer>(policy);
+  }
+
   const auto& components = topology_.components();
   fields_.resize(components.size());
   tasks_.resize(components.size());
@@ -83,6 +146,9 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
       task.task_index = t;
       if (def.is_spout) {
         task.spout = def.spout_factory();
+        if (options_.enable_acking) {
+          task.events = std::make_unique<SpoutEventQueue>();
+        }
       } else {
         task.bolt = def.bolt_factory();
         task.input = std::make_unique<TaskQueue>();
@@ -122,22 +188,33 @@ Status LocalRuntime::Start() {
     if (def.is_spout) spout_tasks += def.num_tasks;
   }
   live_spout_tasks_.store(spout_tasks);
+  metrics_.MarkWindowStart(options_.clock->NowMicros());
 
   const auto& components = topology_.components();
   for (size_t c = 0; c < components.size(); ++c) {
     for (int e = 0; e < components[c].num_executors; ++e) {
-      threads_.emplace_back(
-          [this, c, e] { ExecutorLoop(static_cast<int>(c), e); });
+      auto slot = std::make_unique<ExecutorSlot>();
+      slot->component_index = static_cast<int>(c);
+      slot->executor_index = e;
+      executors_.push_back(std::move(slot));
     }
+  }
+  for (auto& slot : executors_) {
+    ExecutorSlot* raw = slot.get();
+    slot->thread = std::thread([this, raw] { ExecutorLoop(raw); });
   }
   if (options_.monitor_interval_micros > 0) {
     monitor_thread_ = std::thread([this] { MonitorLoop(); });
+  }
+  if (options_.enable_acking || options_.fault_injector != nullptr) {
+    supervisor_thread_ = std::thread([this] { SupervisorLoop(); });
   }
   return Status::OK();
 }
 
 void LocalRuntime::NotifyPossiblyDone() {
-  if (live_spout_tasks_.load() == 0 && in_flight_.load() == 0) {
+  if (live_spout_tasks_.load() == 0 && in_flight_.load() == 0 &&
+      pending_roots_.load() == 0) {
     std::lock_guard<std::mutex> lock(done_mutex_);
     done_cv_.notify_all();
   }
@@ -148,7 +225,8 @@ void LocalRuntime::AwaitCompletion() {
     std::unique_lock<std::mutex> lock(done_mutex_);
     done_cv_.wait(lock, [this] {
       return stopping_.load() ||
-             (live_spout_tasks_.load() == 0 && in_flight_.load() == 0);
+             (live_spout_tasks_.load() == 0 && in_flight_.load() == 0 &&
+              pending_roots_.load() == 0);
     });
   }
   Stop();
@@ -158,9 +236,14 @@ void LocalRuntime::Stop() {
   if (!started_.load()) return;
   bool was_stopping = stopping_.exchange(true);
   // Wake everyone: emitters blocked on full queues, executors on empty ones.
+  // The notify must happen while holding the queue mutex: a waiter that
+  // checked `stopping_` just before we set it is still between its predicate
+  // and the wait — notifying without the lock would be lost and the waiter
+  // would block forever (backpressure deadlock on Stop).
   for (auto& component_tasks : tasks_) {
     for (auto& task : component_tasks) {
       if (task.input != nullptr) {
+        std::lock_guard<std::mutex> lock(task.input->mutex);
         task.input->not_empty.notify_all();
         task.input->not_full.notify_all();
       }
@@ -171,15 +254,23 @@ void LocalRuntime::Stop() {
     done_cv_.notify_all();
   }
   if (was_stopping) return;
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
+  // Supervisor first, so it cannot relaunch executor threads underneath the
+  // joins below.
+  if (supervisor_thread_.joinable()) supervisor_thread_.join();
+  for (auto& slot : executors_) {
+    if (slot->thread.joinable()) slot->thread.join();
   }
   if (monitor_thread_.joinable()) monitor_thread_.join();
   finished_.store(true);
 }
 
-void LocalRuntime::Push(int component_index, int task_index,
-                        const Tuple& tuple) {
+uint64_t LocalRuntime::NextEdgeId() {
+  uint64_t z = Splitmix(
+      edge_seq_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+  return z == 0 ? 1 : z;
+}
+
+void LocalRuntime::Push(int component_index, int task_index, Tuple tuple) {
   TaskQueue* queue =
       tasks_[static_cast<size_t>(component_index)][static_cast<size_t>(task_index)]
           .input.get();
@@ -188,13 +279,45 @@ void LocalRuntime::Push(int component_index, int task_index,
     return stopping_.load() || queue->queue.size() < options_.queue_capacity;
   });
   if (stopping_.load()) return;  // drop on shutdown
-  queue->queue.push_back(tuple);
+  queue->queue.push_back(std::move(tuple));
   in_flight_.fetch_add(1);
   queue->not_empty.notify_one();
 }
 
+void LocalRuntime::Deliver(int source_component, int target_component,
+                           int task_index, const Tuple& tuple,
+                           uint64_t* emitted, uint64_t* ack_batch) {
+  reliability::FaultInjector::RouteDecision decision;
+  if (options_.fault_injector != nullptr) {
+    decision = options_.fault_injector->OnRoute(
+        topology_.components()[static_cast<size_t>(source_component)].name,
+        topology_.components()[static_cast<size_t>(target_component)].name);
+  }
+  if (decision.delay_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(decision.delay_micros));
+  }
+  int copies = decision.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    Tuple copy = tuple;
+    if (ack_batch != nullptr) {
+      // Each delivered instance is one tree edge: a fresh random id, XORed
+      // into the emitter's batch. A dropped tuple's edge is still counted —
+      // it will never be acked, so the tree times out and replays, exactly
+      // like a network loss under Storm.
+      uint64_t edge = NextEdgeId();
+      copy.set_edge_id(edge);
+      *ack_batch ^= edge;
+    }
+    ++*emitted;
+    if (decision.drop) continue;
+    Push(target_component, task_index, std::move(copy));
+  }
+}
+
 void LocalRuntime::Route(int source_component, const Tuple& tuple,
-                         int direct_task, uint64_t* emitted) {
+                         int direct_task, uint64_t* emitted,
+                         uint64_t* ack_batch) {
   for (const RouteTarget& target :
        routes_[static_cast<size_t>(source_component)]) {
     int num_tasks = static_cast<int>(
@@ -203,34 +326,34 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
       if (target.grouping != Grouping::kDirect) continue;
       INSIGHT_CHECK(direct_task < num_tasks)
           << "EmitDirect task " << direct_task << " out of range";
-      Push(target.component_index, direct_task, tuple);
-      ++*emitted;
+      Deliver(source_component, target.component_index, direct_task, tuple,
+              emitted, ack_batch);
       continue;
     }
     switch (target.grouping) {
       case Grouping::kShuffle: {
         uint64_t n = shuffle_counters_[static_cast<size_t>(source_component)]
                          .fetch_add(1, std::memory_order_relaxed);
-        Push(target.component_index, static_cast<int>(n % num_tasks), tuple);
-        ++*emitted;
+        Deliver(source_component, target.component_index,
+                static_cast<int>(n % num_tasks), tuple, emitted, ack_batch);
         break;
       }
       case Grouping::kFields: {
         uint64_t h = HashValues(tuple.values(), target.field_indexes);
-        Push(target.component_index,
-             static_cast<int>(h % static_cast<uint64_t>(num_tasks)), tuple);
-        ++*emitted;
+        Deliver(source_component, target.component_index,
+                static_cast<int>(h % static_cast<uint64_t>(num_tasks)), tuple,
+                emitted, ack_batch);
         break;
       }
       case Grouping::kAll:
         for (int t = 0; t < num_tasks; ++t) {
-          Push(target.component_index, t, tuple);
-          ++*emitted;
+          Deliver(source_component, target.component_index, t, tuple, emitted,
+                  ack_batch);
         }
         break;
       case Grouping::kGlobal:
-        Push(target.component_index, 0, tuple);
-        ++*emitted;
+        Deliver(source_component, target.component_index, 0, tuple, emitted,
+                ack_batch);
         break;
       case Grouping::kDirect:
         // Plain Emit does not feed direct subscriptions.
@@ -239,7 +362,128 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
   }
 }
 
-void LocalRuntime::ExecutorLoop(int component_index, int executor_index) {
+void LocalRuntime::EmitTracked(int component_index, int task_index,
+                               uint64_t message_id, int attempt,
+                               std::vector<Value> values, MicrosT spout_time,
+                               uint64_t* emitted) {
+  if (attempt == 0) {
+    replay_->Store(message_id, values);  // keep a copy for replays
+    pending_roots_.fetch_add(1);
+  }
+  reliability::TreeInfo info;
+  info.root_key = RootKey(message_id, attempt);
+  info.message_id = message_id;
+  info.spout_component = component_index;
+  info.spout_task = task_index;
+  info.attempt = attempt;
+  info.created_micros = options_.clock->NowMicros();
+  // The guard keeps the accumulator nonzero until every root tuple is
+  // enqueued; without it the first copy's subtree could complete (hit zero)
+  // before the remaining copies are registered.
+  uint64_t guard = NextEdgeId();
+  acker_->Register(info, guard);
+  Tuple tuple(fields_[static_cast<size_t>(component_index)], std::move(values),
+              spout_time);
+  tuple.set_root_key(info.root_key);
+  uint64_t batch = 0;
+  Route(component_index, tuple, /*direct_task=*/-1, emitted, &batch);
+  if (auto done = acker_->Xor(info.root_key, guard ^ batch)) {
+    OnTreeCompleted(*done);
+  }
+}
+
+void LocalRuntime::OnTreeCompleted(const reliability::TreeInfo& info) {
+  replay_->Ack(info.message_id);
+  const ComponentDef& def =
+      topology_.components()[static_cast<size_t>(info.spout_component)];
+  metrics_.RecordAck(def.name, info.spout_task);
+  TaskRuntime& task = tasks_[static_cast<size_t>(info.spout_component)]
+                            [static_cast<size_t>(info.spout_task)];
+  if (task.events != nullptr) {
+    std::lock_guard<std::mutex> lock(task.events->mutex);
+    task.events->events.emplace_back(true, info.message_id);
+  }
+  pending_roots_.fetch_sub(1);
+  NotifyPossiblyDone();
+}
+
+void LocalRuntime::DrainSpoutEvents(TaskRuntime* task) {
+  if (task->events == nullptr) return;
+  std::deque<std::pair<bool, uint64_t>> events;
+  {
+    std::lock_guard<std::mutex> lock(task->events->mutex);
+    events.swap(task->events->events);
+  }
+  for (const auto& [is_ack, message_id] : events) {
+    if (is_ack) {
+      task->spout->Ack(message_id);
+    } else {
+      task->spout->Fail(message_id);
+    }
+  }
+}
+
+void LocalRuntime::SpoutLoop(
+    ExecutorSlot* slot, const ComponentDef& def,
+    std::vector<TaskRuntime*>& my_tasks,
+    std::vector<std::unique_ptr<TaskCollector>>& collectors) {
+  const bool acking = options_.enable_acking;
+  const int component_index = slot->component_index;
+  while (!stopping_.load()) {
+    bool all_exhausted = true;
+    bool progressed = false;
+    for (size_t i = 0; i < my_tasks.size(); ++i) {
+      TaskRuntime* task = my_tasks[i];
+      if (acking) {
+        DrainSpoutEvents(task);
+        auto due = replay_->TakeDue(component_index, task->task_index,
+                                    options_.clock->NowMicros());
+        for (auto& d : due) {
+          metrics_.RecordReplay(def.name, task->task_index);
+          uint64_t emitted = 0;
+          EmitTracked(component_index, task->task_index, d.message_id,
+                      d.attempt, std::move(d.values),
+                      options_.clock->NowMicros(), &emitted);
+          if (emitted > 0) {
+            metrics_.RecordEmit(def.name, task->task_index, emitted);
+          }
+          progressed = true;
+        }
+      }
+      if (task->spout_done) continue;
+      all_exhausted = false;
+      if (stopping_.load()) break;
+      collectors[i]->set_current_spout_time(options_.clock->NowMicros());
+      bool more = task->spout->NextTuple(collectors[i].get());
+      progressed = true;
+      uint64_t emitted = collectors[i]->TakeEmitted();
+      if (emitted > 0) {
+        metrics_.RecordEmit(def.name, task->task_index, emitted);
+      }
+      if (!more) {
+        task->spout_done = true;
+        live_spout_tasks_.fetch_sub(1);
+        NotifyPossiblyDone();
+      }
+    }
+    if (all_exhausted) {
+      // Exhausted spouts stay alive under acking to deliver Ack/Fail
+      // callbacks and re-emit timed-out trees until every tree resolves.
+      if (!acking || pending_roots_.load() == 0) break;
+      if (!progressed) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    }
+  }
+  for (TaskRuntime* task : my_tasks) {
+    if (acking) DrainSpoutEvents(task);  // last callbacks before Close
+    task->spout->Close();
+  }
+}
+
+void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
+  const int component_index = slot->component_index;
+  const int executor_index = slot->executor_index;
   const ComponentDef& def =
       topology_.components()[static_cast<size_t>(component_index)];
   // Tasks owned by this executor: task_index % executors == executor_index.
@@ -249,7 +493,7 @@ void LocalRuntime::ExecutorLoop(int component_index, int executor_index) {
     if (task.task_index % def.num_executors == executor_index) {
       my_tasks.push_back(&task);
       collectors.push_back(std::make_unique<TaskCollector>(
-          this, component_index, task.task_index));
+          this, component_index, task.task_index, def.is_spout));
     }
   }
 
@@ -266,30 +510,11 @@ void LocalRuntime::ExecutorLoop(int component_index, int executor_index) {
   }
 
   if (def.is_spout) {
-    size_t live = my_tasks.size();
-    while (live > 0 && !stopping_.load()) {
-      for (size_t i = 0; i < my_tasks.size(); ++i) {
-        TaskRuntime* task = my_tasks[i];
-        if (task->spout_done) continue;
-        if (stopping_.load()) break;
-        collectors[i]->set_current_spout_time(options_.clock->NowMicros());
-        bool more = task->spout->NextTuple(collectors[i].get());
-        uint64_t emitted = collectors[i]->TakeEmitted();
-        if (emitted > 0) {
-          metrics_.RecordEmit(def.name, task->task_index, emitted);
-        }
-        if (!more) {
-          task->spout_done = true;
-          --live;
-          live_spout_tasks_.fetch_sub(1);
-          NotifyPossiblyDone();
-        }
-      }
-    }
-    for (TaskRuntime* task : my_tasks) task->spout->Close();
+    SpoutLoop(slot, def, my_tasks, collectors);
     return;
   }
 
+  reliability::FaultInjector* injector = options_.fault_injector;
   // Bolt executor: drain the owned tasks' queues round-robin, taking up to a
   // small batch from each before moving on (pseudo-parallel execution of
   // co-scheduled tasks).
@@ -308,13 +533,33 @@ void LocalRuntime::ExecutorLoop(int component_index, int executor_index) {
           task->input->not_full.notify_one();
         }
         any = true;
-        collectors[i]->set_current_spout_time(tuple.spout_time());
+        if (injector != nullptr &&
+            injector->ShouldCrash(def.name, task->task_index)) {
+          // The executor dies mid-execute: the popped tuple is lost (its
+          // tree will time out and replay under acking) and the thread
+          // exits without Cleanup, like a killed Storm worker. The
+          // supervisor will restart this executor with fresh bolt
+          // instances.
+          in_flight_.fetch_sub(1);
+          NotifyPossiblyDone();
+          slot->crashed.store(true);
+          return;
+        }
+        collectors[i]->BeginExecute(tuple);
         MicrosT start = options_.clock->NowMicros();
         task->bolt->Execute(tuple, collectors[i].get());
         MicrosT elapsed = options_.clock->NowMicros() - start;
         metrics_.Record(def.name, task->task_index, elapsed);
         uint64_t emitted = collectors[i]->TakeEmitted();
         if (emitted > 0) metrics_.RecordEmit(def.name, task->task_index, emitted);
+        if (acker_ != nullptr && tuple.root_key() != 0) {
+          // One batched acker update per execution: the consumed input edge
+          // plus every edge emitted while executing it.
+          uint64_t batch = tuple.edge_id() ^ collectors[i]->TakeAckBatch();
+          if (auto done = acker_->Xor(tuple.root_key(), batch)) {
+            OnTreeCompleted(*done);
+          }
+        }
         in_flight_.fetch_sub(1);
         NotifyPossiblyDone();
       }
@@ -332,6 +577,58 @@ void LocalRuntime::ExecutorLoop(int component_index, int executor_index) {
     }
   }
   for (TaskRuntime* task : my_tasks) task->bolt->Cleanup();
+}
+
+void LocalRuntime::SupervisorLoop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(std::min<MicrosT>(
+        options_.supervisor_interval_micros, 50'000)));
+
+    // Restart executors killed by injected crashes (Storm's supervisor
+    // relaunching a dead worker). The crashed thread has already returned,
+    // so its tasks' bolts are untouched by anyone else; replace them with
+    // fresh instances so restarted tasks start from clean state.
+    for (auto& slot : executors_) {
+      if (!slot->crashed.load() || stopping_.load()) continue;
+      if (slot->thread.joinable()) slot->thread.join();
+      const ComponentDef& def =
+          topology_.components()[static_cast<size_t>(slot->component_index)];
+      for (auto& task : tasks_[static_cast<size_t>(slot->component_index)]) {
+        if (task.bolt != nullptr &&
+            task.task_index % def.num_executors == slot->executor_index) {
+          task.bolt = def.bolt_factory();
+        }
+      }
+      slot->crashed.store(false);
+      executor_restarts_.fetch_add(1);
+      ExecutorSlot* raw = slot.get();
+      slot->thread = std::thread([this, raw] { ExecutorLoop(raw); });
+    }
+
+    // Fail tuple trees that outlived the ack timeout: schedule a replay, or
+    // — once the replay budget is spent — permanently fail the message.
+    if (acker_ != nullptr) {
+      MicrosT now = options_.clock->NowMicros();
+      for (const reliability::TreeInfo& info :
+           acker_->ExpireOlderThan(now - options_.ack_timeout_micros)) {
+        const ComponentDef& def =
+            topology_.components()[static_cast<size_t>(info.spout_component)];
+        metrics_.RecordFail(def.name, info.spout_task);
+        if (!replay_->Fail(info.message_id, info.spout_component,
+                           info.spout_task, now)) {
+          TaskRuntime& task =
+              tasks_[static_cast<size_t>(info.spout_component)]
+                    [static_cast<size_t>(info.spout_task)];
+          if (task.events != nullptr) {
+            std::lock_guard<std::mutex> lock(task.events->mutex);
+            task.events->events.emplace_back(false, info.message_id);
+          }
+          pending_roots_.fetch_sub(1);
+          NotifyPossiblyDone();
+        }
+      }
+    }
+  }
 }
 
 void LocalRuntime::MonitorLoop() {

@@ -8,11 +8,15 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "dsps/metrics.h"
 #include "dsps/topology.h"
+#include "reliability/acker.h"
+#include "reliability/fault_injector.h"
+#include "reliability/replay.h"
 
 namespace insight {
 namespace dsps {
@@ -24,7 +28,17 @@ namespace dsps {
 /// per cluster node, following [35]).
 ///
 /// Termination: a run completes when every spout task has reported
-/// exhaustion (NextTuple returned false) and no tuple remains in flight.
+/// exhaustion (NextTuple returned false), no tuple remains in flight, and —
+/// with acking enabled — every tracked tuple tree has been acked, replayed
+/// to success, or permanently failed.
+///
+/// Reliability (opt-in, `Options::enable_acking`): spout emissions via
+/// Collector::EmitRooted are tracked by a Storm-style XOR acker
+/// (src/reliability). Trees not fully processed within `ack_timeout_micros`
+/// are re-emitted from the runtime's replay buffer with exponential backoff
+/// up to `max_replays` times, then permanently failed (Spout::Fail). A
+/// supervisor thread additionally restarts executor threads killed by the
+/// optional FaultInjector, mirroring Storm's supervisor daemon.
 class LocalRuntime {
  public:
   struct Options {
@@ -38,6 +52,22 @@ class LocalRuntime {
     /// period (the paper uses 40 s).
     MicrosT monitor_interval_micros = 0;
     const Clock* clock = SystemClock::Get();
+
+    /// At-least-once delivery for EmitRooted tuples. Off by default: the
+    /// unacked path is byte-for-byte the seed behaviour and the figure
+    /// benchmarks run unchanged.
+    bool enable_acking = false;
+    /// A tree not fully acked this long after (re-)emission is failed.
+    MicrosT ack_timeout_micros = 30'000'000;
+    /// Replay budget and backoff (see reliability::ReplayPolicy).
+    int max_replays = 3;
+    MicrosT replay_backoff_micros = 10'000;
+    double replay_backoff_factor = 2.0;
+    /// Supervisor sweep period (tree expiry + crashed-executor restarts).
+    MicrosT supervisor_interval_micros = 2'000;
+    /// Optional fault injection; not owned, must outlive the runtime. The
+    /// supervisor restarts crashed executors whether or not acking is on.
+    reliability::FaultInjector* fault_injector = nullptr;
   };
 
   LocalRuntime(Topology topology, Options options);
@@ -61,6 +91,11 @@ class LocalRuntime {
   MetricsRegistry* metrics() { return &metrics_; }
   const Topology& topology() const { return topology_; }
 
+  /// Tracked tuple trees not yet resolved (acking only).
+  size_t pending_trees() const { return pending_roots_.load(); }
+  /// Executor threads restarted by the supervisor after injected crashes.
+  uint64_t executor_restarts() const { return executor_restarts_.load(); }
+
   /// Worker process index of an executor (component, executor_index).
   int WorkerOfExecutor(const std::string& component, int executor_index) const;
 
@@ -72,12 +107,20 @@ class LocalRuntime {
     std::deque<Tuple> queue;
   };
 
+  /// Ack/Fail notifications queued for delivery on the spout's executor
+  /// thread (Storm delivers both callbacks on the spout executor).
+  struct SpoutEventQueue {
+    std::mutex mutex;
+    std::deque<std::pair<bool, uint64_t>> events;  // (is_ack, message_id)
+  };
+
   struct TaskRuntime {
     int component_index = 0;
     int task_index = 0;  // within component
     std::unique_ptr<Spout> spout;
     std::unique_ptr<Bolt> bolt;
-    std::unique_ptr<TaskQueue> input;  // bolts only
+    std::unique_ptr<TaskQueue> input;        // bolts only
+    std::unique_ptr<SpoutEventQueue> events; // spouts only, acking only
     bool spout_done = false;
   };
 
@@ -87,18 +130,52 @@ class LocalRuntime {
     std::vector<int> field_indexes;  // source-field indexes for kFields
   };
 
+  /// One executor thread plus its liveness state, so the supervisor can
+  /// detect an injected crash and relaunch the executor.
+  struct ExecutorSlot {
+    int component_index = 0;
+    int executor_index = 0;
+    std::thread thread;
+    std::atomic<bool> crashed{false};
+  };
+
   class TaskCollector;
 
-  void ExecutorLoop(int component_index, int executor_index);
+  void ExecutorLoop(ExecutorSlot* slot);
+  void SpoutLoop(ExecutorSlot* slot, const ComponentDef& def,
+                 std::vector<TaskRuntime*>& my_tasks,
+                 std::vector<std::unique_ptr<TaskCollector>>& collectors);
   void MonitorLoop();
+  void SupervisorLoop();
+  /// Delivers queued Ack/Fail callbacks to one spout task.
+  void DrainSpoutEvents(TaskRuntime* task);
+  /// Registers and routes one tracked root tuple (first emission and
+  /// replays). Adds to `emitted` per delivered copy.
+  void EmitTracked(int component_index, int task_index, uint64_t message_id,
+                   int attempt, std::vector<Value> values, MicrosT spout_time,
+                   uint64_t* emitted);
+  /// A tracked tree fully processed: ack bookkeeping + spout notification.
+  void OnTreeCompleted(const reliability::TreeInfo& info);
+  /// Routes a tuple to subscriber tasks. When `ack_batch` is non-null the
+  /// tuple belongs to a tracked tree: each delivered copy gets a fresh edge
+  /// id which is XORed into *ack_batch.
   void Route(int source_component, const Tuple& tuple, int direct_task,
-             uint64_t* emitted);
-  void Push(int component_index, int task_index, const Tuple& tuple);
+             uint64_t* emitted, uint64_t* ack_batch);
+  void Push(int target_component, int task_index, Tuple tuple);
+  /// Fault-aware single delivery used by Route.
+  void Deliver(int source_component, int target_component, int task_index,
+               const Tuple& tuple, uint64_t* emitted, uint64_t* ack_batch);
   void NotifyPossiblyDone();
+  /// Fresh nonzero pseudo-random edge id for the acker.
+  uint64_t NextEdgeId();
 
   Topology topology_;
   Options options_;
   MetricsRegistry metrics_;
+
+  // Reliability state (constructed only when acking is enabled).
+  std::unique_ptr<reliability::Acker> acker_;
+  std::unique_ptr<reliability::ReplayBuffer> replay_;
 
   // Flattened state, indexed by component index.
   std::vector<std::shared_ptr<const Fields>> fields_;
@@ -106,13 +183,17 @@ class LocalRuntime {
   std::vector<std::vector<RouteTarget>> routes_;
   std::vector<std::atomic<uint64_t>> shuffle_counters_;
 
-  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<ExecutorSlot>> executors_;
   std::thread monitor_thread_;
+  std::thread supervisor_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> finished_{false};
   std::atomic<int64_t> in_flight_{0};
   std::atomic<int> live_spout_tasks_{0};
+  std::atomic<size_t> pending_roots_{0};
+  std::atomic<uint64_t> executor_restarts_{0};
+  std::atomic<uint64_t> edge_seq_{0x243f6a8885a308d3ULL};
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
 };

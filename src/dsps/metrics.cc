@@ -14,11 +14,16 @@ void MetricsRegistry::DeclareComponent(const std::string& component,
   }
 }
 
-void MetricsRegistry::Record(const std::string& component, int task,
-                             MicrosT latency_micros) {
+MetricsRegistry::TaskStats& MetricsRegistry::StatsFor(
+    const std::string& component, int task) {
   auto it = components_.find(component);
   INSIGHT_CHECK(it != components_.end()) << "undeclared component " << component;
-  TaskStats& stats = *it->second.tasks[static_cast<size_t>(task)];
+  return *it->second.tasks[static_cast<size_t>(task)];
+}
+
+void MetricsRegistry::Record(const std::string& component, int task,
+                             MicrosT latency_micros) {
+  TaskStats& stats = StatsFor(component, task);
   stats.executed.fetch_add(1, std::memory_order_relaxed);
   stats.latency_sum.fetch_add(static_cast<uint64_t>(latency_micros),
                               std::memory_order_relaxed);
@@ -26,10 +31,23 @@ void MetricsRegistry::Record(const std::string& component, int task,
 
 void MetricsRegistry::RecordEmit(const std::string& component, int task,
                                  uint64_t count) {
-  auto it = components_.find(component);
-  INSIGHT_CHECK(it != components_.end()) << "undeclared component " << component;
-  it->second.tasks[static_cast<size_t>(task)]->emitted.fetch_add(
-      count, std::memory_order_relaxed);
+  StatsFor(component, task).emitted.fetch_add(count, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordAck(const std::string& component, int task,
+                                uint64_t count) {
+  StatsFor(component, task).acked.fetch_add(count, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordFail(const std::string& component, int task,
+                                 uint64_t count) {
+  StatsFor(component, task).failed.fetch_add(count, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordReplay(const std::string& component, int task,
+                                   uint64_t count) {
+  StatsFor(component, task).replayed.fetch_add(count,
+                                               std::memory_order_relaxed);
 }
 
 MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
@@ -41,6 +59,9 @@ MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     totals.executed += task->executed.load(std::memory_order_relaxed);
     totals.emitted += task->emitted.load(std::memory_order_relaxed);
     totals.latency_sum_micros += task->latency_sum.load(std::memory_order_relaxed);
+    totals.acked += task->acked.load(std::memory_order_relaxed);
+    totals.failed += task->failed.load(std::memory_order_relaxed);
+    totals.replayed += task->replayed.load(std::memory_order_relaxed);
   }
   if (totals.executed > 0) {
     totals.avg_latency_micros = static_cast<double>(totals.latency_sum_micros) /
@@ -55,15 +76,29 @@ std::vector<std::string> MetricsRegistry::Components() const {
   return out;
 }
 
+void MetricsRegistry::MarkWindowStart(MicrosT now) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  last_snapshot_micros_ = now;
+  window_anchored_ = true;
+}
+
 std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
     MicrosT now) {
   std::lock_guard<std::mutex> lock(window_mutex_);
+  MicrosT window_length =
+      (window_anchored_ && now > last_snapshot_micros_)
+          ? now - last_snapshot_micros_
+          : 0;
   std::vector<WindowReport> window;
   for (auto& [name, stats] : components_) {
-    uint64_t executed = 0, latency_sum = 0;
+    uint64_t executed = 0, latency_sum = 0, acked = 0, failed = 0,
+             replayed = 0;
     for (const auto& task : stats.tasks) {
       executed += task->executed.load(std::memory_order_relaxed);
       latency_sum += task->latency_sum.load(std::memory_order_relaxed);
+      acked += task->acked.load(std::memory_order_relaxed);
+      failed += task->failed.load(std::memory_order_relaxed);
+      replayed += task->replayed.load(std::memory_order_relaxed);
     }
     WindowReport report;
     report.window_start = now;
@@ -74,11 +109,26 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
       report.avg_latency_micros = static_cast<double>(latency_delta) /
                                   static_cast<double>(report.executed);
     }
+    if (window_length > 0) {
+      // Storm's capacity = executed × avg latency / window length: the
+      // busy-fraction of the window (Section 5's monitor metric, consumed
+      // by the allocation model as the saturation signal).
+      report.capacity = static_cast<double>(latency_delta) /
+                        static_cast<double>(window_length);
+    }
+    report.acked = acked - stats.last_acked;
+    report.failed = failed - stats.last_failed;
+    report.replayed = replayed - stats.last_replayed;
     stats.last_executed = executed;
     stats.last_latency_sum = latency_sum;
+    stats.last_acked = acked;
+    stats.last_failed = failed;
+    stats.last_replayed = replayed;
     window.push_back(report);
     reports_.push_back(window.back());
   }
+  last_snapshot_micros_ = now;
+  window_anchored_ = true;
   return window;
 }
 

@@ -26,6 +26,10 @@ class MetricsRegistry {
     uint64_t emitted = 0;
     double avg_latency_micros = 0.0;
     uint64_t latency_sum_micros = 0;
+    // Reliability counters (spout components; zero without acking).
+    uint64_t acked = 0;
+    uint64_t failed = 0;    // tree timeouts
+    uint64_t replayed = 0;  // re-emissions of timed-out roots
   };
 
   struct WindowReport {
@@ -33,6 +37,13 @@ class MetricsRegistry {
     std::string component;
     uint64_t executed = 0;      // throughput: tuples processed in the window
     double avg_latency_micros = 0.0;
+    /// Storm's capacity metric: fraction of the window the component's
+    /// tasks spent executing (executed × avg latency / window length).
+    /// ~1.0 means the component is saturated and needs more executors.
+    double capacity = 0.0;
+    uint64_t acked = 0;
+    uint64_t failed = 0;
+    uint64_t replayed = 0;
   };
 
   /// Declares a component with `num_tasks` tasks. Must be called before any
@@ -42,9 +53,18 @@ class MetricsRegistry {
   /// Records one execution for (component, task).
   void Record(const std::string& component, int task, MicrosT latency_micros);
   void RecordEmit(const std::string& component, int task, uint64_t count = 1);
+  /// Reliability events, attributed to the originating spout task.
+  void RecordAck(const std::string& component, int task, uint64_t count = 1);
+  void RecordFail(const std::string& component, int task, uint64_t count = 1);
+  void RecordReplay(const std::string& component, int task, uint64_t count = 1);
 
   ComponentTotals Totals(const std::string& component) const;
   std::vector<std::string> Components() const;
+
+  /// Anchors the first window so its capacity denominator is meaningful;
+  /// the runtime calls this at Start(). Without it the first window reports
+  /// capacity 0.
+  void MarkWindowStart(MicrosT now);
 
   /// Aggregates deltas since the previous TakeWindowSnapshot into per-
   /// component window reports (the Nimbus-side aggregation).
@@ -57,16 +77,26 @@ class MetricsRegistry {
     std::atomic<uint64_t> executed{0};
     std::atomic<uint64_t> emitted{0};
     std::atomic<uint64_t> latency_sum{0};
+    std::atomic<uint64_t> acked{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> replayed{0};
   };
   struct ComponentStats {
     std::vector<std::unique_ptr<TaskStats>> tasks;
     uint64_t last_executed = 0;
     uint64_t last_latency_sum = 0;
+    uint64_t last_acked = 0;
+    uint64_t last_failed = 0;
+    uint64_t last_replayed = 0;
   };
+
+  TaskStats& StatsFor(const std::string& component, int task);
 
   std::map<std::string, ComponentStats> components_;
   mutable std::mutex window_mutex_;
   std::vector<WindowReport> reports_;
+  MicrosT last_snapshot_micros_ = 0;
+  bool window_anchored_ = false;
 };
 
 }  // namespace dsps

@@ -39,6 +39,18 @@ class Collector {
   virtual ~Collector() = default;
   virtual void Emit(std::vector<Value> values) = 0;
   virtual void EmitDirect(int task_index, std::vector<Value> values) = 0;
+
+  /// Spout-only: emit a root tuple tracked by the reliability subsystem
+  /// under `message_id` (Storm's emit-with-message-id). When the topology
+  /// runs with acking enabled, the runtime tracks the tuple tree and calls
+  /// Spout::Ack(message_id) once every descendant is processed, or replays
+  /// the tuple and eventually Spout::Fail(message_id) on timeout. Message
+  /// ids must be unique among in-flight tuples. Without acking (or from a
+  /// bolt) this behaves exactly like Emit.
+  virtual void EmitRooted(uint64_t message_id, std::vector<Value> values) {
+    (void)message_id;
+    Emit(std::move(values));
+  }
 };
 
 /// An input source: spouts feed the topology with data (Section 2.1.1).
@@ -50,6 +62,12 @@ class Spout {
   virtual ~Spout() = default;
   virtual void Open(const TaskContext& /*context*/) {}
   virtual bool NextTuple(Collector* collector) = 0;
+  /// At-least-once callbacks (acking topologies only; see EmitRooted).
+  /// Delivered on the spout's executor thread, like NextTuple. Ack fires
+  /// when the message's tuple tree fully processed; Fail fires when the
+  /// tree timed out and exhausted its replay budget.
+  virtual void Ack(uint64_t /*message_id*/) {}
+  virtual void Fail(uint64_t /*message_id*/) {}
   virtual void Close() {}
 };
 

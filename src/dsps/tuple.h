@@ -62,6 +62,16 @@ class Tuple {
   MicrosT spout_time() const { return spout_time_; }
   void set_spout_time(MicrosT t) { spout_time_ = t; }
 
+  /// Reliability anchoring (src/reliability): `root_key` identifies the
+  /// tuple tree this tuple belongs to (0 = untracked, the default for
+  /// topologies without acking); `edge_id` is this tuple instance's random
+  /// id, XOR-combined by the Acker. Both are runtime-managed — components
+  /// never set them.
+  uint64_t root_key() const { return root_key_; }
+  uint64_t edge_id() const { return edge_id_; }
+  void set_root_key(uint64_t key) { root_key_ = key; }
+  void set_edge_id(uint64_t id) { edge_id_ = id; }
+
   std::string ToString() const {
     std::string out = "(";
     for (size_t i = 0; i < values_.size(); ++i) {
@@ -76,6 +86,8 @@ class Tuple {
   std::shared_ptr<const Fields> fields_;
   std::vector<Value> values_;
   MicrosT spout_time_ = 0;
+  uint64_t root_key_ = 0;
+  uint64_t edge_id_ = 0;
 };
 
 }  // namespace dsps

@@ -1,0 +1,66 @@
+#include "reliability/acker.h"
+
+#include "common/logging.h"
+
+namespace insight {
+namespace reliability {
+
+namespace {
+
+// splitmix64 finalizer: spreads sequential / structured keys across shards.
+uint64_t MixKey(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Acker::Acker(size_t num_shards) : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Acker::Shard& Acker::ShardFor(uint64_t root_key) {
+  return shards_[MixKey(root_key) % shards_.size()];
+}
+
+void Acker::Register(const TreeInfo& info, uint64_t guard_edge) {
+  INSIGHT_CHECK(guard_edge != 0) << "acker guard edge must be nonzero";
+  Shard& shard = ShardFor(info.root_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Entry& entry = shard.trees[info.root_key];
+  entry.ack_val = guard_edge;
+  entry.info = info;
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<TreeInfo> Acker::Xor(uint64_t root_key, uint64_t delta) {
+  Shard& shard = ShardFor(root_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.trees.find(root_key);
+  if (it == shard.trees.end()) return std::nullopt;  // expired or replayed
+  it->second.ack_val ^= delta;
+  if (it->second.ack_val != 0) return std::nullopt;
+  TreeInfo info = it->second.info;
+  shard.trees.erase(it);
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return info;
+}
+
+std::vector<TreeInfo> Acker::ExpireOlderThan(MicrosT cutoff) {
+  std::vector<TreeInfo> expired;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.trees.begin(); it != shard.trees.end();) {
+      if (it->second.info.created_micros <= cutoff) {
+        expired.push_back(it->second.info);
+        it = shard.trees.erase(it);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return expired;
+}
+
+}  // namespace reliability
+}  // namespace insight

@@ -1,0 +1,64 @@
+#include "reliability/fault_injector.h"
+
+namespace insight {
+namespace reliability {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::ShouldCrash(const std::string& component, int task) {
+  bool has_rule = false;
+  for (const FaultPlan::CrashRule& rule : plan_.crashes) {
+    if (rule.component == component && (rule.task < 0 || rule.task == task)) {
+      has_rule = true;
+      break;
+    }
+  }
+  if (!has_rule) return false;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t count = ++execution_counts_[{component, task}];
+  for (const FaultPlan::CrashRule& rule : plan_.crashes) {
+    if (rule.component != component || (rule.task >= 0 && rule.task != task)) {
+      continue;
+    }
+    if (rule.after_executions == 0) continue;
+    bool hit = rule.repeat ? (count % rule.after_executions == 0)
+                           : (count == rule.after_executions);
+    if (hit) {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::RouteDecision FaultInjector::OnRoute(const std::string& source,
+                                                    const std::string& dest) {
+  RouteDecision decision;
+  if (plan_.routes.empty()) return decision;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultPlan::RouteRule& rule : plan_.routes) {
+    if (!rule.source.empty() && rule.source != source) continue;
+    if (!rule.dest.empty() && rule.dest != dest) continue;
+    if (rule.drop_probability > 0 && rng_.Bernoulli(rule.drop_probability)) {
+      decision.drop = true;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return decision;  // a dropped tuple can't also be duplicated/delayed
+    }
+    if (rule.duplicate_probability > 0 &&
+        rng_.Bernoulli(rule.duplicate_probability)) {
+      decision.duplicate = true;
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (rule.delay_probability > 0 && rule.delay_micros > 0 &&
+        rng_.Bernoulli(rule.delay_probability)) {
+      decision.delay_micros += rule.delay_micros;
+      delayed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return decision;
+}
+
+}  // namespace reliability
+}  // namespace insight

@@ -1,0 +1,98 @@
+#ifndef INSIGHT_RELIABILITY_FAULT_INJECTOR_H_
+#define INSIGHT_RELIABILITY_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace insight {
+namespace reliability {
+
+/// Declarative fault schedule. All randomness derives from `seed`, so a run
+/// with a single route-decision stream is reproducible.
+struct FaultPlan {
+  uint64_t seed = 0x5eedULL;
+
+  /// Kill the executor thread running (component, task) on its Nth
+  /// execution — the tuple being processed is lost, mirroring a Storm
+  /// worker dying mid-execute.
+  struct CrashRule {
+    std::string component;
+    int task = -1;                  // -1 = any task of the component
+    uint64_t after_executions = 1;  // crash on the Nth execution of the task
+    bool repeat = false;            // also crash on every further Nth
+  };
+
+  /// Tamper with tuples on a route (source component -> dest component).
+  /// Empty component names match any route end.
+  struct RouteRule {
+    std::string source;
+    std::string dest;
+    double drop_probability = 0.0;       // tuple silently lost
+    double duplicate_probability = 0.0;  // tuple delivered twice
+    double delay_probability = 0.0;      // emitter stalled for delay_micros
+    MicrosT delay_micros = 0;
+  };
+
+  std::vector<CrashRule> crashes;
+  std::vector<RouteRule> routes;
+};
+
+/// Consulted by LocalRuntime at its two fault points: before each bolt
+/// execution (crashes) and at each tuple push (drop / duplicate / delay).
+/// Thread-safe; decision counts are exposed so tests can assert the faults
+/// actually fired.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// True when the executing task must die now (per its crash rules).
+  bool ShouldCrash(const std::string& component, int task);
+
+  struct RouteDecision {
+    bool drop = false;
+    bool duplicate = false;
+    MicrosT delay_micros = 0;
+  };
+
+  /// Fault decision for one tuple pushed from `source` to `dest`.
+  RouteDecision OnRoute(const std::string& source, const std::string& dest);
+
+  uint64_t crashes_injected() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
+  uint64_t tuples_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t tuples_duplicated() const {
+    return duplicated_.load(std::memory_order_relaxed);
+  }
+  uint64_t delays_injected() const {
+    return delayed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::mutex mutex_;  // guards rng_ and execution_counts_
+  Rng rng_;
+  std::map<std::pair<std::string, int>, uint64_t> execution_counts_;
+  std::atomic<uint64_t> crashes_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> delayed_{0};
+};
+
+}  // namespace reliability
+}  // namespace insight
+
+#endif  // INSIGHT_RELIABILITY_FAULT_INJECTOR_H_

@@ -1,0 +1,71 @@
+#include "reliability/replay.h"
+
+#include <algorithm>
+
+namespace insight {
+namespace reliability {
+
+void ReplayBuffer::Store(uint64_t message_id, std::vector<cep::Value> values) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  payloads_[message_id] = Payload{std::move(values), 0};
+}
+
+bool ReplayBuffer::Ack(uint64_t message_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scheduled_.erase(
+      std::remove_if(scheduled_.begin(), scheduled_.end(),
+                     [&](const Scheduled& s) { return s.message_id == message_id; }),
+      scheduled_.end());
+  return payloads_.erase(message_id) > 0;
+}
+
+bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
+                        int spout_task, MicrosT now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = payloads_.find(message_id);
+  if (it == payloads_.end()) return false;
+  if (it->second.attempts >= policy_.max_replays) {
+    payloads_.erase(it);
+    return false;
+  }
+  int attempt = ++it->second.attempts;
+  double backoff = static_cast<double>(policy_.backoff_base_micros);
+  for (int i = 1; i < attempt; ++i) backoff *= policy_.backoff_factor;
+  scheduled_.push_back(Scheduled{now + static_cast<MicrosT>(backoff),
+                                 message_id, spout_component, spout_task,
+                                 attempt});
+  return true;
+}
+
+std::vector<ReplayBuffer::Due> ReplayBuffer::TakeDue(int spout_component,
+                                                     int spout_task,
+                                                     MicrosT now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Due> due;
+  for (auto it = scheduled_.begin(); it != scheduled_.end();) {
+    if (it->spout_component == spout_component &&
+        it->spout_task == spout_task && it->due_micros <= now) {
+      auto payload = payloads_.find(it->message_id);
+      if (payload != payloads_.end()) {
+        due.push_back(Due{it->message_id, it->attempt, payload->second.values});
+      }
+      it = scheduled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return due;
+}
+
+size_t ReplayBuffer::stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return payloads_.size();
+}
+
+size_t ReplayBuffer::scheduled_retries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduled_.size();
+}
+
+}  // namespace reliability
+}  // namespace insight

@@ -1,0 +1,86 @@
+#ifndef INSIGHT_RELIABILITY_REPLAY_H_
+#define INSIGHT_RELIABILITY_REPLAY_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/event.h"
+#include "common/clock.h"
+
+namespace insight {
+namespace reliability {
+
+/// Retry behaviour for failed (timed-out) tuple trees.
+struct ReplayPolicy {
+  /// Re-emissions allowed after the first attempt; when exhausted the tree
+  /// is permanently failed and the spout's Fail callback fires.
+  int max_replays = 3;
+  /// Delay before the first replay; each further replay multiplies it by
+  /// `backoff_factor`.
+  MicrosT backoff_base_micros = 10'000;
+  double backoff_factor = 2.0;
+};
+
+/// Holds the payload of every in-flight root tuple so a timed-out tree can
+/// be re-emitted from the runtime without the spout keeping its own copy
+/// (Storm keeps the equivalent pending map in the spout executor).
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(ReplayPolicy policy) : policy_(policy) {}
+
+  ReplayBuffer(const ReplayBuffer&) = delete;
+  ReplayBuffer& operator=(const ReplayBuffer&) = delete;
+
+  /// Remembers a root tuple's values on first emission. Message ids must be
+  /// unique among in-flight messages of the topology; a duplicate id
+  /// replaces the stored payload.
+  void Store(uint64_t message_id, std::vector<cep::Value> values);
+
+  /// The tree completed: drop the stored payload and any scheduled retry.
+  /// Returns false if the id was unknown (already acked or given up).
+  bool Ack(uint64_t message_id);
+
+  /// The tree timed out. Schedules a backed-off retry on the owning spout
+  /// task and returns true, or — when `max_replays` is exhausted or the id
+  /// is unknown — erases the payload and returns false (permanent failure).
+  bool Fail(uint64_t message_id, int spout_component, int spout_task,
+            MicrosT now);
+
+  struct Due {
+    uint64_t message_id = 0;
+    int attempt = 0;  // 1 for the first replay
+    std::vector<cep::Value> values;
+  };
+
+  /// Retries owned by (spout_component, spout_task) whose backoff elapsed.
+  std::vector<Due> TakeDue(int spout_component, int spout_task, MicrosT now);
+
+  size_t stored() const;
+  size_t scheduled_retries() const;
+
+ private:
+  struct Payload {
+    std::vector<cep::Value> values;
+    int attempts = 0;  // replays consumed so far
+  };
+  struct Scheduled {
+    MicrosT due_micros = 0;
+    uint64_t message_id = 0;
+    int spout_component = 0;
+    int spout_task = 0;
+    int attempt = 0;
+  };
+
+  ReplayPolicy policy_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Payload> payloads_;
+  std::deque<Scheduled> scheduled_;
+};
+
+}  // namespace reliability
+}  // namespace insight
+
+#endif  // INSIGHT_RELIABILITY_REPLAY_H_

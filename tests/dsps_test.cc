@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 #include <mutex>
 #include <set>
@@ -352,6 +353,108 @@ TEST(LocalRuntimeTest, MonitorThreadTakesWindowSnapshots) {
   }
   EXPECT_LE(windowed_total, 2000u);
   EXPECT_GT(windowed_total, 0u);
+}
+
+TEST(LocalRuntimeTest, StopWakesEmittersBlockedOnBackpressure) {
+  // Regression: with a full TaskQueue the emitter blocks in Push on
+  // `not_full`. Stop() must wake that waiter (notify under the queue lock,
+  // or the wakeup can be lost) so shutdown never deadlocks under
+  // backpressure.
+  struct FastSpout : public Spout {
+    bool NextTuple(Collector* collector) override {
+      collector->Emit({Value(int64_t{1})});
+      return true;
+    }
+  };
+  struct SlowBolt : public Bolt {
+    void Execute(const Tuple&, Collector*) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+  TopologyBuilder builder;
+  builder.SetSpout("s", [] { return std::make_unique<FastSpout>(); },
+                   Fields({"v"}));
+  builder.SetBolt("slow", [] { return std::make_unique<SlowBolt>(); },
+                  Fields({}))
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+  LocalRuntime::Options options;
+  options.queue_capacity = 4;  // tiny: the spout is blocked almost instantly
+  LocalRuntime runtime(std::move(*topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto stopped = std::async(std::launch::async, [&] { runtime.Stop(); });
+  ASSERT_EQ(stopped.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready)
+      << "Stop() deadlocked with an emitter blocked on a full queue";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, ConcurrentRecordsConsistentAcrossWindows) {
+  // TakeWindowSnapshot races with Record callers: window deltas must never
+  // go negative (underflow would read as a huge uint64) and must never
+  // double-count — the windows plus nothing else partition the totals.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  constexpr MicrosT kLatency = 3;
+  MetricsRegistry registry;
+  registry.DeclareComponent("c", kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        registry.Record("c", t, kLatency);
+      }
+    });
+  }
+  go.store(true);
+  for (int i = 0; i < 50; ++i) {
+    registry.TakeWindowSnapshot(static_cast<MicrosT>(i + 1) * 1000);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (auto& w : workers) w.join();
+  registry.TakeWindowSnapshot(1'000'000);  // flush the tail
+
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  uint64_t windowed_executed = 0;
+  double windowed_latency_sum = 0;
+  for (const auto& report : registry.window_reports()) {
+    EXPECT_LE(report.executed, kTotal) << "window delta under/overflowed";
+    EXPECT_GE(report.avg_latency_micros, 0.0);
+    windowed_executed += report.executed;
+    windowed_latency_sum +=
+        report.avg_latency_micros * static_cast<double>(report.executed);
+  }
+  EXPECT_EQ(windowed_executed, kTotal);
+  EXPECT_DOUBLE_EQ(windowed_latency_sum,
+                   static_cast<double>(kTotal * kLatency));
+  EXPECT_EQ(registry.Totals("c").executed, kTotal);
+}
+
+TEST(MetricsRegistryTest, WindowCapacityIsBusyFraction) {
+  // Storm's capacity: executed × avg latency / window length. 10 executions
+  // of 1 ms inside a 20 ms window = 0.5 — half the window spent busy.
+  MetricsRegistry registry;
+  registry.DeclareComponent("b", 1);
+  registry.MarkWindowStart(0);
+  for (int i = 0; i < 10; ++i) registry.Record("b", 0, 1'000);
+  auto window = registry.TakeWindowSnapshot(20'000);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].executed, 10u);
+  EXPECT_DOUBLE_EQ(window[0].avg_latency_micros, 1'000.0);
+  EXPECT_DOUBLE_EQ(window[0].capacity, 0.5);
+
+  // An idle window reports capacity 0.
+  auto idle = registry.TakeWindowSnapshot(40'000);
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_DOUBLE_EQ(idle[0].capacity, 0.0);
 }
 
 // ---------------------------------------------------------------------------
