@@ -85,12 +85,19 @@ Result<Statement*> Engine::GetStatement(const std::string& name) const {
 
 void Engine::RebuildRouting() {
   routing_.clear();
+  routing_by_ptr_.clear();
   for (auto& [name, stmt] : statements_) {
     for (const StreamSource& src : stmt->def().from) {
       auto& vec = routing_[src.event_type];
       if (std::find(vec.begin(), vec.end(), stmt.get()) == vec.end()) {
         vec.push_back(stmt.get());
       }
+    }
+  }
+  for (const auto& [type_name, stmts] : routing_) {
+    auto type_it = types_.find(type_name);
+    if (type_it != types_.end()) {
+      routing_by_ptr_[type_it->second.get()] = stmts;
     }
   }
 }
@@ -106,9 +113,16 @@ size_t Engine::SendEvent(const EventPtr& event) {
   ++send_depth_;
   MicrosT start = clock_->NowMicros();
   size_t matches = 0;
-  auto it = routing_.find(event->type().name());
-  if (it != routing_.end()) {
-    for (Statement* stmt : it->second) matches += stmt->OnEvent(event);
+  // Pointer-keyed routing for events built from this engine's registry; the
+  // string map only serves events carrying a foreign EventType instance.
+  auto ptr_it = routing_by_ptr_.find(&event->type());
+  if (ptr_it != routing_by_ptr_.end()) {
+    for (Statement* stmt : ptr_it->second) matches += stmt->OnEvent(event);
+  } else {
+    auto it = routing_.find(event->type().name());
+    if (it != routing_.end()) {
+      for (Statement* stmt : it->second) matches += stmt->OnEvent(event);
+    }
   }
   MicrosT elapsed = clock_->NowMicros() - start;
   latency_micros_.Add(static_cast<double>(elapsed));

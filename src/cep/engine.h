@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cep/epl_parser.h"
@@ -66,6 +67,11 @@ class Engine {
   EngineStats GetStats() const;
   void ResetStats();
 
+  /// Per-engine event freelist. Adapters on the ingest hot path should build
+  /// events with `event_pool().Create(...)` (reusing `TakeBuffer()` storage)
+  /// so steady-state ingestion does not touch the heap.
+  EventPool& event_pool() { return event_pool_; }
+
  private:
   static constexpr int kMaxInsertDepth = 16;
 
@@ -75,6 +81,10 @@ class Engine {
   std::map<std::string, std::unique_ptr<Statement>> statements_;
   /// type name -> statements consuming it (rebuilt on add/remove).
   std::map<std::string, std::vector<Statement*>> routing_;
+  /// Registered-type instance -> statements; the hot lookup. Events carrying
+  /// a foreign EventType instance fall back to the name map.
+  std::unordered_map<const EventType*, std::vector<Statement*>> routing_by_ptr_;
+  EventPool event_pool_;
   size_t next_statement_id_ = 0;
   size_t events_processed_ = 0;
   size_t matches_fired_ = 0;

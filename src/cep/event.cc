@@ -87,14 +87,10 @@ bool Value::LessThan(const Value& other) const {
 
 EventType::EventType(std::string name, std::vector<Field> fields)
     : name_(std::move(name)), fields_(std::move(fields)) {
-  for (size_t i = 0; i < fields_.size(); ++i) {
-    index_[fields_[i].name] = static_cast<int>(i);
-  }
-}
-
-int EventType::FieldIndex(const std::string& field_name) const {
-  auto it = index_.find(field_name);
-  return it == index_.end() ? -1 : it->second;
+  index_.Build(fields_.size(), /*keep_first=*/false,
+               [this](size_t i) -> const std::string& {
+                 return fields_[i].name;
+               });
 }
 
 Event::Event(EventTypePtr type, std::vector<Value> values, MicrosT timestamp)
@@ -102,6 +98,12 @@ Event::Event(EventTypePtr type, std::vector<Value> values, MicrosT timestamp)
   INSIGHT_CHECK(values_.size() == type_->num_fields())
       << "event for type " << type_->name() << " has " << values_.size()
       << " values, schema has " << type_->num_fields();
+}
+
+Event::~Event() {
+  if (buffer_sink_ != nullptr) {
+    buffer_sink_->RecycleBuffer(std::move(values_));
+  }
 }
 
 Result<Value> Event::Get(const std::string& field) const {
@@ -122,6 +124,100 @@ std::string Event::ToString() const {
   out += "}";
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// EventPool
+// ---------------------------------------------------------------------------
+
+/// Shared freelist state. Held by shared_ptr from the pool AND from each
+/// pooled event's control block (via the allocator copy stored there), so the
+/// recycled storage outlives every event regardless of destruction order.
+struct EventPool::State : Event::BufferSink {
+  static constexpr size_t kMaxBlocks = 4096;
+  static constexpr size_t kMaxBuffers = 4096;
+
+  /// Size of the fused object+control-block allocation, fixed after the
+  /// first pooled event; foreign sizes bypass the freelist.
+  size_t block_size = 0;
+  std::vector<void*> blocks;
+  std::vector<std::vector<Value>> buffers;
+
+  ~State() override {
+    for (void* block : blocks) ::operator delete(block);
+  }
+
+  void RecycleBuffer(std::vector<Value>&& values) override {
+    if (buffers.size() >= kMaxBuffers) return;  // let it free normally
+    values.clear();  // destroys Values; keeps the vector's capacity
+    buffers.push_back(std::move(values));
+  }
+};
+
+namespace {
+
+/// Allocator handed to allocate_shared: recycles the single fixed-size block
+/// that holds an Event fused with its shared_ptr control block.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  explicit PoolAllocator(std::shared_ptr<EventPool::State> s)
+      : state(std::move(s)) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(runtime/explicit)
+      : state(other.state) {}
+
+  T* allocate(size_t n) {
+    if (n == 1) {
+      if (state->block_size == 0) state->block_size = sizeof(T);
+      if (sizeof(T) == state->block_size && !state->blocks.empty()) {
+        void* block = state->blocks.back();
+        state->blocks.pop_back();
+        return static_cast<T*>(block);
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) {
+    if (n == 1 && sizeof(T) == state->block_size &&
+        state->blocks.size() < EventPool::State::kMaxBlocks) {
+      state->blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return state == other.state;
+  }
+
+  std::shared_ptr<EventPool::State> state;
+};
+
+}  // namespace
+
+EventPool::EventPool() : state_(std::make_shared<State>()) {}
+
+EventPtr EventPool::Create(EventTypePtr type, std::vector<Value> values,
+                           MicrosT timestamp) {
+  std::shared_ptr<Event> event = std::allocate_shared<Event>(
+      PoolAllocator<Event>(state_), std::move(type), std::move(values),
+      timestamp);
+  event->set_buffer_sink(state_.get());
+  return event;
+}
+
+std::vector<Value> EventPool::TakeBuffer() {
+  if (state_->buffers.empty()) return {};
+  std::vector<Value> buffer = std::move(state_->buffers.back());
+  state_->buffers.pop_back();
+  return buffer;
+}
+
+size_t EventPool::free_blocks() const { return state_->blocks.size(); }
+size_t EventPool::free_buffers() const { return state_->buffers.size(); }
 
 EventBuilder& EventBuilder::Set(const std::string& field, Value value) {
   int idx = type_->FieldIndex(field);

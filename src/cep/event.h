@@ -2,7 +2,6 @@
 #define INSIGHT_CEP_EVENT_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <variant>
@@ -59,6 +58,82 @@ class Value {
   std::variant<int64_t, double, bool, std::string> data_;
 };
 
+namespace detail {
+
+/// Precomputed open-addressing hash table mapping names to ordinal indices.
+/// Backs EventType::FieldIndex and dsps::Fields::IndexOf so by-name field
+/// access is O(1) instead of a std::map walk / linear scan. Slots hold only
+/// (hash, index), so copying the owner stays trivially safe — the candidate
+/// name is re-verified against the owner's own storage via `get_name`.
+class NameIndex {
+ public:
+  static uint64_t HashName(const std::string& name) {
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  /// Builds the table over `count` names. `keep_first` selects the duplicate
+  /// policy (Fields::IndexOf returned the first match; EventType's map kept
+  /// the last).
+  template <typename GetName>
+  void Build(size_t count, bool keep_first, const GetName& get_name) {
+    size_t capacity = 8;
+    while (capacity < count * 2) capacity *= 2;
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    for (size_t i = 0; i < count; ++i) {
+      const std::string& name = get_name(i);
+      uint64_t hash = HashName(name);
+      size_t pos = static_cast<size_t>(hash) & mask_;
+      while (true) {
+        Slot& slot = slots_[pos];
+        if (slot.index < 0) {
+          slot.hash = hash;
+          slot.index = static_cast<int32_t>(i);
+          break;
+        }
+        if (slot.hash == hash &&
+            get_name(static_cast<size_t>(slot.index)) == name) {
+          if (!keep_first) slot.index = static_cast<int32_t>(i);
+          break;
+        }
+        pos = (pos + 1) & mask_;
+      }
+    }
+  }
+
+  /// Index of `name` or -1.
+  template <typename GetName>
+  int Find(const std::string& name, const GetName& get_name) const {
+    if (slots_.empty()) return -1;
+    uint64_t hash = HashName(name);
+    size_t pos = static_cast<size_t>(hash) & mask_;
+    while (true) {
+      const Slot& slot = slots_[pos];
+      if (slot.index < 0) return -1;
+      if (slot.hash == hash &&
+          get_name(static_cast<size_t>(slot.index)) == name) {
+        return slot.index;
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    int32_t index = -1;
+  };
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace detail
+
 /// An event schema: ordered, named, typed fields. Event types are shared
 /// immutable objects owned by the engine's registry.
 class EventType {
@@ -75,7 +150,12 @@ class EventType {
   size_t num_fields() const { return fields_.size(); }
 
   /// Index of a field or -1.
-  int FieldIndex(const std::string& field_name) const;
+  int FieldIndex(const std::string& field_name) const {
+    return index_.Find(field_name,
+                       [this](size_t i) -> const std::string& {
+                         return fields_[i].name;
+                       });
+  }
   bool HasField(const std::string& field_name) const {
     return FieldIndex(field_name) >= 0;
   }
@@ -83,7 +163,7 @@ class EventType {
  private:
   std::string name_;
   std::vector<Field> fields_;
-  std::map<std::string, int> index_;
+  detail::NameIndex index_;
 };
 
 using EventTypePtr = std::shared_ptr<const EventType>;
@@ -92,7 +172,20 @@ using EventTypePtr = std::shared_ptr<const EventType>;
 /// can retain them without copying payloads.
 class Event {
  public:
+  /// Receives the event's value storage back when a pooled event dies, so
+  /// the vector's capacity (and any string capacity inside, for fixed-width
+  /// schemas the strings stay SSO) can be reused by the next event.
+  class BufferSink {
+   public:
+    virtual ~BufferSink() = default;
+    virtual void RecycleBuffer(std::vector<Value>&& values) = 0;
+  };
+
   Event(EventTypePtr type, std::vector<Value> values, MicrosT timestamp = 0);
+  ~Event();
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
 
   const EventType& type() const { return *type_; }
   const EventTypePtr& type_ptr() const { return type_; }
@@ -106,12 +199,52 @@ class Event {
   std::string ToString() const;
 
  private:
+  friend class EventPool;
+  void set_buffer_sink(BufferSink* sink) { buffer_sink_ = sink; }
+
   EventTypePtr type_;
   std::vector<Value> values_;
   MicrosT timestamp_;
+  BufferSink* buffer_sink_ = nullptr;
 };
 
 using EventPtr = std::shared_ptr<const Event>;
+
+/// Per-engine freelist for events: recycles both the combined
+/// object+control-block allocation of a pooled event and the event's value
+/// vector, so steady-state ingestion of fixed-width (non-string-growing)
+/// schemas performs zero heap allocations per event.
+///
+/// Lifetime rules: the pool's shared state outlives every event it created —
+/// each pooled event's control block holds a reference — so events may safely
+/// outlive the pool object (and the engine owning it). Freelists are bounded;
+/// overflow falls back to the global allocator. Not thread-safe: a pool
+/// belongs to one engine, and engines are single-threaded by design.
+class EventPool {
+ public:
+  struct State;
+
+  EventPool();
+
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  /// Creates a pooled event. Pass a buffer from TakeBuffer() (filled with the
+  /// field values) for the zero-allocation round trip; any vector works.
+  EventPtr Create(EventTypePtr type, std::vector<Value> values,
+                  MicrosT timestamp = 0);
+
+  /// An empty value buffer with recycled capacity (empty capacity when the
+  /// freelist is dry — the first few events warm it up).
+  std::vector<Value> TakeBuffer();
+
+  /// Freelist introspection (tests).
+  size_t free_blocks() const;
+  size_t free_buffers() const;
+
+ private:
+  std::shared_ptr<State> state_;
+};
 
 /// Convenience builder used by tests and the traffic adapters.
 class EventBuilder {

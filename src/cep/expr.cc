@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "common/stats.h"
 
 namespace insight {
 namespace cep {
@@ -107,7 +106,7 @@ Status FieldRefExpr::Resolve(const SourceSchemas& schemas) {
 }
 
 Value FieldRefExpr::Eval(const EvalContext& ctx) const {
-  const EventPtr& event = (*ctx.row)[static_cast<size_t>(source_index_)];
+  const Event* event = (*ctx.row)[static_cast<size_t>(source_index_)];
   return event->Get(field_index_);
 }
 
@@ -260,33 +259,6 @@ Result<ValueType> AggregateExpr::DeduceType() const {
 std::string AggregateExpr::ToString() const {
   return std::string(AggFuncToString(func_)) + "(" +
          (argument_ ? argument_->ToString() : "*") + ")";
-}
-
-Value AggregateExpr::Compute(const std::vector<JoinRow>& rows) const {
-  if (func_ == AggFunc::kCount && argument_ == nullptr) {
-    return static_cast<int64_t>(rows.size());
-  }
-  RunningStats stats;
-  EvalContext ctx;
-  for (const JoinRow& row : rows) {
-    ctx.row = &row;
-    stats.Add(argument_->Eval(ctx).AsDouble());
-  }
-  switch (func_) {
-    case AggFunc::kAvg:
-      return stats.mean();
-    case AggFunc::kSum:
-      return stats.mean() * static_cast<double>(stats.count());
-    case AggFunc::kCount:
-      return static_cast<int64_t>(stats.count());
-    case AggFunc::kMin:
-      return stats.min();
-    case AggFunc::kMax:
-      return stats.max();
-    case AggFunc::kStddev:
-      return stats.stdev();
-  }
-  return Value();
 }
 
 ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }

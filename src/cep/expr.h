@@ -22,8 +22,22 @@ struct SourceSchemas {
 };
 
 /// A join row: one event per FROM source, positionally aligned with
-/// SourceSchemas.
-using JoinRow = std::vector<EventPtr>;
+/// SourceSchemas. Non-owning view over a contiguous span of `const Event*` —
+/// the statement's windows keep the events alive for the duration of an
+/// evaluation, so rows can be stacked in a flat arena without refcounting.
+class JoinRow {
+ public:
+  JoinRow() = default;
+  JoinRow(const Event* const* events, size_t size)
+      : events_(events), size_(size) {}
+
+  const Event* operator[](size_t i) const { return events_[i]; }
+  size_t size() const { return size_; }
+
+ private:
+  const Event* const* events_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Evaluation context for expressions. `agg_values` carries precomputed
 /// aggregate results (indexed by AggregateExpr::agg_id) when evaluating
@@ -211,9 +225,6 @@ class AggregateExpr : public Expr {
   }
   Result<ValueType> DeduceType() const override;
   std::string ToString() const override;
-
-  /// Computes the aggregate over a set of rows.
-  Value Compute(const std::vector<JoinRow>& rows) const;
 
   AggFunc func() const { return func_; }
   const Expr* argument() const { return argument_.get(); }

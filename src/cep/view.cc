@@ -56,6 +56,52 @@ bool ValueVectorLess::operator()(const std::vector<Value>& a,
   return a.size() < b.size();
 }
 
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0 (they Equals())
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kBool:
+      return v.AsBool() ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL;
+    case ValueType::kString:
+      return std::hash<std::string>{}(v.AsString());
+  }
+  return 0;
+}
+
+size_t ValueVectorHash::operator()(const std::vector<Value>& v) const {
+  ValueHash hash;
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Value& value : v) {
+    h ^= hash(value);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool ValueVectorEq::operator()(const std::vector<Value>& a,
+                               const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+void EventRing::Grow() {
+  size_t new_capacity = slots_.empty() ? 8 : slots_.size() * 2;
+  std::vector<EventPtr> next(new_capacity);
+  for (size_t i = 0; i < count_; ++i) {
+    next[i] = std::move(slots_[(head_ + i) & mask_]);
+  }
+  slots_ = std::move(next);
+  mask_ = new_capacity - 1;
+  head_ = 0;
+}
+
 Result<std::unique_ptr<Window>> Window::Create(const std::vector<ViewSpec>& chain,
                                                EventTypePtr type) {
   auto window = std::unique_ptr<Window>(new Window());
@@ -134,8 +180,7 @@ void Window::InsertInto(Bucket* bucket, const EventPtr& event,
       bucket->events.push_back(event);
       if (bucket->events.size() >= data_view_.length) {
         if (expired != nullptr) {
-          expired->insert(expired->end(), bucket->events.begin(),
-                          bucket->events.end());
+          for (const EventPtr& e : bucket->events) expired->push_back(e);
         }
         bucket->events.clear();
       }
@@ -150,8 +195,7 @@ void Window::InsertInto(Bucket* bucket, const EventPtr& event,
           event->timestamp() - bucket->events.front()->timestamp() >=
               data_view_.duration_micros) {
         if (expired != nullptr) {
-          expired->insert(expired->end(), bucket->events.begin(),
-                          bucket->events.end());
+          for (const EventPtr& e : bucket->events) expired->push_back(e);
         }
         bucket->events.clear();
       }
@@ -178,13 +222,19 @@ void Window::ExpireBucket(Bucket* bucket, MicrosT now,
 
 void Window::Insert(const EventPtr& event, std::vector<EventPtr>* expired) {
   if (data_view_.kind == ViewKind::kUnique) {
-    std::vector<Value> key;
-    key.reserve(unique_field_indexes_.size());
-    for (int idx : unique_field_indexes_) key.push_back(event->Get(idx));
-    auto [it, inserted] = unique_.try_emplace(std::move(key), event);
-    if (!inserted) {
+    // Probe with a reused key; only a brand-new key pays a copy, so the
+    // steady-state refresh path (same threshold key, new value) is
+    // allocation-free.
+    unique_key_scratch_.clear();
+    for (int idx : unique_field_indexes_) {
+      unique_key_scratch_.push_back(event->Get(idx));
+    }
+    auto it = unique_.find(unique_key_scratch_);
+    if (it != unique_.end()) {
       if (expired != nullptr) expired->push_back(it->second);
       it->second = event;
+    } else {
+      unique_.emplace(unique_key_scratch_, event);
     }
     return;
   }
@@ -204,9 +254,9 @@ void Window::AdvanceTime(MicrosT now, std::vector<EventPtr>* expired) {
   }
 }
 
-const std::deque<EventPtr>& Window::Contents() const { return global_.events; }
+const EventRing& Window::Contents() const { return global_.events; }
 
-const std::deque<EventPtr>* Window::GroupContents(const Value& key) const {
+const EventRing* Window::GroupContents(const Value& key) const {
   auto it = groups_.find(key);
   return it == groups_.end() ? nullptr : &it->second.events;
 }
@@ -222,6 +272,13 @@ void Window::ForEach(const std::function<void(const EventPtr&)>& fn) const {
     }
   } else {
     for (const EventPtr& e : global_.events) fn(e);
+  }
+}
+
+void Window::ForEachGroup(
+    const std::function<void(const Value&, const EventRing&)>& fn) const {
+  for (const auto& [key, bucket] : groups_) {
+    if (!bucket.events.empty()) fn(key, bucket.events);
   }
 }
 

@@ -1,7 +1,6 @@
 #ifndef INSIGHT_CEP_VIEW_H_
 #define INSIGHT_CEP_VIEW_H_
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -78,6 +77,89 @@ struct ValueVectorLess {
   bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const;
 };
 
+/// Hash/equality for Values usable as unordered_map keys, consistent with
+/// Value::Equals: int 5 and double 5.0 hash identically (both hash their
+/// double image, with -0.0 collapsed onto +0.0).
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& v) const;
+};
+
+struct ValueVectorEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+};
+
+/// Contiguous ring buffer of events, oldest first. Replaces std::deque on the
+/// window hot path: a sliding window at steady state (push_back + pop_front)
+/// churns deque chunk allocations, while the ring only allocates on growth.
+class EventRing {
+ public:
+  EventRing() = default;
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  /// i = 0 is the oldest retained event.
+  const EventPtr& operator[](size_t i) const {
+    return slots_[(head_ + i) & mask_];
+  }
+  const EventPtr& front() const { return slots_[head_]; }
+  const EventPtr& back() const { return (*this)[count_ - 1]; }
+
+  void push_back(EventPtr event) {
+    if (count_ == slots_.size()) Grow();
+    slots_[(head_ + count_) & mask_] = std::move(event);
+    ++count_;
+  }
+
+  void pop_front() {
+    slots_[head_] = nullptr;  // release the reference
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    for (size_t i = 0; i < count_; ++i) slots_[(head_ + i) & mask_] = nullptr;
+    head_ = 0;
+    count_ = 0;
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const EventRing* ring, size_t pos) : ring_(ring), pos_(pos) {}
+    const EventPtr& operator*() const { return (*ring_)[pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return pos_ != other.pos_;
+    }
+
+   private:
+    const EventRing* ring_;
+    size_t pos_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, count_}; }
+
+ private:
+  void Grow();
+
+  std::vector<EventPtr> slots_;  // size is a power of two (or empty)
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
 /// Materialized window state for one FROM source. Create() validates the
 /// chain (at most one groupwin, exactly one data view).
 class Window {
@@ -96,15 +178,48 @@ class Window {
   bool grouped() const { return group_field_index_ >= 0; }
   int group_field_index() const { return group_field_index_; }
   const std::string& group_field() const { return group_field_; }
+  /// Kind of the single data view in the chain.
+  ViewKind data_kind() const { return data_view_.kind; }
+  /// Field indexes forming the kUnique key (empty otherwise).
+  const std::vector<int>& unique_field_indexes() const {
+    return unique_field_indexes_;
+  }
 
   /// Contents of an ungrouped window.
-  const std::deque<EventPtr>& Contents() const;
+  const EventRing& Contents() const;
   /// Contents of one group (nullptr when the key was never seen). Only valid
   /// for grouped windows.
-  const std::deque<EventPtr>* GroupContents(const Value& key) const;
+  const EventRing* GroupContents(const Value& key) const;
 
   /// Invokes fn(event) over every event currently retained.
   void ForEach(const std::function<void(const EventPtr&)>& fn) const;
+  /// Grouped windows: fn(key, contents) per group in ValueLess key order
+  /// (buckets that have drained to empty are skipped).
+  void ForEachGroup(
+      const std::function<void(const Value&, const EventRing&)>& fn) const;
+
+  /// Template variants of the above for hot paths: no std::function, so no
+  /// per-call allocation for capturing lambdas.
+  template <typename Fn>
+  void ForEachEvent(Fn&& fn) const {
+    if (data_view_.kind == ViewKind::kUnique) {
+      for (const auto& [key, event] : unique_) fn(event);
+      return;
+    }
+    if (grouped()) {
+      for (const auto& [key, bucket] : groups_) {
+        for (const EventPtr& e : bucket.events) fn(e);
+      }
+    } else {
+      for (const EventPtr& e : global_.events) fn(e);
+    }
+  }
+  template <typename Fn>
+  void ForEachGroupT(Fn&& fn) const {
+    for (const auto& [key, bucket] : groups_) {
+      if (!bucket.events.empty()) fn(key, bucket.events);
+    }
+  }
 
   size_t TotalSize() const;
   /// Removes all contents.
@@ -116,7 +231,7 @@ class Window {
   Window() = default;
 
   struct Bucket {
-    std::deque<EventPtr> events;
+    EventRing events;
   };
 
   void InsertInto(Bucket* bucket, const EventPtr& event,
@@ -132,6 +247,9 @@ class Window {
   /// kUnique storage: latest event per key.
   std::vector<int> unique_field_indexes_;
   std::map<std::vector<Value>, EventPtr, ValueVectorLess> unique_;
+  /// Probe key reused by Insert so steady-state kUnique refreshes (the
+  /// threshold-update path) do not allocate a key vector per event.
+  std::vector<Value> unique_key_scratch_;
 };
 
 }  // namespace cep

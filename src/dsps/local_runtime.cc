@@ -3,6 +3,7 @@
 #include <chrono>
 #include <functional>
 
+#include "cep/view.h"
 #include "common/logging.h"
 
 namespace insight {
@@ -12,14 +13,12 @@ namespace {
 
 uint64_t HashValues(const std::vector<Value>& values,
                     const std::vector<int>& indexes) {
+  // Hash the Value directly (no ToString round-trip). cep::ValueHash gives
+  // Equals-consistent hashing, so 5 and 5.0 route to the same task.
+  cep::ValueHash value_hash;
   uint64_t h = 1469598103934665603ULL;
   for (int idx : indexes) {
-    std::string s = values[static_cast<size_t>(idx)].ToString();
-    for (char c : s) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ULL;
-    }
-    h ^= 0x1f;
+    h ^= static_cast<uint64_t>(value_hash(values[static_cast<size_t>(idx)]));
     h *= 1099511628211ULL;
   }
   return h;
@@ -53,7 +52,9 @@ class LocalRuntime::TaskCollector : public Collector {
       : runtime_(runtime),
         component_index_(component_index),
         task_index_(task_index),
-        is_spout_(is_spout) {}
+        is_spout_(is_spout) {
+    outbox_.per_task.resize(static_cast<size_t>(runtime->total_tasks_));
+  }
 
   void Emit(std::vector<Value> values) override {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
@@ -64,7 +65,7 @@ class LocalRuntime::TaskCollector : public Collector {
       batch = &ack_batch_;
     }
     runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_,
-                    batch);
+                    batch, &outbox_);
   }
 
   void EmitDirect(int target_task, std::vector<Value> values) override {
@@ -75,18 +76,21 @@ class LocalRuntime::TaskCollector : public Collector {
       tuple.set_root_key(current_root_key_);
       batch = &ack_batch_;
     }
-    runtime_->Route(component_index_, tuple, target_task, &emitted_, batch);
+    runtime_->Route(component_index_, tuple, target_task, &emitted_, batch,
+                    &outbox_);
   }
 
   void EmitRooted(uint64_t message_id, std::vector<Value> values) override {
     if (is_spout_ && runtime_->options_.enable_acking) {
       runtime_->EmitTracked(component_index_, task_index_, message_id,
                             /*attempt=*/0, std::move(values),
-                            current_spout_time_, &emitted_);
+                            current_spout_time_, &emitted_, &outbox_);
       return;
     }
     Emit(std::move(values));
   }
+
+  Outbox* outbox() { return &outbox_; }
 
   /// Bolt-side: bind the collector to the input about to be executed.
   void BeginExecute(const Tuple& input) {
@@ -117,6 +121,7 @@ class LocalRuntime::TaskCollector : public Collector {
   uint64_t current_root_key_ = 0;
   uint64_t ack_batch_ = 0;
   uint64_t emitted_ = 0;
+  Outbox outbox_;
 };
 
 LocalRuntime::LocalRuntime(Topology topology, Options options)
@@ -154,6 +159,21 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
         task.input = std::make_unique<TaskQueue>();
       }
       tasks_[c].push_back(std::move(task));
+    }
+  }
+
+  // Flat global task ids for the outbox staging buffers.
+  task_base_.resize(components.size(), 0);
+  total_tasks_ = 0;
+  for (size_t c = 0; c < components.size(); ++c) {
+    task_base_[c] = total_tasks_;
+    total_tasks_ += components[c].num_tasks;
+  }
+  queue_of_.assign(static_cast<size_t>(total_tasks_), nullptr);
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (size_t t = 0; t < tasks_[c].size(); ++t) {
+      queue_of_[static_cast<size_t>(task_base_[c]) + t] =
+          tasks_[c][t].input.get();
     }
   }
 
@@ -270,23 +290,52 @@ uint64_t LocalRuntime::NextEdgeId() {
   return z == 0 ? 1 : z;
 }
 
-void LocalRuntime::Push(int component_index, int task_index, Tuple tuple) {
-  TaskQueue* queue =
-      tasks_[static_cast<size_t>(component_index)][static_cast<size_t>(task_index)]
-          .input.get();
-  std::unique_lock<std::mutex> lock(queue->mutex);
-  queue->not_full.wait(lock, [&] {
-    return stopping_.load() || queue->queue.size() < options_.queue_capacity;
-  });
-  if (stopping_.load()) return;  // drop on shutdown
-  queue->queue.push_back(std::move(tuple));
+void LocalRuntime::Stage(int target_component, int task_index, Tuple tuple,
+                         Outbox* outbox) {
+  size_t gid =
+      static_cast<size_t>(task_base_[static_cast<size_t>(target_component)] +
+                          task_index);
+  std::vector<Tuple>& block = outbox->per_task[gid];
+  if (block.empty()) outbox->dirty.push_back(static_cast<uint32_t>(gid));
+  block.push_back(std::move(tuple));
+  // Counted in flight from the moment it is staged, so the completion
+  // predicate can never observe a quiet topology while tuples sit in an
+  // outbox.
   in_flight_.fetch_add(1);
-  queue->not_empty.notify_one();
+  ++outbox->staged;
+  if (outbox->staged >= options_.emit_batch) FlushOutbox(outbox);
+}
+
+void LocalRuntime::FlushOutbox(Outbox* outbox) {
+  if (outbox->staged == 0) return;
+  bool dropped = false;
+  for (uint32_t gid : outbox->dirty) {
+    std::vector<Tuple>& block = outbox->per_task[gid];
+    if (block.empty()) continue;
+    TaskQueue* queue = queue_of_[gid];
+    std::unique_lock<std::mutex> lock(queue->mutex);
+    queue->not_full.wait(lock, [&] {
+      return stopping_.load() || queue->queue.size() < options_.queue_capacity;
+    });
+    if (stopping_.load()) {  // drop on shutdown
+      in_flight_.fetch_sub(static_cast<int64_t>(block.size()));
+      block.clear();
+      dropped = true;
+      continue;
+    }
+    for (Tuple& t : block) queue->queue.push_back(std::move(t));
+    block.clear();  // keeps capacity for the next batch
+    queue->not_empty.notify_one();
+  }
+  outbox->dirty.clear();
+  outbox->staged = 0;
+  if (dropped) NotifyPossiblyDone();
 }
 
 void LocalRuntime::Deliver(int source_component, int target_component,
                            int task_index, const Tuple& tuple,
-                           uint64_t* emitted, uint64_t* ack_batch) {
+                           uint64_t* emitted, uint64_t* ack_batch,
+                           Outbox* outbox) {
   reliability::FaultInjector::RouteDecision decision;
   if (options_.fault_injector != nullptr) {
     decision = options_.fault_injector->OnRoute(
@@ -299,25 +348,25 @@ void LocalRuntime::Deliver(int source_component, int target_component,
   }
   int copies = decision.duplicate ? 2 : 1;
   for (int i = 0; i < copies; ++i) {
-    Tuple copy = tuple;
+    Tuple copy = tuple;  // payload is refcount-shared, not deep-copied
     if (ack_batch != nullptr) {
       // Each delivered instance is one tree edge: a fresh random id, XORed
-      // into the emitter's batch. A dropped tuple's edge is still counted —
-      // it will never be acked, so the tree times out and replays, exactly
-      // like a network loss under Storm.
+      // into the emitter's batch at stage time. A dropped tuple's edge is
+      // still counted — it will never be acked, so the tree times out and
+      // replays, exactly like a network loss under Storm.
       uint64_t edge = NextEdgeId();
       copy.set_edge_id(edge);
       *ack_batch ^= edge;
     }
     ++*emitted;
     if (decision.drop) continue;
-    Push(target_component, task_index, std::move(copy));
+    Stage(target_component, task_index, std::move(copy), outbox);
   }
 }
 
 void LocalRuntime::Route(int source_component, const Tuple& tuple,
                          int direct_task, uint64_t* emitted,
-                         uint64_t* ack_batch) {
+                         uint64_t* ack_batch, Outbox* outbox) {
   for (const RouteTarget& target :
        routes_[static_cast<size_t>(source_component)]) {
     int num_tasks = static_cast<int>(
@@ -327,7 +376,7 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
       INSIGHT_CHECK(direct_task < num_tasks)
           << "EmitDirect task " << direct_task << " out of range";
       Deliver(source_component, target.component_index, direct_task, tuple,
-              emitted, ack_batch);
+              emitted, ack_batch, outbox);
       continue;
     }
     switch (target.grouping) {
@@ -335,25 +384,26 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
         uint64_t n = shuffle_counters_[static_cast<size_t>(source_component)]
                          .fetch_add(1, std::memory_order_relaxed);
         Deliver(source_component, target.component_index,
-                static_cast<int>(n % num_tasks), tuple, emitted, ack_batch);
+                static_cast<int>(n % num_tasks), tuple, emitted, ack_batch,
+                outbox);
         break;
       }
       case Grouping::kFields: {
         uint64_t h = HashValues(tuple.values(), target.field_indexes);
         Deliver(source_component, target.component_index,
                 static_cast<int>(h % static_cast<uint64_t>(num_tasks)), tuple,
-                emitted, ack_batch);
+                emitted, ack_batch, outbox);
         break;
       }
       case Grouping::kAll:
         for (int t = 0; t < num_tasks; ++t) {
           Deliver(source_component, target.component_index, t, tuple, emitted,
-                  ack_batch);
+                  ack_batch, outbox);
         }
         break;
       case Grouping::kGlobal:
         Deliver(source_component, target.component_index, 0, tuple, emitted,
-                ack_batch);
+                ack_batch, outbox);
         break;
       case Grouping::kDirect:
         // Plain Emit does not feed direct subscriptions.
@@ -365,7 +415,7 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
 void LocalRuntime::EmitTracked(int component_index, int task_index,
                                uint64_t message_id, int attempt,
                                std::vector<Value> values, MicrosT spout_time,
-                               uint64_t* emitted) {
+                               uint64_t* emitted, Outbox* outbox) {
   if (attempt == 0) {
     replay_->Store(message_id, values);  // keep a copy for replays
     pending_roots_.fetch_add(1);
@@ -386,7 +436,7 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
               spout_time);
   tuple.set_root_key(info.root_key);
   uint64_t batch = 0;
-  Route(component_index, tuple, /*direct_task=*/-1, emitted, &batch);
+  Route(component_index, tuple, /*direct_task=*/-1, emitted, &batch, outbox);
   if (auto done = acker_->Xor(info.root_key, guard ^ batch)) {
     OnTreeCompleted(*done);
   }
@@ -429,9 +479,15 @@ void LocalRuntime::SpoutLoop(
     std::vector<std::unique_ptr<TaskCollector>>& collectors) {
   const bool acking = options_.enable_acking;
   const int component_index = slot->component_index;
+  std::vector<MetricsRegistry::TaskRef> refs;
+  refs.reserve(my_tasks.size());
+  for (TaskRuntime* task : my_tasks) {
+    refs.push_back(metrics_.RefFor(def.name, task->task_index));
+  }
   while (!stopping_.load()) {
     bool all_exhausted = true;
     bool progressed = false;
+    uint64_t pass_emitted = 0;
     for (size_t i = 0; i < my_tasks.size(); ++i) {
       TaskRuntime* task = my_tasks[i];
       if (acking) {
@@ -443,9 +499,11 @@ void LocalRuntime::SpoutLoop(
           uint64_t emitted = 0;
           EmitTracked(component_index, task->task_index, d.message_id,
                       d.attempt, std::move(d.values),
-                      options_.clock->NowMicros(), &emitted);
+                      options_.clock->NowMicros(), &emitted,
+                      collectors[i]->outbox());
           if (emitted > 0) {
-            metrics_.RecordEmit(def.name, task->task_index, emitted);
+            refs[i].RecordEmit(emitted);
+            pass_emitted += emitted;
           }
           progressed = true;
         }
@@ -458,23 +516,33 @@ void LocalRuntime::SpoutLoop(
       progressed = true;
       uint64_t emitted = collectors[i]->TakeEmitted();
       if (emitted > 0) {
-        metrics_.RecordEmit(def.name, task->task_index, emitted);
+        refs[i].RecordEmit(emitted);
+        pass_emitted += emitted;
       }
       if (!more) {
         task->spout_done = true;
+        // Hand off everything this task staged before it is counted out;
+        // outboxes auto-flush only at the emit_batch threshold.
+        FlushOutbox(collectors[i]->outbox());
         live_spout_tasks_.fetch_sub(1);
         NotifyPossiblyDone();
       }
     }
     if (all_exhausted) {
+      for (auto& collector : collectors) FlushOutbox(collector->outbox());
       // Exhausted spouts stay alive under acking to deliver Ack/Fail
       // callbacks and re-emit timed-out trees until every tree resolves.
       if (!acking || pending_roots_.load() == 0) break;
       if (!progressed) {
         std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
+    } else if (pass_emitted == 0) {
+      // Idle pass: deliver staged tuples now instead of letting them wait
+      // below the auto-flush threshold behind a quiet spout.
+      for (auto& collector : collectors) FlushOutbox(collector->outbox());
     }
   }
+  for (auto& collector : collectors) FlushOutbox(collector->outbox());
   for (TaskRuntime* task : my_tasks) {
     if (acking) DrainSpoutEvents(task);  // last callbacks before Close
     task->spout->Close();
@@ -515,31 +583,52 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
   }
 
   reliability::FaultInjector* injector = options_.fault_injector;
-  // Bolt executor: drain the owned tasks' queues round-robin, taking up to a
-  // small batch from each before moving on (pseudo-parallel execution of
-  // co-scheduled tasks).
-  constexpr size_t kBatch = 16;
+  std::vector<MetricsRegistry::TaskRef> refs;
+  refs.reserve(my_tasks.size());
+  for (TaskRuntime* task : my_tasks) {
+    refs.push_back(metrics_.RefFor(def.name, task->task_index));
+  }
+  // Bolt executor: drain the owned tasks' queues round-robin, moving up to
+  // max_batch tuples out of a queue per lock acquisition (pseudo-parallel
+  // execution of co-scheduled tasks, one not_full wake per drained block).
+  std::vector<Tuple> batch;
+  batch.reserve(options_.max_batch);
   while (true) {
     bool any = false;
     for (size_t i = 0; i < my_tasks.size(); ++i) {
       TaskRuntime* task = my_tasks[i];
-      for (size_t b = 0; b < kBatch; ++b) {
-        Tuple tuple;
-        {
-          std::unique_lock<std::mutex> lock(task->input->mutex);
-          if (task->input->queue.empty()) break;
-          tuple = std::move(task->input->queue.front());
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lock(task->input->mutex);
+        size_t n = std::min(options_.max_batch, task->input->queue.size());
+        for (size_t k = 0; k < n; ++k) {
+          batch.push_back(std::move(task->input->queue.front()));
           task->input->queue.pop_front();
-          task->input->not_full.notify_one();
         }
-        any = true;
+        if (n > 0) task->input->not_full.notify_all();
+      }
+      if (batch.empty()) continue;
+      any = true;
+      for (size_t j = 0; j < batch.size(); ++j) {
+        Tuple& tuple = batch[j];
         if (injector != nullptr &&
             injector->ShouldCrash(def.name, task->task_index)) {
-          // The executor dies mid-execute: the popped tuple is lost (its
-          // tree will time out and replay under acking) and the thread
-          // exits without Cleanup, like a killed Storm worker. The
+          // The executor dies mid-execute: exactly the in-hand tuple is
+          // lost (its tree will time out and replay under acking) and the
+          // thread exits without Cleanup, like a killed Storm worker. The
           // supervisor will restart this executor with fresh bolt
-          // instances.
+          // instances. Emissions of the executions that completed before
+          // the crash are delivered, and the un-executed remainder of the
+          // drained batch goes back to the front of the queue — batching
+          // must not widen the failure beyond what per-tuple hand-off lost.
+          FlushOutbox(collectors[i]->outbox());
+          if (j + 1 < batch.size()) {
+            std::lock_guard<std::mutex> requeue(task->input->mutex);
+            for (size_t k = batch.size(); k-- > j + 1;) {
+              task->input->queue.push_front(std::move(batch[k]));
+            }
+            task->input->not_empty.notify_one();
+          }
           in_flight_.fetch_sub(1);
           NotifyPossiblyDone();
           slot->crashed.store(true);
@@ -549,22 +638,24 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
         MicrosT start = options_.clock->NowMicros();
         task->bolt->Execute(tuple, collectors[i].get());
         MicrosT elapsed = options_.clock->NowMicros() - start;
-        metrics_.Record(def.name, task->task_index, elapsed);
+        refs[i].Record(elapsed);
         uint64_t emitted = collectors[i]->TakeEmitted();
-        if (emitted > 0) metrics_.RecordEmit(def.name, task->task_index, emitted);
+        if (emitted > 0) refs[i].RecordEmit(emitted);
         if (acker_ != nullptr && tuple.root_key() != 0) {
           // One batched acker update per execution: the consumed input edge
           // plus every edge emitted while executing it.
-          uint64_t batch = tuple.edge_id() ^ collectors[i]->TakeAckBatch();
-          if (auto done = acker_->Xor(tuple.root_key(), batch)) {
+          uint64_t acks = tuple.edge_id() ^ collectors[i]->TakeAckBatch();
+          if (auto done = acker_->Xor(tuple.root_key(), acks)) {
             OnTreeCompleted(*done);
           }
         }
         in_flight_.fetch_sub(1);
         NotifyPossiblyDone();
       }
+      FlushOutbox(collectors[i]->outbox());
     }
     if (!any) {
+      for (auto& collector : collectors) FlushOutbox(collector->outbox());
       if (stopping_.load()) break;
       // Park briefly on the first owned queue.
       TaskRuntime* task = my_tasks.empty() ? nullptr : my_tasks[0];

@@ -46,8 +46,18 @@ class LocalRuntime {
     /// surfaced via WorkerOfExecutor; all threads share this process).
     int num_workers = 1;
     /// Per-task input queue capacity; emitters block when full
-    /// (backpressure).
+    /// (backpressure). A flushed block is appended whole once the queue
+    /// dips below capacity, so occupancy can overshoot by up to one block
+    /// (at most `emit_batch` tuples).
     size_t queue_capacity = 8192;
+    /// Consumer side: max tuples a bolt executor drains from one task queue
+    /// per lock acquisition.
+    size_t max_batch = 64;
+    /// Producer side: emissions are staged in a per-collector outbox and
+    /// flushed as per-target blocks (one lock + one CV wake per block) once
+    /// this many tuples are staged, or at the emitter's natural flush
+    /// points (end of an Execute batch, spout idle/exhaustion).
+    size_t emit_batch = 32;
     /// When > 0, a monitor thread takes a metrics window snapshot at this
     /// period (the paper uses 40 s).
     MicrosT monitor_interval_micros = 0;
@@ -107,6 +117,15 @@ class LocalRuntime {
     std::deque<Tuple> queue;
   };
 
+  /// Per-collector staging buffer for batched hand-off: tuples accumulate
+  /// here (already counted in `in_flight_`, edge ids already assigned) and
+  /// are pushed to their target queues as blocks by FlushOutbox.
+  struct Outbox {
+    std::vector<std::vector<Tuple>> per_task;  // indexed by global task id
+    std::vector<uint32_t> dirty;               // global task ids with tuples
+    size_t staged = 0;
+  };
+
   /// Ack/Fail notifications queued for delivery on the spout's executor
   /// thread (Storm delivers both callbacks on the spout executor).
   struct SpoutEventQueue {
@@ -153,18 +172,28 @@ class LocalRuntime {
   /// replays). Adds to `emitted` per delivered copy.
   void EmitTracked(int component_index, int task_index, uint64_t message_id,
                    int attempt, std::vector<Value> values, MicrosT spout_time,
-                   uint64_t* emitted);
-  /// A tracked tree fully processed: ack bookkeeping + spout notification.
+                   uint64_t* emitted, Outbox* outbox);
+  /// A tracked tuple tree fully processed: ack bookkeeping + spout
+  /// notification.
   void OnTreeCompleted(const reliability::TreeInfo& info);
-  /// Routes a tuple to subscriber tasks. When `ack_batch` is non-null the
-  /// tuple belongs to a tracked tree: each delivered copy gets a fresh edge
-  /// id which is XORed into *ack_batch.
+  /// Routes a tuple to subscriber tasks, staging each delivered copy into
+  /// `outbox`. When `ack_batch` is non-null the tuple belongs to a tracked
+  /// tree: each copy gets a fresh edge id which is XORed into *ack_batch at
+  /// stage time (per-tuple edge semantics are independent of flush timing).
   void Route(int source_component, const Tuple& tuple, int direct_task,
-             uint64_t* emitted, uint64_t* ack_batch);
-  void Push(int target_component, int task_index, Tuple tuple);
+             uint64_t* emitted, uint64_t* ack_batch, Outbox* outbox);
+  /// Stages one tuple; counted in `in_flight_` immediately. Auto-flushes the
+  /// outbox past Options::emit_batch.
+  void Stage(int target_component, int task_index, Tuple tuple,
+             Outbox* outbox);
+  /// Pushes every staged block to its target queue: one lock wait
+  /// (backpressure-aware), one bulk append, and one not_empty wake per
+  /// target task. During shutdown staged tuples are dropped.
+  void FlushOutbox(Outbox* outbox);
   /// Fault-aware single delivery used by Route.
   void Deliver(int source_component, int target_component, int task_index,
-               const Tuple& tuple, uint64_t* emitted, uint64_t* ack_batch);
+               const Tuple& tuple, uint64_t* emitted, uint64_t* ack_batch,
+               Outbox* outbox);
   void NotifyPossiblyDone();
   /// Fresh nonzero pseudo-random edge id for the acker.
   uint64_t NextEdgeId();
@@ -182,6 +211,11 @@ class LocalRuntime {
   std::vector<std::vector<TaskRuntime>> tasks_;
   std::vector<std::vector<RouteTarget>> routes_;
   std::vector<std::atomic<uint64_t>> shuffle_counters_;
+  /// Global task id = task_base_[component] + task_index.
+  std::vector<int> task_base_;
+  /// Global task id -> input queue (nullptr for spout tasks).
+  std::vector<TaskQueue*> queue_of_;
+  int total_tasks_ = 0;
 
   std::vector<std::unique_ptr<ExecutorSlot>> executors_;
   std::thread monitor_thread_;

@@ -61,6 +61,42 @@ class MetricsRegistry {
   ComponentTotals Totals(const std::string& component) const;
   std::vector<std::string> Components() const;
 
+ private:
+  struct TaskStats {
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> emitted{0};
+    std::atomic<uint64_t> latency_sum{0};
+    std::atomic<uint64_t> acked{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> replayed{0};
+  };
+
+ public:
+  /// Hot-path recording handle: resolves (component, task) once so per-tuple
+  /// recording touches only the cached counters, never the name map. The
+  /// registry must outlive the handle, and DeclareComponent must not be
+  /// called again for the component after handing out refs.
+  class TaskRef {
+   public:
+    TaskRef() = default;
+    void Record(MicrosT latency_micros) {
+      stats_->executed.fetch_add(1, std::memory_order_relaxed);
+      stats_->latency_sum.fetch_add(static_cast<uint64_t>(latency_micros),
+                                    std::memory_order_relaxed);
+    }
+    void RecordEmit(uint64_t count) {
+      stats_->emitted.fetch_add(count, std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit TaskRef(TaskStats* stats) : stats_(stats) {}
+    TaskStats* stats_ = nullptr;
+  };
+  TaskRef RefFor(const std::string& component, int task) {
+    return TaskRef(&StatsFor(component, task));
+  }
+
   /// Anchors the first window so its capacity denominator is meaningful;
   /// the runtime calls this at Start(). Without it the first window reports
   /// capacity 0.
@@ -73,14 +109,6 @@ class MetricsRegistry {
   std::vector<WindowReport> window_reports() const;
 
  private:
-  struct TaskStats {
-    std::atomic<uint64_t> executed{0};
-    std::atomic<uint64_t> emitted{0};
-    std::atomic<uint64_t> latency_sum{0};
-    std::atomic<uint64_t> acked{0};
-    std::atomic<uint64_t> failed{0};
-    std::atomic<uint64_t> replayed{0};
-  };
   struct ComponentStats {
     std::vector<std::unique_ptr<TaskStats>> tasks;
     uint64_t last_executed = 0;

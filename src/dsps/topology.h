@@ -40,6 +40,11 @@ class Collector {
   virtual void Emit(std::vector<Value> values) = 0;
   virtual void EmitDirect(int task_index, std::vector<Value> values) = 0;
 
+  /// Emit that documents single-consumer intent: the runtime may hand the
+  /// value buffer straight to the one downstream task without sharing.
+  /// Payloads are refcount-shared either way, so the default forwards.
+  virtual void EmitMove(std::vector<Value> values) { Emit(std::move(values)); }
+
   /// Spout-only: emit a root tuple tracked by the reliability subsystem
   /// under `message_id` (Storm's emit-with-message-id). When the topology
   /// runs with acking enabled, the runtime tracks the tuple tree and calls

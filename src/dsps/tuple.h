@@ -14,49 +14,79 @@ namespace dsps {
 
 using cep::Value;
 
-/// Declared output fields of a component, Storm-style.
+/// Declared output fields of a component, Storm-style. Name lookups go
+/// through a precomputed hash index (first declaration wins for duplicate
+/// names, matching the old linear scan).
 class Fields {
  public:
   Fields() = default;
-  Fields(std::initializer_list<std::string> names) : names_(names) {}
-  explicit Fields(std::vector<std::string> names) : names_(std::move(names)) {}
+  Fields(std::initializer_list<std::string> names) : names_(names) {
+    BuildIndex();
+  }
+  explicit Fields(std::vector<std::string> names) : names_(std::move(names)) {
+    BuildIndex();
+  }
 
   int IndexOf(const std::string& name) const {
-    for (size_t i = 0; i < names_.size(); ++i) {
-      if (names_[i] == name) return static_cast<int>(i);
-    }
-    return -1;
+    return index_.Find(name, [this](size_t i) -> const std::string& {
+      return names_[i];
+    });
   }
   const std::vector<std::string>& names() const { return names_; }
   size_t size() const { return names_.size(); }
 
  private:
+  void BuildIndex() {
+    index_.Build(names_.size(), /*keep_first=*/true,
+                 [this](size_t i) -> const std::string& { return names_[i]; });
+  }
+
   std::vector<std::string> names_;
+  cep::detail::NameIndex index_;
 };
 
 /// A data tuple flowing through the topology. Values are positionally
 /// aligned with the emitting component's declared Fields. `spout_time`
 /// carries the originating spout emission time so bolts can report
 /// end-to-end latency.
+///
+/// The value payload is a shared immutable buffer: copying a Tuple (as
+/// shuffle/fields/all fan-out does, once per downstream task) bumps a
+/// refcount instead of deep-copying N values. Per-delivery metadata
+/// (spout_time, root_key, edge_id) stays by-value in the Tuple itself.
 class Tuple {
  public:
+  using Payload = std::shared_ptr<const std::vector<Value>>;
+
   Tuple() = default;
   Tuple(std::shared_ptr<const Fields> fields, std::vector<Value> values,
         MicrosT spout_time = 0)
       : fields_(std::move(fields)),
-        values_(std::move(values)),
+        values_(std::make_shared<std::vector<Value>>(std::move(values))),
+        spout_time_(spout_time) {}
+  /// Shares an existing payload (fan-out copies).
+  Tuple(std::shared_ptr<const Fields> fields, Payload payload,
+        MicrosT spout_time = 0)
+      : fields_(std::move(fields)),
+        values_(std::move(payload)),
         spout_time_(spout_time) {}
 
   const Fields& fields() const { return *fields_; }
   const std::shared_ptr<const Fields>& fields_ptr() const { return fields_; }
-  const std::vector<Value>& values() const { return values_; }
-  size_t size() const { return values_.size(); }
+  const std::vector<Value>& values() const {
+    static const std::vector<Value> kEmpty;
+    return values_ != nullptr ? *values_ : kEmpty;
+  }
+  /// The shared value buffer; tuples delivered to sibling tasks from one
+  /// Emit share the identical buffer.
+  const Payload& payload() const { return values_; }
+  size_t size() const { return values_ != nullptr ? values_->size() : 0; }
 
-  const Value& Get(size_t index) const { return values_[index]; }
+  const Value& Get(size_t index) const { return (*values_)[index]; }
   Result<Value> GetByField(const std::string& name) const {
     int idx = fields_->IndexOf(name);
     if (idx < 0) return Status::NotFound("tuple has no field '" + name + "'");
-    return values_[static_cast<size_t>(idx)];
+    return (*values_)[static_cast<size_t>(idx)];
   }
 
   MicrosT spout_time() const { return spout_time_; }
@@ -74,9 +104,10 @@ class Tuple {
 
   std::string ToString() const {
     std::string out = "(";
-    for (size_t i = 0; i < values_.size(); ++i) {
+    const std::vector<Value>& vals = values();
+    for (size_t i = 0; i < vals.size(); ++i) {
       if (i > 0) out += ", ";
-      out += fields_->names()[i] + "=" + values_[i].ToString();
+      out += fields_->names()[i] + "=" + vals[i].ToString();
     }
     out += ")";
     return out;
@@ -84,7 +115,7 @@ class Tuple {
 
  private:
   std::shared_ptr<const Fields> fields_;
-  std::vector<Value> values_;
+  Payload values_;
   MicrosT spout_time_ = 0;
   uint64_t root_key_ = 0;
   uint64_t edge_id_ = 0;

@@ -254,10 +254,15 @@ void EsperBolt::Execute(const Tuple& input, dsps::Collector* collector) {
   if (config_->before_send) {
     config_->before_send(engine_.get(), task_index_, input);
   }
-  // The tuple's fields align with the bus event type by construction.
-  auto event = std::make_shared<cep::Event>(bus_type_, input.values(),
-                                            input.Get(0).AsInt());
-  engine_->SendEvent(event);
+  // The tuple's fields align with the bus event type by construction. Build
+  // the event from pooled storage so steady-state ingestion stays off the
+  // heap (the buffer's recycled capacity absorbs the value copies).
+  cep::EventPool& pool = engine_->event_pool();
+  std::vector<cep::Value> buffer = pool.TakeBuffer();
+  const std::vector<Value>& values = input.values();
+  buffer.assign(values.begin(), values.end());
+  engine_->SendEvent(
+      pool.Create(bus_type_, std::move(buffer), input.Get(0).AsInt()));
   for (cep::MatchResult& match : pending_matches_) {
     // Detection tuple: rule, attribute, location, value, threshold, timestamp.
     auto get_or = [&](const std::string& column, Value fallback) {

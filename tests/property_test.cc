@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <numeric>
 
 #include "batch/mapreduce.h"
