@@ -12,10 +12,11 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 
 #include "dsps/local_runtime.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dsps/topology.h"
 #include "reliability/fault_injector.h"
 
@@ -64,7 +65,7 @@ class RelayBolt : public Bolt {
 };
 
 struct SeenIds {
-  std::mutex mutex;
+  insight::Mutex mutex;
   std::set<int64_t> ids;
 };
 
@@ -73,7 +74,7 @@ class RecordingSink : public Bolt {
   explicit RecordingSink(std::shared_ptr<SeenIds> seen)
       : seen_(std::move(seen)) {}
   void Execute(const Tuple& input, Collector*) override {
-    std::lock_guard<std::mutex> lock(seen_->mutex);
+    insight::MutexLock lock(seen_->mutex);
     seen_->ids.insert(input.Get(0).AsInt());
   }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -139,12 +138,12 @@ Result<MapReduceJob::Counters> MapReduceJob::Run(dfs::MiniDfs* fs,
   // Partition buffers: [partition][per-task outputs].
   std::vector<std::vector<std::pair<std::string, std::string>>> partitions(
       num_parts);
-  std::mutex partitions_mutex;
+  insight::Mutex partitions_mutex;
   std::atomic<size_t> input_records{0};
   std::atomic<size_t> map_output_records{0};
   std::atomic<size_t> combine_output_records{0};
   Status first_error;
-  std::mutex error_mutex;
+  insight::Mutex error_mutex;
 
   {
     ThreadPool pool(static_cast<size_t>(std::max(1, spec.parallelism)));
@@ -153,7 +152,7 @@ Result<MapReduceJob::Counters> MapReduceJob::Run(dfs::MiniDfs* fs,
         auto records = RecordsForChunk(*fs, task.path, task.chunk_index,
                                        task.num_chunks);
         if (!records.ok()) {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          MutexLock lock(error_mutex);
           if (first_error.ok()) first_error = records.status();
           return;
         }
@@ -173,7 +172,7 @@ Result<MapReduceJob::Counters> MapReduceJob::Run(dfs::MiniDfs* fs,
           final_pairs = &combined.pairs;
         }
 
-        std::lock_guard<std::mutex> lock(partitions_mutex);
+        MutexLock lock(partitions_mutex);
         for (auto& [key, value] : *final_pairs) {
           size_t part = HashKey(key) % num_parts;
           partitions[part].emplace_back(std::move(key), std::move(value));

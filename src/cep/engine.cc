@@ -1,5 +1,6 @@
 #include "cep/engine.h"
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace insight {
@@ -103,6 +104,16 @@ void Engine::RebuildRouting() {
 }
 
 size_t Engine::SendEvent(const EventPtr& event) {
+#if TMS_DCHECK_ENABLED
+  // Serial-processing contract: every send must come from the one thread
+  // that owns this engine. A violation means the DSPS layer routed two
+  // executors into the same engine — statement windows would race.
+  if (owner_thread_ == std::thread::id()) {
+    owner_thread_ = std::this_thread::get_id();
+  }
+  TMS_DCHECK(owner_thread_ == std::this_thread::get_id())
+      << "engine is single-threaded but SendEvent came from a second thread";
+#endif
   // Guard against INSERT INTO cycles (a rule feeding a stream it consumes).
   if (send_depth_ >= kMaxInsertDepth) {
     INSIGHT_LOG(Warning) << "insert-into recursion capped at depth "

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +77,10 @@ class Engine {
   static constexpr int kMaxInsertDepth = 16;
 
   const Clock* clock_;
+  /// Engines are single-threaded by design (see class comment); debug
+  /// builds pin the engine to the first thread that sends an event and
+  /// DCHECK every later send against it. Default-constructed = unbound.
+  std::thread::id owner_thread_;
   int send_depth_ = 0;
   std::map<std::string, EventTypePtr> types_;
   std::map<std::string, std::unique_ptr<Statement>> statements_;

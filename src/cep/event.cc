@@ -1,5 +1,8 @@
 #include "cep/event.h"
 
+#include <algorithm>
+
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -164,7 +167,7 @@ struct PoolAllocator {
   explicit PoolAllocator(std::shared_ptr<EventPool::State> s)
       : state(std::move(s)) {}
   template <typename U>
-  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(runtime/explicit)
+  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(runtime/explicit): rebind conversion required by allocator_traits
       : state(other.state) {}
 
   T* allocate(size_t n) {
@@ -182,6 +185,12 @@ struct PoolAllocator {
   void deallocate(T* p, size_t n) {
     if (n == 1 && sizeof(T) == state->block_size &&
         state->blocks.size() < EventPool::State::kMaxBlocks) {
+      // Double-free detection: a block returning to the freelist while
+      // already on it means two shared_ptr control blocks ended up on one
+      // allocation. O(freelist) scan, debug builds only.
+      TMS_DCHECK(std::find(state->blocks.begin(), state->blocks.end(),
+                           static_cast<void*>(p)) == state->blocks.end())
+          << "event pool block freed twice";
       state->blocks.push_back(p);
       return;
     }

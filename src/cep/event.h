@@ -23,12 +23,14 @@ const char* ValueTypeToString(ValueType type);
 class Value {
  public:
   Value() : data_(int64_t{0}) {}
-  Value(int64_t v) : data_(v) {}            // NOLINT(runtime/explicit)
-  Value(int v) : data_(int64_t{v}) {}       // NOLINT(runtime/explicit)
-  Value(double v) : data_(v) {}             // NOLINT(runtime/explicit)
-  Value(bool v) : data_(v) {}               // NOLINT(runtime/explicit)
-  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
-  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  // Implicit constructors are the point: literals convert directly in
+  // event field lists ({Value(3), "stop", 2.5}).
+  Value(int64_t v) : data_(v) {}  // NOLINT(runtime/explicit): implicit by design
+  Value(int v) : data_(int64_t{v}) {}  // NOLINT(runtime/explicit): implicit by design
+  Value(double v) : data_(v) {}  // NOLINT(runtime/explicit): implicit by design
+  Value(bool v) : data_(v) {}  // NOLINT(runtime/explicit): implicit by design
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit): implicit by design
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit): implicit by design
 
   ValueType type() const;
 

@@ -1,0 +1,83 @@
+#ifndef INSIGHT_COMMON_CHECK_H_
+#define INSIGHT_COMMON_CHECK_H_
+
+#include "common/logging.h"
+
+/// Invariant checks with formatted (streamed) messages.
+///
+///   TMS_CHECK(ptr != nullptr) << "context " << id;   // all builds
+///   TMS_DCHECK(in_flight >= 0) << "went negative";   // debug builds only
+///   TMS_DCHECK_EQ(flushed, staged);                  // prints both values
+///
+/// TMS_CHECK is for invariants cheap enough to verify in production builds
+/// (it aborts with file:line and the failed expression). TMS_DCHECK and its
+/// comparison variants compile to nothing when TMS_DCHECK_ENABLED is 0 —
+/// the condition is parsed but never evaluated — so hot-path invariants
+/// (acker tree balance, in-flight accounting, outbox consistency) cost
+/// nothing in RelWithDebInfo/Release. Debug builds (and any TU compiled
+/// with -DTMS_FORCE_DCHECK) run them for real; the asan-ubsan CI job builds
+/// Debug so every DCHECK is exercised on every PR.
+///
+/// Do not use TMS_DCHECK in headers: a header inlined into TUs with
+/// different TMS_DCHECK_ENABLED settings would violate the ODR. Keep
+/// DCHECKed invariants in .cc files (lint.py does not automate this rule;
+/// reviewers enforce it).
+///
+/// On the failure path the checked operands of the _EQ/_NE/... variants are
+/// evaluated a second time to print them; don't use expressions with side
+/// effects.
+
+#if defined(TMS_FORCE_DCHECK) || !defined(NDEBUG)
+#define TMS_DCHECK_ENABLED 1
+#else
+#define TMS_DCHECK_ENABLED 0
+#endif
+
+#define TMS_CHECK(cond)                                                     \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::insight::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define TMS_CHECK_OP_(a, op, b)                                             \
+  if ((a)op(b)) {                                                           \
+  } else                                                                    \
+    ::insight::internal::FatalMessage(__FILE__, __LINE__,                   \
+                                      #a " " #op " " #b)                    \
+        .stream()                                                           \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define TMS_CHECK_EQ(a, b) TMS_CHECK_OP_(a, ==, b)
+#define TMS_CHECK_NE(a, b) TMS_CHECK_OP_(a, !=, b)
+#define TMS_CHECK_LT(a, b) TMS_CHECK_OP_(a, <, b)
+#define TMS_CHECK_LE(a, b) TMS_CHECK_OP_(a, <=, b)
+#define TMS_CHECK_GT(a, b) TMS_CHECK_OP_(a, >, b)
+#define TMS_CHECK_GE(a, b) TMS_CHECK_OP_(a, >=, b)
+
+#if TMS_DCHECK_ENABLED
+#define TMS_DCHECK(cond) TMS_CHECK(cond)
+#define TMS_DCHECK_EQ(a, b) TMS_CHECK_EQ(a, b)
+#define TMS_DCHECK_NE(a, b) TMS_CHECK_NE(a, b)
+#define TMS_DCHECK_LT(a, b) TMS_CHECK_LT(a, b)
+#define TMS_DCHECK_LE(a, b) TMS_CHECK_LE(a, b)
+#define TMS_DCHECK_GT(a, b) TMS_CHECK_GT(a, b)
+#define TMS_DCHECK_GE(a, b) TMS_CHECK_GE(a, b)
+#else
+// `while (false)` keeps the condition compiled (names stay checked, no
+// unused-variable warnings) but dead-code eliminated.
+#define TMS_DCHECK(cond) \
+  while (false) TMS_CHECK(cond)
+#define TMS_DCHECK_EQ(a, b) \
+  while (false) TMS_CHECK_EQ(a, b)
+#define TMS_DCHECK_NE(a, b) \
+  while (false) TMS_CHECK_NE(a, b)
+#define TMS_DCHECK_LT(a, b) \
+  while (false) TMS_CHECK_LT(a, b)
+#define TMS_DCHECK_LE(a, b) \
+  while (false) TMS_CHECK_LE(a, b)
+#define TMS_DCHECK_GT(a, b) \
+  while (false) TMS_CHECK_GT(a, b)
+#define TMS_DCHECK_GE(a, b) \
+  while (false) TMS_CHECK_GE(a, b)
+#endif  // TMS_DCHECK_ENABLED
+
+#endif  // INSIGHT_COMMON_CHECK_H_

@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace insight {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes whole-line writes to stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -43,7 +44,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

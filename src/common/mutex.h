@@ -1,0 +1,102 @@
+#ifndef INSIGHT_COMMON_MUTEX_H_
+#define INSIGHT_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace insight {
+
+class CondVar;
+
+/// Annotated wrapper over std::mutex (abseil style). All forwarding is
+/// inline and stateless, so a Lock/Unlock pair compiles to exactly the raw
+/// std::mutex calls — the annotations cost nothing at runtime; they exist so
+/// clang -Wthread-safety can prove the lock discipline (see
+/// thread_annotations.h and DESIGN.md "Concurrency discipline").
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the capability is held (e.g. in a helper reached
+  /// only with the lock taken, where the proof is out of clang's view).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the scoped acquire/release is visible to the
+/// analysis. Prefer this over manual Lock/Unlock pairs.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Waits take the Mutex explicitly so
+/// REQUIRES(mu) documents — and clang verifies — that the caller holds the
+/// lock. There are deliberately no predicate overloads: writing the wait as
+///
+///   MutexLock lock(mu_);
+///   while (!condition) cv_.Wait(mu_);
+///
+/// keeps the predicate's guarded-field accesses inside the annotated caller,
+/// where the analysis can check them (a predicate lambda would be analyzed
+/// as an unannotated function and defeat the proof).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously woken),
+  /// and re-acquires `mu` before returning. Callers must re-check their
+  /// condition in a loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex so the wait uses the fast
+    // std::condition_variable path, then release the unique_lock without
+    // unlocking — ownership stays with the caller's MutexLock.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Like Wait, but also returns (with `mu` re-acquired) once `timeout`
+  /// elapses. Returns false on timeout, true when notified/spurious.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_MUTEX_H_

@@ -89,10 +89,10 @@ template <typename T>
 class Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning functions.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit): allows `return value;`
   /// Implicit from error status; aborts if the status is OK (an OK Result
   /// must carry a value).
-  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit): allows `return status;`
 
   bool ok() const { return value_.has_value(); }
   /// The error, or OK when a value is held.

@@ -1,0 +1,110 @@
+#ifndef INSIGHT_COMMON_THREAD_ANNOTATIONS_H_
+#define INSIGHT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (no-ops on GCC and MSVC).
+///
+/// Annotate shared state with GUARDED_BY(mu) and lock-requiring functions
+/// with REQUIRES(mu); a clang build with -Wthread-safety -Werror then proves
+/// the lock discipline at compile time (the `thread-safety` CI job). See
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and the
+/// "Concurrency discipline" section of DESIGN.md for project conventions.
+///
+/// New code must use insight::Mutex / MutexLock / CondVar (common/mutex.h)
+/// instead of raw std::mutex / std::condition_variable — tools/lint.py
+/// rejects the raw types outside src/common/.
+
+#if defined(__clang__)
+#define INSIGHT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define INSIGHT_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a lockable capability (e.g. a mutex wrapper).
+#ifndef CAPABILITY
+#define CAPABILITY(x) INSIGHT_THREAD_ANNOTATION_(capability(x))
+#endif
+
+/// Declares an RAII class that acquires a capability at construction and
+/// releases it at destruction.
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY INSIGHT_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+
+/// The field or variable is protected by the given capability; it may only
+/// be read or written while the capability is held.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) INSIGHT_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+
+/// The pointed-to data (not the pointer itself) is protected by the given
+/// capability.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) INSIGHT_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+
+/// The function may only be called while holding the given capabilities;
+/// they are neither acquired nor released by the call.
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  INSIGHT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+
+/// The function acquires the given capabilities and holds them on return.
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  INSIGHT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+
+/// The function releases the given capabilities; they must be held on entry.
+#ifndef RELEASE
+#define RELEASE(...) \
+  INSIGHT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+
+/// The function attempts to acquire the capability and returns the given
+/// boolean value on success.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  INSIGHT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+/// The caller must NOT hold the given capabilities (anti-deadlock: the
+/// function acquires them itself, or would deadlock/invert the hierarchy).
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  INSIGHT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+
+/// Documents the lock hierarchy: this capability must be acquired after the
+/// listed ones.
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  INSIGHT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#endif
+
+/// Documents the lock hierarchy: this capability must be acquired before the
+/// listed ones.
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  INSIGHT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#endif
+
+/// Runtime assertion that the capability is held (informs the static
+/// analysis without acquiring anything).
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) INSIGHT_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+
+/// The function returns a reference to the given capability.
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) INSIGHT_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+
+/// Escape hatch: disables analysis for one function. Requires a written
+/// justification at the use site (tools/lint.py checks for one).
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  INSIGHT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+#endif  // INSIGHT_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,13 +1,14 @@
 #ifndef INSIGHT_COMMON_THREAD_POOL_H_
 #define INSIGHT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 
@@ -23,27 +24,28 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no task is running.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   /// Stops accepting work and joins all threads. Idempotent; also called by
   /// the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mutex_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  /// Written only by the constructor, before any concurrent access.
   std::vector<std::thread> threads_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace insight

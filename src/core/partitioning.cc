@@ -53,23 +53,23 @@ std::vector<double> EngineRates(const std::map<int64_t, int>& assignment,
 }
 
 void RegionRateTracker::Seed(const std::vector<RegionRate>& rates) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const RegionRate& r : rates) seeded_[r.region] = r.rate;
 }
 
 void RegionRateTracker::Observe(int64_t region) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++observed_[region];
   ++observed_total_;
 }
 
 uint64_t RegionRateTracker::observed_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return observed_total_;
 }
 
 std::vector<RegionRate> RegionRateTracker::Estimates() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Blend: with few observations trust the seed; as observations accumulate
   // they dominate (simple additive smoothing).
   std::map<int64_t, RegionRate> merged;

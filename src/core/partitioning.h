@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dsps/tuple.h"
 
 namespace insight {
@@ -49,10 +50,10 @@ class RegionRateTracker {
   uint64_t observed_total() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<int64_t, double> seeded_;
-  std::map<int64_t, uint64_t> observed_;
-  uint64_t observed_total_ = 0;
+  mutable Mutex mutex_;
+  std::map<int64_t, double> seeded_ GUARDED_BY(mutex_);
+  std::map<int64_t, uint64_t> observed_ GUARDED_BY(mutex_);
+  uint64_t observed_total_ GUARDED_BY(mutex_) = 0;
 };
 
 /// The Splitter bolt's routing schema: one entry per grouping of rules, each

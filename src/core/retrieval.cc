@@ -1,10 +1,11 @@
 #include "core/retrieval.h"
 
 #include <map>
-#include <mutex>
 #include <set>
 
+#include "common/mutex.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 #include "traffic/bolts.h"
 
 namespace insight {
@@ -166,8 +167,9 @@ Result<RetrievalSetup> BuildRetrieval(ThresholdRetrieval strategy,
       // stream (first time a key is seen per engine) so the join semantics
       // match the stream strategy while paying a query per tuple.
       struct JoinState {
-        std::mutex mutex;
-        std::map<int, std::set<std::string>> sent_keys_per_task;
+        Mutex mutex;
+        std::map<int, std::set<std::string>> sent_keys_per_task
+            GUARDED_BY(mutex);
       };
       auto state = std::make_shared<JoinState>();
       struct Lookup {
@@ -200,7 +202,7 @@ Result<RetrievalSetup> BuildRetrieval(ThresholdRetrieval strategy,
                                   location->ToString() + "|" +
                                   hour->ToString() + "|" + day->AsString();
           {
-            std::lock_guard<std::mutex> lock(state->mutex);
+            MutexLock lock(state->mutex);
             if (!state->sent_keys_per_task[task].insert(dedup_key).second) {
               continue;  // threshold already in the engine's stream
             }

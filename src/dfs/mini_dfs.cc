@@ -13,7 +13,7 @@ MiniDfs::MiniDfs(const Options& options) : options_(options) {
 }
 
 Status MiniDfs::Create(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (files_.count(path) > 0) {
     return Status::AlreadyExists("file '" + path + "' already exists");
   }
@@ -45,7 +45,7 @@ void MiniDfs::AppendLocked(File* file, const std::string& data) {
 }
 
 Status MiniDfs::Append(const std::string& path, const std::string& data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   AppendLocked(&files_[path], data);
   return Status::OK();
 }
@@ -55,7 +55,7 @@ Status MiniDfs::AppendLine(const std::string& path, const std::string& line) {
 }
 
 Result<std::string> MiniDfs::ReadAll(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no file '" + path + "'");
   std::string out;
@@ -65,7 +65,7 @@ Result<std::string> MiniDfs::ReadAll(const std::string& path) const {
 
 Result<std::string> MiniDfs::ReadChunk(const std::string& path,
                                        size_t chunk_index) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no file '" + path + "'");
   if (chunk_index >= it->second.chunks.size()) {
@@ -77,25 +77,25 @@ Result<std::string> MiniDfs::ReadChunk(const std::string& path,
 }
 
 Result<std::vector<ChunkInfo>> MiniDfs::GetChunks(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no file '" + path + "'");
   return it->second.chunk_infos;
 }
 
 bool MiniDfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.count(path) > 0;
 }
 
 Status MiniDfs::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (files_.erase(path) == 0) return Status::NotFound("no file '" + path + "'");
   return Status::OK();
 }
 
 size_t MiniDfs::DeleteRecursive(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t removed = 0;
   for (auto it = files_.begin(); it != files_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {
@@ -109,7 +109,7 @@ size_t MiniDfs::DeleteRecursive(const std::string& prefix) {
 }
 
 std::vector<std::string> MiniDfs::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [path, file] : files_) {
     if (path.rfind(prefix, 0) == 0) out.push_back(path);
@@ -118,7 +118,7 @@ std::vector<std::string> MiniDfs::List(const std::string& prefix) const {
 }
 
 Result<size_t> MiniDfs::FileSize(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no file '" + path + "'");
   size_t total = 0;
@@ -127,7 +127,7 @@ Result<size_t> MiniDfs::FileSize(const std::string& path) const {
 }
 
 size_t MiniDfs::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t total = 0;
   for (const auto& [path, file] : files_) {
     for (const std::string& chunk : file.chunks) total += chunk.size();

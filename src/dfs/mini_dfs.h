@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 namespace dfs {
@@ -68,13 +69,13 @@ class MiniDfs {
     std::vector<ChunkInfo> chunk_infos;
   };
 
-  void AppendLocked(File* file, const std::string& data);
+  void AppendLocked(File* file, const std::string& data) REQUIRES(mutex_);
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, File> files_;
-  int64_t next_chunk_id_ = 0;
-  int next_node_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, File> files_ GUARDED_BY(mutex_);
+  int64_t next_chunk_id_ GUARDED_BY(mutex_) = 0;
+  int next_node_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dfs

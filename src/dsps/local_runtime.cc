@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "cep/view.h"
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace insight {
@@ -235,19 +236,28 @@ Status LocalRuntime::Start() {
 void LocalRuntime::NotifyPossiblyDone() {
   if (live_spout_tasks_.load() == 0 && in_flight_.load() == 0 &&
       pending_roots_.load() == 0) {
-    std::lock_guard<std::mutex> lock(done_mutex_);
-    done_cv_.notify_all();
+    MutexLock lock(done_mutex_);
+    done_cv_.NotifyAll();
   }
 }
 
 void LocalRuntime::AwaitCompletion() {
   {
-    std::unique_lock<std::mutex> lock(done_mutex_);
-    done_cv_.wait(lock, [this] {
-      return stopping_.load() ||
+    MutexLock lock(done_mutex_);
+    while (!(stopping_.load() ||
              (live_spout_tasks_.load() == 0 && in_flight_.load() == 0 &&
-              pending_roots_.load() == 0);
-    });
+              pending_roots_.load() == 0))) {
+      done_cv_.Wait(done_mutex_);
+    }
+  }
+  // A naturally drained topology is quiescent: with no live spout task, no
+  // pending tree, and no in-flight tuple there is no source of new work, so
+  // the counts must still be exactly zero here.
+  if (!stopping_.load()) {
+    TMS_DCHECK_EQ(in_flight_.load(), int64_t{0})
+        << "tuples in flight after quiescent drain";
+    TMS_DCHECK_EQ(pending_roots_.load(), size_t{0})
+        << "pending trees after quiescent drain";
   }
   Stop();
 }
@@ -263,15 +273,15 @@ void LocalRuntime::Stop() {
   for (auto& component_tasks : tasks_) {
     for (auto& task : component_tasks) {
       if (task.input != nullptr) {
-        std::lock_guard<std::mutex> lock(task.input->mutex);
-        task.input->not_empty.notify_all();
-        task.input->not_full.notify_all();
+        MutexLock lock(task.input->mutex);
+        task.input->not_empty.NotifyAll();
+        task.input->not_full.NotifyAll();
       }
     }
   }
   {
-    std::lock_guard<std::mutex> lock(done_mutex_);
-    done_cv_.notify_all();
+    MutexLock lock(done_mutex_);
+    done_cv_.NotifyAll();
   }
   if (was_stopping) return;
   // Supervisor first, so it cannot relaunch executor threads underneath the
@@ -295,6 +305,14 @@ void LocalRuntime::Stage(int target_component, int task_index, Tuple tuple,
   size_t gid =
       static_cast<size_t>(task_base_[static_cast<size_t>(target_component)] +
                           task_index);
+  TMS_DCHECK_LT(gid, outbox->per_task.size()) << "staged past the task table";
+  TMS_DCHECK(queue_of_[gid] != nullptr)
+      << "tuple staged to spout task " << gid << " (spouts have no input)";
+  // Tracked tuples must carry their tree edge before they are staged: the
+  // edge id was XORed into the emitter's ack batch at Deliver time, and an
+  // edge-less copy could never be acked back out of the accumulator.
+  TMS_DCHECK(tuple.root_key() == 0 || tuple.edge_id() != 0)
+      << "tracked tuple staged without an edge id";
   std::vector<Tuple>& block = outbox->per_task[gid];
   if (block.empty()) outbox->dirty.push_back(static_cast<uint32_t>(gid));
   block.push_back(std::move(tuple));
@@ -309,24 +327,38 @@ void LocalRuntime::Stage(int target_component, int task_index, Tuple tuple,
 void LocalRuntime::FlushOutbox(Outbox* outbox) {
   if (outbox->staged == 0) return;
   bool dropped = false;
+  size_t handed_off = 0;  // enqueued + dropped, to balance against staged
   for (uint32_t gid : outbox->dirty) {
     std::vector<Tuple>& block = outbox->per_task[gid];
+    // Dirty entries are recorded exactly at a block's empty->nonempty
+    // transition and cleared together with the blocks, so each entry is
+    // unique and its block nonempty; an empty block here means the dirty
+    // list and the staging buffers disagree.
+    TMS_DCHECK(!block.empty()) << "duplicate dirty entry for task " << gid;
     if (block.empty()) continue;
+    handed_off += block.size();
     TaskQueue* queue = queue_of_[gid];
-    std::unique_lock<std::mutex> lock(queue->mutex);
-    queue->not_full.wait(lock, [&] {
-      return stopping_.load() || queue->queue.size() < options_.queue_capacity;
-    });
+    MutexLock lock(queue->mutex);
+    while (!stopping_.load() &&
+           queue->queue.size() >= options_.queue_capacity) {
+      queue->not_full.Wait(queue->mutex);
+    }
     if (stopping_.load()) {  // drop on shutdown
-      in_flight_.fetch_sub(static_cast<int64_t>(block.size()));
+      int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(block.size()));
+      TMS_DCHECK_GE(prev, static_cast<int64_t>(block.size()))
+          << "in-flight count went negative dropping a block";
       block.clear();
       dropped = true;
       continue;
     }
     for (Tuple& t : block) queue->queue.push_back(std::move(t));
     block.clear();  // keeps capacity for the next batch
-    queue->not_empty.notify_one();
+    queue->not_empty.NotifyOne();
   }
+  // FIFO hand-off is per-block: everything staged must leave the outbox in
+  // this flush, either enqueued in staging order or dropped on shutdown.
+  TMS_DCHECK_EQ(handed_off, outbox->staged)
+      << "outbox flushed a different tuple count than was staged";
   outbox->dirty.clear();
   outbox->staged = 0;
   if (dropped) NotifyPossiblyDone();
@@ -450,10 +482,11 @@ void LocalRuntime::OnTreeCompleted(const reliability::TreeInfo& info) {
   TaskRuntime& task = tasks_[static_cast<size_t>(info.spout_component)]
                             [static_cast<size_t>(info.spout_task)];
   if (task.events != nullptr) {
-    std::lock_guard<std::mutex> lock(task.events->mutex);
+    MutexLock lock(task.events->mutex);
     task.events->events.emplace_back(true, info.message_id);
   }
-  pending_roots_.fetch_sub(1);
+  size_t prev = pending_roots_.fetch_sub(1);
+  TMS_DCHECK_GE(prev, size_t{1}) << "pending tree count underflow on ack";
   NotifyPossiblyDone();
 }
 
@@ -461,7 +494,7 @@ void LocalRuntime::DrainSpoutEvents(TaskRuntime* task) {
   if (task->events == nullptr) return;
   std::deque<std::pair<bool, uint64_t>> events;
   {
-    std::lock_guard<std::mutex> lock(task->events->mutex);
+    MutexLock lock(task->events->mutex);
     events.swap(task->events->events);
   }
   for (const auto& [is_ack, message_id] : events) {
@@ -599,13 +632,13 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
       TaskRuntime* task = my_tasks[i];
       batch.clear();
       {
-        std::unique_lock<std::mutex> lock(task->input->mutex);
+        MutexLock lock(task->input->mutex);
         size_t n = std::min(options_.max_batch, task->input->queue.size());
         for (size_t k = 0; k < n; ++k) {
           batch.push_back(std::move(task->input->queue.front()));
           task->input->queue.pop_front();
         }
-        if (n > 0) task->input->not_full.notify_all();
+        if (n > 0) task->input->not_full.NotifyAll();
       }
       if (batch.empty()) continue;
       any = true;
@@ -623,13 +656,15 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
           // must not widen the failure beyond what per-tuple hand-off lost.
           FlushOutbox(collectors[i]->outbox());
           if (j + 1 < batch.size()) {
-            std::lock_guard<std::mutex> requeue(task->input->mutex);
+            MutexLock requeue(task->input->mutex);
             for (size_t k = batch.size(); k-- > j + 1;) {
               task->input->queue.push_front(std::move(batch[k]));
             }
-            task->input->not_empty.notify_one();
+            task->input->not_empty.NotifyOne();
           }
-          in_flight_.fetch_sub(1);
+          int64_t prev = in_flight_.fetch_sub(1);
+          TMS_DCHECK_GE(prev, int64_t{1})
+              << "in-flight count went negative on crash";
           NotifyPossiblyDone();
           slot->crashed.store(true);
           return;
@@ -649,7 +684,9 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
             OnTreeCompleted(*done);
           }
         }
-        in_flight_.fetch_sub(1);
+        int64_t prev = in_flight_.fetch_sub(1);
+        TMS_DCHECK_GE(prev, int64_t{1})
+            << "in-flight count went negative after execute";
         NotifyPossiblyDone();
       }
       FlushOutbox(collectors[i]->outbox());
@@ -660,11 +697,13 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
       // Park briefly on the first owned queue.
       TaskRuntime* task = my_tasks.empty() ? nullptr : my_tasks[0];
       if (task == nullptr) break;
-      std::unique_lock<std::mutex> lock(task->input->mutex);
-      task->input->not_empty.wait_for(
-          lock, std::chrono::milliseconds(1), [&] {
-            return stopping_.load() || !task->input->queue.empty();
-          });
+      MutexLock lock(task->input->mutex);
+      if (!stopping_.load() && task->input->queue.empty()) {
+        // Bounded park; the outer loop re-polls every owned queue on wake,
+        // so a spurious or early wake only costs one extra pass.
+        task->input->not_empty.WaitFor(task->input->mutex,
+                                       std::chrono::milliseconds(1));
+      }
     }
   }
   for (TaskRuntime* task : my_tasks) task->bolt->Cleanup();
@@ -711,10 +750,12 @@ void LocalRuntime::SupervisorLoop() {
               tasks_[static_cast<size_t>(info.spout_component)]
                     [static_cast<size_t>(info.spout_task)];
           if (task.events != nullptr) {
-            std::lock_guard<std::mutex> lock(task.events->mutex);
+            MutexLock lock(task.events->mutex);
             task.events->events.emplace_back(false, info.message_id);
           }
-          pending_roots_.fetch_sub(1);
+          size_t prev = pending_roots_.fetch_sub(1);
+          TMS_DCHECK_GE(prev, size_t{1})
+              << "pending tree count underflow on permanent fail";
           NotifyPossiblyDone();
         }
       }

@@ -2,16 +2,16 @@
 #define INSIGHT_DSPS_LOCAL_RUNTIME_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dsps/metrics.h"
 #include "dsps/topology.h"
 #include "reliability/acker.h"
@@ -110,11 +110,13 @@ class LocalRuntime {
   int WorkerOfExecutor(const std::string& component, int executor_index) const;
 
  private:
+  /// Lock hierarchy: a TaskQueue::mutex is a leaf — nothing else is
+  /// acquired while one is held (see DESIGN.md "Concurrency discipline").
   struct TaskQueue {
-    std::mutex mutex;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::deque<Tuple> queue;
+    Mutex mutex;
+    CondVar not_empty;
+    CondVar not_full;
+    std::deque<Tuple> queue GUARDED_BY(mutex);
   };
 
   /// Per-collector staging buffer for batched hand-off: tuples accumulate
@@ -129,8 +131,9 @@ class LocalRuntime {
   /// Ack/Fail notifications queued for delivery on the spout's executor
   /// thread (Storm delivers both callbacks on the spout executor).
   struct SpoutEventQueue {
-    std::mutex mutex;
-    std::deque<std::pair<bool, uint64_t>> events;  // (is_ack, message_id)
+    Mutex mutex;
+    // (is_ack, message_id)
+    std::deque<std::pair<bool, uint64_t>> events GUARDED_BY(mutex);
   };
 
   struct TaskRuntime {
@@ -228,8 +231,12 @@ class LocalRuntime {
   std::atomic<size_t> pending_roots_{0};
   std::atomic<uint64_t> executor_restarts_{0};
   std::atomic<uint64_t> edge_seq_{0x243f6a8885a308d3ULL};
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
+  /// Pure wait-signal pair for the completion predicate (which reads only
+  /// atomics): the mutex guards no data, it closes the lost-wakeup window
+  /// between a waiter's predicate check and its block. Leaf lock, like the
+  /// TaskQueue mutexes.
+  Mutex done_mutex_;
+  CondVar done_cv_;
 };
 
 }  // namespace dsps

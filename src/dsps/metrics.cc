@@ -77,14 +77,14 @@ std::vector<std::string> MetricsRegistry::Components() const {
 }
 
 void MetricsRegistry::MarkWindowStart(MicrosT now) {
-  std::lock_guard<std::mutex> lock(window_mutex_);
+  MutexLock lock(window_mutex_);
   last_snapshot_micros_ = now;
   window_anchored_ = true;
 }
 
 std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
     MicrosT now) {
-  std::lock_guard<std::mutex> lock(window_mutex_);
+  MutexLock lock(window_mutex_);
   MicrosT window_length =
       (window_anchored_ && now > last_snapshot_micros_)
           ? now - last_snapshot_micros_
@@ -134,7 +134,7 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
 
 std::vector<MetricsRegistry::WindowReport> MetricsRegistry::window_reports()
     const {
-  std::lock_guard<std::mutex> lock(window_mutex_);
+  MutexLock lock(window_mutex_);
   return reports_;
 }
 

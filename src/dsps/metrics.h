@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 namespace dsps {
@@ -111,6 +112,9 @@ class MetricsRegistry {
  private:
   struct ComponentStats {
     std::vector<std::unique_ptr<TaskStats>> tasks;
+    // The last_* window baselines are guarded by window_mutex_ (only
+    // TakeWindowSnapshot touches them; the annotation cannot be expressed
+    // on a sibling struct's members).
     uint64_t last_executed = 0;
     uint64_t last_latency_sum = 0;
     uint64_t last_acked = 0;
@@ -120,11 +124,13 @@ class MetricsRegistry {
 
   TaskStats& StatsFor(const std::string& component, int task);
 
+  /// Structurally mutated only by DeclareComponent before the topology
+  /// starts; concurrent phases read the map and bump the atomic counters.
   std::map<std::string, ComponentStats> components_;
-  mutable std::mutex window_mutex_;
-  std::vector<WindowReport> reports_;
-  MicrosT last_snapshot_micros_ = 0;
-  bool window_anchored_ = false;
+  mutable Mutex window_mutex_;
+  std::vector<WindowReport> reports_ GUARDED_BY(window_mutex_);
+  MicrosT last_snapshot_micros_ GUARDED_BY(window_mutex_) = 0;
+  bool window_anchored_ GUARDED_BY(window_mutex_) = false;
 };
 
 }  // namespace dsps

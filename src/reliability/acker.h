@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 namespace reliability {
@@ -74,8 +75,8 @@ class Acker {
     TreeInfo info;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<uint64_t, Entry> trees;
+    mutable Mutex mutex;
+    std::unordered_map<uint64_t, Entry> trees GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(uint64_t root_key);

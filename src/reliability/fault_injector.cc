@@ -16,7 +16,7 @@ bool FaultInjector::ShouldCrash(const std::string& component, int task) {
   }
   if (!has_rule) return false;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t count = ++execution_counts_[{component, task}];
   for (const FaultPlan::CrashRule& rule : plan_.crashes) {
     if (rule.component != component || (rule.task >= 0 && rule.task != task)) {
@@ -37,7 +37,7 @@ FaultInjector::RouteDecision FaultInjector::OnRoute(const std::string& source,
                                                     const std::string& dest) {
   RouteDecision decision;
   if (plan_.routes.empty()) return decision;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const FaultPlan::RouteRule& rule : plan_.routes) {
     if (!rule.source.empty() && rule.source != source) continue;
     if (!rule.dest.empty() && rule.dest != dest) continue;

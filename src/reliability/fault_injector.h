@@ -4,13 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 namespace reliability {
@@ -57,7 +58,7 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// True when the executing task must die now (per its crash rules).
-  bool ShouldCrash(const std::string& component, int task);
+  bool ShouldCrash(const std::string& component, int task) EXCLUDES(mutex_);
 
   struct RouteDecision {
     bool drop = false;
@@ -66,7 +67,8 @@ class FaultInjector {
   };
 
   /// Fault decision for one tuple pushed from `source` to `dest`.
-  RouteDecision OnRoute(const std::string& source, const std::string& dest);
+  RouteDecision OnRoute(const std::string& source, const std::string& dest)
+      EXCLUDES(mutex_);
 
   uint64_t crashes_injected() const {
     return crashes_.load(std::memory_order_relaxed);
@@ -83,9 +85,10 @@ class FaultInjector {
 
  private:
   FaultPlan plan_;
-  std::mutex mutex_;  // guards rng_ and execution_counts_
-  Rng rng_;
-  std::map<std::pair<std::string, int>, uint64_t> execution_counts_;
+  Mutex mutex_;
+  Rng rng_ GUARDED_BY(mutex_);
+  std::map<std::pair<std::string, int>, uint64_t> execution_counts_
+      GUARDED_BY(mutex_);
   std::atomic<uint64_t> crashes_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> duplicated_{0};

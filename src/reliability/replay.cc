@@ -6,12 +6,12 @@ namespace insight {
 namespace reliability {
 
 void ReplayBuffer::Store(uint64_t message_id, std::vector<cep::Value> values) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   payloads_[message_id] = Payload{std::move(values), 0};
 }
 
 bool ReplayBuffer::Ack(uint64_t message_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   scheduled_.erase(
       std::remove_if(scheduled_.begin(), scheduled_.end(),
                      [&](const Scheduled& s) { return s.message_id == message_id; }),
@@ -21,7 +21,7 @@ bool ReplayBuffer::Ack(uint64_t message_id) {
 
 bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
                         int spout_task, MicrosT now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = payloads_.find(message_id);
   if (it == payloads_.end()) return false;
   if (it->second.attempts >= policy_.max_replays) {
@@ -40,7 +40,7 @@ bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
 std::vector<ReplayBuffer::Due> ReplayBuffer::TakeDue(int spout_component,
                                                      int spout_task,
                                                      MicrosT now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Due> due;
   for (auto it = scheduled_.begin(); it != scheduled_.end();) {
     if (it->spout_component == spout_component &&
@@ -58,12 +58,12 @@ std::vector<ReplayBuffer::Due> ReplayBuffer::TakeDue(int spout_component,
 }
 
 size_t ReplayBuffer::stored() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return payloads_.size();
 }
 
 size_t ReplayBuffer::scheduled_retries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduled_.size();
 }
 

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "cep/event.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 namespace reliability {
@@ -75,9 +76,9 @@ class ReplayBuffer {
   };
 
   ReplayPolicy policy_;
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, Payload> payloads_;
-  std::deque<Scheduled> scheduled_;
+  mutable Mutex mutex_;
+  std::unordered_map<uint64_t, Payload> payloads_ GUARDED_BY(mutex_);
+  std::deque<Scheduled> scheduled_ GUARDED_BY(mutex_);
 };
 
 }  // namespace reliability

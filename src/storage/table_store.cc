@@ -14,7 +14,7 @@ int QueryResult::ColumnIndex(const std::string& name) const {
 
 Status TableStore::CreateTable(const std::string& name,
                                std::vector<Column> columns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -23,7 +23,7 @@ Status TableStore::CreateTable(const std::string& name,
 }
 
 Status TableStore::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no table '" + name + "'");
   }
@@ -31,7 +31,7 @@ Status TableStore::DropTable(const std::string& name) {
 }
 
 bool TableStore::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tables_.count(name) > 0;
 }
 
@@ -42,7 +42,7 @@ Result<const TableStore::Table*> TableStore::Find(const std::string& name) const
 }
 
 Status TableStore::Insert(const std::string& table, RowValues row) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no table '" + table + "'");
   if (row.size() != it->second.columns.size()) {
@@ -55,7 +55,7 @@ Status TableStore::Insert(const std::string& table, RowValues row) {
 }
 
 Status TableStore::Truncate(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no table '" + table + "'");
   it->second.rows.clear();
@@ -66,7 +66,7 @@ Result<QueryResult> TableStore::Select(
     const std::string& table, const std::vector<Projection>& projections,
     const std::function<bool(const QueryResult&, const RowValues&)>& predicate,
     bool distinct) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   INSIGHT_ASSIGN_OR_RETURN(const Table* t, Find(table));
   ++query_count_;
 
@@ -116,7 +116,7 @@ Result<QueryResult> TableStore::Select(
 Result<QueryResult> TableStore::SelectAll(const std::string& table) const {
   std::vector<Projection> projections;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     INSIGHT_ASSIGN_OR_RETURN(const Table* t, Find(table));
     for (const Column& c : t->columns) projections.push_back({c.name, nullptr});
   }
@@ -124,25 +124,25 @@ Result<QueryResult> TableStore::SelectAll(const std::string& table) const {
 }
 
 Result<size_t> TableStore::RowCount(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   INSIGHT_ASSIGN_OR_RETURN(const Table* t, Find(table));
   return t->rows.size();
 }
 
 std::vector<std::string> TableStore::TableNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, table] : tables_) names.push_back(name);
   return names;
 }
 
 size_t TableStore::query_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return query_count_;
 }
 
 int64_t TableStore::charged_cost_micros() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int64_t>(query_count_) * options_.simulated_query_cost_micros;
 }
 

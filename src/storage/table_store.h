@@ -4,12 +4,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cep/event.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace insight {
 namespace storage {
@@ -97,12 +98,12 @@ class TableStore {
     std::vector<RowValues> rows;
   };
 
-  Result<const Table*> Find(const std::string& name) const;
+  Result<const Table*> Find(const std::string& name) const REQUIRES(mutex_);
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Table> tables_;
-  mutable size_t query_count_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, Table> tables_ GUARDED_BY(mutex_);
+  mutable size_t query_count_ GUARDED_BY(mutex_) = 0;
 };
 
 /// A computed threshold row as consumed by the rules (Listing 2 output).

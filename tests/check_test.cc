@@ -1,0 +1,86 @@
+// TMS_CHECK / TMS_DCHECK behavior: silent pass-through on success, abort
+// with file:line, the failed expression, operand values, and any streamed
+// context on failure.
+//
+// This TU forces DCHECKs on regardless of build type (TMS_FORCE_DCHECK is
+// honored per translation unit), so the DCHECK death tests run in every CI
+// configuration — including RelWithDebInfo, where NDEBUG would otherwise
+// compile them out.
+
+#define TMS_FORCE_DCHECK 1
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+static_assert(TMS_DCHECK_ENABLED == 1,
+              "TMS_FORCE_DCHECK must enable DCHECKs in this TU");
+
+namespace insight {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  TMS_CHECK(true) << "never formatted";
+  TMS_CHECK_EQ(2 + 2, 4);
+  TMS_CHECK_NE(1, 2);
+  TMS_CHECK_LT(1, 2);
+  TMS_CHECK_LE(2, 2);
+  TMS_CHECK_GT(2, 1);
+  TMS_CHECK_GE(2, 2);
+  TMS_DCHECK(true) << "never formatted";
+  TMS_DCHECK_EQ(0, 0);
+}
+
+TEST(CheckTest, ForcedDCheckEvaluatesItsCondition) {
+  int evaluations = 0;
+  TMS_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, ChecksComposeWithControlFlow) {
+  // The macros must behave as a single statement: an un-braced if/else
+  // around them must not capture the else or change scoping.
+  bool reached_else = false;
+  if (false)
+    TMS_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+
+  bool reached_else_d = false;
+  if (false)
+    TMS_DCHECK(true);
+  else
+    reached_else_d = true;
+  EXPECT_TRUE(reached_else_d);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckPrintsExpressionAndStreamedContext) {
+  EXPECT_DEATH(TMS_CHECK(1 == 2) << "while testing " << 42,
+               "check failed: 1 == 2.*while testing 42");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  int flushed = 3;
+  int staged = 5;
+  EXPECT_DEATH(TMS_CHECK_EQ(flushed, staged) << "outbox out of balance",
+               "flushed == staged.*\\(3 vs 5\\).*outbox out of balance");
+}
+
+TEST(CheckDeathTest, DCheckFiresWhenForced) {
+  EXPECT_DEATH(TMS_DCHECK(false) << "dchecked invariant broken",
+               "dchecked invariant broken");
+}
+
+TEST(CheckDeathTest, DCheckGePrintsOperandsOnUnderflow) {
+  size_t prev = 0;
+  EXPECT_DEATH(TMS_DCHECK_GE(prev, size_t{1}) << "pending count underflow",
+               "\\(0 vs 1\\).*pending count underflow");
+}
+
+}  // namespace
+}  // namespace insight

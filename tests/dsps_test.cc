@@ -4,12 +4,13 @@
 #include <chrono>
 #include <future>
 #include <thread>
-#include <mutex>
 #include <set>
 
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
 #include "common/strings.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dsps/xml_topology.h"
 
 namespace insight {
@@ -41,14 +42,14 @@ class CounterSpout : public Spout {
 class SinkBolt : public Bolt {
  public:
   struct Sink {
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<int64_t> values;
     std::map<int, int> per_task_counts;
   };
   SinkBolt(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
   void Prepare(const TaskContext& context) override { task_ = context.task_index; }
   void Execute(const Tuple& input, Collector*) override {
-    std::lock_guard<std::mutex> lock(sink_->mutex);
+    MutexLock lock(sink_->mutex);
     sink_->values.push_back(input.Get(0).AsInt());
     sink_->per_task_counts[task_]++;
   }
@@ -185,7 +186,7 @@ TEST(LocalRuntimeTest, FieldsGroupingRoutesConsistently) {
   // With fields grouping on the key, every tuple of the same key must land
   // on the same task.
   struct KeyState {
-    std::mutex mutex;
+    Mutex mutex;
     std::map<int64_t, std::set<int>> tasks_per_key;
   };
   auto state = std::make_shared<KeyState>();
@@ -197,7 +198,7 @@ TEST(LocalRuntimeTest, FieldsGroupingRoutesConsistently) {
       task = context.task_index;
     }
     void Execute(const Tuple& input, Collector*) override {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->tasks_per_key[input.Get(0).AsInt()].insert(task);
     }
   };

@@ -8,12 +8,13 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "cep/engine.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
 
@@ -41,7 +42,7 @@ class CounterSpout : public Spout {
 class RootedSpout : public Spout {
  public:
   struct Capture {
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<uint64_t> acked;
     std::vector<uint64_t> failed;
   };
@@ -55,11 +56,11 @@ class RootedSpout : public Spout {
     return next_ < n_;
   }
   void Ack(uint64_t message_id) override {
-    std::lock_guard<std::mutex> lock(capture_->mutex);
+    MutexLock lock(capture_->mutex);
     capture_->acked.push_back(message_id);
   }
   void Fail(uint64_t message_id) override {
-    std::lock_guard<std::mutex> lock(capture_->mutex);
+    MutexLock lock(capture_->mutex);
     capture_->failed.push_back(message_id);
   }
 
@@ -86,7 +87,7 @@ class InfiniteSpout : public Spout {
 class CaptureBolt : public Bolt {
  public:
   struct Capture {
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<int64_t> values;                          // in arrival order
     std::map<int64_t, std::vector<const void*>> buffers;  // value -> payloads
     std::vector<uint64_t> edge_ids;
@@ -94,7 +95,7 @@ class CaptureBolt : public Bolt {
   explicit CaptureBolt(std::shared_ptr<Capture> capture)
       : capture_(std::move(capture)) {}
   void Execute(const Tuple& input, Collector*) override {
-    std::lock_guard<std::mutex> lock(capture_->mutex);
+    MutexLock lock(capture_->mutex);
     int64_t v = input.Get(0).AsInt();
     capture_->values.push_back(v);
     capture_->buffers[v].push_back(

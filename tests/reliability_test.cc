@@ -3,12 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "dsps/local_runtime.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dsps/topology.h"
 #include "reliability/acker.h"
 #include "reliability/fault_injector.h"
@@ -255,12 +256,12 @@ class RelayBolt : public Bolt {
 class CountingSink : public Bolt {
  public:
   struct Sink {
-    std::mutex mutex;
+    Mutex mutex;
     std::map<int64_t, int> counts;
   };
   explicit CountingSink(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
   void Execute(const Tuple& input, Collector*) override {
-    std::lock_guard<std::mutex> lock(sink_->mutex);
+    MutexLock lock(sink_->mutex);
     sink_->counts[input.Get(0).AsInt()]++;
   }
 
@@ -273,7 +274,7 @@ struct FaultyRunResult {
   dsps::MetricsRegistry::ComponentTotals spout_totals;
   uint64_t restarts = 0;
   size_t distinct() const {
-    std::lock_guard<std::mutex> lock(sink->mutex);
+    MutexLock lock(sink->mutex);
     return sink->counts.size();
   }
 };
@@ -470,7 +471,7 @@ TEST(ReliabilityEndToEndTest, DuplicatesDeliveredAtLeastOnceNotExactlyOnce) {
   EXPECT_EQ(result.distinct(), static_cast<size_t>(kTuples));
   size_t total = 0;
   {
-    std::lock_guard<std::mutex> lock(result.sink->mutex);
+    MutexLock lock(result.sink->mutex);
     for (const auto& [value, count] : result.sink->counts) {
       total += static_cast<size_t>(count);
     }

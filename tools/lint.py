@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Repo lint: concurrency-primitive discipline and NOLINT hygiene.
+
+Rules
+-----
+1. raw-mutex: no raw standard-library synchronization primitives
+   (std::mutex, std::condition_variable, std::lock_guard, ...) outside
+   src/common/. Everything else must use insight::Mutex / MutexLock /
+   CondVar from common/mutex.h so Clang's -Wthread-safety analysis sees
+   every lock site. (src/common/mutex.h is the one sanctioned wrapper.)
+
+2. nolint-reason: every NOLINT marker must name a category AND carry a
+   reason: `// NOLINT(category): why this is exempt`. A bare NOLINT
+   silences a checker with no audit trail.
+
+Exit status is nonzero if any rule fires; findings print as
+`file:line: rule: message` so editors and CI annotate them.
+
+Run from the repository root:  python3 tools/lint.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
+
+# Directory whose files may use raw primitives (the annotated wrappers
+# themselves live here).
+RAW_MUTEX_EXEMPT_PREFIX = Path("src") / "common"
+
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+
+NOLINT_ANY = re.compile(r"\bNOLINT(?:NEXTLINE)?\b")
+NOLINT_OK = re.compile(r"\bNOLINT(?:NEXTLINE)?\([^)\n]+\):\s*\S")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, preserving
+    line structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        if state == "code":
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block":
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = "code"
+                i += 1
+            elif c == "\n":
+                out.append(c)
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            if c == "\n":  # unterminated; bail to code
+                state = "code"
+                out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list:
+    findings = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments(text)
+
+    exempt = RAW_MUTEX_EXEMPT_PREFIX in path.parents or path == Path(
+        "tools/lint.py"
+    )
+    if not exempt:
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            match = RAW_PRIMITIVE.search(line)
+            if match:
+                findings.append(
+                    (path, lineno, "raw-mutex",
+                     f"{match.group(0)} is banned outside src/common/; "
+                     "use insight::Mutex / MutexLock / CondVar "
+                     "(common/mutex.h)")
+                )
+
+    # NOLINT markers live in comments, so scan the original text.
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in NOLINT_ANY.finditer(line):
+            if not NOLINT_OK.search(line[match.start():]):
+                findings.append(
+                    (path, lineno, "nolint-reason",
+                     "NOLINT must name a category and a reason: "
+                     "`// NOLINT(category): why`")
+                )
+    return findings
+
+
+def main() -> int:
+    root = Path.cwd()
+    if not (root / "tools" / "lint.py").exists():
+        print("lint.py: run from the repository root", file=sys.stderr)
+        return 2
+
+    findings = []
+    for top in SCAN_DIRS:
+        for path in sorted(Path(top).rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                findings.extend(lint_file(path))
+
+    for path, lineno, rule, message in findings:
+        print(f"{path}:{lineno}: {rule}: {message}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
