@@ -1,0 +1,275 @@
+// Cost of stateful recovery, in two tables:
+//
+//  1. Checkpoint overhead vs interval: the same acked source -> count -> sink
+//     pipeline with checkpointing off (baseline) and on at decreasing
+//     intervals. With checkpoint-aligned deferred acking, shorter intervals
+//     mean more snapshots AND faster ack turnaround, so the interesting
+//     number is throughput, not just snapshot count.
+//
+//  2. Restore latency vs state size: serialize a bolt holding N keys, write
+//     it through the MiniDfs-backed store, and time the load + decode +
+//     apply path a relaunched executor pays before resuming.
+//
+// Usage: bench_recovery [out.json]  (default BENCH_recovery.json)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "dfs/mini_dfs.h"
+#include "dsps/local_runtime.h"
+#include "dsps/topology.h"
+#include "reliability/state_store.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+using dsps::Bolt;
+using dsps::Collector;
+using dsps::Fields;
+using dsps::LocalRuntime;
+using dsps::Snapshottable;
+using dsps::Spout;
+using dsps::TaskContext;
+using dsps::TopologyBuilder;
+using dsps::Tuple;
+using dsps::Value;
+
+constexpr int kTuples = 50000;
+constexpr int kKeys = 512;
+
+class NumberSpout : public Spout {
+ public:
+  explicit NumberSpout(int n) : n_(n) {}
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= n_) return false;
+    collector->EmitRooted(static_cast<uint64_t>(next_ + 1),
+                          {Value(int64_t{next_ % kKeys})});
+    ++next_;
+    return next_ < n_;
+  }
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+/// Keyed running counts — the minimal stateful bolt. Snapshot format: u32
+/// count then (i64 key, i64 count) pairs.
+class CountBolt : public Bolt, public Snapshottable {
+ public:
+  void Execute(const Tuple& input, Collector* collector) override {
+    int64_t key = input.Get(0).AsInt();
+    int64_t count = ++counts_[key];
+    collector->Emit({Value(key), Value(count)});
+  }
+
+  Status SnapshotState(std::string* out) const override {
+    ByteWriter writer(out);
+    writer.PutU32(static_cast<uint32_t>(counts_.size()));
+    for (const auto& [key, count] : counts_) {
+      writer.PutI64(key);
+      writer.PutI64(count);
+    }
+    return Status::OK();
+  }
+  Status RestoreState(const std::string& bytes) override {
+    counts_.clear();
+    ByteReader reader(bytes);
+    uint32_t n = 0;
+    if (!reader.GetU32(&n)) return Status::ParseError("count bolt: truncated");
+    for (uint32_t i = 0; i < n; ++i) {
+      int64_t key = 0;
+      int64_t count = 0;
+      if (!reader.GetI64(&key) || !reader.GetI64(&count)) {
+        counts_.clear();
+        return Status::ParseError("count bolt: truncated entry");
+      }
+      counts_[key] = count;
+    }
+    return Status::OK();
+  }
+
+  /// Seeds `n` keys so restore benchmarks have a state of known size.
+  void Seed(int n) {
+    for (int i = 0; i < n; ++i) counts_[i] = i;
+  }
+
+ private:
+  std::map<int64_t, int64_t> counts_;
+};
+
+class NullSink : public Bolt {
+ public:
+  void Execute(const Tuple&, Collector*) override {}
+};
+
+struct OverheadRow {
+  MicrosT interval_micros = 0;  // 0 = checkpointing off
+  double tuples_per_sec = 0;
+  uint64_t checkpoints = 0;
+  uint64_t bytes_persisted = 0;
+};
+
+OverheadRow RunOverhead(MicrosT interval_micros) {
+  TopologyBuilder builder;
+  builder.SetSpout("source",
+                   [] { return std::make_unique<NumberSpout>(kTuples); },
+                   Fields({"k"}));
+  builder
+      .SetBolt("count", [] { return std::make_unique<CountBolt>(); },
+               Fields({"k", "n"}))
+      .FieldsGrouping("source", {"k"});
+  builder.SetBolt("sink", [] { return std::make_unique<NullSink>(); },
+                  Fields({}))
+      .ShuffleGrouping("count");
+  auto topology = builder.Build();
+  INSIGHT_CHECK(topology.ok()) << topology.status().ToString();
+
+  dfs::MiniDfs dfs;
+  reliability::DfsStateStore store(&dfs, "/checkpoints");
+  LocalRuntime::Options options;
+  options.enable_acking = true;
+  if (interval_micros > 0) {
+    options.enable_checkpointing = true;
+    options.checkpoint_interval_micros = interval_micros;
+    options.state_store = &store;
+    options.enable_replay_dedup = true;
+  }
+  LocalRuntime runtime(std::move(*topology), options);
+  auto start = std::chrono::steady_clock::now();
+  INSIGHT_CHECK(runtime.Start().ok());
+  runtime.AwaitCompletion();
+  auto end = std::chrono::steady_clock::now();
+  double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+
+  OverheadRow row;
+  row.interval_micros = interval_micros;
+  row.tuples_per_sec = static_cast<double>(kTuples) / seconds;
+  row.checkpoints = runtime.metrics()->Totals("count").checkpoints;
+  const auto* coordinator = runtime.checkpoint_coordinator();
+  row.bytes_persisted = coordinator != nullptr ? coordinator->bytes_persisted() : 0;
+  INSIGHT_CHECK(runtime.pending_trees() == 0) << "trees leaked";
+  return row;
+}
+
+struct RestoreRow {
+  int keys = 0;
+  size_t snapshot_bytes = 0;
+  double snapshot_micros = 0;  // serialize + durable store write
+  double restore_micros = 0;   // store read + decode + apply
+};
+
+RestoreRow RunRestore(int keys) {
+  dfs::MiniDfs dfs;
+  reliability::DfsStateStore store(&dfs, "/checkpoints");
+
+  CountBolt original;
+  original.Seed(keys);
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::string bytes;
+  INSIGHT_CHECK(original.SnapshotState(&bytes).ok());
+  INSIGHT_CHECK(store.Put("count/0", 1, bytes).ok());
+  auto t1 = std::chrono::steady_clock::now();
+
+  CountBolt restored;
+  auto latest = store.GetLatest("count/0");
+  INSIGHT_CHECK(latest.ok());
+  INSIGHT_CHECK(restored.RestoreState(latest->bytes).ok());
+  auto t2 = std::chrono::steady_clock::now();
+
+  RestoreRow row;
+  row.keys = keys;
+  row.snapshot_bytes = bytes.size();
+  row.snapshot_micros =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          t1 - t0)
+          .count();
+  row.restore_micros =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          t2 - t1)
+          .count();
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_recovery.json";
+
+  std::printf(
+      "Checkpoint overhead: %d acked tuples through source -> count -> sink\n"
+      "(count holds %d keys; checkpoints to a MiniDfs-backed store).\n\n",
+      kTuples, kKeys);
+  std::printf("%14s %14s %12s %14s\n", "interval", "tuples/sec",
+              "checkpoints", "bytes");
+  const MicrosT intervals[] = {0, 100'000, 10'000, 1'000};
+  std::vector<OverheadRow> overhead;
+  for (MicrosT interval : intervals) {
+    OverheadRow row = RunOverhead(interval);
+    overhead.push_back(row);
+    char label[32];
+    if (interval == 0) {
+      std::snprintf(label, sizeof(label), "off");
+    } else {
+      std::snprintf(label, sizeof(label), "%lld us",
+                    static_cast<long long>(interval));
+    }
+    std::printf("%14s %14.0f %12llu %14llu\n", label, row.tuples_per_sec,
+                static_cast<unsigned long long>(row.checkpoints),
+                static_cast<unsigned long long>(row.bytes_persisted));
+  }
+
+  std::printf("\nRestore latency (snapshot -> DFS -> decode + apply):\n\n");
+  std::printf("%10s %14s %16s %16s\n", "keys", "bytes", "snapshot (us)",
+              "restore (us)");
+  std::vector<RestoreRow> restores;
+  for (int keys : {1'000, 10'000, 100'000}) {
+    RestoreRow row = RunRestore(keys);
+    restores.push_back(row);
+    std::printf("%10d %14zu %16.1f %16.1f\n", row.keys, row.snapshot_bytes,
+                row.snapshot_micros, row.restore_micros);
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  INSIGHT_CHECK(f != nullptr) << "cannot write " << out_path;
+  std::fprintf(f, "{\n  \"checkpoint_overhead\": [\n");
+  for (size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadRow& row = overhead[i];
+    std::fprintf(f,
+                 "    {\"interval_micros\": %lld, \"tuples_per_sec\": %.1f, "
+                 "\"checkpoints\": %llu, \"bytes_persisted\": %llu}%s\n",
+                 static_cast<long long>(row.interval_micros),
+                 row.tuples_per_sec,
+                 static_cast<unsigned long long>(row.checkpoints),
+                 static_cast<unsigned long long>(row.bytes_persisted),
+                 i + 1 < overhead.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"restore_latency\": [\n");
+  for (size_t i = 0; i < restores.size(); ++i) {
+    const RestoreRow& row = restores[i];
+    std::fprintf(f,
+                 "    {\"keys\": %d, \"snapshot_bytes\": %zu, "
+                 "\"snapshot_micros\": %.1f, \"restore_micros\": %.1f}%s\n",
+                 row.keys, row.snapshot_bytes, row.snapshot_micros,
+                 row.restore_micros, i + 1 < restores.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+int main(int argc, char** argv) { return insight::bench::Main(argc, argv); }

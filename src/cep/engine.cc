@@ -156,6 +156,74 @@ std::vector<std::string> Engine::StatementNames() const {
   return names;
 }
 
+namespace {
+// "SNP1" little-endian: identifies an engine snapshot container.
+constexpr uint32_t kSnapshotMagic = 0x31504e53;
+constexpr uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+Status Engine::Snapshot(std::string* out) const {
+  out->clear();
+  ByteWriter writer(out);
+  writer.PutU32(kSnapshotMagic);
+  writer.PutU32(kSnapshotVersion);
+  writer.PutU64(events_processed_);
+  writer.PutU64(matches_fired_);
+  writer.PutU32(static_cast<uint32_t>(statements_.size()));
+  std::string blob;
+  for (const auto& [name, stmt] : statements_) {
+    writer.PutString(name);
+    blob.clear();
+    ByteWriter section(&blob);
+    stmt->SnapshotState(&section);
+    writer.PutString(blob);
+  }
+  return Status::OK();
+}
+
+Status Engine::Restore(const std::string& bytes) {
+  auto fail = [this](const std::string& msg) {
+    for (auto& [name, stmt] : statements_) stmt->ResetState();
+    return Status::ParseError("engine snapshot: " + msg);
+  };
+  // Start from clean state so statements absent from the snapshot (or a
+  // mid-stream decode failure) cannot retain stale windows.
+  for (auto& [name, stmt] : statements_) stmt->ResetState();
+  ByteReader reader(bytes);
+  uint32_t magic, version;
+  if (!reader.GetU32(&magic) || !reader.GetU32(&version)) {
+    return fail("truncated header");
+  }
+  if (magic != kSnapshotMagic) return fail("bad magic");
+  if (version != kSnapshotVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  uint64_t events_processed, matches_fired;
+  uint32_t count;
+  if (!reader.GetU64(&events_processed) || !reader.GetU64(&matches_fired) ||
+      !reader.GetU32(&count)) {
+    return fail("truncated totals");
+  }
+  std::string name, blob;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.GetString(&name) || !reader.GetString(&blob)) {
+      return fail("truncated statement section");
+    }
+    auto it = statements_.find(name);
+    if (it == statements_.end()) {
+      // The snapshot was taken under a different rule set; restoring a
+      // subset would silently drop state, so treat it as a mismatch.
+      return fail("unknown statement '" + name + "'");
+    }
+    ByteReader section(blob);
+    Status status = it->second->RestoreState(&section);
+    if (!status.ok()) return fail(status.message());
+  }
+  events_processed_ = events_processed;
+  matches_fired_ = matches_fired;
+  return Status::OK();
+}
+
 Engine::EngineStats Engine::GetStats() const {
   EngineStats stats;
   stats.events_processed = events_processed_;

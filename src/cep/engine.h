@@ -68,6 +68,23 @@ class Engine {
   EngineStats GetStats() const;
   void ResetStats();
 
+  // --- Stateful recovery (DESIGN.md "State & recovery") ---
+
+  /// Serializes every statement's operator state (view buffers, incremental
+  /// accumulator inputs, last-event/unique state, counters) plus the engine
+  /// totals into a versioned byte format. The rule set and type registry are
+  /// NOT serialized: Restore targets an engine prepared with the same
+  /// statements, which is what the DSPS layer guarantees by reinstalling a
+  /// task's rules before restoring its checkpoint.
+  Status Snapshot(std::string* out) const;
+
+  /// Restores a snapshot taken by Snapshot() on an engine with the same
+  /// statements installed. On failure (truncated or corrupt bytes, version
+  /// or rule-set mismatch) every statement is reset to clean state and an
+  /// error is returned — a bad snapshot degrades to a clean restart, it
+  /// never crashes and never leaves partial state.
+  Status Restore(const std::string& bytes);
+
   /// Per-engine event freelist. Adapters on the ingest hot path should build
   /// events with `event_pool().Create(...)` (reusing `TakeBuffer()` storage)
   /// so steady-state ingestion does not touch the heap.

@@ -23,6 +23,56 @@ const char* ValueTypeToString(ValueType type) {
   return "?";
 }
 
+void EncodeValue(const Value& v, ByteWriter* writer) {
+  writer->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt:
+      writer->PutI64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      writer->PutDouble(v.AsDouble());
+      break;
+    case ValueType::kBool:
+      writer->PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      writer->PutString(v.AsString());
+      break;
+  }
+}
+
+bool DecodeValue(ByteReader* reader, Value* out) {
+  uint8_t tag;
+  if (!reader->GetU8(&tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt: {
+      int64_t v;
+      if (!reader->GetI64(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!reader->GetDouble(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case ValueType::kBool: {
+      uint8_t v;
+      if (!reader->GetU8(&v)) return false;
+      *out = Value(v != 0);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string v;
+      if (!reader->GetString(&v)) return false;
+      *out = Value(std::move(v));
+      return true;
+    }
+  }
+  return false;
+}
+
 ValueType Value::type() const {
   if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt;
   if (std::holds_alternative<double>(data_)) return ValueType::kDouble;

@@ -7,6 +7,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -17,6 +18,14 @@ namespace cep {
 enum class ValueType { kInt, kDouble, kBool, kString };
 
 const char* ValueTypeToString(ValueType type);
+
+class Value;
+
+/// Serializes a Value (type tag + payload) for the snapshot formats.
+void EncodeValue(const Value& v, ByteWriter* writer);
+/// Decodes a Value written by EncodeValue; false on truncation or an unknown
+/// type tag (the buffer is garbage, not a version skew).
+bool DecodeValue(ByteReader* reader, Value* out);
 
 /// A dynamically typed field value. Numeric comparisons coerce int to double,
 /// mirroring EPL semantics.

@@ -434,6 +434,86 @@ size_t Statement::OnEvent(const EventPtr& event) {
   return matches.size();
 }
 
+void Statement::SnapshotState(ByteWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(windows_.size()));
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& window = *windows_[i];
+    writer->PutU64(window.TotalSize());
+    // Iteration order is deterministic (map key order for groups/unique,
+    // ring order within a bucket), and replaying events in this order
+    // through Insert reproduces the identical window contents: every
+    // retained event already satisfied the window's eviction predicate
+    // relative to its retained neighbours when it was first inserted.
+    window.ForEachEvent([&](const EventPtr& e) {
+      writer->PutI64(e->timestamp());
+      writer->PutU32(static_cast<uint32_t>(e->values().size()));
+      for (const Value& v : e->values()) EncodeValue(v, writer);
+    });
+  }
+  writer->PutU64(total_events_);
+  writer->PutU64(total_matches_);
+}
+
+Status Statement::RestoreState(ByteReader* reader) {
+  ResetState();
+  auto fail = [this](const std::string& msg) {
+    ResetState();
+    return Status::ParseError("statement '" + def_.name + "': " + msg);
+  };
+  uint32_t sources;
+  if (!reader->GetU32(&sources)) return fail("truncated source count");
+  if (sources != windows_.size()) return fail("source count mismatch");
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const EventTypePtr& type = schemas_.types[i];
+    uint64_t count;
+    if (!reader->GetU64(&count)) return fail("truncated event count");
+    for (uint64_t k = 0; k < count; ++k) {
+      int64_t timestamp;
+      uint32_t nfields;
+      if (!reader->GetI64(&timestamp) || !reader->GetU32(&nfields)) {
+        return fail("truncated event");
+      }
+      if (nfields != type->num_fields()) return fail("field count mismatch");
+      std::vector<Value> values(nfields);
+      for (uint32_t f = 0; f < nfields; ++f) {
+        if (!DecodeValue(reader, &values[f])) return fail("bad field value");
+      }
+      InsertRestored(i, std::make_shared<Event>(type, std::move(values),
+                                                timestamp));
+    }
+  }
+  uint64_t events, matches;
+  if (!reader->GetU64(&events) || !reader->GetU64(&matches)) {
+    return fail("truncated counters");
+  }
+  total_events_ = events;
+  total_matches_ = matches;
+  return Status::OK();
+}
+
+void Statement::ResetState() {
+  for (const auto& w : windows_) w->Clear();
+  for (HashIndex& index : indexes_) index.map.clear();
+  accums_.clear();
+  group_table_.clear();
+  total_events_ = 0;
+  total_matches_ = 0;
+}
+
+void Statement::InsertRestored(size_t source, const EventPtr& event) {
+  expired_scratch_.clear();
+  windows_[source]->Insert(event, &expired_scratch_);
+  for (int index_id : source_indexes_[source]) {
+    HashIndex& index = indexes_[static_cast<size_t>(index_id)];
+    index.Insert(event.get());
+    for (const EventPtr& e : expired_scratch_) index.Remove(e.get());
+  }
+  if (incremental_ && static_cast<int>(source) == inc_group_source_) {
+    AccumInsert(*event);
+    for (const EventPtr& e : expired_scratch_) AccumRemove(*e);
+  }
+}
+
 bool Statement::ConjunctsPass(uint32_t bound_mask, uint32_t newly_bound,
                               const JoinRow& row) {
   EvalContext ctx;

@@ -114,6 +114,24 @@ class Statement {
   /// tests and benchmarks).
   bool incremental() const { return incremental_; }
 
+  // --- Stateful recovery (DESIGN.md "State & recovery") ---
+
+  /// Serializes this statement's operator state — every source window's
+  /// retained events plus the event/match counters — into `writer`. Hash
+  /// indexes, incremental accumulators, and group tables are derived state
+  /// and are NOT serialized: RestoreState rebuilds them by replaying the
+  /// retained events through the insertion path.
+  void SnapshotState(ByteWriter* writer) const;
+
+  /// Restores state written by SnapshotState against a statement compiled
+  /// from the same definition. On any decode or schema mismatch the
+  /// statement is reset to clean state and an error is returned — a corrupt
+  /// snapshot can never leave partial state behind.
+  Status RestoreState(ByteReader* reader);
+
+  /// Drops all retained state (windows, indexes, accumulators, counters).
+  void ResetState();
+
  private:
   Statement() = default;
 
@@ -208,6 +226,11 @@ class Statement {
   /// Pending match. The no-match path allocates nothing.
   void EmitMatch(const JoinRow& representative);
   void FlushPending(std::vector<MatchResult>* out);
+
+  /// Restore path of RestoreState: runs one event through the same
+  /// window/index/accumulator insertion OnEvent uses, without triggering
+  /// join evaluation or listeners.
+  void InsertRestored(size_t source, const EventPtr& event);
 
   bool PlanIncremental();
   void EvaluateIncremental();

@@ -1,0 +1,132 @@
+#ifndef INSIGHT_COMMON_BYTES_H_
+#define INSIGHT_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace insight {
+
+/// Append-only little-endian byte serializer backing the versioned snapshot
+/// formats (cep::Engine::Snapshot, the runtime's checkpoint container). The
+/// writer owns no storage: it appends to a caller-provided string so a
+/// multi-section snapshot can be assembled into one buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    char buf[4];
+    for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out_->append(buf, 4);
+  }
+
+  void PutU64(uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out_->append(buf, 8);
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over a byte buffer. Every Get returns false on
+/// truncation instead of reading past the end, so a corrupted or truncated
+/// snapshot degrades into a decode error the caller can turn into a
+/// clean-state fallback — never undefined behaviour.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  ByteReader(const ByteReader&) = delete;
+  ByteReader& operator=(const ByteReader&) = delete;
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t raw;
+    if (!GetU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+
+  bool GetDouble(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+
+  /// Length-prefixed byte string; a length that overruns the buffer (a
+  /// typical symptom of garbage data) fails without allocating.
+  bool GetString(std::string* s) {
+    uint32_t len;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_BYTES_H_

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "cep/view.h"
+#include "common/bytes.h"
 #include "common/check.h"
 #include "common/logging.h"
 
@@ -40,6 +41,13 @@ uint64_t RootKey(uint64_t message_id, int attempt) {
   return z == 0 ? 1 : z;
 }
 
+/// Task checkpoint container ("TCK1"): {magic, version, has_ledger u8,
+/// [ledger], bolt blob (length-prefixed)}. The container wraps the bolt's
+/// own versioned snapshot, so the dedup ledger and the state it protects
+/// are always persisted and restored as one atomic unit.
+constexpr uint32_t kTaskSnapshotMagic = 0x314b4354;  // "TCK1"
+constexpr uint32_t kTaskSnapshotVersion = 1;
+
 }  // namespace
 
 /// Routes emissions of one task. Bound to the task for its whole lifetime;
@@ -61,24 +69,28 @@ class LocalRuntime::TaskCollector : public Collector {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
                 std::move(values), current_spout_time_);
     uint64_t* batch = nullptr;
+    uint64_t* dedup_seq = nullptr;
     if (current_root_key_ != 0) {
       tuple.set_root_key(current_root_key_);
       batch = &ack_batch_;
+      if (current_dedup_id_ != 0) dedup_seq = &dedup_seq_;
     }
     runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_,
-                    batch, &outbox_);
+                    batch, current_dedup_id_, dedup_seq, &outbox_);
   }
 
   void EmitDirect(int target_task, std::vector<Value> values) override {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
                 std::move(values), current_spout_time_);
     uint64_t* batch = nullptr;
+    uint64_t* dedup_seq = nullptr;
     if (current_root_key_ != 0) {
       tuple.set_root_key(current_root_key_);
       batch = &ack_batch_;
+      if (current_dedup_id_ != 0) dedup_seq = &dedup_seq_;
     }
     runtime_->Route(component_index_, tuple, target_task, &emitted_, batch,
-                    &outbox_);
+                    current_dedup_id_, dedup_seq, &outbox_);
   }
 
   void EmitRooted(uint64_t message_id, std::vector<Value> values) override {
@@ -97,7 +109,11 @@ class LocalRuntime::TaskCollector : public Collector {
   void BeginExecute(const Tuple& input) {
     current_spout_time_ = input.spout_time();
     current_root_key_ = input.root_key();
+    current_dedup_id_ = input.dedup_id();
     ack_batch_ = 0;
+    // Per-execution emission sequence: replayed executions reproduce the
+    // same dedup-id chain because the sequence restarts at every input.
+    dedup_seq_ = 0;
   }
 
   void set_current_spout_time(MicrosT t) { current_spout_time_ = t; }
@@ -120,6 +136,8 @@ class LocalRuntime::TaskCollector : public Collector {
   bool is_spout_;
   MicrosT current_spout_time_ = 0;
   uint64_t current_root_key_ = 0;
+  uint64_t current_dedup_id_ = 0;
+  uint64_t dedup_seq_ = 0;
   uint64_t ack_batch_ = 0;
   uint64_t emitted_ = 0;
   Outbox outbox_;
@@ -133,6 +151,8 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
     policy.max_replays = options_.max_replays;
     policy.backoff_base_micros = options_.replay_backoff_micros;
     policy.backoff_factor = options_.replay_backoff_factor;
+    policy.backoff_jitter = options_.replay_backoff_jitter;
+    policy.jitter_seed = options_.replay_jitter_seed;
     replay_ = std::make_unique<reliability::ReplayBuffer>(policy);
   }
 
@@ -196,6 +216,37 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
       routes_[source_index].push_back(std::move(target));
     }
   }
+
+  // Checkpointing: every task whose bolt implements Snapshottable gets a
+  // coordinator slot (and, under dedup, a ledger). Decided from the initial
+  // bolt instance; factories return the same concrete type on relaunch.
+  if (options_.enable_checkpointing) {
+    INSIGHT_CHECK(options_.state_store != nullptr)
+        << "enable_checkpointing requires a state_store";
+    reliability::CheckpointCoordinator::Options copts;
+    copts.interval_micros = options_.checkpoint_interval_micros;
+    copts.store = options_.state_store;
+    copts.clock = options_.clock;
+    coordinator_ = std::make_unique<reliability::CheckpointCoordinator>(copts);
+    bool any_checkpointed = false;
+    for (size_t c = 0; c < components.size(); ++c) {
+      for (auto& task : tasks_[c]) {
+        if (task.bolt == nullptr ||
+            dynamic_cast<Snapshottable*>(task.bolt.get()) == nullptr) {
+          continue;
+        }
+        task.ckpt_slot = coordinator_->RegisterTask(
+            components[c].name + "/" + std::to_string(task.task_index));
+        if (options_.enable_replay_dedup) {
+          task.ledger = std::make_unique<reliability::DedupLedger>(
+              options_.dedup_ledger_capacity);
+        }
+        any_checkpointed = true;
+      }
+    }
+    dedup_enabled_ = options_.enable_replay_dedup && options_.enable_acking &&
+                     any_checkpointed;
+  }
 }
 
 LocalRuntime::~LocalRuntime() { Stop(); }
@@ -210,6 +261,7 @@ Status LocalRuntime::Start() {
   }
   live_spout_tasks_.store(spout_tasks);
   metrics_.MarkWindowStart(options_.clock->NowMicros());
+  if (coordinator_ != nullptr) coordinator_->Start();
 
   const auto& components = topology_.components();
   for (size_t c = 0; c < components.size(); ++c) {
@@ -291,6 +343,24 @@ void LocalRuntime::Stop() {
     if (slot->thread.joinable()) slot->thread.join();
   }
   if (monitor_thread_.joinable()) monitor_thread_.join();
+  // Drain-then-join: submitted checkpoints still persist (and flush their
+  // deferred acks) before the persister exits.
+  if (coordinator_ != nullptr) coordinator_->Stop();
+  // Tuples abandoned in input queues are dropped on stop; balance the
+  // in-flight count so it provably returns to zero — no leaked in-flight
+  // work no matter how Stop interleaved with crashes and relaunches.
+  int64_t abandoned = 0;
+  for (auto& component_tasks : tasks_) {
+    for (auto& task : component_tasks) {
+      if (task.input == nullptr) continue;
+      MutexLock lock(task.input->mutex);
+      abandoned += static_cast<int64_t>(task.input->queue.size());
+      task.input->queue.clear();
+    }
+  }
+  if (abandoned > 0) in_flight_.fetch_sub(abandoned);
+  TMS_DCHECK_EQ(in_flight_.load(), int64_t{0})
+      << "in-flight tuples leaked across Stop";
   finished_.store(true);
 }
 
@@ -367,6 +437,7 @@ void LocalRuntime::FlushOutbox(Outbox* outbox) {
 void LocalRuntime::Deliver(int source_component, int target_component,
                            int task_index, const Tuple& tuple,
                            uint64_t* emitted, uint64_t* ack_batch,
+                           uint64_t dedup_base, uint64_t* dedup_seq,
                            Outbox* outbox) {
   reliability::FaultInjector::RouteDecision decision;
   if (options_.fault_injector != nullptr) {
@@ -378,9 +449,20 @@ void LocalRuntime::Deliver(int source_component, int target_component,
     std::this_thread::sleep_for(
         std::chrono::microseconds(decision.delay_micros));
   }
+  // The dedup id is drawn once per Deliver call, not per copy: an
+  // injector-duplicated copy is the same logical tuple, so both copies must
+  // share an id for the ledger to suppress the second execution. A dropped
+  // delivery still advances the sequence — the replayed attempt re-derives
+  // the same chain positions only if every Deliver consumes one slot.
+  uint64_t dedup_id = 0;
+  if (dedup_seq != nullptr) {
+    uint64_t d = Splitmix(dedup_base ^ (0x9e3779b97f4a7c15ULL * ++*dedup_seq));
+    dedup_id = d == 0 ? 1 : d;
+  }
   int copies = decision.duplicate ? 2 : 1;
   for (int i = 0; i < copies; ++i) {
     Tuple copy = tuple;  // payload is refcount-shared, not deep-copied
+    if (dedup_id != 0) copy.set_dedup_id(dedup_id);
     if (ack_batch != nullptr) {
       // Each delivered instance is one tree edge: a fresh random id, XORed
       // into the emitter's batch at stage time. A dropped tuple's edge is
@@ -398,7 +480,8 @@ void LocalRuntime::Deliver(int source_component, int target_component,
 
 void LocalRuntime::Route(int source_component, const Tuple& tuple,
                          int direct_task, uint64_t* emitted,
-                         uint64_t* ack_batch, Outbox* outbox) {
+                         uint64_t* ack_batch, uint64_t dedup_base,
+                         uint64_t* dedup_seq, Outbox* outbox) {
   for (const RouteTarget& target :
        routes_[static_cast<size_t>(source_component)]) {
     int num_tasks = static_cast<int>(
@@ -408,7 +491,7 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
       INSIGHT_CHECK(direct_task < num_tasks)
           << "EmitDirect task " << direct_task << " out of range";
       Deliver(source_component, target.component_index, direct_task, tuple,
-              emitted, ack_batch, outbox);
+              emitted, ack_batch, dedup_base, dedup_seq, outbox);
       continue;
     }
     switch (target.grouping) {
@@ -417,25 +500,25 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
                          .fetch_add(1, std::memory_order_relaxed);
         Deliver(source_component, target.component_index,
                 static_cast<int>(n % num_tasks), tuple, emitted, ack_batch,
-                outbox);
+                dedup_base, dedup_seq, outbox);
         break;
       }
       case Grouping::kFields: {
         uint64_t h = HashValues(tuple.values(), target.field_indexes);
         Deliver(source_component, target.component_index,
                 static_cast<int>(h % static_cast<uint64_t>(num_tasks)), tuple,
-                emitted, ack_batch, outbox);
+                emitted, ack_batch, dedup_base, dedup_seq, outbox);
         break;
       }
       case Grouping::kAll:
         for (int t = 0; t < num_tasks; ++t) {
           Deliver(source_component, target.component_index, t, tuple, emitted,
-                  ack_batch, outbox);
+                  ack_batch, dedup_base, dedup_seq, outbox);
         }
         break;
       case Grouping::kGlobal:
         Deliver(source_component, target.component_index, 0, tuple, emitted,
-                ack_batch, outbox);
+                ack_batch, dedup_base, dedup_seq, outbox);
         break;
       case Grouping::kDirect:
         // Plain Emit does not feed direct subscriptions.
@@ -468,7 +551,19 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
               spout_time);
   tuple.set_root_key(info.root_key);
   uint64_t batch = 0;
-  Route(component_index, tuple, /*direct_task=*/-1, emitted, &batch, outbox);
+  // Replay-stable dedup root: derived from the message id alone (not the
+  // attempt), so a replayed attempt re-derives the exact same per-emission
+  // dedup ids and checkpointed tasks can recognize already-applied tuples.
+  uint64_t root_dedup = 0;
+  uint64_t dedup_seq = 0;
+  uint64_t* seq_ptr = nullptr;
+  if (dedup_enabled_) {
+    uint64_t d = Splitmix(message_id ^ 0x8f1bbcdcbfa53e0bULL);
+    root_dedup = d == 0 ? 1 : d;
+    seq_ptr = &dedup_seq;
+  }
+  Route(component_index, tuple, /*direct_task=*/-1, emitted, &batch, root_dedup,
+        seq_ptr, outbox);
   if (auto done = acker_->Xor(info.root_key, guard ^ batch)) {
     OnTreeCompleted(*done);
   }
@@ -512,6 +607,7 @@ void LocalRuntime::SpoutLoop(
     std::vector<std::unique_ptr<TaskCollector>>& collectors) {
   const bool acking = options_.enable_acking;
   const int component_index = slot->component_index;
+  reliability::FaultInjector* injector = options_.fault_injector;
   std::vector<MetricsRegistry::TaskRef> refs;
   refs.reserve(my_tasks.size());
   for (TaskRuntime* task : my_tasks) {
@@ -544,6 +640,17 @@ void LocalRuntime::SpoutLoop(
       if (task->spout_done) continue;
       all_exhausted = false;
       if (stopping_.load()) break;
+      if (injector != nullptr &&
+          injector->ShouldCrash(def.name, task->task_index)) {
+        // The spout executor dies between NextTuple calls — a consistent
+        // boundary (everything already emitted is registered with the
+        // acker). The supervisor relaunches this executor with the SAME
+        // spout instances: a real spout's read cursor is its committed
+        // offset, and re-Opening would rewind it.
+        for (auto& collector : collectors) FlushOutbox(collector->outbox());
+        slot->crashed.store(true);
+        return;
+      }
       collectors[i]->set_current_spout_time(options_.clock->NowMicros());
       bool more = task->spout->NextTuple(collectors[i].get());
       progressed = true;
@@ -602,12 +709,21 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
   context.component = def.name;
   context.num_tasks = def.num_tasks;
   for (TaskRuntime* task : my_tasks) {
+    if (!task->needs_init) continue;
     context.task_index = task->task_index;
     if (task->spout != nullptr) {
+      // Spouts are never re-Opened after a crash: the supervisor keeps the
+      // original instance (its emission cursor is the "committed offset"),
+      // so Open must run exactly once.
       task->spout->Open(context);
     } else {
       task->bolt->Prepare(context);
+      task->snapshottable = dynamic_cast<Snapshottable*>(task->bolt.get());
+      if (coordinator_ != nullptr && task->ckpt_slot >= 0) {
+        RestoreTask(task, def);
+      }
     }
+    task->needs_init = false;
   }
 
   if (def.is_spout) {
@@ -669,6 +785,24 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
           slot->crashed.store(true);
           return;
         }
+        if (task->ledger != nullptr && tuple.dedup_id() != 0 &&
+            task->ledger->Contains(tuple.dedup_id())) {
+          // Replayed duplicate of a tuple whose effect is already inside
+          // this task's checkpointed state: suppress the re-execution but
+          // still settle its tree edge, otherwise the replayed attempt
+          // could never complete. The ack is deferred with the rest of the
+          // task's pending edges so it only reaches the acker once the
+          // state that absorbed the original execution is durable.
+          metrics_.RecordDedup(def.name, task->task_index);
+          if (acker_ != nullptr && tuple.root_key() != 0) {
+            task->pending_acks[tuple.root_key()] ^= tuple.edge_id();
+          }
+          int64_t prev = in_flight_.fetch_sub(1);
+          TMS_DCHECK_GE(prev, int64_t{1})
+              << "in-flight count went negative after dedup";
+          NotifyPossiblyDone();
+          continue;
+        }
         collectors[i]->BeginExecute(tuple);
         MicrosT start = options_.clock->NowMicros();
         task->bolt->Execute(tuple, collectors[i].get());
@@ -680,9 +814,19 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
           // One batched acker update per execution: the consumed input edge
           // plus every edge emitted while executing it.
           uint64_t acks = tuple.edge_id() ^ collectors[i]->TakeAckBatch();
-          if (auto done = acker_->Xor(tuple.root_key(), acks)) {
+          if (task->ckpt_slot >= 0) {
+            // Checkpoint-aligned acking: a checkpointed task's acks flush
+            // only after the state that absorbed the tuple persists. If the
+            // task crashes first, the unflushed edges keep the tree alive,
+            // it times out, and replay re-executes against the rolled-back
+            // state — effectively-once end to end.
+            task->pending_acks[tuple.root_key()] ^= acks;
+          } else if (auto done = acker_->Xor(tuple.root_key(), acks)) {
             OnTreeCompleted(*done);
           }
+        }
+        if (task->ledger != nullptr && tuple.dedup_id() != 0) {
+          task->ledger->Insert(tuple.dedup_id());
         }
         int64_t prev = in_flight_.fetch_sub(1);
         TMS_DCHECK_GE(prev, int64_t{1})
@@ -690,9 +834,23 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
         NotifyPossiblyDone();
       }
       FlushOutbox(collectors[i]->outbox());
+      if (coordinator_ != nullptr && task->ckpt_slot >= 0) {
+        MaybeCheckpoint(task, def, /*force=*/false);
+      }
     }
     if (!any) {
       for (auto& collector : collectors) FlushOutbox(collector->outbox());
+      if (coordinator_ != nullptr) {
+        // Idle with deferred acks: force a checkpoint so the acks flush and
+        // the topology can drain — otherwise AwaitCompletion would livelock
+        // waiting on trees whose last edges sit in pending_acks until the
+        // next interval tick.
+        for (TaskRuntime* task : my_tasks) {
+          if (task->ckpt_slot >= 0 && !task->pending_acks.empty()) {
+            MaybeCheckpoint(task, def, /*force=*/true);
+          }
+        }
+      }
       if (stopping_.load()) break;
       // Park briefly on the first owned queue.
       TaskRuntime* task = my_tasks.empty() ? nullptr : my_tasks[0];
@@ -717,9 +875,16 @@ void LocalRuntime::SupervisorLoop() {
     // Restart executors killed by injected crashes (Storm's supervisor
     // relaunching a dead worker). The crashed thread has already returned,
     // so its tasks' bolts are untouched by anyone else; replace them with
-    // fresh instances so restarted tasks start from clean state.
+    // fresh instances — the relaunched executor restores checkpointed tasks
+    // from their latest durable snapshot, everything else starts clean.
     for (auto& slot : executors_) {
-      if (!slot->crashed.load() || stopping_.load()) continue;
+      if (slot->dead.load() || !slot->crashed.load() || stopping_.load()) {
+        continue;
+      }
+      if (options_.enable_crash_loop_breaker &&
+          !ContainCrashLoop(slot.get(), options_.clock->NowMicros())) {
+        continue;  // backing off, or the breaker just tripped
+      }
       if (slot->thread.joinable()) slot->thread.join();
       const ComponentDef& def =
           topology_.components()[static_cast<size_t>(slot->component_index)];
@@ -727,13 +892,18 @@ void LocalRuntime::SupervisorLoop() {
         if (task.bolt != nullptr &&
             task.task_index % def.num_executors == slot->executor_index) {
           task.bolt = def.bolt_factory();
+          task.snapshottable = nullptr;
+          task.needs_init = true;  // Prepare + restore on relaunch
         }
+        // Spout tasks keep their instances and are not re-initialized; see
+        // the crash point in SpoutLoop.
       }
       slot->crashed.store(false);
       executor_restarts_.fetch_add(1);
       ExecutorSlot* raw = slot.get();
       slot->thread = std::thread([this, raw] { ExecutorLoop(raw); });
     }
+    if (options_.enable_crash_loop_breaker) DrainDeadTaskQueues();
 
     // Fail tuple trees that outlived the ack timeout: schedule a replay, or
     // — once the replay budget is spent — permanently fail the message.
@@ -759,6 +929,265 @@ void LocalRuntime::SupervisorLoop() {
           NotifyPossiblyDone();
         }
       }
+    }
+  }
+}
+
+void LocalRuntime::MaybeCheckpoint(TaskRuntime* task, const ComponentDef& def,
+                                   bool force) {
+  MicrosT now = options_.clock->NowMicros();
+  if (force ? !coordinator_->CanSubmit(task->ckpt_slot)
+            : !coordinator_->Due(task->ckpt_slot, now)) {
+    return;
+  }
+  // Copy-on-snapshot: serialize on the executor thread at a batch boundary
+  // (the task's state is quiescent between executions), then hand the bytes
+  // to the background persister so the executor never blocks on storage.
+  std::string bolt_state;
+  if (task->snapshottable != nullptr) {
+    Status s = task->snapshottable->SnapshotState(&bolt_state);
+    if (!s.ok()) {
+      // Keep the deferred acks: the covered executions are not durable, so
+      // their trees must stay open until a later snapshot succeeds.
+      INSIGHT_LOG(Warning) << "snapshot of " << def.name << "/"
+                           << task->task_index << " failed: " << s.message();
+      return;
+    }
+  }
+  std::string bytes;
+  ByteWriter writer(&bytes);
+  writer.PutU32(kTaskSnapshotMagic);
+  writer.PutU32(kTaskSnapshotVersion);
+  writer.PutU8(task->ledger != nullptr ? 1 : 0);
+  if (task->ledger != nullptr) task->ledger->Serialize(&writer);
+  writer.PutString(bolt_state);
+  // Move the accumulated deferred acks into the completion closure: exactly
+  // one owner at any time. On durable persist they flush to the acker; on a
+  // failed persist they are dropped, the covered trees time out, and replay
+  // re-executes them against whatever state actually is durable.
+  auto acks = std::make_shared<std::unordered_map<uint64_t, uint64_t>>(
+      std::move(task->pending_acks));
+  task->pending_acks.clear();
+  std::string component = def.name;
+  int task_index = task->task_index;
+  coordinator_->Submit(
+      task->ckpt_slot, std::move(bytes),
+      [this, acks, component, task_index](uint64_t epoch,
+                                          const Status& status) {
+        if (!status.ok()) {
+          INSIGHT_LOG(Warning)
+              << "checkpoint epoch " << epoch << " of " << component << "/"
+              << task_index << " failed (" << status.message()
+              << "); dropping " << acks->size()
+              << " deferred ack deltas so the trees replay";
+          return;
+        }
+        metrics_.RecordCheckpoint(component, task_index);
+        if (acker_ == nullptr) return;
+        for (const auto& [root, delta] : *acks) {
+          if (auto done = acker_->Xor(root, delta)) OnTreeCompleted(*done);
+        }
+      });
+}
+
+void LocalRuntime::RestoreTask(TaskRuntime* task, const ComponentDef& def) {
+  // Nothing from the previous incarnation survives into the restore: the
+  // suppression set and deferred acks roll back exactly as far as the state.
+  task->pending_acks.clear();
+  if (task->ledger != nullptr) task->ledger->Clear();
+  auto fail = [&](const std::string& why) {
+    if (task->ledger != nullptr) task->ledger->Clear();
+    metrics_.RecordRestoreFailure(def.name, task->task_index);
+    INSIGHT_LOG(Warning) << "restore of " << def.name << "/"
+                         << task->task_index << " failed (" << why
+                         << "); restarting from clean state";
+  };
+  Result<reliability::StateStore::Snapshot> loaded =
+      coordinator_->BarrierAndLoad(task->ckpt_slot);
+  if (!loaded.ok()) {
+    // No durable snapshot yet is the normal first launch, not a failure.
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      fail(loaded.status().message());
+    }
+    return;
+  }
+  ByteReader reader(loaded->bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint8_t has_ledger = 0;
+  if (!reader.GetU32(&magic) || magic != kTaskSnapshotMagic) {
+    fail("bad snapshot magic");
+    return;
+  }
+  if (!reader.GetU32(&version) || version != kTaskSnapshotVersion) {
+    fail("unsupported snapshot version");
+    return;
+  }
+  if (!reader.GetU8(&has_ledger)) {
+    fail("truncated snapshot header");
+    return;
+  }
+  if (has_ledger != 0) {
+    if (task->ledger == nullptr) {
+      fail("snapshot carries a dedup ledger but dedup is disabled");
+      return;
+    }
+    if (!task->ledger->Deserialize(&reader)) {
+      fail("corrupt dedup ledger");
+      return;
+    }
+  }
+  std::string bolt_state;
+  if (!reader.GetString(&bolt_state)) {
+    fail("truncated bolt state");
+    return;
+  }
+  if (task->snapshottable != nullptr) {
+    Status s = task->snapshottable->RestoreState(bolt_state);
+    if (!s.ok()) {
+      // RestoreState's contract: on error the bolt is back in its clean
+      // freshly-prepared state, so falling through is safe.
+      fail(s.message());
+      return;
+    }
+  }
+  metrics_.RecordRestore(def.name, task->task_index);
+}
+
+void LocalRuntime::FailDiscardedTree(const reliability::TreeInfo& info) {
+  if (replay_ != nullptr) replay_->Discard(info.message_id);
+  const ComponentDef& def =
+      topology_.components()[static_cast<size_t>(info.spout_component)];
+  metrics_.RecordFail(def.name, info.spout_task);
+  TaskRuntime& task = tasks_[static_cast<size_t>(info.spout_component)]
+                            [static_cast<size_t>(info.spout_task)];
+  if (task.events != nullptr) {
+    MutexLock lock(task.events->mutex);
+    task.events->events.emplace_back(false, info.message_id);
+  }
+  size_t prev = pending_roots_.fetch_sub(1);
+  TMS_DCHECK_GE(prev, size_t{1})
+      << "pending tree count underflow on discarded tree";
+  NotifyPossiblyDone();
+}
+
+bool LocalRuntime::ContainCrashLoop(ExecutorSlot* slot, MicrosT now) {
+  // next_restart_micros == 0 means this crash has not been recorded yet;
+  // record it, prune the window, and either trip the breaker or start the
+  // backoff clock. All of this state is supervisor-thread-only.
+  if (slot->next_restart_micros == 0) {
+    slot->restart_times.push_back(now);
+    while (!slot->restart_times.empty() &&
+           slot->restart_times.front() <
+               now - options_.breaker_window_micros) {
+      slot->restart_times.pop_front();
+    }
+    int crashes = static_cast<int>(slot->restart_times.size());
+    if (crashes > options_.breaker_max_restarts) {
+      TripBreaker(slot);
+      return false;
+    }
+    double backoff =
+        static_cast<double>(options_.restart_backoff_base_micros);
+    for (int i = 1; i < crashes; ++i) {
+      backoff *= options_.restart_backoff_factor;
+      if (backoff >=
+          static_cast<double>(options_.restart_backoff_max_micros)) {
+        break;
+      }
+    }
+    MicrosT delay = std::min<MicrosT>(static_cast<MicrosT>(backoff),
+                                      options_.restart_backoff_max_micros);
+    slot->next_restart_micros = now + delay;
+  }
+  if (now < slot->next_restart_micros) return false;  // still backing off
+  slot->next_restart_micros = 0;
+  return true;
+}
+
+void LocalRuntime::TripBreaker(ExecutorSlot* slot) {
+  // The executor crashed `breaker_max_restarts + 1` times inside the
+  // window: stop relaunching it. The crashed thread has already returned
+  // (or is returning), so joining here is cheap and makes the slot's tasks
+  // exclusively supervisor-owned from now on.
+  slot->dead.store(true);
+  if (slot->thread.joinable()) slot->thread.join();
+  dead_executors_.fetch_add(1);
+  const ComponentDef& def =
+      topology_.components()[static_cast<size_t>(slot->component_index)];
+  INSIGHT_LOG(Warning) << "circuit breaker tripped: executor "
+                       << slot->executor_index << " of " << def.name
+                       << " permanently failed after "
+                       << slot->restart_times.size()
+                       << " crashes; topology is degraded";
+  for (auto& task : tasks_[static_cast<size_t>(slot->component_index)]) {
+    if (task.task_index % def.num_executors != slot->executor_index) continue;
+    metrics_.RecordBreakerTrip(def.name, task.task_index);
+    if (task.spout == nullptr) continue;
+    // A dead spout task's pending trees can never be re-emitted: fail them
+    // now so the topology can drain. Deviation from Storm's contract: the
+    // spout executor is permanently gone, so Ack/Fail callbacks for this
+    // task are delivered on the supervisor thread from here on.
+    if (!task.spout_done) {
+      task.spout_done = true;
+      live_spout_tasks_.fetch_sub(1);
+    }
+    if (acker_ == nullptr) continue;
+    for (const reliability::TreeInfo& info :
+         acker_->DiscardSpout(slot->component_index, task.task_index)) {
+      replay_->Discard(info.message_id);
+      metrics_.RecordFail(def.name, task.task_index);
+      task.spout->Fail(info.message_id);
+      size_t prev = pending_roots_.fetch_sub(1);
+      TMS_DCHECK_GE(prev, size_t{1})
+          << "pending tree count underflow on spout trip";
+    }
+    for (uint64_t message_id :
+         replay_->DiscardAllFor(slot->component_index, task.task_index)) {
+      metrics_.RecordFail(def.name, task.task_index);
+      task.spout->Fail(message_id);
+      size_t prev = pending_roots_.fetch_sub(1);
+      TMS_DCHECK_GE(prev, size_t{1})
+          << "pending tree count underflow on replay discard";
+    }
+    DrainSpoutEvents(&task);
+  }
+  NotifyPossiblyDone();
+}
+
+void LocalRuntime::DrainDeadTaskQueues() {
+  for (auto& slot : executors_) {
+    if (!slot->dead.load()) continue;
+    const ComponentDef& def =
+        topology_.components()[static_cast<size_t>(slot->component_index)];
+    if (def.is_spout) continue;
+    for (auto& task : tasks_[static_cast<size_t>(slot->component_index)]) {
+      if (task.task_index % def.num_executors != slot->executor_index) {
+        continue;
+      }
+      std::deque<Tuple> drained;
+      {
+        MutexLock lock(task.input->mutex);
+        drained.swap(task.input->queue);
+        if (!drained.empty()) task.input->not_full.NotifyAll();
+      }
+      if (drained.empty()) continue;
+      int64_t prev =
+          in_flight_.fetch_sub(static_cast<int64_t>(drained.size()));
+      TMS_DCHECK_GE(prev, static_cast<int64_t>(drained.size()))
+          << "in-flight count went negative draining a dead task";
+      if (acker_ != nullptr) {
+        for (const Tuple& t : drained) {
+          if (t.root_key() == 0) continue;
+          // Discarding the tree (rather than letting it time out) frees the
+          // replay payload immediately; tuples of the same tree still live
+          // elsewhere will ack an unknown key, which the acker ignores.
+          if (auto info = acker_->Discard(t.root_key())) {
+            FailDiscardedTree(*info);
+          }
+        }
+      }
+      NotifyPossiblyDone();
     }
   }
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,8 +16,10 @@
 #include "dsps/metrics.h"
 #include "dsps/topology.h"
 #include "reliability/acker.h"
+#include "reliability/checkpoint.h"
 #include "reliability/fault_injector.h"
 #include "reliability/replay.h"
+#include "reliability/state_store.h"
 
 namespace insight {
 namespace dsps {
@@ -78,6 +81,42 @@ class LocalRuntime {
     /// Optional fault injection; not owned, must outlive the runtime. The
     /// supervisor restarts crashed executors whether or not acking is on.
     reliability::FaultInjector* fault_injector = nullptr;
+    /// Replay backoff jitter (reliability::ReplayPolicy::backoff_jitter):
+    /// fraction in [0, 1) spreading simultaneous replays apart. 0 = off.
+    double replay_backoff_jitter = 0.0;
+    uint64_t replay_jitter_seed = 0x5eedULL;
+
+    // --- Stateful recovery (all off by default = seed behaviour; see
+    // DESIGN.md "State & recovery") ---
+
+    /// Periodically checkpoint every task whose bolt implements
+    /// Snapshottable through `state_store`, and restore the latest durable
+    /// snapshot when an executor is (re)launched. With acking on,
+    /// checkpointed tasks defer their acker updates until the covering
+    /// snapshot is durable, so a crash rolls processing back to the last
+    /// checkpoint and replays re-execute exactly the rolled-back suffix.
+    bool enable_checkpointing = false;
+    MicrosT checkpoint_interval_micros = 100'000;
+    /// Checkpoint destination; required when checkpointing. Not owned, must
+    /// outlive the runtime.
+    reliability::StateStore* state_store = nullptr;
+    /// Suppress re-execution of replayed duplicates at checkpointed tasks
+    /// via a bounded per-task ledger of tuple dedup ids (checkpointed
+    /// atomically with the state). Requires acking + checkpointing; yields
+    /// effectively-once state for deterministic (non-shuffle) routings.
+    bool enable_replay_dedup = false;
+    size_t dedup_ledger_capacity = 4096;
+    /// Crash-loop containment: exponential restart backoff per executor,
+    /// and a circuit breaker that permanently fails an executor restarted
+    /// more than `breaker_max_restarts` times within `breaker_window_micros`
+    /// (pending trees are failed, queued tuples drained, and the topology
+    /// surfaces `degraded()`).
+    bool enable_crash_loop_breaker = false;
+    MicrosT restart_backoff_base_micros = 1'000;
+    double restart_backoff_factor = 2.0;
+    MicrosT restart_backoff_max_micros = 1'000'000;
+    int breaker_max_restarts = 5;
+    MicrosT breaker_window_micros = 10'000'000;
   };
 
   LocalRuntime(Topology topology, Options options);
@@ -105,6 +144,16 @@ class LocalRuntime {
   size_t pending_trees() const { return pending_roots_.load(); }
   /// Executor threads restarted by the supervisor after injected crashes.
   uint64_t executor_restarts() const { return executor_restarts_.load(); }
+
+  /// True once the crash-loop breaker permanently failed at least one
+  /// executor: the topology keeps running but its results are incomplete.
+  bool degraded() const { return dead_executors_.load() > 0; }
+  int dead_executors() const { return dead_executors_.load(); }
+  /// The checkpoint coordinator (null unless checkpointing is enabled);
+  /// exposed for persist counters in tests and benchmarks.
+  const reliability::CheckpointCoordinator* checkpoint_coordinator() const {
+    return coordinator_.get();
+  }
 
   /// Worker process index of an executor (component, executor_index).
   int WorkerOfExecutor(const std::string& component, int executor_index) const;
@@ -144,6 +193,22 @@ class LocalRuntime {
     std::unique_ptr<TaskQueue> input;        // bolts only
     std::unique_ptr<SpoutEventQueue> events; // spouts only, acking only
     bool spout_done = false;
+
+    // --- Stateful recovery (executor-thread-owned; the supervisor touches
+    // these only after joining the crashed thread) ---
+    /// Open/Prepare (+ restore) still owed; set by the supervisor when it
+    /// swaps in a fresh bolt so the relaunched executor re-initializes.
+    bool needs_init = true;
+    /// The bolt's Snapshottable view; refreshed at init. Null = stateless.
+    Snapshottable* snapshottable = nullptr;
+    /// CheckpointCoordinator slot; -1 = task is not checkpointed.
+    int ckpt_slot = -1;
+    std::unique_ptr<reliability::DedupLedger> ledger;
+    /// Checkpoint-deferred acker deltas (root key -> XOR of edges consumed
+    /// and emitted since the last submitted checkpoint). Moved into the
+    /// persist completion closure at submit time, so exactly one thread
+    /// owns any given delta set.
+    std::unordered_map<uint64_t, uint64_t> pending_acks;
   };
 
   struct RouteTarget {
@@ -159,6 +224,12 @@ class LocalRuntime {
     int executor_index = 0;
     std::thread thread;
     std::atomic<bool> crashed{false};
+    /// Crash-loop containment (supervisor-thread-only once started).
+    std::deque<MicrosT> restart_times;  // within the breaker window
+    MicrosT next_restart_micros = 0;    // exponential backoff gate
+    /// Breaker tripped: permanently failed, never relaunched. Queues of its
+    /// tasks are drained by the supervisor sweep and by Stop().
+    std::atomic<bool> dead{false};
   };
 
   class TaskCollector;
@@ -183,8 +254,12 @@ class LocalRuntime {
   /// `outbox`. When `ack_batch` is non-null the tuple belongs to a tracked
   /// tree: each copy gets a fresh edge id which is XORed into *ack_batch at
   /// stage time (per-tuple edge semantics are independent of flush timing).
+  /// When `dedup_seq` is non-null, each copy additionally gets a dedup id
+  /// chained from `dedup_base` and the running per-execution sequence —
+  /// replay-stable as long as the emitter and the routing are deterministic.
   void Route(int source_component, const Tuple& tuple, int direct_task,
-             uint64_t* emitted, uint64_t* ack_batch, Outbox* outbox);
+             uint64_t* emitted, uint64_t* ack_batch, uint64_t dedup_base,
+             uint64_t* dedup_seq, Outbox* outbox);
   /// Stages one tuple; counted in `in_flight_` immediately. Auto-flushes the
   /// outbox past Options::emit_batch.
   void Stage(int target_component, int task_index, Tuple tuple,
@@ -196,10 +271,34 @@ class LocalRuntime {
   /// Fault-aware single delivery used by Route.
   void Deliver(int source_component, int target_component, int task_index,
                const Tuple& tuple, uint64_t* emitted, uint64_t* ack_batch,
-               Outbox* outbox);
+               uint64_t dedup_base, uint64_t* dedup_seq, Outbox* outbox);
   void NotifyPossiblyDone();
   /// Fresh nonzero pseudo-random edge id for the acker.
   uint64_t NextEdgeId();
+
+  // --- Stateful recovery helpers (see DESIGN.md "State & recovery") ---
+
+  /// Serializes `task` (ledger + bolt state) and submits it to the
+  /// coordinator, moving the accumulated deferred acks into the persist
+  /// completion closure. `force` skips the interval gate (idle flush).
+  void MaybeCheckpoint(TaskRuntime* task, const ComponentDef& def, bool force);
+  /// Loads and applies the latest durable snapshot for `task` (barriering on
+  /// any in-flight persist first). Corrupt or unloadable snapshots degrade
+  /// to a logged warning + clean state, never a crash.
+  void RestoreTask(TaskRuntime* task, const ComponentDef& def);
+  /// Permanently fails one discarded tree: drops the replay payload, queues
+  /// the spout Fail callback, and releases the pending-root count.
+  void FailDiscardedTree(const reliability::TreeInfo& info);
+  /// Supervisor sweep: trip bookkeeping for a crashed executor. Returns
+  /// true when the slot may be relaunched now (backoff elapsed, breaker not
+  /// tripped).
+  bool ContainCrashLoop(ExecutorSlot* slot, MicrosT now);
+  /// Permanently fails one executor slot: joins the thread, marks the
+  /// topology degraded, and fails a dead spout task's pending trees.
+  void TripBreaker(ExecutorSlot* slot);
+  /// Drains the input queues of breaker-tripped bolt tasks, failing tracked
+  /// tuples' trees; keeps emitters from blocking on dead tasks forever.
+  void DrainDeadTaskQueues();
 
   Topology topology_;
   Options options_;
@@ -208,6 +307,11 @@ class LocalRuntime {
   // Reliability state (constructed only when acking is enabled).
   std::unique_ptr<reliability::Acker> acker_;
   std::unique_ptr<reliability::ReplayBuffer> replay_;
+  // Recovery state (constructed only when checkpointing is enabled).
+  std::unique_ptr<reliability::CheckpointCoordinator> coordinator_;
+  /// Dedup ids are assigned to tracked tuples (acking + dedup + at least
+  /// one checkpointed task); cached so the emit path tests one bool.
+  bool dedup_enabled_ = false;
 
   // Flattened state, indexed by component index.
   std::vector<std::shared_ptr<const Fields>> fields_;
@@ -230,6 +334,7 @@ class LocalRuntime {
   std::atomic<int> live_spout_tasks_{0};
   std::atomic<size_t> pending_roots_{0};
   std::atomic<uint64_t> executor_restarts_{0};
+  std::atomic<int> dead_executors_{0};
   std::atomic<uint64_t> edge_seq_{0x243f6a8885a308d3ULL};
   /// Pure wait-signal pair for the completion predicate (which reads only
   /// atomics): the mutex guards no data, it closes the lost-wakeup window

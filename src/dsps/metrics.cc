@@ -50,6 +50,30 @@ void MetricsRegistry::RecordReplay(const std::string& component, int task,
                                                std::memory_order_relaxed);
 }
 
+void MetricsRegistry::RecordCheckpoint(const std::string& component, int task) {
+  StatsFor(component, task).checkpoints.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordRestore(const std::string& component, int task) {
+  StatsFor(component, task).restores.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordRestoreFailure(const std::string& component,
+                                           int task) {
+  StatsFor(component, task)
+      .restore_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordDedup(const std::string& component, int task) {
+  StatsFor(component, task).deduped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordBreakerTrip(const std::string& component,
+                                        int task) {
+  StatsFor(component, task)
+      .breaker_trips.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     const std::string& component) const {
   ComponentTotals totals;
@@ -62,6 +86,13 @@ MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     totals.acked += task->acked.load(std::memory_order_relaxed);
     totals.failed += task->failed.load(std::memory_order_relaxed);
     totals.replayed += task->replayed.load(std::memory_order_relaxed);
+    totals.checkpoints += task->checkpoints.load(std::memory_order_relaxed);
+    totals.checkpoint_restores += task->restores.load(std::memory_order_relaxed);
+    totals.checkpoint_restore_failures +=
+        task->restore_failures.load(std::memory_order_relaxed);
+    totals.deduped += task->deduped.load(std::memory_order_relaxed);
+    totals.breaker_trips +=
+        task->breaker_trips.load(std::memory_order_relaxed);
   }
   if (totals.executed > 0) {
     totals.avg_latency_micros = static_cast<double>(totals.latency_sum_micros) /

@@ -31,6 +31,12 @@ class MetricsRegistry {
     uint64_t acked = 0;
     uint64_t failed = 0;    // tree timeouts
     uint64_t replayed = 0;  // re-emissions of timed-out roots
+    // Recovery counters (zero unless checkpointing is on).
+    uint64_t checkpoints = 0;         // snapshots durably persisted
+    uint64_t checkpoint_restores = 0; // restores applied after a relaunch
+    uint64_t checkpoint_restore_failures = 0;  // corrupt/unloadable snapshots
+    uint64_t deduped = 0;             // replayed duplicates suppressed
+    uint64_t breaker_trips = 0;       // executors permanently failed
   };
 
   struct WindowReport {
@@ -58,6 +64,12 @@ class MetricsRegistry {
   void RecordAck(const std::string& component, int task, uint64_t count = 1);
   void RecordFail(const std::string& component, int task, uint64_t count = 1);
   void RecordReplay(const std::string& component, int task, uint64_t count = 1);
+  /// Recovery events, attributed to the checkpointed (or tripped) task.
+  void RecordCheckpoint(const std::string& component, int task);
+  void RecordRestore(const std::string& component, int task);
+  void RecordRestoreFailure(const std::string& component, int task);
+  void RecordDedup(const std::string& component, int task);
+  void RecordBreakerTrip(const std::string& component, int task);
 
   ComponentTotals Totals(const std::string& component) const;
   std::vector<std::string> Components() const;
@@ -70,6 +82,11 @@ class MetricsRegistry {
     std::atomic<uint64_t> acked{0};
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> replayed{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> restores{0};
+    std::atomic<uint64_t> restore_failures{0};
+    std::atomic<uint64_t> deduped{0};
+    std::atomic<uint64_t> breaker_trips{0};
   };
 
  public:

@@ -85,6 +85,25 @@ class Bolt {
   virtual void Cleanup() {}
 };
 
+/// Opt-in mixin for bolts with recoverable state. When the runtime runs with
+/// `Options::enable_checkpointing`, every task whose bolt implements this
+/// interface is checkpointed: the executor periodically serializes the bolt
+/// at a batch boundary and hands the bytes to the CheckpointCoordinator's
+/// background persister; a relaunched executor feeds the latest durable
+/// snapshot back through RestoreState (after Prepare) before resuming the
+/// task's queue.
+///
+/// Contract: RestoreState must either fully apply the snapshot or leave the
+/// bolt in a clean freshly-prepared state and return an error — a partial
+/// restore would silently corrupt recovered results. cep::Engine::Restore
+/// follows the same rule, so engine-backed bolts can simply forward.
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+  virtual Status SnapshotState(std::string* out) const = 0;
+  virtual Status RestoreState(const std::string& bytes) = 0;
+};
+
 using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
 using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
 

@@ -102,6 +102,14 @@ class Tuple {
   void set_root_key(uint64_t key) { root_key_ = key; }
   void set_edge_id(uint64_t id) { edge_id_ = id; }
 
+  /// Replay-stable identity (0 = none): a hash chained from the spout
+  /// message id through each emission hop, independent of the replay
+  /// attempt. Checkpointed tasks record executed ids in a DedupLedger and
+  /// suppress re-execution of replayed duplicates (see DESIGN.md "State &
+  /// recovery"). Runtime-managed, like root_key/edge_id.
+  uint64_t dedup_id() const { return dedup_id_; }
+  void set_dedup_id(uint64_t id) { dedup_id_ = id; }
+
   std::string ToString() const {
     std::string out = "(";
     const std::vector<Value>& vals = values();
@@ -119,6 +127,7 @@ class Tuple {
   MicrosT spout_time_ = 0;
   uint64_t root_key_ = 0;
   uint64_t edge_id_ = 0;
+  uint64_t dedup_id_ = 0;
 };
 
 }  // namespace dsps

@@ -1,0 +1,148 @@
+#ifndef INSIGHT_RELIABILITY_CHECKPOINT_H_
+#define INSIGHT_RELIABILITY_CHECKPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "reliability/state_store.h"
+
+namespace insight {
+namespace reliability {
+
+/// Bounded FIFO set of tuple dedup ids. A checkpointed task records the
+/// dedup id of every tuple it executes; a replayed tuple whose id is still
+/// in the ledger is acked without re-execution, so replays cannot
+/// double-count into restored state (effectively-once). The ledger is owned
+/// by one executor (not thread-safe) and is serialized into the task's
+/// checkpoint, so the suppression set rolls back exactly as far as the state
+/// does.
+class DedupLedger {
+ public:
+  explicit DedupLedger(size_t capacity);
+
+  bool Contains(uint64_t id) const { return set_.count(id) > 0; }
+
+  /// Records `id`, evicting the oldest entry once past capacity. Re-inserting
+  /// a present id refreshes nothing (FIFO order is arrival order).
+  void Insert(uint64_t id);
+
+  void Clear();
+  size_t size() const { return fifo_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Serialize(ByteWriter* writer) const;
+  /// Replaces the contents from serialized form; false (ledger cleared) on
+  /// truncation or if the stored size exceeds this ledger's capacity.
+  bool Deserialize(ByteReader* reader);
+
+ private:
+  size_t capacity_;
+  std::deque<uint64_t> fifo_;
+  std::unordered_set<uint64_t> set_;
+};
+
+/// Takes asynchronous per-task checkpoints. Executors serialize their state
+/// at batch boundaries (the copy-on-snapshot step) and hand the bytes to
+/// Submit; a background persister thread writes them through the StateStore
+/// so the executor never blocks on storage. At most one checkpoint per task
+/// is in flight, epochs are strictly increasing per task, and the completion
+/// callback (which the runtime uses to flush checkpoint-deferred acks) fires
+/// only after the write is durable.
+class CheckpointCoordinator {
+ public:
+  struct Options {
+    /// Minimum spacing between checkpoints of one task.
+    MicrosT interval_micros = 100'000;
+    /// Destination store; required, not owned.
+    StateStore* store = nullptr;
+    const Clock* clock = SystemClock::Get();
+  };
+
+  /// Persist outcome for one submitted snapshot. Runs on the persister
+  /// thread with no coordinator lock held.
+  using DoneFn = std::function<void(uint64_t epoch, const Status& status)>;
+
+  explicit CheckpointCoordinator(Options options);
+  ~CheckpointCoordinator();
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Registers a task's durable key before Start; returns its slot id.
+  int RegisterTask(std::string key);
+
+  void Start();
+  /// Drains queued snapshots, then joins the persister — submitted
+  /// checkpoints still reach the store (and their DoneFn still fires) during
+  /// shutdown, so deferred acks are not stranded.
+  void Stop();
+
+  /// True when `slot` should snapshot now: the interval elapsed and no
+  /// persist is in flight.
+  bool Due(int slot, MicrosT now) const;
+  /// Like Due without the interval gate — used to force a flush when an
+  /// idle task is sitting on deferred acks.
+  bool CanSubmit(int slot) const;
+
+  /// Hands one serialized snapshot to the persister; returns the epoch
+  /// assigned to it. Caller must have seen Due/CanSubmit true on this
+  /// executor (one in-flight checkpoint per task is an invariant).
+  uint64_t Submit(int slot, std::string bytes, DoneFn done);
+
+  /// Restore path: blocks until no persist is in flight for `slot`, then
+  /// loads the latest durable snapshot (NotFound if none). The barrier keeps
+  /// a restore from racing the in-flight persist whose completion would
+  /// flush acks for executions the loaded state has rolled back. Raises the
+  /// slot's epoch so the next checkpoint continues the restored line.
+  Result<StateStore::Snapshot> BarrierAndLoad(int slot);
+
+  uint64_t persisted() const { return persisted_.load(std::memory_order_relaxed); }
+  uint64_t persist_failures() const {
+    return persist_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_persisted() const {
+    return bytes_persisted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::string key;
+    MicrosT next_due = 0;
+    bool in_flight = false;
+    uint64_t last_epoch = 0;
+    std::string pending_bytes;
+    DoneFn pending_done;
+  };
+
+  void PersisterLoop();
+
+  const Options options_;
+  mutable Mutex mutex_;
+  CondVar work_cv_;   // persister wakeup
+  CondVar idle_cv_;   // per-slot in-flight drained (restore barrier)
+  std::vector<std::unique_ptr<Slot>> slots_ GUARDED_BY(mutex_);
+  std::deque<int> queue_ GUARDED_BY(mutex_);
+  bool started_ GUARDED_BY(mutex_) = false;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::thread persister_;
+
+  std::atomic<uint64_t> persisted_{0};
+  std::atomic<uint64_t> persist_failures_{0};
+  std::atomic<uint64_t> bytes_persisted_{0};
+};
+
+}  // namespace reliability
+}  // namespace insight
+
+#endif  // INSIGHT_RELIABILITY_CHECKPOINT_H_

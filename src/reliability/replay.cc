@@ -19,6 +19,32 @@ bool ReplayBuffer::Ack(uint64_t message_id) {
   return payloads_.erase(message_id) > 0;
 }
 
+namespace {
+
+// splitmix64 finalizer: the jitter hash.
+uint64_t MixJitter(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MicrosT ReplayBuffer::BackoffFor(uint64_t message_id, int attempt) const {
+  double backoff = static_cast<double>(policy_.backoff_base_micros);
+  for (int i = 1; i < attempt; ++i) backoff *= policy_.backoff_factor;
+  if (policy_.backoff_jitter > 0.0) {
+    // Pure function of (seed, message, attempt): reruns under one seed are
+    // reproducible while distinct messages land on distinct delays.
+    uint64_t h = MixJitter(policy_.jitter_seed ^
+                           MixJitter(message_id + 0x9e3779b97f4a7c15ULL *
+                                                      static_cast<uint64_t>(attempt)));
+    double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    backoff *= 1.0 + policy_.backoff_jitter * (2.0 * unit - 1.0);
+  }
+  return static_cast<MicrosT>(backoff);
+}
+
 bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
                         int spout_task, MicrosT now) {
   MutexLock lock(mutex_);
@@ -29,12 +55,35 @@ bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
     return false;
   }
   int attempt = ++it->second.attempts;
-  double backoff = static_cast<double>(policy_.backoff_base_micros);
-  for (int i = 1; i < attempt; ++i) backoff *= policy_.backoff_factor;
-  scheduled_.push_back(Scheduled{now + static_cast<MicrosT>(backoff),
+  scheduled_.push_back(Scheduled{now + BackoffFor(message_id, attempt),
                                  message_id, spout_component, spout_task,
                                  attempt});
   return true;
+}
+
+bool ReplayBuffer::Discard(uint64_t message_id) {
+  MutexLock lock(mutex_);
+  scheduled_.erase(
+      std::remove_if(scheduled_.begin(), scheduled_.end(),
+                     [&](const Scheduled& s) { return s.message_id == message_id; }),
+      scheduled_.end());
+  return payloads_.erase(message_id) > 0;
+}
+
+std::vector<uint64_t> ReplayBuffer::DiscardAllFor(int spout_component,
+                                                  int spout_task) {
+  MutexLock lock(mutex_);
+  std::vector<uint64_t> discarded;
+  for (auto it = scheduled_.begin(); it != scheduled_.end();) {
+    if (it->spout_component == spout_component && it->spout_task == spout_task) {
+      discarded.push_back(it->message_id);
+      payloads_.erase(it->message_id);
+      it = scheduled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return discarded;
 }
 
 std::vector<ReplayBuffer::Due> ReplayBuffer::TakeDue(int spout_component,

@@ -23,6 +23,13 @@ struct ReplayPolicy {
   /// `backoff_factor`.
   MicrosT backoff_base_micros = 10'000;
   double backoff_factor = 2.0;
+  /// Jitter fraction in [0, 1): each scheduled delay is multiplied by a
+  /// factor drawn deterministically from [1 - jitter, 1 + jitter) based on
+  /// (jitter_seed, message id, attempt). Trees that expire in the same
+  /// supervisor sweep then spread out instead of replaying in lockstep — the
+  /// replay-storm analogue of thundering-herd jitter. 0 = no jitter.
+  double backoff_jitter = 0.0;
+  uint64_t jitter_seed = 0;
 };
 
 /// Holds the payload of every in-flight root tuple so a timed-out tree can
@@ -58,6 +65,21 @@ class ReplayBuffer {
 
   /// Retries owned by (spout_component, spout_task) whose backoff elapsed.
   std::vector<Due> TakeDue(int spout_component, int spout_task, MicrosT now);
+
+  /// Permanently abandons one message: drops the payload and any scheduled
+  /// retry regardless of remaining replay budget. Returns true if the id was
+  /// known. Crash-loop containment uses this when a tree's spout task is
+  /// permanently failed.
+  bool Discard(uint64_t message_id);
+
+  /// Abandons every scheduled retry owned by (spout_component, spout_task),
+  /// dropping the payloads too. Returns the abandoned message ids so the
+  /// runtime can fire their Fail callbacks.
+  std::vector<uint64_t> DiscardAllFor(int spout_component, int spout_task);
+
+  /// The delay Fail would schedule for this (message, attempt) pair —
+  /// exposed so tests can assert the jitter spread and determinism.
+  MicrosT BackoffFor(uint64_t message_id, int attempt) const;
 
   size_t stored() const;
   size_t scheduled_retries() const;

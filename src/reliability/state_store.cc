@@ -1,0 +1,87 @@
+#include "reliability/state_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace insight {
+namespace reliability {
+
+Status InMemoryStateStore::Put(const std::string& key, uint64_t epoch,
+                               const std::string& bytes) {
+  MutexLock lock(mutex_);
+  Snapshot& slot = latest_[key];
+  if (epoch <= slot.epoch && !slot.bytes.empty()) {
+    return Status::InvalidArgument("checkpoint epoch went backwards for '" +
+                                   key + "'");
+  }
+  slot.epoch = epoch;
+  slot.bytes = bytes;
+  return Status::OK();
+}
+
+Result<StateStore::Snapshot> InMemoryStateStore::GetLatest(
+    const std::string& key) const {
+  MutexLock lock(mutex_);
+  auto it = latest_.find(key);
+  if (it == latest_.end()) {
+    return Status::NotFound("no checkpoint for '" + key + "'");
+  }
+  return it->second;
+}
+
+Status InMemoryStateStore::Remove(const std::string& key) {
+  MutexLock lock(mutex_);
+  latest_.erase(key);
+  return Status::OK();
+}
+
+DfsStateStore::DfsStateStore(dfs::MiniDfs* dfs, std::string root)
+    : dfs_(dfs), root_(std::move(root)) {
+  if (root_.empty() || root_.back() != '/') root_ += '/';
+}
+
+std::string DfsStateStore::DirFor(const std::string& key) const {
+  return root_ + key + "/";
+}
+
+Status DfsStateStore::Put(const std::string& key, uint64_t epoch,
+                          const std::string& bytes) {
+  // Zero-padded so List()'s lexicographic order is also epoch order.
+  char name[32];
+  std::snprintf(name, sizeof(name), "%020llu",
+                static_cast<unsigned long long>(epoch));  // NOLINT(runtime/int): printf width format
+  const std::string dir = DirFor(key);
+  const std::string path = dir + name;
+  if (dfs_->Exists(path)) {
+    return Status::AlreadyExists("checkpoint epoch reused: " + path);
+  }
+  INSIGHT_RETURN_NOT_OK(dfs_->Append(path, bytes));
+  // Prune older epochs only after the new one is durable.
+  for (const std::string& old : dfs_->List(dir)) {
+    if (old != path) (void)dfs_->Delete(old);
+  }
+  return Status::OK();
+}
+
+Result<StateStore::Snapshot> DfsStateStore::GetLatest(
+    const std::string& key) const {
+  const std::string dir = DirFor(key);
+  std::vector<std::string> paths = dfs_->List(dir);
+  if (paths.empty()) {
+    return Status::NotFound("no checkpoint for '" + key + "'");
+  }
+  // List() is sorted and epochs are zero-padded: last path = newest epoch.
+  const std::string& path = paths.back();
+  Snapshot snapshot;
+  snapshot.epoch = std::strtoull(path.c_str() + dir.size(), nullptr, 10);
+  INSIGHT_ASSIGN_OR_RETURN(snapshot.bytes, dfs_->ReadAll(path));
+  return snapshot;
+}
+
+Status DfsStateStore::Remove(const std::string& key) {
+  dfs_->DeleteRecursive(DirFor(key));
+  return Status::OK();
+}
+
+}  // namespace reliability
+}  // namespace insight

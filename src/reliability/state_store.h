@@ -1,0 +1,79 @@
+#ifndef INSIGHT_RELIABILITY_STATE_STORE_H_
+#define INSIGHT_RELIABILITY_STATE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "dfs/mini_dfs.h"
+
+namespace insight {
+namespace reliability {
+
+/// Durable storage behind the CheckpointCoordinator: one logical key per
+/// task, versioned by a strictly increasing epoch. Implementations must be
+/// thread-safe — the coordinator's persister thread writes while restore
+/// paths read.
+class StateStore {
+ public:
+  struct Snapshot {
+    uint64_t epoch = 0;
+    std::string bytes;
+  };
+
+  virtual ~StateStore() = default;
+
+  /// Persists one checkpoint. Epochs per key are strictly increasing (the
+  /// coordinator enforces this); implementations may garbage-collect older
+  /// epochs once the new one is durable.
+  virtual Status Put(const std::string& key, uint64_t epoch,
+                     const std::string& bytes) = 0;
+
+  /// Latest persisted snapshot for the key; NotFound when none exists.
+  virtual Result<Snapshot> GetLatest(const std::string& key) const = 0;
+
+  /// Drops every epoch of `key`. Unknown keys are a no-op.
+  virtual Status Remove(const std::string& key) = 0;
+};
+
+/// Process-local store for tests and single-node runs.
+class InMemoryStateStore : public StateStore {
+ public:
+  Status Put(const std::string& key, uint64_t epoch,
+             const std::string& bytes) override;
+  Result<Snapshot> GetLatest(const std::string& key) const override;
+  Status Remove(const std::string& key) override;
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, Snapshot> latest_ GUARDED_BY(mutex_);
+};
+
+/// MiniDfs-backed store: checkpoints become replicated DFS files under
+/// `<root>/<key>/<epoch>`, the way Storm-on-YARN deployments keep operator
+/// state in HDFS. The new epoch is written before older epochs are pruned,
+/// so a crash mid-write leaves at worst extra epochs behind, never zero;
+/// GetLatest always picks the highest complete epoch.
+class DfsStateStore : public StateStore {
+ public:
+  explicit DfsStateStore(dfs::MiniDfs* dfs, std::string root = "/checkpoints");
+
+  Status Put(const std::string& key, uint64_t epoch,
+             const std::string& bytes) override;
+  Result<Snapshot> GetLatest(const std::string& key) const override;
+  Status Remove(const std::string& key) override;
+
+ private:
+  std::string DirFor(const std::string& key) const;
+
+  dfs::MiniDfs* dfs_;  // not owned
+  std::string root_;
+};
+
+}  // namespace reliability
+}  // namespace insight
+
+#endif  // INSIGHT_RELIABILITY_STATE_STORE_H_

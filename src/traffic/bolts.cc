@@ -1,5 +1,6 @@
 #include "traffic/bolts.h"
 
+#include "common/bytes.h"
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -169,6 +170,47 @@ void PreProcessBolt::Execute(const Tuple& input, dsps::Collector* collector) {
   collector->Emit(std::move(out));
 }
 
+Status PreProcessBolt::SnapshotState(std::string* out) const {
+  out->clear();
+  ByteWriter writer(out);
+  writer.PutU8(1);  // format version
+  writer.PutU32(static_cast<uint32_t>(vehicles_.size()));
+  for (const auto& [vehicle, state] : vehicles_) {
+    writer.PutI64(vehicle);
+    writer.PutDouble(state.position.lat);
+    writer.PutDouble(state.position.lon);
+    writer.PutDouble(state.delay);
+    writer.PutI64(state.timestamp);
+  }
+  return Status::OK();
+}
+
+Status PreProcessBolt::RestoreState(const std::string& bytes) {
+  vehicles_.clear();
+  auto fail = [this](const char* why) {
+    vehicles_.clear();  // clean state on any decode error
+    return Status::ParseError(std::string("PreProcessBolt snapshot: ") + why);
+  };
+  ByteReader reader(bytes);
+  uint8_t version = 0;
+  if (!reader.GetU8(&version)) return fail("truncated header");
+  if (version != 1) return fail("unsupported version");
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return fail("truncated count");
+  for (uint32_t i = 0; i < count; ++i) {
+    int64_t vehicle = 0;
+    VehicleState state;
+    if (!reader.GetI64(&vehicle) || !reader.GetDouble(&state.position.lat) ||
+        !reader.GetDouble(&state.position.lon) ||
+        !reader.GetDouble(&state.delay) || !reader.GetI64(&state.timestamp)) {
+      return fail("truncated vehicle entry");
+    }
+    vehicles_[static_cast<int>(vehicle)] = state;
+  }
+  if (!reader.exhausted()) return fail("trailing bytes");
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // AreaTrackerBolt
 // ---------------------------------------------------------------------------
@@ -277,6 +319,20 @@ void EsperBolt::Execute(const Tuple& input, dsps::Collector* collector) {
                      get_or("timestamp", Value(input.Get(0).AsInt()))});
   }
   pending_matches_.clear();
+}
+
+Status EsperBolt::SnapshotState(std::string* out) const {
+  // Listener-buffered matches never span executions (Execute drains them),
+  // so the engine's retained windows and counters are the whole state.
+  return engine_->Snapshot(out);
+}
+
+Status EsperBolt::RestoreState(const std::string& bytes) {
+  // Prepare already installed this task's rules and preloaded the threshold
+  // stream; Restore refills the statement windows on top. On error the
+  // engine resets every statement to clean state, which matches the
+  // Snapshottable contract.
+  return engine_->Restore(bytes);
 }
 
 // ---------------------------------------------------------------------------

@@ -79,10 +79,17 @@ Result<std::vector<BusTrace>> LoadTracesCsv(std::istream* in);
 /// Adds vehicle speed, actual delay (delta vs the previous report of the
 /// same vehicle), hour and date type. Subscribe with fields-grouping on
 /// `vehicle` so one task sees all reports of a vehicle.
-class PreProcessBolt : public dsps::Bolt {
+///
+/// Snapshottable: the per-vehicle last-report map is the whole state, so a
+/// restored task computes the same deltas a crash-free run would (a lost map
+/// would instead swallow one report per vehicle re-seeding it).
+class PreProcessBolt : public dsps::Bolt, public dsps::Snapshottable {
  public:
   explicit PreProcessBolt(bool weekend = false) : weekend_(weekend) {}
   void Execute(const dsps::Tuple& input, dsps::Collector* collector) override;
+
+  Status SnapshotState(std::string* out) const override;
+  Status RestoreState(const std::string& bytes) override;
 
  private:
   struct VehicleState {
@@ -159,13 +166,21 @@ struct EsperBoltConfig {
 
 /// Runs one Esper engine per task; converts tuples to `bus` events, executes
 /// the rules and emits detections.
-class EsperBolt : public dsps::Bolt {
+///
+/// Snapshottable: forwards to cep::Engine::Snapshot/Restore. Prepare installs
+/// the task's rules (and preloads the threshold stream) before the runtime
+/// calls RestoreState, matching the engine's contract that a snapshot is
+/// restored into an engine holding the same statements.
+class EsperBolt : public dsps::Bolt, public dsps::Snapshottable {
  public:
   explicit EsperBolt(std::shared_ptr<const EsperBoltConfig> config)
       : config_(std::move(config)) {}
 
   void Prepare(const dsps::TaskContext& context) override;
   void Execute(const dsps::Tuple& input, dsps::Collector* collector) override;
+
+  Status SnapshotState(std::string* out) const override;
+  Status RestoreState(const std::string& bytes) override;
 
   cep::Engine* engine() { return engine_.get(); }
 

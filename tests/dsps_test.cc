@@ -545,6 +545,81 @@ TEST(XmlTopologyTest, BadGroupingFails) {
   EXPECT_FALSE(loaded.ok());
 }
 
+// ---------------------------------------------------------------------------
+// Spout crash injection
+// ---------------------------------------------------------------------------
+
+TEST(LocalRuntimeTest, SpoutCrashMidStreamIsRestartedWithoutLoss) {
+  // Kill the spout executor between two NextTuple calls (the spout fault
+  // point flushes the outbox before dying, and the supervisor relaunches
+  // the executor around the surviving spout instance), so the stream
+  // resumes at the cursor: every value still arrives exactly once, without
+  // acking.
+  constexpr int kTuples = 500;
+  reliability::FaultPlan plan;
+  plan.crashes.push_back({.component = "s", .task = 0,
+                          .after_executions = 50, .repeat = false});
+  reliability::FaultInjector injector(plan);
+
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [=] { return std::make_unique<CounterSpout>(kTuples); },
+                   Fields({"v"}));
+  builder.SetBolt("b", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}))
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+
+  LocalRuntime::Options options;
+  options.fault_injector = &injector;
+  options.supervisor_interval_micros = 1'000;
+  LocalRuntime runtime(std::move(*topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+
+  EXPECT_EQ(injector.crashes_injected(), 1u);
+  EXPECT_GE(runtime.executor_restarts(), 1u);
+  MutexLock lock(sink->mutex);
+  EXPECT_EQ(sink->values.size(), static_cast<size_t>(kTuples));
+  std::set<int64_t> distinct(sink->values.begin(), sink->values.end());
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kTuples));
+}
+
+TEST(LocalRuntimeTest, RepeatedSpoutCrashesStillDrainTheStream) {
+  // A spout that dies every 100 opportunities across a multi-task component:
+  // each relaunch resumes all tasks of the executor.
+  constexpr int kTuples = 600;
+  reliability::FaultPlan plan;
+  plan.crashes.push_back({.component = "s", .task = -1,
+                          .after_executions = 100, .repeat = true});
+  reliability::FaultInjector injector(plan);
+
+  auto sink = std::make_shared<SinkBolt::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("s", [=] { return std::make_unique<CounterSpout>(kTuples); },
+                   Fields({"v"}), 2, 2);
+  builder.SetBolt("b", [sink] { return std::make_unique<SinkBolt>(sink); },
+                  Fields({}))
+      .ShuffleGrouping("s");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+
+  LocalRuntime::Options options;
+  options.fault_injector = &injector;
+  options.supervisor_interval_micros = 1'000;
+  LocalRuntime runtime(std::move(*topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+
+  EXPECT_GE(injector.crashes_injected(), 2u);
+  EXPECT_GE(runtime.executor_restarts(), 2u);
+  MutexLock lock(sink->mutex);
+  std::set<int64_t> distinct(sink->values.begin(), sink->values.end());
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kTuples));
+  EXPECT_EQ(sink->values.size(), static_cast<size_t>(kTuples));
+}
+
 }  // namespace
 }  // namespace dsps
 }  // namespace insight
