@@ -4,6 +4,7 @@
 // aggregation), and measures the batched DSPS transport. Emits
 // BENCH_hotpath.json (events/sec, ns/event, allocs/event per scenario).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -214,7 +215,7 @@ class NullSink : public dsps::Bolt {
   int64_t checksum_ = 0;
 };
 
-ScenarioResult RunTransport() {
+ScenarioResult RunTransport(bool enable_tracing, double sample_rate) {
   static constexpr int64_t kTuples = 300000;
   dsps::TopologyBuilder builder;
   builder.SetSpout("source",
@@ -228,7 +229,10 @@ ScenarioResult RunTransport() {
       .FieldsGrouping("relay", {"a"});
   auto topology = builder.Build();
   INSIGHT_CHECK(topology.ok());
-  dsps::LocalRuntime runtime(std::move(*topology), {});
+  dsps::LocalRuntime::Options options;
+  options.enable_tracing = enable_tracing;
+  options.trace_sample_rate = sample_rate;
+  dsps::LocalRuntime runtime(std::move(*topology), options);
 
   TakeAllocs();
   double start = NowSeconds();
@@ -244,6 +248,21 @@ ScenarioResult RunTransport() {
   result.allocs_per_event =
       static_cast<double>(allocs) / static_cast<double>(kTuples);
   return result;
+}
+
+/// Median-of-N ns/event, so one scheduler hiccup on a loaded CI box cannot
+/// fail (or mask) the tracing-overhead gate.
+ScenarioResult RunTransportMedian(bool enable_tracing, double sample_rate,
+                                  int runs = 3) {
+  std::vector<ScenarioResult> results;
+  for (int i = 0; i < runs; ++i) {
+    results.push_back(RunTransport(enable_tracing, sample_rate));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const ScenarioResult& a, const ScenarioResult& b) {
+              return a.ns_per_event < b.ns_per_event;
+            });
+  return results[results.size() / 2];
 }
 
 void PrintScenario(std::FILE* f, const char* name, const ScenarioResult& r,
@@ -264,27 +283,59 @@ int Main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
 
   ScenarioResult cep = RunCepIngest();
-  std::printf("cep_ingest:  %9.0f events/s  %7.1f ns/event  %.4f allocs/event\n",
+  std::printf("cep_ingest:       %9.0f events/s  %7.1f ns/event  %.4f allocs/event\n",
               cep.events_per_sec, cep.ns_per_event, cep.allocs_per_event);
-  ScenarioResult transport = RunTransport();
-  std::printf("transport:   %9.0f tuples/s  %7.1f ns/tuple  %.4f allocs/tuple\n",
+  ScenarioResult transport =
+      RunTransportMedian(/*enable_tracing=*/false, /*sample_rate=*/0.0);
+  std::printf("transport:        %9.0f tuples/s  %7.1f ns/tuple  %.4f allocs/tuple\n",
               transport.events_per_sec, transport.ns_per_event,
               transport.allocs_per_event);
+  // Tracing overhead ladder: compiled in but sampling nothing (the gated
+  // configuration), then 1% and 100% sampling for the EXPERIMENTS.md table.
+  ScenarioResult traced0 =
+      RunTransportMedian(/*enable_tracing=*/true, /*sample_rate=*/0.0);
+  std::printf("transport_traced0:%9.0f tuples/s  %7.1f ns/tuple  %.4f allocs/tuple\n",
+              traced0.events_per_sec, traced0.ns_per_event,
+              traced0.allocs_per_event);
+  ScenarioResult traced1 =
+      RunTransport(/*enable_tracing=*/true, /*sample_rate=*/0.01);
+  std::printf("transport_traced1:%9.0f tuples/s  %7.1f ns/tuple  %.4f allocs/tuple\n",
+              traced1.events_per_sec, traced1.ns_per_event,
+              traced1.allocs_per_event);
+  ScenarioResult traced100 =
+      RunTransport(/*enable_tracing=*/true, /*sample_rate=*/1.0);
+  std::printf("transport_traced100:%7.0f tuples/s  %7.1f ns/tuple  %.4f allocs/tuple\n",
+              traced100.events_per_sec, traced100.ns_per_event,
+              traced100.allocs_per_event);
 
   std::FILE* f = std::fopen(out_path, "w");
   INSIGHT_CHECK(f != nullptr) << "cannot write " << out_path;
   std::fprintf(f, "{\n");
   PrintScenario(f, "cep_ingest", cep, /*last=*/false);
-  PrintScenario(f, "transport", transport, /*last=*/true);
+  PrintScenario(f, "transport", transport, /*last=*/false);
+  PrintScenario(f, "transport_traced0", traced0, /*last=*/false);
+  PrintScenario(f, "transport_traced1", traced1, /*last=*/false);
+  PrintScenario(f, "transport_traced100", traced100, /*last=*/true);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 
+  int failures = 0;
   if (cep.allocs_per_event >= 0.001) {
     std::printf("WARNING: CEP steady-state ingest is not allocation-free\n");
-    return 1;
+    ++failures;
   }
-  return 0;
+  // The zero-sampling trace plumbing must stay within 5% of the untraced
+  // transport (median of 3 each): tracing compiled in may not tax topologies
+  // that never sample.
+  if (traced0.ns_per_event > 1.05 * transport.ns_per_event) {
+    std::printf(
+        "WARNING: tracing at 0%% sampling regressed transport by %.1f%% "
+        "(limit 5%%)\n",
+        100.0 * (traced0.ns_per_event / transport.ns_per_event - 1.0));
+    ++failures;
+  }
+  return failures > 0 ? 1 : 0;
 }
 
 }  // namespace

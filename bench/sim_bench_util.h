@@ -66,6 +66,13 @@ class ServiceCache {
   /// required when a bench compares schemes whose rule sets would otherwise
   /// mix measured and modeled service times.
   explicit ServiceCache(bool model_only) : model_only_(model_only) {}
+  /// Model-only with an explicit model — e.g. one recalibrated from live
+  /// window reports (LatencyModel::FitFromWindowReports), so a sweep can be
+  /// re-run against measured rather than default coefficients.
+  explicit ServiceCache(model::LatencyModel model)
+      : model_only_(true), model_(std::move(model)) {}
+
+  const model::LatencyModel& model() const { return model_; }
 
   double Measure(const std::vector<core::RuleTemplate>& rules) {
     std::string key;

@@ -75,6 +75,7 @@ class LocalRuntime::TaskCollector : public Collector {
       batch = &ack_batch_;
       if (current_dedup_id_ != 0) dedup_seq = &dedup_seq_;
     }
+    MaybeTraceSpoutEmit(&tuple);
     runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_,
                     batch, current_dedup_id_, dedup_seq, &outbox_);
   }
@@ -89,6 +90,7 @@ class LocalRuntime::TaskCollector : public Collector {
       batch = &ack_batch_;
       if (current_dedup_id_ != 0) dedup_seq = &dedup_seq_;
     }
+    MaybeTraceSpoutEmit(&tuple);
     runtime_->Route(component_index_, tuple, target_task, &emitted_, batch,
                     current_dedup_id_, dedup_seq, &outbox_);
   }
@@ -110,6 +112,7 @@ class LocalRuntime::TaskCollector : public Collector {
     current_spout_time_ = input.spout_time();
     current_root_key_ = input.root_key();
     current_dedup_id_ = input.dedup_id();
+    current_trace_id_ = input.trace_id();
     ack_batch_ = 0;
     // Per-execution emission sequence: replayed executions reproduce the
     // same dedup-id chain because the sequence restarts at every input.
@@ -130,6 +133,21 @@ class LocalRuntime::TaskCollector : public Collector {
   int task_index() const { return task_index_; }
 
  private:
+  /// Spout-side trace anchoring for the untracked emit path: each plain
+  /// spout Emit is a fresh root emission, so it gets its own sampling
+  /// decision. Without acking no final ack exists to close a root span, so
+  /// the trace only groups the hop spans (open_root=false). Bolt emissions
+  /// inherit the input's trace id from BeginExecute instead. The acked
+  /// spout path (EmitRooted -> EmitTracked) never reaches this: there the
+  /// runtime samples with an open root that the final ack closes.
+  void MaybeTraceSpoutEmit(Tuple* tuple) {
+    if (is_spout_ && runtime_->tracer_ != nullptr) {
+      current_trace_id_ = runtime_->tracer_->MaybeStartTrace(
+          runtime_->options_.clock->NowMicros(), /*open_root=*/false);
+    }
+    tuple->set_trace_id(current_trace_id_);
+  }
+
   LocalRuntime* runtime_;
   int component_index_;
   int task_index_;
@@ -137,6 +155,7 @@ class LocalRuntime::TaskCollector : public Collector {
   MicrosT current_spout_time_ = 0;
   uint64_t current_root_key_ = 0;
   uint64_t current_dedup_id_ = 0;
+  uint64_t current_trace_id_ = 0;
   uint64_t dedup_seq_ = 0;
   uint64_t ack_batch_ = 0;
   uint64_t emitted_ = 0;
@@ -154,6 +173,17 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
     policy.backoff_jitter = options_.replay_backoff_jitter;
     policy.jitter_seed = options_.replay_jitter_seed;
     replay_ = std::make_unique<reliability::ReplayBuffer>(policy);
+  }
+  if (options_.enable_tracing) {
+    observability::Tracer::Options topts;
+    topts.sample_rate = options_.trace_sample_rate;
+    topts.max_spans = options_.trace_max_spans;
+    tracer_ = std::make_unique<observability::Tracer>(topts);
+    std::vector<std::string> names;
+    for (const ComponentDef& def : topology_.components()) {
+      names.push_back(def.name);
+    }
+    tracer_->SetComponentNames(std::move(names));
   }
 
   const auto& components = topology_.components();
@@ -383,6 +413,13 @@ void LocalRuntime::Stage(int target_component, int task_index, Tuple tuple,
   // edge-less copy could never be acked back out of the accumulator.
   TMS_DCHECK(tuple.root_key() == 0 || tuple.edge_id() != 0)
       << "tracked tuple staged without an edge id";
+  // Queue-wait spans start here: the staging timestamp covers outbox
+  // residency plus the target queue wait, i.e. everything between the
+  // emitter's hand and the consumer's Execute. One branch for untraced
+  // tuples; the clock is read only for sampled ones.
+  if (tuple.trace_id() != 0) {
+    tuple.set_trace_enqueue_micros(options_.clock->NowMicros());
+  }
   std::vector<Tuple>& block = outbox->per_task[gid];
   if (block.empty()) outbox->dirty.push_back(static_cast<uint32_t>(gid));
   block.push_back(std::move(tuple));
@@ -542,6 +579,12 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
   info.spout_task = task_index;
   info.attempt = attempt;
   info.created_micros = options_.clock->NowMicros();
+  if (tracer_ != nullptr) {
+    // Every attempt makes its own sampling decision and — if sampled —
+    // opens a root span that the final ack (OnTreeCompleted) closes. The
+    // previous attempt's trace was abandoned when its tree expired.
+    info.trace_id = tracer_->MaybeStartTrace(info.created_micros);
+  }
   // The guard keeps the accumulator nonzero until every root tuple is
   // enqueued; without it the first copy's subtree could complete (hit zero)
   // before the remaining copies are registered.
@@ -550,6 +593,7 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
   Tuple tuple(fields_[static_cast<size_t>(component_index)], std::move(values),
               spout_time);
   tuple.set_root_key(info.root_key);
+  tuple.set_trace_id(info.trace_id);
   uint64_t batch = 0;
   // Replay-stable dedup root: derived from the message id alone (not the
   // attempt), so a replayed attempt re-derives the exact same per-emission
@@ -574,6 +618,9 @@ void LocalRuntime::OnTreeCompleted(const reliability::TreeInfo& info) {
   const ComponentDef& def =
       topology_.components()[static_cast<size_t>(info.spout_component)];
   metrics_.RecordAck(def.name, info.spout_task);
+  if (tracer_ != nullptr && info.trace_id != 0) {
+    tracer_->CompleteTrace(info.trace_id, options_.clock->NowMicros());
+  }
   TaskRuntime& task = tasks_[static_cast<size_t>(info.spout_component)]
                             [static_cast<size_t>(info.spout_task)];
   if (task.events != nullptr) {
@@ -806,8 +853,17 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
         collectors[i]->BeginExecute(tuple);
         MicrosT start = options_.clock->NowMicros();
         task->bolt->Execute(tuple, collectors[i].get());
-        MicrosT elapsed = options_.clock->NowMicros() - start;
-        refs[i].Record(elapsed);
+        MicrosT end = options_.clock->NowMicros();
+        refs[i].Record(end - start);
+        if (tracer_ != nullptr && tuple.trace_id() != 0) {
+          tracer_->RecordSpan(tuple.trace_id(),
+                              observability::SpanKind::kQueueWait,
+                              component_index, task->task_index,
+                              tuple.trace_enqueue_micros(), start);
+          tracer_->RecordSpan(tuple.trace_id(),
+                              observability::SpanKind::kExecute,
+                              component_index, task->task_index, start, end);
+        }
         uint64_t emitted = collectors[i]->TakeEmitted();
         if (emitted > 0) refs[i].RecordEmit(emitted);
         if (acker_ != nullptr && tuple.root_key() != 0) {
@@ -914,6 +970,11 @@ void LocalRuntime::SupervisorLoop() {
         const ComponentDef& def =
             topology_.components()[static_cast<size_t>(info.spout_component)];
         metrics_.RecordFail(def.name, info.spout_task);
+        // Whether the tree replays or permanently fails, this attempt's
+        // trace is over; a replayed attempt starts a fresh one.
+        if (tracer_ != nullptr && info.trace_id != 0) {
+          tracer_->AbandonTrace(info.trace_id);
+        }
         if (!replay_->Fail(info.message_id, info.spout_component,
                            info.spout_task, now)) {
           TaskRuntime& task =
@@ -1059,6 +1120,9 @@ void LocalRuntime::FailDiscardedTree(const reliability::TreeInfo& info) {
   const ComponentDef& def =
       topology_.components()[static_cast<size_t>(info.spout_component)];
   metrics_.RecordFail(def.name, info.spout_task);
+  if (tracer_ != nullptr && info.trace_id != 0) {
+    tracer_->AbandonTrace(info.trace_id);
+  }
   TaskRuntime& task = tasks_[static_cast<size_t>(info.spout_component)]
                             [static_cast<size_t>(info.spout_task)];
   if (task.events != nullptr) {
@@ -1137,6 +1201,9 @@ void LocalRuntime::TripBreaker(ExecutorSlot* slot) {
          acker_->DiscardSpout(slot->component_index, task.task_index)) {
       replay_->Discard(info.message_id);
       metrics_.RecordFail(def.name, task.task_index);
+      if (tracer_ != nullptr && info.trace_id != 0) {
+        tracer_->AbandonTrace(info.trace_id);
+      }
       task.spout->Fail(info.message_id);
       size_t prev = pending_roots_.fetch_sub(1);
       TMS_DCHECK_GE(prev, size_t{1})

@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "dsps/metrics.h"
 #include "dsps/topology.h"
+#include "observability/trace.h"
 #include "reliability/acker.h"
 #include "reliability/checkpoint.h"
 #include "reliability/fault_injector.h"
@@ -117,6 +118,19 @@ class LocalRuntime {
     MicrosT restart_backoff_max_micros = 1'000'000;
     int breaker_max_restarts = 5;
     MicrosT breaker_window_micros = 10'000'000;
+
+    // --- Tuple tracing (see DESIGN.md "Observability") ---
+
+    /// Constructs the tracer and activates the per-tuple trace plumbing.
+    /// Off by default = seed behaviour. With tracing enabled but
+    /// `trace_sample_rate` 0, every instrumentation point stays compiled in
+    /// and costs one branch per tuple — the configuration the bench-smoke
+    /// throughput gate bounds at <=5% overhead.
+    bool enable_tracing = false;
+    /// Fraction of root emissions sampled, in [0, 1] (deterministic 1-in-N).
+    double trace_sample_rate = 0.0;
+    /// Retained span ring capacity (observability::Tracer::Options).
+    size_t trace_max_spans = 65536;
   };
 
   LocalRuntime(Topology topology, Options options);
@@ -138,6 +152,9 @@ class LocalRuntime {
   bool finished() const { return finished_.load(); }
 
   MetricsRegistry* metrics() { return &metrics_; }
+  /// The span tracer; null unless Options::enable_tracing.
+  observability::Tracer* tracer() { return tracer_.get(); }
+  const observability::Tracer* tracer() const { return tracer_.get(); }
   const Topology& topology() const { return topology_; }
 
   /// Tracked tuple trees not yet resolved (acking only).
@@ -307,6 +324,8 @@ class LocalRuntime {
   // Reliability state (constructed only when acking is enabled).
   std::unique_ptr<reliability::Acker> acker_;
   std::unique_ptr<reliability::ReplayBuffer> replay_;
+  // Observability state (constructed only when tracing is enabled).
+  std::unique_ptr<observability::Tracer> tracer_;
   // Recovery state (constructed only when checkpointing is enabled).
   std::unique_ptr<reliability::CheckpointCoordinator> coordinator_;
   /// Dedup ids are assigned to tracked tuples (acking + dedup + at least

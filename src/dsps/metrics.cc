@@ -27,6 +27,7 @@ void MetricsRegistry::Record(const std::string& component, int task,
   stats.executed.fetch_add(1, std::memory_order_relaxed);
   stats.latency_sum.fetch_add(static_cast<uint64_t>(latency_micros),
                               std::memory_order_relaxed);
+  stats.latency_histogram.Record(latency_micros);
 }
 
 void MetricsRegistry::RecordEmit(const std::string& component, int task,
@@ -93,6 +94,7 @@ MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     totals.deduped += task->deduped.load(std::memory_order_relaxed);
     totals.breaker_trips +=
         task->breaker_trips.load(std::memory_order_relaxed);
+    totals.latency_histogram.Merge(task->latency_histogram.Snapshot());
   }
   if (totals.executed > 0) {
     totals.avg_latency_micros = static_cast<double>(totals.latency_sum_micros) /
@@ -123,23 +125,46 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
   std::vector<WindowReport> window;
   for (auto& [name, stats] : components_) {
     uint64_t executed = 0, latency_sum = 0, acked = 0, failed = 0,
-             replayed = 0;
+             replayed = 0, checkpoints = 0, restores = 0, restore_failures = 0,
+             deduped = 0, breaker_trips = 0;
+    observability::HistogramSnapshot histogram;
     for (const auto& task : stats.tasks) {
       executed += task->executed.load(std::memory_order_relaxed);
       latency_sum += task->latency_sum.load(std::memory_order_relaxed);
       acked += task->acked.load(std::memory_order_relaxed);
       failed += task->failed.load(std::memory_order_relaxed);
       replayed += task->replayed.load(std::memory_order_relaxed);
+      checkpoints += task->checkpoints.load(std::memory_order_relaxed);
+      restores += task->restores.load(std::memory_order_relaxed);
+      restore_failures +=
+          task->restore_failures.load(std::memory_order_relaxed);
+      deduped += task->deduped.load(std::memory_order_relaxed);
+      breaker_trips += task->breaker_trips.load(std::memory_order_relaxed);
+      histogram.Merge(task->latency_histogram.Snapshot());
     }
     WindowReport report;
-    report.window_start = now;
+    report.window_start = window_anchored_ ? last_snapshot_micros_ : now;
+    report.window_length_micros = window_length;
     report.component = name;
     report.executed = executed - stats.last_executed;
     uint64_t latency_delta = latency_sum - stats.last_latency_sum;
     if (report.executed > 0) {
+      // Weighted by construction: the summed latency delta over the summed
+      // executed delta, never an average of per-task averages.
       report.avg_latency_micros = static_cast<double>(latency_delta) /
                                   static_cast<double>(report.executed);
     }
+    // Per-window latency distribution: the element-wise delta of the merged
+    // cumulative histogram against the previous window's merge (bucket
+    // counts only grow, so the subtraction is exact).
+    observability::HistogramSnapshot delta;
+    for (size_t i = 0; i < observability::HistogramSnapshot::kNumBuckets;
+         ++i) {
+      delta.counts[i] = histogram.counts[i] - stats.last_histogram.counts[i];
+    }
+    report.p50_micros = delta.Percentile(50.0);
+    report.p95_micros = delta.Percentile(95.0);
+    report.p99_micros = delta.Percentile(99.0);
     if (window_length > 0) {
       // Storm's capacity = executed × avg latency / window length: the
       // busy-fraction of the window (Section 5's monitor metric, consumed
@@ -150,11 +175,23 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
     report.acked = acked - stats.last_acked;
     report.failed = failed - stats.last_failed;
     report.replayed = replayed - stats.last_replayed;
+    report.checkpoints = checkpoints - stats.last_checkpoints;
+    report.checkpoint_restores = restores - stats.last_restores;
+    report.checkpoint_restore_failures =
+        restore_failures - stats.last_restore_failures;
+    report.deduped = deduped - stats.last_deduped;
+    report.breaker_trips = breaker_trips - stats.last_breaker_trips;
     stats.last_executed = executed;
     stats.last_latency_sum = latency_sum;
     stats.last_acked = acked;
     stats.last_failed = failed;
     stats.last_replayed = replayed;
+    stats.last_checkpoints = checkpoints;
+    stats.last_restores = restores;
+    stats.last_restore_failures = restore_failures;
+    stats.last_deduped = deduped;
+    stats.last_breaker_trips = breaker_trips;
+    stats.last_histogram = histogram;
     window.push_back(report);
     reports_.push_back(window.back());
   }
@@ -167,6 +204,63 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::window_reports()
     const {
   MutexLock lock(window_mutex_);
   return reports_;
+}
+
+observability::MetricsSnapshot MetricsRegistry::PrometheusSnapshot() const {
+  observability::MetricsSnapshot snapshot;
+  struct CounterSpec {
+    const char* name;
+    const char* help;
+    uint64_t ComponentTotals::* field;
+  };
+  static constexpr CounterSpec kCounters[] = {
+      {"insight_tuples_executed_total", "Tuples executed",
+       &ComponentTotals::executed},
+      {"insight_tuples_emitted_total", "Tuples emitted",
+       &ComponentTotals::emitted},
+      {"insight_tuples_acked_total", "Tuple trees fully acked",
+       &ComponentTotals::acked},
+      {"insight_tuples_failed_total", "Tuple trees failed (timeout)",
+       &ComponentTotals::failed},
+      {"insight_tuples_replayed_total", "Root tuples re-emitted",
+       &ComponentTotals::replayed},
+      {"insight_checkpoints_total", "State snapshots durably persisted",
+       &ComponentTotals::checkpoints},
+      {"insight_checkpoint_restores_total",
+       "State restores applied after a relaunch",
+       &ComponentTotals::checkpoint_restores},
+      {"insight_checkpoint_restore_failures_total",
+       "Corrupt or unloadable snapshots",
+       &ComponentTotals::checkpoint_restore_failures},
+      {"insight_tuples_deduped_total", "Replayed duplicates suppressed",
+       &ComponentTotals::deduped},
+      {"insight_breaker_trips_total", "Executors permanently failed",
+       &ComponentTotals::breaker_trips},
+  };
+  std::vector<std::string> names = Components();
+  std::vector<ComponentTotals> totals;
+  totals.reserve(names.size());
+  for (const std::string& name : names) totals.push_back(Totals(name));
+  for (const CounterSpec& spec : kCounters) {
+    observability::CounterFamily family;
+    family.name = spec.name;
+    family.help = spec.help;
+    for (size_t i = 0; i < names.size(); ++i) {
+      family.samples.push_back({"component=\"" + names[i] + "\"",
+                                static_cast<double>(totals[i].*spec.field)});
+    }
+    snapshot.counters.push_back(std::move(family));
+  }
+  observability::HistogramFamily latency;
+  latency.name = "insight_execute_latency_micros";
+  latency.help = "Per-tuple execute latency, microseconds";
+  for (size_t i = 0; i < names.size(); ++i) {
+    latency.samples.push_back(
+        {"component=\"" + names[i] + "\"", totals[i].latency_histogram,
+         static_cast<double>(totals[i].latency_sum_micros)});
+  }
+  snapshot.histograms.push_back(std::move(latency));
+  return snapshot;
 }
 
 }  // namespace dsps

@@ -11,6 +11,8 @@
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "observability/export.h"
+#include "observability/histogram.h"
 
 namespace insight {
 namespace dsps {
@@ -37,20 +39,40 @@ class MetricsRegistry {
     uint64_t checkpoint_restore_failures = 0;  // corrupt/unloadable snapshots
     uint64_t deduped = 0;             // replayed duplicates suppressed
     uint64_t breaker_trips = 0;       // executors permanently failed
+    /// Lifetime execute-latency distribution, merged across tasks.
+    observability::HistogramSnapshot latency_histogram;
   };
 
   struct WindowReport {
+    /// Start of the window this report covers (previously this field held
+    /// the window END, which made report timestamps unusable for aligning
+    /// windows against event logs).
     MicrosT window_start = 0;
+    MicrosT window_length_micros = 0;
     std::string component;
     uint64_t executed = 0;      // throughput: tuples processed in the window
+    /// Mean execute latency over the window, weighted by per-task executed
+    /// counts (latency-sum delta / executed delta — never an unweighted
+    /// average of per-task averages). 0 for an empty window, never NaN.
     double avg_latency_micros = 0.0;
+    /// Execute-latency percentiles over the window, from the merged
+    /// per-task histogram deltas. 0 for an empty window.
+    double p50_micros = 0.0;
+    double p95_micros = 0.0;
+    double p99_micros = 0.0;
     /// Storm's capacity metric: fraction of the window the component's
     /// tasks spent executing (executed × avg latency / window length).
     /// ~1.0 means the component is saturated and needs more executors.
+    /// 0 for an empty window, never NaN.
     double capacity = 0.0;
     uint64_t acked = 0;
     uint64_t failed = 0;
     uint64_t replayed = 0;
+    uint64_t checkpoints = 0;
+    uint64_t checkpoint_restores = 0;
+    uint64_t checkpoint_restore_failures = 0;
+    uint64_t deduped = 0;
+    uint64_t breaker_trips = 0;
   };
 
   /// Declares a component with `num_tasks` tasks. Must be called before any
@@ -87,6 +109,7 @@ class MetricsRegistry {
     std::atomic<uint64_t> restore_failures{0};
     std::atomic<uint64_t> deduped{0};
     std::atomic<uint64_t> breaker_trips{0};
+    observability::LatencyHistogram latency_histogram;
   };
 
  public:
@@ -101,6 +124,7 @@ class MetricsRegistry {
       stats_->executed.fetch_add(1, std::memory_order_relaxed);
       stats_->latency_sum.fetch_add(static_cast<uint64_t>(latency_micros),
                                     std::memory_order_relaxed);
+      stats_->latency_histogram.Record(latency_micros);
     }
     void RecordEmit(uint64_t count) {
       stats_->emitted.fetch_add(count, std::memory_order_relaxed);
@@ -126,6 +150,11 @@ class MetricsRegistry {
   /// All window reports taken so far.
   std::vector<WindowReport> window_reports() const;
 
+  /// Lifetime totals of every counter family plus the per-component
+  /// execute-latency histogram, as a neutral snapshot for the text
+  /// exporter (observability::ExportPrometheusText).
+  observability::MetricsSnapshot PrometheusSnapshot() const;
+
  private:
   struct ComponentStats {
     std::vector<std::unique_ptr<TaskStats>> tasks;
@@ -137,6 +166,12 @@ class MetricsRegistry {
     uint64_t last_acked = 0;
     uint64_t last_failed = 0;
     uint64_t last_replayed = 0;
+    uint64_t last_checkpoints = 0;
+    uint64_t last_restores = 0;
+    uint64_t last_restore_failures = 0;
+    uint64_t last_deduped = 0;
+    uint64_t last_breaker_trips = 0;
+    observability::HistogramSnapshot last_histogram;
   };
 
   TaskStats& StatsFor(const std::string& component, int task);

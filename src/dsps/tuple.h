@@ -110,6 +110,15 @@ class Tuple {
   uint64_t dedup_id() const { return dedup_id_; }
   void set_dedup_id(uint64_t id) { dedup_id_ = id; }
 
+  /// Trace span anchoring (src/observability): nonzero iff the originating
+  /// root emission was sampled. `trace_enqueue_micros` stamps when this
+  /// instance was staged for delivery, so the consumer can record the
+  /// queue-wait span. Runtime-managed, like root_key/edge_id.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  MicrosT trace_enqueue_micros() const { return trace_enqueue_micros_; }
+  void set_trace_enqueue_micros(MicrosT t) { trace_enqueue_micros_ = t; }
+
   std::string ToString() const {
     std::string out = "(";
     const std::vector<Value>& vals = values();
@@ -128,6 +137,8 @@ class Tuple {
   uint64_t root_key_ = 0;
   uint64_t edge_id_ = 0;
   uint64_t dedup_id_ = 0;
+  uint64_t trace_id_ = 0;
+  MicrosT trace_enqueue_micros_ = 0;
 };
 
 }  // namespace dsps

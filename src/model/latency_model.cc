@@ -69,6 +69,23 @@ double LatencyModel::ColocatedLatency(
   return std::max(own_latency, f3_.Predict({own_latency, others}));
 }
 
+Status LatencyModel::FitFromWindowReports(
+    const std::vector<WindowMeasurement>& measurements) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::vector<double> weights;
+  for (const WindowMeasurement& m : measurements) {
+    if (m.executed == 0) continue;
+    x.push_back({m.window_length, m.num_thresholds});
+    y.push_back(m.avg_latency_micros);
+    weights.push_back(static_cast<double>(m.executed));
+  }
+  PolynomialRegression candidate(f1_.num_inputs(), f1_.degree());
+  INSIGHT_RETURN_NOT_OK(candidate.Fit(x, y, weights));
+  f1_ = std::move(candidate);
+  return Status::OK();
+}
+
 std::vector<double> LatencyModel::EstimateAll(
     const std::vector<std::vector<RuleCharacteristics>>& engine_rules,
     const std::vector<int>& engine_node) const {

@@ -1,6 +1,7 @@
 #ifndef INSIGHT_MODEL_LATENCY_MODEL_H_
 #define INSIGHT_MODEL_LATENCY_MODEL_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,18 @@ struct RuleCharacteristics {
   double num_thresholds = 0;
   double weight = 1.0;
   std::optional<double> measured_latency_micros;
+};
+
+/// One measured observation for recalibrating Function 1 from live runtime
+/// metrics: the rule configuration a component ran, the mean execute latency
+/// one monitor window reported for it, and how many executions the window
+/// averaged over. Mirrors dsps::MetricsRegistry::WindowReport without
+/// depending on the runtime layer — callers (benchmarks) convert.
+struct WindowMeasurement {
+  double window_length = 1;
+  double num_thresholds = 0;
+  double avg_latency_micros = 0;
+  uint64_t executed = 0;
 };
 
 /// The three-function latency estimation model of Figure 7:
@@ -64,6 +77,14 @@ class LatencyModel {
   std::vector<double> EstimateAll(
       const std::vector<std::vector<RuleCharacteristics>>& engine_rules,
       const std::vector<int>& engine_node) const;
+
+  /// Refits Function 1 from live window reports (the observability feedback
+  /// loop: monitor windows -> measured averages -> recalibrated model).
+  /// Weighted least squares with each observation weighted by its execution
+  /// count; empty windows (executed == 0) contribute nothing. Keeps the
+  /// current f1 on failure (too few distinct observations, singular system).
+  Status FitFromWindowReports(
+      const std::vector<WindowMeasurement>& measurements);
 
   const PolynomialRegression& f1() const { return f1_; }
   const PolynomialRegression& f2() const { return f2_; }

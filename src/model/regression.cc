@@ -83,8 +83,14 @@ double PolynomialRegression::EvalTerm(size_t term,
 
 Status PolynomialRegression::Fit(const std::vector<std::vector<double>>& x,
                                  const std::vector<double>& y) {
-  if (x.size() != y.size()) {
-    return Status::InvalidArgument("X and y sample counts differ");
+  return Fit(x, y, std::vector<double>(x.size(), 1.0));
+}
+
+Status PolynomialRegression::Fit(const std::vector<std::vector<double>>& x,
+                                 const std::vector<double>& y,
+                                 const std::vector<double>& weights) {
+  if (x.size() != y.size() || x.size() != weights.size()) {
+    return Status::InvalidArgument("X, y and weight sample counts differ");
   }
   size_t m = terms_.size();
   if (x.size() < m) {
@@ -96,15 +102,22 @@ Status PolynomialRegression::Fit(const std::vector<std::vector<double>>& x,
       return Status::InvalidArgument("sample dimension mismatch");
     }
   }
-  // Normal equations: (F^T F) c = F^T y.
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative sample weight");
+  }
+  // Weighted normal equations: (F^T W F) c = F^T W y.
   std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
   std::vector<double> aty(m, 0.0);
   std::vector<double> features(m);
   for (size_t s = 0; s < x.size(); ++s) {
+    double w = weights[s];
+    if (w == 0.0) continue;
     for (size_t t = 0; t < m; ++t) features[t] = EvalTerm(t, x[s]);
     for (size_t i = 0; i < m; ++i) {
-      for (size_t j = i; j < m; ++j) ata[i][j] += features[i] * features[j];
-      aty[i] += features[i] * y[s];
+      for (size_t j = i; j < m; ++j) {
+        ata[i][j] += w * features[i] * features[j];
+      }
+      aty[i] += w * features[i] * y[s];
     }
   }
   for (size_t i = 0; i < m; ++i) {

@@ -23,6 +23,14 @@ class PolynomialRegression {
   Status Fit(const std::vector<std::vector<double>>& x,
              const std::vector<double>& y);
 
+  /// Weighted least squares: solves (F^T W F) c = F^T W y with one
+  /// non-negative weight per sample. Measured window averages come from
+  /// unequal execution counts, so each observation's weight is its sample
+  /// size — an unweighted fit would let a near-empty window pull the curve
+  /// as hard as a saturated one.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, const std::vector<double>& weights);
+
   /// Prediction with the current coefficients (zero before Fit).
   double Predict(const std::vector<double>& x) const;
 

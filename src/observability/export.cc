@@ -1,0 +1,127 @@
+#include "observability/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace insight {
+namespace observability {
+
+namespace {
+
+/// Prometheus-friendly number rendering: integral values (the common case —
+/// every counter and bucket count) print without a fraction so golden files
+/// are stable; everything else prints as shortest-round-trip %g.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.0e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+/// `le` label value for bucket `i` of the shared boundary table.
+std::string BucketBound(size_t i) {
+  if (i >= kLatencyBucketBoundsMicros.size()) return "+Inf";
+  return FormatValue(kLatencyBucketBoundsMicros[i]);
+}
+
+void AppendSampleLine(std::string* out, const std::string& name,
+                      const std::string& labels, double value) {
+  *out += name;
+  if (!labels.empty()) {
+    *out += '{';
+    *out += labels;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += FormatValue(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+void MetricsSnapshot::Append(MetricsSnapshot other) {
+  for (auto& family : other.counters) counters.push_back(std::move(family));
+  for (auto& family : other.histograms) {
+    histograms.push_back(std::move(family));
+  }
+}
+
+MetricsSnapshot TracerSnapshot(const Tracer& tracer) {
+  Tracer::Stats stats = tracer.stats();
+  MetricsSnapshot snapshot;
+  auto add = [&snapshot](const std::string& name, const std::string& help,
+                         uint64_t value) {
+    CounterFamily family;
+    family.name = name;
+    family.help = help;
+    family.samples.push_back({"", static_cast<double>(value)});
+    snapshot.counters.push_back(std::move(family));
+  };
+  add("insight_traces_started_total", "Sampled root emissions", stats.started);
+  add("insight_traces_completed_total",
+      "Root spans closed by a final ack", stats.completed);
+  add("insight_traces_abandoned_total",
+      "Open traces dropped on timeout, replay or permanent failure",
+      stats.abandoned);
+  add("insight_trace_double_completions_total",
+      "CompleteTrace calls on an unknown or already-closed trace",
+      stats.double_completions);
+  add("insight_trace_spans_recorded_total", "Spans recorded",
+      stats.spans_recorded);
+  add("insight_trace_spans_dropped_total", "Spans evicted from the ring",
+      stats.spans_dropped);
+  return snapshot;
+}
+
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterFamily& family : snapshot.counters) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " counter\n";
+    for (const CounterSample& sample : family.samples) {
+      AppendSampleLine(&out, family.name, sample.labels, sample.value);
+    }
+  }
+  for (const HistogramFamily& family : snapshot.histograms) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " histogram\n";
+    for (const HistogramSample& sample : family.samples) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+        cumulative += sample.histogram.counts[i];
+        std::string labels = sample.labels;
+        if (!labels.empty()) labels += ',';
+        labels += "le=\"" + BucketBound(i) + "\"";
+        AppendSampleLine(&out, family.name + "_bucket", labels,
+                         static_cast<double>(cumulative));
+      }
+      AppendSampleLine(&out, family.name + "_sum", sample.labels, sample.sum);
+      AppendSampleLine(&out, family.name + "_count", sample.labels,
+                       static_cast<double>(cumulative));
+    }
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int close_status = std::fclose(f);
+  if (written != text.size() || close_status != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace observability
+}  // namespace insight

@@ -1,0 +1,70 @@
+#ifndef INSIGHT_OBSERVABILITY_EXPORT_H_
+#define INSIGHT_OBSERVABILITY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "observability/histogram.h"
+#include "observability/trace.h"
+
+namespace insight {
+namespace observability {
+
+/// Neutral snapshot model the text exporter serializes. Producers
+/// (MetricsRegistry, Tracer) build one of these, so the exporter depends on
+/// no subsystem and every subsystem can feed it.
+struct CounterSample {
+  /// Raw label block without braces, e.g. `component="sink"`; empty for an
+  /// unlabelled metric.
+  std::string labels;
+  double value = 0;
+};
+
+struct CounterFamily {
+  std::string name;  // full metric name, e.g. insight_tuples_executed_total
+  std::string help;
+  std::vector<CounterSample> samples;
+};
+
+struct HistogramSample {
+  std::string labels;
+  HistogramSnapshot histogram;
+  /// Sum of observed values (Prometheus `_sum`); the bucket counts alone
+  /// cannot reconstruct it.
+  double sum = 0;
+};
+
+struct HistogramFamily {
+  std::string name;
+  std::string help;
+  std::vector<HistogramSample> samples;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterFamily> counters;
+  std::vector<HistogramFamily> histograms;
+
+  /// Appends another snapshot's families (e.g. tracer counters after the
+  /// registry's).
+  void Append(MetricsSnapshot other);
+};
+
+/// Tracer counters (traces started/completed/abandoned, spans recorded...)
+/// as a snapshot, mergeable into a registry export.
+MetricsSnapshot TracerSnapshot(const Tracer& tracer);
+
+/// Serializes the snapshot in the Prometheus text exposition format:
+/// `# HELP` / `# TYPE` headers, one `name{labels} value` line per counter
+/// sample, and cumulative `_bucket{...,le="..."}` / `_sum` / `_count` lines
+/// per histogram sample. Deterministic for a given snapshot (golden-file
+/// testable): families and samples serialize in the order given.
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Writes `text` to `path` (whole-file overwrite).
+Status WriteTextFile(const std::string& path, const std::string& text);
+
+}  // namespace observability
+}  // namespace insight
+
+#endif  // INSIGHT_OBSERVABILITY_EXPORT_H_

@@ -1,0 +1,124 @@
+#include "observability/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insight {
+namespace observability {
+
+Tracer::Tracer(Options options) : options_(options) {
+  double rate = std::clamp(options_.sample_rate, 0.0, 1.0);
+  options_.sample_rate = rate;
+  if (rate > 0.0) {
+    sample_every_ = static_cast<uint64_t>(std::llround(1.0 / rate));
+    if (sample_every_ == 0) sample_every_ = 1;
+  }
+  if (options_.max_spans == 0) options_.max_spans = 1;
+}
+
+uint64_t Tracer::MaybeStartTrace(MicrosT now, bool open_root) {
+  if (sample_every_ == 0) return 0;
+  uint64_t n = sample_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % sample_every_ != 0) return 0;
+  uint64_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  if (open_root) {
+    MutexLock lock(mutex_);
+    if (open_.size() >= options_.max_open) {
+      sample_skips_at_cap_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    open_.emplace(id, now);
+  }
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::RecordSpan(uint64_t trace_id, SpanKind kind, int component,
+                        int task, MicrosT start_micros, MicrosT end_micros) {
+  if (trace_id == 0) return;
+  TraceSpan span;
+  span.trace_id = trace_id;
+  span.kind = kind;
+  span.component = component;
+  span.task = task;
+  span.start_micros = start_micros;
+  span.end_micros = end_micros;
+  MutexLock lock(mutex_);
+  if (spans_.size() >= options_.max_spans) {
+    spans_.pop_front();
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  spans_.push_back(span);
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Tracer::CompleteTrace(uint64_t trace_id, MicrosT now) {
+  if (trace_id == 0) return false;
+  MicrosT start = 0;
+  {
+    MutexLock lock(mutex_);
+    auto it = open_.find(trace_id);
+    if (it == open_.end()) {
+      double_completions_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    start = it->second;
+    open_.erase(it);
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  RecordSpan(trace_id, SpanKind::kRoot, /*component=*/-1, /*task=*/-1, start,
+             now);
+  return true;
+}
+
+void Tracer::AbandonTrace(uint64_t trace_id) {
+  if (trace_id == 0) return;
+  MutexLock lock(mutex_);
+  if (open_.erase(trace_id) > 0) {
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Tracer::Stats Tracer::stats() const {
+  Stats stats;
+  stats.started = started_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.abandoned = abandoned_.load(std::memory_order_relaxed);
+  stats.double_completions =
+      double_completions_.load(std::memory_order_relaxed);
+  stats.spans_recorded = spans_recorded_.load(std::memory_order_relaxed);
+  stats.spans_dropped = spans_dropped_.load(std::memory_order_relaxed);
+  stats.sample_skips_at_cap =
+      sample_skips_at_cap_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  MutexLock lock(mutex_);
+  return std::vector<TraceSpan>(spans_.begin(), spans_.end());
+}
+
+std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  MutexLock lock(mutex_);
+  for (const TraceSpan& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+void Tracer::SetComponentNames(std::vector<std::string> names) {
+  MutexLock lock(mutex_);
+  component_names_ = std::move(names);
+}
+
+std::string Tracer::ComponentName(int index) const {
+  MutexLock lock(mutex_);
+  if (index < 0 || static_cast<size_t>(index) >= component_names_.size()) {
+    return "?";
+  }
+  return component_names_[static_cast<size_t>(index)];
+}
+
+}  // namespace observability
+}  // namespace insight

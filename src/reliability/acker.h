@@ -25,6 +25,10 @@ struct TreeInfo {
   int spout_task = 0;
   int attempt = 0;  // 0 = first emission, n = nth replay
   MicrosT created_micros = 0;
+  /// Observability: nonzero iff this attempt's root emission was sampled
+  /// for tracing. Each replay attempt gets a fresh trace (the previous one
+  /// is abandoned), so the id rides with the attempt, not the message.
+  uint64_t trace_id = 0;
 };
 
 /// Storm's acker: one 64-bit XOR accumulator per pending tuple tree.

@@ -3,6 +3,7 @@
 #include "common/bytes.h"
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/strings.h"
 
 namespace insight {
@@ -122,6 +123,38 @@ bool BusReaderSpout::NextTuple(dsps::Collector* collector) {
                             : TraceToRawValues(trace));
   next_ += stride_;
   return next_ < traces_->size();
+}
+
+void SyntheticBusSpout::Open(const dsps::TaskContext& context) {
+  next_ = static_cast<uint64_t>(context.task_index);
+  stride_ = static_cast<uint64_t>(context.num_tasks);
+}
+
+bool SyntheticBusSpout::NextTuple(dsps::Collector* collector) {
+  if (next_ >= num_tuples_) return false;
+  // Deterministic per-index stream: the same tuple regardless of task count
+  // or interleaving, so probe runs are reproducible.
+  Rng rng(seed_ ^ (next_ * 0x9e3779b97f4a7c15ULL));
+  uint64_t i = next_;
+  BusTrace trace;
+  trace.timestamp = static_cast<MicrosT>(i * 1000);
+  trace.line_id = static_cast<int>(i % 67);
+  trace.direction = (i & 1) == 0;
+  trace.position = {53.35 + rng.Gaussian(0.0, 0.01),
+                    -6.26 + rng.Gaussian(0.0, 0.01)};
+  trace.delay_seconds = rng.Gaussian(90.0, 40.0);
+  trace.congestion = rng.Bernoulli(0.2);
+  trace.reported_stop_id = -1;
+  trace.vehicle_id = static_cast<int>(i % 911);
+  trace.speed_kmh = rng.Gaussian(22.0, 6.0);
+  trace.actual_delay = rng.Gaussian(0.0, 5.0);
+  trace.hour = static_cast<int>((i / 500) % 24);
+  trace.date_type = "weekday";
+  trace.area_leaf = static_cast<int64_t>(i % num_locations_);
+  trace.bus_stop = trace.area_leaf;
+  collector->Emit(TraceToEnrichedValues(trace));
+  next_ += stride_;
+  return next_ < num_tuples_;
 }
 
 Result<std::vector<BusTrace>> LoadTracesCsv(std::istream* in) {

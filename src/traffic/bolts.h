@@ -76,6 +76,29 @@ class BusReaderSpout : public dsps::Spout {
 /// Parses a CSV stream of enriched trace rows.
 Result<std::vector<BusTrace>> LoadTracesCsv(std::istream* in);
 
+/// Emits synthetic enriched bus tuples (EnrichedFields({}) layout, the same
+/// distributions as the bench suite's SyntheticBusEvent), cycling over
+/// `num_locations` locations. Used by calibration probe topologies that need
+/// a live tuple stream without a dataset — e.g. bench_fig11_allocation's
+/// measured-latency runs, which fit the latency model from the monitor
+/// windows such a probe produces. Tuples are striped across tasks.
+class SyntheticBusSpout : public dsps::Spout {
+ public:
+  SyntheticBusSpout(uint64_t num_tuples, size_t num_locations,
+                    uint64_t seed = 29)
+      : num_tuples_(num_tuples), num_locations_(num_locations), seed_(seed) {}
+
+  void Open(const dsps::TaskContext& context) override;
+  bool NextTuple(dsps::Collector* collector) override;
+
+ private:
+  uint64_t num_tuples_;
+  size_t num_locations_;
+  uint64_t seed_;
+  uint64_t next_ = 0;
+  uint64_t stride_ = 1;
+};
+
 /// Adds vehicle speed, actual delay (delta vs the previous report of the
 /// same vehicle), hour and date type. Subscribe with fields-grouping on
 /// `vehicle` so one task sees all reports of a vehicle.

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <thread>
 #include <set>
+
+#include "observability/export.h"
 
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
@@ -456,6 +459,157 @@ TEST(MetricsRegistryTest, WindowCapacityIsBusyFraction) {
   auto idle = registry.TakeWindowSnapshot(40'000);
   ASSERT_EQ(idle.size(), 1u);
   EXPECT_DOUBLE_EQ(idle[0].capacity, 0.0);
+}
+
+TEST(MetricsRegistryTest, EmptyWindowReportsZerosNotNaN) {
+  // Regression: a window with executed == 0 used to divide by zero, leaking
+  // NaN into avg latency and capacity (and from there into anything that
+  // aggregates reports — NaN != NaN makes such bugs invisible to EXPECT_EQ,
+  // so check with isnan explicitly).
+  MetricsRegistry registry;
+  registry.DeclareComponent("idle", 2);
+  registry.MarkWindowStart(0);
+  auto window = registry.TakeWindowSnapshot(40'000'000);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].executed, 0u);
+  EXPECT_FALSE(std::isnan(window[0].avg_latency_micros));
+  EXPECT_FALSE(std::isnan(window[0].capacity));
+  EXPECT_DOUBLE_EQ(window[0].avg_latency_micros, 0.0);
+  EXPECT_DOUBLE_EQ(window[0].capacity, 0.0);
+  EXPECT_DOUBLE_EQ(window[0].p50_micros, 0.0);
+  EXPECT_DOUBLE_EQ(window[0].p95_micros, 0.0);
+  EXPECT_DOUBLE_EQ(window[0].p99_micros, 0.0);
+  EXPECT_EQ(window[0].window_start, 0);
+  EXPECT_EQ(window[0].window_length_micros, 40'000'000);
+}
+
+TEST(MetricsRegistryTest, WindowAverageWeightsTasksByExecutions) {
+  // Regression: the window average must weight each task by its executed
+  // count. Task 0: 1000 × 10 us; task 1: 10 × 1000 us. Weighted mean is
+  // (1000·10 + 10·1000) / 1010 ≈ 19.8 us; the buggy unweighted average of
+  // per-task averages would report (10 + 1000) / 2 = 505 us — off by 25×.
+  MetricsRegistry registry;
+  registry.DeclareComponent("skewed", 2);
+  registry.MarkWindowStart(0);
+  for (int i = 0; i < 1000; ++i) registry.Record("skewed", 0, 10);
+  for (int i = 0; i < 10; ++i) registry.Record("skewed", 1, 1'000);
+  auto window = registry.TakeWindowSnapshot(1'000'000);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].executed, 1010u);
+  EXPECT_NEAR(window[0].avg_latency_micros, 20'000.0 / 1010.0, 1e-9);
+  EXPECT_LT(window[0].avg_latency_micros, 30.0);
+}
+
+TEST(MetricsRegistryTest, WindowPercentilesComeFromWindowDeltas) {
+  // Percentiles are computed from the histogram delta of the window, not
+  // the lifetime histogram: a second window full of slow executions must
+  // not be dragged down by the first window's fast ones.
+  MetricsRegistry registry;
+  registry.DeclareComponent("c", 1);
+  registry.MarkWindowStart(0);
+  for (int i = 0; i < 100; ++i) registry.Record("c", 0, 3);
+  auto first = registry.TakeWindowSnapshot(1'000'000);
+  ASSERT_EQ(first.size(), 1u);
+  // 100 observations in the (2, 5] bucket: median interpolates to 3.5.
+  EXPECT_DOUBLE_EQ(first[0].p50_micros, 3.5);
+
+  for (int i = 0; i < 100; ++i) registry.Record("c", 0, 700);
+  auto second = registry.TakeWindowSnapshot(2'000'000);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_GT(second[0].p50_micros, 500.0);  // (500, 1000] bucket only
+  EXPECT_LE(second[0].p50_micros, 1000.0);
+  EXPECT_LE(second[0].p50_micros, second[0].p95_micros);
+  EXPECT_LE(second[0].p95_micros, second[0].p99_micros);
+  EXPECT_EQ(second[0].window_start, 1'000'000);
+  EXPECT_EQ(second[0].window_length_micros, 1'000'000);
+  // Lifetime totals still see both windows merged.
+  auto totals = registry.Totals("c");
+  EXPECT_EQ(totals.latency_histogram.total(), 200u);
+}
+
+TEST(MetricsRegistryTest, WindowReportCarriesRecoveryCounters) {
+  // Recovery activity (checkpoints, dedup suppressions, restores, breaker
+  // trips) must surface in the same per-window reports as throughput, and
+  // reset with each window like every other delta.
+  MetricsRegistry registry;
+  registry.DeclareComponent("stateful", 2);
+  registry.MarkWindowStart(0);
+  registry.RecordCheckpoint("stateful", 0);
+  registry.RecordCheckpoint("stateful", 1);
+  registry.RecordRestore("stateful", 0);
+  registry.RecordRestoreFailure("stateful", 1);
+  registry.RecordDedup("stateful", 0);
+  registry.RecordDedup("stateful", 0);
+  registry.RecordDedup("stateful", 1);
+  registry.RecordBreakerTrip("stateful", 1);
+  auto window = registry.TakeWindowSnapshot(1'000'000);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].checkpoints, 2u);
+  EXPECT_EQ(window[0].checkpoint_restores, 1u);
+  EXPECT_EQ(window[0].checkpoint_restore_failures, 1u);
+  EXPECT_EQ(window[0].deduped, 3u);
+  EXPECT_EQ(window[0].breaker_trips, 1u);
+
+  // Next window: all recovery deltas are back to zero.
+  auto next = registry.TakeWindowSnapshot(2'000'000);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].checkpoints, 0u);
+  EXPECT_EQ(next[0].checkpoint_restores, 0u);
+  EXPECT_EQ(next[0].checkpoint_restore_failures, 0u);
+  EXPECT_EQ(next[0].deduped, 0u);
+  EXPECT_EQ(next[0].breaker_trips, 0u);
+  // Lifetime totals keep accumulating.
+  auto totals = registry.Totals("stateful");
+  EXPECT_EQ(totals.checkpoints, 2u);
+  EXPECT_EQ(totals.deduped, 3u);
+  EXPECT_EQ(totals.breaker_trips, 1u);
+}
+
+TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
+  // The exporter must see every registered counter family plus the latency
+  // histogram — a family silently missing from the export is precisely the
+  // kind of regression a dashboard never notices.
+  MetricsRegistry registry;
+  registry.DeclareComponent("spout", 1);
+  registry.DeclareComponent("bolt", 1);
+  registry.Record("bolt", 0, 42);
+  registry.RecordEmit("spout", 0, 2);
+  registry.RecordAck("spout", 0);
+  registry.RecordFail("spout", 0);
+  registry.RecordReplay("spout", 0);
+  registry.RecordCheckpoint("bolt", 0);
+  registry.RecordRestore("bolt", 0);
+  registry.RecordRestoreFailure("bolt", 0);
+  registry.RecordDedup("bolt", 0);
+  registry.RecordBreakerTrip("bolt", 0);
+
+  std::string text =
+      observability::ExportPrometheusText(registry.PrometheusSnapshot());
+  for (const char* family : {
+           "insight_tuples_executed_total",
+           "insight_tuples_emitted_total",
+           "insight_tuples_acked_total",
+           "insight_tuples_failed_total",
+           "insight_tuples_replayed_total",
+           "insight_checkpoints_total",
+           "insight_checkpoint_restores_total",
+           "insight_checkpoint_restore_failures_total",
+           "insight_tuples_deduped_total",
+           "insight_breaker_trips_total",
+           "insight_execute_latency_micros",
+       }) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family), std::string::npos)
+        << "family missing from export: " << family;
+  }
+  // Samples carry component labels and real values.
+  EXPECT_NE(text.find("insight_tuples_executed_total{component=\"bolt\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("insight_execute_latency_micros_count{component=\"bolt\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("insight_execute_latency_micros_sum{component=\"bolt\"}"
+                      " 42"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include "dfs/mini_dfs.h"
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
+#include "observability/trace.h"
 #include "reliability/checkpoint.h"
 #include "reliability/fault_injector.h"
 #include "reliability/state_store.h"
@@ -692,6 +693,68 @@ TEST(RecoveryEndToEndTest, LedgerSuppressesReplayedDuplicates) {
   auto source = runtime.metrics()->Totals("source");
   EXPECT_GT(source.replayed, 0u);
   EXPECT_EQ(runtime.pending_trees(), 0u);
+}
+
+TEST(RecoveryEndToEndTest, TraceLifecycleSurvivesReplayAndDedup) {
+  // Trace spans under crash/replay: an expired attempt's trace is
+  // abandoned, the replayed attempt opens a fresh one, and a deduped
+  // re-execution never closes a root span twice — at quiescence every
+  // sampled root is accounted for as exactly one completion or abandonment.
+  constexpr int kTuples = 40;
+  auto sink = std::make_shared<SlowCountingState::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("source",
+                   [=] { return std::make_unique<RootedBurstSpout>(kTuples); },
+                   Fields({"v"}));
+  builder
+      .SetBolt("count",
+               [sink] { return std::make_unique<SlowCountingState>(sink); },
+               Fields({}))
+      .GlobalGrouping("source");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+
+  InMemoryStateStore store;
+  LocalRuntime::Options options;
+  options.enable_acking = true;
+  options.ack_timeout_micros = 5'000;  // shorter than the queue drain time
+  options.max_replays = 50;
+  options.replay_backoff_micros = 1'000;
+  options.supervisor_interval_micros = 1'000;
+  options.enable_checkpointing = true;
+  options.checkpoint_interval_micros = 10'000'000;
+  options.state_store = &store;
+  options.enable_replay_dedup = true;
+  options.enable_tracing = true;
+  options.trace_sample_rate = 1.0;
+  LocalRuntime runtime(std::move(*topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+
+  // The run still behaves effectively-once with tracing on.
+  {
+    MutexLock lock(sink->mutex);
+    ASSERT_EQ(sink->counts.size(), static_cast<size_t>(kTuples));
+    for (const auto& [value, count] : sink->counts) {
+      EXPECT_EQ(count, 1) << "value " << value << " double-counted";
+    }
+  }
+  EXPECT_GT(runtime.metrics()->Totals("count").deduped, 0u);
+  EXPECT_GT(runtime.metrics()->Totals("source").replayed, 0u);
+  EXPECT_EQ(runtime.pending_trees(), 0u);
+
+  ASSERT_NE(runtime.tracer(), nullptr);
+  observability::Tracer::Stats stats = runtime.tracer()->stats();
+  // Every root emission (first attempts + replays) was sampled at rate 1.0.
+  EXPECT_GE(stats.started, static_cast<uint64_t>(kTuples));
+  // Trees expired and replayed, so some attempts' traces were abandoned...
+  EXPECT_GE(stats.abandoned, 1u);
+  // ...and each tuple's surviving attempt completed exactly once: a deduped
+  // duplicate execution must never close a root span a second time.
+  EXPECT_EQ(stats.double_completions, 0u);
+  // At quiescence nothing is left open: sampled roots partition exactly
+  // into completions and abandonments.
+  EXPECT_EQ(stats.started, stats.completed + stats.abandoned);
 }
 
 // ---------------------------------------------------------------------------
