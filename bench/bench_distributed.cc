@@ -1,0 +1,297 @@
+// Distributed-runtime benchmark: the same source -> relay -> sink pipeline
+// through the in-process LocalRuntime and through a 2-worker cluster on
+// loopback (both remote edges ride the TCP transport), with acking on in
+// both. Records throughput and end-to-end tuple latency (spout emission to
+// sink execute, measured on CLOCK_MONOTONIC, which is machine-wide and so
+// comparable across worker processes) into BENCH_distributed.json.
+//
+// Like every cluster binary it is its own worker: the supervisor branch
+// re-execs this executable with --insight-* flags for each worker role.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "dist/options.h"
+#include "dist/runtime.h"
+#include "dsps/local_runtime.h"
+#include "dsps/topology.h"
+
+namespace insight {
+namespace {
+
+using dsps::Bolt;
+using dsps::Collector;
+using dsps::Fields;
+using dsps::LocalRuntime;
+using dsps::Spout;
+using dsps::TopologyBuilder;
+using dsps::Tuple;
+using dsps::Value;
+
+constexpr int kLocalTuples = 200'000;
+constexpr int kDistTuples = 100'000;
+
+class BurstSpout : public Spout {
+ public:
+  explicit BurstSpout(int n) : n_(n) {}
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= n_) return false;
+    collector->EmitRooted(static_cast<uint64_t>(next_ + 1),
+                          {Value(int64_t{next_})});
+    ++next_;
+    return next_ < n_;
+  }
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+class RelayBolt : public Bolt {
+ public:
+  void Execute(const Tuple& input, Collector* collector) override {
+    collector->Emit({input.Get(0)});
+  }
+};
+
+/// Records arrival times and spout->sink latencies; dumps a stats line at
+/// Cleanup (results must escape a worker process). Latency percentiles come
+/// from the full sample set, not a sketch.
+class StatsSink : public Bolt {
+ public:
+  StatsSink(std::string path, int expected)
+      : path_(std::move(path)) {
+    latencies_.reserve(static_cast<size_t>(expected));
+  }
+
+  void Execute(const Tuple& input, Collector*) override {
+    MicrosT now = SystemClock::Get()->NowMicros();
+    if (first_micros_ == 0) first_micros_ = now;
+    last_micros_ = now;
+    latencies_.push_back(now - input.spout_time());
+  }
+
+  void Cleanup() override {
+    std::sort(latencies_.begin(), latencies_.end());
+    MicrosT mean = 0;
+    for (MicrosT latency : latencies_) mean += latency;
+    if (!latencies_.empty()) {
+      mean /= static_cast<MicrosT>(latencies_.size());
+    }
+    auto percentile = [this](double q) -> MicrosT {
+      if (latencies_.empty()) return 0;
+      size_t index = static_cast<size_t>(
+          q * static_cast<double>(latencies_.size() - 1));
+      return latencies_[index];
+    };
+    std::ofstream out(path_, std::ios::trunc);
+    out << latencies_.size() << " " << first_micros_ << " " << last_micros_
+        << " " << mean << " " << percentile(0.50) << " " << percentile(0.95)
+        << " " << percentile(0.99) << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<MicrosT> latencies_;
+  MicrosT first_micros_ = 0;
+  MicrosT last_micros_ = 0;
+};
+
+struct SinkStats {
+  uint64_t count = 0;
+  MicrosT first_micros = 0;
+  MicrosT last_micros = 0;
+  MicrosT mean_micros = 0;
+  MicrosT p50_micros = 0;
+  MicrosT p95_micros = 0;
+  MicrosT p99_micros = 0;
+
+  double TuplesPerSec() const {
+    MicrosT span = last_micros - first_micros;
+    if (span <= 0) return 0;
+    return static_cast<double>(count) * 1e6 / static_cast<double>(span);
+  }
+};
+
+bool ReadStats(const std::string& path, SinkStats* out) {
+  std::ifstream in(path);
+  return static_cast<bool>(in >> out->count >> out->first_micros >>
+                           out->last_micros >> out->mean_micros >>
+                           out->p50_micros >> out->p95_micros >>
+                           out->p99_micros);
+}
+
+dsps::Topology BuildTopology(const std::string& stats_path, int tuples) {
+  TopologyBuilder builder;
+  builder.SetSpout("source",
+                   [tuples] { return std::make_unique<BurstSpout>(tuples); },
+                   Fields({"v"}));
+  builder.SetBolt("relay", [] { return std::make_unique<RelayBolt>(); },
+                  Fields({"v"}), 2)
+      .ShuffleGrouping("source");
+  builder
+      .SetBolt("sink",
+               [stats_path, tuples] {
+                 return std::make_unique<StatsSink>(stats_path, tuples);
+               },
+               Fields({}))
+      .GlobalGrouping("relay");
+  auto topology = builder.Build();
+  if (!topology.ok()) {
+    std::fprintf(stderr, "topology: %s\n",
+                 topology.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(*topology);
+}
+
+dist::DistOptions BuildDistOptions(const std::string& out_dir) {
+  dist::DistOptions options;
+  options.num_workers = 2;
+  // Round-robin: source+sink on worker 0, relay on worker 1 — both edges
+  // cross the loopback transport.
+  options.runtime.enable_acking = true;
+  options.runtime.ack_timeout_micros = 10'000'000;
+  options.worker_args = {"--bench-out=" + out_dir};
+  return options;
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/insight-bench-XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(2);
+  }
+  return dir;
+}
+
+SinkStats RunLocal() {
+  std::string dir = MakeTempDir();
+  std::string stats_path = dir + "/stats.txt";
+  LocalRuntime::Options options;
+  options.enable_acking = true;
+  options.ack_timeout_micros = 10'000'000;
+  LocalRuntime runtime(BuildTopology(stats_path, kLocalTuples), options);
+  if (!runtime.Start().ok()) std::exit(2);
+  runtime.AwaitCompletion();
+  SinkStats stats;
+  if (!ReadStats(stats_path, &stats)) std::exit(2);
+  return stats;
+}
+
+struct DistResult {
+  SinkStats stats;
+  double frames_sent = 0;
+  double bytes_sent = 0;
+};
+
+DistResult RunDistributed() {
+  std::string dir = MakeTempDir();
+  dist::DistributedRuntime runtime(
+      BuildTopology(dir + "/stats.txt", kDistTuples), BuildDistOptions(dir));
+  Status status = runtime.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    std::exit(2);
+  }
+  if (runtime.WaitForCompletion(300'000'000) != 0) {
+    std::fprintf(stderr, "distributed run failed\n");
+    std::exit(2);
+  }
+  DistResult result;
+  if (!ReadStats(dir + "/stats.txt", &result.stats)) std::exit(2);
+  observability::MetricsSnapshot cluster = runtime.ClusterMetrics();
+  for (const auto& family : cluster.counters) {
+    for (const auto& sample : family.samples) {
+      if (family.name == "insight_net_frames_sent_total") {
+        result.frames_sent += sample.value;
+      } else if (family.name == "insight_net_bytes_sent_total") {
+        result.bytes_sent += sample.value;
+      }
+    }
+  }
+  return result;
+}
+
+void PrintScenario(std::FILE* out, const char* name, const SinkStats& stats,
+                   const char* trailer) {
+  std::fprintf(out,
+               "  \"%s\": {\n"
+               "    \"tuples\": %llu,\n"
+               "    \"tuples_per_sec\": %.1f,\n"
+               "    \"mean_latency_micros\": %lld,\n"
+               "    \"p50_latency_micros\": %lld,\n"
+               "    \"p95_latency_micros\": %lld,\n"
+               "    \"p99_latency_micros\": %lld%s\n",
+               name, static_cast<unsigned long long>(stats.count),
+               stats.TuplesPerSec(),
+               static_cast<long long>(stats.mean_micros),
+               static_cast<long long>(stats.p50_micros),
+               static_cast<long long>(stats.p95_micros),
+               static_cast<long long>(stats.p99_micros), trailer);
+}
+
+int BenchMain() {
+  std::printf("local in-process pipeline (%d tuples)...\n", kLocalTuples);
+  SinkStats local = RunLocal();
+  std::printf("  %.0f tuples/s, mean %lld us, p99 %lld us\n",
+              local.TuplesPerSec(), static_cast<long long>(local.mean_micros),
+              static_cast<long long>(local.p99_micros));
+
+  std::printf("distributed 2-worker pipeline on loopback (%d tuples)...\n",
+              kDistTuples);
+  DistResult dist = RunDistributed();
+  std::printf("  %.0f tuples/s, mean %lld us, p99 %lld us, %.0f frames\n",
+              dist.stats.TuplesPerSec(),
+              static_cast<long long>(dist.stats.mean_micros),
+              static_cast<long long>(dist.stats.p99_micros), dist.frames_sent);
+
+  std::FILE* out = std::fopen("BENCH_distributed.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_distributed.json");
+    return 2;
+  }
+  std::fprintf(out, "{\n");
+  PrintScenario(out, "local_runtime", local, "\n  },");
+  PrintScenario(out, "distributed_2workers", dist.stats, ",");
+  std::fprintf(out,
+               "    \"frames_sent\": %.0f,\n"
+               "    \"bytes_sent\": %.0f\n  }\n}\n",
+               dist.frames_sent, dist.bytes_sent);
+  std::fclose(out);
+  std::printf("wrote BENCH_distributed.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace insight
+
+int main(int argc, char** argv) {
+  insight::dist::WorkerSpec spec;
+  if (insight::dist::ParseWorkerSpec(argc, argv, &spec)) {
+    std::string out_dir;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
+        out_dir = argv[i] + 12;
+      }
+    }
+    if (out_dir.empty()) return 2;
+    return insight::dist::RunWorker(
+        spec,
+        insight::BuildTopology(out_dir + "/stats.txt", insight::kDistTuples),
+        insight::BuildDistOptions(out_dir));
+  }
+  return insight::BenchMain();
+}

@@ -1,0 +1,130 @@
+#include "dist/placement.h"
+
+#include <algorithm>
+
+namespace insight {
+namespace dist {
+
+namespace {
+
+constexpr char kIngressPrefix[] = "__in_";
+constexpr char kEgressPrefix[] = "__out_";
+
+bool HasPrefix(const std::string& name, const char* prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::string IngressName(const std::string& source) {
+  return kIngressPrefix + source;
+}
+
+std::string EgressName(const std::string& source) {
+  return kEgressPrefix + source;
+}
+
+bool IsReservedComponentName(const std::string& name) {
+  return HasPrefix(name, kIngressPrefix) || HasPrefix(name, kEgressPrefix);
+}
+
+Placement RoundRobinPlacement(const dsps::Topology& topology,
+                              uint32_t num_workers) {
+  Placement placement;
+  uint32_t next = 0;
+  for (const dsps::ComponentDef& component : topology.components()) {
+    placement.worker_of[component.name] = next;
+    next = (next + 1) % std::max<uint32_t>(num_workers, 1);
+  }
+  return placement;
+}
+
+Placement ResolvePlacement(const dsps::Topology& topology,
+                           const Placement& partial, uint32_t num_workers) {
+  Placement placement = partial;
+  uint32_t next = 0;
+  for (const dsps::ComponentDef& component : topology.components()) {
+    if (placement.worker_of.count(component.name) != 0) continue;
+    placement.worker_of[component.name] =
+        next % std::max<uint32_t>(num_workers, 1);
+    ++next;
+  }
+  return placement;
+}
+
+Status ValidatePlacement(const dsps::Topology& topology,
+                         const Placement& placement, uint32_t num_workers) {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("placement: num_workers must be >= 1");
+  }
+  for (const auto& [name, worker] : placement.worker_of) {
+    if (topology.Find(name) == nullptr) {
+      return Status::InvalidArgument("placement: unknown component '" + name +
+                                     "'");
+    }
+    if (worker >= num_workers) {
+      return Status::InvalidArgument("placement: component '" + name +
+                                     "' assigned to worker " +
+                                     std::to_string(worker) + " of " +
+                                     std::to_string(num_workers));
+    }
+  }
+  for (const dsps::ComponentDef& component : topology.components()) {
+    if (IsReservedComponentName(component.name)) {
+      return Status::InvalidArgument(
+          "placement: component name '" + component.name +
+          "' uses a reserved ingress/egress prefix");
+    }
+    auto it = placement.worker_of.find(component.name);
+    if (it == placement.worker_of.end()) {
+      return Status::InvalidArgument("placement: component '" +
+                                     component.name + "' is not placed");
+    }
+    for (const dsps::Subscription& subscription : component.subscriptions) {
+      if (subscription.grouping != dsps::Grouping::kDirect) continue;
+      auto source_it = placement.worker_of.find(subscription.source);
+      if (source_it != placement.worker_of.end() &&
+          source_it->second != it->second) {
+        return Status::InvalidArgument(
+            "placement: direct grouping edge " + subscription.source + " -> " +
+            component.name +
+            " crosses workers (EmitDirect task indices are worker-local)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+WorkerPlan PlanForWorker(const dsps::Topology& topology,
+                         const Placement& placement, uint32_t worker_id) {
+  WorkerPlan plan;
+  for (const dsps::ComponentDef& component : topology.components()) {
+    uint32_t owner = placement.worker_of.at(component.name);
+    if (owner == worker_id) {
+      plan.owned.push_back(component.name);
+      // Remote destinations: workers hosting subscribers of this component.
+      std::vector<uint32_t> dests;
+      for (const dsps::ComponentDef* subscriber :
+           topology.Subscribers(component.name)) {
+        uint32_t sub_owner = placement.worker_of.at(subscriber->name);
+        if (sub_owner != worker_id) dests.push_back(sub_owner);
+      }
+      std::sort(dests.begin(), dests.end());
+      dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+      if (!dests.empty()) plan.remote_dests[component.name] = std::move(dests);
+    } else {
+      // Does any owned bolt subscribe to this remote component?
+      for (const dsps::ComponentDef* subscriber :
+           topology.Subscribers(component.name)) {
+        if (placement.worker_of.at(subscriber->name) == worker_id) {
+          plan.ingress_sources[component.name] = owner;
+          break;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace dist
+}  // namespace insight

@@ -1,0 +1,70 @@
+#ifndef INSIGHT_DIST_PLACEMENT_H_
+#define INSIGHT_DIST_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsps/topology.h"
+
+namespace insight {
+namespace dist {
+
+/// Which worker hosts each component. Placement is component-granular: all
+/// tasks of a component live on its worker (the paper's per-node executor
+/// model; splitting a component across workers would put one dedup ledger
+/// on two machines).
+struct Placement {
+  std::map<std::string, uint32_t> worker_of;
+};
+
+/// Default policy: components round-robin across workers in declaration
+/// order. With >= 2 workers this lands adjacent pipeline stages on
+/// different workers, which is exactly what the effectively-once design
+/// wants — a checkpointed task's remote subscribers are covered by the
+/// egress retransmit buffer, while co-located edges only get thread-level
+/// delivery guarantees.
+Placement RoundRobinPlacement(const dsps::Topology& topology,
+                              uint32_t num_workers);
+
+/// Fills any components missing from `partial` round-robin and returns the
+/// completed placement.
+Placement ResolvePlacement(const dsps::Topology& topology,
+                           const Placement& partial, uint32_t num_workers);
+
+/// Rejects placements that cannot run: unknown component names, worker ids
+/// out of range, components left unplaced, or a kDirect subscription
+/// crossing workers (EmitDirect addresses a task index, which is only
+/// meaningful inside one worker's sub-topology).
+Status ValidatePlacement(const dsps::Topology& topology,
+                         const Placement& placement, uint32_t num_workers);
+
+/// Everything one worker needs to know about its slice of the topology.
+struct WorkerPlan {
+  /// Components hosted here, in topology declaration order.
+  std::vector<std::string> owned;
+  /// Owned source component -> sorted unique remote workers subscribing to
+  /// it (empty vector entries are omitted).
+  std::map<std::string, std::vector<uint32_t>> remote_dests;
+  /// Remote source component (owned elsewhere, subscribed to by an owned
+  /// bolt) -> the worker that hosts it.
+  std::map<std::string, uint32_t> ingress_sources;
+};
+
+WorkerPlan PlanForWorker(const dsps::Topology& topology,
+                         const Placement& placement, uint32_t worker_id);
+
+/// Name of the ingress spout injected for remote source `source` on a
+/// receiving worker, and of the egress bolt injected after an owned spout
+/// `source` with remote subscribers. Both prefixes are reserved: user
+/// component names must not start with them.
+std::string IngressName(const std::string& source);
+std::string EgressName(const std::string& source);
+bool IsReservedComponentName(const std::string& name);
+
+}  // namespace dist
+}  // namespace insight
+
+#endif  // INSIGHT_DIST_PLACEMENT_H_

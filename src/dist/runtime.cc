@@ -1,0 +1,74 @@
+#include "dist/runtime.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace insight {
+namespace dist {
+
+DistributedRuntime::DistributedRuntime(dsps::Topology topology,
+                                       DistOptions options)
+    : topology_(std::move(topology)), options_(std::move(options)) {}
+
+Status DistributedRuntime::Start() {
+  if (supervisor_ != nullptr) {
+    return Status::FailedPrecondition("distributed runtime already started");
+  }
+  placement_ =
+      ResolvePlacement(topology_, options_.placement, options_.num_workers);
+  INSIGHT_RETURN_NOT_OK(
+      ValidatePlacement(topology_, placement_, options_.num_workers));
+  if (options_.runtime.enable_checkpointing &&
+      options_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing enabled but DistOptions::checkpoint_dir is empty");
+  }
+  supervisor_ = std::make_unique<Supervisor>(options_);
+  return supervisor_->Start();
+}
+
+int DistributedRuntime::WaitForCompletion(MicrosT timeout_micros) {
+  if (supervisor_ == nullptr) return 2;
+  return supervisor_->WaitForCompletion(timeout_micros);
+}
+
+void DistributedRuntime::KillWorker(uint32_t worker_id) {
+  if (supervisor_ != nullptr) supervisor_->KillWorker(worker_id);
+}
+
+uint64_t DistributedRuntime::worker_restarts() const {
+  return supervisor_ != nullptr ? supervisor_->worker_restarts() : 0;
+}
+
+observability::MetricsSnapshot DistributedRuntime::ClusterMetrics() const {
+  return supervisor_ != nullptr ? supervisor_->ClusterMetrics()
+                                : observability::MetricsSnapshot{};
+}
+
+std::vector<dsps::MetricsRegistry::WindowReport>
+DistributedRuntime::ClusterWindows() const {
+  return supervisor_ != nullptr
+             ? supervisor_->ClusterWindows()
+             : std::vector<dsps::MetricsRegistry::WindowReport>{};
+}
+
+int DistributedRuntime::Main(int argc, char** argv,
+                             const std::function<dsps::Topology()>& build,
+                             const DistOptions& options,
+                             MicrosT timeout_micros) {
+  WorkerSpec spec;
+  if (ParseWorkerSpec(argc, argv, &spec)) {
+    return RunWorker(spec, build(), options);
+  }
+  DistributedRuntime runtime(build(), options);
+  Status status = runtime.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "[supervisor] start failed: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+  return runtime.WaitForCompletion(timeout_micros);
+}
+
+}  // namespace dist
+}  // namespace insight

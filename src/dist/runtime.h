@@ -1,0 +1,75 @@
+#ifndef INSIGHT_DIST_RUNTIME_H_
+#define INSIGHT_DIST_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/options.h"
+#include "dist/supervisor.h"
+#include "dist/worker.h"
+#include "dsps/topology.h"
+
+namespace insight {
+namespace dist {
+
+/// Multi-process execution of a topology: the paper's cluster deployment
+/// (one worker process per node, Section 5) on one machine. The same user
+/// binary runs every role — the supervisor re-execs itself per worker, and
+/// each worker builds the identical Topology from user code, keeps the
+/// components placed on it, and swaps remote edges for the net/ transport
+/// (see DESIGN.md "Distributed runtime").
+///
+/// Typical use is through Main(); tests that need the chaos hooks construct
+/// the runtime directly on the supervisor branch:
+///
+///   dist::WorkerSpec spec;
+///   if (dist::ParseWorkerSpec(argc, argv, &spec))
+///     return dist::RunWorker(spec, BuildTopology(), options);
+///   dist::DistributedRuntime runtime(BuildTopology(), options);
+///   runtime.Start();
+///   runtime.KillWorker(1);  // optional chaos
+///   return runtime.WaitForCompletion();
+class DistributedRuntime {
+ public:
+  DistributedRuntime(dsps::Topology topology, DistOptions options);
+
+  /// Validates the placement against the topology, then starts the
+  /// supervisor (spawning the workers).
+  Status Start();
+
+  /// Blocks until the run drains cluster-wide or aborts; returns the run
+  /// exit code (0 = success). `timeout_micros` 0 = no timeout.
+  int WaitForCompletion(MicrosT timeout_micros = 0);
+
+  /// Chaos hook: SIGKILL the worker's current process; supervision restarts
+  /// it with the next incarnation.
+  void KillWorker(uint32_t worker_id);
+
+  uint64_t worker_restarts() const;
+  observability::MetricsSnapshot ClusterMetrics() const;
+  std::vector<dsps::MetricsRegistry::WindowReport> ClusterWindows() const;
+
+  /// The resolved (completed + validated) placement.
+  const Placement& placement() const { return placement_; }
+
+  /// Whole-program entry point for the symmetric binary: runs the worker
+  /// role when the `--insight-*` flags are present, otherwise supervises a
+  /// full run. `build` is invoked once in every process and must construct
+  /// the identical topology.
+  static int Main(int argc, char** argv,
+                  const std::function<dsps::Topology()>& build,
+                  const DistOptions& options, MicrosT timeout_micros = 0);
+
+ private:
+  dsps::Topology topology_;
+  DistOptions options_;
+  Placement placement_;
+  std::unique_ptr<Supervisor> supervisor_;
+};
+
+}  // namespace dist
+}  // namespace insight
+
+#endif  // INSIGHT_DIST_RUNTIME_H_

@@ -1,0 +1,37 @@
+#ifndef INSIGHT_DIST_WORKER_H_
+#define INSIGHT_DIST_WORKER_H_
+
+#include <cstdint>
+
+#include "dist/options.h"
+#include "dsps/topology.h"
+
+namespace insight {
+namespace dist {
+
+/// Identity handed to a spawned worker process on its command line. The
+/// supervisor re-execs the launching binary (symmetric-binary model: every
+/// process builds the identical topology from user code, and these flags
+/// select the worker role).
+struct WorkerSpec {
+  uint32_t worker_id = 0;
+  uint64_t incarnation = 0;
+  uint16_t control_port = 0;
+};
+
+/// Recognizes `--insight-worker-id=N --insight-incarnation=K
+/// --insight-control-port=P`. Returns true — meaning this process is a
+/// spawned worker — only when all three flags are present.
+bool ParseWorkerSpec(int argc, char** argv, WorkerSpec* spec);
+
+/// Runs one worker process to completion: builds this worker's slice of the
+/// topology (ingress spouts for remote sources, egress capture for remote
+/// destinations), serves the data plane, heartbeats the supervisor, drains
+/// on command, and exits. Returns the process exit code.
+int RunWorker(const WorkerSpec& spec, dsps::Topology topology,
+              const DistOptions& options);
+
+}  // namespace dist
+}  // namespace insight
+
+#endif  // INSIGHT_DIST_WORKER_H_

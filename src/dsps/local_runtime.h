@@ -159,6 +159,10 @@ class LocalRuntime {
 
   /// Tracked tuple trees not yet resolved (acking only).
   size_t pending_trees() const { return pending_roots_.load(); }
+  /// Tuples staged or queued but not yet consumed; the distributed worker
+  /// reports this in its heartbeat so the supervisor can detect cluster
+  /// quiescence.
+  int64_t in_flight() const { return in_flight_.load(); }
   /// Executor threads restarted by the supervisor after injected crashes.
   uint64_t executor_restarts() const { return executor_restarts_.load(); }
 

@@ -251,6 +251,38 @@ observability::MetricsSnapshot MetricsRegistry::PrometheusSnapshot() const {
     }
     snapshot.counters.push_back(std::move(family));
   }
+  // Transport counter families: process-wide (unlabelled) so the exporter
+  // stays complete when the registry belongs to a distributed worker.
+  struct TransportSpec {
+    const char* name;
+    const char* help;
+    uint64_t TransportTotals::* field;
+  };
+  static constexpr TransportSpec kTransport[] = {
+      {"insight_net_frames_sent_total", "Data-plane frames sent",
+       &TransportTotals::frames_sent},
+      {"insight_net_bytes_sent_total", "Data-plane bytes sent",
+       &TransportTotals::bytes_sent},
+      {"insight_net_frames_received_total", "Data-plane frames received",
+       &TransportTotals::frames_received},
+      {"insight_net_bytes_received_total", "Data-plane bytes received",
+       &TransportTotals::bytes_received},
+      {"insight_net_reconnects_total",
+       "Data-plane connection (re)establishments",
+       &TransportTotals::reconnects},
+      {"insight_net_requeued_tuples_total",
+       "In-flight tuples requeued for retransmission",
+       &TransportTotals::requeued_tuples},
+  };
+  TransportTotals transport = transport_totals();
+  for (const TransportSpec& spec : kTransport) {
+    observability::CounterFamily family;
+    family.name = spec.name;
+    family.help = spec.help;
+    family.samples.push_back(
+        {"", static_cast<double>(transport.*spec.field)});
+    snapshot.counters.push_back(std::move(family));
+  }
   observability::HistogramFamily latency;
   latency.name = "insight_execute_latency_micros";
   latency.help = "Per-tuple execute latency, microseconds";

@@ -96,6 +96,45 @@ class MetricsRegistry {
   ComponentTotals Totals(const std::string& component) const;
   std::vector<std::string> Components() const;
 
+  /// Process-wide transport counters (src/net data plane). Unlabelled —
+  /// frames are a property of the worker's connections, not of any one
+  /// component — and zero in purely local runs.
+  struct TransportTotals {
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t reconnects = 0;       // data-plane connection (re)establishments
+    uint64_t requeued_tuples = 0;  // in-flight tuples queued for resend
+  };
+  void RecordFramesSent(uint64_t frames, uint64_t bytes) {
+    net_frames_sent_.fetch_add(frames, std::memory_order_relaxed);
+    net_bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordFramesReceived(uint64_t frames, uint64_t bytes) {
+    net_frames_received_.fetch_add(frames, std::memory_order_relaxed);
+    net_bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordReconnect() {
+    net_reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRequeuedTuples(uint64_t count) {
+    net_requeued_tuples_.fetch_add(count, std::memory_order_relaxed);
+  }
+  TransportTotals transport_totals() const {
+    TransportTotals totals;
+    totals.frames_sent = net_frames_sent_.load(std::memory_order_relaxed);
+    totals.bytes_sent = net_bytes_sent_.load(std::memory_order_relaxed);
+    totals.frames_received =
+        net_frames_received_.load(std::memory_order_relaxed);
+    totals.bytes_received =
+        net_bytes_received_.load(std::memory_order_relaxed);
+    totals.reconnects = net_reconnects_.load(std::memory_order_relaxed);
+    totals.requeued_tuples =
+        net_requeued_tuples_.load(std::memory_order_relaxed);
+    return totals;
+  }
+
  private:
   struct TaskStats {
     std::atomic<uint64_t> executed{0};
@@ -179,6 +218,12 @@ class MetricsRegistry {
   /// Structurally mutated only by DeclareComponent before the topology
   /// starts; concurrent phases read the map and bump the atomic counters.
   std::map<std::string, ComponentStats> components_;
+  std::atomic<uint64_t> net_frames_sent_{0};
+  std::atomic<uint64_t> net_bytes_sent_{0};
+  std::atomic<uint64_t> net_frames_received_{0};
+  std::atomic<uint64_t> net_bytes_received_{0};
+  std::atomic<uint64_t> net_reconnects_{0};
+  std::atomic<uint64_t> net_requeued_tuples_{0};
   mutable Mutex window_mutex_;
   std::vector<WindowReport> reports_ GUARDED_BY(window_mutex_);
   MicrosT last_snapshot_micros_ GUARDED_BY(window_mutex_) = 0;

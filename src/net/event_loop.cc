@@ -1,0 +1,320 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace insight {
+namespace net {
+
+namespace {
+
+MicrosT SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Callbacks callbacks, MicrosT tick_interval_micros)
+    : callbacks_(std::move(callbacks)),
+      tick_interval_micros_(tick_interval_micros) {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) == 0) {
+    wake_read_ = fds[0];
+    wake_write_ = fds[1];
+  }
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+Result<uint16_t> EventLoop::Listen(uint16_t port, int tag) {
+  if (started_.load()) {
+    return Status::FailedPrecondition("Listen after Start");
+  }
+  uint16_t bound = 0;
+  Result<Socket> sock = TcpListen(port, &bound);
+  if (!sock.ok()) return sock.status();
+  listeners_.emplace_back(std::move(sock).value(), tag);
+  return bound;
+}
+
+Status EventLoop::Start() {
+  if (wake_read_ < 0) return Status::IoError("pipe2 failed");
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("EventLoop already started");
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoop::Stop() {
+  stopping_.store(true);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  MutexLock lock(mutex_);
+  conns_.clear();
+}
+
+void EventLoop::Wake() {
+  if (wake_write_ < 0) return;
+  char byte = 0;
+  // A full pipe already guarantees a pending wake-up; ignore the result.
+  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+Result<EventLoop::ConnId> EventLoop::Connect(uint16_t port) {
+  Result<Socket> sock = TcpConnect(port);
+  if (!sock.ok()) return sock.status();
+  ConnId id = next_id_.fetch_add(1);
+  auto conn = std::make_unique<Conn>();
+  conn->sock = std::move(sock).value();
+  {
+    MutexLock lock(mutex_);
+    conns_.emplace(id, std::move(conn));
+  }
+  Wake();
+  return id;
+}
+
+bool EventLoop::Send(ConnId id, const Frame& frame) {
+  bool accepted = false;
+  {
+    MutexLock lock(mutex_);
+    auto it = conns_.find(id);
+    if (it != conns_.end() && !it->second->closing) {
+      EncodeFrame(frame, &it->second->out);
+      accepted = true;
+    }
+  }
+  if (accepted) {
+    if (callbacks_.on_sent) {
+      callbacks_.on_sent(1, frame.payload.size() + 5);
+    }
+    Wake();
+  }
+  return accepted;
+}
+
+void EventLoop::Close(ConnId id) {
+  {
+    MutexLock lock(mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    it->second->closing = true;
+  }
+  Wake();
+}
+
+void EventLoop::SetReadPaused(ConnId id, bool paused) {
+  {
+    MutexLock lock(mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    it->second->paused = paused;
+  }
+  Wake();
+}
+
+size_t EventLoop::QueuedBytes(ConnId id) const {
+  MutexLock lock(mutex_);
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return 0;
+  return it->second->out.size() - it->second->out_pos;
+}
+
+Status EventLoop::DrainReadable(ConnId id, Conn* conn) {
+  char buffer[65536];
+  while (true) {
+    ssize_t n = ::recv(conn->sock.fd(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->decoder.Append(buffer, static_cast<size_t>(n));
+      uint64_t frames = 0;
+      Frame frame;
+      while (true) {
+        Result<bool> next = conn->decoder.Next(&frame);
+        if (!next.ok()) return next.status();
+        if (!next.value()) break;
+        ++frames;
+        if (callbacks_.on_received) {
+          callbacks_.on_received(1, frame.payload.size() + 5);
+        }
+        if (callbacks_.on_frame) callbacks_.on_frame(id, std::move(frame));
+        frame = Frame();
+        // The callback may have paused or closed this connection; stop
+        // dispatching buffered frames once it asked us to.
+        MutexLock lock(mutex_);
+        auto it = conns_.find(id);
+        if (it == conns_.end() || it->second->closing) return Status::OK();
+      }
+      if (static_cast<size_t>(n) < sizeof(buffer)) return Status::OK();
+      continue;
+    }
+    if (n == 0) return Status::IoError("peer closed connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status EventLoop::FlushWritable(Conn* conn) {
+  MutexLock lock(mutex_);
+  while (conn->out_pos < conn->out.size()) {
+    ssize_t n =
+        ::send(conn->sock.fd(), conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  } else if (conn->out_pos > (1u << 20)) {
+    conn->out.erase(0, conn->out_pos);
+    conn->out_pos = 0;
+  }
+  return Status::OK();
+}
+
+void EventLoop::CloseInternal(ConnId id, const Status& status) {
+  std::unique_ptr<Conn> conn;
+  {
+    MutexLock lock(mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = std::move(it->second);
+    conns_.erase(it);
+  }
+  if (callbacks_.on_close) callbacks_.on_close(id, status);
+}
+
+void EventLoop::Run() {
+  std::vector<pollfd> fds;
+  std::vector<ConnId> fd_conn;  // conns_[i] id for fds beyond fixed prefix
+  MicrosT next_tick = SteadyNowMicros() + (tick_interval_micros_ > 0
+                                               ? tick_interval_micros_
+                                               : 100'000);
+  while (!stopping_.load()) {
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_read_, POLLIN, 0});
+    for (auto& listener : listeners_) {
+      fds.push_back({listener.first.fd(), POLLIN, 0});
+    }
+    {
+      MutexLock lock(mutex_);
+      for (auto& entry : conns_) {
+        short events = 0;
+        if (entry.second->closing) {
+          events = 0;
+        } else {
+          if (!entry.second->paused) events |= POLLIN;
+          if (entry.second->out_pos < entry.second->out.size()) {
+            events |= POLLOUT;
+          }
+        }
+        fds.push_back({entry.second->sock.fd(), events, 0});
+        fd_conn.push_back(entry.first);
+      }
+    }
+    MicrosT now = SteadyNowMicros();
+    MicrosT wait = next_tick > now ? next_tick - now : 0;
+    int timeout_ms = static_cast<int>((wait + 999) / 1000);
+    int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) break;
+    if (stopping_.load()) break;
+
+    if (fds[0].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    size_t base = 1;
+    for (size_t i = 0; i < listeners_.size(); ++i) {
+      if (!(fds[base + i].revents & POLLIN)) continue;
+      while (true) {
+        Result<Socket> accepted = TcpAccept(listeners_[i].first.fd());
+        if (!accepted.ok() || !accepted.value().valid()) break;
+        ConnId id = next_id_.fetch_add(1);
+        auto conn = std::make_unique<Conn>();
+        conn->sock = std::move(accepted).value();
+        {
+          MutexLock lock(mutex_);
+          conns_.emplace(id, std::move(conn));
+        }
+        if (callbacks_.on_accept) {
+          callbacks_.on_accept(id, listeners_[i].second);
+        }
+      }
+    }
+    base += listeners_.size();
+    for (size_t i = 0; i + base < fds.size(); ++i) {
+      ConnId id = fd_conn[i];
+      short revents = fds[base + i].revents;
+      Conn* conn;
+      bool closing;
+      {
+        MutexLock lock(mutex_);
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        conn = it->second.get();
+        closing = it->second->closing;
+      }
+      if (closing) {
+        CloseInternal(id, Status::OK());
+        continue;
+      }
+      if (revents & (POLLERR | POLLNVAL)) {
+        CloseInternal(id, Status::IoError("socket error"));
+        continue;
+      }
+      Status status = Status::OK();
+      if (revents & (POLLIN | POLLHUP)) {
+        // `conn` stays valid: only this thread erases connections, and a
+        // callback-requested Close only sets the closing flag.
+        status = DrainReadable(id, conn);
+      }
+      if (status.ok() && (revents & POLLOUT)) {
+        status = FlushWritable(conn);
+      }
+      if (!status.ok()) {
+        CloseInternal(id, status);
+        continue;
+      }
+      {
+        MutexLock lock(mutex_);
+        auto it = conns_.find(id);
+        closing = it != conns_.end() && it->second->closing;
+      }
+      if (closing) CloseInternal(id, Status::OK());
+    }
+    now = SteadyNowMicros();
+    if (now >= next_tick) {
+      if (tick_interval_micros_ > 0 && callbacks_.on_tick) {
+        callbacks_.on_tick();
+      }
+      MicrosT interval =
+          tick_interval_micros_ > 0 ? tick_interval_micros_ : 100'000;
+      next_tick = now + interval;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace insight

@@ -1,0 +1,133 @@
+#ifndef INSIGHT_NET_EVENT_LOOP_H_
+#define INSIGHT_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace insight {
+namespace net {
+
+/// Single-threaded poll(2) event loop multiplexing listeners and framed TCP
+/// connections, with thread-safe outbound sends.
+///
+/// Threading model: one internal loop thread owns all socket I/O and frame
+/// decoding and invokes every callback (no callback runs concurrently with
+/// another). Other threads may call Send / Close / SetReadPaused / Connect
+/// at any time; those only touch the mutex-guarded write queues and op
+/// flags, then wake the loop through a self-pipe. Callbacks are invoked
+/// with no internal lock held, so they may freely call back into the loop.
+///
+/// Backpressure: writes are queued per connection and drained as POLLOUT
+/// allows (QueuedBytes exposes the depth — senders above the loop bound
+/// their own in-flight windows, which bounds these queues transitively);
+/// reads can be paused per connection (SetReadPaused), which translates
+/// into TCP backpressure toward the peer.
+class EventLoop {
+ public:
+  using ConnId = uint64_t;
+
+  struct Callbacks {
+    /// Inbound connection accepted on the listener registered with `tag`.
+    std::function<void(ConnId, int tag)> on_accept;
+    /// One complete frame decoded.
+    std::function<void(ConnId, Frame)> on_frame;
+    /// Connection gone: peer EOF, I/O error, corrupt framing, or local
+    /// Close. Fired exactly once per connection, from the loop thread.
+    std::function<void(ConnId, const Status&)> on_close;
+    /// Periodic callback on the loop thread (reconnects, flushes, timers).
+    std::function<void()> on_tick;
+    /// Transport accounting hooks (frames, bytes), called per send/receive.
+    std::function<void(uint64_t, uint64_t)> on_sent;
+    std::function<void(uint64_t, uint64_t)> on_received;
+  };
+
+  EventLoop(Callbacks callbacks, MicrosT tick_interval_micros);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Binds a listener on 127.0.0.1:`port` (0 = ephemeral); returns the
+  /// bound port. Must be called before Start.
+  Result<uint16_t> Listen(uint16_t port, int tag);
+
+  /// Spawns the loop thread.
+  Status Start();
+  /// Stops and joins the loop thread, closing every connection without
+  /// firing further callbacks. Idempotent.
+  void Stop();
+
+  /// Connects to 127.0.0.1:`port` and registers the connection. Safe from
+  /// any thread (including on_tick). Loopback connects resolve immediately,
+  /// so failure (e.g. ECONNREFUSED while the peer restarts) is synchronous.
+  Result<ConnId> Connect(uint16_t port);
+
+  /// Queues one frame for asynchronous delivery. Returns false when the
+  /// connection is unknown or closing (the frame is dropped — callers
+  /// relying on delivery keep their own retransmit buffers).
+  bool Send(ConnId id, const Frame& frame);
+
+  /// Requests an asynchronous close; on_close fires from the loop thread.
+  void Close(ConnId id);
+
+  /// Pauses/resumes reading from the connection (receiver backpressure).
+  void SetReadPaused(ConnId id, bool paused);
+
+  /// Bytes queued but not yet written to the socket.
+  size_t QueuedBytes(ConnId id) const;
+
+ private:
+  /// Per-connection state. `sock` and `decoder` are loop-thread-only; the
+  /// remaining fields are guarded by mutex_ (the annotation cannot be
+  /// expressed on a sibling struct's members, same as
+  /// MetricsRegistry::ComponentStats).
+  struct Conn {
+    Socket sock;
+    FrameDecoder decoder;
+    std::string out;
+    size_t out_pos = 0;
+    bool paused = false;
+    bool closing = false;
+  };
+
+  void Run();
+  void Wake();
+  /// Reads until EAGAIN/EOF, dispatching decoded frames. Returns a non-OK
+  /// status when the connection must be closed.
+  Status DrainReadable(ConnId id, Conn* conn);
+  /// Writes queued bytes until EAGAIN or empty.
+  Status FlushWritable(Conn* conn);
+  void CloseInternal(ConnId id, const Status& status);
+
+  Callbacks callbacks_;
+  MicrosT tick_interval_micros_;
+  std::vector<std::pair<Socket, int>> listeners_;  // loop-thread after Start
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable Mutex mutex_;
+  std::map<ConnId, std::unique_ptr<Conn>> conns_ GUARDED_BY(mutex_);
+};
+
+}  // namespace net
+}  // namespace insight
+
+#endif  // INSIGHT_NET_EVENT_LOOP_H_

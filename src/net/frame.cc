@@ -1,0 +1,43 @@
+#include "net/frame.h"
+
+#include "common/bytes.h"
+
+namespace insight {
+namespace net {
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  ByteWriter writer(out);
+  writer.PutU32(static_cast<uint32_t>(frame.payload.size()));
+  writer.PutU8(static_cast<uint8_t>(frame.type));
+  out->append(frame.payload);
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  const size_t kHeader = 5;
+  if (buffer_.size() - pos_ < kHeader) return false;
+  ByteReader reader(buffer_.data() + pos_, kHeader);
+  uint32_t length = 0;
+  uint8_t type = 0;
+  reader.GetU32(&length);
+  reader.GetU8(&type);
+  if (length > kMaxFramePayload) {
+    return Status::ParseError("frame payload length " +
+                              std::to_string(length) + " exceeds limit");
+  }
+  if (type < kMinFrameType || type > kMaxFrameType) {
+    return Status::ParseError("unknown frame type " + std::to_string(type));
+  }
+  if (buffer_.size() - pos_ < kHeader + length) return false;
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buffer_, pos_ + kHeader, length);
+  pos_ += kHeader + length;
+  // Compact once the consumed prefix dominates, amortizing the memmove.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace insight

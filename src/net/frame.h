@@ -1,0 +1,72 @@
+#ifndef INSIGHT_NET_FRAME_H_
+#define INSIGHT_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace insight {
+namespace net {
+
+/// Every message on a connection is one length-prefixed frame:
+///
+///   | u32 payload length (LE) | u8 type | payload bytes |
+///
+/// The 5-byte header is followed by exactly `length` payload bytes whose
+/// layout is type-specific (see dist/proto.h and net/wire.h). The decoder
+/// rejects unknown types and oversized lengths instead of resynchronizing —
+/// a TCP stream cannot lose bytes, so a bad header means a peer bug or
+/// corruption, and the connection is torn down.
+enum class FrameType : uint8_t {
+  // Control plane (worker <-> supervisor).
+  kHello = 1,      // worker registration: id, incarnation, data port
+  kPeerTable = 2,  // supervisor broadcast of worker data-plane addresses
+  kStatus = 3,     // worker heartbeat + drain progress counters
+  kMetrics = 4,    // worker metrics snapshot + window reports
+  kShutdown = 5,   // supervisor -> workers: drain or abort
+  kFinished = 6,   // worker -> supervisor: runtime drained, exiting
+
+  // Data plane (worker <-> worker).
+  kChannelHello = 7,  // sender identification: worker id, incarnation
+  kTupleBatch = 8,    // one Outbox batch of serialized tuples (net/wire.h)
+  kHopAck = 9,        // receiver -> sender: frame sequences fully resolved
+};
+
+constexpr uint8_t kMinFrameType = 1;
+constexpr uint8_t kMaxFrameType = 9;
+
+/// Frames above this payload size are rejected by the decoder; a sane batch
+/// is kilobytes, so 64 MiB only trips on corruption.
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Appends the framed encoding of `frame` to `*out`.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Incremental decoder over a TCP byte stream: Append received bytes, then
+/// pull complete frames with Next until it reports no-frame.
+class FrameDecoder {
+ public:
+  void Append(const char* data, size_t size) { buffer_.append(data, size); }
+
+  /// kOk + true: `*out` holds the next complete frame. kOk + false: more
+  /// bytes needed. Error: the stream is corrupt (unknown type / oversized
+  /// length) and the connection must be dropped.
+  Result<bool> Next(Frame* out);
+
+  size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace net
+}  // namespace insight
+
+#endif  // INSIGHT_NET_FRAME_H_

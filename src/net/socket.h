@@ -1,0 +1,70 @@
+#ifndef INSIGHT_NET_SOCKET_H_
+#define INSIGHT_NET_SOCKET_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace insight {
+namespace net {
+
+/// RAII owner of a file descriptor. Moves transfer ownership; the destructor
+/// closes. The distributed runtime is loopback-only (the paper's cluster
+/// runs one worker per node of a trusted LAN; we model it as processes on
+/// one host), so every helper below binds or connects to 127.0.0.1.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Reset(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Reset(other.fd_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Switches the descriptor to non-blocking mode.
+Status SetNonBlocking(int fd);
+/// Disables Nagle; latency matters more than tinygrams for framed batches.
+Status SetNoDelay(int fd);
+
+/// Listens on 127.0.0.1:`port` (0 = kernel-chosen ephemeral port, the
+/// default for parallel test runs). The bound port is written to
+/// `*bound_port`; the returned socket is non-blocking.
+Result<Socket> TcpListen(uint16_t port, uint16_t* bound_port,
+                         int backlog = 64);
+
+/// Connects to 127.0.0.1:`port`. The connect itself is blocking (instant or
+/// an immediate ECONNREFUSED on loopback); the returned socket is switched
+/// to non-blocking with TCP_NODELAY set.
+Result<Socket> TcpConnect(uint16_t port);
+
+/// Accepts one pending connection from a non-blocking listener. Returns an
+/// invalid Socket (fd < 0) when no connection is pending, an error Status
+/// only on real accept failures.
+Result<Socket> TcpAccept(int listen_fd);
+
+}  // namespace net
+}  // namespace insight
+
+#endif  // INSIGHT_NET_SOCKET_H_

@@ -1,0 +1,124 @@
+#include "net/wire.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace insight {
+namespace net {
+
+namespace {
+/// Counts above this are treated as corruption before any allocation
+/// happens; the frame layer already caps payloads at 64 MiB, and a million
+/// entries cannot fit a legitimate batch.
+constexpr uint32_t kSanityLimit = 1u << 20;
+}  // namespace
+
+void EncodeTupleBatch(const TupleBatch& batch, std::string* out) {
+  ByteWriter writer(out);
+  writer.PutU32(kTupleBatchMagic);
+  writer.PutString(batch.stream);
+  writer.PutU32(batch.sender_task);
+  writer.PutU64(batch.seq);
+  writer.PutU32(static_cast<uint32_t>(batch.payloads.size()));
+  for (const ValuePayload& payload : batch.payloads) {
+    const std::vector<cep::Value>& values = *payload;
+    writer.PutU32(static_cast<uint32_t>(values.size()));
+    for (const cep::Value& value : values) cep::EncodeValue(value, &writer);
+  }
+  writer.PutU32(static_cast<uint32_t>(batch.tuples.size()));
+  for (const WireTuple& tuple : batch.tuples) {
+    writer.PutU32(tuple.payload_index);
+    writer.PutU64(tuple.wire_id);
+    writer.PutI64(tuple.spout_time);
+  }
+}
+
+Status DecodeTupleBatch(const std::string& payload, TupleBatch* out) {
+  ByteReader reader(payload);
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic)) {
+    return Status::ParseError("tuple batch: truncated magic");
+  }
+  if (magic != kTupleBatchMagic) {
+    return Status::ParseError("tuple batch: bad magic");
+  }
+  if (!reader.GetString(&out->stream)) {
+    return Status::ParseError("tuple batch: truncated stream name");
+  }
+  if (!reader.GetU32(&out->sender_task) || !reader.GetU64(&out->seq)) {
+    return Status::ParseError("tuple batch: truncated header");
+  }
+  uint32_t payload_count = 0;
+  if (!reader.GetU32(&payload_count) || payload_count > kSanityLimit) {
+    return Status::ParseError("tuple batch: bad payload count");
+  }
+  out->payloads.clear();
+  out->payloads.reserve(payload_count);
+  for (uint32_t i = 0; i < payload_count; ++i) {
+    uint32_t value_count = 0;
+    if (!reader.GetU32(&value_count) || value_count > kSanityLimit) {
+      return Status::ParseError("tuple batch: bad value count");
+    }
+    auto values = std::make_shared<std::vector<cep::Value>>();
+    values->reserve(value_count);
+    for (uint32_t v = 0; v < value_count; ++v) {
+      cep::Value value;
+      if (!cep::DecodeValue(&reader, &value)) {
+        return Status::ParseError("tuple batch: corrupt value");
+      }
+      values->push_back(std::move(value));
+    }
+    out->payloads.push_back(std::move(values));
+  }
+  uint32_t tuple_count = 0;
+  if (!reader.GetU32(&tuple_count) || tuple_count > kSanityLimit) {
+    return Status::ParseError("tuple batch: bad tuple count");
+  }
+  out->tuples.clear();
+  out->tuples.reserve(tuple_count);
+  for (uint32_t i = 0; i < tuple_count; ++i) {
+    WireTuple tuple;
+    int64_t spout_time = 0;
+    if (!reader.GetU32(&tuple.payload_index) ||
+        !reader.GetU64(&tuple.wire_id) || !reader.GetI64(&spout_time)) {
+      return Status::ParseError("tuple batch: truncated tuple");
+    }
+    if (tuple.payload_index >= payload_count) {
+      return Status::ParseError("tuple batch: payload index out of range");
+    }
+    tuple.spout_time = spout_time;
+    out->tuples.push_back(tuple);
+  }
+  if (!reader.exhausted()) {
+    return Status::ParseError("tuple batch: trailing bytes");
+  }
+  return Status::OK();
+}
+
+void TupleBatchBuilder::Add(const ValuePayload& payload, uint64_t wire_id,
+                            MicrosT spout_time) {
+  uint32_t index;
+  auto it = payload_index_.find(payload.get());
+  if (it != payload_index_.end()) {
+    index = it->second;
+  } else {
+    index = static_cast<uint32_t>(batch_.payloads.size());
+    batch_.payloads.push_back(payload);
+    payload_index_.emplace(payload.get(), index);
+  }
+  batch_.tuples.push_back(WireTuple{index, wire_id, spout_time});
+}
+
+TupleBatch TupleBatchBuilder::Take(uint64_t seq) {
+  TupleBatch batch = std::move(batch_);
+  batch.stream = stream_;
+  batch.sender_task = sender_task_;
+  batch.seq = seq;
+  batch_ = TupleBatch();
+  payload_index_.clear();
+  return batch;
+}
+
+}  // namespace net
+}  // namespace insight

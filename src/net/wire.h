@@ -1,0 +1,86 @@
+#ifndef INSIGHT_NET_WIRE_H_
+#define INSIGHT_NET_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/event.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace insight {
+namespace net {
+
+/// The shared immutable value buffer of dsps::Tuple (declared structurally
+/// so net/ stays below dsps/ in the layering).
+using ValuePayload = std::shared_ptr<const std::vector<cep::Value>>;
+
+/// One tuple inside a batch frame. `payload_index` points into the batch's
+/// payload table: tuples produced by one fan-out Emit share a payload
+/// object locally, and the table preserves that sharing on the wire — each
+/// distinct buffer is serialized once per batch, however many tuples
+/// reference it, and the decoder rebuilds one shared buffer per entry.
+struct WireTuple {
+  uint32_t payload_index = 0;
+  /// Replay-stable identity assigned by the sending worker (0 = untracked).
+  /// The receiving worker roots the tuple under this id, so the dedup
+  /// chain — and effectively-once suppression — survives the network hop.
+  uint64_t wire_id = 0;
+  MicrosT spout_time = 0;
+};
+
+/// One kTupleBatch frame: every remote edge rides the sender's Outbox
+/// batching, so a batch becomes exactly one frame.
+///
+///   u32 magic | string stream | u32 sender_task | u64 seq |
+///   u32 payload_count | payloads (u32 value_count, values...) |
+///   u32 tuple_count | tuples (u32 payload_index, u64 wire_id, i64 time)
+///
+/// `seq` numbers frames per (stream, sender_task, destination) channel;
+/// the receiver acks resolved sequences (kHopAck) and drops duplicates of
+/// sequences it has already seen from the same sender incarnation.
+struct TupleBatch {
+  std::string stream;        // source component name
+  uint32_t sender_task = 0;  // task index within the source component
+  uint64_t seq = 0;
+  std::vector<ValuePayload> payloads;
+  std::vector<WireTuple> tuples;
+};
+
+constexpr uint32_t kTupleBatchMagic = 0x31425754;  // "TWB1"
+
+void EncodeTupleBatch(const TupleBatch& batch, std::string* out);
+
+/// Rejects truncated or corrupt payloads (bad magic, out-of-range payload
+/// index, trailing bytes, absurd counts) with a clean error.
+Status DecodeTupleBatch(const std::string& payload, TupleBatch* out);
+
+/// Accumulates tuples for one outgoing frame, deduplicating payloads by
+/// buffer identity so shared payloads serialize once per batch.
+class TupleBatchBuilder {
+ public:
+  TupleBatchBuilder(std::string stream, uint32_t sender_task)
+      : stream_(std::move(stream)), sender_task_(sender_task) {}
+
+  void Add(const ValuePayload& payload, uint64_t wire_id, MicrosT spout_time);
+
+  size_t tuple_count() const { return batch_.tuples.size(); }
+  bool empty() const { return batch_.tuples.empty(); }
+
+  /// Finalizes the batch under `seq` and resets the builder.
+  TupleBatch Take(uint64_t seq);
+
+ private:
+  std::string stream_;
+  uint32_t sender_task_ = 0;
+  TupleBatch batch_;
+  std::unordered_map<const void*, uint32_t> payload_index_;
+};
+
+}  // namespace net
+}  // namespace insight
+
+#endif  // INSIGHT_NET_WIRE_H_

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
 
 namespace insight {
 namespace reliability {
@@ -80,6 +84,102 @@ Result<StateStore::Snapshot> DfsStateStore::GetLatest(
 
 Status DfsStateStore::Remove(const std::string& key) {
   dfs_->DeleteRecursive(DirFor(key));
+  return Status::OK();
+}
+
+namespace {
+
+/// Checkpoint keys are "component#task"; keep directory names shell-safe.
+std::string SanitizeKey(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == '.') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+FileStateStore::FileStateStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+}
+
+std::string FileStateStore::DirFor(const std::string& key) const {
+  return root_ + "/" + SanitizeKey(key);
+}
+
+Status FileStateStore::Put(const std::string& key, uint64_t epoch,
+                           const std::string& bytes) {
+  namespace fs = std::filesystem;
+  MutexLock lock(mutex_);
+  const std::string dir = DirFor(key);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("mkdir " + dir + ": " + ec.message());
+  }
+  char name[32];
+  std::snprintf(name, sizeof(name), "%020llu",
+                static_cast<unsigned long long>(epoch));  // NOLINT(runtime/int): printf width format
+  const std::string path = dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return Status::IoError("write " + tmp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + tmp + ": " + ec.message());
+  }
+  // Prune older epochs only after the new one is in place.
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (filename != name && filename.find(".tmp") == std::string::npos) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Result<StateStore::Snapshot> FileStateStore::GetLatest(
+    const std::string& key) const {
+  namespace fs = std::filesystem;
+  MutexLock lock(mutex_);
+  const std::string dir = DirFor(key);
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.find(".tmp") == std::string::npos) {
+      names.push_back(filename);
+    }
+  }
+  if (ec || names.empty()) {
+    return Status::NotFound("no checkpoint for '" + key + "'");
+  }
+  // Zero-padded names: lexicographic max = newest epoch.
+  std::string newest;
+  for (const std::string& filename : names) {
+    if (filename > newest) newest = filename;
+  }
+  Snapshot snapshot;
+  snapshot.epoch = std::strtoull(newest.c_str(), nullptr, 10);
+  std::ifstream in(dir + "/" + newest, std::ios::binary);
+  if (!in) return Status::IoError("open " + dir + "/" + newest);
+  snapshot.bytes.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read " + dir + "/" + newest);
+  return snapshot;
+}
+
+Status FileStateStore::Remove(const std::string& key) {
+  MutexLock lock(mutex_);
+  std::error_code ec;
+  std::filesystem::remove_all(DirFor(key), ec);
   return Status::OK();
 }
 

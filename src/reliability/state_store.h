@@ -73,6 +73,30 @@ class DfsStateStore : public StateStore {
   std::string root_;
 };
 
+/// Filesystem-backed store for the distributed runtime: every worker
+/// process of a cluster points at the same root directory, so a restarted
+/// worker incarnation finds the snapshots its predecessor persisted.
+/// Layout mirrors DfsStateStore (`<root>/<key>/<epoch>`); each epoch file
+/// is written to a temp name and renamed into place, so readers only ever
+/// see complete snapshots, and older epochs are pruned after the new one
+/// is durable.
+class FileStateStore : public StateStore {
+ public:
+  /// Creates `root` (and parents) if missing.
+  explicit FileStateStore(std::string root);
+
+  Status Put(const std::string& key, uint64_t epoch,
+             const std::string& bytes) override;
+  Result<Snapshot> GetLatest(const std::string& key) const override;
+  Status Remove(const std::string& key) override;
+
+ private:
+  std::string DirFor(const std::string& key) const;
+
+  std::string root_;
+  mutable Mutex mutex_;  // serializes directory-level mutations per store
+};
+
 }  // namespace reliability
 }  // namespace insight
 

@@ -582,6 +582,10 @@ TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
   registry.RecordRestoreFailure("bolt", 0);
   registry.RecordDedup("bolt", 0);
   registry.RecordBreakerTrip("bolt", 0);
+  registry.RecordFramesSent(3, 1200);
+  registry.RecordFramesReceived(2, 800);
+  registry.RecordReconnect();
+  registry.RecordRequeuedTuples(7);
 
   std::string text =
       observability::ExportPrometheusText(registry.PrometheusSnapshot());
@@ -597,6 +601,12 @@ TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
            "insight_tuples_deduped_total",
            "insight_breaker_trips_total",
            "insight_execute_latency_micros",
+           "insight_net_frames_sent_total",
+           "insight_net_bytes_sent_total",
+           "insight_net_frames_received_total",
+           "insight_net_bytes_received_total",
+           "insight_net_reconnects_total",
+           "insight_net_requeued_tuples_total",
        }) {
     EXPECT_NE(text.find(std::string("# TYPE ") + family), std::string::npos)
         << "family missing from export: " << family;
@@ -609,6 +619,16 @@ TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
       std::string::npos);
   EXPECT_NE(text.find("insight_execute_latency_micros_sum{component=\"bolt\"}"
                       " 42"),
+            std::string::npos);
+  // Transport counters are unlabelled process-wide totals.
+  EXPECT_NE(text.find("insight_net_frames_sent_total 3"), std::string::npos);
+  EXPECT_NE(text.find("insight_net_bytes_sent_total 1200"), std::string::npos);
+  EXPECT_NE(text.find("insight_net_frames_received_total 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("insight_net_bytes_received_total 800"),
+            std::string::npos);
+  EXPECT_NE(text.find("insight_net_reconnects_total 1"), std::string::npos);
+  EXPECT_NE(text.find("insight_net_requeued_tuples_total 7"),
             std::string::npos);
 }
 

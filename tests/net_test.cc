@@ -1,0 +1,403 @@
+// Transport-layer tests: frame codec hardening, wire tuple-batch
+// round-trips (property/fuzz style, deterministic seeds), and event-loop
+// frame exchange on loopback.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cep/event.h"
+#include "gtest/gtest.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace insight {
+namespace net {
+namespace {
+
+using cep::Value;
+using cep::ValueType;
+
+bool SameValue(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kInt:
+      return a.AsInt() == b.AsInt();
+    case ValueType::kDouble:
+      return a.AsDouble() == b.AsDouble();
+    case ValueType::kBool:
+      return a.AsBool() == b.AsBool();
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+TEST(FrameTest, RoundTripAcrossChunkBoundaries) {
+  std::vector<Frame> frames;
+  frames.push_back({FrameType::kHello, "hello payload"});
+  frames.push_back({FrameType::kTupleBatch, std::string(10'000, 'x')});
+  frames.push_back({FrameType::kHopAck, ""});  // empty payload is legal
+  frames.push_back({FrameType::kShutdown, std::string("\x00\xff\x01", 3)});
+
+  std::string stream;
+  for (const Frame& frame : frames) EncodeFrame(frame, &stream);
+
+  // Feed the decoder in every chunk size from 1 byte to the whole stream.
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, stream.size()}) {
+    FrameDecoder decoder;
+    std::vector<Frame> decoded;
+    for (size_t offset = 0; offset < stream.size(); offset += chunk) {
+      size_t n = std::min(chunk, stream.size() - offset);
+      decoder.Append(stream.data() + offset, n);
+      Frame frame;
+      for (;;) {
+        Result<bool> more = decoder.Next(&frame);
+        ASSERT_TRUE(more.ok());
+        if (!more.value()) break;
+        decoded.push_back(frame);
+      }
+    }
+    ASSERT_EQ(decoded.size(), frames.size()) << "chunk=" << chunk;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(decoded[i].type),
+                static_cast<int>(frames[i].type));
+      EXPECT_EQ(decoded[i].payload, frames[i].payload);
+    }
+  }
+}
+
+TEST(FrameTest, RejectsUnknownType) {
+  std::string stream;
+  EncodeFrame({FrameType::kHello, "ok"}, &stream);
+  stream[4] = static_cast<char>(200);  // type byte out of range
+  FrameDecoder decoder;
+  decoder.Append(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+}
+
+TEST(FrameTest, RejectsOversizedLength) {
+  std::string stream;
+  EncodeFrame({FrameType::kHello, "ok"}, &stream);
+  // Length prefix far beyond kMaxFramePayload.
+  stream[0] = '\xff';
+  stream[1] = '\xff';
+  stream[2] = '\xff';
+  stream[3] = '\xff';
+  FrameDecoder decoder;
+  decoder.Append(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame).ok());
+}
+
+TEST(FrameTest, PartialFrameIsNotAFrame) {
+  std::string stream;
+  EncodeFrame({FrameType::kStatus, "payload"}, &stream);
+  FrameDecoder decoder;
+  decoder.Append(stream.data(), stream.size() - 1);
+  Frame frame;
+  Result<bool> more = decoder.Next(&frame);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(more.value());
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-batch wire codec
+
+ValuePayload MakePayload(std::vector<Value> values) {
+  return std::make_shared<const std::vector<Value>>(std::move(values));
+}
+
+Value RandomValue(std::mt19937_64& rng) {
+  switch (rng() % 6) {
+    case 0:
+      return Value(static_cast<int64_t>(rng()));
+    case 1:
+      // Finite doubles only: NaN would break exact comparison.
+      return Value(static_cast<double>(static_cast<int64_t>(rng())) / 3.0);
+    case 2:
+      return Value(rng() % 2 == 0);
+    case 3:
+      return Value(std::string());  // empty string
+    case 4: {
+      std::string s(rng() % 64, '\0');
+      for (char& c : s) c = static_cast<char>(rng() % 256);
+      return Value(std::move(s));
+    }
+    default: {
+      // Large string: forces multi-kilobyte payload encodings.
+      std::string s(1024 + rng() % 8192, '\0');
+      for (char& c : s) c = static_cast<char>(rng() % 256);
+      return Value(std::move(s));
+    }
+  }
+}
+
+TEST(WireTest, FuzzRoundTripPreservesEverything) {
+  std::mt19937_64 rng(0xdecaf001);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    TupleBatch batch;
+    batch.stream = "component-" + std::to_string(rng() % 10);
+    batch.sender_task = static_cast<uint32_t>(rng() % 8);
+    batch.seq = rng();
+    size_t payload_count = rng() % 6;
+    for (size_t i = 0; i < payload_count; ++i) {
+      std::vector<Value> values;
+      size_t value_count = rng() % 5;  // includes empty value vectors
+      for (size_t v = 0; v < value_count; ++v) {
+        values.push_back(RandomValue(rng));
+      }
+      batch.payloads.push_back(MakePayload(std::move(values)));
+    }
+    if (!batch.payloads.empty()) {
+      size_t tuple_count = rng() % 10;
+      for (size_t i = 0; i < tuple_count; ++i) {
+        WireTuple tuple;
+        tuple.payload_index = static_cast<uint32_t>(rng() % batch.payloads.size());
+        tuple.wire_id = rng();
+        tuple.spout_time = static_cast<MicrosT>(rng() % (1LL << 40));
+        batch.tuples.push_back(tuple);
+      }
+    }
+
+    std::string encoded;
+    EncodeTupleBatch(batch, &encoded);
+    TupleBatch decoded;
+    ASSERT_TRUE(DecodeTupleBatch(encoded, &decoded).ok())
+        << "iteration " << iteration;
+
+    EXPECT_EQ(decoded.stream, batch.stream);
+    EXPECT_EQ(decoded.sender_task, batch.sender_task);
+    EXPECT_EQ(decoded.seq, batch.seq);
+    ASSERT_EQ(decoded.payloads.size(), batch.payloads.size());
+    for (size_t i = 0; i < batch.payloads.size(); ++i) {
+      ASSERT_EQ(decoded.payloads[i]->size(), batch.payloads[i]->size());
+      for (size_t v = 0; v < batch.payloads[i]->size(); ++v) {
+        EXPECT_TRUE(
+            SameValue((*decoded.payloads[i])[v], (*batch.payloads[i])[v]))
+            << "iteration " << iteration << " payload " << i << " value " << v;
+      }
+    }
+    ASSERT_EQ(decoded.tuples.size(), batch.tuples.size());
+    for (size_t i = 0; i < batch.tuples.size(); ++i) {
+      EXPECT_EQ(decoded.tuples[i].payload_index, batch.tuples[i].payload_index);
+      EXPECT_EQ(decoded.tuples[i].wire_id, batch.tuples[i].wire_id);
+      EXPECT_EQ(decoded.tuples[i].spout_time, batch.tuples[i].spout_time);
+      // Payload sharing survives the wire: same index -> same buffer object.
+      EXPECT_EQ(decoded.payloads[decoded.tuples[i].payload_index].get(),
+                decoded.payloads[batch.tuples[i].payload_index].get());
+    }
+  }
+}
+
+TEST(WireTest, BuilderDeduplicatesSharedPayloads) {
+  ValuePayload shared = MakePayload({Value(1), Value("x")});
+  ValuePayload other = MakePayload({Value(2.5)});
+  TupleBatchBuilder builder("s", 3);
+  builder.Add(shared, 11, 100);
+  builder.Add(shared, 12, 101);
+  builder.Add(other, 13, 102);
+  builder.Add(shared, 14, 103);
+  TupleBatch batch = builder.Take(42);
+  EXPECT_EQ(batch.seq, 42u);
+  ASSERT_EQ(batch.payloads.size(), 2u);  // serialized once per buffer
+  ASSERT_EQ(batch.tuples.size(), 4u);
+  EXPECT_EQ(batch.tuples[0].payload_index, batch.tuples[1].payload_index);
+  EXPECT_EQ(batch.tuples[0].payload_index, batch.tuples[3].payload_index);
+  EXPECT_NE(batch.tuples[0].payload_index, batch.tuples[2].payload_index);
+  // Take resets the builder.
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(WireTest, EveryTruncationIsRejectedCleanly) {
+  TupleBatch batch;
+  batch.stream = "detect";
+  batch.sender_task = 1;
+  batch.seq = 7;
+  batch.payloads.push_back(
+      MakePayload({Value(123), Value("truncation-probe"), Value(false)}));
+  batch.payloads.push_back(MakePayload({Value(2.25)}));
+  for (uint32_t i = 0; i < 3; ++i) {
+    batch.tuples.push_back(WireTuple{i % 2, 1000 + i, 5});
+  }
+  std::string encoded;
+  EncodeTupleBatch(batch, &encoded);
+
+  TupleBatch decoded;
+  ASSERT_TRUE(DecodeTupleBatch(encoded, &decoded).ok());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    TupleBatch scratch;
+    EXPECT_FALSE(DecodeTupleBatch(encoded.substr(0, len), &scratch).ok())
+        << "prefix of length " << len << " decoded successfully";
+  }
+  // Trailing garbage is also rejected (exhaustion check).
+  TupleBatch scratch;
+  EXPECT_FALSE(DecodeTupleBatch(encoded + "junk", &scratch).ok());
+}
+
+TEST(WireTest, RejectsBadMagicAndBadPayloadIndex) {
+  TupleBatch batch;
+  batch.stream = "s";
+  batch.payloads.push_back(MakePayload({Value(1)}));
+  batch.tuples.push_back(WireTuple{0, 1, 0});
+  std::string encoded;
+  EncodeTupleBatch(batch, &encoded);
+
+  std::string bad_magic = encoded;
+  bad_magic[0] ^= 0x5a;
+  TupleBatch scratch;
+  EXPECT_FALSE(DecodeTupleBatch(bad_magic, &scratch).ok());
+
+  // Out-of-range payload index: rebuild with a corrupted index.
+  TupleBatch bad_index = batch;
+  bad_index.tuples[0].payload_index = 9;
+  std::string encoded_bad;
+  EncodeTupleBatch(bad_index, &encoded_bad);
+  EXPECT_FALSE(DecodeTupleBatch(encoded_bad, &scratch).ok());
+}
+
+TEST(WireTest, RandomByteFlipsNeverCrashTheDecoder) {
+  TupleBatch batch;
+  batch.stream = "fuzz";
+  batch.sender_task = 2;
+  batch.seq = 99;
+  for (int i = 0; i < 4; ++i) {
+    batch.payloads.push_back(MakePayload(
+        {Value(i), Value(std::string(100, static_cast<char>('a' + i)))}));
+    batch.tuples.push_back(WireTuple{static_cast<uint32_t>(i), 50u + i, 1});
+  }
+  std::string encoded;
+  EncodeTupleBatch(batch, &encoded);
+
+  std::mt19937_64 rng(0xdecaf002);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string corrupted = encoded;
+    size_t flips = 1 + rng() % 4;
+    for (size_t f = 0; f < flips; ++f) {
+      corrupted[rng() % corrupted.size()] ^= static_cast<char>(1 + rng() % 255);
+    }
+    TupleBatch scratch;
+    // Must never crash or trip the sanitizers; a clean error or a decode of
+    // coincidentally-valid different data are both acceptable.
+    (void)DecodeTupleBatch(corrupted, &scratch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+
+struct LoopHarness {
+  std::atomic<int> frames_seen{0};
+  std::atomic<uint64_t> accepted_conn{0};
+  std::atomic<uint64_t> closed{0};
+  Mutex mutex;
+  std::vector<Frame> received;
+
+  EventLoop::Callbacks CallbacksFor() {
+    EventLoop::Callbacks callbacks;
+    callbacks.on_accept = [this](EventLoop::ConnId id, int) {
+      accepted_conn.store(id);
+    };
+    callbacks.on_frame = [this](EventLoop::ConnId, Frame frame) {
+      MutexLock lock(mutex);
+      received.push_back(std::move(frame));
+      frames_seen.fetch_add(1);
+    };
+    callbacks.on_close = [this](EventLoop::ConnId, const Status&) {
+      closed.fetch_add(1);
+    };
+    return callbacks;
+  }
+};
+
+bool WaitFor(const std::function<bool()>& predicate, int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; ++waited) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return predicate();
+}
+
+TEST(EventLoopTest, FramesFlowBothWays) {
+  LoopHarness server_side;
+  LoopHarness client_side;
+  EventLoop server(server_side.CallbacksFor(), 0);
+  EventLoop client(client_side.CallbacksFor(), 0);
+
+  Result<uint16_t> port = server.Listen(0, 1);
+  ASSERT_TRUE(port.ok());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(client.Start().ok());
+
+  Result<EventLoop::ConnId> conn = client.Connect(port.value());
+  ASSERT_TRUE(conn.ok());
+
+  // Client -> server: several frames including a large one.
+  ASSERT_TRUE(client.Send(conn.value(), {FrameType::kHello, "greetings"}));
+  ASSERT_TRUE(
+      client.Send(conn.value(), {FrameType::kTupleBatch, std::string(256 * 1024, 'z')}));
+  ASSERT_TRUE(WaitFor([&] { return server_side.frames_seen.load() == 2; }));
+  {
+    MutexLock lock(server_side.mutex);
+    EXPECT_EQ(server_side.received[0].payload, "greetings");
+    EXPECT_EQ(server_side.received[1].payload.size(), 256u * 1024);
+  }
+
+  // Server -> client on the accepted connection.
+  uint64_t server_conn = server_side.accepted_conn.load();
+  ASSERT_NE(server_conn, 0u);
+  ASSERT_TRUE(server.Send(server_conn, {FrameType::kHopAck, "ack"}));
+  ASSERT_TRUE(WaitFor([&] { return client_side.frames_seen.load() == 1; }));
+  {
+    MutexLock lock(client_side.mutex);
+    EXPECT_EQ(client_side.received[0].payload, "ack");
+  }
+
+  // Closing the client side fires on_close on both loops.
+  client.Close(conn.value());
+  ASSERT_TRUE(WaitFor([&] {
+    return client_side.closed.load() == 1 && server_side.closed.load() == 1;
+  }));
+
+  client.Stop();
+  server.Stop();
+}
+
+TEST(EventLoopTest, CorruptStreamTearsDownConnection) {
+  LoopHarness server_side;
+  LoopHarness client_side;
+  EventLoop server(server_side.CallbacksFor(), 0);
+  EventLoop client(client_side.CallbacksFor(), 0);
+  Result<uint16_t> port = server.Listen(0, 1);
+  ASSERT_TRUE(port.ok());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(client.Start().ok());
+  Result<EventLoop::ConnId> conn = client.Connect(port.value());
+  ASSERT_TRUE(conn.ok());
+
+  // A frame with an unknown type byte: the server must drop the connection.
+  Frame bogus;
+  bogus.type = static_cast<FrameType>(250);
+  bogus.payload = "garbage";
+  client.Send(conn.value(), bogus);
+  ASSERT_TRUE(WaitFor([&] { return server_side.closed.load() == 1; }));
+  EXPECT_EQ(server_side.frames_seen.load(), 0);
+
+  client.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace insight
