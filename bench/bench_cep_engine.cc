@@ -1,10 +1,69 @@
-// Microbenchmarks of the CEP engine (google-benchmark). Not a paper figure;
-// these calibrate and guard the per-tuple costs the DES-based figure benches
-// consume: cost vs window length, threshold-stream size, and rule count.
+// Microbenchmarks of the CEP engine. Two modes:
+//
+//  - Default: google-benchmark microbenchmarks (cost vs window length,
+//    threshold-stream size, rule count). Not a paper figure; these calibrate
+//    and guard the per-tuple costs the DES-based figure benches consume.
+//
+//  - `bench_cep_engine BENCH_cep.json`: row-vs-columnar comparison with an
+//    instrumented allocator. Drives the same event stream through SendEvent
+//    and SendBatch for the two hot shapes (compiled filter, shape-A
+//    incremental aggregation) and emits BENCH_cep.json in the same schema as
+//    BENCH_hotpath.json, plus speedup ratios. Exit code gates CI: the batch
+//    path must be allocation-free and at least 3x the row path (the 5x
+//    target is tracked in EXPERIMENTS.md; the CI gate leaves headroom for
+//    loaded runners).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
 #include "bench_util.h"
+#include "cep/batch.h"
+
+// ---------------------------------------------------------------------------
+// Instrumented global allocator (counts every new/new[]; JSON mode only
+// reads it, the google-benchmark mode just pays one relaxed increment).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) !=
+      0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace insight {
 namespace bench {
@@ -68,8 +127,374 @@ void BM_EplParse(benchmark::State& state) {
 }
 BENCHMARK(BM_EplParse);
 
+// ---------------------------------------------------------------------------
+// SendBatch counterparts of the window benchmark, for interactive runs.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kBatchLanes = 64;  // the runtime's default drained block
+
+/// Pre-generated random fields: the Gaussian draws are the expensive part of
+/// synthesizing an event, and they are identical work on both paths, so the
+/// JSON comparison hoists them out of the timed loops (the ratio should
+/// measure the engine, not the RNG).
+struct RandomFields {
+  std::vector<double> lon, lat, delay, speed, actual_delay;
+  std::vector<uint8_t> congestion;
+};
+
+RandomFields MakeRandomFields(size_t n, uint64_t seed) {
+  RandomFields f;
+  f.lon.reserve(n);
+  f.lat.reserve(n);
+  f.delay.reserve(n);
+  f.speed.reserve(n);
+  f.actual_delay.reserve(n);
+  f.congestion.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    f.lon.push_back(-6.26 + rng.Gaussian(0.0, 0.01));
+    f.lat.push_back(53.35 + rng.Gaussian(0.0, 0.01));
+    f.delay.push_back(rng.Gaussian(90.0, 40.0));
+    f.congestion.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+    f.speed.push_back(rng.Gaussian(22.0, 6.0));
+    f.actual_delay.push_back(rng.Gaussian(0.0, 5.0));
+  }
+  return f;
+}
+
+/// Appends one synthetic bus row through the typed appenders (the
+/// zero-conversion path a batch-aware adapter uses). Value stream matches
+/// FillBusRow below field for field.
+void AppendBusLane(cep::EventBatch* batch, const RandomFields& f,
+                   size_t num_locations, uint64_t index) {
+  static const std::string kWeekday = "weekday";
+  size_t r = static_cast<size_t>(index) % f.lon.size();
+  int64_t location = static_cast<int64_t>(index % num_locations);
+  batch->BeginRow(static_cast<MicrosT>(index));
+  batch->SetInt(0, static_cast<int64_t>(index * 1000));        // timestamp
+  batch->SetInt(1, static_cast<int64_t>(index % 67));          // line
+  batch->SetBool(2, (index & 1) == 0);                         // direction
+  batch->SetDouble(3, f.lon[r]);                               // lon
+  batch->SetDouble(4, f.lat[r]);                               // lat
+  batch->SetDouble(5, f.delay[r]);                             // delay
+  batch->SetBool(6, f.congestion[r] != 0);                     // congestion
+  batch->SetInt(7, int64_t{-1});                               // reported_stop
+  batch->SetInt(8, static_cast<int64_t>(index % 911));         // vehicle
+  batch->SetDouble(9, f.speed[r]);                             // speed
+  batch->SetDouble(10, f.actual_delay[r]);                     // actual_delay
+  batch->SetInt(11, static_cast<int64_t>((index / 500) % 24)); // hour
+  batch->SetString(12, kWeekday);                              // date_type
+  batch->SetInt(13, location);                                 // area_leaf
+  batch->SetInt(14, location);                                 // bus_stop
+  batch->EndRow();
+}
+
+/// Fills a recycled row buffer positionally in BusEventFields({}) order,
+/// producing the same value stream as AppendBusLane.
+void FillBusRow(std::vector<cep::Value>& out, const RandomFields& f,
+                size_t num_locations, uint64_t index) {
+  using cep::Value;
+  size_t r = static_cast<size_t>(index) % f.lon.size();
+  int64_t location = static_cast<int64_t>(index % num_locations);
+  out.clear();
+  out.push_back(Value(static_cast<int64_t>(index * 1000)));        // timestamp
+  out.push_back(Value(static_cast<int64_t>(index % 67)));          // line
+  out.push_back(Value((index & 1) == 0));                          // direction
+  out.push_back(Value(f.lon[r]));                                  // lon
+  out.push_back(Value(f.lat[r]));                                  // lat
+  out.push_back(Value(f.delay[r]));                                // delay
+  out.push_back(Value(f.congestion[r] != 0));                      // congestion
+  out.push_back(Value(int64_t{-1}));                               // reported_stop
+  out.push_back(Value(static_cast<int64_t>(index % 911)));         // vehicle
+  out.push_back(Value(f.speed[r]));                                // speed
+  out.push_back(Value(f.actual_delay[r]));                         // actual_delay
+  out.push_back(Value(static_cast<int64_t>((index / 500) % 24)));  // hour
+  out.push_back(Value("weekday"));                                 // date_type
+  out.push_back(Value(location));                                  // area_leaf
+  out.push_back(Value(location));                                  // bus_stop
+}
+
+/// A compiled-filter-eligible rule: single lastevent source, whole WHERE
+/// lowers to column kernels, steady state never matches.
+const char* kFilterRule =
+    "@Trigger(bus)\n"
+    "SELECT bd.area_leaf AS location, bd.speed AS value\n"
+    "FROM bus.std:lastevent() as bd\n"
+    "WHERE bd.speed < -1000.0 OR (bd.delay > 1e12 AND bd.congestion)";
+
+/// The canonical detection-rule pair (Table 6 / Section 4.1 shape), both
+/// shape-A incremental and batch-compilable to the group-table kernels.
+const char* kAggRules[] = {
+    "@Trigger(bus)\n"
+    "SELECT bd.area_leaf AS location, avg(bd2.speed) AS value,\n"
+    "       2.0 AS threshold, 'speed' AS attribute, bd.timestamp AS timestamp\n"
+    "FROM bus.std:lastevent() as bd,\n"
+    "     bus.std:groupwin(area_leaf).win:length(100) as bd2\n"
+    "WHERE bd.area_leaf = bd2.area_leaf\n"
+    "GROUP BY bd2.area_leaf\n"
+    "HAVING avg(bd2.speed) < 2.0",
+    "@Trigger(bus)\n"
+    "SELECT bd.area_leaf AS location, avg(bd2.delay) AS value,\n"
+    "       1e9 AS threshold, 'delay' AS attribute, bd.timestamp AS timestamp\n"
+    "FROM bus.std:lastevent() as bd,\n"
+    "     bus.std:groupwin(area_leaf).win:length(100) as bd2\n"
+    "WHERE bd.area_leaf = bd2.area_leaf\n"
+    "GROUP BY bd2.area_leaf\n"
+    "HAVING avg(bd2.delay) > 1e9",
+};
+
+std::unique_ptr<cep::Engine> MakeJsonEngine(
+    const std::vector<const char*>& rules) {
+  auto engine = std::make_unique<cep::Engine>();
+  INSIGHT_CHECK(
+      engine->RegisterEventType("bus", traffic::BusEventFields({})).ok());
+  int rule_id = 0;
+  for (const char* epl : rules) {
+    auto stmt = engine->AddStatement(epl, "rule-" + std::to_string(rule_id++));
+    INSIGHT_CHECK(stmt.ok()) << stmt.status().ToString();
+  }
+  return engine;
+}
+
+void BM_SendBatchWindow(benchmark::State& state) {
+  LoadedEngine loaded = MakeLoadedEngine(
+      {core::MakeRule("r", "delay", "area_leaf",
+                      static_cast<size_t>(state.range(0)))},
+      32);
+  auto bus_type = loaded.engine->GetEventType("bus");
+  INSIGHT_CHECK(bus_type.ok());
+  cep::EventBatch batch(*bus_type);
+  RandomFields fields = MakeRandomFields(1 << 14, 7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch.Clear();
+    for (size_t lane = 0; lane < kBatchLanes; ++lane) {
+      AppendBusLane(&batch, fields, 32, i++);
+    }
+    state.ResumeTiming();
+    loaded.engine->SendBatch(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatchLanes));
+}
+BENCHMARK(BM_SendBatchWindow)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSON mode: row vs columnar on the two compiled shapes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t TakeAllocs() {
+  return g_allocs.exchange(0, std::memory_order_relaxed);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScenarioResult {
+  uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double ns_per_event = 0.0;
+  double allocs_per_event = 0.0;
+  uint64_t matches = 0;
+};
+
+constexpr size_t kJsonLocations = 32;
+constexpr uint64_t kJsonEvents = 200000;
+constexpr uint64_t kWarmupEvents = kJsonLocations * 102;
+
+/// Row baseline: pooled events through SendEvent, one at a time.
+ScenarioResult RunRow(const std::vector<const char*>& rules) {
+  auto engine = MakeJsonEngine(rules);
+  cep::EventPool& pool = engine->event_pool();
+  auto bus_type = engine->GetEventType("bus");
+  INSIGHT_CHECK(bus_type.ok());
+  RandomFields fields = MakeRandomFields(1 << 16, 41);
+  for (uint64_t i = 0; i < kWarmupEvents; ++i) {
+    std::vector<cep::Value> buffer = pool.TakeBuffer();
+    FillBusRow(buffer, fields, kJsonLocations, i);
+    engine->SendEvent(
+        pool.Create(*bus_type, std::move(buffer), static_cast<MicrosT>(i)));
+  }
+
+  TakeAllocs();
+  double start = NowSeconds();
+  uint64_t matches = 0;
+  for (uint64_t i = 0; i < kJsonEvents; ++i) {
+    std::vector<cep::Value> buffer = pool.TakeBuffer();
+    FillBusRow(buffer, fields, kJsonLocations, i);
+    matches += engine->SendEvent(
+        pool.Create(*bus_type, std::move(buffer), static_cast<MicrosT>(i)));
+  }
+  double elapsed = NowSeconds() - start;
+  uint64_t allocs = TakeAllocs();
+
+  ScenarioResult result;
+  result.events = kJsonEvents;
+  result.events_per_sec = static_cast<double>(kJsonEvents) / elapsed;
+  result.ns_per_event = elapsed * 1e9 / static_cast<double>(kJsonEvents);
+  result.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(kJsonEvents);
+  result.matches = matches;
+  return result;
+}
+
+/// Columnar path: the same value stream packed into 64-lane batches through
+/// the typed appenders, crossing the engine boundary via SendBatch.
+ScenarioResult RunBatch(const std::vector<const char*>& rules,
+                        bool expect_fast_path) {
+  auto engine = MakeJsonEngine(rules);
+  auto bus_type = engine->GetEventType("bus");
+  INSIGHT_CHECK(bus_type.ok());
+  cep::EventBatch batch(*bus_type);
+  RandomFields fields = MakeRandomFields(1 << 16, 41);
+  uint64_t sent = 0;
+  while (sent < kWarmupEvents) {
+    batch.Clear();
+    for (size_t lane = 0; lane < kBatchLanes; ++lane) {
+      AppendBusLane(&batch, fields, kJsonLocations, sent++);
+    }
+    engine->SendBatch(batch);
+  }
+  if (expect_fast_path) {
+    // Guard against silent fallback: a plan regression would quietly turn
+    // this into a per-lane benchmark and the speedup gate would misfire.
+    for (const std::string& name : engine->StatementNames()) {
+      auto stmt = engine->GetStatement(name);
+      INSIGHT_CHECK(stmt.ok());
+      INSIGHT_CHECK((*stmt)->UsingBatchFastPath())
+          << "statement '" << name << "' fell back to per-lane batch mode";
+    }
+  }
+
+  TakeAllocs();
+  double start = NowSeconds();
+  uint64_t matches = 0;
+  uint64_t i = 0;
+  while (i < kJsonEvents) {
+    batch.Clear();
+    for (size_t lane = 0; lane < kBatchLanes; ++lane) {
+      AppendBusLane(&batch, fields, kJsonLocations, i++);
+    }
+    matches += engine->SendBatch(batch);
+  }
+  double elapsed = NowSeconds() - start;
+  uint64_t allocs = TakeAllocs();
+
+  ScenarioResult result;
+  result.events = i;
+  result.events_per_sec = static_cast<double>(i) / elapsed;
+  result.ns_per_event = elapsed * 1e9 / static_cast<double>(i);
+  result.allocs_per_event = static_cast<double>(allocs) / static_cast<double>(i);
+  result.matches = matches;
+  return result;
+}
+
+void PrintScenario(std::FILE* f, const char* name, const ScenarioResult& r,
+                   bool last) {
+  std::fprintf(f,
+               "  \"%s\": {\n"
+               "    \"events\": %llu,\n"
+               "    \"events_per_sec\": %.1f,\n"
+               "    \"ns_per_event\": %.1f,\n"
+               "    \"allocs_per_event\": %.4f\n"
+               "  }%s\n",
+               name, static_cast<unsigned long long>(r.events),
+               r.events_per_sec, r.ns_per_event, r.allocs_per_event,
+               last ? "" : ",");
+}
+
+int JsonMain(const char* out_path) {
+  const std::vector<const char*> filter_rules = {kFilterRule};
+  const std::vector<const char*> agg_rules = {kAggRules[0], kAggRules[1]};
+
+  ScenarioResult filter_row = RunRow(filter_rules);
+  ScenarioResult filter_batch = RunBatch(filter_rules, /*expect_fast_path=*/true);
+  ScenarioResult agg_row = RunRow(agg_rules);
+  ScenarioResult agg_batch = RunBatch(agg_rules, /*expect_fast_path=*/true);
+  // Identical value streams must fire identical match counts; a mismatch
+  // means a correctness bug, not a perf delta, so fail loudly.
+  INSIGHT_CHECK(filter_row.matches == filter_batch.matches)
+      << filter_row.matches << " row vs " << filter_batch.matches << " batch";
+  INSIGHT_CHECK(agg_row.matches == agg_batch.matches)
+      << agg_row.matches << " row vs " << agg_batch.matches << " batch";
+
+  double filter_speedup = filter_row.ns_per_event / filter_batch.ns_per_event;
+  double agg_speedup = agg_row.ns_per_event / agg_batch.ns_per_event;
+
+  std::printf("filter_row:   %9.0f events/s  %7.1f ns/event  %.4f allocs/event\n",
+              filter_row.events_per_sec, filter_row.ns_per_event,
+              filter_row.allocs_per_event);
+  std::printf("filter_batch: %9.0f events/s  %7.1f ns/event  %.4f allocs/event  (%.2fx)\n",
+              filter_batch.events_per_sec, filter_batch.ns_per_event,
+              filter_batch.allocs_per_event, filter_speedup);
+  std::printf("agg_row:      %9.0f events/s  %7.1f ns/event  %.4f allocs/event\n",
+              agg_row.events_per_sec, agg_row.ns_per_event,
+              agg_row.allocs_per_event);
+  std::printf("agg_batch:    %9.0f events/s  %7.1f ns/event  %.4f allocs/event  (%.2fx)\n",
+              agg_batch.events_per_sec, agg_batch.ns_per_event,
+              agg_batch.allocs_per_event, agg_speedup);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  INSIGHT_CHECK(f != nullptr) << "cannot write " << out_path;
+  std::fprintf(f, "{\n");
+  PrintScenario(f, "filter_row", filter_row, /*last=*/false);
+  PrintScenario(f, "filter_batch", filter_batch, /*last=*/false);
+  PrintScenario(f, "agg_row", agg_row, /*last=*/false);
+  PrintScenario(f, "agg_batch", agg_batch, /*last=*/false);
+  std::fprintf(f,
+               "  \"filter_speedup\": %.2f,\n"
+               "  \"agg_speedup\": %.2f\n",
+               filter_speedup, agg_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  int failures = 0;
+  if (filter_batch.allocs_per_event >= 0.001 ||
+      agg_batch.allocs_per_event >= 0.001) {
+    std::printf("WARNING: batch path is not allocation-free\n");
+    ++failures;
+  }
+  // CI gate at 3x (headroom for loaded shared runners); the 5x target is
+  // recorded against a quiet machine in EXPERIMENTS.md.
+  if (filter_speedup < 3.0) {
+    std::printf("WARNING: filter batch speedup %.2fx below the 3x gate\n",
+                filter_speedup);
+    ++failures;
+  }
+  if (agg_speedup < 3.0) {
+    std::printf("WARNING: aggregate batch speedup %.2fx below the 3x gate\n",
+                agg_speedup);
+    ++failures;
+  }
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace insight
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `bench_cep_engine <path>.json` runs the row-vs-columnar comparison and
+  // writes the JSON report there; anything else is google-benchmark.
+  if (argc > 1) {
+    const char* arg = argv[1];
+    size_t len = std::strlen(arg);
+    if (len > 5 && std::strcmp(arg + len - 5, ".json") == 0) {
+      return insight::bench::JsonMain(arg);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,631 @@
+#include "cep/batch.h"
+
+#include "cep/expr.h"
+#include "common/check.h"
+
+namespace insight {
+namespace cep {
+
+EventBatch::EventBatch(EventTypePtr type) : type_(std::move(type)) {
+  cols_.resize(type_->num_fields());
+  for (size_t f = 0; f < cols_.size(); ++f) {
+    cols_[f].type = type_->fields()[f].type;
+  }
+}
+
+int32_t EventBatch::InternString(const std::string& v) {
+  auto it = dict_index_.find(v);
+  if (it != dict_index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(dict_.size());
+  dict_.push_back(v);
+  dict_index_.emplace(v, code);
+  return code;
+}
+
+bool EventBatch::AppendRow(const std::vector<Value>& values, MicrosT timestamp) {
+  if (values.size() != cols_.size()) return false;
+  // Validate every field first so a mismatch leaves the batch untouched.
+  for (size_t f = 0; f < cols_.size(); ++f) {
+    if (values[f].type() != cols_[f].type) return false;
+  }
+  timestamps_.push_back(timestamp);
+  for (size_t f = 0; f < cols_.size(); ++f) {
+    Column& c = cols_[f];
+    const Value& v = values[f];
+    switch (c.type) {
+      case ValueType::kInt:
+        c.i.push_back(v.AsInt());
+        break;
+      case ValueType::kDouble:
+        c.d.push_back(v.AsDouble());
+        break;
+      case ValueType::kBool:
+        c.b.push_back(v.AsBool() ? 1 : 0);
+        break;
+      case ValueType::kString:
+        c.s.push_back(InternString(v.AsString()));
+        break;
+    }
+  }
+  return true;
+}
+
+void EventBatch::EndRow() {
+#if TMS_DCHECK_ENABLED
+  for (size_t f = 0; f < cols_.size(); ++f) {
+    const Column& c = cols_[f];
+    size_t len = 0;
+    switch (c.type) {
+      case ValueType::kInt:
+        len = c.i.size();
+        break;
+      case ValueType::kDouble:
+        len = c.d.size();
+        break;
+      case ValueType::kBool:
+        len = c.b.size();
+        break;
+      case ValueType::kString:
+        len = c.s.size();
+        break;
+    }
+    TMS_DCHECK(len == timestamps_.size())
+        << "field " << type_->fields()[f].name
+        << " not set exactly once this row";
+  }
+#endif
+}
+
+void EventBatch::Clear() {
+  timestamps_.clear();
+  for (Column& c : cols_) {
+    c.d.clear();
+    c.i.clear();
+    c.b.clear();
+    c.s.clear();
+  }
+  lane_events_.clear();
+}
+
+const EventPtr& EventBatch::LaneEvent(size_t lane, EventPool* pool) const {
+  if (lane_events_.size() != timestamps_.size()) {
+    lane_events_.resize(timestamps_.size());
+  }
+  EventPtr& slot = lane_events_[lane];
+  if (slot == nullptr) {
+    std::vector<Value> buffer = pool->TakeBuffer();
+    buffer.reserve(cols_.size());
+    for (size_t f = 0; f < cols_.size(); ++f) {
+      const Column& c = cols_[f];
+      switch (c.type) {
+        case ValueType::kInt:
+          buffer.emplace_back(c.i[lane]);
+          break;
+        case ValueType::kDouble:
+          buffer.emplace_back(c.d[lane]);
+          break;
+        case ValueType::kBool:
+          buffer.emplace_back(c.b[lane] != 0);
+          break;
+        case ValueType::kString:
+          buffer.emplace_back(dict_[static_cast<size_t>(c.s[lane])]);
+          break;
+      }
+    }
+    slot = pool->Create(type_, std::move(buffer), timestamps_[lane]);
+  }
+  return slot;
+}
+
+void EventBatch::MaterializeAll(EventPool* pool) const {
+  const size_t n = timestamps_.size();
+  if (lane_events_.size() != n) lane_events_.resize(n);
+  mat_lanes_.clear();
+  for (size_t lane = 0; lane < n; ++lane) {
+    if (lane_events_[lane] == nullptr) {
+      mat_lanes_.push_back(static_cast<uint32_t>(lane));
+    }
+  }
+  const size_t m = mat_lanes_.size();
+  if (m == 0) return;
+  if (mat_bufs_.size() < m) mat_bufs_.resize(m);
+  const size_t fields = cols_.size();
+  for (size_t k = 0; k < m; ++k) {
+    mat_bufs_[k] = pool->TakeBuffer();
+    mat_bufs_[k].reserve(fields);
+  }
+  // Column-major fill: the per-field type switch runs once per field, and
+  // because lanes are the inner loop each buffer still receives its fields
+  // in schema order, so plain emplace_back works (no default-construct +
+  // reassign round-trip per value).
+  for (size_t f = 0; f < fields; ++f) {
+    const Column& c = cols_[f];
+    switch (c.type) {
+      case ValueType::kInt:
+        for (size_t k = 0; k < m; ++k) {
+          mat_bufs_[k].emplace_back(c.i[mat_lanes_[k]]);
+        }
+        break;
+      case ValueType::kDouble:
+        for (size_t k = 0; k < m; ++k) {
+          mat_bufs_[k].emplace_back(c.d[mat_lanes_[k]]);
+        }
+        break;
+      case ValueType::kBool:
+        for (size_t k = 0; k < m; ++k) {
+          mat_bufs_[k].emplace_back(c.b[mat_lanes_[k]] != 0);
+        }
+        break;
+      case ValueType::kString:
+        for (size_t k = 0; k < m; ++k) {
+          mat_bufs_[k].emplace_back(dict_[static_cast<size_t>(c.s[mat_lanes_[k]])]);
+        }
+        break;
+    }
+  }
+  for (size_t k = 0; k < m; ++k) {
+    const size_t lane = mat_lanes_[k];
+    lane_events_[lane] =
+        pool->Create(type_, std::move(mat_bufs_[k]), timestamps_[lane]);
+  }
+}
+
+// --- ColumnProgram -----------------------------------------------------------
+
+ColumnProgram::Reg ColumnProgram::AsBoolReg(Reg r) {
+  if (!r.ok || r.is_bool) return r;
+  Ins ins;
+  ins.op = Op::kBoolFromD;
+  ins.dst = NewB();
+  ins.a = r.id;
+  code_.push_back(ins);
+  return {true, true, ins.dst};
+}
+
+ColumnProgram::Reg ColumnProgram::AsNumReg(Reg r) {
+  if (!r.ok || !r.is_bool) return r;
+  Ins ins;
+  ins.op = Op::kNumFromB;
+  ins.dst = NewD();
+  ins.a = r.id;
+  code_.push_back(ins);
+  return {true, false, ins.dst};
+}
+
+ColumnProgram::Reg ColumnProgram::CompileExpr(const Expr& expr,
+                                              const EventType& type) {
+  const Reg fail{};
+  if (const auto* lit = dynamic_cast<const LiteralExpr*>(&expr)) {
+    const Value& v = lit->value();
+    Ins ins;
+    switch (v.type()) {
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        ins.op = Op::kConstD;
+        ins.dst = NewD();
+        ins.imm = v.AsDouble();
+        code_.push_back(ins);
+        return {true, false, ins.dst};
+      case ValueType::kBool:
+        ins.op = Op::kConstB;
+        ins.dst = NewB();
+        ins.imm = v.AsBool() ? 1.0 : 0.0;
+        code_.push_back(ins);
+        return {true, true, ins.dst};
+      case ValueType::kString:
+        return fail;
+    }
+    return fail;
+  }
+  if (const auto* ref = dynamic_cast<const FieldRefExpr*>(&expr)) {
+    int f = ref->field_index();
+    if (f < 0 || static_cast<size_t>(f) >= type.num_fields()) return fail;
+    Ins ins;
+    ins.col = f;
+    switch (type.fields()[static_cast<size_t>(f)].type) {
+      case ValueType::kInt:
+        ins.op = Op::kLoadI;
+        ins.dst = NewD();
+        code_.push_back(ins);
+        return {true, false, ins.dst};
+      case ValueType::kDouble:
+        ins.op = Op::kLoadD;
+        ins.dst = NewD();
+        code_.push_back(ins);
+        return {true, false, ins.dst};
+      case ValueType::kBool:
+        ins.op = Op::kLoadB;
+        ins.dst = NewB();
+        code_.push_back(ins);
+        return {true, true, ins.dst};
+      case ValueType::kString:
+        return fail;  // string compute falls back to the row path
+    }
+    return fail;
+  }
+  if (const auto* un = dynamic_cast<const UnaryExpr*>(&expr)) {
+    Reg a = CompileExpr(*un->operand(), type);
+    if (!a.ok) return fail;
+    Ins ins;
+    if (un->op() == UnaryOp::kNot) {
+      a = AsBoolReg(a);
+      ins.op = Op::kNot;
+      ins.dst = NewB();
+      ins.a = a.id;
+      code_.push_back(ins);
+      return {true, true, ins.dst};
+    }
+    a = AsNumReg(a);
+    ins.op = Op::kNeg;
+    ins.dst = NewD();
+    ins.a = a.id;
+    code_.push_back(ins);
+    return {true, false, ins.dst};
+  }
+  if (const auto* bin = dynamic_cast<const BinaryExpr*>(&expr)) {
+    Reg l = CompileExpr(*bin->left(), type);
+    if (!l.ok) return fail;
+    Reg r = CompileExpr(*bin->right(), type);
+    if (!r.ok) return fail;
+    Ins ins;
+    switch (bin->op()) {
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        l = AsBoolReg(l);
+        r = AsBoolReg(r);
+        ins.op = bin->op() == BinaryOp::kAnd ? Op::kAnd : Op::kOr;
+        ins.dst = NewB();
+        ins.a = l.id;
+        ins.b = r.id;
+        code_.push_back(ins);
+        return {true, true, ins.dst};
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        // A statically-bool operand makes the row path take the variant
+        // comparison branch (bool never equals a number); refuse rather
+        // than approximate.
+        if (l.is_bool || r.is_bool) return fail;
+        switch (bin->op()) {
+          case BinaryOp::kEq:
+            ins.op = Op::kCmpEq;
+            break;
+          case BinaryOp::kNe:
+            ins.op = Op::kCmpNe;
+            break;
+          case BinaryOp::kLt:
+            ins.op = Op::kCmpLt;
+            break;
+          case BinaryOp::kLe:
+            ins.op = Op::kCmpLe;
+            break;
+          case BinaryOp::kGt:
+            ins.op = Op::kCmpGt;
+            break;
+          default:
+            ins.op = Op::kCmpGe;
+            break;
+        }
+        ins.dst = NewB();
+        ins.a = l.id;
+        ins.b = r.id;
+        code_.push_back(ins);
+        return {true, true, ins.dst};
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        l = AsNumReg(l);
+        r = AsNumReg(r);
+        switch (bin->op()) {
+          case BinaryOp::kAdd:
+            ins.op = Op::kAdd;
+            break;
+          case BinaryOp::kSub:
+            ins.op = Op::kSub;
+            break;
+          case BinaryOp::kMul:
+            ins.op = Op::kMul;
+            break;
+          default:
+            ins.op = Op::kDiv;
+            break;
+        }
+        ins.dst = NewD();
+        ins.a = l.id;
+        ins.b = r.id;
+        code_.push_back(ins);
+        return {true, false, ins.dst};
+      case BinaryOp::kMod:
+        // % needs exact int64 operands; keeping it on the row path avoids a
+        // double round-trip that could diverge past 2^53.
+        return fail;
+    }
+    return fail;
+  }
+  return fail;  // aggregates and unknown node kinds
+}
+
+bool ColumnProgram::CompileBool(const Expr& expr, const EventType& type) {
+  code_.clear();
+  num_dregs_ = 0;
+  num_bregs_ = 0;
+  out_breg_ = -1;
+  Reg r = CompileExpr(expr, type);
+  if (r.ok) r = AsBoolReg(r);
+  if (!r.ok) {
+    code_.clear();
+    return false;
+  }
+  out_breg_ = r.id;
+  return true;
+}
+
+void ColumnProgram::BindColumns(const EventBatch& batch) const {
+  col_ptrs_.resize(code_.size());
+  for (size_t k = 0; k < code_.size(); ++k) {
+    const Ins& ins = code_[k];
+    switch (ins.op) {
+      case Op::kLoadD:
+        col_ptrs_[k] = batch.DoubleCol(ins.col)->data();
+        break;
+      case Op::kLoadI:
+        col_ptrs_[k] = batch.IntCol(ins.col)->data();
+        break;
+      case Op::kLoadB:
+        col_ptrs_[k] = batch.BoolCol(ins.col)->data();
+        break;
+      default:
+        col_ptrs_[k] = nullptr;
+        break;
+    }
+  }
+}
+
+void ColumnProgram::Run(size_t n) const {
+  for (size_t k = 0; k < code_.size(); ++k) {
+    const Ins& ins = code_[k];
+    auto dst_d = [&]() { return dregs_[static_cast<size_t>(ins.dst)].data(); };
+    switch (ins.op) {
+      case Op::kLoadD: {
+        const double* src = static_cast<const double*>(col_ptrs_[k]);
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = src[i];
+        break;
+      }
+      case Op::kLoadI: {
+        const int64_t* src = static_cast<const int64_t*>(col_ptrs_[k]);
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = static_cast<double>(src[i]);
+        break;
+      }
+      case Op::kLoadB: {
+        const uint8_t* src = static_cast<const uint8_t*>(col_ptrs_[k]);
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        for (size_t i = 0; i < n; ++i) bd[i] = src[i];
+        break;
+      }
+      case Op::kConstD: {
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = ins.imm;
+        break;
+      }
+      case Op::kConstB: {
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        uint8_t v = ins.imm != 0.0 ? 1 : 0;
+        for (size_t i = 0; i < n; ++i) bd[i] = v;
+        break;
+      }
+      case Op::kBoolFromD: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        for (size_t i = 0; i < n; ++i) bd[i] = a[i] != 0.0 ? 1 : 0;
+        break;
+      }
+      case Op::kNumFromB: {
+        const uint8_t* a = bregs_[static_cast<size_t>(ins.a)].data();
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = a[i] != 0 ? 1.0 : 0.0;
+        break;
+      }
+      case Op::kAdd: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        const double* b = dregs_[static_cast<size_t>(ins.b)].data();
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = a[i] + b[i];
+        break;
+      }
+      case Op::kSub: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        const double* b = dregs_[static_cast<size_t>(ins.b)].data();
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = a[i] - b[i];
+        break;
+      }
+      case Op::kMul: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        const double* b = dregs_[static_cast<size_t>(ins.b)].data();
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = a[i] * b[i];
+        break;
+      }
+      case Op::kDiv: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        const double* b = dregs_[static_cast<size_t>(ins.b)].data();
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) {
+          dd[i] = b[i] == 0.0 ? 0.0 : a[i] / b[i];
+        }
+        break;
+      }
+      case Op::kNeg: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        double* dd = dst_d();
+        for (size_t i = 0; i < n; ++i) dd[i] = -a[i];
+        break;
+      }
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe: {
+        const double* a = dregs_[static_cast<size_t>(ins.a)].data();
+        const double* b = dregs_[static_cast<size_t>(ins.b)].data();
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        switch (ins.op) {
+          case Op::kCmpEq:
+            for (size_t i = 0; i < n; ++i) bd[i] = a[i] == b[i] ? 1 : 0;
+            break;
+          case Op::kCmpNe:
+            for (size_t i = 0; i < n; ++i) bd[i] = a[i] != b[i] ? 1 : 0;
+            break;
+          case Op::kCmpLt:
+            for (size_t i = 0; i < n; ++i) bd[i] = a[i] < b[i] ? 1 : 0;
+            break;
+          case Op::kCmpLe:
+            for (size_t i = 0; i < n; ++i) bd[i] = a[i] <= b[i] ? 1 : 0;
+            break;
+          case Op::kCmpGt:
+            for (size_t i = 0; i < n; ++i) bd[i] = a[i] > b[i] ? 1 : 0;
+            break;
+          default:
+            for (size_t i = 0; i < n; ++i) bd[i] = a[i] >= b[i] ? 1 : 0;
+            break;
+        }
+        break;
+      }
+      case Op::kAnd: {
+        const uint8_t* a = bregs_[static_cast<size_t>(ins.a)].data();
+        const uint8_t* b = bregs_[static_cast<size_t>(ins.b)].data();
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        for (size_t i = 0; i < n; ++i) bd[i] = a[i] & b[i];
+        break;
+      }
+      case Op::kOr: {
+        const uint8_t* a = bregs_[static_cast<size_t>(ins.a)].data();
+        const uint8_t* b = bregs_[static_cast<size_t>(ins.b)].data();
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        for (size_t i = 0; i < n; ++i) bd[i] = a[i] | b[i];
+        break;
+      }
+      case Op::kNot: {
+        const uint8_t* a = bregs_[static_cast<size_t>(ins.a)].data();
+        uint8_t* bd = bregs_[static_cast<size_t>(ins.dst)].data();
+        for (size_t i = 0; i < n; ++i) bd[i] = a[i] == 0 ? 1 : 0;
+        break;
+      }
+    }
+  }
+}
+
+void ColumnProgram::RunScalar(size_t n) const {
+  // Lane-at-a-time interpreter: same ops, same results, no vector loops.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < code_.size(); ++k) {
+      const Ins& ins = code_[k];
+      auto d = [&](int16_t r) -> double& {
+        return dregs_[static_cast<size_t>(r)][i];
+      };
+      auto b = [&](int16_t r) -> uint8_t& {
+        return bregs_[static_cast<size_t>(r)][i];
+      };
+      switch (ins.op) {
+        case Op::kLoadD:
+          d(ins.dst) = static_cast<const double*>(col_ptrs_[k])[i];
+          break;
+        case Op::kLoadI:
+          d(ins.dst) = static_cast<double>(
+              static_cast<const int64_t*>(col_ptrs_[k])[i]);
+          break;
+        case Op::kLoadB:
+          b(ins.dst) = static_cast<const uint8_t*>(col_ptrs_[k])[i];
+          break;
+        case Op::kConstD:
+          d(ins.dst) = ins.imm;
+          break;
+        case Op::kConstB:
+          b(ins.dst) = ins.imm != 0.0 ? 1 : 0;
+          break;
+        case Op::kBoolFromD:
+          b(ins.dst) = d(ins.a) != 0.0 ? 1 : 0;
+          break;
+        case Op::kNumFromB:
+          d(ins.dst) = b(ins.a) != 0 ? 1.0 : 0.0;
+          break;
+        case Op::kAdd:
+          d(ins.dst) = d(ins.a) + d(ins.b);
+          break;
+        case Op::kSub:
+          d(ins.dst) = d(ins.a) - d(ins.b);
+          break;
+        case Op::kMul:
+          d(ins.dst) = d(ins.a) * d(ins.b);
+          break;
+        case Op::kDiv:
+          d(ins.dst) = d(ins.b) == 0.0 ? 0.0 : d(ins.a) / d(ins.b);
+          break;
+        case Op::kNeg:
+          d(ins.dst) = -d(ins.a);
+          break;
+        case Op::kCmpEq:
+          b(ins.dst) = d(ins.a) == d(ins.b) ? 1 : 0;
+          break;
+        case Op::kCmpNe:
+          b(ins.dst) = d(ins.a) != d(ins.b) ? 1 : 0;
+          break;
+        case Op::kCmpLt:
+          b(ins.dst) = d(ins.a) < d(ins.b) ? 1 : 0;
+          break;
+        case Op::kCmpLe:
+          b(ins.dst) = d(ins.a) <= d(ins.b) ? 1 : 0;
+          break;
+        case Op::kCmpGt:
+          b(ins.dst) = d(ins.a) > d(ins.b) ? 1 : 0;
+          break;
+        case Op::kCmpGe:
+          b(ins.dst) = d(ins.a) >= d(ins.b) ? 1 : 0;
+          break;
+        case Op::kAnd:
+          b(ins.dst) = b(ins.a) & b(ins.b);
+          break;
+        case Op::kOr:
+          b(ins.dst) = b(ins.a) | b(ins.b);
+          break;
+        case Op::kNot:
+          b(ins.dst) = b(ins.a) == 0 ? 1 : 0;
+          break;
+      }
+    }
+  }
+}
+
+void ColumnProgram::EvalAndInto(const EventBatch& batch,
+                                std::vector<uint8_t>* mask) const {
+  TMS_DCHECK(out_breg_ >= 0) << "evaluating an uncompiled ColumnProgram";
+  const size_t n = batch.size();
+  if (n == 0) return;
+  dregs_.resize(static_cast<size_t>(num_dregs_));
+  for (auto& r : dregs_) {
+    if (r.size() < n) r.resize(n);
+  }
+  bregs_.resize(static_cast<size_t>(num_bregs_));
+  for (auto& r : bregs_) {
+    if (r.size() < n) r.resize(n);
+  }
+  BindColumns(batch);
+#if defined(TMS_NO_SIMD)
+  RunScalar(n);
+#else
+  Run(n);
+#endif
+  const uint8_t* out = bregs_[static_cast<size_t>(out_breg_)].data();
+  uint8_t* m = mask->data();
+  for (size_t i = 0; i < n; ++i) m[i] &= out[i];
+}
+
+}  // namespace cep
+}  // namespace insight

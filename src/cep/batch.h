@@ -1,0 +1,215 @@
+#ifndef INSIGHT_CEP_BATCH_H_
+#define INSIGHT_CEP_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/event.h"
+
+namespace insight {
+namespace cep {
+
+class Expr;
+
+/// Column-major batch of events of one registered type. Each field of the
+/// schema gets one contiguous typed array (double / int64 / bool bytes /
+/// string-dictionary codes), so batch-compiled predicates and accumulators
+/// stream over plain arrays instead of chasing per-event Value variants.
+///
+/// Rows are appended either from a row Value vector (the bolt hand-off path)
+/// or through the typed Set* appenders (the zero-conversion ingest path).
+/// Lane events — pooled row-oriented `Event`s for a given lane — materialize
+/// lazily and are cached until Clear(), so the row-compatible parts of the
+/// engine (window retention, SELECT evaluation, snapshots) keep working on
+/// exactly the events the row path would have seen.
+///
+/// Not thread-safe; a batch belongs to the single thread driving one engine.
+class EventBatch {
+ public:
+  explicit EventBatch(EventTypePtr type);
+
+  const EventTypePtr& type_ptr() const { return type_; }
+  const EventType& type() const { return *type_; }
+  size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  /// Appends one row; `values` must match the schema arity and every value's
+  /// runtime type must match the declared field type. Returns false (and
+  /// appends nothing) otherwise — callers fall back to the row path for that
+  /// event.
+  bool AppendRow(const std::vector<Value>& values, MicrosT timestamp);
+
+  /// Typed appenders: begin a row, set every field, then end it. Field order
+  /// is free but every field must be set exactly once per row (checked in
+  /// debug builds at EndRow).
+  void BeginRow(MicrosT timestamp) { timestamps_.push_back(timestamp); }
+  void SetInt(int field, int64_t v) { cols_[static_cast<size_t>(field)].i.push_back(v); }
+  void SetDouble(int field, double v) { cols_[static_cast<size_t>(field)].d.push_back(v); }
+  void SetBool(int field, bool v) {
+    cols_[static_cast<size_t>(field)].b.push_back(v ? 1 : 0);
+  }
+  void SetString(int field, const std::string& v) {
+    cols_[static_cast<size_t>(field)].s.push_back(InternString(v));
+  }
+  void EndRow();
+
+  /// Drops all rows and cached lane events; keeps column capacity and the
+  /// string dictionary so steady-state reuse does not allocate.
+  void Clear();
+
+  /// Column accessors (nullptr when the field has a different declared type).
+  const std::vector<double>* DoubleCol(int field) const {
+    const Column& c = cols_[static_cast<size_t>(field)];
+    return c.type == ValueType::kDouble ? &c.d : nullptr;
+  }
+  const std::vector<int64_t>* IntCol(int field) const {
+    const Column& c = cols_[static_cast<size_t>(field)];
+    return c.type == ValueType::kInt ? &c.i : nullptr;
+  }
+  const std::vector<uint8_t>* BoolCol(int field) const {
+    const Column& c = cols_[static_cast<size_t>(field)];
+    return c.type == ValueType::kBool ? &c.b : nullptr;
+  }
+  /// Dictionary codes; decode with DictString.
+  const std::vector<int32_t>* StringCol(int field) const {
+    const Column& c = cols_[static_cast<size_t>(field)];
+    return c.type == ValueType::kString ? &c.s : nullptr;
+  }
+  const std::string& DictString(int32_t code) const {
+    return dict_[static_cast<size_t>(code)];
+  }
+  const std::vector<MicrosT>& timestamps() const { return timestamps_; }
+
+  /// The pooled row event for `lane`, materialized on first use and cached
+  /// until Clear(). The returned event is bit-identical (type, field values,
+  /// timestamp) to the event the row path would have built for this lane.
+  const EventPtr& LaneEvent(size_t lane, EventPool* pool) const;
+
+  /// Materializes every lane's event in one column-major pass (one type
+  /// switch per field, not per lane×field) — much cheaper than per-lane
+  /// LaneEvent calls when a consumer needs all lanes (grouped-window
+  /// retention does). Already-cached lanes are kept, not rebuilt.
+  void MaterializeAll(EventPool* pool) const;
+
+  /// Direct lane-event access after MaterializeAll; entries for lanes never
+  /// materialized are null.
+  const std::vector<EventPtr>& lane_events() const { return lane_events_; }
+
+ private:
+  struct Column {
+    ValueType type = ValueType::kDouble;
+    std::vector<double> d;
+    std::vector<int64_t> i;
+    std::vector<uint8_t> b;
+    std::vector<int32_t> s;
+  };
+
+  int32_t InternString(const std::string& v);
+
+  EventTypePtr type_;
+  std::vector<Column> cols_;
+  std::vector<MicrosT> timestamps_;
+  /// Batch-lifetime string dictionary (survives Clear, so a stable set of
+  /// string values stops allocating after warm-up).
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+  /// Lazily materialized lane events, parallel to rows; entries are null
+  /// until first requested.
+  mutable std::vector<EventPtr> lane_events_;
+  /// MaterializeAll scratch (reused so steady state stays allocation-free).
+  mutable std::vector<std::vector<Value>> mat_bufs_;
+  mutable std::vector<uint32_t> mat_lanes_;
+};
+
+/// An expression compiled against an EventBatch's columns: a short register
+/// program whose ops are flat per-lane loops (branchless compares, fused
+/// arithmetic) that the compiler autovectorizes. With TMS_NO_SIMD defined the
+/// same program runs through a lane-at-a-time scalar interpreter — identical
+/// results, no vector loops — which is the scalar-fallback build CI exercises.
+///
+/// Compilation is conservative: it refuses anything whose batch semantics
+/// could diverge from the row path's Value semantics (string-typed operands,
+/// statically-bool comparison operands, %, aggregates), and the caller falls
+/// back to per-lane row evaluation. What does compile is bit-identical to
+/// Expr::Eval + Value::AsBool on every lane, NaN and all.
+class ColumnProgram {
+ public:
+  ColumnProgram() = default;
+
+  /// Compiles a boolean-consumed expression (a WHERE conjunct). Every field
+  /// reference must resolve into `type` (the batch schema); returns false if
+  /// any part is not compilable.
+  bool CompileBool(const Expr& expr, const EventType& type);
+
+  /// ANDs this predicate over lanes [0, batch.size()) into `mask` (which must
+  /// already be sized to the batch and hold 0/1 lane flags).
+  void EvalAndInto(const EventBatch& batch, std::vector<uint8_t>* mask) const;
+
+  bool compiled() const { return out_breg_ >= 0; }
+
+ private:
+  enum class Op : uint8_t {
+    kLoadD,      // dreg[dst] = double column `col`
+    kLoadI,      // dreg[dst] = (double) int column `col`
+    kLoadB,      // breg[dst] = bool column `col`
+    kConstD,     // dreg[dst] = imm
+    kConstB,     // breg[dst] = imm != 0
+    kBoolFromD,  // breg[dst] = dreg[a] != 0.0   (Value::AsBool on numerics)
+    kNumFromB,   // dreg[dst] = breg[a] ? 1.0 : 0.0  (Value::AsDouble on bool)
+    kAdd,        // dreg[dst] = dreg[a] + dreg[b]
+    kSub,
+    kMul,
+    kDiv,  // denom == 0 -> 0.0, mirroring BinaryExpr::Eval
+    kNeg,
+    kCmpEq,  // breg[dst] = dreg[a] == dreg[b]
+    kCmpNe,
+    kCmpLt,
+    kCmpLe,
+    kCmpGt,
+    kCmpGe,
+    kAnd,  // breg[dst] = breg[a] & breg[b] (operands are effect-free, so
+    kOr,   // eager evaluation matches the row path's short-circuit exactly)
+    kNot,
+  };
+  struct Ins {
+    Op op;
+    int16_t dst = 0;
+    int16_t a = 0;
+    int16_t b = 0;
+    int32_t col = 0;
+    double imm = 0.0;
+  };
+  /// A compiled operand: a register of one of the two kinds.
+  struct Reg {
+    bool ok = false;
+    bool is_bool = false;
+    int16_t id = 0;
+  };
+
+  Reg CompileExpr(const Expr& expr, const EventType& type);
+  Reg AsBoolReg(Reg r);
+  Reg AsNumReg(Reg r);
+  int16_t NewD() { return num_dregs_++; }
+  int16_t NewB() { return num_bregs_++; }
+
+  void Run(size_t n) const;
+  void RunScalar(size_t n) const;
+  void BindColumns(const EventBatch& batch) const;
+
+  std::vector<Ins> code_;
+  int16_t num_dregs_ = 0;
+  int16_t num_bregs_ = 0;
+  int out_breg_ = -1;
+
+  // Evaluation scratch (engine-thread only, reused across batches).
+  mutable std::vector<std::vector<double>> dregs_;
+  mutable std::vector<std::vector<uint8_t>> bregs_;
+  mutable std::vector<const void*> col_ptrs_;
+};
+
+}  // namespace cep
+}  // namespace insight
+
+#endif  // INSIGHT_CEP_BATCH_H_

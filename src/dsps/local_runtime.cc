@@ -805,6 +805,33 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
       }
       if (batch.empty()) continue;
       any = true;
+      if (injector == nullptr && task->ledger == nullptr &&
+          acker_ == nullptr && tracer_ == nullptr &&
+          task->bolt->SupportsExecuteBatch()) {
+        // Batch fast path: hand the whole drained block to the bolt in one
+        // call so a batch-aware bolt (e.g. EsperBolt's columnar CEP path)
+        // can amortize per-tuple dispatch. Only taken when every per-tuple
+        // bookkeeping feature is off — acking, dedup, tracing and fault
+        // injection all need tuple-grained hooks, so those configurations
+        // keep the loop below.
+        const size_t n = batch.size();
+        collectors[i]->BeginExecute(batch[0]);
+        MicrosT start = options_.clock->NowMicros();
+        task->bolt->ExecuteBatch(batch.data(), n, collectors[i].get());
+        MicrosT end = options_.clock->NowMicros();
+        refs[i].RecordBatch(n, end - start);
+        uint64_t emitted = collectors[i]->TakeEmitted();
+        if (emitted > 0) refs[i].RecordEmit(emitted);
+        int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
+        TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
+            << "in-flight count went negative after batch execute";
+        NotifyPossiblyDone();
+        FlushOutbox(collectors[i]->outbox());
+        if (coordinator_ != nullptr && task->ckpt_slot >= 0) {
+          MaybeCheckpoint(task, def, /*force=*/false);
+        }
+        continue;
+      }
       for (size_t j = 0; j < batch.size(); ++j) {
         Tuple& tuple = batch[j];
         if (injector != nullptr &&

@@ -165,6 +165,18 @@ class MetricsRegistry {
                                     std::memory_order_relaxed);
       stats_->latency_histogram.Record(latency_micros);
     }
+    /// Records `count` executions completed by one ExecuteBatch call:
+    /// throughput counts every tuple; the batch's wall time is attributed
+    /// evenly across them so windowed latency averages stay comparable with
+    /// the tuple-at-a-time path.
+    void RecordBatch(uint64_t count, MicrosT total_latency_micros) {
+      if (count == 0) return;
+      stats_->executed.fetch_add(count, std::memory_order_relaxed);
+      stats_->latency_sum.fetch_add(static_cast<uint64_t>(total_latency_micros),
+                                    std::memory_order_relaxed);
+      stats_->latency_histogram.RecordN(
+          total_latency_micros / static_cast<MicrosT>(count), count);
+    }
     void RecordEmit(uint64_t count) {
       stats_->emitted.fetch_add(count, std::memory_order_relaxed);
     }

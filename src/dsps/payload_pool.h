@@ -1,0 +1,95 @@
+#ifndef INSIGHT_DSPS_PAYLOAD_POOL_H_
+#define INSIGHT_DSPS_PAYLOAD_POOL_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace insight {
+namespace dsps {
+namespace detail {
+
+/// Thread-local cache of the fixed-size blocks allocate_shared produces for
+/// tuple payloads (control block fused with the vector header). Blocks are
+/// returned to the cache of whichever thread drops the last reference, and
+/// each thread allocates from its own cache — no locks, no cross-thread
+/// traffic. In a pipeline this closes the loop on every interior executor:
+/// the thread that frees its input's payload immediately reuses the block
+/// for its own emission, eliminating one allocation per forwarded tuple.
+/// (Source threads still hit the allocator — their blocks die downstream —
+/// and terminal threads cap out and release overflow normally.)
+class TlsBlockCache {
+ public:
+  ~TlsBlockCache() {
+    for (void* block : blocks_) ::operator delete(block);
+  }
+
+  void* Take(size_t size) {
+    if (size == block_size_ && !blocks_.empty()) {
+      void* block = blocks_.back();
+      blocks_.pop_back();
+      return block;
+    }
+    return nullptr;
+  }
+
+  /// True if the block was cached; false means the caller must free it.
+  bool Put(void* block, size_t size) {
+    if (block_size_ == 0) block_size_ = size;
+    if (size != block_size_ || blocks_.size() >= kMaxBlocks) return false;
+    blocks_.push_back(block);
+    return true;
+  }
+
+ private:
+  /// Bounded waste per thread: kMaxBlocks × ~(control block + vector header).
+  static constexpr size_t kMaxBlocks = 256;
+
+  size_t block_size_ = 0;  // fixed on first Put; foreign sizes bypass
+  std::vector<void*> blocks_;
+};
+
+inline TlsBlockCache& PayloadBlockCache() {
+  static thread_local TlsBlockCache cache;
+  return cache;
+}
+
+/// Stateless allocator handed to allocate_shared for tuple payloads; all
+/// state lives in the per-thread cache above.
+template <typename T>
+struct PayloadAllocator {
+  using value_type = T;
+
+  PayloadAllocator() = default;
+  template <typename U>
+  PayloadAllocator(const PayloadAllocator<U>&) {}  // NOLINT(runtime/explicit): rebind conversion required by allocator_traits
+
+  T* allocate(size_t n) {
+    if (n == 1) {
+      if (void* block = PayloadBlockCache().Take(sizeof(T))) {
+        return static_cast<T*>(block);
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) {
+    if (n == 1 && PayloadBlockCache().Put(p, sizeof(T))) return;
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const PayloadAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PayloadAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace detail
+}  // namespace dsps
+}  // namespace insight
+
+#endif  // INSIGHT_DSPS_PAYLOAD_POOL_H_

@@ -8,6 +8,7 @@
 #include "cep/event.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "dsps/payload_pool.h"
 
 namespace insight {
 namespace dsps {
@@ -62,7 +63,12 @@ class Tuple {
   Tuple(std::shared_ptr<const Fields> fields, std::vector<Value> values,
         MicrosT spout_time = 0)
       : fields_(std::move(fields)),
-        values_(std::make_shared<std::vector<Value>>(std::move(values))),
+        // allocate_shared with the thread-local block cache: an interior
+        // executor reuses the block it just freed for its input's payload,
+        // so forwarding hops allocate nothing for the shared buffer.
+        values_(std::allocate_shared<std::vector<Value>>(
+            detail::PayloadAllocator<std::vector<Value>>(),
+            std::move(values))),
         spout_time_(spout_time) {}
   /// Shares an existing payload (fan-out copies).
   Tuple(std::shared_ptr<const Fields> fields, Payload payload,

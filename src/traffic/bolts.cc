@@ -307,6 +307,7 @@ void EsperBolt::Prepare(const dsps::TaskContext& context) {
     }
   }
   bus_type_ = *engine_->GetEventType("bus");
+  batch_ = std::make_unique<cep::EventBatch>(bus_type_);
 
   if (static_cast<size_t>(task_index_) < config_->rules_per_task.size()) {
     for (const auto& [name, epl] :
@@ -319,6 +320,9 @@ void EsperBolt::Prepare(const dsps::TaskContext& context) {
         cep::MatchResult named = m;
         named.statement_name = rule_name;
         pending_matches_.push_back(std::move(named));
+        // Captured at delivery time, when the engine knows which event
+        // (or batch lane) fired this match.
+        pending_trigger_ts_.push_back(engine_->current_trigger_timestamp());
       });
     }
   }
@@ -338,7 +342,42 @@ void EsperBolt::Execute(const Tuple& input, dsps::Collector* collector) {
   buffer.assign(values.begin(), values.end());
   engine_->SendEvent(
       pool.Create(bus_type_, std::move(buffer), input.Get(0).AsInt()));
-  for (cep::MatchResult& match : pending_matches_) {
+  EmitPending(collector);
+}
+
+void EsperBolt::ExecuteBatch(const Tuple* inputs, size_t count,
+                             dsps::Collector* collector) {
+  if (config_->before_send) {
+    // The hook contract is "called before every individual send"; keep it by
+    // degrading to the row path for the whole block.
+    for (size_t i = 0; i < count; ++i) Execute(inputs[i], collector);
+    return;
+  }
+  batch_->Clear();
+  for (size_t i = 0; i < count; ++i) {
+    const Tuple& input = inputs[i];
+    if (!batch_->AppendRow(input.values(), input.Get(0).AsInt())) {
+      // Tuple does not fit the bus schema. Flush what accumulated so far
+      // (order must match per-tuple delivery), then row-path this one —
+      // SendEvent applies the engine's own handling for odd events.
+      if (!batch_->empty()) {
+        engine_->SendBatch(*batch_);
+        batch_->Clear();
+        EmitPending(collector);
+      }
+      Execute(input, collector);
+    }
+  }
+  if (!batch_->empty()) {
+    engine_->SendBatch(*batch_);
+    batch_->Clear();
+    EmitPending(collector);
+  }
+}
+
+void EsperBolt::EmitPending(dsps::Collector* collector) {
+  for (size_t k = 0; k < pending_matches_.size(); ++k) {
+    cep::MatchResult& match = pending_matches_[k];
     // Detection tuple: rule, attribute, location, value, threshold, timestamp.
     auto get_or = [&](const std::string& column, Value fallback) {
       auto v = match.Get(column);
@@ -349,9 +388,10 @@ void EsperBolt::Execute(const Tuple& input, dsps::Collector* collector) {
                      get_or("location", Value(int64_t{-1})),
                      get_or("value", Value(0.0)),
                      get_or("threshold", Value(0.0)),
-                     get_or("timestamp", Value(input.Get(0).AsInt()))});
+                     get_or("timestamp", Value(pending_trigger_ts_[k]))});
   }
   pending_matches_.clear();
+  pending_trigger_ts_.clear();
 }
 
 Status EsperBolt::SnapshotState(std::string* out) const {
