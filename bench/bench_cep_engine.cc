@@ -197,21 +197,21 @@ void FillBusRow(std::vector<cep::Value>& out, const RandomFields& f,
   size_t r = static_cast<size_t>(index) % f.lon.size();
   int64_t location = static_cast<int64_t>(index % num_locations);
   out.clear();
-  out.push_back(Value(static_cast<int64_t>(index * 1000)));        // timestamp
-  out.push_back(Value(static_cast<int64_t>(index % 67)));          // line
-  out.push_back(Value((index & 1) == 0));                          // direction
-  out.push_back(Value(f.lon[r]));                                  // lon
-  out.push_back(Value(f.lat[r]));                                  // lat
-  out.push_back(Value(f.delay[r]));                                // delay
-  out.push_back(Value(f.congestion[r] != 0));                      // congestion
-  out.push_back(Value(int64_t{-1}));                               // reported_stop
-  out.push_back(Value(static_cast<int64_t>(index % 911)));         // vehicle
-  out.push_back(Value(f.speed[r]));                                // speed
-  out.push_back(Value(f.actual_delay[r]));                         // actual_delay
-  out.push_back(Value(static_cast<int64_t>((index / 500) % 24)));  // hour
-  out.push_back(Value("weekday"));                                 // date_type
-  out.push_back(Value(location));                                  // area_leaf
-  out.push_back(Value(location));                                  // bus_stop
+  out.emplace_back(static_cast<int64_t>(index * 1000));            // timestamp
+  out.emplace_back(static_cast<int64_t>(index % 67));              // line
+  out.emplace_back((index & 1) == 0);                              // direction
+  out.emplace_back(f.lon[r]);                                      // lon
+  out.emplace_back(f.lat[r]);                                      // lat
+  out.emplace_back(f.delay[r]);                                    // delay
+  out.emplace_back(f.congestion[r] != 0);                          // congestion
+  out.emplace_back(int64_t{-1});                                   // reported_stop
+  out.emplace_back(static_cast<int64_t>(index % 911));             // vehicle
+  out.emplace_back(f.speed[r]);                                    // speed
+  out.emplace_back(f.actual_delay[r]);                             // actual_delay
+  out.emplace_back(static_cast<int64_t>((index / 500) % 24));      // hour
+  out.emplace_back("weekday");                                     // date_type
+  out.emplace_back(location);                                      // area_leaf
+  out.emplace_back(location);                                      // bus_stop
 }
 
 /// A compiled-filter-eligible rule: single lastevent source, whole WHERE

@@ -84,21 +84,21 @@ void FillBusValues(std::vector<Value>& out, Rng* rng, size_t num_locations,
                    uint64_t index) {
   int64_t location = static_cast<int64_t>(index % num_locations);
   out.clear();
-  out.push_back(Value(static_cast<int64_t>(index * 1000)));        // timestamp
-  out.push_back(Value(static_cast<int64_t>(index % 67)));          // line
-  out.push_back(Value((index & 1) == 0));                          // direction
-  out.push_back(Value(-6.26 + rng->Gaussian(0.0, 0.01)));          // lon
-  out.push_back(Value(53.35 + rng->Gaussian(0.0, 0.01)));          // lat
-  out.push_back(Value(rng->Gaussian(90.0, 40.0)));                 // delay
-  out.push_back(Value(rng->Bernoulli(0.2)));                       // congestion
-  out.push_back(Value(int64_t{-1}));                               // reported_stop
-  out.push_back(Value(static_cast<int64_t>(index % 911)));         // vehicle
-  out.push_back(Value(rng->Gaussian(22.0, 6.0)));                  // speed
-  out.push_back(Value(rng->Gaussian(0.0, 5.0)));                   // actual_delay
-  out.push_back(Value(static_cast<int64_t>((index / 500) % 24)));  // hour
-  out.push_back(Value("weekday"));                                 // date_type
-  out.push_back(Value(location));                                  // area_leaf
-  out.push_back(Value(location));                                  // bus_stop
+  out.emplace_back(static_cast<int64_t>(index * 1000));            // timestamp
+  out.emplace_back(static_cast<int64_t>(index % 67));              // line
+  out.emplace_back((index & 1) == 0);                              // direction
+  out.emplace_back(-6.26 + rng->Gaussian(0.0, 0.01));              // lon
+  out.emplace_back(53.35 + rng->Gaussian(0.0, 0.01));              // lat
+  out.emplace_back(rng->Gaussian(90.0, 40.0));                     // delay
+  out.emplace_back(rng->Bernoulli(0.2));                           // congestion
+  out.emplace_back(int64_t{-1});                                   // reported_stop
+  out.emplace_back(static_cast<int64_t>(index % 911));             // vehicle
+  out.emplace_back(rng->Gaussian(22.0, 6.0));                      // speed
+  out.emplace_back(rng->Gaussian(0.0, 5.0));                       // actual_delay
+  out.emplace_back(static_cast<int64_t>((index / 500) % 24));      // hour
+  out.emplace_back("weekday");                                     // date_type
+  out.emplace_back(location);                                      // area_leaf
+  out.emplace_back(location);                                      // bus_stop
 }
 
 struct ScenarioResult {

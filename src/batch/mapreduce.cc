@@ -138,12 +138,12 @@ Result<MapReduceJob::Counters> MapReduceJob::Run(dfs::MiniDfs* fs,
   // Partition buffers: [partition][per-task outputs].
   std::vector<std::vector<std::pair<std::string, std::string>>> partitions(
       num_parts);
-  insight::Mutex partitions_mutex;
+  insight::Mutex partitions_mutex{TMS_LOCK_RANK(96)};
   std::atomic<size_t> input_records{0};
   std::atomic<size_t> map_output_records{0};
   std::atomic<size_t> combine_output_records{0};
   Status first_error;
-  insight::Mutex error_mutex;
+  insight::Mutex error_mutex{TMS_LOCK_RANK(97)};
 
   {
     ThreadPool pool(static_cast<size_t>(std::max(1, spec.parallelism)));

@@ -365,6 +365,8 @@ bool ColumnProgram::CompileBool(const Expr& expr, const EventType& type) {
 }
 
 void ColumnProgram::BindColumns(const EventBatch& batch) const {
+  // TMS_ANALYZE_EXEMPT(scratch sized once per program: capacity is retained
+  // across batches, so steady-state binds never allocate)
   col_ptrs_.resize(code_.size());
   for (size_t k = 0; k < code_.size(); ++k) {
     const Ins& ins = code_[k];
@@ -608,13 +610,16 @@ void ColumnProgram::EvalAndInto(const EventBatch& batch,
   TMS_DCHECK(out_breg_ >= 0) << "evaluating an uncompiled ColumnProgram";
   const size_t n = batch.size();
   if (n == 0) return;
+  // TMS_ANALYZE_EXEMPT(register scratch grows to the high-water batch size
+  // once and is reused across batches — steady state stays allocation-free)
   dregs_.resize(static_cast<size_t>(num_dregs_));
   for (auto& r : dregs_) {
-    if (r.size() < n) r.resize(n);
+    if (r.size() < n) r.resize(n);  // TMS_ANALYZE_EXEMPT(high-water reuse)
   }
+  // TMS_ANALYZE_EXEMPT(register scratch, as above)
   bregs_.resize(static_cast<size_t>(num_bregs_));
   for (auto& r : bregs_) {
-    if (r.size() < n) r.resize(n);
+    if (r.size() < n) r.resize(n);  // TMS_ANALYZE_EXEMPT(high-water reuse)
   }
   BindColumns(batch);
 #if defined(TMS_NO_SIMD)

@@ -261,6 +261,9 @@ EventPool::EventPool() : state_(std::make_shared<State>()) {}
 
 EventPtr EventPool::Create(EventTypePtr type, std::vector<Value> values,
                            MicrosT timestamp) {
+  // TMS_ANALYZE_EXEMPT(allocate_shared draws from the pool's freelist via
+  // PoolAllocator; the global allocator is hit only while the freelist warms
+  // up or overflows its bound)
   std::shared_ptr<Event> event = std::allocate_shared<Event>(
       PoolAllocator<Event>(state_), std::move(type), std::move(values),
       timestamp);

@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/static_analysis.h"
 #include "common/status.h"
 
 namespace insight {
@@ -119,7 +120,8 @@ class NameIndex {
 
   /// Index of `name` or -1.
   template <typename GetName>
-  int Find(const std::string& name, const GetName& get_name) const {
+  int Find(const std::string& name, const GetName& get_name) const
+      TMS_NO_ALLOC {
     if (slots_.empty()) return -1;
     uint64_t hash = HashName(name);
     size_t pos = static_cast<size_t>(hash) & mask_;
@@ -161,7 +163,7 @@ class EventType {
   size_t num_fields() const { return fields_.size(); }
 
   /// Index of a field or -1.
-  int FieldIndex(const std::string& field_name) const {
+  int FieldIndex(const std::string& field_name) const TMS_NO_ALLOC {
     return index_.Find(field_name,
                        [this](size_t i) -> const std::string& {
                          return fields_[i].name;
@@ -243,11 +245,11 @@ class EventPool {
   /// Creates a pooled event. Pass a buffer from TakeBuffer() (filled with the
   /// field values) for the zero-allocation round trip; any vector works.
   EventPtr Create(EventTypePtr type, std::vector<Value> values,
-                  MicrosT timestamp = 0);
+                  MicrosT timestamp = 0) TMS_NO_ALLOC;
 
   /// An empty value buffer with recycled capacity (empty capacity when the
   /// freelist is dry — the first few events warm it up).
-  std::vector<Value> TakeBuffer();
+  std::vector<Value> TakeBuffer() TMS_NO_ALLOC;
 
   /// Freelist introspection (tests).
   size_t free_blocks() const;

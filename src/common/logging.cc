@@ -10,7 +10,7 @@ namespace insight {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-Mutex g_log_mutex;  // serializes whole-line writes to stderr
+Mutex g_log_mutex{TMS_LOCK_RANK(100)};  // serializes whole-line writes to stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -5,11 +5,80 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/static_analysis.h"
 #include "common/thread_annotations.h"
+
+/// Debug builds validate the declared lock-rank order (TMS_LOCK_RANK) on
+/// every acquisition: each thread keeps a stack of the ranks it holds, and
+/// acquiring a rank lower than or equal to the innermost held rank aborts
+/// with both ranks. Release and RelWithDebInfo builds compile the validator
+/// out entirely — Lock/Unlock stay exactly the raw std::mutex calls.
+/// (Define TMS_FORCE_LOCK_RANK_CHECKS to keep it in an optimized build.)
+#if defined(TMS_FORCE_LOCK_RANK_CHECKS) || !defined(NDEBUG)
+#define TMS_LOCK_RANK_CHECKS_ENABLED 1
+#else
+#define TMS_LOCK_RANK_CHECKS_ENABLED 0
+#endif
+
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+#include <vector>
+
+#include "common/check.h"
+#endif
 
 namespace insight {
 
 class CondVar;
+
+/// A mutex's position in the global lock order; write TMS_LOCK_RANK(n)
+/// (common/static_analysis.h) rather than constructing one directly. Ranks
+/// are acquired in strictly increasing order: outermost coordinators get
+/// low ranks, leaf locks (nothing acquired while they are held) get high
+/// ranks, and two same-ranked mutexes must never nest. tools/analyze.py
+/// checks the order statically over the cross-TU call graph; Debug builds
+/// check the actual per-thread acquisition order below.
+struct MutexRank {
+  int value;
+};
+
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+namespace mutex_internal {
+
+/// Ranks currently held by this thread, in acquisition order (unranked
+/// mutexes do not participate). Function-local so the header needs no TU.
+inline std::vector<int>& HeldRankStack() {
+  static thread_local std::vector<int> stack;
+  return stack;
+}
+
+inline void OnRankedAcquire(int rank) {
+  std::vector<int>& held = HeldRankStack();
+  if (!held.empty()) {
+    TMS_CHECK(held.back() < rank)
+        << "lock-rank order violation: acquiring rank " << rank
+        << " while holding rank " << held.back()
+        << " (ranks must be acquired in strictly increasing order; see "
+           "DESIGN.md \"Static analysis\")";
+  }
+  held.push_back(rank);
+}
+
+inline void OnRankedRelease(int rank) {
+  std::vector<int>& held = HeldRankStack();
+  // Manual Lock/Unlock pairs may release out of LIFO order; drop the
+  // innermost occurrence of this rank.
+  for (size_t i = held.size(); i-- > 0;) {
+    if (held[i] == rank) {
+      held.erase(held.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+  TMS_CHECK(false) << "lock-rank bookkeeping: releasing rank " << rank
+                   << " that this thread does not hold";
+}
+
+}  // namespace mutex_internal
+#endif  // TMS_LOCK_RANK_CHECKS_ENABLED
 
 /// Annotated wrapper over std::mutex (abseil style). All forwarding is
 /// inline and stateless, so a Lock/Unlock pair compiles to exactly the raw
@@ -18,22 +87,50 @@ class CondVar;
 /// thread_annotations.h and DESIGN.md "Concurrency discipline").
 class CAPABILITY("mutex") Mutex {
  public:
+  /// Sentinel rank of an unranked mutex (participates in no ordering
+  /// checks; TMS_NON_BLOCKING paths may not acquire one).
+  static constexpr int kNoRank = -1;
+
   Mutex() = default;
+  /// Ranked constructor: Mutex mutex_{TMS_LOCK_RANK(n)}.
+  explicit Mutex(MutexRank rank) : rank_(rank.value) {}
 
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+    if (rank_ != kNoRank) mutex_internal::OnRankedAcquire(rank_);
+#endif
+  }
+  void Unlock() RELEASE() {
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+    if (rank_ != kNoRank) mutex_internal::OnRankedRelease(rank_);
+#endif
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+    if (rank_ != kNoRank) mutex_internal::OnRankedAcquire(rank_);
+#endif
+    return true;
+  }
 
   /// Tells the analysis the capability is held (e.g. in a helper reached
   /// only with the lock taken, where the proof is out of clang's view).
   void AssertHeld() const ASSERT_CAPABILITY(this) {}
 
+  /// Declared lock rank, kNoRank if unranked. The rank is stored in every
+  /// build (4 bytes next to a 40-byte std::mutex) so mixed-NDEBUG object
+  /// files agree on the layout; only the validation is Debug-gated.
+  int rank() const { return rank_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  int rank_ = kNoRank;
 };
 
 /// RAII lock for Mutex; the scoped acquire/release is visible to the

@@ -1,0 +1,76 @@
+#ifndef INSIGHT_COMMON_STATIC_ANALYSIS_H_
+#define INSIGHT_COMMON_STATIC_ANALYSIS_H_
+
+/// Semantic-invariant annotations checked by tools/analyze.py.
+///
+/// Where clang's -Wthread-safety proves "which lock guards which field"
+/// (common/thread_annotations.h), these annotations declare whole-call-graph
+/// properties of the hot path that the analyzer verifies across translation
+/// units — the static twin of the dynamic gates (bench_hotpath's zero-alloc
+/// gate, the TSan job, the chaos suites), catching regressions on *every*
+/// path at analysis time instead of on exercised paths at run time.
+///
+/// Vocabulary
+/// ----------
+///   TMS_NO_ALLOC      The function and every intra-project function
+///                     reachable from it must not allocate: no new/malloc,
+///                     no growing-container call, no string construction.
+///                     Deliberate amortized growth (capacity retained across
+///                     batches, bounded freelist warm-up) is exempted at the
+///                     offending line with TMS_ANALYZE_EXEMPT.
+///
+///   TMS_NON_BLOCKING  Nothing reachable from the function may block: no
+///                     sleeps, no CondVar waits, no thread joins, no
+///                     blocking file I/O, no poll/select, and no acquisition
+///                     of an *unranked* mutex (ranked mutexes guard bounded
+///                     leaf critical sections by construction; an unranked
+///                     one has made no such promise). Required on
+///                     net::EventLoop callbacks — one stalled callback
+///                     stalls every connection on the loop.
+///
+///   TMS_LOCK_RANK(n)  Declares a mutex's position in the global lock
+///                     order; pass it to the insight::Mutex constructor:
+///                       Mutex mutex_{TMS_LOCK_RANK(80)};
+///                     Ranks must be acquired in strictly increasing order
+///                     (outermost coordinators low, leaf locks high — see
+///                     DESIGN.md "Static analysis" for the rank table).
+///                     tools/analyze.py flags any path that acquires a
+///                     lower-or-equal rank while a higher one is held, and
+///                     Debug builds validate the actual per-thread
+///                     acquisition order at run time (common/mutex.h).
+///
+///   TMS_ANALYZE_EXEMPT(reason)
+///                     Suppresses analyzer findings, with an audit trail.
+///                     Two forms:
+///                       - on a function (trailing, like REQUIRES): the
+///                         analyzer treats the whole body as clean;
+///                       - in a trailing comment on the offending line:
+///                         // TMS_ANALYZE_EXEMPT(warm-up only: freelist
+///                         //                     capacity retained)
+///                         suppresses findings at exactly that line.
+///                     The reason is mandatory: a bare exemption is itself
+///                     a finding (mirroring lint.py's reasoned-marker
+///                     hygiene rule).
+///
+/// The annotations compile to clang `annotate` attributes (visible to the
+/// libclang frontend of tools/analyze.py) and to nothing under GCC/MSVC;
+/// the analyzer's text frontend reads the macro tokens directly, so the
+/// checks run identically on builds that never see clang.
+#if defined(__clang__)
+#define TMS_ANNOTATE_(x) __attribute__((annotate(x)))
+#else
+#define TMS_ANNOTATE_(x)
+#endif
+
+#define TMS_NO_ALLOC TMS_ANNOTATE_("tms_no_alloc")
+#define TMS_NON_BLOCKING TMS_ANNOTATE_("tms_non_blocking")
+#define TMS_ANALYZE_EXEMPT(reason) TMS_ANNOTATE_("tms_exempt:" reason)
+
+/// Expands to a MutexRank so ranked declarations read as one annotation:
+///   Mutex mutex_{TMS_LOCK_RANK(80)};
+/// (MutexRank itself lives in common/mutex.h next to the Debug-build
+/// acquisition-order validator.)
+#define TMS_LOCK_RANK(n) \
+  ::insight::MutexRank { (n) }
+
+#endif  // INSIGHT_COMMON_STATIC_ANALYSIS_H_

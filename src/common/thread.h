@@ -1,0 +1,56 @@
+#ifndef INSIGHT_COMMON_THREAD_H_
+#define INSIGHT_COMMON_THREAD_H_
+
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace insight {
+
+/// The sanctioned thread-spawn wrapper: a thin shim over std::thread with
+/// the same join/joinable surface. tools/lint.py bans raw std::thread
+/// construction outside src/common/ and src/dist/ (the supervisor spawns
+/// worker *processes*) so every long-lived thread in the system is born
+/// through one auditable doorway — the static analyzer and the reviewers
+/// reason about "which threads exist" by grepping two directories.
+///
+/// Deliberately minimal: no detach (a detached thread outliving its state
+/// is how shutdown races start — every insight thread is joined), and
+/// destruction of a still-joinable Thread aborts with a message instead of
+/// std::terminate's silent stack.
+class Thread {
+ public:
+  Thread() noexcept = default;
+
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : thread_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  Thread(Thread&& other) noexcept = default;
+  Thread& operator=(Thread&& other) {
+    TMS_CHECK(!joinable())
+        << "assigning over a running Thread; join it first";
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  ~Thread() {
+    TMS_CHECK(!joinable())
+        << "Thread destroyed while joinable; join it first";
+  }
+
+  bool joinable() const { return thread_.joinable(); }
+  void join() { thread_.join(); }
+  std::thread::id get_id() const { return thread_.get_id(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace insight
+
+#endif  // INSIGHT_COMMON_THREAD_H_

@@ -38,7 +38,7 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{TMS_LOCK_RANK(85)};
   CondVar work_available_;
   CondVar all_done_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);

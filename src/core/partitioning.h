@@ -50,7 +50,7 @@ class RegionRateTracker {
   uint64_t observed_total() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(72)};
   std::map<int64_t, double> seeded_ GUARDED_BY(mutex_);
   std::map<int64_t, uint64_t> observed_ GUARDED_BY(mutex_);
   uint64_t observed_total_ GUARDED_BY(mutex_) = 0;

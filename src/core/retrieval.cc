@@ -167,7 +167,7 @@ Result<RetrievalSetup> BuildRetrieval(ThresholdRetrieval strategy,
       // stream (first time a key is seen per engine) so the join semantics
       // match the stream strategy while paying a query per tuple.
       struct JoinState {
-        Mutex mutex;
+        Mutex mutex{TMS_LOCK_RANK(55)};
         std::map<int, std::set<std::string>> sent_keys_per_task
             GUARDED_BY(mutex);
       };

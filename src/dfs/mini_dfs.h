@@ -72,7 +72,7 @@ class MiniDfs {
   void AppendLocked(File* file, const std::string& data) REQUIRES(mutex_);
 
   Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(45)};
   std::map<std::string, File> files_ GUARDED_BY(mutex_);
   int64_t next_chunk_id_ GUARDED_BY(mutex_) = 0;
   int next_node_ GUARDED_BY(mutex_) = 0;

@@ -81,14 +81,17 @@ class EgressBuffer {
 
   /// Receiver resolved these frame sequences; drops them and releases Add
   /// waiters.
-  void HandleAck(uint32_t dest_worker, const std::vector<uint64_t>& seqs);
+  /// Runs on the network thread (an EventLoop frame handler): must never
+  /// block, or one slow destination stalls every connection on the loop.
+  void HandleAck(uint32_t dest_worker,
+                 const std::vector<uint64_t>& seqs) TMS_NON_BLOCKING;
 
   /// Encoded kTupleBatch payloads for `dest_worker` not yet sent on the
   /// current connection, in sequence order (marks them sent). Also cuts a
   /// frame from staging once it exceeds flush_interval_micros (pass the
   /// current monotonic time).
   std::vector<std::string> TakeSendable(uint32_t dest_worker,
-                                        MicrosT now_micros);
+                                        MicrosT now_micros) TMS_NON_BLOCKING;
 
   /// Connection to `dest_worker` dropped: marks every unacked frame for
   /// resend. Returns the number of in-flight tuples requeued.
@@ -127,7 +130,7 @@ class EgressBuffer {
   const std::vector<uint32_t> dest_workers_;
   const EgressOptions options_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(30)};
   mutable CondVar window_cv_;
   /// Mutable so the const Snapshot can flush staging first (logical state
   /// is unchanged; same pattern as lazily-materialized caches).
@@ -231,7 +234,7 @@ class IngressQueue {
   const std::string stream_;
   const IngressOptions options_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(35)};
   uint64_t incarnation_ GUARDED_BY(mutex_) = 0;
   std::map<uint32_t, TaskChannel> channels_ GUARDED_BY(mutex_);
   std::deque<PendingTuple> queue_ GUARDED_BY(mutex_);

@@ -87,7 +87,7 @@ class Supervisor {
   std::unique_ptr<net::EventLoop> loop_;
   uint16_t control_port_ = 0;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(10)};
   CondVar done_cv_;
   std::map<uint32_t, WorkerProc> workers_ GUARDED_BY(mutex_);
   std::map<net::EventLoop::ConnId, uint32_t> conn_worker_ GUARDED_BY(mutex_);

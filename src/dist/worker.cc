@@ -580,7 +580,7 @@ class Worker {
   MicrosT last_metrics_micros_ = 0;
   size_t windows_sent_ = 0;
 
-  Mutex mutex_;
+  Mutex mutex_{TMS_LOCK_RANK(15)};
   CondVar shutdown_cv_;
   bool draining_ GUARDED_BY(mutex_) = false;
   bool abort_ GUARDED_BY(mutex_) = false;

@@ -5,13 +5,13 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread.h"
 #include "common/thread_annotations.h"
 #include "dsps/metrics.h"
 #include "dsps/topology.h"
@@ -183,7 +183,7 @@ class LocalRuntime {
   /// Lock hierarchy: a TaskQueue::mutex is a leaf — nothing else is
   /// acquired while one is held (see DESIGN.md "Concurrency discipline").
   struct TaskQueue {
-    Mutex mutex;
+    Mutex mutex{TMS_LOCK_RANK(90)};
     CondVar not_empty;
     CondVar not_full;
     std::deque<Tuple> queue GUARDED_BY(mutex);
@@ -201,7 +201,7 @@ class LocalRuntime {
   /// Ack/Fail notifications queued for delivery on the spout's executor
   /// thread (Storm delivers both callbacks on the spout executor).
   struct SpoutEventQueue {
-    Mutex mutex;
+    Mutex mutex{TMS_LOCK_RANK(90)};
     // (is_ack, message_id)
     std::deque<std::pair<bool, uint64_t>> events GUARDED_BY(mutex);
   };
@@ -243,7 +243,7 @@ class LocalRuntime {
   struct ExecutorSlot {
     int component_index = 0;
     int executor_index = 0;
-    std::thread thread;
+    Thread thread;
     std::atomic<bool> crashed{false};
     /// Crash-loop containment (supervisor-thread-only once started).
     std::deque<MicrosT> restart_times;  // within the breaker window
@@ -284,18 +284,18 @@ class LocalRuntime {
   /// Stages one tuple; counted in `in_flight_` immediately. Auto-flushes the
   /// outbox past Options::emit_batch.
   void Stage(int target_component, int task_index, Tuple tuple,
-             Outbox* outbox);
+             Outbox* outbox) TMS_NO_ALLOC;
   /// Pushes every staged block to its target queue: one lock wait
   /// (backpressure-aware), one bulk append, and one not_empty wake per
   /// target task. During shutdown staged tuples are dropped.
-  void FlushOutbox(Outbox* outbox);
+  void FlushOutbox(Outbox* outbox) TMS_NO_ALLOC;
   /// Fault-aware single delivery used by Route.
   void Deliver(int source_component, int target_component, int task_index,
                const Tuple& tuple, uint64_t* emitted, uint64_t* ack_batch,
                uint64_t dedup_base, uint64_t* dedup_seq, Outbox* outbox);
   void NotifyPossiblyDone();
   /// Fresh nonzero pseudo-random edge id for the acker.
-  uint64_t NextEdgeId();
+  uint64_t NextEdgeId() TMS_NO_ALLOC;
 
   // --- Stateful recovery helpers (see DESIGN.md "State & recovery") ---
 
@@ -348,8 +348,8 @@ class LocalRuntime {
   int total_tasks_ = 0;
 
   std::vector<std::unique_ptr<ExecutorSlot>> executors_;
-  std::thread monitor_thread_;
-  std::thread supervisor_thread_;
+  Thread monitor_thread_;
+  Thread supervisor_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> finished_{false};
@@ -363,7 +363,7 @@ class LocalRuntime {
   /// atomics): the mutex guards no data, it closes the lost-wakeup window
   /// between a waiter's predicate check and its block. Leaf lock, like the
   /// TaskQueue mutexes.
-  Mutex done_mutex_;
+  Mutex done_mutex_{TMS_LOCK_RANK(95)};
   CondVar done_cv_;
 };
 

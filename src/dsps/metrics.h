@@ -236,7 +236,7 @@ class MetricsRegistry {
   std::atomic<uint64_t> net_bytes_received_{0};
   std::atomic<uint64_t> net_reconnects_{0};
   std::atomic<uint64_t> net_requeued_tuples_{0};
-  mutable Mutex window_mutex_;
+  mutable Mutex window_mutex_{TMS_LOCK_RANK(70)};
   std::vector<WindowReport> reports_ GUARDED_BY(window_mutex_);
   MicrosT last_snapshot_micros_ GUARDED_BY(window_mutex_) = 0;
   bool window_anchored_ GUARDED_BY(window_mutex_) = false;

@@ -5,6 +5,8 @@
 #include <new>
 #include <vector>
 
+#include "common/static_analysis.h"
+
 namespace insight {
 namespace dsps {
 namespace detail {
@@ -24,7 +26,7 @@ class TlsBlockCache {
     for (void* block : blocks_) ::operator delete(block);
   }
 
-  void* Take(size_t size) {
+  void* Take(size_t size) TMS_NO_ALLOC {
     if (size == block_size_ && !blocks_.empty()) {
       void* block = blocks_.back();
       blocks_.pop_back();
@@ -34,9 +36,11 @@ class TlsBlockCache {
   }
 
   /// True if the block was cached; false means the caller must free it.
-  bool Put(void* block, size_t size) {
+  bool Put(void* block, size_t size) TMS_NO_ALLOC {
     if (block_size_ == 0) block_size_ = size;
     if (size != block_size_ || blocks_.size() >= kMaxBlocks) return false;
+    // TMS_ANALYZE_EXEMPT(bounded warm-up: the freelist vector grows to at
+    // most kMaxBlocks pointers once, then every Put reuses that capacity)
     blocks_.push_back(block);
     return true;
   }

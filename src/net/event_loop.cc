@@ -55,7 +55,7 @@ Status EventLoop::Start() {
   if (!started_.compare_exchange_strong(expected, true)) {
     return Status::FailedPrecondition("EventLoop already started");
   }
-  thread_ = std::thread([this] { Run(); });
+  thread_ = Thread([this] { Run(); });
   return Status::OK();
 }
 

@@ -7,12 +7,12 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "common/thread.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "net/frame.h"
@@ -79,7 +79,7 @@ class EventLoop {
   /// Queues one frame for asynchronous delivery. Returns false when the
   /// connection is unknown or closing (the frame is dropped — callers
   /// relying on delivery keep their own retransmit buffers).
-  bool Send(ConnId id, const Frame& frame);
+  bool Send(ConnId id, const Frame& frame) TMS_NON_BLOCKING;
 
   /// Requests an asynchronous close; on_close fires from the loop thread.
   void Close(ConnId id);
@@ -105,25 +105,26 @@ class EventLoop {
   };
 
   void Run();
-  void Wake();
+  void Wake() TMS_NON_BLOCKING;
   /// Reads until EAGAIN/EOF, dispatching decoded frames. Returns a non-OK
-  /// status when the connection must be closed.
-  Status DrainReadable(ConnId id, Conn* conn);
+  /// status when the connection must be closed. Runs on the loop thread;
+  /// one blocked handler stalls every connection, hence TMS_NON_BLOCKING.
+  Status DrainReadable(ConnId id, Conn* conn) TMS_NON_BLOCKING;
   /// Writes queued bytes until EAGAIN or empty.
-  Status FlushWritable(Conn* conn);
-  void CloseInternal(ConnId id, const Status& status);
+  Status FlushWritable(Conn* conn) TMS_NON_BLOCKING;
+  void CloseInternal(ConnId id, const Status& status) TMS_NON_BLOCKING;
 
   Callbacks callbacks_;
   MicrosT tick_interval_micros_;
   std::vector<std::pair<Socket, int>> listeners_;  // loop-thread after Start
   int wake_read_ = -1;
   int wake_write_ = -1;
-  std::thread thread_;
+  Thread thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> next_id_{1};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(80)};
   std::map<ConnId, std::unique_ptr<Conn>> conns_ GUARDED_BY(mutex_);
 };
 

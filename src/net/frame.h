@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/static_analysis.h"
 #include "common/status.h"
 
 namespace insight {
@@ -45,19 +46,24 @@ struct Frame {
   std::string payload;
 };
 
-/// Appends the framed encoding of `frame` to `*out`.
-void EncodeFrame(const Frame& frame, std::string* out);
+/// Appends the framed encoding of `frame` to `*out`. Runs on loop and
+/// worker threads alike; pure in-memory appends, nothing blocking.
+void EncodeFrame(const Frame& frame, std::string* out) TMS_NON_BLOCKING;
 
 /// Incremental decoder over a TCP byte stream: Append received bytes, then
 /// pull complete frames with Next until it reports no-frame.
 class FrameDecoder {
  public:
-  void Append(const char* data, size_t size) { buffer_.append(data, size); }
+  void Append(const char* data, size_t size) TMS_NON_BLOCKING {
+    // TMS_ANALYZE_EXEMPT(receive buffer reuses its compacted capacity; the
+    // append itself never leaves user space)
+    buffer_.append(data, size);
+  }
 
   /// kOk + true: `*out` holds the next complete frame. kOk + false: more
   /// bytes needed. Error: the stream is corrupt (unknown type / oversized
   /// length) and the connection must be dropped.
-  Result<bool> Next(Frame* out);
+  Result<bool> Next(Frame* out) TMS_NON_BLOCKING;
 
   size_t buffered() const { return buffer_.size() - pos_; }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "common/static_analysis.h"
 
 namespace insight {
 namespace observability {
@@ -74,7 +75,7 @@ class LatencyHistogram {
 
   /// Bucket holding `micros` (branch-light linear scan over a 22-entry
   /// constexpr table; the compiler unrolls it).
-  static size_t BucketIndex(MicrosT micros) {
+  static size_t BucketIndex(MicrosT micros) TMS_NO_ALLOC {
     double v = static_cast<double>(micros);
     for (size_t i = 0; i < kLatencyBucketBoundsMicros.size(); ++i) {
       if (v <= kLatencyBucketBoundsMicros[i]) return i;
@@ -82,14 +83,14 @@ class LatencyHistogram {
     return kNumBuckets - 1;
   }
 
-  void Record(MicrosT micros) {
+  void Record(MicrosT micros) TMS_NO_ALLOC {
     buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Records `count` samples of the same value in one bucket update (batch
   /// execution paths attribute a block's mean per-tuple latency to every
   /// tuple in it).
-  void RecordN(MicrosT micros, uint64_t count) {
+  void RecordN(MicrosT micros, uint64_t count) TMS_NO_ALLOC {
     buckets_[BucketIndex(micros)].fetch_add(count, std::memory_order_relaxed);
   }
 

@@ -126,7 +126,7 @@ class Tracer {
   std::atomic<uint64_t> spans_dropped_{0};
   std::atomic<uint64_t> sample_skips_at_cap_{0};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(75)};
   std::deque<TraceSpan> spans_ GUARDED_BY(mutex_);
   /// Open root spans: trace id -> start time.
   std::unordered_map<uint64_t, MicrosT> open_ GUARDED_BY(mutex_);

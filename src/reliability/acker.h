@@ -88,7 +88,7 @@ class Acker {
     TreeInfo info;
   };
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{TMS_LOCK_RANK(60)};
     std::unordered_map<uint64_t, Entry> trees GUARDED_BY(mutex);
   };
 

@@ -76,7 +76,7 @@ void CheckpointCoordinator::Start() {
     started_ = true;
     stop_ = false;
   }
-  persister_ = std::thread([this] { PersisterLoop(); });
+  persister_ = Thread([this] { PersisterLoop(); });
 }
 
 void CheckpointCoordinator::Stop() {

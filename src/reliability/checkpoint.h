@@ -7,13 +7,13 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "common/thread.h"
 #include "common/thread_annotations.h"
 #include "reliability/state_store.h"
 
@@ -128,14 +128,14 @@ class CheckpointCoordinator {
   void PersisterLoop();
 
   const Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(20)};
   CondVar work_cv_;   // persister wakeup
   CondVar idle_cv_;   // per-slot in-flight drained (restore barrier)
   std::vector<std::unique_ptr<Slot>> slots_ GUARDED_BY(mutex_);
   std::deque<int> queue_ GUARDED_BY(mutex_);
   bool started_ GUARDED_BY(mutex_) = false;
   bool stop_ GUARDED_BY(mutex_) = false;
-  std::thread persister_;
+  Thread persister_;
 
   std::atomic<uint64_t> persisted_{0};
   std::atomic<uint64_t> persist_failures_{0};

@@ -85,7 +85,7 @@ class FaultInjector {
 
  private:
   FaultPlan plan_;
-  Mutex mutex_;
+  Mutex mutex_{TMS_LOCK_RANK(78)};
   Rng rng_ GUARDED_BY(mutex_);
   std::map<std::pair<std::string, int>, uint64_t> execution_counts_
       GUARDED_BY(mutex_);

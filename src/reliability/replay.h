@@ -98,7 +98,7 @@ class ReplayBuffer {
   };
 
   ReplayPolicy policy_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(50)};
   std::unordered_map<uint64_t, Payload> payloads_ GUARDED_BY(mutex_);
   std::deque<Scheduled> scheduled_ GUARDED_BY(mutex_);
 };

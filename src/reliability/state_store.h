@@ -48,7 +48,7 @@ class InMemoryStateStore : public StateStore {
   Status Remove(const std::string& key) override;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(40)};
   std::map<std::string, Snapshot> latest_ GUARDED_BY(mutex_);
 };
 
@@ -94,7 +94,7 @@ class FileStateStore : public StateStore {
   std::string DirFor(const std::string& key) const;
 
   std::string root_;
-  mutable Mutex mutex_;  // serializes directory-level mutations per store
+  mutable Mutex mutex_{TMS_LOCK_RANK(40)};  // serializes directory-level mutations per store
 };
 
 }  // namespace reliability

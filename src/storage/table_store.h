@@ -101,7 +101,7 @@ class TableStore {
   Result<const Table*> Find(const std::string& name) const REQUIRES(mutex_);
 
   Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{TMS_LOCK_RANK(65)};
   std::map<std::string, Table> tables_ GUARDED_BY(mutex_);
   mutable size_t query_count_ GUARDED_BY(mutex_) = 0;
 };

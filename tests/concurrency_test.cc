@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
 #include "reliability/acker.h"
@@ -174,6 +175,81 @@ TEST(AckerDeathTest, DuplicateRegisterTripsDCheckInDebugBuilds) {
   GTEST_SKIP() << "TMS_DCHECK compiled out (NDEBUG build); the asan-ubsan "
                   "CI job builds Debug and runs this for real";
 #endif
+}
+
+// The Debug-build lock-rank validator (common/mutex.h) is the dynamic
+// backstop of tools/analyze.py's static ordering check: the analyzer
+// proves what it can resolve at analysis time, the validator catches the
+// acquisition orders that only materialize at run time.
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, InvertedAcquisitionOrderAbortsInDebugBuilds) {
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex low{TMS_LOCK_RANK(10)};
+        Mutex high{TMS_LOCK_RANK(20)};
+        MutexLock outer(high);
+        MutexLock inner(low);  // rank 10 under rank 20: inverted
+      },
+      "lock-rank order violation");
+#else
+  GTEST_SKIP() << "lock-rank checks compiled out (NDEBUG build); the "
+                  "asan-ubsan CI job builds Debug and runs this for real";
+#endif
+}
+
+TEST(LockRankDeathTest, SameRankNestingAbortsInDebugBuilds) {
+#if TMS_LOCK_RANK_CHECKS_ENABLED
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a{TMS_LOCK_RANK(30)};
+        Mutex b{TMS_LOCK_RANK(30)};
+        MutexLock outer(a);
+        MutexLock inner(b);  // equal ranks must never nest
+      },
+      "lock-rank order violation");
+#else
+  GTEST_SKIP() << "lock-rank checks compiled out (NDEBUG build)";
+#endif
+}
+
+TEST(LockRankTest, IncreasingOrderAndReleaseAreAllowed) {
+  Mutex low{TMS_LOCK_RANK(10)};
+  Mutex high{TMS_LOCK_RANK(20)};
+  {
+    MutexLock outer(low);
+    MutexLock inner(high);  // strictly increasing: fine
+  }
+  {
+    // Release resets the held stack: re-acquiring low afterwards is legal.
+    MutexLock again(low);
+  }
+}
+
+TEST(LockRankTest, UnrankedMutexesDoNotParticipate) {
+  Mutex ranked{TMS_LOCK_RANK(40)};
+  Mutex unranked;
+  MutexLock outer(ranked);
+  MutexLock inner(unranked);  // no rank, no ordering constraint
+  EXPECT_EQ(unranked.rank(), Mutex::kNoRank);
+  EXPECT_EQ(ranked.rank(), 40);
+}
+
+TEST(LockRankTest, ManualLockUnlockMayReleaseOutOfOrder) {
+  // Manual pairs (TaskQueue-style code) may unlock in any order; the
+  // validator drops the innermost occurrence of the released rank.
+  Mutex a{TMS_LOCK_RANK(50)};
+  Mutex b{TMS_LOCK_RANK(60)};
+  a.Lock();
+  b.Lock();
+  a.Unlock();  // out of LIFO order
+  b.Unlock();
+  // The held stack is empty again: a fresh low-rank acquisition is legal.
+  MutexLock lock(a);
 }
 
 }  // namespace

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cmath>
 #include <future>
-#include <thread>
 #include <set>
 
 #include "observability/export.h"
@@ -12,6 +11,7 @@
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
 #include "common/strings.h"
+#include "common/thread.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "dsps/xml_topology.h"
@@ -408,7 +408,7 @@ TEST(MetricsRegistryTest, ConcurrentRecordsConsistentAcrossWindows) {
   MetricsRegistry registry;
   registry.DeclareComponent("c", kThreads);
   std::atomic<bool> go{false};
-  std::vector<std::thread> workers;
+  std::vector<Thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       while (!go.load()) {

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
-#include <thread>
-
+#include "common/thread.h"
 #include "storage/table_store.h"
 
 namespace insight {
@@ -105,12 +104,12 @@ TEST_F(TableStoreTest, QueryCostAccounting) {
 }
 
 TEST_F(TableStoreTest, ConcurrentReadersAndWriters) {
-  std::thread writer([&] {
+  Thread writer([&] {
     for (int i = 0; i < 500; ++i) {
       InsertStat(i % 10, i % 24, "weekday", i, 1.0);
     }
   });
-  std::thread reader([&] {
+  Thread reader([&] {
     for (int i = 0; i < 200; ++i) {
       auto result = QueryThresholds(store_, "delay", 1.0);
       ASSERT_TRUE(result.ok());

@@ -6,12 +6,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <thread>
 
 #include "batch/mapreduce.h"
 #include "batch/statistics_job.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread.h"
 #include "dfs/mini_dfs.h"
 #include "dsps/local_runtime.h"
 #include "storage/table_store.h"
@@ -123,7 +123,7 @@ TEST(StressTest, ConcurrentDfsAppendsToDistinctFiles) {
   dfs::MiniDfs fs(options);
   constexpr int kThreads = 8;
   constexpr int kAppends = 300;
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&fs, t] {
       std::string path = "/stress/file" + std::to_string(t);
@@ -148,7 +148,7 @@ TEST(StressTest, ConcurrentStoreInsertAndThresholdQueries) {
       store.CreateTable("statistics_delay", storage::StatisticsColumns()).ok());
   std::atomic<bool> stop{false};
   std::atomic<int> query_errors{0};
-  std::thread writer([&] {
+  Thread writer([&] {
     Rng rng(1);
     for (int i = 0; i < 3000; ++i) {
       (void)store.Insert("statistics_delay",
@@ -161,7 +161,7 @@ TEST(StressTest, ConcurrentStoreInsertAndThresholdQueries) {
     }
     stop = true;
   });
-  std::vector<std::thread> readers;
+  std::vector<Thread> readers;
   for (int r = 0; r < 4; ++r) {
     readers.emplace_back([&] {
       while (!stop) {

@@ -1,0 +1,1264 @@
+#!/usr/bin/env python3
+"""Semantic invariant analyzer: annotation-driven call-graph checks.
+
+Verifies the whole-call-graph properties declared with the macros in
+src/common/static_analysis.h (see that header and DESIGN.md "Static
+analysis" for the vocabulary):
+
+  no-alloc       TMS_NO_ALLOC functions — and every intra-project function
+                 reachable from them — must not allocate: no new/malloc, no
+                 growing-container call, no string construction.
+  non-blocking   TMS_NON_BLOCKING functions must not reach a sleep, a
+                 CondVar wait, a thread join, blocking file I/O,
+                 poll/select, or the acquisition of an unranked mutex.
+  lock-rank      Mutexes declare TMS_LOCK_RANK(n); every acquisition path
+                 must take ranks in strictly increasing order, and every
+                 Mutex declared in the concurrency-bearing directories
+                 (src/{dsps,reliability,cep,dist,observability,net}) must
+                 be ranked.
+  exempt-reason  Every TMS_ANALYZE_EXEMPT must carry a non-empty reason.
+
+Deliberate violations are suppressed with an audit trail, either on the
+offending line or (for long reasons) on the line above:
+
+    ptr = new Block;  // TMS_ANALYZE_EXEMPT(warm-up only: freelist reuse)
+
+Findings print as `file:line: rule: message` (or GitHub annotations with
+--github) and the exit status is nonzero if any rule fires — the analyze
+CI job gates on this, and `--self-test` proves each rule still fires on
+the known-bad fixtures under tools/testdata/.
+
+Frontends: the analyzer is frontend-pluggable. The default text frontend
+is a dependency-free heuristic C++ parser that runs anywhere python3
+runs; when the libclang python bindings are importable (CI installs
+python3-clang) `--frontend=clang` parses the real AST using the compile
+commands from the build directory. Both feed the same rule engine.
+
+Run from the repository root:  python3 tools/analyze.py
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+# --- Policy tables -------------------------------------------------------
+
+# Directories scanned in a default repo run.
+SCAN_DIRS = ("src",)
+
+# Every Mutex declared under these prefixes must carry TMS_LOCK_RANK.
+RANK_REQUIRED_PREFIXES = (
+    "src/dsps", "src/reliability", "src/cep", "src/dist",
+    "src/observability", "src/net", "tools/testdata",
+)
+
+# Callees that allocate. `new` expressions are detected as tokens; these
+# are matched against the unqualified callee name.
+ALLOC_CALLEES = {
+    "malloc", "calloc", "realloc", "strdup", "aligned_alloc",
+    "make_shared", "make_unique", "allocate_shared", "make_pair_heap",
+    "push_back", "emplace_back", "emplace", "emplace_front", "insert",
+    "resize", "reserve", "assign", "append", "to_string", "substr",
+    "try_emplace", "operator new",
+}
+# Types whose construction allocates (matched on `Type name(...)` /
+# `Type name{...}` declarations and explicit temporaries).
+ALLOC_TYPES = {
+    "string", "vector", "deque", "map", "unordered_map", "set",
+    "unordered_set", "ostringstream", "stringstream", "list",
+}
+
+# Callees that block.
+BLOCKING_CALLEES = {
+    "sleep_for", "sleep_until", "sleep", "usleep", "nanosleep",
+    "Wait", "WaitFor", "join", "poll", "ppoll", "select", "epoll_wait",
+    "system", "fsync", "fdatasync", "flock", "waitpid", "getline",
+    "fopen", "fread", "fwrite", "fclose",
+}
+# Types whose construction performs blocking file I/O.
+BLOCKING_TYPES = {"ifstream", "ofstream", "fstream"}
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "catch", "do", "else",
+    "sizeof", "alignof", "decltype", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "new", "delete", "throw", "case",
+    "default", "break", "continue", "goto", "using", "typedef", "typename",
+    "template", "static_assert", "noexcept", "alignas", "co_await",
+    "co_return", "co_yield", "and", "or", "not", "assert",
+}
+
+# Annotation-like macros that trail a declarator; never a function name,
+# and (for the TMS_* ones) meaningful to this analyzer.
+DECL_MACROS = {
+    "REQUIRES", "ACQUIRE", "RELEASE", "TRY_ACQUIRE", "EXCLUDES",
+    "GUARDED_BY", "PT_GUARDED_BY", "ACQUIRED_AFTER", "ACQUIRED_BEFORE",
+    "ASSERT_CAPABILITY", "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+    "CAPABILITY", "SCOPED_CAPABILITY", "TMS_NO_ALLOC", "TMS_NON_BLOCKING",
+    "TMS_ANALYZE_EXEMPT", "TMS_LOCK_RANK", "override", "final", "const",
+    "noexcept", "mutable", "constexpr", "inline", "explicit", "static",
+    "virtual", "friend", "__attribute__",
+}
+
+# Namespace-ish qualifiers ignored when hunting the "real" type name in a
+# declaration (`std::unique_ptr<TaskQueue> input` -> TaskQueue).
+TYPE_WRAPPERS = {
+    "std", "unique_ptr", "shared_ptr", "vector", "deque", "map",
+    "unordered_map", "optional", "const", "mutable", "insight", "dsps",
+    "cep", "net", "dist", "reliability", "observability", "detail",
+}
+
+
+# --- Shared model --------------------------------------------------------
+
+class Event:
+    """One interesting site inside a function body, in source order."""
+
+    __slots__ = ("kind", "what", "line", "depth", "extra")
+
+    def __init__(self, kind, what, line, depth, extra=None):
+        self.kind = kind    # acq | rel | call | alloc | block
+        self.what = what    # callee name / mutex expression / op
+        self.line = line
+        self.depth = depth
+        self.extra = extra  # receiver for calls, var name for acq/rel
+
+    def __repr__(self):
+        return f"Event({self.kind},{self.what},l{self.line})"
+
+
+class FuncInfo:
+    def __init__(self, qual, file, line):
+        self.qual = qual          # tuple of scope components
+        self.file = file
+        self.line = line
+        self.annotations = set()  # {"no_alloc", "non_blocking", "exempt"}
+        self.events = []          # [Event]
+        self.local_types = {}     # var name -> type name
+
+    @property
+    def name(self):
+        return self.qual[-1]
+
+    @property
+    def display(self):
+        return "::".join(self.qual)
+
+
+class MutexDecl:
+    def __init__(self, scope, name, rank, file, line):
+        self.scope = scope  # tuple of enclosing scope components
+        self.name = name
+        self.rank = rank    # int or None
+        self.file = file
+        self.line = line
+
+
+class Program:
+    """Cross-TU model shared by every frontend."""
+
+    def __init__(self):
+        self.functions = []       # [FuncInfo] definitions
+        self.decl_annotations = {}  # (class-or-(), name) -> set of annos
+        self.mutexes = []         # [MutexDecl]
+        self.member_types = {}    # (scope tuple) -> {member: type name}
+        self.exempt_lines = {}    # file -> set of line numbers
+        self.exempt_bare = []     # [(file, line)] markers missing a reason
+
+    # -- indexes built after parsing --
+
+    def finalize(self):
+        self.by_name = {}
+        self.by_suffix2 = {}
+        for f in self.functions:
+            self.by_name.setdefault(f.name, []).append(f)
+            if len(f.qual) >= 2:
+                self.by_suffix2.setdefault(f.qual[-2:], []).append(f)
+        # Annotations recorded on declarations (headers) attach to the
+        # matching definition, wherever it lives.
+        for (scope_name, name), annos in self.decl_annotations.items():
+            target = None
+            if scope_name:
+                cands = self.by_suffix2.get((scope_name, name), [])
+                if len(cands) == 1:
+                    target = cands[0]
+            if target is None:
+                cands = self.by_name.get(name, [])
+                if len(cands) == 1:
+                    target = cands[0]
+            if target is not None:
+                target.annotations |= annos
+        self.mutex_by_scope = {}
+        self.mutex_by_name = {}
+        for m in self.mutexes:
+            key = (m.scope[-1] if m.scope else "", m.name)
+            self.mutex_by_scope[key] = m
+            self.mutex_by_name.setdefault(m.name, []).append(m)
+
+    def resolve_call(self, func, event):
+        """Best-effort: map a call site to an intra-project definition."""
+        callee = event.what
+        if "::" in callee:
+            parts = tuple(callee.split("::"))
+            if parts[0] == "std":
+                return None
+            cands = self.by_suffix2.get(parts[-2:], [])
+            if len(cands) == 1:
+                return cands[0]
+            cands = self.by_name.get(parts[-1], [])
+            return cands[0] if len(cands) == 1 else None
+        receiver = event.extra
+        if receiver:
+            rtype = self._type_of(func, receiver)
+            if rtype:
+                cands = self.by_suffix2.get((rtype, callee), [])
+                if len(cands) == 1:
+                    return cands[0]
+        # A plain call: prefer a method of the enclosing class.
+        if len(func.qual) >= 2:
+            cands = self.by_suffix2.get((func.qual[-2], callee), [])
+            if len(cands) == 1:
+                return cands[0]
+        cands = self.by_name.get(callee, [])
+        return cands[0] if len(cands) == 1 else None
+
+    def _type_of(self, func, var):
+        if var in func.local_types:
+            return func.local_types[var]
+        for i in range(len(func.qual) - 1, 0, -1):
+            members = self.member_types.get(tuple(func.qual[:i]))
+            if members and var in members:
+                return members[var]
+        # Unique member name anywhere in the project.
+        owners = [
+            t[var] for t in self.member_types.values() if var in t
+        ]
+        if len(set(owners)) == 1 and owners:
+            return owners[0]
+        return None
+
+    def resolve_mutex(self, func, expr):
+        """Maps a mutex expression ('mu_', 'queue->mutex') to its rank.
+
+        Returns (display name, rank, known): rank None with known=True
+        means "definitely unranked"; known=False means the mutex could not
+        be resolved and ordering checks are skipped for it.
+        """
+        parts = [p for p in re.split(r"->|\.|::", expr) if p]
+        if not parts:
+            return (expr, None, False)
+        member = parts[-1]
+        if len(parts) >= 2:
+            rtype = self._type_of(func, parts[-2])
+            if rtype:
+                m = self.mutex_by_scope.get((rtype, member))
+                if m is not None:
+                    return (f"{rtype}::{member}", m.rank, True)
+        else:
+            for i in range(len(func.qual) - 1, 0, -1):
+                m = self.mutex_by_scope.get((func.qual[i - 1], member))
+                if m is not None:
+                    return (f"{func.qual[i - 1]}::{member}", m.rank, True)
+        cands = self.mutex_by_name.get(member, [])
+        if not cands:
+            return (member, None, False)
+        ranks = {m.rank for m in cands}
+        if len(ranks) == 1:
+            return (member, ranks.pop(), True)
+        return (member, None, False)
+
+
+# --- Text frontend -------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*|::|->|\d[\dxXa-fA-F.'uUlLfF]*|[{}();:,<>=&*.~!+\-/%\[\]|^?]"
+)
+
+EXEMPT_MARKER_RE = re.compile(r"TMS_ANALYZE_EXEMPT\(([^)]*)\)", re.S)
+
+
+def strip_comments(text):
+    """Blanks // and block comments and string literals, preserving line
+    structure (same contract as tools/lint.py strip_comments)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        if state == "code":
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block":
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = "code"
+                i += 1
+            elif c == "\n":
+                out.append(c)
+        else:  # str | chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def tokenize(code):
+    """[(token, line)] with preprocessor lines skipped."""
+    tokens = []
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if line.lstrip().startswith("#"):
+            continue
+        for match in TOKEN_RE.finditer(line):
+            tokens.append((match.group(0), lineno))
+    return tokens
+
+
+class TextFrontend:
+    """Heuristic single-pass C++ parser. It does not type-check; it
+    recognizes the shapes this codebase actually uses (see DESIGN.md) and
+    resolves names through scope context plus declared member/local types.
+    Anything it cannot resolve degrades to "skip", never to a false
+    finding on unrelated code."""
+
+    def __init__(self):
+        self.program = Program()
+
+    def parse_files(self, paths):
+        for path in paths:
+            try:
+                text = Path(path).read_text(encoding="utf-8",
+                                            errors="replace")
+            except OSError as err:
+                print(f"analyze.py: cannot read {path}: {err}",
+                      file=sys.stderr)
+                continue
+            self._scan_exempt_markers(path, text)
+            self._parse(path, tokenize(strip_comments(text)))
+        self.program.finalize()
+        return self.program
+
+    def _scan_exempt_markers(self, path, text):
+        """Records TMS_ANALYZE_EXEMPT markers. A marker exempts every line
+        it spans (comment reasons may wrap across lines); a marker whose
+        comment carries no code also exempts the line that follows it."""
+        lines = set()
+        bare = []
+        for match in EXEMPT_MARKER_RE.finditer(text):
+            start_line = text.count("\n", 0, match.start()) + 1
+            end_line = text.count("\n", 0, match.end()) + 1
+            reason = re.sub(r"^\s*(?://|\*)+", "", match.group(1),
+                            flags=re.M)
+            reason = reason.replace('"', " ").strip()
+            if not reason:
+                bare.append((path, start_line))
+                continue
+            lines.update(range(start_line, end_line + 1))
+            bol = text.rfind("\n", 0, match.start()) + 1
+            head = text[bol:match.start()]
+            tail = text[match.end():].split("\n", 1)[0]
+            if "//" in head and not head.split("//")[0].strip() \
+                    and not tail.strip():
+                # Marker comment with no code on its own lines: it
+                # documents — and exempts — the line right below it.
+                lines.add(end_line + 1)
+        if lines:
+            self.program.exempt_lines.setdefault(path, set()).update(lines)
+        self.program.exempt_bare.extend(bare)
+
+    # -- parsing machinery --
+
+    def _parse(self, path, tokens):
+        scopes = []  # ("ns"|"class"|"func"|"block"|"skip", name|FuncInfo)
+        pending = []  # [(tok, line)] since last ; { }
+        i, n = 0, len(tokens)
+        func = None          # innermost FuncInfo, if any
+        func_depth = 0       # brace depth inside that function
+        raii_locks = []      # [(depth, expr)] active MutexLock scopes
+
+        def class_scope():
+            return tuple(
+                name for kind, name in scopes if kind in ("ns", "class"))
+
+        def enter_body(kind, name):
+            scopes.append((kind, name))
+
+        while i < n:
+            tok, line = tokens[i]
+
+            if func is not None:
+                # ---- inside a function body ----
+                if tok == "{":
+                    func_depth += 1
+                elif tok == "}":
+                    func_depth -= 1
+                    while raii_locks and raii_locks[-1][0] > func_depth:
+                        _, expr = raii_locks.pop()
+                        func.events.append(
+                            Event("rel", expr, line, func_depth))
+                    if func_depth == 0:
+                        scopes.pop()
+                        func = self._enclosing_func(scopes)
+                        if func is None:
+                            pending = []
+                else:
+                    i = self._body_token(path, tokens, i, func, func_depth,
+                                         raii_locks)
+                i += 1
+                continue
+
+            # ---- at namespace/class scope ----
+            if tok == ";":
+                self._flush_decl(path, pending, class_scope())
+                pending = []
+            elif tok == "{":
+                kind = self._classify_block(pending)
+                if kind == "ns":
+                    name = pending[-1][0] if pending and \
+                        pending[-1][0] != "namespace" else ""
+                    enter_body("ns", name)
+                elif kind == "class":
+                    enter_body("class", self._class_name(pending))
+                elif kind == "func":
+                    info = self._begin_function(path, pending,
+                                                class_scope())
+                    enter_body("func", info)
+                    func = info
+                    func_depth = 1
+                    raii_locks = []
+                elif kind == "init":
+                    # Brace initializer in a declaration (e.g. a member
+                    # `Mutex mu_{TMS_LOCK_RANK(5)};`): swallow to the
+                    # matching `}`, keeping the tokens — _flush_decl reads
+                    # TMS_LOCK_RANK out of them at the terminating `;`.
+                    pending.append((tok, line))
+                    depth = 1
+                    while i + 1 < n and depth > 0:
+                        i += 1
+                        pending.append(tokens[i])
+                        if tokens[i][0] == "{":
+                            depth += 1
+                        elif tokens[i][0] == "}":
+                            depth -= 1
+                else:
+                    enter_body("block", "")
+                if kind not in ("init",):
+                    pending = []
+            elif tok == "}":
+                if scopes:
+                    scopes.pop()
+                pending = []
+            elif tok == ":" and len(pending) == 1 and \
+                    pending[0][0] in ("public", "private", "protected"):
+                pending = []  # access specifier
+            else:
+                pending.append((tok, line))
+            i += 1
+
+    @staticmethod
+    def _enclosing_func(scopes):
+        for kind, name in reversed(scopes):
+            if kind == "func":
+                return name
+        return None
+
+    @staticmethod
+    def _strip_template(toks):
+        """Drops a leading `template <...>` prelude."""
+        if not toks or toks[0] != "template":
+            return toks
+        depth = 0
+        for i, t in enumerate(toks):
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return toks[i + 1:]
+        return toks
+
+    @staticmethod
+    def _classify_block(pending):
+        toks = TextFrontend._strip_template([t for t, _ in pending])
+        if not toks:
+            return "block"
+        if "namespace" in toks:
+            return "ns"
+        if toks[0] in ("enum",):
+            return "block"
+        # `= {` / `{...}` member initializers and array initializers.
+        if "=" in toks and toks[-1] == "=":
+            return "init"
+        # A class head, possibly with attribute macros: `class
+        # CAPABILITY("mutex") Mutex`, `class SCOPED_CAPABILITY MutexLock`.
+        if toks[0] in ("class", "struct", "union"):
+            return "class"
+        if ("class" in toks or "struct" in toks) and "(" not in toks:
+            return "class"
+        # A function definition has a parameter list at depth 0 before the
+        # opening brace.
+        depth = 0
+        saw_params = False
+        for t in toks:
+            if t == "(":
+                depth += 1
+                saw_params = True
+            elif t == ")":
+                depth -= 1
+        if saw_params and depth == 0 and toks[0] not in CPP_KEYWORDS \
+                and toks[0] not in ("class", "struct", "union", "enum"):
+            return "func"
+        # Member brace-initializer without `=` (Mutex mu_{...};).
+        if saw_params or toks[-1] not in ("{",):
+            return "init"
+        return "block"
+
+    @staticmethod
+    def _class_name(pending):
+        toks = TextFrontend._strip_template([t for t, _ in pending])
+        name = ""
+        for marker in ("class", "struct", "union"):
+            if marker in toks:
+                idx = toks.index(marker)
+                for t in toks[idx + 1:]:
+                    if t == ":":
+                        break  # base clause: the name came before it
+                    if re.match(r"[A-Za-z_]", t) and t not in (
+                            "final", "public", "private", "protected",
+                            "virtual") and t not in DECL_MACROS:
+                        name = t  # attribute macros precede the real name
+                return name
+        return name
+
+    def _begin_function(self, path, pending, scope):
+        """Identify the function name + parameters + annotations from the
+        declarator tokens preceding `{`."""
+        toks = pending
+        name = None
+        name_idx = None
+        depth = 0
+        j = 0
+        while j < len(toks):
+            t, _ = toks[j]
+            if t == "(":
+                depth += 1
+                if depth == 1 and name is None and j > 0:
+                    cand, cline = toks[j - 1]
+                    if (re.match(r"[A-Za-z_~]", cand)
+                            and cand not in CPP_KEYWORDS
+                            and cand not in DECL_MACROS):
+                        # Qualified name: walk back over `A::B::`.
+                        parts = [cand]
+                        k = j - 2
+                        while k >= 1 and toks[k][0] == "::":
+                            parts.append(toks[k - 1][0])
+                            k -= 2
+                        parts.reverse()
+                        name = tuple(parts)
+                        name_idx = j
+            elif t == ")":
+                depth -= 1
+            j += 1
+        line = toks[0][1] if toks else 0
+        if name is None:
+            info = FuncInfo(scope + ("<anon>",), path, line)
+            return info
+        qual = scope + name if len(name) > 1 or not scope else scope + name
+        info = FuncInfo(qual, path, toks[name_idx - 1][1])
+        # Annotations anywhere in the declarator.
+        tokset = {t for t, _ in toks}
+        if "TMS_NO_ALLOC" in tokset:
+            info.annotations.add("no_alloc")
+        if "TMS_NON_BLOCKING" in tokset:
+            info.annotations.add("non_blocking")
+        if "TMS_ANALYZE_EXEMPT" in tokset:
+            info.annotations.add("exempt")
+        # Parameter types: `Type[&*] name` pairs inside the param list.
+        self._parse_param_types(toks, name_idx, info)
+        self.program.functions.append(info)
+        return info
+
+    @staticmethod
+    def _parse_param_types(toks, open_idx, info):
+        depth = 0
+        j = open_idx
+        param = []
+        while j < len(toks):
+            t, _ = toks[j]
+            if t == "(":
+                depth += 1
+                if depth == 1:
+                    j += 1
+                    continue
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    TextFrontend._record_param(param, info)
+                    break
+            if depth >= 1:
+                if t == "," and depth == 1:
+                    TextFrontend._record_param(param, info)
+                    param = []
+                else:
+                    param.append(t)
+            j += 1
+
+    @staticmethod
+    def _record_param(param, info):
+        idents = [t for t in param if re.match(r"[A-Za-z_]", t)
+                  and t not in ("const", "struct")]
+        if len(idents) >= 2:
+            type_cands = [t for t in idents[:-1]
+                          if t not in TYPE_WRAPPERS]
+            if type_cands:
+                info.local_types[idents[-1]] = type_cands[-1]
+
+    def _flush_decl(self, path, pending, scope):
+        """A `;`-terminated declaration at namespace/class scope: mutex
+        members, typed members, and annotated function declarations."""
+        toks = [t for t, _ in pending]
+        if not toks:
+            return
+        # Mutex member: [mutable] [insight::]Mutex name [{TMS_LOCK_RANK(n)}]
+        if "Mutex" in toks and "(" not in toks[:toks.index("Mutex")]:
+            idx = toks.index("Mutex")
+            rest = toks[idx + 1:]
+            if rest and re.match(r"[A-Za-z_]", rest[0]):
+                name = rest[0]
+                rank = None
+                joined = "".join(rest)
+                m = re.search(r"TMS_LOCK_RANK\((\d+)\)", joined)
+                if m:
+                    rank = int(m.group(1))
+                line = pending[idx][1]
+                self.program.mutexes.append(
+                    MutexDecl(scope, name, rank, path, line))
+                return
+        # Function declaration with annotations (definition elsewhere).
+        if "(" in toks and (")" in toks):
+            annos = set()
+            if "TMS_NO_ALLOC" in toks:
+                annos.add("no_alloc")
+            if "TMS_NON_BLOCKING" in toks:
+                annos.add("non_blocking")
+            if "TMS_ANALYZE_EXEMPT" in toks:
+                annos.add("exempt")
+            if annos:
+                open_idx = toks.index("(")
+                if open_idx > 0:
+                    name = toks[open_idx - 1]
+                    if re.match(r"[A-Za-z_]", name):
+                        key = (scope[-1] if scope else "", name)
+                        self.program.decl_annotations.setdefault(
+                            key, set()).update(annos)
+            return
+        # Typed member: remember `member -> Type` for receiver resolution.
+        idents = [t for t in toks if re.match(r"[A-Za-z_]", t)]
+        if len(idents) >= 2 and idents[-1] not in CPP_KEYWORDS:
+            type_cands = [t for t in idents[:-1] if t not in TYPE_WRAPPERS
+                          and t not in CPP_KEYWORDS
+                          and t not in DECL_MACROS
+                          and not t.isupper()]
+            if type_cands and re.match(r"[A-Z]", type_cands[-1]):
+                self.program.member_types.setdefault(
+                    tuple(scope), {})[idents[-1]] = type_cands[-1]
+
+    def _body_token(self, path, tokens, i, func, depth, raii_locks):
+        """Handles one token inside a function body; returns the index of
+        the last token consumed."""
+        tok, line = tokens[i]
+
+        if tok == "new":
+            # `operator new` handled via the call path; a bare new-expression
+            # is an allocation.
+            func.events.append(Event("alloc", "new", line, depth))
+            return i
+
+        if not re.match(r"[A-Za-z_]", tok) or tok in CPP_KEYWORDS:
+            return i
+
+        nxt = tokens[i + 1][0] if i + 1 < len(tokens) else ""
+
+        # `MutexLock lock(expr)` / `MutexLock lock(expr);` RAII acquisition.
+        if tok == "MutexLock" and i + 2 < len(tokens) and \
+                tokens[i + 2][0] == "(":
+            expr, end = self._paren_expr(tokens, i + 2)
+            raii_locks.append((depth, expr))
+            func.events.append(Event("acq", expr, line, depth))
+            return end
+
+        if nxt == "(":
+            receiver = self._receiver(tokens, i)
+            qual = self._qualified(tokens, i)
+            # Manual Lock/Unlock/TryLock on a mutex expression.
+            if tok in ("Lock", "TryLock") and receiver:
+                func.events.append(Event("acq", receiver, line, depth))
+                return i + 1
+            if tok == "Unlock" and receiver:
+                func.events.append(Event("rel", receiver, line, depth))
+                return i + 1
+            prev = tokens[i - 1][0] if i > 0 else ""
+            if re.match(r"[A-Za-z_]", prev) and prev not in CPP_KEYWORDS \
+                    and receiver is None:
+                # `Type name(args)`: a declaration — the interesting callee
+                # is the type's constructor.
+                if prev in ALLOC_TYPES:
+                    func.events.append(
+                        Event("alloc", f"{prev} construction", line, depth))
+                elif prev in BLOCKING_TYPES:
+                    func.events.append(
+                        Event("block", f"{prev} construction", line, depth))
+                elif re.match(r"[A-Z]", prev):
+                    func.local_types[tok] = prev
+                return i + 1
+            base = tok
+            if base in ALLOC_CALLEES:
+                func.events.append(Event("alloc", f"{base}()", line, depth))
+            elif base in BLOCKING_CALLEES:
+                func.events.append(Event("block", f"{base}()", line, depth))
+            else:
+                func.events.append(
+                    Event("call", qual or base, line, depth,
+                          extra=receiver))
+            return i + 1
+
+        # Local declarations `Type[&*] name = ...` for receiver typing.
+        if re.match(r"[A-Z]", tok) and i + 2 < len(tokens):
+            j = i + 1
+            while j < len(tokens) and tokens[j][0] in ("&", "*"):
+                j += 1
+            if j < len(tokens) and re.match(r"[a-z_]", tokens[j][0]) and \
+                    j + 1 < len(tokens) and tokens[j + 1][0] in ("=", "{"):
+                func.local_types[tokens[j][0]] = tok
+        return i
+
+    @staticmethod
+    def _paren_expr(tokens, open_idx):
+        depth = 0
+        parts = []
+        j = open_idx
+        while j < len(tokens):
+            t = tokens[j][0]
+            if t == "(":
+                depth += 1
+                if depth == 1:
+                    j += 1
+                    continue
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            parts.append(t)
+            j += 1
+        return "".join(parts), j
+
+    @staticmethod
+    def _receiver(tokens, i):
+        if i >= 2 and tokens[i - 1][0] in (".", "->"):
+            if re.match(r"[A-Za-z_]", tokens[i - 2][0]):
+                return tokens[i - 2][0]
+            if tokens[i - 2][0] in ("]", ")"):
+                # shards_[i].mutex style: walk back past the index.
+                return TextFrontend._walk_back_index(tokens, i - 2)
+        return None
+
+    @staticmethod
+    def _walk_back_index(tokens, close_idx):
+        match = {"]": "[", ")": "("}
+        open_tok = match[tokens[close_idx][0]]
+        depth = 0
+        j = close_idx
+        while j >= 0:
+            t = tokens[j][0]
+            if t == tokens[close_idx][0]:
+                depth += 1
+            elif t == open_tok:
+                depth -= 1
+                if depth == 0:
+                    if j >= 1 and re.match(r"[A-Za-z_]", tokens[j - 1][0]):
+                        return tokens[j - 1][0]
+                    return None
+            j -= 1
+        return None
+
+    @staticmethod
+    def _qualified(tokens, i):
+        parts = [tokens[i][0]]
+        k = i - 1
+        while k >= 1 and tokens[k][0] == "::":
+            if re.match(r"[A-Za-z_]", tokens[k - 1][0]):
+                parts.append(tokens[k - 1][0])
+                k -= 2
+            else:
+                break
+        if len(parts) > 1:
+            parts.reverse()
+            return "::".join(parts)
+        return None
+
+
+# --- Clang frontend (optional) -------------------------------------------
+
+class ClangFrontend:
+    """AST-accurate frontend over the libclang python bindings, driven by
+    compile_commands.json. Optional: used when python3-clang is installed
+    (the analyze CI job installs it); the text frontend remains the
+    reference implementation and the gating one."""
+
+    def __init__(self, compdb_dir):
+        import clang.cindex as cindex  # raises ImportError when absent
+        self.cindex = cindex
+        self.compdb_dir = compdb_dir
+        self.program = Program()
+        self._seen = set()
+
+    def parse_files(self, paths):
+        cindex = self.cindex
+        index = cindex.Index.create()
+        commands = self._load_commands(paths)
+        for path, args in commands:
+            try:
+                tu = index.parse(path, args=args)
+            except cindex.TranslationUnitLoadError as err:
+                print(f"analyze.py: clang failed on {path}: {err}",
+                      file=sys.stderr)
+                continue
+            for cur in tu.cursor.walk_preorder():
+                self._visit(cur)
+        for path in paths:
+            try:
+                text = Path(path).read_text(encoding="utf-8",
+                                            errors="replace")
+            except OSError:
+                continue
+            TextFrontend._scan_exempt_markers(self, path, text)
+        self.program.finalize()
+        return self.program
+
+    def _load_commands(self, paths):
+        compdb = Path(self.compdb_dir) / "compile_commands.json"
+        wanted = {str(Path(p).resolve()) for p in paths}
+        out = []
+        if compdb.exists():
+            for entry in json.loads(compdb.read_text()):
+                src = str((Path(entry["directory"]) /
+                           entry["file"]).resolve())
+                if src in wanted:
+                    args = [a for a in entry["command"].split()[1:]
+                            if a != entry["file"] and a != "-c"
+                            and not a.endswith(".o")]
+                    args = [a for a in args if a != "-o"]
+                    out.append((src, args))
+        covered = {p for p, _ in out}
+        for p in sorted(wanted - covered):
+            if p.endswith((".cc", ".cpp")):
+                out.append((p, ["-std=c++20", "-Isrc", "-xc++"]))
+        return out
+
+    def _visit(self, cur):
+        cindex = self.cindex
+        K = cindex.CursorKind
+        if cur.kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                        K.DESTRUCTOR) and cur.is_definition():
+            loc = cur.location
+            if loc.file is None:
+                return
+            key = (str(loc.file), loc.line, cur.spelling)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            qual = self._qual(cur)
+            info = FuncInfo(qual, os.path.relpath(str(loc.file)), loc.line)
+            for child in cur.get_children():
+                if child.kind == K.ANNOTATE_ATTR:
+                    s = child.spelling or ""
+                    if s == "tms_no_alloc":
+                        info.annotations.add("no_alloc")
+                    elif s == "tms_non_blocking":
+                        info.annotations.add("non_blocking")
+                    elif s.startswith("tms_exempt"):
+                        info.annotations.add("exempt")
+            self._walk_body(cur, info)
+            self.program.functions.append(info)
+        elif cur.kind == K.FIELD_DECL or (cur.kind == K.VAR_DECL and
+                                          cur.semantic_parent and
+                                          cur.semantic_parent.kind in (
+                                              K.NAMESPACE,
+                                              K.TRANSLATION_UNIT)):
+            tname = cur.type.spelling
+            if tname.endswith("insight::Mutex") or tname == "Mutex" or \
+                    tname.endswith("::Mutex"):
+                rank = None
+                toks = " ".join(t.spelling for t in cur.get_tokens())
+                m = re.search(r"TMS_LOCK_RANK\s*\(\s*(\d+)\s*\)", toks)
+                if m:
+                    rank = int(m.group(1))
+                loc = cur.location
+                self.program.mutexes.append(MutexDecl(
+                    self._qual(cur)[:-1], cur.spelling, rank,
+                    os.path.relpath(str(loc.file)), loc.line))
+
+    def _qual(self, cur):
+        parts = [cur.spelling or "<anon>"]
+        p = cur.semantic_parent
+        K = self.cindex.CursorKind
+        while p is not None and p.kind != K.TRANSLATION_UNIT:
+            if p.spelling:
+                parts.append(p.spelling)
+            p = p.semantic_parent
+        parts.reverse()
+        return tuple(parts)
+
+    def _walk_body(self, cur, info):
+        K = self.cindex.CursorKind
+        for node in cur.walk_preorder():
+            loc = node.location
+            line = loc.line if loc else 0
+            if node.kind == K.CXX_NEW_EXPR:
+                info.events.append(Event("alloc", "new", line, 1))
+            elif node.kind == K.CALL_EXPR:
+                name = node.spelling or ""
+                ref = node.referenced
+                qual = "::".join(self._qual(ref)) if ref else name
+                base = name or (qual.split("::")[-1] if qual else "")
+                if base in ALLOC_CALLEES:
+                    info.events.append(
+                        Event("alloc", f"{base}()", line, 1))
+                elif base in BLOCKING_CALLEES:
+                    info.events.append(
+                        Event("block", f"{base}()", line, 1))
+                elif base == "MutexLock":
+                    toks = [t.spelling for t in node.get_tokens()]
+                    expr = "".join(toks[toks.index("(") + 1:-1]) \
+                        if "(" in toks else ""
+                    info.events.append(Event("acq", expr, line, 1))
+                elif base:
+                    info.events.append(Event("call", qual or base, line, 1))
+
+
+# --- Rule engine ---------------------------------------------------------
+
+class Finding:
+    def __init__(self, file, line, rule, message):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.file, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: {self.rule}: {self.message}"
+
+
+class Analyzer:
+    def __init__(self, program):
+        self.program = program
+        self.findings = []
+        self._trans_acq = {}
+
+    def run(self):
+        self._check_exempt_reasons()
+        self._check_reachability("no_alloc", "no-alloc", ("alloc",))
+        self._check_reachability("non_blocking", "non-blocking",
+                                 ("block",))
+        self._check_unranked_decls()
+        self._check_lock_order()
+        deduped = {}
+        for f in self.findings:
+            deduped.setdefault(f.key(), f)
+        exempt = self.program.exempt_lines
+        out = [f for f in deduped.values()
+               if f.line not in exempt.get(f.file, ())]
+        out.sort(key=lambda f: (f.file, f.line, f.rule))
+        return out
+
+    # -- exempt-reason --
+
+    def _check_exempt_reasons(self):
+        for file, line in self.program.exempt_bare:
+            self.findings.append(Finding(
+                file, line, "exempt-reason",
+                "TMS_ANALYZE_EXEMPT must carry a non-empty reason: "
+                "TMS_ANALYZE_EXEMPT(why this is safe)"))
+
+    # -- reachability rules (no-alloc / non-blocking) --
+
+    def _check_reachability(self, anno, rule, kinds):
+        for root in self.program.functions:
+            if anno in root.annotations:
+                self._walk(root, root, rule, kinds, anno, set(), [])
+
+    def _walk(self, root, func, rule, kinds, anno, visited, path):
+        if func.display in visited:
+            return
+        visited.add(func.display)
+        for ev in func.events:
+            if ev.kind in kinds:
+                via = " via " + " -> ".join(path) if path else ""
+                self.findings.append(Finding(
+                    func.file, ev.line, rule,
+                    f"{ev.what} reachable from {rule.replace('-', '_')}"
+                    f"-annotated '{root.display}'{via}"))
+            elif ev.kind == "acq" and rule == "non-blocking":
+                name, rank, known = self.program.resolve_mutex(
+                    func, ev.what)
+                if known and rank is None:
+                    via = " via " + " -> ".join(path) if path else ""
+                    self.findings.append(Finding(
+                        func.file, ev.line, rule,
+                        f"acquisition of unranked mutex '{name}' "
+                        f"reachable from '{root.display}'{via} "
+                        "(rank it with TMS_LOCK_RANK to promise a "
+                        "bounded leaf critical section)"))
+            elif ev.kind == "call":
+                callee = self.program.resolve_call(func, ev)
+                if callee is None or "exempt" in callee.annotations:
+                    continue
+                if self._line_exempt(func.file, ev.line):
+                    continue
+                self._walk(root, callee, rule, kinds, anno, visited,
+                           path + [callee.display])
+
+    def _line_exempt(self, file, line):
+        return line in self.program.exempt_lines.get(file, ())
+
+    # -- lock-rank --
+
+    def _check_unranked_decls(self):
+        for m in self.program.mutexes:
+            norm = str(m.file).replace(os.sep, "/")
+            if any(norm.startswith(p) or ("/" + p + "/") in norm or
+                   norm.startswith(p + "/")
+                   for p in RANK_REQUIRED_PREFIXES) and m.rank is None:
+                where = "::".join(m.scope + (m.name,))
+                self.findings.append(Finding(
+                    m.file, m.line, "lock-rank",
+                    f"Mutex '{where}' has no TMS_LOCK_RANK; every mutex "
+                    "in the concurrency-bearing directories must declare "
+                    "its position in the lock order"))
+
+    def trans_acquires(self, func, stack=None):
+        """All ranks (with provenance) acquired by func or its resolved
+        callees, ignoring interleaved releases (conservative)."""
+        if func.display in self._trans_acq:
+            return self._trans_acq[func.display]
+        if stack is None:
+            stack = set()
+        if func.display in stack:
+            return {}
+        stack.add(func.display)
+        acc = {}
+        for ev in func.events:
+            if ev.kind == "acq":
+                name, rank, known = self.program.resolve_mutex(
+                    func, ev.what)
+                if known and rank is not None:
+                    acc.setdefault(rank, (name, func.display))
+            elif ev.kind == "call":
+                callee = self.program.resolve_call(func, ev)
+                if callee is not None and \
+                        "exempt" not in callee.annotations:
+                    for rank, prov in self.trans_acquires(
+                            callee, stack).items():
+                        acc.setdefault(rank, prov)
+        stack.discard(func.display)
+        self._trans_acq[func.display] = acc
+        return acc
+
+    def _check_lock_order(self):
+        for func in self.program.functions:
+            if "exempt" in func.annotations:
+                continue
+            held = []  # [(rank, name, expr)] acquisition order
+            for ev in func.events:
+                if ev.kind == "acq":
+                    name, rank, known = self.program.resolve_mutex(
+                        func, ev.what)
+                    if not known or rank is None:
+                        held.append((None, name, ev.what))
+                        continue
+                    ranked = [h for h in held if h[0] is not None]
+                    if ranked and ranked[-1][0] >= rank:
+                        self.findings.append(Finding(
+                            func.file, ev.line, "lock-rank",
+                            f"'{func.display}' acquires '{name}' "
+                            f"(rank {rank}) while holding "
+                            f"'{ranked[-1][1]}' (rank {ranked[-1][0]}); "
+                            "ranks must be acquired in strictly "
+                            "increasing order"))
+                    held.append((rank, name, ev.what))
+                elif ev.kind == "rel":
+                    for idx in range(len(held) - 1, -1, -1):
+                        if held[idx][2] == ev.what:
+                            held.pop(idx)
+                            break
+                elif ev.kind == "call":
+                    ranked = [h for h in held if h[0] is not None]
+                    if not ranked:
+                        continue
+                    top = ranked[-1]
+                    callee = self.program.resolve_call(func, ev)
+                    if callee is None or \
+                            "exempt" in callee.annotations:
+                        continue
+                    for rank, (name, owner) in sorted(
+                            self.trans_acquires(callee).items()):
+                        if rank <= top[0]:
+                            self.findings.append(Finding(
+                                func.file, ev.line, "lock-rank",
+                                f"'{func.display}' calls "
+                                f"'{callee.display}' while holding "
+                                f"'{top[1]}' (rank {top[0]}); the callee "
+                                f"reaches acquisition of '{name}' "
+                                f"(rank {rank}, in {owner}), inverting "
+                                "the lock order"))
+
+
+# --- Driver --------------------------------------------------------------
+
+def collect_repo_files():
+    files = []
+    for top in SCAN_DIRS:
+        for ext in ("h", "hpp", "cc", "cpp"):
+            files.extend(glob.glob(f"{top}/**/*.{ext}", recursive=True))
+    return sorted(files)
+
+
+def make_frontend(kind, compdb):
+    if kind in ("auto", "clang"):
+        try:
+            frontend = ClangFrontend(compdb)
+            if kind == "clang" or \
+                    (Path(compdb) / "compile_commands.json").exists():
+                return frontend, "clang"
+        except ImportError:
+            if kind == "clang":
+                print("analyze.py: --frontend=clang requires the libclang "
+                      "python bindings (apt install python3-clang); "
+                      "falling back to the text frontend", file=sys.stderr)
+    return TextFrontend(), "text"
+
+
+def run_analysis(paths, frontend):
+    program = frontend.parse_files(paths)
+    return Analyzer(program).run()
+
+
+def self_test(github):
+    """Each fixture under tools/testdata/ declares its expected findings
+    with `// EXPECT: rule` comments; the analyzer must produce exactly
+    those findings (line-accurate), using the text frontend so the self
+    test is deterministic on machines without libclang."""
+    fixtures = sorted(glob.glob("tools/testdata/*.cc"))
+    if not fixtures:
+        print("analyze.py: no fixtures under tools/testdata/",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for fixture in fixtures:
+        text = Path(fixture).read_text(encoding="utf-8")
+        expected = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = re.search(r"//\s*EXPECT:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)",
+                          line)
+            if m:
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    expected.add((lineno, rule))
+        findings = run_analysis([fixture], TextFrontend())
+        actual = {(f.line, f.rule) for f in findings}
+        missing = expected - actual
+        surplus = actual - expected
+        if missing or surplus:
+            failures += 1
+            print(f"SELF-TEST FAIL {fixture}")
+            for line, rule in sorted(missing):
+                print(f"  expected {rule} at line {line}, not reported")
+            for line, rule in sorted(surplus):
+                msg = next(f.message for f in findings
+                           if (f.line, f.rule) == (line, rule))
+                print(f"  unexpected {rule} at line {line}: {msg}")
+        else:
+            print(f"self-test ok {fixture} "
+                  f"({len(expected)} expected finding(s))")
+    if failures:
+        print(f"analyze.py: {failures} fixture(s) failed", file=sys.stderr)
+        if github:
+            print("::error::analyzer self-test failed")
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files to analyze (default: src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on the known-bad "
+                             "fixtures under tools/testdata/")
+    parser.add_argument("--github", action="store_true",
+                        help="emit findings as GitHub workflow annotations")
+    parser.add_argument("--frontend", choices=("auto", "text", "clang"),
+                        default="text",
+                        help="parser frontend (default: text; clang needs "
+                             "python3-clang + compile_commands.json)")
+    parser.add_argument("--compdb", default="build",
+                        help="directory holding compile_commands.json "
+                             "(clang frontend)")
+    args = parser.parse_args()
+
+    if not Path("tools/analyze.py").exists():
+        print("analyze.py: run from the repository root", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return self_test(args.github)
+
+    frontend, kind = make_frontend(args.frontend, args.compdb)
+    paths = args.paths or collect_repo_files()
+    findings = run_analysis(paths, frontend)
+    for f in findings:
+        print(f)
+        if args.github:
+            print(f"::error file={f.file},line={f.line}::"
+                  f"{f.rule}: {f.message}")
+    if findings:
+        print(f"analyze.py [{kind} frontend]: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

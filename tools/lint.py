@@ -9,7 +9,15 @@ Rules
    CondVar from common/mutex.h so Clang's -Wthread-safety analysis sees
    every lock site. (src/common/mutex.h is the one sanctioned wrapper.)
 
-2. nolint-reason: every NOLINT marker must name a category AND carry a
+2. raw-thread: no raw std::thread construction or pthread_create outside
+   src/common/ (home of insight::Thread, the sanctioned spawn wrapper)
+   and src/dist/ (the supervisor manages worker *processes* and owns its
+   low-level plumbing). Every other thread is born through
+   insight::Thread (common/thread.h), so "which threads exist" stays
+   auditable from two directories. Uses of std::thread's non-spawning
+   pieces (std::thread::id, this_thread::sleep_for) are fine.
+
+3. nolint-reason: every NOLINT marker must name a category AND carry a
    reason: `// NOLINT(category): why this is exempt`. A bare NOLINT
    silences a checker with no audit trail.
 
@@ -30,12 +38,23 @@ EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
 # themselves live here).
 RAW_MUTEX_EXEMPT_PREFIX = Path("src") / "common"
 
+# Directories whose files may spawn raw threads: the Thread wrapper's own
+# home, and the process-supervision layer.
+RAW_THREAD_EXEMPT_PREFIXES = (
+    Path("src") / "common",
+    Path("src") / "dist",
+)
+
 RAW_PRIMITIVE = re.compile(
     r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|condition_variable|"
     r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock)\b"
 )
+
+# std::thread used as a type (construction/declaration) — but not its
+# non-spawning nested pieces (std::thread::id) or std::this_thread.
+RAW_THREAD = re.compile(r"\bstd::thread\b(?!::)|\bpthread_create\b")
 
 NOLINT_ANY = re.compile(r"\bNOLINT(?:NEXTLINE)?\b")
 NOLINT_OK = re.compile(r"\bNOLINT(?:NEXTLINE)?\([^)\n]+\):\s*\S")
@@ -92,18 +111,48 @@ def lint_file(path: Path) -> list:
     text = path.read_text(encoding="utf-8", errors="replace")
     code = strip_comments(text)
 
-    exempt = RAW_MUTEX_EXEMPT_PREFIX in path.parents or path == Path(
-        "tools/lint.py"
+    self_exempt = path == Path("tools/lint.py") or path == Path(
+        "tools/lint_test.py"
     )
-    if not exempt:
-        for lineno, line in enumerate(code.splitlines(), start=1):
+    mutex_exempt = RAW_MUTEX_EXEMPT_PREFIX in path.parents or self_exempt
+    thread_exempt = self_exempt or any(
+        prefix in path.parents for prefix in RAW_THREAD_EXEMPT_PREFIXES
+    )
+    code_lines = code.splitlines()
+    text_lines = text.splitlines()
+
+    def nolinted(lineno: int, category: str) -> bool:
+        """True when this line (or a NOLINTNEXTLINE above it) carries a
+        reasoned NOLINT for `category`."""
+        own = text_lines[lineno - 1] if lineno - 1 < len(text_lines) else ""
+        above = text_lines[lineno - 2] if lineno >= 2 else ""
+        marker = re.compile(
+            r"\bNOLINT\(" + re.escape(category) + r"\):\s*\S")
+        nextline = re.compile(
+            r"\bNOLINTNEXTLINE\(" + re.escape(category) + r"\):\s*\S")
+        return bool(marker.search(own) or nextline.search(above))
+
+    if not mutex_exempt:
+        for lineno, line in enumerate(code_lines, start=1):
             match = RAW_PRIMITIVE.search(line)
-            if match:
+            if match and not nolinted(lineno, "raw-mutex"):
                 findings.append(
                     (path, lineno, "raw-mutex",
                      f"{match.group(0)} is banned outside src/common/; "
                      "use insight::Mutex / MutexLock / CondVar "
                      "(common/mutex.h)")
+                )
+
+    if not thread_exempt:
+        for lineno, line in enumerate(code_lines, start=1):
+            match = RAW_THREAD.search(line)
+            if match and not nolinted(lineno, "raw-thread"):
+                findings.append(
+                    (path, lineno, "raw-thread",
+                     f"{match.group(0)} is banned outside src/common/ and "
+                     "src/dist/; spawn through insight::Thread "
+                     "(common/thread.h) so every thread has one auditable "
+                     "doorway")
                 )
 
     # NOLINT markers live in comments, so scan the original text.

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py (wired into ctest as `lint_selftest`).
+
+Covers the comment/string stripper's edge cases — the part of the linter
+where a parsing bug silently turns into missed findings — and the rule
+logic (raw-mutex, raw-thread, nolint-reason) over in-memory fixtures
+written to a temporary tree.
+
+Run from the repository root:  python3 tools/lint_test.py
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import lint  # noqa: E402
+
+
+class StripCommentsTest(unittest.TestCase):
+    def test_line_comment_removed(self):
+        self.assertEqual(lint.strip_comments("int x; // std::mutex\n"),
+                         "int x; \n")
+
+    def test_block_comment_removed_inline(self):
+        self.assertEqual(lint.strip_comments("a /* std::mutex */ b"),
+                         "a  b")
+
+    def test_block_comment_preserves_line_count(self):
+        text = "a\n/* one\ntwo\nthree */\nb\n"
+        stripped = lint.strip_comments(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("two", stripped)
+
+    def test_nested_block_comment_opener_is_inert(self):
+        # C block comments do not nest: the inner `/*` is plain comment
+        # text and the first `*/` closes the comment.
+        text = "a /* outer /* inner */ b"
+        self.assertEqual(lint.strip_comments(text), "a  b")
+
+    def test_string_literal_containing_line_comment(self):
+        # `//` inside a string is data, not a comment: code after the
+        # string must survive.
+        text = 'url = "http://x"; std::mutex m;\n'
+        stripped = lint.strip_comments(text)
+        self.assertIn("std::mutex", stripped)
+
+    def test_string_literal_containing_block_opener(self):
+        text = 'glob = "/*"; std::mutex m;\n'
+        self.assertIn("std::mutex", lint.strip_comments(text))
+
+    def test_escaped_quote_does_not_close_string(self):
+        text = 's = "a\\"b // not a comment"; int y;\n'
+        self.assertIn("int y;", lint.strip_comments(text))
+
+    def test_char_literal_with_quote(self):
+        text = "c = '\\\"'; // tail\nnext\n"
+        stripped = lint.strip_comments(text)
+        self.assertNotIn("tail", stripped)
+        self.assertIn("next", stripped)
+
+    def test_comment_marker_inside_comment(self):
+        self.assertEqual(lint.strip_comments("x; // a // b\n"), "x; \n")
+
+
+class LintRulesTest(unittest.TestCase):
+    """Runs lint_file over fixtures written to a temp tree laid out like
+    the repository (the exemption rules key off directory prefixes)."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self._old_cwd = os.getcwd()
+        os.chdir(self._tmp.name)
+
+    def tearDown(self):
+        os.chdir(self._old_cwd)
+        self._tmp.cleanup()
+
+    def _lint(self, relpath, text):
+        path = Path(relpath)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return lint.lint_file(path)
+
+    def _rules(self, findings):
+        return [rule for _, _, rule, _ in findings]
+
+    def test_raw_mutex_flagged_outside_common(self):
+        findings = self._lint("src/dsps/foo.cc", "std::mutex m;\n")
+        self.assertEqual(self._rules(findings), ["raw-mutex"])
+
+    def test_raw_mutex_allowed_in_common(self):
+        findings = self._lint("src/common/foo.h", "std::mutex m;\n")
+        self.assertEqual(findings, [])
+
+    def test_raw_mutex_in_comment_ignored(self):
+        findings = self._lint("src/dsps/foo.cc", "// std::mutex docs\n")
+        self.assertEqual(findings, [])
+
+    def test_raw_thread_flagged_outside_sanctioned_dirs(self):
+        findings = self._lint("tests/foo_test.cc", "std::thread t(f);\n")
+        self.assertEqual(self._rules(findings), ["raw-thread"])
+
+    def test_pthread_create_flagged(self):
+        findings = self._lint("src/net/foo.cc",
+                              "pthread_create(&t, 0, f, 0);\n")
+        self.assertEqual(self._rules(findings), ["raw-thread"])
+
+    def test_raw_thread_allowed_in_common_and_dist(self):
+        for rel in ("src/common/thread.h", "src/dist/worker.cc"):
+            self.assertEqual(self._lint(rel, "std::thread t(f);\n"), [])
+
+    def test_thread_id_not_flagged(self):
+        # std::thread::id is a value type, not a spawn site.
+        findings = self._lint("tests/foo_test.cc",
+                              "std::thread::id id = t.get_id();\n")
+        self.assertEqual(findings, [])
+
+    def test_this_thread_not_flagged(self):
+        findings = self._lint(
+            "tests/foo_test.cc",
+            "std::this_thread::sleep_for(std::chrono::seconds(1));\n")
+        self.assertEqual(findings, [])
+
+    def test_raw_thread_nolint_with_reason_accepted(self):
+        findings = self._lint(
+            "tests/foo_test.cc",
+            "std::thread t(f);  // NOLINT(raw-thread): exercising the "
+            "wrapper itself\n")
+        self.assertEqual(findings, [])
+
+    def test_raw_thread_nolintnextline_accepted(self):
+        findings = self._lint(
+            "tests/foo_test.cc",
+            "// NOLINTNEXTLINE(raw-thread): spawn API under test\n"
+            "std::thread t(f);\n")
+        self.assertEqual(findings, [])
+
+    def test_nolint_without_reason_flagged(self):
+        findings = self._lint("src/dsps/foo.cc", "int x;  // NOLINT\n")
+        self.assertEqual(self._rules(findings), ["nolint-reason"])
+
+    def test_nolint_category_without_reason_flagged(self):
+        findings = self._lint("src/dsps/foo.cc",
+                              "int x;  // NOLINT(raw-mutex):\n")
+        self.assertEqual(self._rules(findings), ["nolint-reason"])
+
+    def test_nolint_with_category_and_reason_clean(self):
+        findings = self._lint(
+            "src/dsps/foo.cc",
+            "int x;  // NOLINT(some-check): required by the framework\n")
+        self.assertEqual(findings, [])
+
+    def test_bare_nolint_does_not_suppress_raw_mutex(self):
+        # A reasonless NOLINT earns its own finding AND leaves the
+        # primitive finding in place.
+        findings = self._lint("src/dsps/foo.cc",
+                              "std::mutex m;  // NOLINT\n")
+        self.assertEqual(sorted(self._rules(findings)),
+                         ["nolint-reason", "raw-mutex"])
+
+
+if __name__ == "__main__":
+    unittest.main()

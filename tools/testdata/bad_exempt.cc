@@ -1,0 +1,18 @@
+// Known-bad fixture for tools/analyze.py --self-test: the exempt-reason
+// rule. A bare TMS_ANALYZE_EXEMPT leaves no audit trail and is itself a
+// finding (mirrors the reasoned-marker hygiene rule in tools/lint.py).
+#include "common/static_analysis.h"
+
+#include <vector>
+
+namespace fixture {
+
+void Sloppy(std::vector<int>& v) TMS_NO_ALLOC {
+  v.push_back(1);  // TMS_ANALYZE_EXEMPT()  // EXPECT: exempt-reason, no-alloc
+}
+
+void Justified(std::vector<int>& v) TMS_NO_ALLOC {
+  v.push_back(2);  // TMS_ANALYZE_EXEMPT(fixture: documented growth)
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Known-bad fixture for tools/analyze.py --self-test: the lock-rank rule.
+// See bad_no_alloc.cc for the EXPECT convention.
+#include "common/mutex.h"
+
+namespace fixture {
+
+struct Pair {
+  insight::Mutex low{TMS_LOCK_RANK(10)};
+  insight::Mutex high{TMS_LOCK_RANK(20)};
+  insight::Mutex naked;  // EXPECT: lock-rank
+};
+
+void Inverted(Pair& p) {
+  insight::MutexLock outer(p.high);
+  insight::MutexLock inner(p.low);  // EXPECT: lock-rank
+}
+
+void TakesLow(Pair& p) {
+  insight::MutexLock lock(p.low);
+}
+
+void CrossFunction(Pair& p) {
+  insight::MutexLock outer(p.high);
+  TakesLow(p);  // EXPECT: lock-rank
+}
+
+void SameRankTwice(Pair& a, Pair& b) {
+  insight::MutexLock first(a.low);
+  insight::MutexLock second(b.low);  // EXPECT: lock-rank
+}
+
+void Ordered(Pair& p) {
+  // Strictly increasing ranks: allowed.
+  insight::MutexLock outer(p.low);
+  insight::MutexLock inner(p.high);
+}
+
+void ReleasedBeforeDescent(Pair& p) {
+  {
+    insight::MutexLock outer(p.high);
+  }
+  // The high lock is released before the low one is taken: allowed.
+  insight::MutexLock later(p.low);
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Known-bad fixture for tools/analyze.py --self-test: the no-alloc rule.
+// Each `// EXPECT: <rule>` comment marks a line where exactly that finding
+// must be reported; any other finding in this file fails the self-test.
+// The fixture is illustrative source, not part of the build.
+#include "common/static_analysis.h"
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int* LeakyHelper() {
+  return new int[16];  // EXPECT: no-alloc
+}
+
+void PushHelper(std::vector<int>& v) {
+  v.push_back(1);  // EXPECT: no-alloc
+}
+
+// Not reachable from any annotated root: allocating here is fine.
+void ColdPath(std::vector<int>& v) { v.push_back(2); }
+
+void HotLoop(std::vector<int>& v) TMS_NO_ALLOC {
+  PushHelper(v);
+  (void)LeakyHelper();
+  std::string label("boom");  // EXPECT: no-alloc
+  (void)label;
+}
+
+void Warmup(std::vector<int>& v) TMS_NO_ALLOC {
+  // TMS_ANALYZE_EXEMPT(one-time warm-up: capacity is retained and reused)
+  v.reserve(64);
+}
+
+void Recorder(std::vector<int>& v) TMS_ANALYZE_EXEMPT("fixture: whole body") {
+  v.resize(128);
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Known-bad fixture for tools/analyze.py --self-test: the non-blocking
+// rule. See bad_no_alloc.cc for the EXPECT convention.
+#include "common/mutex.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+insight::Mutex g_ranked{TMS_LOCK_RANK(110)};
+insight::Mutex g_unranked;  // EXPECT: lock-rank
+
+void SleepyHelper() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // EXPECT: non-blocking
+}
+
+void OnFrame() TMS_NON_BLOCKING {
+  SleepyHelper();
+  insight::MutexLock lock(g_unranked);  // EXPECT: non-blocking
+}
+
+void OnTick() TMS_NON_BLOCKING {
+  // A ranked mutex guards a bounded leaf critical section: allowed.
+  insight::MutexLock lock(g_ranked);
+}
+
+}  // namespace fixture
