@@ -1,5 +1,6 @@
 #include "dist/channel.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -56,6 +57,7 @@ EgressBuffer::EgressBuffer(std::string stream, uint32_t sender_task,
   for (uint32_t worker : dest_workers_) {
     DestState dest;
     dest.worker = worker;
+    dest.remote_credits = static_cast<int64_t>(options_.initial_credits);
     dests_.push_back(std::move(dest));
   }
 }
@@ -64,7 +66,8 @@ void EgressBuffer::FlushStagingLocked(DestState* dest) {
   if (dest->staging.empty()) return;
   net::TupleBatchBuilder builder(stream_, sender_task_);
   for (const Staged& staged : dest->staging) {
-    builder.Add(staged.payload, staged.wire_id, staged.spout_time);
+    builder.Add(staged.payload, staged.wire_id, staged.spout_time,
+                static_cast<uint8_t>(staged.priority));
   }
   net::TupleBatch batch = builder.Take(dest->next_seq);
   FrameRec rec;
@@ -77,7 +80,7 @@ void EgressBuffer::FlushStagingLocked(DestState* dest) {
 }
 
 void EgressBuffer::Add(const net::ValuePayload& payload, uint64_t wire_id,
-                       MicrosT spout_time) {
+                       MicrosT spout_time, dsps::TuplePriority priority) {
   MutexLock lock(mutex_);
   for (;;) {
     if (shutdown_) return;
@@ -98,7 +101,7 @@ void EgressBuffer::Add(const net::ValuePayload& payload, uint64_t wire_id,
               std::chrono::steady_clock::now().time_since_epoch())
               .count();
     }
-    dest.staging.push_back(Staged{payload, wire_id, spout_time});
+    dest.staging.push_back(Staged{payload, wire_id, spout_time, priority});
     if (dest.staging.size() >= options_.batch_tuples) {
       FlushStagingLocked(&dest);
     }
@@ -142,6 +145,7 @@ Status EgressBuffer::Restore(const std::string& bytes) {
   restored.reserve(dest_count);
   for (uint32_t i = 0; i < dest_count; ++i) {
     DestState dest;
+    dest.remote_credits = static_cast<int64_t>(options_.initial_credits);
     uint32_t frame_count = 0;
     if (!reader.GetU32(&dest.worker) || !reader.GetU64(&dest.next_seq) ||
         !reader.GetU32(&frame_count)) {
@@ -172,11 +176,24 @@ Status EgressBuffer::Restore(const std::string& bytes) {
 }
 
 void EgressBuffer::HandleAck(uint32_t dest_worker,
-                             const std::vector<uint64_t>& seqs) {
+                             const std::vector<uint64_t>& seqs,
+                             uint32_t credits) {
   MutexLock lock(mutex_);
   for (DestState& dest : dests_) {
     if (dest.worker != dest_worker) continue;
     for (uint64_t seq : seqs) dest.unacked.erase(seq);
+    if (options_.credit_flow) {
+      // The receiver's grant counts its free slots now; frames of ours
+      // still in flight (sent, unacked) will consume part of it, so
+      // subtract them. A frame both delivered and still queued remotely is
+      // counted twice — conservative, and self-correcting as acks arrive.
+      int64_t sent_unacked = 0;
+      for (const auto& [seq, rec] : dest.unacked) {
+        if (rec.sent) sent_unacked += rec.tuple_count;
+      }
+      dest.remote_credits =
+          std::max<int64_t>(0, static_cast<int64_t>(credits) - sent_unacked);
+    }
     break;
   }
   window_cv_.NotifyAll();
@@ -194,6 +211,15 @@ std::vector<std::string> EgressBuffer::TakeSendable(uint32_t dest_worker,
     }
     for (auto& [seq, rec] : dest.unacked) {
       if (rec.sent) continue;
+      if (options_.credit_flow &&
+          dest.remote_credits < static_cast<int64_t>(rec.tuple_count)) {
+        // Out of credit: stop at the first unaffordable frame (frames must
+        // leave in sequence order) until the next ack refreshes the grant.
+        break;
+      }
+      if (options_.credit_flow) {
+        dest.remote_credits -= static_cast<int64_t>(rec.tuple_count);
+      }
       rec.sent = true;
       out.push_back(rec.bytes);
     }
@@ -213,6 +239,9 @@ uint64_t EgressBuffer::MarkDisconnected(uint32_t dest_worker) {
         requeued += rec.tuple_count;
       }
     }
+    // Fresh connection, fresh budget: the receiver's queue state is
+    // unknown until its first ack arrives on the new connection.
+    dest.remote_credits = static_cast<int64_t>(options_.initial_credits);
     break;
   }
   return requeued;
@@ -241,15 +270,22 @@ IngressQueue::IngressQueue(std::string stream, IngressOptions options)
     : stream_(std::move(stream)), options_(options) {}
 
 void IngressQueue::SetAckSink(
-    std::function<void(uint32_t, std::vector<uint64_t>)> sink) {
+    std::function<void(uint32_t, std::vector<uint64_t>, uint32_t)> sink) {
   MutexLock lock(mutex_);
   ack_sink_ = std::move(sink);
 }
 
-void IngressQueue::EmitAcks(
-    std::vector<std::pair<uint32_t, uint64_t>> acks) {
+uint32_t IngressQueue::CreditsLocked() const {
+  return queue_.size() >= options_.pause_threshold
+             ? 0
+             : static_cast<uint32_t>(options_.pause_threshold -
+                                     queue_.size());
+}
+
+void IngressQueue::EmitAcks(std::vector<std::pair<uint32_t, uint64_t>> acks,
+                            uint32_t credits) {
   if (acks.empty()) return;
-  std::function<void(uint32_t, std::vector<uint64_t>)> sink;
+  std::function<void(uint32_t, std::vector<uint64_t>, uint32_t)> sink;
   {
     MutexLock lock(mutex_);
     sink = ack_sink_;
@@ -268,7 +304,7 @@ void IngressQueue::EmitAcks(
         ++j;
       }
     }
-    sink(task, std::move(seqs));
+    sink(task, std::move(seqs), credits);
   }
 }
 
@@ -276,6 +312,7 @@ IngressQueue::Disposition IngressQueue::OfferFrame(
     uint64_t incarnation, const net::TupleBatch& batch) {
   std::vector<std::pair<uint32_t, uint64_t>> acks;
   Disposition disposition = Disposition::kAccepted;
+  uint32_t credits = 0;
   {
     MutexLock lock(mutex_);
     if (incarnation < incarnation_) return Disposition::kStale;
@@ -299,9 +336,30 @@ IngressQueue::Disposition IngressQueue::OfferFrame(
     } else if (batch.tuples.empty()) {
       acks.emplace_back(batch.sender_task, batch.seq);
     } else {
+      // Register the full tuple count before shedding: a shed tuple's ref
+      // resolves immediately below, so the frame still completes (and
+      // hop-acks) once its queued tuples resolve too.
       channel.in_progress[batch.seq].outstanding =
           static_cast<uint32_t>(batch.tuples.size());
       for (const net::WireTuple& tuple : batch.tuples) {
+        const auto priority = static_cast<dsps::TuplePriority>(tuple.priority);
+        if (options_.enable_shedding &&
+            priority != dsps::TuplePriority::kHigh) {
+          const double occupancy =
+              options_.pause_threshold == 0
+                  ? 1.0
+                  : static_cast<double>(queue_.size()) /
+                        static_cast<double>(options_.pause_threshold);
+          const double watermark = priority == dsps::TuplePriority::kLow
+                                       ? options_.shed_low_watermark
+                                       : options_.shed_high_watermark;
+          if (occupancy >= watermark) {
+            ++shed_[tuple.priority];
+            ResolveRefLocked(
+                FrameKey{batch.sender_task, incarnation, batch.seq}, &acks);
+            continue;
+          }
+        }
         PendingTuple pending;
         pending.wire_id = tuple.wire_id;
         pending.spout_time = tuple.spout_time;
@@ -309,11 +367,13 @@ IngressQueue::Disposition IngressQueue::OfferFrame(
         pending.sender_task = batch.sender_task;
         pending.incarnation = incarnation;
         pending.seq = batch.seq;
+        pending.priority = priority;
         queue_.push_back(std::move(pending));
       }
     }
+    credits = CreditsLocked();
   }
-  EmitAcks(std::move(acks));
+  EmitAcks(std::move(acks), credits);
   return disposition;
 }
 
@@ -357,6 +417,7 @@ void IngressQueue::ResolveRefLocked(
 
 void IngressQueue::ResolveInflight(uint64_t wire_id) {
   std::vector<std::pair<uint32_t, uint64_t>> acks;
+  uint32_t credits = 0;
   {
     MutexLock lock(mutex_);
     auto it = inflight_.find(wire_id);
@@ -364,18 +425,21 @@ void IngressQueue::ResolveInflight(uint64_t wire_id) {
     std::vector<FrameKey> refs = std::move(it->second);
     inflight_.erase(it);
     for (const FrameKey& key : refs) ResolveRefLocked(key, &acks);
+    credits = CreditsLocked();
   }
-  EmitAcks(std::move(acks));
+  EmitAcks(std::move(acks), credits);
 }
 
 void IngressQueue::ResolveNow(const PendingTuple& tuple) {
   std::vector<std::pair<uint32_t, uint64_t>> acks;
+  uint32_t credits = 0;
   {
     MutexLock lock(mutex_);
     FrameKey key{tuple.sender_task, tuple.incarnation, tuple.seq};
     ResolveRefLocked(key, &acks);
+    credits = CreditsLocked();
   }
-  EmitAcks(std::move(acks));
+  EmitAcks(std::move(acks), credits);
 }
 
 void IngressQueue::MarkDone() {
@@ -403,6 +467,16 @@ bool IngressQueue::WantsPause() const {
   return queue_.size() >= options_.pause_threshold;
 }
 
+uint64_t IngressQueue::SheddedTuples(dsps::TuplePriority priority) const {
+  MutexLock lock(mutex_);
+  return shed_[static_cast<size_t>(priority)];
+}
+
+uint64_t IngressQueue::SheddedTuples() const {
+  MutexLock lock(mutex_);
+  return shed_[0] + shed_[1] + shed_[2];
+}
+
 // ---------------------------------------------------------------------------
 // IngressSpout
 
@@ -417,14 +491,17 @@ bool IngressSpout::NextTuple(dsps::Collector* collector) {
   }
   for (IngressQueue::PendingTuple& tuple : batch_) {
     std::vector<Value> values = *tuple.payload;
+    // Prioritized emits re-stamp the sender-side tier so local overload
+    // protection sheds a forwarded tuple exactly as its origin would.
     if (acking_ && tuple.wire_id != 0) {
       if (queue_->TrackInflight(tuple)) {
-        collector->EmitRooted(tuple.wire_id, std::move(values));
+        collector->EmitRootedPrioritized(tuple.priority, tuple.wire_id,
+                                         std::move(values));
       }
       // else: a retransmitted duplicate of a tree still in flight — its
       // frame ref is attached and resolves when the original does.
     } else {
-      collector->Emit(std::move(values));
+      collector->EmitPrioritized(tuple.priority, std::move(values));
       queue_->ResolveNow(tuple);
     }
   }
@@ -487,7 +564,7 @@ class ForwardingBolt::Capture : public dsps::Collector {
       wire_id = Splitmix64(fresh_seed_ ^ ++*fresh_counter_);
     }
     buffer_->Add(std::make_shared<const std::vector<Value>>(values), wire_id,
-                 input_->spout_time());
+                 input_->spout_time(), input_->priority());
   }
 
   EgressBuffer* buffer_;
@@ -578,7 +655,8 @@ void EgressBolt::Execute(const dsps::Tuple& input,
   uint64_t wire_id = input.dedup_id() != 0
                          ? Splitmix64(input.dedup_id() ^ kEgressHopSalt)
                          : Splitmix64(fresh_seed_ ^ ++fresh_counter_);
-  buffer_->Add(input.payload(), wire_id, input.spout_time());
+  buffer_->Add(input.payload(), wire_id, input.spout_time(),
+               input.priority());
 }
 
 Status EgressBolt::SnapshotState(std::string* out) const {

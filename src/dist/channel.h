@@ -51,6 +51,16 @@ struct EgressOptions {
   size_t window_frames = 128;
   /// Staged tuples older than this are flushed by the network tick.
   MicrosT flush_interval_micros = 2'000;
+  /// Credit-based flow control: TakeSendable releases frames only while the
+  /// destination's remote credit (granted back on every hop-ack, see
+  /// HopAck::credits) covers their tuples, instead of window-filling and
+  /// relying on the receiver's read-pause. Off by default — disabled
+  /// behavior is byte-identical to the seed protocol (the credits field
+  /// rides along but is ignored).
+  bool credit_flow = false;
+  /// Budget assumed for a destination before its first ack (and after a
+  /// reconnect). Matches IngressOptions::pause_threshold's default.
+  size_t initial_credits = 4096;
 };
 
 /// Per-(source component, task) retransmit buffer feeding every remote
@@ -70,7 +80,8 @@ class EgressBuffer {
   /// batch_tuples. Blocks while any destination's unacked window is full
   /// (until acks drain it or Shutdown).
   void Add(const net::ValuePayload& payload, uint64_t wire_id,
-           MicrosT spout_time);
+           MicrosT spout_time,
+           dsps::TuplePriority priority = dsps::TuplePriority::kNormal);
 
   /// Serializes {next_seq, unacked frames} per destination (staging is
   /// flushed first so the snapshot covers every accepted tuple).
@@ -80,11 +91,12 @@ class EgressBuffer {
   Status Restore(const std::string& bytes);
 
   /// Receiver resolved these frame sequences; drops them and releases Add
-  /// waiters.
+  /// waiters. `credits` is the receiver's current free-slot grant for this
+  /// stream (consulted only under credit_flow; pass 0 otherwise).
   /// Runs on the network thread (an EventLoop frame handler): must never
   /// block, or one slow destination stalls every connection on the loop.
-  void HandleAck(uint32_t dest_worker,
-                 const std::vector<uint64_t>& seqs) TMS_NON_BLOCKING;
+  void HandleAck(uint32_t dest_worker, const std::vector<uint64_t>& seqs,
+                 uint32_t credits = 0) TMS_NON_BLOCKING;
 
   /// Encoded kTupleBatch payloads for `dest_worker` not yet sent on the
   /// current connection, in sequence order (marks them sent). Also cuts a
@@ -114,6 +126,7 @@ class EgressBuffer {
     net::ValuePayload payload;
     uint64_t wire_id = 0;
     MicrosT spout_time = 0;
+    dsps::TuplePriority priority = dsps::TuplePriority::kNormal;
   };
   struct DestState {
     uint32_t worker = 0;
@@ -121,6 +134,9 @@ class EgressBuffer {
     std::map<uint64_t, FrameRec> unacked;
     std::vector<Staged> staging;
     MicrosT staging_since = 0;
+    /// Remaining credit-flow budget (tuples); refreshed by HandleAck from
+    /// the receiver's grant minus what is already sent-but-unacked.
+    int64_t remote_credits = 0;
   };
 
   void FlushStagingLocked(DestState* dest) REQUIRES(mutex_);
@@ -151,6 +167,15 @@ struct IngressOptions {
   /// suppression (bounded FIFO; older duplicates are caught by the
   /// receiving tasks' dedup ledgers).
   size_t completed_capacity = 8192;
+  /// Priority-aware shedding at frame admission: above the watermarks
+  /// (occupancy = queued / pause_threshold) low- then normal-priority
+  /// tuples are dropped instead of queued. A shed tuple's frame ref is
+  /// resolved immediately so hop-acks still fire and the sender's
+  /// retransmit buffer frees — the drop is deliberate, not a loss the
+  /// sender should repair. Off by default.
+  bool enable_shedding = false;
+  double shed_low_watermark = 0.75;
+  double shed_high_watermark = 0.90;
 };
 
 /// Receive side of one remote source stream: frame-level bookkeeping
@@ -176,6 +201,7 @@ class IngressQueue {
     uint32_t sender_task = 0;
     uint64_t incarnation = 0;
     uint64_t seq = 0;
+    dsps::TuplePriority priority = dsps::TuplePriority::kNormal;
   };
 
   /// Spout thread: moves up to `max` tuples out of the queue. The caller
@@ -201,12 +227,16 @@ class IngressQueue {
   size_t QueuedTuples() const;
   size_t InflightTuples() const;
   bool WantsPause() const;
+  /// Tuples dropped by admission shedding, by priority tier.
+  uint64_t SheddedTuples(dsps::TuplePriority priority) const;
+  uint64_t SheddedTuples() const;
 
-  /// Sink for hop-acks: (sender_task, seqs). Called on whichever thread
-  /// resolved the frame (spout executor or network); the sink must be
-  /// thread-safe (EventLoop::Send is).
+  /// Sink for hop-acks: (sender_task, seqs, credits) where credits is the
+  /// queue's free-slot grant at resolution time (HopAck::credits). Called
+  /// on whichever thread resolved the frame (spout executor or network);
+  /// the sink must be thread-safe (EventLoop::Send is).
   void SetAckSink(
-      std::function<void(uint32_t, std::vector<uint64_t>)> sink);
+      std::function<void(uint32_t, std::vector<uint64_t>, uint32_t)> sink);
 
   const std::string& stream() const { return stream_; }
 
@@ -229,7 +259,10 @@ class IngressQueue {
   void ResolveRefLocked(const FrameKey& key,
                         std::vector<std::pair<uint32_t, uint64_t>>* acks)
       REQUIRES(mutex_);
-  void EmitAcks(std::vector<std::pair<uint32_t, uint64_t>> acks);
+  /// Free-slot grant advertised with outgoing hop-acks.
+  uint32_t CreditsLocked() const REQUIRES(mutex_);
+  void EmitAcks(std::vector<std::pair<uint32_t, uint64_t>> acks,
+                uint32_t credits);
 
   const std::string stream_;
   const IngressOptions options_;
@@ -241,7 +274,8 @@ class IngressQueue {
   std::unordered_map<uint64_t, std::vector<FrameKey>> inflight_
       GUARDED_BY(mutex_);
   bool done_ GUARDED_BY(mutex_) = false;
-  std::function<void(uint32_t, std::vector<uint64_t>)> ack_sink_
+  uint64_t shed_[3] GUARDED_BY(mutex_) = {0, 0, 0};
+  std::function<void(uint32_t, std::vector<uint64_t>, uint32_t)> ack_sink_
       GUARDED_BY(mutex_);
 };
 

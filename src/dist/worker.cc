@@ -161,8 +161,9 @@ class Worker {
       uint32_t owner = plan_.ingress_sources.at(source);
       std::string stream = source;
       queue->SetAckSink([this, owner, stream](uint32_t sender_task,
-                                              std::vector<uint64_t> seqs) {
-        SendHopAck(owner, stream, sender_task, std::move(seqs));
+                                              std::vector<uint64_t> seqs,
+                                              uint32_t credits) {
+        SendHopAck(owner, stream, sender_task, std::move(seqs), credits);
       });
     }
 
@@ -213,6 +214,9 @@ class Worker {
               return std::make_unique<WatchedSpout>(inner(), live);
             },
             def->output_fields, def->num_executors, def->num_tasks);
+        // Shedding tiers are declared on the global topology; the worker's
+        // sub-topology must seed the same tier on its slice of the spout.
+        builder.SetPriority(name, def->priority);
       } else {
         dsps::BoltFactory factory = def->bolt_factory;
         if (group != nullptr) {
@@ -342,7 +346,8 @@ class Worker {
         if (group_it == egress_groups_.end()) return;
         auto& buffers = group_it->second->buffers;
         if (ack.sender_task >= buffers.size()) return;
-        buffers[ack.sender_task]->HandleAck(dest_worker, ack.seqs);
+        buffers[ack.sender_task]->HandleAck(dest_worker, ack.seqs,
+                                            ack.credits);
         return;
       }
       default:
@@ -524,7 +529,8 @@ class Worker {
   }
 
   void SendHopAck(uint32_t owner, const std::string& stream,
-                  uint32_t sender_task, std::vector<uint64_t> seqs) {
+                  uint32_t sender_task, std::vector<uint64_t> seqs,
+                  uint32_t credits) {
     net::EventLoop::ConnId conn = 0;
     {
       MutexLock lock(mutex_);
@@ -535,6 +541,7 @@ class Worker {
     HopAck ack;
     ack.stream = stream;
     ack.sender_task = sender_task;
+    ack.credits = credits;
     ack.seqs = std::move(seqs);
     net::Frame frame;
     frame.type = net::FrameType::kHopAck;

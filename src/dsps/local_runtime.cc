@@ -61,13 +61,32 @@ class LocalRuntime::TaskCollector : public Collector {
       : runtime_(runtime),
         component_index_(component_index),
         task_index_(task_index),
-        is_spout_(is_spout) {
+        is_spout_(is_spout),
+        declared_priority_(
+            runtime->topology_.components()[static_cast<size_t>(
+                                                component_index)]
+                .priority),
+        current_priority_(declared_priority_) {
     outbox_.per_task.resize(static_cast<size_t>(runtime->total_tasks_));
+    const overload::Options& opts = runtime->options_.overload;
+    if (opts.enable_squelch) {
+      squelch_ = std::make_unique<overload::SourceSquelch>(
+          opts, runtime->options_.clock);
+    }
+    // kHigh components keep the base flush threshold: growing their blocks
+    // would trade away exactly the latency the tier exists to protect.
+    if (opts.enable_adaptive_batch &&
+        declared_priority_ != TuplePriority::kHigh) {
+      adaptive_ = std::make_unique<overload::AdaptiveBatch>(
+          runtime->options_.emit_batch, opts.adaptive_batch_max);
+      outbox_.adaptive = adaptive_.get();
+    }
   }
 
   void Emit(std::vector<Value> values) override {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
                 std::move(values), current_spout_time_);
+    tuple.set_priority(current_priority_);
     uint64_t* batch = nullptr;
     uint64_t* dedup_seq = nullptr;
     if (current_root_key_ != 0) {
@@ -76,13 +95,15 @@ class LocalRuntime::TaskCollector : public Collector {
       if (current_dedup_id_ != 0) dedup_seq = &dedup_seq_;
     }
     MaybeTraceSpoutEmit(&tuple);
-    runtime_->Route(component_index_, tuple, /*direct_task=*/-1, &emitted_,
-                    batch, current_dedup_id_, dedup_seq, &outbox_);
+    runtime_->Route(component_index_, task_index_, tuple, /*direct_task=*/-1,
+                    &emitted_, batch, current_dedup_id_, dedup_seq, &outbox_,
+                    squelch_.get());
   }
 
   void EmitDirect(int target_task, std::vector<Value> values) override {
     Tuple tuple(runtime_->fields_[static_cast<size_t>(component_index_)],
                 std::move(values), current_spout_time_);
+    tuple.set_priority(current_priority_);
     uint64_t* batch = nullptr;
     uint64_t* dedup_seq = nullptr;
     if (current_root_key_ != 0) {
@@ -91,21 +112,40 @@ class LocalRuntime::TaskCollector : public Collector {
       if (current_dedup_id_ != 0) dedup_seq = &dedup_seq_;
     }
     MaybeTraceSpoutEmit(&tuple);
-    runtime_->Route(component_index_, tuple, target_task, &emitted_, batch,
-                    current_dedup_id_, dedup_seq, &outbox_);
+    runtime_->Route(component_index_, task_index_, tuple, target_task,
+                    &emitted_, batch, current_dedup_id_, dedup_seq, &outbox_,
+                    squelch_.get());
   }
 
   void EmitRooted(uint64_t message_id, std::vector<Value> values) override {
     if (is_spout_ && runtime_->options_.enable_acking) {
       runtime_->EmitTracked(component_index_, task_index_, message_id,
                             /*attempt=*/0, std::move(values),
-                            current_spout_time_, &emitted_, &outbox_);
+                            current_spout_time_, current_priority_, &emitted_,
+                            &outbox_, squelch_.get());
       return;
     }
     Emit(std::move(values));
   }
 
+  void EmitPrioritized(TuplePriority priority,
+                       std::vector<Value> values) override {
+    TuplePriority saved = current_priority_;
+    current_priority_ = priority;
+    Emit(std::move(values));
+    current_priority_ = saved;
+  }
+
+  void EmitRootedPrioritized(TuplePriority priority, uint64_t message_id,
+                             std::vector<Value> values) override {
+    TuplePriority saved = current_priority_;
+    current_priority_ = priority;
+    EmitRooted(message_id, std::move(values));
+    current_priority_ = saved;
+  }
+
   Outbox* outbox() { return &outbox_; }
+  overload::SourceSquelch* squelch() { return squelch_.get(); }
 
   /// Bolt-side: bind the collector to the input about to be executed.
   void BeginExecute(const Tuple& input) {
@@ -113,6 +153,9 @@ class LocalRuntime::TaskCollector : public Collector {
     current_root_key_ = input.root_key();
     current_dedup_id_ = input.dedup_id();
     current_trace_id_ = input.trace_id();
+    // Emissions inherit the input's shedding tier (a detection derived from
+    // a high-priority tuple stays high-priority downstream).
+    current_priority_ = input.priority();
     ack_batch_ = 0;
     // Per-execution emission sequence: replayed executions reproduce the
     // same dedup-id chain because the sequence restarts at every input.
@@ -152,6 +195,13 @@ class LocalRuntime::TaskCollector : public Collector {
   int component_index_;
   int task_index_;
   bool is_spout_;
+  /// The component's declared shedding tier: the default for spout
+  /// emissions; bolts override per input in BeginExecute.
+  TuplePriority declared_priority_;
+  TuplePriority current_priority_;
+  /// Overload hooks, null unless the matching feature is enabled.
+  std::unique_ptr<overload::SourceSquelch> squelch_;
+  std::unique_ptr<overload::AdaptiveBatch> adaptive_;
   MicrosT current_spout_time_ = 0;
   uint64_t current_root_key_ = 0;
   uint64_t current_dedup_id_ = 0;
@@ -225,6 +275,26 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
     for (size_t t = 0; t < tasks_[c].size(); ++t) {
       queue_of_[static_cast<size_t>(task_base_[c]) + t] =
           tasks_[c][t].input.get();
+    }
+  }
+
+  // Overload protection: per-queue admission gates plus cached metrics
+  // handles for shed attribution. All of it exists only when at least one
+  // feature is on — otherwise the emit path never touches any of this.
+  if (options_.overload.any_enabled()) {
+    credit_flow_ = options_.overload.enable_credit_flow;
+    shedding_ = options_.overload.enable_load_shedding;
+    gates_.resize(static_cast<size_t>(total_tasks_));
+    overload_refs_.resize(static_cast<size_t>(total_tasks_));
+    for (size_t c = 0; c < components.size(); ++c) {
+      for (size_t t = 0; t < tasks_[c].size(); ++t) {
+        size_t gid = static_cast<size_t>(task_base_[c]) + t;
+        if (queue_of_[gid] == nullptr) continue;  // spout task
+        gates_[gid] =
+            std::make_unique<overload::QueueGate>(options_.queue_capacity);
+        overload_refs_[gid] =
+            metrics_.RefFor(components[c].name, static_cast<int>(t));
+      }
     }
   }
 
@@ -430,56 +500,282 @@ void LocalRuntime::Stage(int target_component, int task_index, Tuple tuple,
   // outbox.
   in_flight_.fetch_add(1);
   ++outbox->staged;
-  if (outbox->staged >= options_.emit_batch) FlushOutbox(outbox);
+  size_t threshold = outbox->adaptive != nullptr ? outbox->adaptive->threshold()
+                                                 : options_.emit_batch;
+  if (outbox->staged >= threshold) {
+    FlushOutbox(outbox);
+    // Credit mode: a producer that outran its consumers far enough parks in
+    // bounded slices until a flush makes progress, so the outbox (and the
+    // in-flight count) stays bounded without blocking-on-full semantics.
+    if (credit_flow_ &&
+        outbox->staged >= options_.overload.max_deferred_tuples) {
+      StallForCredits(outbox);
+    }
+  }
 }
 
 void LocalRuntime::FlushOutbox(Outbox* outbox) {
   if (outbox->staged == 0) return;
   bool dropped = false;
   size_t handed_off = 0;  // enqueued + dropped, to balance against staged
-  for (uint32_t gid : outbox->dirty) {
+  size_t kept = 0;        // left staged awaiting credits (credit mode only)
+  size_t write = 0;       // compaction cursor over the dirty list
+  double worst_occupancy = 0.0;
+  for (size_t read = 0; read < outbox->dirty.size(); ++read) {
+    uint32_t gid = outbox->dirty[read];
     std::vector<Tuple>& block = outbox->per_task[gid];
     // Dirty entries are recorded exactly at a block's empty->nonempty
     // transition and cleared together with the blocks, so each entry is
     // unique and its block nonempty; an empty block here means the dirty
-    // list and the staging buffers disagree.
+    // list and the staging buffers disagree. (A deferred block stays dirty
+    // and nonempty, preserving the invariant across flushes.)
     TMS_DCHECK(!block.empty()) << "duplicate dirty entry for task " << gid;
     if (block.empty()) continue;
-    handed_off += block.size();
     TaskQueue* queue = queue_of_[gid];
+    overload::QueueGate* gate = gates_.empty() ? nullptr : gates_[gid].get();
+    if (gate != nullptr && options_.overload.enable_load_shedding &&
+        !stopping_.load()) {
+      // Staging-time shed decisions go stale while a block waits for
+      // credits; re-check against current occupancy before admitting it.
+      size_t shed = ShedStaleTuples(&block, gate, gid);
+      if (shed > 0) {
+        handed_off += shed;
+        dropped = true;  // in-flight count moved: re-check completion
+        if (block.empty()) continue;
+      }
+    }
+    const size_t n = block.size();
+    if (stopping_.load()) {  // drop on shutdown
+      int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
+      TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
+          << "in-flight count went negative dropping a block";
+      handed_off += n;
+      block.clear();
+      dropped = true;
+      continue;
+    }
+    if (credit_flow_) {
+      // Credit admission replaces the blocking wait: no credits means the
+      // block simply stays staged — this producer keeps serving its other
+      // targets and retries at its next flush point. A deferred block keeps
+      // accumulating emissions, so it can outgrow the whole queue capacity;
+      // admission must therefore accept a prefix, or a block larger than the
+      // remaining credits could never be admitted and the producer would
+      // deadlock. `want` strictly decreases per retry, so this terminates.
+      size_t take = 0;
+      size_t want = n;
+      while (want > 0) {
+        if (gate->TryAcquire(want)) {
+          take = want;
+          break;
+        }
+        int64_t free = gate->capacity() - gate->admitted();
+        size_t next =
+            free > 0 ? std::min(static_cast<size_t>(free), n) : size_t{0};
+        if (next >= want) next = want - 1;  // racing admits: force progress
+        want = next;
+      }
+      if (take == 0) {
+        outbox->dirty[write++] = gid;
+        kept += n;
+        worst_occupancy = 1.0;
+        continue;
+      }
+      MutexLock lock(queue->mutex);
+      if (stopping_.load()) {  // raced with Stop: drop, credits back
+        gate->Release(take);
+        int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
+        TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
+            << "in-flight count went negative dropping a block";
+        handed_off += n;
+        block.clear();
+        dropped = true;
+        continue;
+      }
+      handed_off += take;
+      if (options_.overload.enable_load_shedding) {
+        for (size_t k = 0; k < take; ++k) {
+          if (block[k].priority() == TuplePriority::kHigh) {
+            ++queue->high_count;
+          }
+        }
+      }
+      for (size_t k = 0; k < take; ++k) {
+        // TMS_ANALYZE_EXEMPT(deque chunk churn: libstdc++ recycles chunks
+        // as the consumer pops, and the queue is bounded by queue_capacity)
+        queue->queue.push_back(std::move(block[k]));
+      }
+      if (take == n) {
+        block.clear();
+      } else {
+        // Partial admission: the unadmitted suffix stays staged (and dirty)
+        // in FIFO position for the next flush.
+        block.erase(block.begin(),
+                    block.begin() + static_cast<ptrdiff_t>(take));
+        outbox->dirty[write++] = gid;
+        kept += n - take;
+        worst_occupancy = 1.0;
+      }
+      size_t sz = queue->queue.size();
+      // Exact admission: credit mode can never overshoot capacity.
+      TMS_CHECK_LE(sz, options_.queue_capacity)
+          << "credit-admitted queue overshot its capacity";
+      if (sz > queue->peak_size.load(std::memory_order_relaxed)) {
+        queue->peak_size.store(sz, std::memory_order_relaxed);
+      }
+      queue->not_empty.NotifyOne();
+      if (gate->Occupancy() > worst_occupancy) {
+        worst_occupancy = gate->Occupancy();
+      }
+      continue;
+    }
+    handed_off += n;
     MutexLock lock(queue->mutex);
     while (!stopping_.load() &&
            queue->queue.size() >= options_.queue_capacity) {
       queue->not_full.Wait(queue->mutex);
     }
     if (stopping_.load()) {  // drop on shutdown
-      int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(block.size()));
-      TMS_DCHECK_GE(prev, static_cast<int64_t>(block.size()))
+      int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
+      TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
           << "in-flight count went negative dropping a block";
       block.clear();
       dropped = true;
       continue;
     }
+    if (options_.overload.enable_load_shedding) {
+      for (const Tuple& t : block) {
+        if (t.priority() == TuplePriority::kHigh) ++queue->high_count;
+      }
+    }
     // TMS_ANALYZE_EXEMPT(deque chunk churn: libstdc++ recycles chunks as the
     // consumer pops, and the queue is bounded by Options::queue_capacity)
     for (Tuple& t : block) queue->queue.push_back(std::move(t));
     block.clear();  // keeps capacity for the next batch
+    size_t sz = queue->queue.size();
+    // Backpressure overshoot bound: this producer observed size < capacity
+    // under the lock before appending its whole block, so occupancy exceeds
+    // capacity by strictly fewer than the block's n tuples — at most one
+    // block per producer, never more.
+    TMS_CHECK_LT(sz, options_.queue_capacity + n)
+        << "queue overshot capacity by a full flush block";
+    if (sz > queue->peak_size.load(std::memory_order_relaxed)) {
+      queue->peak_size.store(sz, std::memory_order_relaxed);
+    }
     queue->not_empty.NotifyOne();
+    if (gate != nullptr) {
+      gate->ForceAcquire(n);
+      if (gate->Occupancy() > worst_occupancy) {
+        worst_occupancy = gate->Occupancy();
+      }
+    }
   }
-  // FIFO hand-off is per-block: everything staged must leave the outbox in
-  // this flush, either enqueued in staging order or dropped on shutdown.
-  TMS_DCHECK_EQ(handed_off, outbox->staged)
+  // FIFO hand-off is per-block: everything staged leaves the outbox in this
+  // flush — enqueued in staging order or dropped on shutdown — except blocks
+  // deferred for credits, which stay staged (and dirty) for a later flush.
+  TMS_DCHECK_EQ(handed_off + kept, outbox->staged)
       << "outbox flushed a different tuple count than was staged";
-  outbox->dirty.clear();
-  outbox->staged = 0;
+  outbox->dirty.resize(write);  // TMS_ANALYZE_EXEMPT(shrink only)
+  outbox->staged = kept;
+  if (outbox->adaptive != nullptr) outbox->adaptive->Update(worst_occupancy);
   if (dropped) NotifyPossiblyDone();
+}
+
+size_t LocalRuntime::ShedStaleTuples(std::vector<Tuple>* block,
+                                     overload::QueueGate* gate, uint32_t gid) {
+  // Project occupancy across the block: each kept tuple raises it, so a
+  // large block admitted just below a watermark cannot blow occupancy far
+  // past it — the portion that would cross the watermark sheds instead.
+  // `projected` is racy across producers, which only softens the watermark
+  // by the concurrency degree; the hard capacity bound stays with the gate.
+  const double capacity = static_cast<double>(gate->capacity());
+  int64_t projected = gate->admitted();
+  size_t write = 0;
+  size_t shed = 0;
+  for (size_t read = 0; read < block->size(); ++read) {
+    Tuple& tuple = (*block)[read];
+    const TuplePriority priority = tuple.priority();
+    const double occupancy = static_cast<double>(projected) / capacity;
+    const bool drop =
+        (priority == TuplePriority::kLow &&
+         occupancy >= options_.overload.shed_low_watermark) ||
+        (priority == TuplePriority::kNormal &&
+         occupancy >= options_.overload.shed_high_watermark);
+    if (!drop) {
+      ++projected;
+      if (write != read) (*block)[write] = std::move(tuple);
+      ++write;
+      continue;
+    }
+    // Already counted as emitted when it was staged; only the shed counter
+    // moves here. Tracked trees fail fast, exactly like a staging-time shed.
+    overload_refs_[gid].RecordShed(priority);
+    if (acker_ != nullptr && tuple.root_key() != 0) {
+      if (auto info = acker_->Discard(tuple.root_key())) {
+        FailDiscardedTree(*info);
+      }
+    }
+    ++shed;
+  }
+  block->resize(write);  // TMS_ANALYZE_EXEMPT(shrink only)
+  if (shed > 0) {
+    int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(shed));
+    TMS_DCHECK_GE(prev, static_cast<int64_t>(shed))
+        << "in-flight count went negative shedding a stale block";
+  }
+  return shed;
+}
+
+void LocalRuntime::DrainOutbox(Outbox* outbox) {
+  FlushOutbox(outbox);
+  // Credit mode may defer blocks; this outbox is about to go out of scope
+  // (executor exit or crash hand-off), so park-and-retry until every staged
+  // tuple is enqueued — or Stop makes FlushOutbox drop the remainder.
+  while (outbox->staged > 0 && !stopping_.load()) {
+    uint32_t gid = outbox->dirty.front();
+    TaskQueue* queue = queue_of_[gid];
+    {
+      MutexLock lock(queue->mutex);
+      if (!stopping_.load() &&
+          queue->queue.size() >= options_.queue_capacity) {
+        queue->not_full.WaitFor(queue->mutex, std::chrono::milliseconds(1));
+      }
+    }
+    FlushOutbox(outbox);
+  }
+  if (outbox->staged > 0) FlushOutbox(outbox);  // stopping: drops remainder
+  TMS_DCHECK_EQ(outbox->staged, size_t{0})
+      << "outbox still staged after a drain";
+}
+
+void LocalRuntime::StallForCredits(Outbox* outbox) {
+  MicrosT start = options_.clock->NowMicros();
+  while (!stopping_.load() &&
+         outbox->staged >= options_.overload.max_deferred_tuples) {
+    uint32_t gid = outbox->dirty.front();
+    TaskQueue* queue = queue_of_[gid];
+    {
+      MutexLock lock(queue->mutex);
+      // Bounded park: woken early by the consumer's drain (not_full), and
+      // re-checked at most 1 ms later regardless.
+      if (!stopping_.load() &&
+          gates_[gid]->admitted() >= gates_[gid]->capacity()) {
+        queue->not_full.WaitFor(queue->mutex, std::chrono::milliseconds(1));
+      }
+    }
+    FlushOutbox(outbox);
+  }
+  MicrosT end = options_.clock->NowMicros();
+  if (end > start) {
+    metrics_.RecordCreditStall(static_cast<uint64_t>(end - start) * 1000);
+  }
 }
 
 void LocalRuntime::Deliver(int source_component, int target_component,
                            int task_index, const Tuple& tuple,
-                           uint64_t* emitted, uint64_t* ack_batch,
-                           uint64_t dedup_base, uint64_t* dedup_seq,
-                           Outbox* outbox) {
+                           TuplePriority priority, uint64_t* emitted,
+                           uint64_t* ack_batch, uint64_t dedup_base,
+                           uint64_t* dedup_seq, Outbox* outbox) {
   reliability::FaultInjector::RouteDecision decision;
   if (options_.fault_injector != nullptr) {
     decision = options_.fault_injector->OnRoute(
@@ -494,13 +790,47 @@ void LocalRuntime::Deliver(int source_component, int target_component,
   // injector-duplicated copy is the same logical tuple, so both copies must
   // share an id for the ledger to suppress the second execution. A dropped
   // delivery still advances the sequence — the replayed attempt re-derives
-  // the same chain positions only if every Deliver consumes one slot.
+  // the same chain positions only if every Deliver consumes one slot. (Shed
+  // decisions come after the draw for the same reason: an attempt that sheds
+  // differently must not shift the surviving tuples' chain positions.)
   uint64_t dedup_id = 0;
   if (dedup_seq != nullptr) {
     uint64_t d = Splitmix(dedup_base ^ (0x9e3779b97f4a7c15ULL * ++*dedup_seq));
     dedup_id = d == 0 ? 1 : d;
   }
   int copies = decision.duplicate ? 2 : 1;
+  if (shedding_) {
+    size_t gid = static_cast<size_t>(
+        task_base_[static_cast<size_t>(target_component)] + task_index);
+    double occupancy = gates_[gid]->Occupancy();
+    bool shed =
+        (priority == TuplePriority::kLow &&
+         occupancy >= options_.overload.shed_low_watermark) ||
+        (priority == TuplePriority::kNormal &&
+         occupancy >= options_.overload.shed_high_watermark);
+    if (shed) {
+      // The delivery is dropped at the emitter, before staging: still
+      // counted as emitted (so emitted == delivered + shed + in-flight
+      // balances) and per-priority in tuples_shed, attributed to the task
+      // whose queue is saturated. kHigh never reaches here.
+      for (int i = 0; i < copies; ++i) {
+        ++*emitted;
+        overload_refs_[gid].RecordShed(priority);
+      }
+      if (ack_batch != nullptr && tuple.root_key() != 0 &&
+          acker_ != nullptr) {
+        // Fail fast: shedding any tuple of a tracked tree fails the whole
+        // message now — Spout::Fail fires immediately and the replay
+        // payload is discarded — instead of leaving an unbalanced edge to
+        // time out. Copies already in flight ack an unknown key, which the
+        // acker ignores.
+        if (auto info = acker_->Discard(tuple.root_key())) {
+          FailDiscardedTree(*info);
+        }
+      }
+      return;
+    }
+  }
   for (int i = 0; i < copies; ++i) {
     Tuple copy = tuple;  // payload is refcount-shared, not deep-copied
     if (dedup_id != 0) copy.set_dedup_id(dedup_id);
@@ -519,10 +849,12 @@ void LocalRuntime::Deliver(int source_component, int target_component,
   }
 }
 
-void LocalRuntime::Route(int source_component, const Tuple& tuple,
-                         int direct_task, uint64_t* emitted,
-                         uint64_t* ack_batch, uint64_t dedup_base,
-                         uint64_t* dedup_seq, Outbox* outbox) {
+void LocalRuntime::Route(int source_component, int source_task,
+                         const Tuple& tuple, int direct_task,
+                         uint64_t* emitted, uint64_t* ack_batch,
+                         uint64_t dedup_base, uint64_t* dedup_seq,
+                         Outbox* outbox, overload::SourceSquelch* squelch) {
+  const TuplePriority priority = tuple.priority();
   for (const RouteTarget& target :
        routes_[static_cast<size_t>(source_component)]) {
     int num_tasks = static_cast<int>(
@@ -532,7 +864,7 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
       INSIGHT_CHECK(direct_task < num_tasks)
           << "EmitDirect task " << direct_task << " out of range";
       Deliver(source_component, target.component_index, direct_task, tuple,
-              emitted, ack_batch, dedup_base, dedup_seq, outbox);
+              priority, emitted, ack_batch, dedup_base, dedup_seq, outbox);
       continue;
     }
     switch (target.grouping) {
@@ -540,26 +872,43 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
         uint64_t n = shuffle_counters_[static_cast<size_t>(source_component)]
                          .fetch_add(1, std::memory_order_relaxed);
         Deliver(source_component, target.component_index,
-                static_cast<int>(n % num_tasks), tuple, emitted, ack_batch,
-                dedup_base, dedup_seq, outbox);
+                static_cast<int>(n % num_tasks), tuple, priority, emitted,
+                ack_batch, dedup_base, dedup_seq, outbox);
         break;
       }
       case Grouping::kFields: {
         uint64_t h = HashValues(tuple.values(), target.field_indexes);
+        // Hot-key squelch observes the keyed edges: a source whose recent
+        // routing keys are mostly repeats is squelched, and its deliveries
+        // are shed as kLow no matter their declared tier. The tuple itself
+        // is unchanged — the demotion applies to shed decisions only.
+        TuplePriority effective = priority;
+        if (squelch != nullptr) {
+          uint64_t transitions = squelch->squelch_events();
+          if (squelch->Observe(h)) effective = TuplePriority::kLow;
+          if (squelch->squelch_events() != transitions) {
+            // Cold path (state transition): name-map lookup is fine here.
+            metrics_.RecordSquelch(
+                topology_.components()[static_cast<size_t>(source_component)]
+                    .name,
+                source_task);
+          }
+        }
         Deliver(source_component, target.component_index,
                 static_cast<int>(h % static_cast<uint64_t>(num_tasks)), tuple,
-                emitted, ack_batch, dedup_base, dedup_seq, outbox);
+                effective, emitted, ack_batch, dedup_base, dedup_seq, outbox);
         break;
       }
       case Grouping::kAll:
         for (int t = 0; t < num_tasks; ++t) {
-          Deliver(source_component, target.component_index, t, tuple, emitted,
-                  ack_batch, dedup_base, dedup_seq, outbox);
+          Deliver(source_component, target.component_index, t, tuple,
+                  priority, emitted, ack_batch, dedup_base, dedup_seq,
+                  outbox);
         }
         break;
       case Grouping::kGlobal:
-        Deliver(source_component, target.component_index, 0, tuple, emitted,
-                ack_batch, dedup_base, dedup_seq, outbox);
+        Deliver(source_component, target.component_index, 0, tuple, priority,
+                emitted, ack_batch, dedup_base, dedup_seq, outbox);
         break;
       case Grouping::kDirect:
         // Plain Emit does not feed direct subscriptions.
@@ -571,7 +920,9 @@ void LocalRuntime::Route(int source_component, const Tuple& tuple,
 void LocalRuntime::EmitTracked(int component_index, int task_index,
                                uint64_t message_id, int attempt,
                                std::vector<Value> values, MicrosT spout_time,
-                               uint64_t* emitted, Outbox* outbox) {
+                               TuplePriority priority, uint64_t* emitted,
+                               Outbox* outbox,
+                               overload::SourceSquelch* squelch) {
   if (attempt == 0) {
     replay_->Store(message_id, values);  // keep a copy for replays
     pending_roots_.fetch_add(1);
@@ -598,6 +949,7 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
               spout_time);
   tuple.set_root_key(info.root_key);
   tuple.set_trace_id(info.trace_id);
+  tuple.set_priority(priority);
   uint64_t batch = 0;
   // Replay-stable dedup root: derived from the message id alone (not the
   // attempt), so a replayed attempt re-derives the exact same per-emission
@@ -610,8 +962,8 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
     root_dedup = d == 0 ? 1 : d;
     seq_ptr = &dedup_seq;
   }
-  Route(component_index, tuple, /*direct_task=*/-1, emitted, &batch, root_dedup,
-        seq_ptr, outbox);
+  Route(component_index, task_index, tuple, /*direct_task=*/-1, emitted,
+        &batch, root_dedup, seq_ptr, outbox, squelch);
   if (auto done = acker_->Xor(info.root_key, guard ^ batch)) {
     OnTreeCompleted(*done);
   }
@@ -677,10 +1029,13 @@ void LocalRuntime::SpoutLoop(
         for (auto& d : due) {
           metrics_.RecordReplay(def.name, task->task_index);
           uint64_t emitted = 0;
+          // Replays re-stamp the component's declared tier: the replay
+          // buffer stores values only, so a per-emission priority override
+          // (distributed ingress) does not survive a replay.
           EmitTracked(component_index, task->task_index, d.message_id,
                       d.attempt, std::move(d.values),
-                      options_.clock->NowMicros(), &emitted,
-                      collectors[i]->outbox());
+                      options_.clock->NowMicros(), def.priority, &emitted,
+                      collectors[i]->outbox(), collectors[i]->squelch());
           if (emitted > 0) {
             refs[i].RecordEmit(emitted);
             pass_emitted += emitted;
@@ -697,8 +1052,11 @@ void LocalRuntime::SpoutLoop(
         // boundary (everything already emitted is registered with the
         // acker). The supervisor relaunches this executor with the SAME
         // spout instances: a real spout's read cursor is its committed
-        // offset, and re-Opening would rewind it.
-        for (auto& collector : collectors) FlushOutbox(collector->outbox());
+        // offset, and re-Opening would rewind it. Drain, not flush: the
+        // relaunched executor gets fresh outboxes, so credit-deferred
+        // tuples must be handed off (or dropped by Stop) before this one
+        // goes out of scope.
+        for (auto& collector : collectors) DrainOutbox(collector->outbox());
         slot->crashed.store(true);
         return;
       }
@@ -733,7 +1091,7 @@ void LocalRuntime::SpoutLoop(
       for (auto& collector : collectors) FlushOutbox(collector->outbox());
     }
   }
-  for (auto& collector : collectors) FlushOutbox(collector->outbox());
+  for (auto& collector : collectors) DrainOutbox(collector->outbox());
   for (TaskRuntime* task : my_tasks) {
     if (acking) DrainSpoutEvents(task);  // last callbacks before Close
     task->spout->Close();
@@ -788,6 +1146,18 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
   for (TaskRuntime* task : my_tasks) {
     refs.push_back(metrics_.RefFor(def.name, task->task_index));
   }
+  // The tasks' admission gates (credit replenishment on drain); null when
+  // overload protection is off.
+  std::vector<overload::QueueGate*> task_gates(my_tasks.size(), nullptr);
+  if (!gates_.empty()) {
+    for (size_t i = 0; i < my_tasks.size(); ++i) {
+      task_gates[i] =
+          gates_[static_cast<size_t>(task_base_[static_cast<size_t>(
+                                         component_index)] +
+                                     my_tasks[i]->task_index)]
+              .get();
+    }
+  }
   // Bolt executor: drain the owned tasks' queues round-robin, moving up to
   // max_batch tuples out of a queue per lock acquisition (pseudo-parallel
   // execution of co-scheduled tasks, one not_full wake per drained block).
@@ -800,12 +1170,48 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
       batch.clear();
       {
         MutexLock lock(task->input->mutex);
-        size_t n = std::min(options_.max_batch, task->input->queue.size());
-        for (size_t k = 0; k < n; ++k) {
-          batch.push_back(std::move(task->input->queue.front()));
-          task->input->queue.pop_front();
+        std::deque<Tuple>& q = task->input->queue;
+        size_t n = std::min(options_.max_batch, q.size());
+        if (options_.overload.enable_load_shedding &&
+            task->input->high_count > 0 && n < q.size()) {
+          // Priority drain: when the queue holds more than one batch, the
+          // critical tier jumps the line — up to `n` kHigh tuples are
+          // extracted first (their relative order preserved), then the
+          // remainder fills FIFO. This keeps kHigh latency proportional to
+          // the kHigh backlog instead of the shed-watermark standing queue.
+          const size_t want_high = std::min(n, task->input->high_count);
+          size_t taken_high = 0;
+          size_t write = 0;
+          for (size_t read = 0; read < q.size(); ++read) {
+            if (taken_high < want_high &&
+                q[read].priority() == TuplePriority::kHigh) {
+              batch.push_back(std::move(q[read]));
+              ++taken_high;
+              continue;
+            }
+            if (write != read) q[write] = std::move(q[read]);
+            ++write;
+          }
+          q.resize(write);  // TMS_ANALYZE_EXEMPT(shrink only)
+          task->input->high_count -= taken_high;
+          n -= taken_high;
         }
-        if (n > 0) task->input->not_full.NotifyAll();
+        for (size_t k = 0; k < n; ++k) {
+          if (options_.overload.enable_load_shedding &&
+              task->input->high_count > 0 &&
+              q.front().priority() == TuplePriority::kHigh) {
+            --task->input->high_count;
+          }
+          batch.push_back(std::move(q.front()));
+          q.pop_front();
+        }
+        if (!batch.empty()) task->input->not_full.NotifyAll();
+      }
+      // Credits are replenished the moment tuples leave the queue — the
+      // producer-visible admission count tracks queue occupancy, not
+      // execution progress.
+      if (task_gates[i] != nullptr && !batch.empty()) {
+        task_gates[i]->Release(batch.size());
       }
       if (batch.empty()) continue;
       any = true;
@@ -848,13 +1254,24 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
           // the crash are delivered, and the un-executed remainder of the
           // drained batch goes back to the front of the queue — batching
           // must not widen the failure beyond what per-tuple hand-off lost.
-          FlushOutbox(collectors[i]->outbox());
+          // Drain, not flush: the relaunched executor builds fresh outboxes,
+          // so any credit-deferred tuples must be handed off before this
+          // one goes out of scope.
+          DrainOutbox(collectors[i]->outbox());
           if (j + 1 < batch.size()) {
-            MutexLock requeue(task->input->mutex);
-            for (size_t k = batch.size(); k-- > j + 1;) {
-              task->input->queue.push_front(std::move(batch[k]));
+            {
+              MutexLock requeue(task->input->mutex);
+              for (size_t k = batch.size(); k-- > j + 1;) {
+                task->input->queue.push_front(std::move(batch[k]));
+              }
+              task->input->not_empty.NotifyOne();
             }
-            task->input->not_empty.NotifyOne();
+            // The drain above already released credits for the whole batch;
+            // the requeued remainder re-occupies the queue, so re-charge the
+            // gate or producers would over-admit by the requeued count.
+            if (task_gates[i] != nullptr) {
+              task_gates[i]->ForceAcquire(batch.size() - j - 1);
+            }
           }
           int64_t prev = in_flight_.fetch_sub(1);
           TMS_DCHECK_GE(prev, int64_t{1})
@@ -951,6 +1368,10 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
       }
     }
   }
+  // Drain (not just flush): stopping_ is set here, so FlushOutbox drops any
+  // credit-deferred remainder and the in-flight count balances before Stop's
+  // final accounting check.
+  for (auto& collector : collectors) DrainOutbox(collector->outbox());
   for (TaskRuntime* task : my_tasks) task->bolt->Cleanup();
 }
 
@@ -1158,6 +1579,8 @@ void LocalRuntime::FailDiscardedTree(const reliability::TreeInfo& info) {
                             [static_cast<size_t>(info.spout_task)];
   if (task.events != nullptr) {
     MutexLock lock(task.events->mutex);
+    // TMS_ANALYZE_EXEMPT(event deque is bounded by pending root trees and
+    // libstdc++ recycles its chunks as the spout drains notifications)
     task.events->events.emplace_back(false, info.message_id);
   }
   size_t prev = pending_roots_.fetch_sub(1);
@@ -1270,6 +1693,12 @@ void LocalRuntime::DrainDeadTaskQueues() {
         if (!drained.empty()) task.input->not_full.NotifyAll();
       }
       if (drained.empty()) continue;
+      if (!gates_.empty()) {
+        gates_[static_cast<size_t>(task_base_[static_cast<size_t>(
+                                       slot->component_index)] +
+                                   task.task_index)]
+            ->Release(drained.size());
+      }
       int64_t prev =
           in_flight_.fetch_sub(static_cast<int64_t>(drained.size()));
       TMS_DCHECK_GE(prev, static_cast<int64_t>(drained.size()))
@@ -1302,6 +1731,18 @@ void LocalRuntime::MonitorLoop() {
       metrics_.TakeWindowSnapshot(options_.clock->NowMicros());
     }
   }
+}
+
+size_t LocalRuntime::max_queue_occupancy() const {
+  size_t peak = 0;
+  for (const auto& component_tasks : tasks_) {
+    for (const auto& task : component_tasks) {
+      if (task.input == nullptr) continue;
+      peak = std::max(peak,
+                      task.input->peak_size.load(std::memory_order_relaxed));
+    }
+  }
+  return peak;
 }
 
 int LocalRuntime::WorkerOfExecutor(const std::string& component,

@@ -14,6 +14,7 @@
 #include "common/thread.h"
 #include "common/thread_annotations.h"
 #include "dsps/metrics.h"
+#include "dsps/overload.h"
 #include "dsps/topology.h"
 #include "observability/trace.h"
 #include "reliability/acker.h"
@@ -50,9 +51,11 @@ class LocalRuntime {
     /// surfaced via WorkerOfExecutor; all threads share this process).
     int num_workers = 1;
     /// Per-task input queue capacity; emitters block when full
-    /// (backpressure). A flushed block is appended whole once the queue
-    /// dips below capacity, so occupancy can overshoot by up to one block
-    /// (at most `emit_batch` tuples).
+    /// (backpressure). A producer appends its flushed block whole once the
+    /// queue dips below capacity, so occupancy can overshoot capacity by at
+    /// most one block (strictly fewer than the block's tuples, block size <=
+    /// the flush threshold) — TMS_CHECK'd at every append. Credit mode
+    /// (`overload.enable_credit_flow`) admits exactly and never overshoots.
     size_t queue_capacity = 8192;
     /// Consumer side: max tuples a bolt executor drains from one task queue
     /// per lock acquisition.
@@ -131,6 +134,14 @@ class LocalRuntime {
     double trace_sample_rate = 0.0;
     /// Retained span ring capacity (observability::Tracer::Options).
     size_t trace_max_spans = 65536;
+
+    // --- Overload protection (all off by default = seed behaviour; see
+    // DESIGN.md "Overload protection") ---
+
+    /// Credit-based flow control, priority-aware load shedding, hot-key
+    /// squelch, and adaptive batch sizing (dsps/overload.h). With every
+    /// feature off none of the per-queue gates are even constructed.
+    overload::Options overload;
   };
 
   LocalRuntime(Topology topology, Options options);
@@ -179,6 +190,11 @@ class LocalRuntime {
   /// Worker process index of an executor (component, executor_index).
   int WorkerOfExecutor(const std::string& component, int executor_index) const;
 
+  /// Highest input-queue occupancy any task queue ever reached (tuples).
+  /// Regression hook for the backpressure overshoot bound: always <=
+  /// queue_capacity + flush block - 1, and <= queue_capacity in credit mode.
+  size_t max_queue_occupancy() const;
+
  private:
   /// Lock hierarchy: a TaskQueue::mutex is a leaf — nothing else is
   /// acquired while one is held (see DESIGN.md "Concurrency discipline").
@@ -187,6 +203,14 @@ class LocalRuntime {
     CondVar not_empty;
     CondVar not_full;
     std::deque<Tuple> queue GUARDED_BY(mutex);
+    /// kHigh tuples currently queued. Maintained only while load shedding
+    /// is enabled; lets the drain path skip the priority scan entirely when
+    /// no critical tuples are waiting.
+    size_t high_count GUARDED_BY(mutex) = 0;
+    /// High-water mark of `queue.size()`. Written under `mutex` (appends
+    /// serialize, drains never grow the queue); atomic so tests read it
+    /// without the lock.
+    std::atomic<size_t> peak_size{0};
   };
 
   /// Per-collector staging buffer for batched hand-off: tuples accumulate
@@ -196,6 +220,11 @@ class LocalRuntime {
     std::vector<std::vector<Tuple>> per_task;  // indexed by global task id
     std::vector<uint32_t> dirty;               // global task ids with tuples
     size_t staged = 0;
+    /// Outbox flush threshold controller; null unless adaptive batch sizing
+    /// is on (owned by the TaskCollector). Stage consults its threshold
+    /// instead of Options::emit_batch, FlushOutbox feeds it back the worst
+    /// target occupancy.
+    overload::AdaptiveBatch* adaptive = nullptr;
   };
 
   /// Ack/Fail notifications queued for delivery on the spout's executor
@@ -267,7 +296,8 @@ class LocalRuntime {
   /// replays). Adds to `emitted` per delivered copy.
   void EmitTracked(int component_index, int task_index, uint64_t message_id,
                    int attempt, std::vector<Value> values, MicrosT spout_time,
-                   uint64_t* emitted, Outbox* outbox);
+                   TuplePriority priority, uint64_t* emitted, Outbox* outbox,
+                   overload::SourceSquelch* squelch);
   /// A tracked tuple tree fully processed: ack bookkeeping + spout
   /// notification.
   void OnTreeCompleted(const reliability::TreeInfo& info);
@@ -278,21 +308,49 @@ class LocalRuntime {
   /// When `dedup_seq` is non-null, each copy additionally gets a dedup id
   /// chained from `dedup_base` and the running per-execution sequence —
   /// replay-stable as long as the emitter and the routing are deterministic.
-  void Route(int source_component, const Tuple& tuple, int direct_task,
-             uint64_t* emitted, uint64_t* ack_batch, uint64_t dedup_base,
-             uint64_t* dedup_seq, Outbox* outbox);
+  /// `squelch` (nullable) observes fields-grouping key hashes and, while the
+  /// emitting task is squelched, demotes the delivery's effective shedding
+  /// tier to kLow; `source_task` attributes squelch transitions.
+  void Route(int source_component, int source_task, const Tuple& tuple,
+             int direct_task, uint64_t* emitted, uint64_t* ack_batch,
+             uint64_t dedup_base, uint64_t* dedup_seq, Outbox* outbox,
+             overload::SourceSquelch* squelch);
   /// Stages one tuple; counted in `in_flight_` immediately. Auto-flushes the
-  /// outbox past Options::emit_batch.
+  /// outbox past Options::emit_batch (or the adaptive threshold).
   void Stage(int target_component, int task_index, Tuple tuple,
              Outbox* outbox) TMS_NO_ALLOC;
   /// Pushes every staged block to its target queue: one lock wait
   /// (backpressure-aware), one bulk append, and one not_empty wake per
-  /// target task. During shutdown staged tuples are dropped.
+  /// target task. During shutdown staged tuples are dropped. In credit mode
+  /// a block whose target grants no credits stays staged (still counted
+  /// in flight) for a later flush instead of blocking the producer.
   void FlushOutbox(Outbox* outbox) TMS_NO_ALLOC;
-  /// Fault-aware single delivery used by Route.
+  /// Flushes until nothing stays staged: required before an outbox goes out
+  /// of scope (executor exit, crash hand-off) since deferred tuples are
+  /// counted in flight. Parks in bounded 1 ms slices between retries; under
+  /// `stopping_` the staged remainder is dropped by FlushOutbox.
+  void DrainOutbox(Outbox* outbox);
+  /// Re-evaluates the shedding watermarks against the target queue's CURRENT
+  /// occupancy for every tuple of a staged block, dropping the ones whose
+  /// tier sheds (counted, fail-fast for tracked trees, released from
+  /// `in_flight_`). Staging-time decisions go stale under credit deferral —
+  /// admitting a backlog staged while the queue was briefly below the
+  /// watermark would blow occupancy right past it. Returns the shed count.
+  size_t ShedStaleTuples(std::vector<Tuple>* block, overload::QueueGate* gate,
+                         uint32_t gid);
+  /// Credit mode: bounded parks while `outbox` holds at least
+  /// `overload.max_deferred_tuples` deferred tuples; accounted in
+  /// `credits_stalled_ns`.
+  void StallForCredits(Outbox* outbox);
+  /// Fault-aware single delivery used by Route. `priority` is the effective
+  /// shedding tier (the tuple's own tier, or kLow for squelched sources);
+  /// above the occupancy watermarks of the target's queue the delivery is
+  /// shed instead of staged — counted per priority, and fail-fast for
+  /// tracked trees (the acker discards the tree and Spout::Fail fires).
   void Deliver(int source_component, int target_component, int task_index,
-               const Tuple& tuple, uint64_t* emitted, uint64_t* ack_batch,
-               uint64_t dedup_base, uint64_t* dedup_seq, Outbox* outbox);
+               const Tuple& tuple, TuplePriority priority, uint64_t* emitted,
+               uint64_t* ack_batch, uint64_t dedup_base, uint64_t* dedup_seq,
+               Outbox* outbox);
   void NotifyPossiblyDone();
   /// Fresh nonzero pseudo-random edge id for the acker.
   uint64_t NextEdgeId() TMS_NO_ALLOC;
@@ -346,6 +404,17 @@ class LocalRuntime {
   /// Global task id -> input queue (nullptr for spout tasks).
   std::vector<TaskQueue*> queue_of_;
   int total_tasks_ = 0;
+
+  // Overload protection (constructed only when any overload feature is on;
+  // see DESIGN.md "Overload protection").
+  /// Global task id -> admission gate (nullptr for spout tasks). Empty when
+  /// overload protection is off — the hot path tests one vector emptiness.
+  std::vector<std::unique_ptr<overload::QueueGate>> gates_;
+  /// Global task id -> metrics handle of the queue's task, for shed
+  /// attribution off the name map.
+  std::vector<MetricsRegistry::TaskRef> overload_refs_;
+  bool credit_flow_ = false;
+  bool shedding_ = false;
 
   std::vector<std::unique_ptr<ExecutorSlot>> executors_;
   Thread monitor_thread_;

@@ -75,6 +75,26 @@ void MetricsRegistry::RecordBreakerTrip(const std::string& component,
       .breaker_trips.fetch_add(1, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::RecordShed(const std::string& component, int task,
+                                 TuplePriority priority) {
+  TaskStats& stats = StatsFor(component, task);
+  switch (priority) {
+    case TuplePriority::kLow:
+      stats.shed_low.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TuplePriority::kNormal:
+      stats.shed_normal.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TuplePriority::kHigh:
+      stats.shed_high.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void MetricsRegistry::RecordSquelch(const std::string& component, int task) {
+  StatsFor(component, task).squelched.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     const std::string& component) const {
   ComponentTotals totals;
@@ -94,6 +114,10 @@ MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     totals.deduped += task->deduped.load(std::memory_order_relaxed);
     totals.breaker_trips +=
         task->breaker_trips.load(std::memory_order_relaxed);
+    totals.shed_low += task->shed_low.load(std::memory_order_relaxed);
+    totals.shed_normal += task->shed_normal.load(std::memory_order_relaxed);
+    totals.shed_high += task->shed_high.load(std::memory_order_relaxed);
+    totals.squelched += task->squelched.load(std::memory_order_relaxed);
     totals.latency_histogram.Merge(task->latency_histogram.Snapshot());
   }
   if (totals.executed > 0) {
@@ -126,7 +150,7 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
   for (auto& [name, stats] : components_) {
     uint64_t executed = 0, latency_sum = 0, acked = 0, failed = 0,
              replayed = 0, checkpoints = 0, restores = 0, restore_failures = 0,
-             deduped = 0, breaker_trips = 0;
+             deduped = 0, breaker_trips = 0, shed = 0, squelched = 0;
     observability::HistogramSnapshot histogram;
     for (const auto& task : stats.tasks) {
       executed += task->executed.load(std::memory_order_relaxed);
@@ -140,6 +164,10 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
           task->restore_failures.load(std::memory_order_relaxed);
       deduped += task->deduped.load(std::memory_order_relaxed);
       breaker_trips += task->breaker_trips.load(std::memory_order_relaxed);
+      shed += task->shed_low.load(std::memory_order_relaxed) +
+              task->shed_normal.load(std::memory_order_relaxed) +
+              task->shed_high.load(std::memory_order_relaxed);
+      squelched += task->squelched.load(std::memory_order_relaxed);
       histogram.Merge(task->latency_histogram.Snapshot());
     }
     WindowReport report;
@@ -181,6 +209,8 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
         restore_failures - stats.last_restore_failures;
     report.deduped = deduped - stats.last_deduped;
     report.breaker_trips = breaker_trips - stats.last_breaker_trips;
+    report.shed = shed - stats.last_shed;
+    report.squelched = squelched - stats.last_squelched;
     stats.last_executed = executed;
     stats.last_latency_sum = latency_sum;
     stats.last_acked = acked;
@@ -191,6 +221,8 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
     stats.last_restore_failures = restore_failures;
     stats.last_deduped = deduped;
     stats.last_breaker_trips = breaker_trips;
+    stats.last_shed = shed;
+    stats.last_squelched = squelched;
     stats.last_histogram = histogram;
     window.push_back(report);
     reports_.push_back(window.back());
@@ -250,6 +282,48 @@ observability::MetricsSnapshot MetricsRegistry::PrometheusSnapshot() const {
                                 static_cast<double>(totals[i].*spec.field)});
     }
     snapshot.counters.push_back(std::move(family));
+  }
+  // Overload families (see dsps/overload.h): sheds carry a priority label on
+  // top of the component label, squelches only the component. Emitted even
+  // when overload protection is off (all-zero) so dashboards never lose the
+  // series.
+  {
+    observability::CounterFamily shed;
+    shed.name = "insight_tuples_shed_total";
+    shed.help = "Tuples dropped by priority-aware load shedding";
+    struct ShedSpec {
+      const char* priority;
+      uint64_t ComponentTotals::* field;
+    };
+    static constexpr ShedSpec kShed[] = {
+        {"low", &ComponentTotals::shed_low},
+        {"normal", &ComponentTotals::shed_normal},
+        {"high", &ComponentTotals::shed_high},
+    };
+    for (size_t i = 0; i < names.size(); ++i) {
+      for (const ShedSpec& spec : kShed) {
+        shed.samples.push_back(
+            {"component=\"" + names[i] + "\",priority=\"" + spec.priority +
+                 "\"",
+             static_cast<double>(totals[i].*spec.field)});
+      }
+    }
+    snapshot.counters.push_back(std::move(shed));
+    observability::CounterFamily squelched;
+    squelched.name = "insight_squelched_sources_total";
+    squelched.help = "Emitting tasks that entered the squelched state";
+    for (size_t i = 0; i < names.size(); ++i) {
+      squelched.samples.push_back(
+          {"component=\"" + names[i] + "\"",
+           static_cast<double>(totals[i].squelched)});
+    }
+    snapshot.counters.push_back(std::move(squelched));
+    observability::CounterFamily stalled;
+    stalled.name = "insight_credits_stalled_ns_total";
+    stalled.help = "Producer wall time stalled awaiting flow-control credits";
+    stalled.samples.push_back(
+        {"", static_cast<double>(credits_stalled_ns())});
+    snapshot.counters.push_back(std::move(stalled));
   }
   // Transport counter families: process-wide (unlabelled) so the exporter
   // stays complete when the registry belongs to a distributed worker.

@@ -11,6 +11,7 @@
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "dsps/overload.h"
 #include "observability/export.h"
 #include "observability/histogram.h"
 
@@ -39,6 +40,13 @@ class MetricsRegistry {
     uint64_t checkpoint_restore_failures = 0;  // corrupt/unloadable snapshots
     uint64_t deduped = 0;             // replayed duplicates suppressed
     uint64_t breaker_trips = 0;       // executors permanently failed
+    // Overload counters (zero unless overload protection is on). Sheds are
+    // attributed to the component whose queue was saturated, per priority;
+    // squelches to the emitting component.
+    uint64_t shed_low = 0;
+    uint64_t shed_normal = 0;
+    uint64_t shed_high = 0;
+    uint64_t squelched = 0;  // sources entering the squelched state
     /// Lifetime execute-latency distribution, merged across tasks.
     observability::HistogramSnapshot latency_histogram;
   };
@@ -73,6 +81,8 @@ class MetricsRegistry {
     uint64_t checkpoint_restore_failures = 0;
     uint64_t deduped = 0;
     uint64_t breaker_trips = 0;
+    uint64_t shed = 0;       // tuples shed (all priorities)
+    uint64_t squelched = 0;  // squelch activations
   };
 
   /// Declares a component with `num_tasks` tasks. Must be called before any
@@ -92,6 +102,12 @@ class MetricsRegistry {
   void RecordRestoreFailure(const std::string& component, int task);
   void RecordDedup(const std::string& component, int task);
   void RecordBreakerTrip(const std::string& component, int task);
+  /// Overload events (see dsps/overload.h): a shed tuple, attributed to the
+  /// component whose queue triggered the drop, and a source entering the
+  /// squelched state, attributed to the emitting task.
+  void RecordShed(const std::string& component, int task,
+                  TuplePriority priority);
+  void RecordSquelch(const std::string& component, int task);
 
   ComponentTotals Totals(const std::string& component) const;
   std::vector<std::string> Components() const;
@@ -121,6 +137,15 @@ class MetricsRegistry {
   void RecordRequeuedTuples(uint64_t count) {
     net_requeued_tuples_.fetch_add(count, std::memory_order_relaxed);
   }
+  /// Wall time producers spent stalled waiting for flow-control credits
+  /// (credit mode only); process-wide like the transport counters.
+  void RecordCreditStall(uint64_t nanos) {
+    credits_stalled_ns_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  uint64_t credits_stalled_ns() const {
+    return credits_stalled_ns_.load(std::memory_order_relaxed);
+  }
+
   TransportTotals transport_totals() const {
     TransportTotals totals;
     totals.frames_sent = net_frames_sent_.load(std::memory_order_relaxed);
@@ -148,6 +173,10 @@ class MetricsRegistry {
     std::atomic<uint64_t> restore_failures{0};
     std::atomic<uint64_t> deduped{0};
     std::atomic<uint64_t> breaker_trips{0};
+    std::atomic<uint64_t> shed_low{0};
+    std::atomic<uint64_t> shed_normal{0};
+    std::atomic<uint64_t> shed_high{0};
+    std::atomic<uint64_t> squelched{0};
     observability::LatencyHistogram latency_histogram;
   };
 
@@ -179,6 +208,24 @@ class MetricsRegistry {
     }
     void RecordEmit(uint64_t count) {
       stats_->emitted.fetch_add(count, std::memory_order_relaxed);
+    }
+    /// One tuple shed at this task's input queue (overload protection).
+    void RecordShed(TuplePriority priority) {
+      switch (priority) {
+        case TuplePriority::kLow:
+          stats_->shed_low.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case TuplePriority::kNormal:
+          stats_->shed_normal.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case TuplePriority::kHigh:
+          stats_->shed_high.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    /// This task's collector entered the squelched state.
+    void RecordSquelch() {
+      stats_->squelched.fetch_add(1, std::memory_order_relaxed);
     }
 
    private:
@@ -222,6 +269,8 @@ class MetricsRegistry {
     uint64_t last_restore_failures = 0;
     uint64_t last_deduped = 0;
     uint64_t last_breaker_trips = 0;
+    uint64_t last_shed = 0;
+    uint64_t last_squelched = 0;
     observability::HistogramSnapshot last_histogram;
   };
 
@@ -236,6 +285,7 @@ class MetricsRegistry {
   std::atomic<uint64_t> net_bytes_received_{0};
   std::atomic<uint64_t> net_reconnects_{0};
   std::atomic<uint64_t> net_requeued_tuples_{0};
+  std::atomic<uint64_t> credits_stalled_ns_{0};
   mutable Mutex window_mutex_{TMS_LOCK_RANK(70)};
   std::vector<WindowReport> reports_ GUARDED_BY(window_mutex_);
   MicrosT last_snapshot_micros_ GUARDED_BY(window_mutex_) = 0;

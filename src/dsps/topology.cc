@@ -85,6 +85,20 @@ TopologyBuilder::BoltDeclarer TopologyBuilder::SetBolt(const std::string& name,
   return BoltDeclarer(this, components_.size() - 1);
 }
 
+TopologyBuilder& TopologyBuilder::SetPriority(const std::string& name,
+                                              TuplePriority priority) {
+  for (ComponentDef& def : components_) {
+    if (def.name == name) {
+      def.priority = priority;
+      return *this;
+    }
+  }
+  // Remember the dangling reference so Build() can report it (the fluent
+  // setter itself has no error channel).
+  missing_priority_targets_.push_back(name);
+  return *this;
+}
+
 TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::ShuffleGrouping(
     const std::string& source) {
   builder_->components_[index_].subscriptions.push_back(
@@ -121,6 +135,10 @@ TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::DirectGrouping(
 }
 
 Result<Topology> TopologyBuilder::Build() const {
+  if (!missing_priority_targets_.empty()) {
+    return Status::NotFound("SetPriority on undeclared component '" +
+                            missing_priority_targets_.front() + "'");
+  }
   std::set<std::string> names;
   for (const ComponentDef& c : components_) {
     if (c.name.empty()) {

@@ -56,6 +56,27 @@ class Collector {
     (void)message_id;
     Emit(std::move(values));
   }
+
+  /// Emit with an explicit shedding tier, overriding the emitter's default
+  /// (the component's declared priority for spouts, the input's priority for
+  /// bolts). Used by the distributed ingress to preserve the sender-side
+  /// priority across a worker hop; most components never call this. The
+  /// default ignores the override.
+  virtual void EmitPrioritized(TuplePriority priority,
+                               std::vector<Value> values) {
+    (void)priority;
+    Emit(std::move(values));
+  }
+
+  /// EmitRooted with an explicit shedding tier (see EmitPrioritized); the
+  /// distributed ingress uses this so tuple trees re-rooted after a network
+  /// hop keep the sender-side priority. The default ignores the override.
+  virtual void EmitRootedPrioritized(TuplePriority priority,
+                                     uint64_t message_id,
+                                     std::vector<Value> values) {
+    (void)priority;
+    EmitRooted(message_id, std::move(values));
+  }
 };
 
 /// An input source: spouts feed the topology with data (Section 2.1.1).
@@ -141,6 +162,10 @@ struct ComponentDef {
   int num_tasks = 1;
   Fields output_fields;
   std::vector<Subscription> subscriptions;  // bolts only
+  /// Shedding tier stamped on this component's emissions (spouts seed the
+  /// tier; bolt emissions inherit their input's tier, so the declared value
+  /// only matters for spouts). See dsps/overload.h.
+  TuplePriority priority = TuplePriority::kNormal;
 };
 
 /// A validated processing graph.
@@ -188,6 +213,11 @@ class TopologyBuilder {
                        Fields output_fields, int num_executors = 1,
                        int num_tasks = -1);
 
+  /// Sets the shedding tier of an already-declared component (see
+  /// ComponentDef::priority). Checks that the component exists at Build.
+  TopologyBuilder& SetPriority(const std::string& name,
+                               TuplePriority priority);
+
   /// Validates and produces the topology: unique names, known subscription
   /// sources, fields-grouping fields present in the source's declaration,
   /// every bolt subscribed to something, no cycles (emission is downstream
@@ -196,6 +226,7 @@ class TopologyBuilder {
 
  private:
   std::vector<ComponentDef> components_;
+  std::vector<std::string> missing_priority_targets_;
 };
 
 }  // namespace dsps

@@ -8,6 +8,7 @@
 #include "cep/event.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "dsps/overload.h"
 #include "dsps/payload_pool.h"
 
 namespace insight {
@@ -116,6 +117,13 @@ class Tuple {
   uint64_t dedup_id() const { return dedup_id_; }
   void set_dedup_id(uint64_t id) { dedup_id_ = id; }
 
+  /// Shedding tier (see dsps/overload.h). Assigned from the emitting
+  /// component's declared priority at the spout and inherited through bolt
+  /// executions; the load shedder drops lowest-priority-first above its
+  /// occupancy watermarks. Runtime-managed, like root_key/edge_id.
+  TuplePriority priority() const { return priority_; }
+  void set_priority(TuplePriority p) { priority_ = p; }
+
   /// Trace span anchoring (src/observability): nonzero iff the originating
   /// root emission was sampled. `trace_enqueue_micros` stamps when this
   /// instance was staged for delivery, so the consumer can record the
@@ -143,6 +151,7 @@ class Tuple {
   uint64_t root_key_ = 0;
   uint64_t edge_id_ = 0;
   uint64_t dedup_id_ = 0;
+  TuplePriority priority_ = TuplePriority::kNormal;
   uint64_t trace_id_ = 0;
   MicrosT trace_enqueue_micros_ = 0;
 };

@@ -31,6 +31,7 @@ void EncodeTupleBatch(const TupleBatch& batch, std::string* out) {
     writer.PutU32(tuple.payload_index);
     writer.PutU64(tuple.wire_id);
     writer.PutI64(tuple.spout_time);
+    writer.PutU8(tuple.priority);
   }
 }
 
@@ -81,11 +82,15 @@ Status DecodeTupleBatch(const std::string& payload, TupleBatch* out) {
     WireTuple tuple;
     int64_t spout_time = 0;
     if (!reader.GetU32(&tuple.payload_index) ||
-        !reader.GetU64(&tuple.wire_id) || !reader.GetI64(&spout_time)) {
+        !reader.GetU64(&tuple.wire_id) || !reader.GetI64(&spout_time) ||
+        !reader.GetU8(&tuple.priority)) {
       return Status::ParseError("tuple batch: truncated tuple");
     }
     if (tuple.payload_index >= payload_count) {
       return Status::ParseError("tuple batch: payload index out of range");
+    }
+    if (tuple.priority > 2) {
+      return Status::ParseError("tuple batch: bad priority");
     }
     tuple.spout_time = spout_time;
     out->tuples.push_back(tuple);
@@ -97,7 +102,7 @@ Status DecodeTupleBatch(const std::string& payload, TupleBatch* out) {
 }
 
 void TupleBatchBuilder::Add(const ValuePayload& payload, uint64_t wire_id,
-                            MicrosT spout_time) {
+                            MicrosT spout_time, uint8_t priority) {
   uint32_t index;
   auto it = payload_index_.find(payload.get());
   if (it != payload_index_.end()) {
@@ -107,7 +112,7 @@ void TupleBatchBuilder::Add(const ValuePayload& payload, uint64_t wire_id,
     batch_.payloads.push_back(payload);
     payload_index_.emplace(payload.get(), index);
   }
-  batch_.tuples.push_back(WireTuple{index, wire_id, spout_time});
+  batch_.tuples.push_back(WireTuple{index, wire_id, spout_time, priority});
 }
 
 TupleBatch TupleBatchBuilder::Take(uint64_t seq) {

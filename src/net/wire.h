@@ -30,6 +30,10 @@ struct WireTuple {
   /// chain — and effectively-once suppression — survives the network hop.
   uint64_t wire_id = 0;
   MicrosT spout_time = 0;
+  /// Shedding tier (dsps::TuplePriority as u8, 1 = normal), carried across
+  /// the hop so the receiving worker's overload protection sheds by the
+  /// sender-side priority. net/ stays below dsps/, hence the raw byte.
+  uint8_t priority = 1;
 };
 
 /// One kTupleBatch frame: every remote edge rides the sender's Outbox
@@ -37,7 +41,8 @@ struct WireTuple {
 ///
 ///   u32 magic | string stream | u32 sender_task | u64 seq |
 ///   u32 payload_count | payloads (u32 value_count, values...) |
-///   u32 tuple_count | tuples (u32 payload_index, u64 wire_id, i64 time)
+///   u32 tuple_count |
+///   tuples (u32 payload_index, u64 wire_id, i64 time, u8 priority)
 ///
 /// `seq` numbers frames per (stream, sender_task, destination) channel;
 /// the receiver acks resolved sequences (kHopAck) and drops duplicates of
@@ -65,7 +70,8 @@ class TupleBatchBuilder {
   TupleBatchBuilder(std::string stream, uint32_t sender_task)
       : stream_(std::move(stream)), sender_task_(sender_task) {}
 
-  void Add(const ValuePayload& payload, uint64_t wire_id, MicrosT spout_time);
+  void Add(const ValuePayload& payload, uint64_t wire_id, MicrosT spout_time,
+           uint8_t priority = 1);
 
   size_t tuple_count() const { return batch_.tuples.size(); }
   bool empty() const { return batch_.tuples.empty(); }

@@ -28,6 +28,7 @@
 #include "dist/runtime.h"
 #include "dsps/local_runtime.h"
 #include "dsps/topology.h"
+#include "observability/export.h"
 #include "reliability/state_store.h"
 
 namespace insight {
@@ -212,6 +213,33 @@ class DetectionFileSink : public Bolt, public Snapshottable {
 
 constexpr int kBusMessages = 60;
 
+/// Unrooted kLow firehose for the overload chaos run: saturates the queues
+/// of the worker hosting the stateful tasks while it gets SIGKILLed.
+class NoiseSpout : public Spout {
+ public:
+  explicit NoiseSpout(int n) : n_(n) {}
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= n_) return false;
+    for (int k = 0; k < 64 && next_ < n_; ++k, ++next_) {
+      collector->Emit({Value(int64_t{next_})});
+    }
+    return next_ < n_;
+  }
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+/// Slow terminal for the noise stream (placed with the detect tasks, so the
+/// kill target's queues really are saturated when the SIGKILL lands).
+class NoiseSink : public Bolt {
+ public:
+  void Execute(const Tuple&, Collector*) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+};
+
 struct Listing1App {
   dsps::Topology topology;
   DistOptions options;
@@ -263,6 +291,68 @@ Listing1App BuildListing1App(const std::string& out_dir,
   options.worker_args = {"--insight-app=listing1", "--insight-out=" + out_dir,
                          "--insight-ckpt=" + ckpt_dir};
   return {BuildListing1Topology(out_dir), std::move(options)};
+}
+
+/// Overload-chaos variant (ISSUE 9 satellite): the same Listing-1 pipeline
+/// tagged kHigh, plus a kLow noise firehose terminating in a slow sink on
+/// the detect worker, running under credit flow + priority shedding. The
+/// noise keeps worker 1 saturated; the SIGKILL lands mid-saturation; the
+/// high-priority detections must still match the fault-free run exactly.
+dsps::Topology BuildOverloadTopology(const std::string& out_dir) {
+  std::string marker = out_dir + "/progress-marker";
+  std::string detections = out_dir + "/detections.txt";
+  TopologyBuilder builder;
+  builder.SetSpout("source",
+                   [] { return std::make_unique<SerialBusSpout>(kBusMessages); },
+                   Fields({"timestamp", "location", "delay"}));
+  builder.SetSpout("noise", [] { return std::make_unique<NoiseSpout>(4000); },
+                   Fields({"v"}));
+  builder
+      .SetBolt("detect",
+               [marker] { return std::make_unique<Listing1Bolt>(marker); },
+               Fields({"location", "timestamp"}), 2)
+      .FieldsGrouping("source", {"location"});
+  builder.SetBolt("noise_sink", [] { return std::make_unique<NoiseSink>(); },
+                  Fields({}))
+      .ShuffleGrouping("noise");
+  builder
+      .SetBolt("sink",
+               [detections] {
+                 return std::make_unique<DetectionFileSink>(detections);
+               },
+               Fields({}))
+      .GlobalGrouping("detect");
+  builder.SetPriority("source", dsps::TuplePriority::kHigh);
+  builder.SetPriority("detect", dsps::TuplePriority::kHigh);
+  builder.SetPriority("noise", dsps::TuplePriority::kLow);
+  auto topology = builder.Build();
+  if (!topology.ok()) {
+    std::fprintf(stderr, "overload topology build failed: %s\n",
+                 topology.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*topology);
+}
+
+Listing1App BuildOverloadApp(const std::string& out_dir,
+                             const std::string& ckpt_dir) {
+  Listing1App app = BuildListing1App(out_dir, ckpt_dir);
+  app.topology = BuildOverloadTopology(out_dir);
+  app.options.placement.worker_of = {{"source", 0},
+                                     {"noise", 0},
+                                     {"detect", 1},
+                                     {"noise_sink", 1},
+                                     {"sink", 2}};
+  app.options.runtime.queue_capacity = 64;
+  app.options.runtime.overload.enable_credit_flow = true;
+  app.options.runtime.overload.max_deferred_tuples = 256;
+  app.options.runtime.overload.enable_load_shedding = true;
+  app.options.runtime.overload.shed_low_watermark = 0.5;
+  app.options.runtime.overload.shed_high_watermark = 0.9;
+  app.options.worker_args = {"--insight-app=listing1-overload",
+                             "--insight-out=" + out_dir,
+                             "--insight-ckpt=" + ckpt_dir};
+  return app;
 }
 
 std::string MakeTempDir() {
@@ -350,6 +440,62 @@ TEST(DistributedChaosTest, KilledWorkerRunMatchesFaultFreeLocalRun) {
   }
 }
 
+// Kill-9-while-saturated (ISSUE 9 satellite): the detect worker also hosts
+// the slow terminal of a kLow firehose, so its ingress queues are saturated
+// and actively shedding when the SIGKILL lands. The restarted cluster must
+// still deliver the exact high-priority detection multiset of a fault-free
+// plain run — overload protection may drop noise, never critical results.
+TEST(DistributedChaosTest, KilledWorkerUnderOverloadMatchesFaultFreeRun) {
+  std::string local_dir = MakeTempDir();
+  std::map<std::pair<int64_t, int64_t>, int> reference =
+      RunLocalReference(local_dir);
+  ASSERT_FALSE(reference.empty());
+
+  std::string out_dir = MakeTempDir();
+  std::string ckpt_dir = MakeTempDir();
+  Listing1App app = BuildOverloadApp(out_dir, ckpt_dir);
+  DistributedRuntime runtime(std::move(app.topology), app.options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::string marker = out_dir + "/progress-marker";
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!FileExists(marker) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(FileExists(marker)) << "cluster made no progress";
+  runtime.KillWorker(1);
+
+  ASSERT_EQ(runtime.WaitForCompletion(300'000'000), 0);
+  EXPECT_GE(runtime.worker_restarts(), 1u);
+
+  std::map<std::pair<int64_t, int64_t>, int> detections =
+      ReadDetections(out_dir + "/detections.txt");
+  EXPECT_EQ(detections, reference);
+  for (const auto& [detection, count] : detections) {
+    EXPECT_EQ(count, 1) << "duplicate detection for location "
+                        << detection.first << " at t=" << detection.second;
+  }
+
+  // The shed counters prove the run really was saturated: noise tuples were
+  // dropped, critical tuples never were.
+  observability::MetricsSnapshot cluster = runtime.ClusterMetrics();
+  double shed_low = 0;
+  double shed_high = 0;
+  for (const auto& family : cluster.counters) {
+    if (family.name != "insight_tuples_shed_total") continue;
+    for (const auto& sample : family.samples) {
+      if (sample.labels.find("priority=\"low\"") != std::string::npos) {
+        shed_low += sample.value;
+      } else if (sample.labels.find("priority=\"high\"") != std::string::npos) {
+        shed_high += sample.value;
+      }
+    }
+  }
+  EXPECT_GT(shed_low, 0) << "noise never saturated the detect worker";
+  EXPECT_EQ(shed_high, 0) << "a critical tuple was shed";
+}
+
 }  // namespace
 
 namespace testapp {
@@ -366,11 +512,14 @@ int WorkerMain(int argc, char** argv, const WorkerSpec& spec) {
   std::string app = FlagValue(argc, argv, "--insight-app=");
   std::string out_dir = FlagValue(argc, argv, "--insight-out=");
   std::string ckpt_dir = FlagValue(argc, argv, "--insight-ckpt=");
-  if (app != "listing1" || out_dir.empty() || ckpt_dir.empty()) {
+  if ((app != "listing1" && app != "listing1-overload") || out_dir.empty() ||
+      ckpt_dir.empty()) {
     std::fprintf(stderr, "unknown worker app '%s'\n", app.c_str());
     return 2;
   }
-  Listing1App built = BuildListing1App(out_dir, ckpt_dir);
+  Listing1App built = app == "listing1-overload"
+                          ? BuildOverloadApp(out_dir, ckpt_dir)
+                          : BuildListing1App(out_dir, ckpt_dir);
   return RunWorker(spec, std::move(built.topology), built.options);
 }
 

@@ -586,6 +586,11 @@ TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
   registry.RecordFramesReceived(2, 800);
   registry.RecordReconnect();
   registry.RecordRequeuedTuples(7);
+  registry.RecordShed("bolt", 0, TuplePriority::kLow);
+  registry.RecordShed("bolt", 0, TuplePriority::kLow);
+  registry.RecordShed("bolt", 0, TuplePriority::kNormal);
+  registry.RecordSquelch("spout", 0);
+  registry.RecordCreditStall(1500);
 
   std::string text =
       observability::ExportPrometheusText(registry.PrometheusSnapshot());
@@ -607,6 +612,9 @@ TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
            "insight_net_bytes_received_total",
            "insight_net_reconnects_total",
            "insight_net_requeued_tuples_total",
+           "insight_tuples_shed_total",
+           "insight_squelched_sources_total",
+           "insight_credits_stalled_ns_total",
        }) {
     EXPECT_NE(text.find(std::string("# TYPE ") + family), std::string::npos)
         << "family missing from export: " << family;
@@ -629,6 +637,21 @@ TEST(MetricsRegistryTest, PrometheusSnapshotExportsEveryFamily) {
             std::string::npos);
   EXPECT_NE(text.find("insight_net_reconnects_total 1"), std::string::npos);
   EXPECT_NE(text.find("insight_net_requeued_tuples_total 7"),
+            std::string::npos);
+  // Overload families: shed carries component + priority labels, squelch the
+  // component, and the credit-stall counter is process-wide.
+  EXPECT_NE(text.find("insight_tuples_shed_total{component=\"bolt\","
+                      "priority=\"low\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("insight_tuples_shed_total{component=\"bolt\","
+                      "priority=\"normal\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("insight_tuples_shed_total{component=\"bolt\","
+                      "priority=\"high\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("insight_squelched_sources_total{component=\"spout\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("insight_credits_stalled_ns_total 1500"),
             std::string::npos);
 }
 

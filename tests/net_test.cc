@@ -167,6 +167,7 @@ TEST(WireTest, FuzzRoundTripPreservesEverything) {
         tuple.payload_index = static_cast<uint32_t>(rng() % batch.payloads.size());
         tuple.wire_id = rng();
         tuple.spout_time = static_cast<MicrosT>(rng() % (1LL << 40));
+        tuple.priority = static_cast<uint8_t>(rng() % 3);
         batch.tuples.push_back(tuple);
       }
     }
@@ -194,6 +195,7 @@ TEST(WireTest, FuzzRoundTripPreservesEverything) {
       EXPECT_EQ(decoded.tuples[i].payload_index, batch.tuples[i].payload_index);
       EXPECT_EQ(decoded.tuples[i].wire_id, batch.tuples[i].wire_id);
       EXPECT_EQ(decoded.tuples[i].spout_time, batch.tuples[i].spout_time);
+      EXPECT_EQ(decoded.tuples[i].priority, batch.tuples[i].priority);
       // Payload sharing survives the wire: same index -> same buffer object.
       EXPECT_EQ(decoded.payloads[decoded.tuples[i].payload_index].get(),
                 decoded.payloads[batch.tuples[i].payload_index].get());
@@ -265,6 +267,13 @@ TEST(WireTest, RejectsBadMagicAndBadPayloadIndex) {
   std::string encoded_bad;
   EncodeTupleBatch(bad_index, &encoded_bad);
   EXPECT_FALSE(DecodeTupleBatch(encoded_bad, &scratch).ok());
+
+  // Priority beyond the defined tiers (see dsps::TuplePriority) is rejected.
+  TupleBatch bad_priority = batch;
+  bad_priority.tuples[0].priority = 3;
+  std::string encoded_bad_priority;
+  EncodeTupleBatch(bad_priority, &encoded_bad_priority);
+  EXPECT_FALSE(DecodeTupleBatch(encoded_bad_priority, &scratch).ok());
 }
 
 TEST(WireTest, RandomByteFlipsNeverCrashTheDecoder) {

@@ -981,6 +981,213 @@ TEST(RecoveryEndToEndTest, SpoutBreakerTripFailsItsPendingTrees) {
   EXPECT_GT(log->failed.size(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Chaos under overload (ISSUE 9 satellite): crashes while saturated
+// ---------------------------------------------------------------------------
+
+/// Unrooted kLow firehose: exists purely to saturate downstream queues so
+/// the shed watermarks are genuinely engaged while the chaos plan fires.
+class FirehoseSpout : public Spout {
+ public:
+  explicit FirehoseSpout(int n) : n_(n) {}
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= n_) return false;
+    for (int k = 0; k < 64 && next_ < n_; ++k, ++next_) {
+      collector->Emit({Value(int64_t{-1})});
+    }
+    return next_ < n_;
+  }
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+/// Slow checkpointed sink for the saturation chaos run. The counts live in
+/// the snapshotted state (not an external map) so a crash rolls them back
+/// atomically with the dedup ledger and the deferred acks — that atomicity
+/// is what makes the critical stream effectively-once. The surviving
+/// incarnation exports its counts at Cleanup.
+class SaturatedSink : public Bolt, public Snapshottable {
+ public:
+  struct Sink {
+    Mutex mutex;
+    std::map<int64_t, int> counts GUARDED_BY(mutex);
+  };
+  explicit SaturatedSink(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
+
+  void Execute(const Tuple& input, Collector*) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    counts_[input.Get(0).AsInt()]++;
+  }
+  void Cleanup() override {
+    MutexLock lock(sink_->mutex);
+    sink_->counts = counts_;
+  }
+
+  Status SnapshotState(std::string* out) const override {
+    ByteWriter writer(out);
+    writer.PutU32(static_cast<uint32_t>(counts_.size()));
+    for (const auto& [value, count] : counts_) {
+      writer.PutU64(static_cast<uint64_t>(value));
+      writer.PutU32(static_cast<uint32_t>(count));
+    }
+    return Status::OK();
+  }
+  Status RestoreState(const std::string& bytes) override {
+    ByteReader reader(bytes);
+    uint32_t n = 0;
+    if (!reader.GetU32(&n)) return Status::ParseError("sink snapshot short");
+    std::map<int64_t, int> restored;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t value = 0;
+      uint32_t count = 0;
+      if (!reader.GetU64(&value) || !reader.GetU32(&count)) {
+        return Status::ParseError("sink snapshot short");
+      }
+      restored[static_cast<int64_t>(value)] = static_cast<int>(count);
+    }
+    counts_ = std::move(restored);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+  std::map<int64_t, int> counts_;
+};
+
+struct SaturatedRun {
+  std::map<int64_t, int> critical_counts;  // sink counts, firehose excluded
+  std::shared_ptr<SerialSpout::Log> log;
+  dsps::MetricsRegistry::ComponentTotals sink_totals;
+  uint64_t restarts = 0;
+  size_t max_queue_occupancy = 0;
+  bool degraded = false;
+};
+
+/// Rooted kHigh traffic + kLow firehose into one slow checkpointed sink,
+/// with credit flow and shedding on. The injector (may be null) crashes the
+/// sink mid-saturation; recovery must keep the critical stream
+/// effectively-once while the firehose is shed freely.
+SaturatedRun RunSaturatedTopology(int critical, int firehose,
+                                  FaultInjector* injector,
+                                  StateStore* store) {
+  auto log = std::make_shared<SerialSpout::Log>();
+  auto sink = std::make_shared<SaturatedSink::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("critical",
+                   [critical, log] {
+                     return std::make_unique<RootedLogSpout>(critical, log);
+                   },
+                   Fields({"v"}));
+  builder.SetSpout("firehose",
+                   [firehose] {
+                     return std::make_unique<FirehoseSpout>(firehose);
+                   },
+                   Fields({"v"}));
+  builder
+      .SetBolt("sink",
+               [sink] { return std::make_unique<SaturatedSink>(sink); },
+               Fields({}))
+      .GlobalGrouping("critical")
+      .GlobalGrouping("firehose");
+  builder.SetPriority("critical", dsps::TuplePriority::kHigh);
+  builder.SetPriority("firehose", dsps::TuplePriority::kLow);
+  auto topology = builder.Build();
+  EXPECT_TRUE(topology.ok());
+
+  LocalRuntime::Options options;
+  options.queue_capacity = 64;
+  options.emit_batch = 8;
+  options.max_batch = 8;
+  options.enable_acking = true;
+  options.ack_timeout_micros = 100'000;
+  options.max_replays = 50;
+  options.replay_backoff_micros = 2'000;
+  options.supervisor_interval_micros = 1'000;
+  options.fault_injector = injector;
+  options.enable_checkpointing = true;
+  options.checkpoint_interval_micros = 10'000;
+  options.state_store = store;
+  options.enable_replay_dedup = true;
+  options.overload.enable_credit_flow = true;
+  options.overload.max_deferred_tuples = 256;
+  options.overload.enable_load_shedding = true;
+  options.overload.shed_low_watermark = 0.5;
+  options.overload.shed_high_watermark = 0.9;
+  LocalRuntime runtime(std::move(*topology), options);
+  EXPECT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+
+  SaturatedRun run;
+  run.log = log;
+  run.sink_totals = runtime.metrics()->Totals("sink");
+  run.restarts = runtime.executor_restarts();
+  run.max_queue_occupancy = runtime.max_queue_occupancy();
+  run.degraded = runtime.degraded();
+  EXPECT_EQ(runtime.pending_trees(), 0u);
+  runtime.Stop();  // joins executors: the sink's Cleanup export is done
+  {
+    MutexLock lock(sink->mutex);
+    for (const auto& [value, count] : sink->counts) {
+      if (value >= 0) run.critical_counts[value] = count;
+    }
+  }
+  return run;
+}
+
+TEST(RecoveryEndToEndTest, CrashWhileSaturatedKeepsCriticalEffectivelyOnce) {
+  constexpr int kCritical = 60;
+  constexpr int kFirehose = 4000;
+
+  InMemoryStateStore clean_store;
+  SaturatedRun clean =
+      RunSaturatedTopology(kCritical, kFirehose, nullptr, &clean_store);
+  ASSERT_EQ(clean.critical_counts.size(), static_cast<size_t>(kCritical));
+  EXPECT_EQ(clean.restarts, 0u);
+  // The firehose really pushed the queue past the watermark.
+  EXPECT_GT(clean.sink_totals.shed_low, 0u);
+  EXPECT_EQ(clean.sink_totals.shed_high, 0u);
+
+  // Same run, but the sink dies twice mid-saturation. Recovery (checkpoint
+  // restore + tree replay + ledger dedup) happens while the firehose keeps
+  // the queue saturated and the shed path keeps firing.
+  FaultPlan plan;
+  plan.crashes.push_back({.component = "sink", .task = 0,
+                          .after_executions = 30, .repeat = false});
+  plan.crashes.push_back({.component = "sink", .task = 0,
+                          .after_executions = 45, .repeat = false});
+  FaultInjector injector(plan);
+  InMemoryStateStore store;
+  SaturatedRun faulty =
+      RunSaturatedTopology(kCritical, kFirehose, &injector, &store);
+
+  // The faults really fired and really healed.
+  EXPECT_GE(injector.crashes_injected(), 2u);
+  EXPECT_GE(faulty.restarts, 2u);
+  EXPECT_FALSE(faulty.degraded);
+  // Saturation held across the crashes: kLow shed, kHigh never.
+  EXPECT_GT(faulty.sink_totals.shed_low, 0u);
+  EXPECT_EQ(faulty.sink_totals.shed_normal, 0u);
+  EXPECT_EQ(faulty.sink_totals.shed_high, 0u);
+  // Credit admission stayed exact through kill-and-relaunch.
+  EXPECT_LE(faulty.max_queue_occupancy, 64u);
+
+  // The acceptance bar: the high-priority stream matches the fault-free
+  // run value for value — every critical tuple delivered exactly once,
+  // none shed, none lost, none duplicated.
+  EXPECT_EQ(faulty.critical_counts, clean.critical_counts);
+  for (const auto& [value, count] : faulty.critical_counts) {
+    EXPECT_EQ(count, 1) << "critical value " << value
+                        << " not effectively-once under saturation";
+  }
+  {
+    MutexLock lock(faulty.log->mutex);
+    EXPECT_EQ(faulty.log->acked.size(), static_cast<size_t>(kCritical));
+    EXPECT_TRUE(faulty.log->failed.empty());
+  }
+}
+
 }  // namespace
 }  // namespace reliability
 }  // namespace insight
