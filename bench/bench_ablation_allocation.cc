@@ -114,11 +114,14 @@ int main() {
   std::printf("mean bottleneck gap : %.2f%%\n", 100.0 * gap_sum / instances);
   std::printf("worst bottleneck gap: %.2f%%\n", 100.0 * worst_gap);
   std::printf(
-      "\nobservation: the paper's greedy (grant the engine to the grouping "
-      "with the\nhighest post-grant score) matches the optimum on most "
-      "instances, but because it\ncompares scores *after* the grant rather "
-      "than the current bottleneck it can\nover-feed a dominant grouping and "
-      "leave a sizable gap on adversarial instances\n— a limitation the paper "
-      "does not discuss.\n");
+      "\nobservation: granting each extra engine to the grouping whose "
+      "*current*\nscore is the bottleneck (rather than ranking groupings by "
+      "their post-grant\nscore, which over-feeds dominant groupings and "
+      "starves steep bottlenecks)\nmakes the greedy match the exhaustive "
+      "optimum on every generated instance;\nthe gate below holds it there.\n");
+  if (optimal_hits != instances || worst_gap > 1e-9) {
+    std::printf("GATE FAILURE: greedy fell short of the optimum\n");
+    return 1;
+  }
   return 0;
 }

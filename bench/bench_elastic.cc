@@ -1,0 +1,469 @@
+// Elastic scheduler bench: hot-engine p99 before/after a live CEP task
+// migration. A skewed spout (one hot region carrying ~55% of the traffic)
+// feeds a LiveRouter splitter that initially routes every region to engine
+// task 0; task 1 is an idle standby. The engine models heterogeneous host
+// load — the paper's motivation for migration — by burning a long service
+// time on task 0 (a co-loaded host) and a short one elsewhere (the spare
+// standby host). The ElasticController watches the per-task metric stream,
+// trips its p99 trigger after the configured hot streak, and live-migrates
+// task 0's regions and state onto the standby mid-stream.
+//
+// The engine keeps a per-region tuple count as migrated state and emits a
+// "detection" every kDetectEvery-th tuple of a region, so detections are a
+// deterministic function of the delivered stream: any state loss, fork, or
+// duplication across the migration shows up as a detection mismatch.
+//
+// Gates (nonzero exit on violation):
+//
+//  1. Migrated: the controller performed >= 1 live migration, no failures,
+//     and the engine executed every message exactly once.
+//  2. p99 improves: hot-region p99 measured on the migration target stays
+//     under 80% of both the pre-migration p99 on the source task and the
+//     no-controller baseline run's hot-region p99.
+//  3. Detection identity: the elastic run's detection multiset equals the
+//     fault-free non-elastic baseline's.
+//  4. Disabled identity: the baseline run (controller absent, migration
+//     disabled — the seed configuration) moves no migration counter, never
+//     touches the router, and leaves the standby idle.
+//
+// Usage: bench_elastic [--quick] [out.json]  (default BENCH_elastic.json)
+// --quick shortens the stream for CI smoke.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "core/partitioning.h"
+#include "dsps/local_runtime.h"
+#include "dsps/topology.h"
+#include "elastic/controller.h"
+#include "elastic/policy.h"
+#include "traffic/bolts.h"
+
+namespace insight {
+namespace bench {
+namespace {
+
+using dsps::Bolt;
+using dsps::Collector;
+using dsps::Fields;
+using dsps::LocalRuntime;
+using dsps::Snapshottable;
+using dsps::Spout;
+using dsps::TaskContext;
+using dsps::TopologyBuilder;
+using dsps::Tuple;
+using dsps::Value;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int64_t kHotRegion = 1;
+constexpr int64_t kDetectEvery = 25;
+constexpr int64_t kSlowServiceMicros = 2'500;  // task 0: co-loaded host
+constexpr int64_t kFastServiceMicros = 400;    // standby: spare host
+constexpr double kRatePerSec = 300.0;
+
+// Region of each seq, repeating: 11/20 hot, the rest spread over 2..4. A
+// fixed pattern makes the input — and therefore the detection multiset —
+// identical across the elastic and baseline runs.
+constexpr int64_t kRegionPattern[20] = {1, 2, 1, 3, 1, 1, 4, 1, 2, 1,
+                                        1, 3, 1, 2, 1, 1, 4, 1, 2, 1};
+
+/// Emits (region, seq, stamp) for seq 1..total, paced at kRatePerSec with a
+/// bounded catch-up burst (same discipline as bench_saturation's PacedSpout).
+class SkewedSpout : public Spout {
+ public:
+  explicit SkewedSpout(int64_t total) : total_(total) {}
+
+  bool NextTuple(Collector* collector) override {
+    if (emitted_ >= total_) return false;
+    if (start_micros_ == 0) start_micros_ = NowMicros();
+    int64_t due = static_cast<int64_t>(
+        (static_cast<double>(NowMicros() - start_micros_) / 1e6) *
+        kRatePerSec);
+    if (emitted_ >= due) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      return true;
+    }
+    int64_t burst = std::min({due - emitted_, total_ - emitted_, int64_t{64}});
+    for (int64_t i = 0; i < burst; ++i) {
+      int64_t seq = ++emitted_;
+      collector->EmitRooted(
+          static_cast<uint64_t>(seq),
+          {Value(kRegionPattern[seq % 20]), Value(seq), Value(NowMicros())});
+    }
+    return true;
+  }
+
+ private:
+  int64_t total_;
+  int64_t emitted_ = 0;
+  int64_t start_micros_ = 0;
+};
+
+/// The "CEP engine": per-region tuple counts (the migrated state), a
+/// per-task service time modelling host load, and a detection emitted every
+/// kDetectEvery-th tuple of a region. Forwards
+/// (region, seq, task, stamp, detect).
+class RegionCountEngine : public Bolt, public Snapshottable {
+ public:
+  void Prepare(const TaskContext& context) override {
+    task_index_ = context.task_index;
+    counts_.clear();
+  }
+
+  void Execute(const Tuple& input, Collector* collector) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        task_index_ == 0 ? kSlowServiceMicros : kFastServiceMicros));
+    int64_t region = input.Get(0).AsInt();
+    int64_t count = ++counts_[region];
+    collector->Emit({input.Get(0), input.Get(1),
+                     Value(static_cast<int64_t>(task_index_)), input.Get(2),
+                     Value(count % kDetectEvery == 0 ? count : int64_t{0})});
+  }
+
+  Status SnapshotState(std::string* out) const override {
+    std::ostringstream stream;
+    for (const auto& [region, count] : counts_) {
+      stream << region << ' ' << count << '\n';
+    }
+    out->assign(stream.str());
+    return Status::OK();
+  }
+  Status RestoreState(const std::string& bytes) override {
+    counts_.clear();
+    std::istringstream stream(bytes);
+    int64_t region = 0;
+    int64_t count = 0;
+    while (stream >> region >> count) counts_[region] = count;
+    return Status::OK();
+  }
+
+ private:
+  int task_index_ = 0;
+  std::map<int64_t, int64_t> counts_;
+};
+
+/// Records per-tuple (region, task, end-to-end latency) and the detection
+/// multiset.
+class LatencySink : public Bolt {
+ public:
+  struct Row {
+    int64_t region = 0;
+    int64_t task = 0;
+    int64_t latency_micros = 0;
+  };
+  struct Stats {
+    Mutex mutex;
+    std::vector<Row> rows GUARDED_BY(mutex);
+    std::vector<std::pair<int64_t, int64_t>> detections GUARDED_BY(mutex);
+  };
+  explicit LatencySink(std::shared_ptr<Stats> stats)
+      : stats_(std::move(stats)) {}
+
+  void Execute(const Tuple& input, Collector*) override {
+    Row row;
+    row.region = input.Get(0).AsInt();
+    row.task = input.Get(2).AsInt();
+    row.latency_micros = NowMicros() - input.Get(3).AsInt();
+    int64_t detect = input.Get(4).AsInt();
+    MutexLock lock(stats_->mutex);
+    stats_->rows.push_back(row);
+    if (detect > 0) stats_->detections.push_back({row.region, detect});
+  }
+
+ private:
+  std::shared_ptr<Stats> stats_;
+};
+
+std::unique_ptr<core::LiveRouter> MakeAllToTaskZeroRouter() {
+  core::SpatialRouter::GroupingRoute route;
+  route.location_field = "region";
+  for (int64_t region = 1; region <= 4; ++region) {
+    route.region_to_engine[region] = 0;
+  }
+  route.fallback_engines = {0};
+  return std::make_unique<core::LiveRouter>(core::SpatialRouter({route}));
+}
+
+int64_t Percentile(std::vector<int64_t> values, double pct) {
+  if (values.empty()) return 0;
+  size_t index = static_cast<size_t>(pct * static_cast<double>(values.size()));
+  if (index >= values.size()) index = values.size() - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(index),
+                   values.end());
+  return values[index];
+}
+
+struct RunResult {
+  std::shared_ptr<LatencySink::Stats> stats;
+  uint64_t engine_executed = 0;
+  uint64_t standby_executed = 0;
+  uint64_t task_migrations = 0;
+  uint64_t migration_failures = 0;
+  uint64_t router_version_delta = 0;
+  elastic::ElasticController::Stats controller;
+};
+
+RunResult RunOnce(bool with_controller, int64_t total_messages) {
+  RunResult result;
+  result.stats = std::make_shared<LatencySink::Stats>();
+  auto router = MakeAllToTaskZeroRouter();
+  uint64_t version_before = router->version();
+
+  TopologyBuilder builder;
+  builder.SetSpout("source",
+                   [total_messages] {
+                     return std::make_unique<SkewedSpout>(total_messages);
+                   },
+                   Fields({"region", "seq", "stamp"}));
+  core::LiveRouter* r = router.get();
+  builder
+      .SetBolt("split",
+               [r] {
+                 return std::make_unique<traffic::SplitterBolt>(
+                     r->AsFunction());
+               },
+               Fields({"region", "seq", "stamp"}))
+      .GlobalGrouping("source");
+  builder
+      .SetBolt("engine",
+               [] { return std::make_unique<RegionCountEngine>(); },
+               Fields({"region", "seq", "task", "stamp", "detect"}), 2)
+      .DirectGrouping("split");
+  auto sink_stats = result.stats;
+  builder
+      .SetBolt("sink",
+               [sink_stats] { return std::make_unique<LatencySink>(sink_stats); },
+               Fields({}))
+      .GlobalGrouping("engine");
+  auto topology = builder.Build();
+  INSIGHT_CHECK(topology.ok()) << topology.status().ToString();
+
+  LocalRuntime::Options options;
+  options.enable_migration = with_controller;  // seed config when false
+  LocalRuntime runtime(std::move(*topology), options);
+  INSIGHT_CHECK(runtime.Start().ok());
+
+  if (with_controller) {
+    elastic::ElasticController::Options controller_options;
+    controller_options.component = "engine";
+    controller_options.policy.p99_target_micros = 1'000;
+    controller_options.policy.capacity_high = 0;
+    controller_options.policy.occupancy_high = 0;
+    controller_options.policy.min_hot_windows = 2;
+    // One migration per run: the standby will carry the full stream
+    // afterwards and must not be "rescued" back.
+    controller_options.policy.cooldown_micros = 600'000'000;
+    controller_options.engine_rules = {{{/*window_length=*/3.0,
+                                         /*num_thresholds=*/1.0}},
+                                       {{3.0, 1.0}}};
+    elastic::ElasticController controller(&runtime, r, controller_options);
+
+    // Manual ticks: a baseline window, then decision windows until the
+    // migration fires (bounded by the stream length).
+    INSIGHT_CHECK(controller.Tick().ok());
+    for (int i = 0; i < 400 && controller.stats().migrations == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      INSIGHT_CHECK(controller.Tick().ok());
+    }
+    runtime.AwaitCompletion();
+    result.controller = controller.stats();
+  } else {
+    runtime.AwaitCompletion();
+  }
+
+  result.engine_executed = runtime.metrics()->Totals("engine").executed;
+  result.standby_executed =
+      runtime.metrics()->TotalsForTask("engine", 1).executed;
+  result.task_migrations = runtime.metrics()->Totals("engine").task_migrations;
+  result.migration_failures =
+      runtime.metrics()->Totals("engine").migration_failures;
+  result.router_version_delta = router->version() - version_before;
+  runtime.Stop();
+  return result;
+}
+
+/// Hot-region latencies executed on `task`.
+std::vector<int64_t> HotLatenciesOnTask(LatencySink::Stats* stats,
+                                        int64_t task) {
+  std::vector<int64_t> latencies;
+  MutexLock lock(stats->mutex);
+  for (const LatencySink::Row& row : stats->rows) {
+    if (row.region == kHotRegion && row.task == task) {
+      latencies.push_back(row.latency_micros);
+    }
+  }
+  return latencies;
+}
+
+std::vector<std::pair<int64_t, int64_t>> SortedDetections(
+    LatencySink::Stats* stats) {
+  MutexLock lock(stats->mutex);
+  auto detections = stats->detections;
+  std::sort(detections.begin(), detections.end());
+  return detections;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  const char* out_path = "BENCH_elastic.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const int64_t total_messages = quick ? 700 : 2400;
+
+  std::fprintf(stderr, "[elastic] run 1/2: controller on, %lld messages\n",
+               static_cast<long long>(total_messages));
+  RunResult elastic_run = RunOnce(/*with_controller=*/true, total_messages);
+  std::fprintf(stderr, "[elastic] run 2/2: baseline (seed config)\n");
+  RunResult baseline = RunOnce(/*with_controller=*/false, total_messages);
+
+  int64_t to_task = elastic_run.controller.last_to_task;
+  std::vector<int64_t> pre = HotLatenciesOnTask(elastic_run.stats.get(), 0);
+  std::vector<int64_t> post =
+      to_task >= 0 ? HotLatenciesOnTask(elastic_run.stats.get(), to_task)
+                   : std::vector<int64_t>{};
+  std::vector<int64_t> base = HotLatenciesOnTask(baseline.stats.get(), 0);
+  int64_t pre_p99 = Percentile(pre, 0.99);
+  int64_t post_p99 = Percentile(post, 0.99);
+  int64_t base_p99 = Percentile(base, 0.99);
+
+  auto elastic_detections = SortedDetections(elastic_run.stats.get());
+  auto baseline_detections = SortedDetections(baseline.stats.get());
+
+  const size_t min_post_samples = quick ? 20 : 100;
+  bool ok = true;
+
+  bool migrated = elastic_run.controller.migrations >= 1 &&
+                  elastic_run.controller.migration_failures == 0 &&
+                  elastic_run.task_migrations >= 1 &&
+                  elastic_run.engine_executed ==
+                      static_cast<uint64_t>(total_messages);
+  std::printf("gate 1 migrated:             %s (migrations=%llu failures=%llu "
+              "executed=%llu/%lld from=%d to=%d)\n",
+              migrated ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(
+                  elastic_run.controller.migrations),
+              static_cast<unsigned long long>(
+                  elastic_run.controller.migration_failures),
+              static_cast<unsigned long long>(elastic_run.engine_executed),
+              static_cast<long long>(total_messages),
+              elastic_run.controller.last_from_task,
+              elastic_run.controller.last_to_task);
+  ok = ok && migrated;
+
+  bool p99_improves = post.size() >= min_post_samples && post_p99 > 0 &&
+                      post_p99 * 10 <= pre_p99 * 8 &&
+                      post_p99 * 10 <= base_p99 * 8;
+  std::printf("gate 2 p99 improves:         %s (pre=%lld us [%zu], post=%lld "
+              "us [%zu], baseline=%lld us [%zu])\n",
+              p99_improves ? "PASS" : "FAIL",
+              static_cast<long long>(pre_p99), pre.size(),
+              static_cast<long long>(post_p99), post.size(),
+              static_cast<long long>(base_p99), base.size());
+  ok = ok && p99_improves;
+
+  bool detections_identical = elastic_detections == baseline_detections &&
+                              !elastic_detections.empty();
+  std::printf("gate 3 detections identical: %s (%zu vs %zu)\n",
+              detections_identical ? "PASS" : "FAIL",
+              elastic_detections.size(), baseline_detections.size());
+  ok = ok && detections_identical;
+
+  bool disabled_identity = baseline.task_migrations == 0 &&
+                           baseline.migration_failures == 0 &&
+                           baseline.router_version_delta == 0 &&
+                           baseline.standby_executed == 0 &&
+                           baseline.engine_executed ==
+                               static_cast<uint64_t>(total_messages);
+  std::printf("gate 4 disabled == seed:     %s (migrations=%llu router_delta="
+              "%llu standby_executed=%llu)\n",
+              disabled_identity ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(baseline.task_migrations),
+              static_cast<unsigned long long>(baseline.router_version_delta),
+              static_cast<unsigned long long>(baseline.standby_executed));
+  ok = ok && disabled_identity;
+
+  std::FILE* out = std::fopen(out_path, "w");
+  INSIGHT_CHECK(out != nullptr) << "cannot open " << out_path;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"elastic\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"messages\": %lld,\n",
+               static_cast<long long>(total_messages));
+  std::fprintf(out, "  \"rate_per_sec\": %.0f,\n", kRatePerSec);
+  std::fprintf(out, "  \"service_micros\": {\"source_host\": %lld, "
+               "\"standby_host\": %lld},\n",
+               static_cast<long long>(kSlowServiceMicros),
+               static_cast<long long>(kFastServiceMicros));
+  std::fprintf(out, "  \"elastic\": {\n");
+  std::fprintf(out, "    \"migrations\": %llu,\n",
+               static_cast<unsigned long long>(
+                   elastic_run.controller.migrations));
+  std::fprintf(out, "    \"migration_failures\": %llu,\n",
+               static_cast<unsigned long long>(
+                   elastic_run.controller.migration_failures));
+  std::fprintf(out, "    \"ticks\": %llu,\n",
+               static_cast<unsigned long long>(elastic_run.controller.ticks));
+  std::fprintf(out, "    \"from_task\": %d,\n",
+               elastic_run.controller.last_from_task);
+  std::fprintf(out, "    \"to_task\": %d,\n",
+               elastic_run.controller.last_to_task);
+  std::fprintf(out, "    \"hot_p99_pre_migration_micros\": %lld,\n",
+               static_cast<long long>(pre_p99));
+  std::fprintf(out, "    \"hot_p99_post_migration_micros\": %lld,\n",
+               static_cast<long long>(post_p99));
+  std::fprintf(out, "    \"pre_samples\": %zu,\n", pre.size());
+  std::fprintf(out, "    \"post_samples\": %zu,\n", post.size());
+  std::fprintf(out, "    \"detections\": %zu\n", elastic_detections.size());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"baseline\": {\n");
+  std::fprintf(out, "    \"hot_p99_micros\": %lld,\n",
+               static_cast<long long>(base_p99));
+  std::fprintf(out, "    \"task_migrations\": %llu,\n",
+               static_cast<unsigned long long>(baseline.task_migrations));
+  std::fprintf(out, "    \"detections\": %zu\n", baseline_detections.size());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"gates\": {\n");
+  std::fprintf(out, "    \"migrated\": %s,\n", migrated ? "true" : "false");
+  std::fprintf(out, "    \"p99_improves\": %s,\n",
+               p99_improves ? "true" : "false");
+  std::fprintf(out, "    \"detections_identical\": %s,\n",
+               detections_identical ? "true" : "false");
+  std::fprintf(out, "    \"disabled_identity\": %s,\n",
+               disabled_identity ? "true" : "false");
+  std::fprintf(out, "    \"all\": %s\n", ok ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("%s -> %s\n", ok ? "ALL GATES PASS" : "GATE FAILURE", out_path);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace insight
+
+int main(int argc, char** argv) { return insight::bench::Main(argc, argv); }

@@ -47,23 +47,29 @@ Result<AllocationResult> RulesAllocator::Allocate(
   for (size_t i = 0; i < groupings.size(); ++i) {
     result.scores[i] = GroupingScore(groupings[i], 1);
   }
-  // N' = N - |groupings| extra engines, granted greedily to the grouping
-  // with the highest score after the grant (Algorithm 2 keeps the new score
-  // estimation for the chosen grouping).
+  // N' = N - |groupings| extra engines. Each grant goes to the grouping that
+  // is the *current* bottleneck — the one with the highest score at its
+  // present engine count — and its score is updated to the post-grant
+  // estimate. Scores are monotonically decreasing in k, so relieving the
+  // bottleneck is exactly the greedy makespan-minimizing move; scoring by the
+  // post-increment estimate instead (the old behaviour) could starve a steep
+  // bottleneck whose score halves per grant in favour of a flatter, already
+  // satisfied grouping.
   int extra = num_engines - static_cast<int>(groupings.size());
   for (int j = 0; j < extra; ++j) {
     double max_score = -1.0;
     size_t chosen = 0;
     for (size_t i = 0; i < groupings.size(); ++i) {
-      double estimated =
-          GroupingScore(groupings[i], result.engines_per_grouping[i] + 1);
-      if (estimated > max_score) {
-        max_score = estimated;
+      double current =
+          GroupingScore(groupings[i], result.engines_per_grouping[i]);
+      if (current > max_score) {
+        max_score = current;
         chosen = i;
       }
     }
-    result.scores[chosen] = max_score;
     ++result.engines_per_grouping[chosen];
+    result.scores[chosen] =
+        GroupingScore(groupings[chosen], result.engines_per_grouping[chosen]);
   }
   result.total_score = 0.0;
   for (double s : result.scores) result.total_score += s;

@@ -34,7 +34,7 @@ struct AllocationResult {
 
 /// Algorithm 2 (Rules Allocation): greedily grants engines to groupings.
 /// Every grouping starts with one engine; each remaining engine goes to the
-/// grouping whose score improves the most.
+/// grouping that is currently the bottleneck.
 ///
 /// Scoring follows Equations 1-2 literally: an engine that receives a
 /// grouping's partition is busy time(i,j) = inputRate_i x latency_j per
@@ -44,10 +44,11 @@ struct AllocationResult {
 /// the per-engine busy time is (rate/k) x latency and
 ///     score_i = sum_rules w_r x time_i(k)
 /// — the grouping's weighted residual load. Each extra engine goes to the
-/// grouping whose estimated score at k+1 engines is highest, i.e. the
-/// current bottleneck; this minimizes the cluster's makespan and therefore
-/// maximizes the achievable throughput, which is what the paper's greedy is
-/// after.
+/// grouping whose score at its *current* engine count is highest, i.e. the
+/// current bottleneck, and the chosen grouping's score is then re-estimated
+/// at k+1. Since scores shrink monotonically with k, this greedy minimizes
+/// the resulting bottleneck (the cluster's makespan) and therefore maximizes
+/// the achievable throughput, which is what the paper's greedy is after.
 class RulesAllocator {
  public:
   explicit RulesAllocator(const model::LatencyModel* model) : model_(model) {}

@@ -52,6 +52,75 @@ std::vector<double> EngineRates(const std::map<int64_t, int>& assignment,
   return out;
 }
 
+Result<std::vector<RegionMove>> PlanRebalance(
+    std::map<int64_t, int>* assignment, const std::vector<RegionRate>& rates,
+    int num_engines, double target_imbalance, size_t max_moves) {
+  if (assignment == nullptr) {
+    return Status::InvalidArgument("assignment required");
+  }
+  if (num_engines <= 0) {
+    return Status::InvalidArgument("num_engines must be positive");
+  }
+  if (target_imbalance < 1.0) {
+    return Status::InvalidArgument("target_imbalance must be >= 1.0");
+  }
+  std::map<int64_t, double> rate_of;
+  for (const RegionRate& r : rates) {
+    if (r.rate < 0) {
+      return Status::InvalidArgument("negative rate for region " +
+                                     std::to_string(r.region));
+    }
+    rate_of[r.region] = r.rate;
+  }
+  std::vector<double> load(static_cast<size_t>(num_engines), 0.0);
+  double total = 0.0;
+  for (const auto& [region, engine] : *assignment) {
+    if (engine < 0 || engine >= num_engines) {
+      return Status::InvalidArgument("assignment references engine " +
+                                     std::to_string(engine) + " outside [0, " +
+                                     std::to_string(num_engines) + ")");
+    }
+    auto it = rate_of.find(region);
+    double rate = it == rate_of.end() ? 0.0 : it->second;
+    load[static_cast<size_t>(engine)] += rate;
+    total += rate;
+  }
+  std::vector<RegionMove> moves;
+  if (total <= 0.0) return moves;
+  double avg = total / static_cast<double>(num_engines);
+  while (moves.size() < max_moves) {
+    size_t hot = 0;
+    size_t cold = 0;
+    for (size_t e = 1; e < load.size(); ++e) {
+      if (load[e] > load[hot]) hot = e;
+      if (load[e] < load[cold]) cold = e;
+    }
+    if (load[hot] <= target_imbalance * avg) break;
+    // Pick the largest region on the hot engine whose move to the coldest
+    // engine still lowers the maximum (i.e. does not just swap the roles).
+    int64_t best_region = 0;
+    double best_rate = -1.0;
+    for (const auto& [region, engine] : *assignment) {
+      if (static_cast<size_t>(engine) != hot) continue;
+      auto it = rate_of.find(region);
+      double rate = it == rate_of.end() ? 0.0 : it->second;
+      if (rate <= 0.0) continue;
+      if (load[cold] + rate >= load[hot]) continue;
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_region = region;
+      }
+    }
+    if (best_rate <= 0.0) break;  // no improving move exists
+    (*assignment)[best_region] = static_cast<int>(cold);
+    load[hot] -= best_rate;
+    load[cold] += best_rate;
+    moves.push_back({best_region, static_cast<int>(hot),
+                     static_cast<int>(cold), best_rate});
+  }
+  return moves;
+}
+
 void RegionRateTracker::Seed(const std::vector<RegionRate>& rates) {
   MutexLock lock(mutex_);
   for (const RegionRate& r : rates) seeded_[r.region] = r.rate;
@@ -117,6 +186,82 @@ SpatialRouter::AsFunction() const {
   return [this](const dsps::Tuple& tuple, std::vector<int>* tasks) {
     Route(tuple, tasks);
   };
+}
+
+LiveRouter::LiveRouter(SpatialRouter initial)
+    : router_(std::make_shared<const SpatialRouter>(std::move(initial))) {}
+
+std::shared_ptr<const SpatialRouter> LiveRouter::Snapshot() const {
+  MutexLock lock(mutex_);
+  return router_;
+}
+
+void LiveRouter::Swap(SpatialRouter next) {
+  auto table = std::make_shared<const SpatialRouter>(std::move(next));
+  MutexLock lock(mutex_);
+  router_ = std::move(table);
+  ++version_;
+}
+
+void LiveRouter::Restore(std::shared_ptr<const SpatialRouter> snapshot) {
+  MutexLock lock(mutex_);
+  router_ = std::move(snapshot);
+  ++version_;
+}
+
+size_t LiveRouter::MoveEngine(int from, int to) {
+  std::vector<SpatialRouter::GroupingRoute> routes = Snapshot()->routes();
+  size_t moved = 0;
+  for (SpatialRouter::GroupingRoute& route : routes) {
+    for (auto& [region, engine] : route.region_to_engine) {
+      if (engine == from) {
+        engine = to;
+        ++moved;
+      }
+    }
+    for (int& engine : route.fallback_engines) {
+      if (engine == from) {
+        engine = to;
+        ++moved;
+      }
+    }
+  }
+  Swap(SpatialRouter(std::move(routes)));
+  return moved;
+}
+
+size_t LiveRouter::ApplyMoves(size_t grouping_index,
+                              const std::vector<RegionMove>& moves) {
+  std::vector<SpatialRouter::GroupingRoute> routes = Snapshot()->routes();
+  if (grouping_index >= routes.size()) return 0;
+  size_t applied = 0;
+  std::map<int64_t, int>& table = routes[grouping_index].region_to_engine;
+  for (const RegionMove& move : moves) {
+    auto it = table.find(move.region);
+    if (it == table.end()) continue;
+    it->second = move.to_engine;
+    ++applied;
+  }
+  Swap(SpatialRouter(std::move(routes)));
+  return applied;
+}
+
+void LiveRouter::Route(const dsps::Tuple& tuple,
+                       std::vector<int>* tasks) const {
+  std::shared_ptr<const SpatialRouter> table = Snapshot();
+  table->Route(tuple, tasks);
+}
+
+std::function<void(const dsps::Tuple&, std::vector<int>*)>
+LiveRouter::AsFunction() const {
+  return [this](const dsps::Tuple& tuple, std::vector<int>* tasks) {
+    Route(tuple, tasks);
+  };
+}
+
+uint64_t LiveRouter::version() const {
+  MutexLock lock(mutex_);
+  return version_;
 }
 
 }  // namespace core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,28 @@ Result<std::map<int64_t, int>> PartitionRegions(std::vector<RegionRate> rates,
 /// Aggregate rate per engine under an assignment (for balance checks).
 std::vector<double> EngineRates(const std::map<int64_t, int>& assignment,
                                 const std::vector<RegionRate>& rates);
+
+/// One step of an incremental re-partitioning plan: move `region` from
+/// `from_engine` to `to_engine`.
+struct RegionMove {
+  int64_t region = 0;
+  int from_engine = 0;
+  int to_engine = 0;
+  double rate = 0.0;
+};
+
+/// Incremental re-partitioning (the online counterpart of Algorithm 1): given
+/// an existing region -> engine assignment and fresh rate estimates, plans a
+/// minimal sequence of region moves that takes the bottleneck engine's load
+/// down until max/avg load <= `target_imbalance` (>= 1.0) or `max_moves`
+/// moves have been planned. Greedy LPT refinement: each step moves the
+/// largest region off the most-loaded engine that still lowers the maximum
+/// load. Unlike a from-scratch PartitionRegions() this preserves the bulk of
+/// the assignment, so only the moved regions' engine state is disturbed.
+/// `assignment` is updated in place to reflect the planned moves.
+Result<std::vector<RegionMove>> PlanRebalance(
+    std::map<int64_t, int>* assignment, const std::vector<RegionRate>& rates,
+    int num_engines, double target_imbalance, size_t max_moves);
 
 /// Tracks observed per-region input rates so the partitioner can start from
 /// historical knowledge and be refreshed as the application runs
@@ -85,6 +108,53 @@ class SpatialRouter {
 
  private:
   std::vector<GroupingRoute> routes_;
+};
+
+/// Swappable routing table for elastic scheduling: wraps an immutable
+/// SpatialRouter behind a shared_ptr so splitter tasks read one coherent
+/// table per tuple while the elastic controller atomically publishes
+/// rebalanced tables. Readers pay one short rank-73 lock per tuple; the
+/// static (non-elastic) path keeps using SpatialRouter directly and is
+/// untouched. The router must outlive any runtime wired to AsFunction().
+class LiveRouter {
+ public:
+  explicit LiveRouter(SpatialRouter initial);
+
+  /// The current immutable table (safe to route from without the lock).
+  std::shared_ptr<const SpatialRouter> Snapshot() const;
+
+  /// Publishes a new table.
+  void Swap(SpatialRouter next);
+
+  /// Re-installs a table previously captured with Snapshot() — the rollback
+  /// path when a migration aborts after its routing flip.
+  void Restore(std::shared_ptr<const SpatialRouter> snapshot);
+
+  /// Rewrites every region (and fallback slot) owned by engine task `from`
+  /// to `to` across all groupings and publishes the result. Returns the
+  /// number of entries rewritten. This is the routing flip of a whole-task
+  /// migration.
+  size_t MoveEngine(int from, int to);
+
+  /// Applies an incremental plan from PlanRebalance() to grouping
+  /// `grouping_index` and publishes the result. Returns the number of
+  /// regions rewritten.
+  size_t ApplyMoves(size_t grouping_index, const std::vector<RegionMove>& moves);
+
+  /// Routes against the current table.
+  void Route(const dsps::Tuple& tuple, std::vector<int>* tasks) const;
+
+  /// Adapter for traffic::SplitterBolt; captures `this`.
+  std::function<void(const dsps::Tuple&, std::vector<int>*)> AsFunction() const;
+
+  /// Incremented on every publish; lets tests and the controller detect that
+  /// a flip or rollback actually took effect.
+  uint64_t version() const;
+
+ private:
+  mutable Mutex mutex_{TMS_LOCK_RANK(73)};
+  std::shared_ptr<const SpatialRouter> router_ GUARDED_BY(mutex_);
+  uint64_t version_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace core

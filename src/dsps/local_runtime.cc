@@ -32,12 +32,27 @@ uint64_t Splitmix(uint64_t z) {
   return z ^ (z >> 31);
 }
 
-/// Acker key of (message, attempt). Mixing the attempt in means tuples of a
-/// timed-out attempt still draining through the topology ack a key that no
-/// longer exists, instead of corrupting the replay's fresh tree.
-uint64_t RootKey(uint64_t message_id, int attempt) {
-  uint64_t z = Splitmix(message_id + 0x9e3779b97f4a7c15ULL *
-                                         static_cast<uint64_t>(attempt + 1));
+/// Identity salt of one spout task: message ids are only unique per spout
+/// task (each spout numbers its own stream), so every message-id-derived key
+/// must fold the emitting task in or two spouts reusing one id space would
+/// collide in the acker and the replay buffer.
+uint64_t SpoutScope(int spout_component, int spout_task) {
+  uint64_t packed =
+      (static_cast<uint64_t>(static_cast<uint32_t>(spout_component)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(spout_task));
+  return Splitmix(packed + 0x8f1bbcdcbfa53e0bULL);
+}
+
+/// Acker key of (spout task, message, attempt). Mixing the attempt in means
+/// tuples of a timed-out attempt still draining through the topology ack a
+/// key that no longer exists, instead of corrupting the replay's fresh
+/// tree; mixing the spout scope in keeps same-numbered messages of
+/// different spouts on distinct trees.
+uint64_t RootKey(int spout_component, int spout_task, uint64_t message_id,
+                 int attempt) {
+  uint64_t z = Splitmix((message_id ^ SpoutScope(spout_component, spout_task)) +
+                        0x9e3779b97f4a7c15ULL *
+                            static_cast<uint64_t>(attempt + 1));
   return z == 0 ? 1 : z;
 }
 
@@ -278,6 +293,20 @@ LocalRuntime::LocalRuntime(Topology topology, Options options)
     }
   }
 
+  // Elastic scheduling: per-task inflow counters, migration phase gates and
+  // straggler redirects. Allocated only when migration is enabled — the
+  // drain and stage hot paths otherwise test a single bool.
+  if (options_.enable_migration) {
+    elastic_enabled_ = true;
+    task_inbound_ =
+        std::vector<std::atomic<int64_t>>(static_cast<size_t>(total_tasks_));
+    migration_phase_ =
+        std::vector<std::atomic<uint8_t>>(static_cast<size_t>(total_tasks_));
+    forward_of_ =
+        std::vector<std::atomic<int32_t>>(static_cast<size_t>(total_tasks_));
+    for (auto& fwd : forward_of_) fwd.store(-1, std::memory_order_relaxed);
+  }
+
   // Overload protection: per-queue admission gates plus cached metrics
   // handles for shed attribution. All of it exists only when at least one
   // feature is on — otherwise the emit path never touches any of this.
@@ -450,12 +479,20 @@ void LocalRuntime::Stop() {
   // in-flight count so it provably returns to zero — no leaked in-flight
   // work no matter how Stop interleaved with crashes and relaunches.
   int64_t abandoned = 0;
-  for (auto& component_tasks : tasks_) {
-    for (auto& task : component_tasks) {
+  for (size_t c = 0; c < tasks_.size(); ++c) {
+    for (auto& task : tasks_[c]) {
       if (task.input == nullptr) continue;
-      MutexLock lock(task.input->mutex);
-      abandoned += static_cast<int64_t>(task.input->queue.size());
-      task.input->queue.clear();
+      int64_t dropped = 0;
+      {
+        MutexLock lock(task.input->mutex);
+        dropped = static_cast<int64_t>(task.input->queue.size());
+        task.input->queue.clear();
+      }
+      if (dropped > 0) {
+        TrackInbound(static_cast<size_t>(task_base_[c] + task.task_index),
+                     -dropped);
+        abandoned += dropped;
+      }
     }
   }
   if (abandoned > 0) in_flight_.fetch_sub(abandoned);
@@ -499,6 +536,7 @@ void LocalRuntime::Stage(int target_component, int task_index, Tuple tuple,
   // predicate can never observe a quiet topology while tuples sit in an
   // outbox.
   in_flight_.fetch_add(1);
+  TrackInbound(gid, 1);
   ++outbox->staged;
   size_t threshold = outbox->adaptive != nullptr ? outbox->adaptive->threshold()
                                                  : options_.emit_batch;
@@ -549,6 +587,7 @@ void LocalRuntime::FlushOutbox(Outbox* outbox) {
       int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
       TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
           << "in-flight count went negative dropping a block";
+      TrackInbound(gid, -static_cast<int64_t>(n));
       handed_off += n;
       block.clear();
       dropped = true;
@@ -587,6 +626,7 @@ void LocalRuntime::FlushOutbox(Outbox* outbox) {
         int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
         TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
             << "in-flight count went negative dropping a block";
+        TrackInbound(gid, -static_cast<int64_t>(n));
         handed_off += n;
         block.clear();
         dropped = true;
@@ -639,6 +679,7 @@ void LocalRuntime::FlushOutbox(Outbox* outbox) {
       int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
       TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
           << "in-flight count went negative dropping a block";
+      TrackInbound(gid, -static_cast<int64_t>(n));
       block.clear();
       dropped = true;
       continue;
@@ -722,6 +763,7 @@ size_t LocalRuntime::ShedStaleTuples(std::vector<Tuple>* block,
     int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(shed));
     TMS_DCHECK_GE(prev, static_cast<int64_t>(shed))
         << "in-flight count went negative shedding a stale block";
+    TrackInbound(gid, -static_cast<int64_t>(shed));
   }
   return shed;
 }
@@ -924,11 +966,12 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
                                Outbox* outbox,
                                overload::SourceSquelch* squelch) {
   if (attempt == 0) {
-    replay_->Store(message_id, values);  // keep a copy for replays
+    // Keep a copy for replays, scoped to this spout task.
+    replay_->Store(message_id, component_index, task_index, values);
     pending_roots_.fetch_add(1);
   }
   reliability::TreeInfo info;
-  info.root_key = RootKey(message_id, attempt);
+  info.root_key = RootKey(component_index, task_index, message_id, attempt);
   info.message_id = message_id;
   info.spout_component = component_index;
   info.spout_task = task_index;
@@ -951,14 +994,17 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
   tuple.set_trace_id(info.trace_id);
   tuple.set_priority(priority);
   uint64_t batch = 0;
-  // Replay-stable dedup root: derived from the message id alone (not the
-  // attempt), so a replayed attempt re-derives the exact same per-emission
-  // dedup ids and checkpointed tasks can recognize already-applied tuples.
+  // Replay-stable dedup root: derived from the spout task and message id
+  // (not the attempt), so a replayed attempt re-derives the exact same
+  // per-emission dedup ids and checkpointed tasks can recognize
+  // already-applied tuples, while same-numbered messages of different
+  // spouts get disjoint id chains.
   uint64_t root_dedup = 0;
   uint64_t dedup_seq = 0;
   uint64_t* seq_ptr = nullptr;
   if (dedup_enabled_) {
-    uint64_t d = Splitmix(message_id ^ 0x8f1bbcdcbfa53e0bULL);
+    uint64_t d = Splitmix(message_id ^
+                          SpoutScope(component_index, task_index));
     root_dedup = d == 0 ? 1 : d;
     seq_ptr = &dedup_seq;
   }
@@ -970,7 +1016,7 @@ void LocalRuntime::EmitTracked(int component_index, int task_index,
 }
 
 void LocalRuntime::OnTreeCompleted(const reliability::TreeInfo& info) {
-  replay_->Ack(info.message_id);
+  replay_->Ack(info.message_id, info.spout_component, info.spout_task);
   const ComponentDef& def =
       topology_.components()[static_cast<size_t>(info.spout_component)];
   metrics_.RecordAck(def.name, info.spout_task);
@@ -1158,6 +1204,12 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
               .get();
     }
   }
+  std::vector<size_t> task_gids(my_tasks.size(), 0);
+  for (size_t i = 0; i < my_tasks.size(); ++i) {
+    task_gids[i] =
+        static_cast<size_t>(task_base_[static_cast<size_t>(component_index)] +
+                            my_tasks[i]->task_index);
+  }
   // Bolt executor: drain the owned tasks' queues round-robin, moving up to
   // max_batch tuples out of a queue per lock acquisition (pseudo-parallel
   // execution of co-scheduled tasks, one not_full wake per drained block).
@@ -1167,6 +1219,24 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
     bool any = false;
     for (size_t i = 0; i < my_tasks.size(); ++i) {
       TaskRuntime* task = my_tasks[i];
+      if (elastic_enabled_) {
+        // Migration gates: a task in any non-idle phase is frozen (arrivals
+        // keep queueing); a retired source with a redirect sweeps stragglers
+        // to the state-owning target instead of executing them clean.
+        uint8_t phase =
+            migration_phase_[task_gids[i]].load(std::memory_order_acquire);
+        if (phase != kMigrationIdle) {
+          if (HandleMigrationPhase(phase, task_gids[i], task, def)) any = true;
+          continue;
+        }
+        int32_t fwd = forward_of_[task_gids[i]].load(std::memory_order_acquire);
+        if (fwd >= 0) {
+          if (ForwardQueuedTuples(task_gids[i], static_cast<size_t>(fwd))) {
+            any = true;
+          }
+          continue;
+        }
+      }
       batch.clear();
       {
         MutexLock lock(task->input->mutex);
@@ -1235,6 +1305,7 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
         int64_t prev = in_flight_.fetch_sub(static_cast<int64_t>(n));
         TMS_DCHECK_GE(prev, static_cast<int64_t>(n))
             << "in-flight count went negative after batch execute";
+        TrackInbound(task_gids[i], -static_cast<int64_t>(n));
         NotifyPossiblyDone();
         FlushOutbox(collectors[i]->outbox());
         if (coordinator_ != nullptr && task->ckpt_slot >= 0) {
@@ -1276,6 +1347,7 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
           int64_t prev = in_flight_.fetch_sub(1);
           TMS_DCHECK_GE(prev, int64_t{1})
               << "in-flight count went negative on crash";
+          TrackInbound(task_gids[i], -1);
           NotifyPossiblyDone();
           slot->crashed.store(true);
           return;
@@ -1295,6 +1367,7 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
           int64_t prev = in_flight_.fetch_sub(1);
           TMS_DCHECK_GE(prev, int64_t{1})
               << "in-flight count went negative after dedup";
+          TrackInbound(task_gids[i], -1);
           NotifyPossiblyDone();
           continue;
         }
@@ -1335,6 +1408,7 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
         int64_t prev = in_flight_.fetch_sub(1);
         TMS_DCHECK_GE(prev, int64_t{1})
             << "in-flight count went negative after execute";
+        TrackInbound(task_gids[i], -1);
         NotifyPossiblyDone();
       }
       FlushOutbox(collectors[i]->outbox());
@@ -1349,7 +1423,16 @@ void LocalRuntime::ExecutorLoop(ExecutorSlot* slot) {
         // the topology can drain — otherwise AwaitCompletion would livelock
         // waiting on trees whose last edges sit in pending_acks until the
         // next interval tick.
-        for (TaskRuntime* task : my_tasks) {
+        for (size_t i = 0; i < my_tasks.size(); ++i) {
+          TaskRuntime* task = my_tasks[i];
+          if (elastic_enabled_ &&
+              migration_phase_[task_gids[i]].load(
+                  std::memory_order_acquire) != kMigrationIdle) {
+            // Frozen mid-migration: the barrier may be swapping ckpt_slot,
+            // and the final migration snapshot flushes the deferred acks
+            // itself. Same gate as the drain path above.
+            continue;
+          }
           if (task->ckpt_slot >= 0 && !task->pending_acks.empty()) {
             MaybeCheckpoint(task, def, /*force=*/true);
           }
@@ -1446,34 +1529,28 @@ void LocalRuntime::SupervisorLoop() {
   }
 }
 
-void LocalRuntime::MaybeCheckpoint(TaskRuntime* task, const ComponentDef& def,
-                                   bool force) {
-  MicrosT now = options_.clock->NowMicros();
-  if (force ? !coordinator_->CanSubmit(task->ckpt_slot)
-            : !coordinator_->Due(task->ckpt_slot, now)) {
-    return;
-  }
+Status LocalRuntime::SerializeTask(TaskRuntime* task, std::string* out) {
   // Copy-on-snapshot: serialize on the executor thread at a batch boundary
-  // (the task's state is quiescent between executions), then hand the bytes
-  // to the background persister so the executor never blocks on storage.
+  // (the task's state is quiescent between executions); callers hand the
+  // bytes to the background persister or the migration control block.
   std::string bolt_state;
   if (task->snapshottable != nullptr) {
     Status s = task->snapshottable->SnapshotState(&bolt_state);
-    if (!s.ok()) {
-      // Keep the deferred acks: the covered executions are not durable, so
-      // their trees must stay open until a later snapshot succeeds.
-      INSIGHT_LOG(Warning) << "snapshot of " << def.name << "/"
-                           << task->task_index << " failed: " << s.message();
-      return;
-    }
+    if (!s.ok()) return s;
   }
-  std::string bytes;
-  ByteWriter writer(&bytes);
+  out->clear();
+  ByteWriter writer(out);
   writer.PutU32(kTaskSnapshotMagic);
   writer.PutU32(kTaskSnapshotVersion);
   writer.PutU8(task->ledger != nullptr ? 1 : 0);
   if (task->ledger != nullptr) task->ledger->Serialize(&writer);
   writer.PutString(bolt_state);
+  return Status::OK();
+}
+
+void LocalRuntime::SubmitTaskSnapshot(TaskRuntime* task,
+                                      const ComponentDef& def,
+                                      std::string bytes) {
   // Move the accumulated deferred acks into the completion closure: exactly
   // one owner at any time. On durable persist they flush to the acker; on a
   // failed persist they are dropped, the covered trees time out, and replay
@@ -1503,9 +1580,74 @@ void LocalRuntime::MaybeCheckpoint(TaskRuntime* task, const ComponentDef& def,
       });
 }
 
-void LocalRuntime::RestoreTask(TaskRuntime* task, const ComponentDef& def) {
+void LocalRuntime::MaybeCheckpoint(TaskRuntime* task, const ComponentDef& def,
+                                   bool force) {
+  MicrosT now = options_.clock->NowMicros();
+  if (force ? !coordinator_->CanSubmit(task->ckpt_slot)
+            : !coordinator_->Due(task->ckpt_slot, now)) {
+    return;
+  }
+  std::string bytes;
+  Status s = SerializeTask(task, &bytes);
+  if (!s.ok()) {
+    // Keep the deferred acks: the covered executions are not durable, so
+    // their trees must stay open until a later snapshot succeeds.
+    INSIGHT_LOG(Warning) << "snapshot of " << def.name << "/"
+                         << task->task_index << " failed: " << s.message();
+    return;
+  }
+  SubmitTaskSnapshot(task, def, std::move(bytes));
+}
+
+Status LocalRuntime::ApplyTaskSnapshot(TaskRuntime* task,
+                                       const std::string& bytes) {
   // Nothing from the previous incarnation survives into the restore: the
   // suppression set and deferred acks roll back exactly as far as the state.
+  // On any error the ledger is left cleared and the bolt is in its clean
+  // freshly-prepared state (RestoreState's contract), so the caller can
+  // safely fall back to clean or keep the source authoritative.
+  task->pending_acks.clear();
+  if (task->ledger != nullptr) task->ledger->Clear();
+  auto corrupt = [&](const char* why) {
+    if (task->ledger != nullptr) task->ledger->Clear();
+    return Status::ParseError(why);
+  };
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint8_t has_ledger = 0;
+  if (!reader.GetU32(&magic) || magic != kTaskSnapshotMagic) {
+    return corrupt("bad snapshot magic");
+  }
+  if (!reader.GetU32(&version) || version != kTaskSnapshotVersion) {
+    return corrupt("unsupported snapshot version");
+  }
+  if (!reader.GetU8(&has_ledger)) {
+    return corrupt("truncated snapshot header");
+  }
+  if (has_ledger != 0) {
+    if (task->ledger == nullptr) {
+      return corrupt("snapshot carries a dedup ledger but dedup is disabled");
+    }
+    if (!task->ledger->Deserialize(&reader)) {
+      return corrupt("corrupt dedup ledger");
+    }
+  }
+  std::string bolt_state;
+  if (!reader.GetString(&bolt_state)) {
+    return corrupt("truncated bolt state");
+  }
+  if (task->snapshottable != nullptr) {
+    Status s = task->snapshottable->RestoreState(bolt_state);
+    if (!s.ok()) {
+      if (task->ledger != nullptr) task->ledger->Clear();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+void LocalRuntime::RestoreTask(TaskRuntime* task, const ComponentDef& def) {
   task->pending_acks.clear();
   if (task->ledger != nullptr) task->ledger->Clear();
   auto fail = [&](const std::string& why) {
@@ -1524,51 +1666,18 @@ void LocalRuntime::RestoreTask(TaskRuntime* task, const ComponentDef& def) {
     }
     return;
   }
-  ByteReader reader(loaded->bytes);
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  uint8_t has_ledger = 0;
-  if (!reader.GetU32(&magic) || magic != kTaskSnapshotMagic) {
-    fail("bad snapshot magic");
+  Status applied = ApplyTaskSnapshot(task, loaded->bytes);
+  if (!applied.ok()) {
+    fail(applied.message());
     return;
-  }
-  if (!reader.GetU32(&version) || version != kTaskSnapshotVersion) {
-    fail("unsupported snapshot version");
-    return;
-  }
-  if (!reader.GetU8(&has_ledger)) {
-    fail("truncated snapshot header");
-    return;
-  }
-  if (has_ledger != 0) {
-    if (task->ledger == nullptr) {
-      fail("snapshot carries a dedup ledger but dedup is disabled");
-      return;
-    }
-    if (!task->ledger->Deserialize(&reader)) {
-      fail("corrupt dedup ledger");
-      return;
-    }
-  }
-  std::string bolt_state;
-  if (!reader.GetString(&bolt_state)) {
-    fail("truncated bolt state");
-    return;
-  }
-  if (task->snapshottable != nullptr) {
-    Status s = task->snapshottable->RestoreState(bolt_state);
-    if (!s.ok()) {
-      // RestoreState's contract: on error the bolt is back in its clean
-      // freshly-prepared state, so falling through is safe.
-      fail(s.message());
-      return;
-    }
   }
   metrics_.RecordRestore(def.name, task->task_index);
 }
 
 void LocalRuntime::FailDiscardedTree(const reliability::TreeInfo& info) {
-  if (replay_ != nullptr) replay_->Discard(info.message_id);
+  if (replay_ != nullptr) {
+    replay_->Discard(info.message_id, info.spout_component, info.spout_task);
+  }
   const ComponentDef& def =
       topology_.components()[static_cast<size_t>(info.spout_component)];
   metrics_.RecordFail(def.name, info.spout_task);
@@ -1653,7 +1762,8 @@ void LocalRuntime::TripBreaker(ExecutorSlot* slot) {
     if (acker_ == nullptr) continue;
     for (const reliability::TreeInfo& info :
          acker_->DiscardSpout(slot->component_index, task.task_index)) {
-      replay_->Discard(info.message_id);
+      replay_->Discard(info.message_id, info.spout_component,
+                       info.spout_task);
       metrics_.RecordFail(def.name, task.task_index);
       if (tracer_ != nullptr && info.trace_id != 0) {
         tracer_->AbandonTrace(info.trace_id);
@@ -1703,6 +1813,11 @@ void LocalRuntime::DrainDeadTaskQueues() {
           in_flight_.fetch_sub(static_cast<int64_t>(drained.size()));
       TMS_DCHECK_GE(prev, static_cast<int64_t>(drained.size()))
           << "in-flight count went negative draining a dead task";
+      TrackInbound(
+          static_cast<size_t>(
+              task_base_[static_cast<size_t>(slot->component_index)] +
+              task.task_index),
+          -static_cast<int64_t>(drained.size()));
       if (acker_ != nullptr) {
         for (const Tuple& t : drained) {
           if (t.root_key() == 0) continue;
@@ -1717,6 +1832,434 @@ void LocalRuntime::DrainDeadTaskQueues() {
       NotifyPossiblyDone();
     }
   }
+}
+
+Status LocalRuntime::MigrateTask(const MigrationRequest& request) {
+  if (!elastic_enabled_) {
+    return Status::FailedPrecondition(
+        "MigrateTask requires Options::enable_migration");
+  }
+  if (!started_.load() || stopping_.load()) {
+    return Status::FailedPrecondition("runtime is not running");
+  }
+  int component_index = -1;
+  for (size_t c = 0; c < topology_.components().size(); ++c) {
+    if (topology_.components()[c].name == request.component) {
+      component_index = static_cast<int>(c);
+      break;
+    }
+  }
+  if (component_index < 0) {
+    return Status::NotFound("unknown component " + request.component);
+  }
+  const ComponentDef& def =
+      topology_.components()[static_cast<size_t>(component_index)];
+  if (def.is_spout) {
+    return Status::InvalidArgument("cannot migrate a spout task");
+  }
+  if (request.from_task == request.to_task) {
+    return Status::InvalidArgument("from_task and to_task are the same");
+  }
+  if (request.from_task < 0 || request.from_task >= def.num_tasks ||
+      request.to_task < 0 || request.to_task >= def.num_tasks) {
+    return Status::InvalidArgument("task index out of range for " +
+                                   request.component);
+  }
+  const size_t from_gid = static_cast<size_t>(
+      task_base_[static_cast<size_t>(component_index)] + request.from_task);
+  const size_t to_gid = static_cast<size_t>(
+      task_base_[static_cast<size_t>(component_index)] + request.to_task);
+
+  MutexLock migration_serial(migrate_mutex_);
+  if (stopping_.load()) {
+    return Status::FailedPrecondition("runtime is stopping");
+  }
+  {
+    MutexLock lock(migration_.mutex);
+    migration_.source_gid = from_gid;
+    migration_.target_gid = to_gid;
+    migration_.snapshot_ready = false;
+    migration_.snapshot_status = Status::OK();
+    migration_.bytes.clear();
+    migration_.restore_done = false;
+    migration_.restore_status = Status::OK();
+    migration_.retire_done = false;
+  }
+  const MicrosT deadline =
+      options_.clock->NowMicros() + options_.migration_timeout_micros;
+
+  // 1. Hold the target: its executor stops draining the queue, so the state
+  // restored in step 4 cannot race tuples that arrive right after the flip.
+  forward_of_[to_gid].store(-1, std::memory_order_release);
+  migration_phase_[to_gid].store(kMigrationHold, std::memory_order_release);
+
+  // 2. Flip routing: every tuple routed from here on targets `to_task`.
+  if (request.flip) {
+    Status s = request.flip();
+    if (!s.ok()) {
+      return AbortMigration(request, from_gid, to_gid, /*flipped=*/false, s);
+    }
+  }
+
+  // 3. Quiesce the source: wait until no tuple is staged, queued, or in
+  // hand for it, stable across the settle window (an emitter that picked
+  // its route from the pre-flip table has then provably staged its tuple,
+  // which the source drained — the counter cannot tick up again).
+  MicrosT zero_since = 0;
+  while (true) {
+    if (stopping_.load()) {
+      return AbortMigration(
+          request, from_gid, to_gid, /*flipped=*/true,
+          Status::FailedPrecondition("runtime stopped during migration"));
+    }
+    MicrosT now = options_.clock->NowMicros();
+    if (now > deadline) {
+      return AbortMigration(
+          request, from_gid, to_gid, /*flipped=*/true,
+          Status::ResourceExhausted("migration quiesce timed out"));
+    }
+    if (task_inbound_[from_gid].load(std::memory_order_acquire) == 0) {
+      if (zero_since == 0) {
+        zero_since = now;
+      } else if (now - zero_since >= options_.migration_settle_micros) {
+        break;
+      }
+    } else {
+      zero_since = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // 4. Final snapshot at the source's next batch boundary (on its executor
+  // thread, where the bolt is quiescent between executions).
+  migration_phase_[from_gid].store(kMigrationSnapshot,
+                                   std::memory_order_release);
+  bool snapshot_ready = false;
+  Status snapshot_status;
+  {
+    MutexLock lock(migration_.mutex);
+    while (!migration_.snapshot_ready && !stopping_.load() &&
+           options_.clock->NowMicros() <= deadline) {
+      migration_.cv.WaitFor(migration_.mutex, std::chrono::milliseconds(1));
+    }
+    snapshot_ready = migration_.snapshot_ready;
+    snapshot_status = migration_.snapshot_status;
+  }
+  if (!snapshot_ready) {
+    return AbortMigration(
+        request, from_gid, to_gid, /*flipped=*/true,
+        Status::ResourceExhausted("source snapshot timed out"));
+  }
+  if (!snapshot_status.ok()) {
+    return AbortMigration(request, from_gid, to_gid, /*flipped=*/true,
+                          snapshot_status);
+  }
+
+  // 5. Restore the container into the held target.
+  migration_phase_[to_gid].store(kMigrationRestore, std::memory_order_release);
+  bool restore_done = false;
+  Status restore_status;
+  {
+    MutexLock lock(migration_.mutex);
+    while (!migration_.restore_done && !stopping_.load() &&
+           options_.clock->NowMicros() <= deadline) {
+      migration_.cv.WaitFor(migration_.mutex, std::chrono::milliseconds(1));
+    }
+    restore_done = migration_.restore_done;
+    restore_status = migration_.restore_status;
+  }
+  if (!restore_done || !restore_status.ok()) {
+    // The failed (or unresponsive) target never takes over: routing rolls
+    // back and the source — whose state was only read, never cleared —
+    // stays authoritative. A corrupt migration container must not degrade
+    // the state line to a clean restart.
+    return AbortMigration(request, from_gid, to_gid, /*flipped=*/true,
+                          restore_done ? restore_status
+                                       : Status::ResourceExhausted(
+                                             "target restore timed out"));
+  }
+
+  // 6. The state line moved: the target takes over the source's checkpoint
+  // slot, so its interval checkpoints continue the durable history step 4
+  // just extended; the source inherits the target's. Both tasks are frozen
+  // in Hold, and the phase release-stores below publish the swap to their
+  // executors. On a full process restart the rebuilt topology loads
+  // "component/from_task" back into the source under the seed routing —
+  // the migration simply unwinds, losing nothing.
+  {
+    TaskRuntime& source = tasks_[static_cast<size_t>(component_index)]
+                                [static_cast<size_t>(request.from_task)];
+    TaskRuntime& target = tasks_[static_cast<size_t>(component_index)]
+                                [static_cast<size_t>(request.to_task)];
+    std::swap(source.ckpt_slot, target.ckpt_slot);
+  }
+
+  // 7. Retire the source (fresh bolt, empty ledger) and redirect stragglers:
+  // a tuple that slipped past the settle window or still sits queued at the
+  // source is swept to the state-owning target, never executed clean.
+  forward_of_[from_gid].store(static_cast<int32_t>(to_gid),
+                              std::memory_order_release);
+  migration_phase_[from_gid].store(kMigrationRetire,
+                                   std::memory_order_release);
+  {
+    MutexLock lock(migration_.mutex);
+    while (!migration_.retire_done && !stopping_.load() &&
+           options_.clock->NowMicros() <= deadline) {
+      migration_.cv.WaitFor(migration_.mutex, std::chrono::milliseconds(1));
+    }
+    // A slow retire is not a failure: the phase store is visible, the source
+    // executes it at its next pass, and until then the task is simply
+    // frozen. State and routing are final either way.
+  }
+
+  // 8. Release the target into service.
+  migration_phase_[to_gid].store(kMigrationIdle, std::memory_order_release);
+  if (queue_of_[to_gid] != nullptr) queue_of_[to_gid]->not_empty.NotifyAll();
+  {
+    MutexLock lock(migration_.mutex);
+    migration_.source_gid = kNoMigrationGid;
+    migration_.target_gid = kNoMigrationGid;
+  }
+  metrics_.RecordMigration(request.component, request.from_task);
+  return Status::OK();
+}
+
+Status LocalRuntime::AbortMigration(const MigrationRequest& request,
+                                    size_t from_gid, size_t to_gid,
+                                    bool flipped, const Status& cause) {
+  if (flipped && request.unflip) request.unflip();
+  {
+    MutexLock lock(migration_.mutex);
+    // Disarm late phase handlers: a deposit guarded on these gids now
+    // no-ops instead of polluting the next migration's control block.
+    migration_.source_gid = kNoMigrationGid;
+    migration_.target_gid = kNoMigrationGid;
+  }
+  // Tuples that reached the target between flip and unflip are swept back
+  // to the still-authoritative source once the target's executor looks at
+  // its queue. The target is a standby, so the redirect staying armed is
+  // harmless (and the next migration attempt to it clears it).
+  forward_of_[to_gid].store(static_cast<int32_t>(from_gid),
+                            std::memory_order_release);
+  migration_phase_[from_gid].store(kMigrationIdle, std::memory_order_release);
+  migration_phase_[to_gid].store(kMigrationIdle, std::memory_order_release);
+  if (queue_of_[from_gid] != nullptr) {
+    queue_of_[from_gid]->not_empty.NotifyAll();
+  }
+  if (queue_of_[to_gid] != nullptr) queue_of_[to_gid]->not_empty.NotifyAll();
+  metrics_.RecordMigrationFailure(request.component, request.from_task);
+  INSIGHT_LOG(Warning) << "migration of " << request.component << "/"
+                       << request.from_task << " -> " << request.to_task
+                       << " aborted (" << cause.message()
+                       << "); source stays authoritative";
+  return cause;
+}
+
+bool LocalRuntime::HandleMigrationPhase(uint8_t phase, size_t gid,
+                                        TaskRuntime* task,
+                                        const ComponentDef& def) {
+  switch (phase) {
+    case kMigrationHold:
+      // Frozen: arrivals keep queueing until MigrateTask releases the task.
+      return false;
+    case kMigrationSnapshot: {
+      // Batch boundary on the source's own executor thread: serialize the
+      // full state line and — when the task is checkpointed — submit it on
+      // the task's checkpoint line, so the deferred acks it covers flush
+      // when the persist completes, exactly like an interval checkpoint.
+      std::string bytes;
+      Status s = SerializeTask(task, &bytes);
+      if (s.ok() && coordinator_ != nullptr && task->ckpt_slot >= 0) {
+        // Wait out any in-flight interval persist: the migration snapshot
+        // must be the slot's newest submission.
+        while (!coordinator_->CanSubmit(task->ckpt_slot) &&
+               !stopping_.load()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (!stopping_.load()) SubmitTaskSnapshot(task, def, bytes);
+      }
+      {
+        MutexLock lock(migration_.mutex);
+        if (migration_.source_gid == gid && !migration_.snapshot_ready) {
+          migration_.snapshot_ready = true;
+          migration_.snapshot_status = s;
+          migration_.bytes = std::move(bytes);
+          migration_.cv.NotifyAll();
+        }
+      }
+      // Self-transition to Hold — unless an abort already reset the phase
+      // to Idle, in which case the task resumes as if nothing happened (the
+      // extra snapshot submitted above is just a valid checkpoint).
+      uint8_t expected = kMigrationSnapshot;
+      migration_phase_[gid].compare_exchange_strong(
+          expected, kMigrationHold, std::memory_order_acq_rel);
+      return true;
+    }
+    case kMigrationRestore: {
+      std::string bytes;
+      {
+        MutexLock lock(migration_.mutex);
+        bytes = migration_.bytes;
+      }
+      Status s = ApplyTaskSnapshot(task, bytes);
+      {
+        MutexLock lock(migration_.mutex);
+        if (migration_.target_gid == gid && !migration_.restore_done) {
+          migration_.restore_done = true;
+          migration_.restore_status = s;
+          migration_.cv.NotifyAll();
+        }
+      }
+      uint8_t expected = kMigrationRestore;
+      migration_phase_[gid].compare_exchange_strong(
+          expected, kMigrationHold, std::memory_order_acq_rel);
+      return true;
+    }
+    case kMigrationRetire: {
+      // The state now lives at the target: swap in a fresh bolt (the
+      // Snapshottable contract has no "reset", and the old instance still
+      // holds the migrated state) and clear the suppression ledger — the
+      // target's copy travelled inside the container.
+      task->bolt->Cleanup();
+      task->bolt = def.bolt_factory();
+      TaskContext context;
+      context.component = def.name;
+      context.num_tasks = def.num_tasks;
+      context.task_index = task->task_index;
+      task->bolt->Prepare(context);
+      task->snapshottable = dynamic_cast<Snapshottable*>(task->bolt.get());
+      task->pending_acks.clear();
+      if (task->ledger != nullptr) task->ledger->Clear();
+      {
+        MutexLock lock(migration_.mutex);
+        if (migration_.source_gid == gid && !migration_.retire_done) {
+          migration_.retire_done = true;
+          migration_.cv.NotifyAll();
+        }
+      }
+      uint8_t expected = kMigrationRetire;
+      migration_phase_[gid].compare_exchange_strong(
+          expected, kMigrationIdle, std::memory_order_acq_rel);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool LocalRuntime::ForwardQueuedTuples(size_t from_gid, size_t to_gid) {
+  // Sweeps the retired source's queue into the state-owning target in
+  // bounded chunks, with the producers' own admission discipline (credit
+  // reservation, or the observe-room-then-append-whole overshoot bound).
+  // Never blocks: this runs on the retired task's executor thread, which
+  // may own the target task too — a full target means "stop here, the
+  // executor drains it this same pass and re-enters on the next one".
+  TaskQueue* from = queue_of_[from_gid];
+  TaskQueue* to = queue_of_[to_gid];
+  if (from == nullptr || to == nullptr) return false;
+  overload::QueueGate* from_gate =
+      gates_.empty() ? nullptr : gates_[from_gid].get();
+  overload::QueueGate* to_gate =
+      gates_.empty() ? nullptr : gates_[to_gid].get();
+  const bool shedding = options_.overload.enable_load_shedding;
+  bool any = false;
+  std::vector<Tuple> chunk;
+  while (!stopping_.load()) {
+    // Reserve room at the target before popping anything, so a chunk never
+    // needs to wait (credit mode: exact credits; otherwise: observed free
+    // space, overshootable by at most this chunk — the flush-block bound).
+    size_t room = 0;
+    if (credit_flow_) {
+      size_t want = options_.max_batch;
+      while (want > 0 && !to_gate->TryAcquire(want)) {
+        int64_t free = to_gate->capacity() - to_gate->admitted();
+        size_t next =
+            free > 0 ? std::min(static_cast<size_t>(free), options_.max_batch)
+                     : size_t{0};
+        if (next >= want) next = want - 1;  // racing admits: force progress
+        want = next;
+      }
+      room = want;
+    } else {
+      MutexLock lock(to->mutex);
+      room = to->queue.size() < options_.queue_capacity
+                 ? std::min(options_.max_batch,
+                            options_.queue_capacity - to->queue.size())
+                 : 0;
+    }
+    if (room == 0) return any;
+    chunk.clear();
+    {
+      MutexLock lock(from->mutex);
+      size_t take = std::min(room, from->queue.size());
+      for (size_t k = 0; k < take; ++k) {
+        Tuple& t = from->queue.front();
+        if (shedding && from->high_count > 0 &&
+            t.priority() == TuplePriority::kHigh) {
+          --from->high_count;
+        }
+        chunk.push_back(std::move(t));
+        from->queue.pop_front();
+      }
+      if (take > 0) from->not_full.NotifyAll();
+    }
+    if (credit_flow_ && room > chunk.size()) {
+      to_gate->Release(room - chunk.size());
+    }
+    if (chunk.empty()) return any;
+    if (from_gate != nullptr) from_gate->Release(chunk.size());
+    TrackInbound(from_gid, -static_cast<int64_t>(chunk.size()));
+    {
+      MutexLock lock(to->mutex);
+      if (shedding) {
+        for (const Tuple& t : chunk) {
+          if (t.priority() == TuplePriority::kHigh) ++to->high_count;
+        }
+      }
+      for (Tuple& t : chunk) {
+        // TMS_ANALYZE_EXEMPT(deque chunk churn, bounded by queue_capacity)
+        to->queue.push_back(std::move(t));
+      }
+      size_t sz = to->queue.size();
+      if (credit_flow_) {
+        TMS_CHECK_LE(sz, options_.queue_capacity)
+            << "credit-admitted queue overshot its capacity on forward";
+      }
+      if (sz > to->peak_size.load(std::memory_order_relaxed)) {
+        to->peak_size.store(sz, std::memory_order_relaxed);
+      }
+      to->not_empty.NotifyOne();
+    }
+    if (!credit_flow_ && to_gate != nullptr) {
+      to_gate->ForceAcquire(chunk.size());
+    }
+    TrackInbound(to_gid, static_cast<int64_t>(chunk.size()));
+    any = true;
+  }
+  return any;
+}
+
+double LocalRuntime::QueueOccupancy(const std::string& component, int task) {
+  int component_index = -1;
+  for (size_t c = 0; c < topology_.components().size(); ++c) {
+    if (topology_.components()[c].name == component) {
+      component_index = static_cast<int>(c);
+      break;
+    }
+  }
+  if (component_index < 0) return 0.0;
+  auto& component_tasks = tasks_[static_cast<size_t>(component_index)];
+  if (task < 0 || static_cast<size_t>(task) >= component_tasks.size()) {
+    return 0.0;
+  }
+  TaskQueue* queue = component_tasks[static_cast<size_t>(task)].input.get();
+  if (queue == nullptr || options_.queue_capacity == 0) return 0.0;
+  size_t sz = 0;
+  {
+    MutexLock lock(queue->mutex);
+    sz = queue->queue.size();
+  }
+  return static_cast<double>(sz) / static_cast<double>(options_.queue_capacity);
 }
 
 void LocalRuntime::MonitorLoop() {

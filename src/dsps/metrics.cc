@@ -95,6 +95,16 @@ void MetricsRegistry::RecordSquelch(const std::string& component, int task) {
   StatsFor(component, task).squelched.fetch_add(1, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::RecordMigration(const std::string& component, int task) {
+  StatsFor(component, task).migrations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordMigrationFailure(const std::string& component,
+                                             int task) {
+  StatsFor(component, task)
+      .migration_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     const std::string& component) const {
   ComponentTotals totals;
@@ -118,6 +128,9 @@ MetricsRegistry::ComponentTotals MetricsRegistry::Totals(
     totals.shed_normal += task->shed_normal.load(std::memory_order_relaxed);
     totals.shed_high += task->shed_high.load(std::memory_order_relaxed);
     totals.squelched += task->squelched.load(std::memory_order_relaxed);
+    totals.task_migrations += task->migrations.load(std::memory_order_relaxed);
+    totals.migration_failures +=
+        task->migration_failures.load(std::memory_order_relaxed);
     totals.latency_histogram.Merge(task->latency_histogram.Snapshot());
   }
   if (totals.executed > 0) {
@@ -131,6 +144,32 @@ std::vector<std::string> MetricsRegistry::Components() const {
   std::vector<std::string> out;
   for (const auto& [name, stats] : components_) out.push_back(name);
   return out;
+}
+
+MetricsRegistry::TaskTotals MetricsRegistry::TotalsForTask(
+    const std::string& component, int task) const {
+  TaskTotals totals;
+  auto it = components_.find(component);
+  if (it == components_.end() || task < 0 ||
+      static_cast<size_t>(task) >= it->second.tasks.size()) {
+    return totals;
+  }
+  const TaskStats& stats = *it->second.tasks[static_cast<size_t>(task)];
+  totals.executed = stats.executed.load(std::memory_order_relaxed);
+  totals.emitted = stats.emitted.load(std::memory_order_relaxed);
+  totals.latency_sum_micros =
+      stats.latency_sum.load(std::memory_order_relaxed);
+  totals.shed = stats.shed_low.load(std::memory_order_relaxed) +
+                stats.shed_normal.load(std::memory_order_relaxed) +
+                stats.shed_high.load(std::memory_order_relaxed);
+  totals.latency_histogram = stats.latency_histogram.Snapshot();
+  return totals;
+}
+
+int MetricsRegistry::TaskCount(const std::string& component) const {
+  auto it = components_.find(component);
+  if (it == components_.end()) return 0;
+  return static_cast<int>(it->second.tasks.size());
 }
 
 void MetricsRegistry::MarkWindowStart(MicrosT now) {
@@ -150,7 +189,8 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
   for (auto& [name, stats] : components_) {
     uint64_t executed = 0, latency_sum = 0, acked = 0, failed = 0,
              replayed = 0, checkpoints = 0, restores = 0, restore_failures = 0,
-             deduped = 0, breaker_trips = 0, shed = 0, squelched = 0;
+             deduped = 0, breaker_trips = 0, shed = 0, squelched = 0,
+             migrations = 0, migration_failures = 0;
     observability::HistogramSnapshot histogram;
     for (const auto& task : stats.tasks) {
       executed += task->executed.load(std::memory_order_relaxed);
@@ -168,6 +208,9 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
               task->shed_normal.load(std::memory_order_relaxed) +
               task->shed_high.load(std::memory_order_relaxed);
       squelched += task->squelched.load(std::memory_order_relaxed);
+      migrations += task->migrations.load(std::memory_order_relaxed);
+      migration_failures +=
+          task->migration_failures.load(std::memory_order_relaxed);
       histogram.Merge(task->latency_histogram.Snapshot());
     }
     WindowReport report;
@@ -211,6 +254,9 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
     report.breaker_trips = breaker_trips - stats.last_breaker_trips;
     report.shed = shed - stats.last_shed;
     report.squelched = squelched - stats.last_squelched;
+    report.task_migrations = migrations - stats.last_migrations;
+    report.migration_failures =
+        migration_failures - stats.last_migration_failures;
     stats.last_executed = executed;
     stats.last_latency_sum = latency_sum;
     stats.last_acked = acked;
@@ -223,6 +269,8 @@ std::vector<MetricsRegistry::WindowReport> MetricsRegistry::TakeWindowSnapshot(
     stats.last_breaker_trips = breaker_trips;
     stats.last_shed = shed;
     stats.last_squelched = squelched;
+    stats.last_migrations = migrations;
+    stats.last_migration_failures = migration_failures;
     stats.last_histogram = histogram;
     window.push_back(report);
     reports_.push_back(window.back());
@@ -268,6 +316,11 @@ observability::MetricsSnapshot MetricsRegistry::PrometheusSnapshot() const {
        &ComponentTotals::deduped},
       {"insight_breaker_trips_total", "Executors permanently failed",
        &ComponentTotals::breaker_trips},
+      {"insight_task_migrations_total", "Live task migrations completed",
+       &ComponentTotals::task_migrations},
+      {"insight_migration_failures_total",
+       "Live task migrations aborted and rolled back",
+       &ComponentTotals::migration_failures},
   };
   std::vector<std::string> names = Components();
   std::vector<ComponentTotals> totals;

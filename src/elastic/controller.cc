@@ -1,0 +1,272 @@
+#include "elastic/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "observability/histogram.h"
+
+namespace insight {
+namespace elastic {
+
+namespace {
+
+/// Per-window delta of two cumulative task totals.
+dsps::MetricsRegistry::TaskTotals Delta(
+    const dsps::MetricsRegistry::TaskTotals& now,
+    const dsps::MetricsRegistry::TaskTotals& prev) {
+  dsps::MetricsRegistry::TaskTotals d;
+  d.executed = now.executed - prev.executed;
+  d.emitted = now.emitted - prev.emitted;
+  d.latency_sum_micros = now.latency_sum_micros - prev.latency_sum_micros;
+  d.shed = now.shed - prev.shed;
+  for (size_t i = 0; i < d.latency_histogram.counts.size(); ++i) {
+    d.latency_histogram.counts[i] =
+        now.latency_histogram.counts[i] - prev.latency_histogram.counts[i];
+  }
+  return d;
+}
+
+}  // namespace
+
+ElasticController::ElasticController(dsps::LocalRuntime* runtime,
+                                     core::LiveRouter* router, Options options)
+    : runtime_(runtime), router_(router), options_(std::move(options)) {}
+
+ElasticController::~ElasticController() { Stop(); }
+
+std::vector<EngineSample> ElasticController::Sample(MicrosT now) {
+  dsps::MetricsRegistry* metrics = runtime_->metrics();
+  const int num_tasks = metrics->TaskCount(options_.component);
+  std::vector<EngineSample> samples;
+  if (num_tasks <= 0) return samples;
+  if (prev_totals_.size() != static_cast<size_t>(num_tasks)) {
+    prev_totals_.assign(static_cast<size_t>(num_tasks), {});
+    hot_windows_.assign(static_cast<size_t>(num_tasks), 0);
+  }
+  // Which engines does the current table route to? Everything else is a
+  // standby and a migration-target candidate.
+  std::set<int> routed;
+  std::shared_ptr<const core::SpatialRouter> table = router_->Snapshot();
+  for (const core::SpatialRouter::GroupingRoute& route : table->routes()) {
+    for (const auto& [region, engine] : route.region_to_engine) {
+      routed.insert(engine);
+    }
+    for (int engine : route.fallback_engines) routed.insert(engine);
+  }
+  const MicrosT window =
+      last_tick_micros_ > 0 ? std::max<MicrosT>(now - last_tick_micros_, 1)
+                            : 0;
+  // Model scoring: predicted co-located latency per engine (Function 3),
+  // with every active engine treated as co-located — the conservative
+  // single-node view this runtime actually executes.
+  std::vector<double> own_latency;
+  const bool have_rules =
+      options_.engine_rules.size() == static_cast<size_t>(num_tasks);
+  if (have_rules) {
+    own_latency.reserve(static_cast<size_t>(num_tasks));
+    for (const auto& rules : options_.engine_rules) {
+      own_latency.push_back(rules.empty() ? 0.0 : model_.EngineLatency(rules));
+    }
+  }
+  samples.reserve(static_cast<size_t>(num_tasks));
+  for (int task = 0; task < num_tasks; ++task) {
+    dsps::MetricsRegistry::TaskTotals totals =
+        metrics->TotalsForTask(options_.component, task);
+    dsps::MetricsRegistry::TaskTotals delta =
+        Delta(totals, prev_totals_[static_cast<size_t>(task)]);
+    prev_totals_[static_cast<size_t>(task)] = totals;
+    EngineSample s;
+    s.task = task;
+    s.routed = routed.count(task) > 0;
+    s.executed = delta.executed;
+    s.p99_micros = delta.latency_histogram.Percentile(99.0);
+    s.capacity = window > 0 ? static_cast<double>(delta.latency_sum_micros) /
+                                  static_cast<double>(window)
+                            : 0.0;
+    s.occupancy = runtime_->QueueOccupancy(options_.component, task);
+    const uint64_t offered = delta.executed + delta.shed;
+    s.shed_rate = offered > 0 ? static_cast<double>(delta.shed) /
+                                    static_cast<double>(offered)
+                              : 0.0;
+    if (have_rules) {
+      std::vector<double> others;
+      for (int other : routed) {
+        if (other != task &&
+            static_cast<size_t>(other) < own_latency.size()) {
+          others.push_back(own_latency[static_cast<size_t>(other)]);
+        }
+      }
+      s.predicted_latency_micros = model_.ColocatedLatency(
+          own_latency[static_cast<size_t>(task)], others);
+    }
+    // Refit feed: attribute this window's measured mean to the rule
+    // configuration the engine runs (first placed rule's shape — the
+    // paper's generic template has one (l, t) per rule).
+    if (options_.policy.enable_model_refit && have_rules &&
+        !options_.engine_rules[static_cast<size_t>(task)].empty() &&
+        delta.executed > 0 && last_tick_micros_ > 0) {
+      const model::RuleCharacteristics& rule =
+          options_.engine_rules[static_cast<size_t>(task)][0];
+      model::WindowMeasurement m;
+      m.window_length = rule.window_length;
+      m.num_thresholds = rule.num_thresholds;
+      m.avg_latency_micros = static_cast<double>(delta.latency_sum_micros) /
+                             static_cast<double>(delta.executed);
+      m.executed = delta.executed;
+      refit_.Observe(m);
+    }
+    samples.push_back(s);
+  }
+  // Hot-streak bookkeeping happens once per window, after all signals are
+  // in, so DecideMigration sees consistent streak counts.
+  for (EngineSample& s : samples) {
+    int& streak = hot_windows_[static_cast<size_t>(s.task)];
+    streak = IsHot(s, options_.policy) ? streak + 1 : 0;
+    s.hot_windows = streak;
+  }
+  return samples;
+}
+
+bool ElasticController::TryRebalance(const std::vector<EngineSample>& samples) {
+  if (!options_.policy.allow_region_rebalance ||
+      options_.region_rates == nullptr) {
+    return false;
+  }
+  std::shared_ptr<const core::SpatialRouter> table = router_->Snapshot();
+  if (options_.routed_grouping >= table->routes().size()) return false;
+  std::map<int64_t, int> assignment =
+      table->routes()[options_.routed_grouping].region_to_engine;
+  if (assignment.empty()) return false;
+  Result<std::vector<core::RegionMove>> moves = core::PlanRebalance(
+      &assignment, options_.region_rates->Estimates(),
+      static_cast<int>(samples.size()),
+      options_.policy.rebalance_target_imbalance,
+      options_.policy.rebalance_max_moves);
+  if (!moves.ok() || moves->empty()) return false;
+  router_->ApplyMoves(options_.routed_grouping, *moves);
+  rebalances_.fetch_add(1);
+  INSIGHT_LOG(Info) << "elastic: rebalanced " << moves->size()
+                    << " regions of " << options_.component;
+  return true;
+}
+
+Status ElasticController::Tick() {
+  const MicrosT now = options_.clock->NowMicros();
+  std::vector<EngineSample> samples = Sample(now);
+  const bool first_window = last_tick_micros_ == 0;
+  last_tick_micros_ = now;
+  ticks_.fetch_add(1);
+  if (samples.empty()) {
+    last_samples_.clear();
+    return Status::OK();
+  }
+  if (options_.policy.enable_model_refit && refit_.MaybeRefit(&model_)) {
+    refits_.fetch_add(1);
+  }
+  last_samples_ = samples;
+  // The first window has no meaningful deltas, and inside a cooldown the
+  // signals still carry the previous action's transient.
+  if (first_window || now < cooldown_until_) return Status::OK();
+  Decision decision = DecideMigration(samples, options_.policy);
+  if (!decision.migrate) {
+    // A sustained hot engine with nowhere to move wholesale: spread its
+    // regions instead (the paper's re-partitioning lever).
+    bool streak = false;
+    for (const EngineSample& s : samples) {
+      if (s.routed && s.hot_windows >= options_.policy.min_hot_windows) {
+        streak = true;
+        break;
+      }
+    }
+    if (streak && TryRebalance(samples)) {
+      cooldown_until_ = now + options_.policy.cooldown_micros;
+      for (int& w : hot_windows_) w = 0;
+    }
+    return Status::OK();
+  }
+  if (options_.policy.max_migrations >= 0 &&
+      migrations_.load() >=
+          static_cast<uint64_t>(options_.policy.max_migrations)) {
+    return Status::OK();
+  }
+  // Act: flip the routing table so every region (and fallback slot) of the
+  // hot engine points at the standby, and move the state line behind it.
+  core::LiveRouter* router = router_;
+  const int from = decision.from_task;
+  const int to = decision.to_task;
+  std::shared_ptr<const core::SpatialRouter> before = router->Snapshot();
+  dsps::LocalRuntime::MigrationRequest request;
+  request.component = options_.component;
+  request.from_task = from;
+  request.to_task = to;
+  request.flip = [router, from, to]() {
+    router->MoveEngine(from, to);
+    return Status::OK();
+  };
+  request.unflip = [router, before]() { router->Restore(before); };
+  Status s = runtime_->MigrateTask(request);
+  cooldown_until_ = now + options_.policy.cooldown_micros;
+  for (int& w : hot_windows_) w = 0;
+  if (!s.ok()) {
+    migration_failures_.fetch_add(1);
+    INSIGHT_LOG(Warning) << "elastic: migration " << options_.component << "/"
+                         << from << " -> " << to << " failed: " << s.message();
+    return s;
+  }
+  migrations_.fetch_add(1);
+  last_from_task_.store(from);
+  last_to_task_.store(to);
+  INSIGHT_LOG(Info) << "elastic: migrated " << options_.component << "/"
+                    << from << " -> " << to << " (" << decision.reason << ")";
+  return Status::OK();
+}
+
+void ElasticController::RunLoop() {
+  MicrosT accumulated = 0;
+  const MicrosT slice = std::min<MicrosT>(options_.tick_interval_micros,
+                                          50'000);
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    accumulated += slice;
+    if (accumulated < options_.tick_interval_micros) continue;
+    accumulated = 0;
+    if (stop_.load()) break;
+    Tick().ok();  // failures are logged and counted; the loop keeps going
+  }
+}
+
+Status ElasticController::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("controller already running");
+  }
+  stop_.store(false);
+  loop_ = Thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void ElasticController::Stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  if (loop_.joinable()) loop_.join();
+  running_.store(false);
+}
+
+ElasticController::Stats ElasticController::stats() const {
+  Stats stats;
+  stats.ticks = ticks_.load();
+  stats.refits = refits_.load();
+  stats.migrations = migrations_.load();
+  stats.migration_failures = migration_failures_.load();
+  stats.rebalances = rebalances_.load();
+  stats.last_from_task = last_from_task_.load();
+  stats.last_to_task = last_to_task_.load();
+  return stats;
+}
+
+}  // namespace elastic
+}  // namespace insight

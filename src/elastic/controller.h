@@ -1,0 +1,130 @@
+#ifndef INSIGHT_ELASTIC_CONTROLLER_H_
+#define INSIGHT_ELASTIC_CONTROLLER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread.h"
+#include "core/partitioning.h"
+#include "dsps/local_runtime.h"
+#include "dsps/metrics.h"
+#include "elastic/policy.h"
+#include "model/latency_model.h"
+
+namespace insight {
+namespace elastic {
+
+/// The online elastic scheduler (ROADMAP item 2): consumes the runtime's
+/// per-task metric stream plus the overload signals, refits the latency
+/// model live (model::RollingRefit over monitor windows), detects hot and
+/// cold engines against the Policy, and reacts by re-partitioning regions
+/// across the active engines (core::PlanRebalance through the LiveRouter)
+/// or live-migrating a hot engine's whole CEP task onto a standby via
+/// LocalRuntime::MigrateTask — snapshot → reroute → restore, without
+/// violating effectively-once.
+///
+/// Deterministic core: one Tick() is one full control pass and the unit-test
+/// surface. Start() merely drives Tick on a background thread. Tick is not
+/// reentrant; the background loop serializes it, and callers who Tick
+/// manually must not run Start concurrently.
+class ElasticController {
+ public:
+  struct Options {
+    Policy policy;
+    /// The engine bolt component this controller manages. Its task index
+    /// space is the engine index space of `router`.
+    std::string component;
+    /// LiveRouter grouping whose region map PlanRebalance rewrites.
+    size_t routed_grouping = 0;
+    /// Background tick period (Start()).
+    MicrosT tick_interval_micros = 500'000;
+    const Clock* clock = SystemClock::Get();
+    /// Rules placed per engine task, for the model's target scoring
+    /// (Function 3 ranks candidate standbys) and for the refit loop's
+    /// window → rule-configuration mapping. Empty = rank targets by
+    /// occupancy only and skip refit.
+    std::vector<std::vector<model::RuleCharacteristics>> engine_rules;
+    /// Live region-rate estimates feeding PlanRebalance; optional, not
+    /// owned. Null disables rebalance regardless of Policy.
+    const core::RegionRateTracker* region_rates = nullptr;
+  };
+
+  /// Neither pointer is owned; both must outlive the controller.
+  ElasticController(dsps::LocalRuntime* runtime, core::LiveRouter* router,
+                    Options options);
+  ~ElasticController();
+
+  ElasticController(const ElasticController&) = delete;
+  ElasticController& operator=(const ElasticController&) = delete;
+
+  /// One control pass: sample per-task deltas, refit, decide, act.
+  Status Tick();
+
+  /// Spawns the background loop. FailedPrecondition if already running.
+  Status Start();
+  /// Stops and joins the background loop; idempotent.
+  void Stop();
+
+  struct Stats {
+    uint64_t ticks = 0;
+    uint64_t refits = 0;
+    uint64_t migrations = 0;
+    uint64_t migration_failures = 0;
+    uint64_t rebalances = 0;
+    int last_from_task = -1;
+    int last_to_task = -1;
+  };
+  Stats stats() const;
+
+  /// The controller's working copy of the latency model (live-refit).
+  const model::LatencyModel& model() const { return model_; }
+  void set_model(model::LatencyModel model) { model_ = std::move(model); }
+
+  /// The samples the last Tick decided on (test/diagnostic hook; Tick-local,
+  /// read it only between ticks).
+  const std::vector<EngineSample>& last_samples() const {
+    return last_samples_;
+  }
+
+ private:
+  void RunLoop();
+  /// Builds this window's samples from metric deltas + queue occupancy.
+  std::vector<EngineSample> Sample(MicrosT now);
+  /// Hot engine, no standby: spread its regions over the active engines.
+  bool TryRebalance(const std::vector<EngineSample>& samples);
+
+  dsps::LocalRuntime* runtime_;
+  core::LiveRouter* router_;
+  Options options_;
+  model::LatencyModel model_ = model::LatencyModel::Default();
+  model::RollingRefit refit_;
+
+  // Tick-local state (single control thread).
+  std::vector<dsps::MetricsRegistry::TaskTotals> prev_totals_;
+  std::vector<int> hot_windows_;
+  std::vector<EngineSample> last_samples_;
+  MicrosT last_tick_micros_ = 0;
+  MicrosT cooldown_until_ = 0;
+
+  // Cross-thread counters (stats() may be read while the loop runs).
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> refits_{0};
+  std::atomic<uint64_t> migrations_{0};
+  std::atomic<uint64_t> migration_failures_{0};
+  std::atomic<uint64_t> rebalances_{0};
+  std::atomic<int> last_from_task_{-1};
+  std::atomic<int> last_to_task_{-1};
+
+  Thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace elastic
+}  // namespace insight
+
+#endif  // INSIGHT_ELASTIC_CONTROLLER_H_

@@ -1,0 +1,78 @@
+#include "elastic/policy.h"
+
+#include <algorithm>
+
+namespace insight {
+namespace elastic {
+
+bool IsHot(const EngineSample& sample, const Policy& policy) {
+  return HotScore(sample, policy) > 1.0;
+}
+
+double HotScore(const EngineSample& sample, const Policy& policy) {
+  double score = 0.0;
+  if (policy.p99_target_micros > 0.0) {
+    score = std::max(score, sample.p99_micros / policy.p99_target_micros);
+  }
+  if (policy.capacity_high > 0.0) {
+    score = std::max(score, sample.capacity / policy.capacity_high);
+  }
+  if (policy.occupancy_high > 0.0) {
+    score = std::max(score, sample.occupancy / policy.occupancy_high);
+  }
+  if (policy.shed_rate_threshold > 0.0) {
+    score = std::max(score, sample.shed_rate / policy.shed_rate_threshold);
+  }
+  return score;
+}
+
+Decision DecideMigration(const std::vector<EngineSample>& samples,
+                         const Policy& policy) {
+  Decision decision;
+  const EngineSample* source = nullptr;
+  double source_score = 0.0;
+  bool any_hot = false;
+  for (const EngineSample& s : samples) {
+    if (!s.routed || !IsHot(s, policy)) continue;
+    any_hot = true;
+    if (s.hot_windows < policy.min_hot_windows) continue;
+    double score = HotScore(s, policy);
+    if (source == nullptr || score > source_score) {
+      source = &s;
+      source_score = score;
+    }
+  }
+  if (source == nullptr) {
+    decision.reason = any_hot ? "hot streak below min_hot_windows"
+                              : "no routed engine is hot";
+    return decision;
+  }
+  // Target: a standby that is itself cool. Rank by the model's predicted
+  // co-located latency (Function 3) when available, occupancy as the
+  // tie-break — the controller prefers the spare the model expects to run
+  // this load fastest, not just any empty slot.
+  const EngineSample* target = nullptr;
+  for (const EngineSample& s : samples) {
+    if (s.routed || IsHot(s, policy)) continue;
+    if (target == nullptr ||
+        s.predicted_latency_micros < target->predicted_latency_micros ||
+        (s.predicted_latency_micros == target->predicted_latency_micros &&
+         s.occupancy < target->occupancy)) {
+      target = &s;
+    }
+  }
+  if (target == nullptr) {
+    decision.reason = "no idle standby target";
+    return decision;
+  }
+  decision.migrate = true;
+  decision.from_task = source->task;
+  decision.to_task = target->task;
+  decision.reason = "engine " + std::to_string(source->task) +
+                    " hot for " + std::to_string(source->hot_windows) +
+                    " windows";
+  return decision;
+}
+
+}  // namespace elastic
+}  // namespace insight

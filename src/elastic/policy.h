@@ -1,0 +1,93 @@
+#ifndef INSIGHT_ELASTIC_POLICY_H_
+#define INSIGHT_ELASTIC_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace insight {
+namespace elastic {
+
+/// Thresholds governing when the elastic controller acts (Section 4.2's
+/// "dynamic" half: the system reacts to observed load instead of a static
+/// plan). A trigger with value 0 is disabled; an engine is "hot" when any
+/// enabled trigger is crossed, and action requires the streak to hold for
+/// `min_hot_windows` consecutive decision windows — one noisy window never
+/// moves state.
+struct Policy {
+  /// Per-task execute-latency p99 ceiling (microseconds). 0 = off.
+  double p99_target_micros = 0.0;
+  /// Storm capacity saturation watermark (fraction of the window spent
+  /// executing; ~1.0 = saturated). 0 = off.
+  double capacity_high = 0.9;
+  /// Input-queue occupancy watermark, fraction of queue_capacity. 0 = off.
+  double occupancy_high = 0.75;
+  /// Shed fraction (shed / offered) above which the engine is hot. 0 = off.
+  double shed_rate_threshold = 0.0;
+  /// Consecutive hot decision windows before the controller acts.
+  int min_hot_windows = 2;
+  /// No further action this long after a migration or rebalance: the moved
+  /// load needs a few windows to show up in the signals, and reacting to
+  /// the transient would oscillate.
+  MicrosT cooldown_micros = 5'000'000;
+  /// Lifetime migration budget; < 0 = unlimited.
+  int max_migrations = 8;
+  /// Feed monitor windows into model::RollingRefit and recalibrate
+  /// Function 1 live.
+  bool enable_model_refit = true;
+  /// When an engine is hot but no standby target exists, re-partition its
+  /// regions across the active engines instead (core::PlanRebalance).
+  bool allow_region_rebalance = true;
+  double rebalance_target_imbalance = 1.25;
+  size_t rebalance_max_moves = 8;
+};
+
+/// One engine task's signals over a decision window, as the pure decision
+/// functions below see them. The controller builds these from metric deltas;
+/// unit tests build them synthetically.
+struct EngineSample {
+  int task = 0;
+  /// The current routing sends this task traffic (migration source pool).
+  bool routed = true;
+  uint64_t executed = 0;
+  double p99_micros = 0.0;
+  double capacity = 0.0;
+  double occupancy = 0.0;
+  double shed_rate = 0.0;
+  /// Model-predicted co-located latency of this engine (Function 3); used
+  /// to rank candidate targets — lower predicted latency wins. 0 = unknown
+  /// (occupancy ranks instead).
+  double predicted_latency_micros = 0.0;
+  /// Consecutive decision windows this task has been hot, tracked by the
+  /// caller across windows (IsHot judges a single window).
+  int hot_windows = 0;
+};
+
+/// Why DecideMigration picked (or declined) its action.
+struct Decision {
+  bool migrate = false;
+  int from_task = -1;
+  int to_task = -1;
+  std::string reason;
+};
+
+/// Whether one window's signals cross any enabled Policy trigger.
+bool IsHot(const EngineSample& sample, const Policy& policy);
+
+/// Severity of a hot sample: the worst ratio of signal to its enabled
+/// threshold (1.0 = exactly at a watermark). 0 when nothing is enabled.
+double HotScore(const EngineSample& sample, const Policy& policy);
+
+/// Pure decision function (the unit-test surface): picks the hottest routed
+/// engine with a streak of at least `min_hot_windows` as the source and the
+/// best idle standby (never hot this window, lowest predicted latency, then
+/// lowest occupancy) as the target. No eligible pair = no migration, with
+/// the reason spelled out.
+Decision DecideMigration(const std::vector<EngineSample>& samples,
+                         const Policy& policy);
+
+}  // namespace elastic
+}  // namespace insight
+
+#endif  // INSIGHT_ELASTIC_POLICY_H_

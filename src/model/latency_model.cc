@@ -105,5 +105,25 @@ std::vector<double> LatencyModel::EstimateAll(
   return adjusted;
 }
 
+void RollingRefit::Observe(const WindowMeasurement& measurement) {
+  if (measurement.executed == 0) return;
+  if (window_.size() < options_.capacity) {
+    window_.push_back(measurement);
+  } else {
+    window_[next_] = measurement;
+    next_ = (next_ + 1) % options_.capacity;
+  }
+  new_executions_ += measurement.executed;
+}
+
+bool RollingRefit::MaybeRefit(LatencyModel* model) {
+  if (window_.size() < options_.min_measurements) return false;
+  if (new_executions_ < options_.min_new_executions) return false;
+  new_executions_ = 0;  // re-arm whether or not the fit succeeds
+  if (!model->FitFromWindowReports(window_).ok()) return false;
+  ++refits_;
+  return true;
+}
+
 }  // namespace model
 }  // namespace insight

@@ -99,6 +99,44 @@ class LatencyModel {
   PolynomialRegression f3_;
 };
 
+/// Bounded accumulator of live WindowMeasurements feeding periodic Function 1
+/// refits — the elastic controller's "refit the latency model live" loop.
+/// Keeps the newest `capacity` non-empty windows and refits once at least
+/// `min_measurements` are held AND `min_new_executions` executions arrived
+/// since the last refit attempt, so a quiet stream never burns solver time.
+/// Not thread-safe: owned and driven by a single control loop.
+class RollingRefit {
+ public:
+  struct Options {
+    size_t capacity = 64;
+    size_t min_measurements = 8;
+    uint64_t min_new_executions = 1;
+  };
+
+  RollingRefit() = default;
+  explicit RollingRefit(Options options) : options_(options) {}
+
+  /// Adds one window; empty windows (executed == 0) are ignored.
+  void Observe(const WindowMeasurement& measurement);
+
+  /// Refits `model`'s Function 1 from the held windows when enough fresh
+  /// signal accumulated. Returns true when the model was updated. A failed
+  /// fit (singular system, too few distinct configurations) keeps the model
+  /// untouched and re-arms the new-execution gate, so the solver is not
+  /// retried every tick on the same data.
+  bool MaybeRefit(LatencyModel* model);
+
+  size_t size() const { return window_.size(); }
+  uint64_t refits() const { return refits_; }
+
+ private:
+  Options options_;
+  std::vector<WindowMeasurement> window_;  // ring, newest overwrite oldest
+  size_t next_ = 0;
+  uint64_t new_executions_ = 0;
+  uint64_t refits_ = 0;
+};
+
 }  // namespace model
 }  // namespace insight
 

@@ -29,9 +29,11 @@ void Acker::Register(const TreeInfo& info, uint64_t guard_edge) {
   MutexLock lock(shard.mutex);
   auto [it, inserted] = shard.trees.try_emplace(info.root_key);
   // A live entry under this key means two in-flight trees collided on one
-  // root key (duplicate message id or a 64-bit RootKey collision) — the
-  // accumulators would mix and neither tree could ever balance. Replays
-  // cannot trip this: each attempt derives a fresh root key.
+  // root key (a message id reused within one spout task while the first
+  // tree is still in flight, or a 64-bit RootKey collision) — the
+  // accumulators would mix and neither tree could ever balance, leaking a
+  // pending root. Replays cannot trip this: each attempt derives a fresh
+  // root key, and distinct spout tasks derive disjoint key spaces.
   TMS_DCHECK(inserted) << "acker tree " << info.root_key
                        << " registered twice (message " << info.message_id
                        << ", attempt " << info.attempt << ")";

@@ -15,9 +15,11 @@ namespace insight {
 namespace reliability {
 
 /// Identity of one tracked tuple tree. `root_key` is the key tuples carry
-/// through the topology (message id mixed with the replay attempt so stale
-/// acks from a timed-out attempt cannot corrupt its replacement);
-/// `message_id` is the spout-assigned id reported back via Ack/Fail.
+/// through the topology (spout task and message id mixed with the replay
+/// attempt, so stale acks from a timed-out attempt cannot corrupt its
+/// replacement and same-numbered messages of different spouts stay
+/// distinct); `message_id` is the spout-assigned id reported back via
+/// Ack/Fail.
 struct TreeInfo {
   uint64_t root_key = 0;
   uint64_t message_id = 0;

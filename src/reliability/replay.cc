@@ -5,20 +5,6 @@
 namespace insight {
 namespace reliability {
 
-void ReplayBuffer::Store(uint64_t message_id, std::vector<cep::Value> values) {
-  MutexLock lock(mutex_);
-  payloads_[message_id] = Payload{std::move(values), 0};
-}
-
-bool ReplayBuffer::Ack(uint64_t message_id) {
-  MutexLock lock(mutex_);
-  scheduled_.erase(
-      std::remove_if(scheduled_.begin(), scheduled_.end(),
-                     [&](const Scheduled& s) { return s.message_id == message_id; }),
-      scheduled_.end());
-  return payloads_.erase(message_id) > 0;
-}
-
 namespace {
 
 // splitmix64 finalizer: the jitter hash.
@@ -29,6 +15,37 @@ uint64_t MixJitter(uint64_t z) {
 }
 
 }  // namespace
+
+size_t ReplayBuffer::MessageKeyHash::operator()(const MessageKey& key) const {
+  uint64_t scope =
+      (static_cast<uint64_t>(static_cast<uint32_t>(key.spout_component))
+       << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(key.spout_task));
+  return static_cast<size_t>(
+      MixJitter(key.message_id ^ MixJitter(scope + 0x9e3779b97f4a7c15ULL)));
+}
+
+void ReplayBuffer::Store(uint64_t message_id, int spout_component,
+                         int spout_task, std::vector<cep::Value> values) {
+  MutexLock lock(mutex_);
+  payloads_[MessageKey{message_id, spout_component, spout_task}] =
+      Payload{std::move(values), 0};
+}
+
+bool ReplayBuffer::Ack(uint64_t message_id, int spout_component,
+                       int spout_task) {
+  MutexLock lock(mutex_);
+  scheduled_.erase(
+      std::remove_if(scheduled_.begin(), scheduled_.end(),
+                     [&](const Scheduled& s) {
+                       return s.message_id == message_id &&
+                              s.spout_component == spout_component &&
+                              s.spout_task == spout_task;
+                     }),
+      scheduled_.end());
+  return payloads_.erase(
+             MessageKey{message_id, spout_component, spout_task}) > 0;
+}
 
 MicrosT ReplayBuffer::BackoffFor(uint64_t message_id, int attempt) const {
   double backoff = static_cast<double>(policy_.backoff_base_micros);
@@ -48,7 +65,8 @@ MicrosT ReplayBuffer::BackoffFor(uint64_t message_id, int attempt) const {
 bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
                         int spout_task, MicrosT now) {
   MutexLock lock(mutex_);
-  auto it = payloads_.find(message_id);
+  auto it =
+      payloads_.find(MessageKey{message_id, spout_component, spout_task});
   if (it == payloads_.end()) return false;
   if (it->second.attempts >= policy_.max_replays) {
     payloads_.erase(it);
@@ -61,13 +79,19 @@ bool ReplayBuffer::Fail(uint64_t message_id, int spout_component,
   return true;
 }
 
-bool ReplayBuffer::Discard(uint64_t message_id) {
+bool ReplayBuffer::Discard(uint64_t message_id, int spout_component,
+                           int spout_task) {
   MutexLock lock(mutex_);
   scheduled_.erase(
       std::remove_if(scheduled_.begin(), scheduled_.end(),
-                     [&](const Scheduled& s) { return s.message_id == message_id; }),
+                     [&](const Scheduled& s) {
+                       return s.message_id == message_id &&
+                              s.spout_component == spout_component &&
+                              s.spout_task == spout_task;
+                     }),
       scheduled_.end());
-  return payloads_.erase(message_id) > 0;
+  return payloads_.erase(
+             MessageKey{message_id, spout_component, spout_task}) > 0;
 }
 
 std::vector<uint64_t> ReplayBuffer::DiscardAllFor(int spout_component,
@@ -77,7 +101,8 @@ std::vector<uint64_t> ReplayBuffer::DiscardAllFor(int spout_component,
   for (auto it = scheduled_.begin(); it != scheduled_.end();) {
     if (it->spout_component == spout_component && it->spout_task == spout_task) {
       discarded.push_back(it->message_id);
-      payloads_.erase(it->message_id);
+      payloads_.erase(
+          MessageKey{it->message_id, spout_component, spout_task});
       it = scheduled_.erase(it);
     } else {
       ++it;
@@ -94,7 +119,8 @@ std::vector<ReplayBuffer::Due> ReplayBuffer::TakeDue(int spout_component,
   for (auto it = scheduled_.begin(); it != scheduled_.end();) {
     if (it->spout_component == spout_component &&
         it->spout_task == spout_task && it->due_micros <= now) {
-      auto payload = payloads_.find(it->message_id);
+      auto payload = payloads_.find(
+          MessageKey{it->message_id, spout_component, spout_task});
       if (payload != payloads_.end()) {
         due.push_back(Due{it->message_id, it->attempt, payload->second.values});
       }

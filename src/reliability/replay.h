@@ -42,14 +42,17 @@ class ReplayBuffer {
   ReplayBuffer(const ReplayBuffer&) = delete;
   ReplayBuffer& operator=(const ReplayBuffer&) = delete;
 
-  /// Remembers a root tuple's values on first emission. Message ids must be
-  /// unique among in-flight messages of the topology; a duplicate id
-  /// replaces the stored payload.
-  void Store(uint64_t message_id, std::vector<cep::Value> values);
+  /// Remembers a root tuple's values on first emission. Payloads are scoped
+  /// by the emitting spout task: message ids only need to be unique among
+  /// the in-flight messages of one (spout_component, spout_task) — two
+  /// spouts reusing the same id space do not collide. A duplicate id within
+  /// one spout task replaces the stored payload.
+  void Store(uint64_t message_id, int spout_component, int spout_task,
+             std::vector<cep::Value> values);
 
   /// The tree completed: drop the stored payload and any scheduled retry.
   /// Returns false if the id was unknown (already acked or given up).
-  bool Ack(uint64_t message_id);
+  bool Ack(uint64_t message_id, int spout_component, int spout_task);
 
   /// The tree timed out. Schedules a backed-off retry on the owning spout
   /// task and returns true, or — when `max_replays` is exhausted or the id
@@ -70,7 +73,7 @@ class ReplayBuffer {
   /// retry regardless of remaining replay budget. Returns true if the id was
   /// known. Crash-loop containment uses this when a tree's spout task is
   /// permanently failed.
-  bool Discard(uint64_t message_id);
+  bool Discard(uint64_t message_id, int spout_component, int spout_task);
 
   /// Abandons every scheduled retry owned by (spout_component, spout_task),
   /// dropping the payloads too. Returns the abandoned message ids so the
@@ -85,6 +88,17 @@ class ReplayBuffer {
   size_t scheduled_retries() const;
 
  private:
+  /// Payload map key: message ids are scoped per spout task, so two spouts
+  /// (or two tasks of one spout) reusing the same id space stay distinct.
+  struct MessageKey {
+    uint64_t message_id = 0;
+    int spout_component = 0;
+    int spout_task = 0;
+    bool operator==(const MessageKey&) const = default;
+  };
+  struct MessageKeyHash {
+    size_t operator()(const MessageKey& key) const;
+  };
   struct Payload {
     std::vector<cep::Value> values;
     int attempts = 0;  // replays consumed so far
@@ -99,7 +113,8 @@ class ReplayBuffer {
 
   ReplayPolicy policy_;
   mutable Mutex mutex_{TMS_LOCK_RANK(50)};
-  std::unordered_map<uint64_t, Payload> payloads_ GUARDED_BY(mutex_);
+  std::unordered_map<MessageKey, Payload, MessageKeyHash> payloads_
+      GUARDED_BY(mutex_);
   std::deque<Scheduled> scheduled_ GUARDED_BY(mutex_);
 };
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/rng.h"
@@ -341,6 +343,195 @@ TEST(AllocationTest, RoundRobinSpreadsEvenly) {
                                       MakeGrouping("c", 1, 1)};
   auto result = RoundRobinAllocate(groupings, 7);
   EXPECT_EQ(result.engines_per_grouping, (std::vector<int>{3, 2, 2}));
+}
+
+TEST(AllocationTest, RelievesTheCurrentBottleneck) {
+  // Regression for the grant rule: each extra engine must go to the
+  // grouping whose score at its CURRENT engine count is highest. The old
+  // code ranked groupings by their post-grant estimate, which starves a
+  // grouping whose score halves per grant: with per-engine scores 100/k
+  // and 60/k and two extra engines, it granted both to the first grouping
+  // (post-grant 50 then 33.3, both above the second's post-grant 30) and
+  // left the second grouping the 60-score bottleneck. The fix splits the
+  // grants 2/2 for a bottleneck of 50.
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  RuleGrouping heavy = MakeGrouping("heavy", 100, 1000);
+  RuleGrouping light = MakeGrouping("light", 100, 600);
+  double ratio = allocator.GroupingScore(heavy, 1) /
+                 allocator.GroupingScore(light, 1);
+  ASSERT_NEAR(ratio, 1000.0 / 600.0, 1e-6);  // score scales with rate
+  auto result = allocator.Allocate({heavy, light}, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->engines_per_grouping, (std::vector<int>{2, 2}));
+}
+
+TEST(AllocationTest, GreedyMatchesBruteForceBottleneck) {
+  // The greedy exists to minimize the bottleneck (makespan) score. With
+  // scores of the form c_i / k_i the greedy is exactly optimal, so its
+  // bottleneck must equal the best over every exhaustive split.
+  model::LatencyModel model = model::LatencyModel::Default();
+  RulesAllocator allocator(&model);
+  std::vector<RuleGrouping> groupings{MakeGrouping("a", 50, 3100, 3),
+                                      MakeGrouping("b", 200, 900, 4),
+                                      MakeGrouping("c", 500, 1700, 2)};
+  constexpr int kEngines = 9;
+  auto result = allocator.Allocate(groupings, kEngines);
+  ASSERT_TRUE(result.ok());
+  double greedy_bottleneck = 0.0;
+  for (double s : result->scores) greedy_bottleneck = std::max(greedy_bottleneck, s);
+
+  double best_bottleneck = std::numeric_limits<double>::infinity();
+  for (int ka = 1; ka <= kEngines - 2; ++ka) {
+    for (int kb = 1; kb <= kEngines - ka - 1; ++kb) {
+      int kc = kEngines - ka - kb;
+      double bottleneck =
+          std::max({allocator.GroupingScore(groupings[0], ka),
+                    allocator.GroupingScore(groupings[1], kb),
+                    allocator.GroupingScore(groupings[2], kc)});
+      best_bottleneck = std::min(best_bottleneck, bottleneck);
+    }
+  }
+  EXPECT_NEAR(greedy_bottleneck, best_bottleneck, best_bottleneck * 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-partitioning (PlanRebalance)
+// ---------------------------------------------------------------------------
+
+TEST(PlanRebalanceTest, BalancedAssignmentNeedsNoMoves) {
+  std::map<int64_t, int> assignment{{1, 0}, {2, 1}};
+  std::vector<RegionRate> rates{{1, 100}, {2, 100}};
+  auto moves = PlanRebalance(&assignment, rates, 2, 1.25, 8);
+  ASSERT_TRUE(moves.ok());
+  EXPECT_TRUE(moves->empty());
+  EXPECT_EQ(assignment.at(1), 0);
+  EXPECT_EQ(assignment.at(2), 1);
+}
+
+TEST(PlanRebalanceTest, MovesRegionsOffTheHotEngine) {
+  // Engine 0 carries everything; the plan must shift load to engine 1
+  // until max/avg is within the target, updating the assignment in place.
+  std::map<int64_t, int> assignment{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  std::vector<RegionRate> rates{{1, 100}, {2, 90}, {3, 80}, {4, 70}};
+  auto moves = PlanRebalance(&assignment, rates, 2, 1.25, 8);
+  ASSERT_TRUE(moves.ok());
+  ASSERT_FALSE(moves->empty());
+  auto engine_rates = EngineRates(assignment, rates);
+  double total = 100 + 90 + 80 + 70;
+  double avg = total / 2.0;
+  EXPECT_LE(std::max(engine_rates[0], engine_rates[1]), 1.25 * avg);
+  for (const RegionMove& move : *moves) {
+    EXPECT_EQ(move.from_engine, 0);
+    EXPECT_EQ(move.to_engine, 1);
+    EXPECT_EQ(assignment.at(move.region), 1);
+  }
+}
+
+TEST(PlanRebalanceTest, RespectsMaxMoves) {
+  std::map<int64_t, int> assignment;
+  std::vector<RegionRate> rates;
+  for (int64_t region = 0; region < 20; ++region) {
+    assignment[region] = 0;
+    rates.push_back({region, 10.0});
+  }
+  auto moves = PlanRebalance(&assignment, rates, 4, 1.0, 3);
+  ASSERT_TRUE(moves.ok());
+  EXPECT_EQ(moves->size(), 3u);
+}
+
+TEST(PlanRebalanceTest, StopsWhenNoImprovingMoveExists) {
+  // One giant region dominates: moving it to the only other engine would
+  // just swap the hot role, so the planner must stop, not oscillate.
+  std::map<int64_t, int> assignment{{1, 0}, {2, 1}};
+  std::vector<RegionRate> rates{{1, 1000}, {2, 10}};
+  auto moves = PlanRebalance(&assignment, rates, 2, 1.0, 8);
+  ASSERT_TRUE(moves.ok());
+  EXPECT_TRUE(moves->empty());
+  EXPECT_EQ(assignment.at(1), 0);
+}
+
+TEST(PlanRebalanceTest, Validation) {
+  std::map<int64_t, int> assignment{{1, 0}};
+  std::vector<RegionRate> rates{{1, 10}};
+  EXPECT_FALSE(PlanRebalance(nullptr, rates, 2, 1.25, 8).ok());
+  EXPECT_FALSE(PlanRebalance(&assignment, rates, 0, 1.25, 8).ok());
+  EXPECT_FALSE(PlanRebalance(&assignment, rates, 2, 0.5, 8).ok());
+  EXPECT_FALSE(
+      PlanRebalance(&assignment, {{1, -10.0}}, 2, 1.25, 8).ok());
+  std::map<int64_t, int> out_of_range{{1, 5}};
+  EXPECT_FALSE(PlanRebalance(&out_of_range, rates, 2, 1.25, 8).ok());
+}
+
+// ---------------------------------------------------------------------------
+// LiveRouter
+// ---------------------------------------------------------------------------
+
+SpatialRouter MakeTwoEngineRouter() {
+  SpatialRouter::GroupingRoute areas;
+  areas.location_field = "area_leaf";
+  areas.region_to_engine = {{10, 0}, {11, 0}, {12, 1}};
+  areas.fallback_engines = {0, 1};
+  return SpatialRouter({areas});
+}
+
+std::vector<int> RouteRegion(const LiveRouter& router, int64_t region) {
+  auto fields = std::make_shared<dsps::Fields>(dsps::Fields({"area_leaf"}));
+  std::vector<int> tasks;
+  router.Route(dsps::Tuple(fields, {cep::Value(region)}), &tasks);
+  return tasks;
+}
+
+TEST(LiveRouterTest, MoveEngineRewritesEveryEntryAndBumpsVersion) {
+  LiveRouter router(MakeTwoEngineRouter());
+  uint64_t before = router.version();
+  // Regions 10 and 11 plus one fallback slot point at engine 0.
+  EXPECT_EQ(router.MoveEngine(0, 1), 3u);
+  EXPECT_GT(router.version(), before);
+  EXPECT_EQ(RouteRegion(router, 10), (std::vector<int>{1}));
+  EXPECT_EQ(RouteRegion(router, 11), (std::vector<int>{1}));
+  EXPECT_EQ(RouteRegion(router, 12), (std::vector<int>{1}));
+  EXPECT_EQ(RouteRegion(router, 999), (std::vector<int>{1}));  // fallback
+  // Nothing maps to engine 7.
+  EXPECT_EQ(router.MoveEngine(7, 0), 0u);
+}
+
+TEST(LiveRouterTest, RestoreRollsBackToSnapshot) {
+  LiveRouter router(MakeTwoEngineRouter());
+  auto snapshot = router.Snapshot();
+  ASSERT_GT(router.MoveEngine(0, 1), 0u);
+  EXPECT_EQ(RouteRegion(router, 10), (std::vector<int>{1}));
+  uint64_t flipped = router.version();
+  router.Restore(snapshot);
+  EXPECT_GT(router.version(), flipped);  // rollback is itself a publish
+  EXPECT_EQ(RouteRegion(router, 10), (std::vector<int>{0}));
+  EXPECT_EQ(RouteRegion(router, 12), (std::vector<int>{1}));
+}
+
+TEST(LiveRouterTest, ApplyMovesFollowsARebalancePlan) {
+  LiveRouter router(MakeTwoEngineRouter());
+  std::map<int64_t, int> assignment{{10, 0}, {11, 0}, {12, 1}};
+  std::vector<RegionRate> rates{{10, 100}, {11, 90}, {12, 10}};
+  auto moves = PlanRebalance(&assignment, rates, 2, 1.1, 8);
+  ASSERT_TRUE(moves.ok());
+  ASSERT_FALSE(moves->empty());
+  EXPECT_EQ(router.ApplyMoves(0, *moves), moves->size());
+  for (const auto& [region, engine] : assignment) {
+    EXPECT_EQ(RouteRegion(router, region), std::vector<int>{engine})
+        << "region " << region;
+  }
+}
+
+TEST(LiveRouterTest, AsFunctionTracksSwaps) {
+  LiveRouter router(MakeTwoEngineRouter());
+  auto route_fn = router.AsFunction();
+  auto fields = std::make_shared<dsps::Fields>(dsps::Fields({"area_leaf"}));
+  std::vector<int> tasks;
+  route_fn(dsps::Tuple(fields, {cep::Value(int64_t{10})}), &tasks);
+  EXPECT_EQ(tasks, (std::vector<int>{0}));
+  router.MoveEngine(0, 1);
+  route_fn(dsps::Tuple(fields, {cep::Value(int64_t{10})}), &tasks);
+  EXPECT_EQ(tasks, (std::vector<int>{1}));
 }
 
 TEST(AllocationTest, GroupRulesByLocationSplitsStopsFromAreas) {

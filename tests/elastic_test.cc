@@ -1,0 +1,762 @@
+// Tests for the online elastic scheduler (ROADMAP item 2): the pure policy
+// decision functions, the live model refit loop, and the LocalRuntime task
+// migration barrier — state continuity, dedup-ledger travel (effectively-once
+// across a migration that straddles replays), and the restore-failure
+// rollback that keeps the source authoritative.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/partitioning.h"
+#include "dsps/local_runtime.h"
+#include "dsps/topology.h"
+#include "elastic/controller.h"
+#include "elastic/policy.h"
+#include "model/latency_model.h"
+#include "reliability/state_store.h"
+#include "traffic/bolts.h"
+
+namespace insight {
+namespace {
+
+using dsps::Bolt;
+using dsps::Collector;
+using dsps::Fields;
+using dsps::LocalRuntime;
+using dsps::Snapshottable;
+using dsps::Spout;
+using dsps::TaskContext;
+using dsps::TopologyBuilder;
+using dsps::Tuple;
+using dsps::Value;
+using elastic::Decision;
+using elastic::EngineSample;
+using elastic::Policy;
+
+// ---------------------------------------------------------------------------
+// Policy decision functions (pure unit surface).
+// ---------------------------------------------------------------------------
+
+Policy OccupancyOnlyPolicy(double watermark) {
+  Policy policy;
+  policy.p99_target_micros = 0;
+  policy.capacity_high = 0;
+  policy.occupancy_high = watermark;
+  policy.shed_rate_threshold = 0;
+  policy.min_hot_windows = 2;
+  return policy;
+}
+
+EngineSample MakeSample(int task, bool routed, double occupancy,
+                        int hot_windows) {
+  EngineSample s;
+  s.task = task;
+  s.routed = routed;
+  s.executed = routed ? 100 : 0;
+  s.occupancy = occupancy;
+  s.hot_windows = hot_windows;
+  return s;
+}
+
+TEST(ElasticPolicyTest, IsHotHonoursEachEnabledTrigger) {
+  Policy policy;
+  policy.p99_target_micros = 1000;
+  policy.capacity_high = 0.9;
+  policy.occupancy_high = 0.75;
+  policy.shed_rate_threshold = 0.01;
+
+  EngineSample cool;
+  cool.executed = 10;
+  EXPECT_FALSE(elastic::IsHot(cool, policy));
+
+  EngineSample p99 = cool;
+  p99.p99_micros = 1500;
+  EXPECT_TRUE(elastic::IsHot(p99, policy));
+
+  EngineSample saturated = cool;
+  saturated.capacity = 0.95;
+  EXPECT_TRUE(elastic::IsHot(saturated, policy));
+
+  EngineSample queued = cool;
+  queued.occupancy = 0.8;
+  EXPECT_TRUE(elastic::IsHot(queued, policy));
+
+  EngineSample shedding = cool;
+  shedding.shed_rate = 0.5;
+  EXPECT_TRUE(elastic::IsHot(shedding, policy));
+
+  // A disabled trigger (0) never fires: p99 alone with the target off.
+  Policy off = policy;
+  off.p99_target_micros = 0;
+  EXPECT_FALSE(elastic::IsHot(p99, off));
+}
+
+TEST(ElasticPolicyTest, HotScoreIsWorstRatio) {
+  Policy policy = OccupancyOnlyPolicy(0.5);
+  EngineSample s = MakeSample(0, true, 1.0, 0);
+  EXPECT_DOUBLE_EQ(elastic::HotScore(s, policy), 2.0);
+  policy.occupancy_high = 0;  // nothing enabled
+  EXPECT_DOUBLE_EQ(elastic::HotScore(s, policy), 0.0);
+}
+
+TEST(ElasticPolicyTest, DecideMigrationPicksHottestSourceAndIdleStandby) {
+  Policy policy = OccupancyOnlyPolicy(0.5);
+  std::vector<EngineSample> samples = {
+      MakeSample(0, true, 0.8, 2),   // hot, streak long enough
+      MakeSample(1, true, 0.9, 1),   // hotter but streak too short
+      MakeSample(2, false, 0.6, 1),  // standby but currently hot itself
+      MakeSample(3, false, 0.0, 0),  // the idle standby
+  };
+  Decision d = elastic::DecideMigration(samples, policy);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(d.from_task, 0);
+  EXPECT_EQ(d.to_task, 3);
+  EXPECT_FALSE(d.reason.empty());
+}
+
+TEST(ElasticPolicyTest, DecideMigrationPrefersLowerPredictedLatencyTarget) {
+  Policy policy = OccupancyOnlyPolicy(0.5);
+  std::vector<EngineSample> samples = {
+      MakeSample(0, true, 0.9, 3),
+      MakeSample(1, false, 0.0, 0),
+      MakeSample(2, false, 0.0, 0),
+  };
+  samples[1].predicted_latency_micros = 900;
+  samples[2].predicted_latency_micros = 300;
+  Decision d = elastic::DecideMigration(samples, policy);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(d.to_task, 2);
+}
+
+TEST(ElasticPolicyTest, DecideMigrationDeclinesWithoutStreakOrStandby) {
+  Policy policy = OccupancyOnlyPolicy(0.5);
+
+  // Hot, but the streak has not held for min_hot_windows yet.
+  std::vector<EngineSample> young = {MakeSample(0, true, 0.9, 1),
+                                     MakeSample(1, false, 0.0, 0)};
+  Decision d1 = elastic::DecideMigration(young, policy);
+  EXPECT_FALSE(d1.migrate);
+
+  // Streak fine, but every engine already takes traffic.
+  std::vector<EngineSample> busy = {MakeSample(0, true, 0.9, 5),
+                                    MakeSample(1, true, 0.1, 0)};
+  Decision d2 = elastic::DecideMigration(busy, policy);
+  EXPECT_FALSE(d2.migrate);
+  EXPECT_FALSE(d2.reason.empty());
+
+  // Nothing hot at all.
+  std::vector<EngineSample> calm = {MakeSample(0, true, 0.1, 0),
+                                    MakeSample(1, false, 0.0, 0)};
+  EXPECT_FALSE(elastic::DecideMigration(calm, policy).migrate);
+}
+
+// ---------------------------------------------------------------------------
+// RollingRefit: the live Function-1 recalibration loop.
+// ---------------------------------------------------------------------------
+
+TEST(RollingRefitTest, RecalibratesFunctionOneFromWindows) {
+  model::RollingRefit::Options options;
+  options.min_measurements = 8;
+  model::RollingRefit refit{options};
+  model::LatencyModel model = model::LatencyModel::Default();
+
+  // Synthetic truth: latency = 7 + 2*l + 5*t, observed over distinct rule
+  // configurations — enough independent points for the quadratic basis.
+  for (int l = 1; l <= 4; ++l) {
+    for (int t = 0; t <= 2; ++t) {
+      model::WindowMeasurement m;
+      m.window_length = l;
+      m.num_thresholds = t;
+      m.avg_latency_micros = 7.0 + 2.0 * l + 5.0 * t;
+      m.executed = 100;
+      refit.Observe(m);
+    }
+  }
+  EXPECT_EQ(refit.size(), 12u);
+  EXPECT_TRUE(refit.MaybeRefit(&model));
+  EXPECT_EQ(refit.refits(), 1u);
+  EXPECT_NEAR(model.SingleRuleLatency(3, 2), 7.0 + 6.0 + 10.0, 0.5);
+
+  // No new executions arrived: the gate holds, no second solve.
+  EXPECT_FALSE(refit.MaybeRefit(&model));
+}
+
+TEST(RollingRefitTest, IgnoresEmptyWindowsAndRespectsMinimum) {
+  model::RollingRefit refit;
+  model::LatencyModel model = model::LatencyModel::Default();
+  model::WindowMeasurement idle;
+  idle.executed = 0;
+  refit.Observe(idle);
+  EXPECT_EQ(refit.size(), 0u);
+
+  model::WindowMeasurement one;
+  one.executed = 5;
+  one.avg_latency_micros = 10;
+  refit.Observe(one);
+  EXPECT_FALSE(refit.MaybeRefit(&model));  // below min_measurements
+  EXPECT_EQ(refit.refits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Migration test rig: source spout -> LiveRouter splitter -> counting engine
+// (2 tasks on 2 executors; the router initially sends every region to task 0,
+// task 1 is the standby) -> recording sink.
+// ---------------------------------------------------------------------------
+
+/// Emits (region, seq) tuples, seq 1..total, but never past the shared
+/// `allowed` watermark — the test thread holds the stream at a barrier,
+/// migrates, then releases the rest. Emission is pipelined (does not wait
+/// for acks), so with acking enabled many trees are in flight at once.
+class GatedSpout : public Spout {
+ public:
+  struct Control {
+    std::atomic<size_t> allowed{0};
+    size_t total = 0;
+    /// Pacing: sleep this long before each emission (0 = free-run). A paced
+    /// stream keeps arriving after a mid-stream migration, so the standby
+    /// actually receives traffic.
+    MicrosT interval_micros = 0;
+  };
+  explicit GatedSpout(std::shared_ptr<Control> control)
+      : control_(std::move(control)) {}
+
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= control_->total) return false;
+    if (next_ >= control_->allowed.load(std::memory_order_acquire)) {
+      return true;  // gated: idle, not exhausted
+    }
+    if (control_->interval_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(control_->interval_micros));
+    }
+    uint64_t seq = next_ + 1;
+    collector->EmitRooted(seq, {Value(int64_t{static_cast<int64_t>(next_) % 4 +
+                                              1}),
+                                Value(static_cast<int64_t>(seq))});
+    ++next_;
+    return true;
+  }
+
+ private:
+  std::shared_ptr<Control> control_;
+  size_t next_ = 0;
+};
+
+/// Counts every tuple it executes and emits (seq, running_count, task_index).
+/// The count is the migrated state: after a task 0 -> task 1 migration the
+/// sequence must continue unbroken at task 1. RestoreState can be poisoned
+/// (shared counter) to exercise the rollback path.
+class CountingEngineBolt : public Bolt, public Snapshottable {
+ public:
+  struct Control {
+    std::atomic<int> fail_restores{0};  // > 0: next restores fail (and burn 1)
+    std::atomic<int> restores{0};
+  };
+  explicit CountingEngineBolt(std::shared_ptr<Control> control)
+      : control_(std::move(control)) {}
+
+  void Prepare(const TaskContext& context) override {
+    task_index_ = context.task_index;
+    count_ = 0;
+  }
+  void Execute(const Tuple& input, Collector* collector) override {
+    ++count_;
+    collector->Emit({input.Get(1), Value(static_cast<int64_t>(count_)),
+                     Value(static_cast<int64_t>(task_index_))});
+  }
+  Status SnapshotState(std::string* out) const override {
+    out->assign(std::to_string(count_));
+    return Status::OK();
+  }
+  Status RestoreState(const std::string& bytes) override {
+    control_->restores.fetch_add(1);
+    if (control_->fail_restores.load() > 0) {
+      control_->fail_restores.fetch_sub(1);
+      count_ = 0;  // contract: failed restore leaves a clean bolt
+      return Status::Internal("injected restore failure");
+    }
+    count_ = static_cast<uint64_t>(std::stoull(bytes));
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<Control> control_;
+  uint64_t count_ = 0;
+  int task_index_ = 0;
+};
+
+/// Records (count, task) per seq. Snapshottable so acking runs checkpoint it
+/// (deferred-ack discipline); optionally sleeps per tuple so trees outlive
+/// the ack timeout and the runtime replays them.
+class RecordingSink : public Bolt, public Snapshottable {
+ public:
+  struct Sink {
+    Mutex mutex;
+    std::map<int64_t, std::vector<std::pair<int64_t, int64_t>>> rows
+        GUARDED_BY(mutex);
+
+    size_t Size() {
+      MutexLock lock(mutex);
+      return rows.size();
+    }
+  };
+  RecordingSink(std::shared_ptr<Sink> sink, MicrosT delay_micros)
+      : sink_(std::move(sink)), delay_micros_(delay_micros) {}
+
+  void Execute(const Tuple& input, Collector*) override {
+    if (delay_micros_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros_));
+    }
+    MutexLock lock(sink_->mutex);
+    sink_->rows[input.Get(0).AsInt()].push_back(
+        {input.Get(1).AsInt(), input.Get(2).AsInt()});
+  }
+  Status SnapshotState(std::string* out) const override {
+    out->assign(1, '\x01');
+    return Status::OK();
+  }
+  Status RestoreState(const std::string&) override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+  MicrosT delay_micros_;
+};
+
+std::unique_ptr<core::LiveRouter> MakeAllToTaskZeroRouter() {
+  core::SpatialRouter::GroupingRoute route;
+  route.location_field = "region";
+  for (int64_t region = 1; region <= 4; ++region) {
+    route.region_to_engine[region] = 0;
+  }
+  route.fallback_engines = {0};
+  return std::make_unique<core::LiveRouter>(core::SpatialRouter({route}));
+}
+
+struct MigrationRig {
+  std::shared_ptr<GatedSpout::Control> source;
+  std::shared_ptr<CountingEngineBolt::Control> engine;
+  std::shared_ptr<RecordingSink::Sink> sink;
+
+  dsps::Topology Build(MicrosT sink_delay_micros) {
+    TopologyBuilder builder;
+    auto source_control = source;
+    builder.SetSpout("source",
+                     [source_control] {
+                       return std::make_unique<GatedSpout>(source_control);
+                     },
+                     Fields({"region", "seq"}));
+    return BuildFrom(&builder, sink_delay_micros);
+  }
+
+  dsps::Topology BuildFrom(TopologyBuilder* builder, MicrosT sink_delay_micros,
+                           core::LiveRouter* router = nullptr) {
+    core::LiveRouter* r = router != nullptr ? router : router_.get();
+    builder
+        ->SetBolt("split",
+                  [r] {
+                    return std::make_unique<traffic::SplitterBolt>(
+                        r->AsFunction());
+                  },
+                  Fields({"region", "seq"}))
+        .GlobalGrouping("source");
+    auto engine_control = engine;
+    builder
+        ->SetBolt("engine",
+                  [engine_control] {
+                    return std::make_unique<CountingEngineBolt>(engine_control);
+                  },
+                  Fields({"seq", "count", "task"}), 2)
+        .DirectGrouping("split");
+    auto sink_control = sink;
+    builder
+        ->SetBolt("sink",
+                  [sink_control, sink_delay_micros] {
+                    return std::make_unique<RecordingSink>(sink_control,
+                                                           sink_delay_micros);
+                  },
+                  Fields({}))
+        .GlobalGrouping("engine");
+    auto topology = builder->Build();
+    TMS_CHECK(topology.ok()) << topology.status().ToString();
+    return std::move(*topology);
+  }
+
+  core::LiveRouter* router() { return router_.get(); }
+
+  std::unique_ptr<core::LiveRouter> router_ = MakeAllToTaskZeroRouter();
+};
+
+MigrationRig MakeRig(size_t total_messages) {
+  MigrationRig rig;
+  rig.source = std::make_shared<GatedSpout::Control>();
+  rig.source->total = total_messages;
+  rig.engine = std::make_shared<CountingEngineBolt::Control>();
+  rig.sink = std::make_shared<RecordingSink::Sink>();
+  return rig;
+}
+
+LocalRuntime::MigrationRequest EngineMove(core::LiveRouter* router, int from,
+                                          int to) {
+  LocalRuntime::MigrationRequest request;
+  request.component = "engine";
+  request.from_task = from;
+  request.to_task = to;
+  auto before = router->Snapshot();
+  request.flip = [router, from, to] {
+    router->MoveEngine(from, to);
+    return Status::OK();
+  };
+  request.unflip = [router, before] { router->Restore(before); };
+  return request;
+}
+
+void WaitForSinkRows(RecordingSink::Sink* sink, size_t at_least) {
+  for (int i = 0; i < 2000 && sink->Size() < at_least; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(sink->Size(), at_least);
+}
+
+/// Every seq 1..total recorded, each exactly once, with count == seq (state
+/// continuity and effectively-once in one assertion). Returns the task that
+/// executed each seq.
+std::map<int64_t, int64_t> CheckExactlyOnceCounts(RecordingSink::Sink* sink,
+                                                  size_t total) {
+  std::map<int64_t, int64_t> task_of;
+  MutexLock lock(sink->mutex);
+  EXPECT_EQ(sink->rows.size(), total);
+  for (auto& [seq, rows] : sink->rows) {
+    EXPECT_EQ(rows.size(), 1u) << "seq " << seq << " recorded twice";
+    if (rows.empty()) continue;
+    EXPECT_EQ(rows[0].first, seq) << "count discontinuity at seq " << seq;
+    task_of[seq] = rows[0].second;
+  }
+  return task_of;
+}
+
+TEST(TaskMigrationTest, MovesStateAndRoutingToStandby) {
+  constexpr size_t kTotal = 40;
+  constexpr size_t kWaveOne = 20;
+  MigrationRig rig = MakeRig(kTotal);
+
+  LocalRuntime::Options options;
+  options.enable_migration = true;
+  LocalRuntime runtime(rig.Build(/*sink_delay_micros=*/0), options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  rig.source->allowed.store(kWaveOne, std::memory_order_release);
+  WaitForSinkRows(rig.sink.get(), kWaveOne);
+
+  uint64_t version_before = rig.router()->version();
+  Status migrated = runtime.MigrateTask(EngineMove(rig.router(), 0, 1));
+  EXPECT_TRUE(migrated.ok()) << migrated.ToString();
+  EXPECT_GT(rig.router()->version(), version_before);
+
+  rig.source->allowed.store(kTotal, std::memory_order_release);
+  runtime.AwaitCompletion();
+
+  auto task_of = CheckExactlyOnceCounts(rig.sink.get(), kTotal);
+  for (size_t seq = 1; seq <= kWaveOne; ++seq) {
+    EXPECT_EQ(task_of[static_cast<int64_t>(seq)], 0);
+  }
+  for (size_t seq = kWaveOne + 1; seq <= kTotal; ++seq) {
+    EXPECT_EQ(task_of[static_cast<int64_t>(seq)], 1);
+  }
+
+  auto totals = runtime.metrics()->Totals("engine");
+  EXPECT_EQ(totals.task_migrations, 1u);
+  EXPECT_EQ(totals.migration_failures, 0u);
+  EXPECT_EQ(runtime.metrics()->TotalsForTask("engine", 0).executed, kWaveOne);
+  EXPECT_EQ(runtime.metrics()->TotalsForTask("engine", 1).executed,
+            kTotal - kWaveOne);
+  EXPECT_EQ(rig.engine->restores.load(), 1);
+}
+
+TEST(TaskMigrationTest, MigrationDisabledIsRejected) {
+  MigrationRig rig = MakeRig(4);
+  rig.source->allowed.store(4);
+  LocalRuntime runtime(rig.Build(0), LocalRuntime::Options{});
+  ASSERT_TRUE(runtime.Start().ok());
+  Status s = runtime.MigrateTask(EngineMove(rig.router(), 0, 1));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  runtime.AwaitCompletion();
+  // Seed behaviour: the stream completes untouched on task 0.
+  auto task_of = CheckExactlyOnceCounts(rig.sink.get(), 4);
+  for (auto& [seq, task] : task_of) EXPECT_EQ(task, 0);
+  EXPECT_EQ(runtime.metrics()->Totals("engine").task_migrations, 0u);
+}
+
+TEST(TaskMigrationTest, InvalidRequestsAreRejected) {
+  MigrationRig rig = MakeRig(2);
+  rig.source->allowed.store(2);
+  LocalRuntime::Options options;
+  options.enable_migration = true;
+  LocalRuntime runtime(rig.Build(0), options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  LocalRuntime::MigrationRequest request = EngineMove(rig.router(), 0, 0);
+  EXPECT_EQ(runtime.MigrateTask(request).code(), StatusCode::kInvalidArgument);
+  request = EngineMove(rig.router(), 0, 7);
+  EXPECT_EQ(runtime.MigrateTask(request).code(), StatusCode::kInvalidArgument);
+  request = EngineMove(rig.router(), 0, 1);
+  request.component = "nope";
+  EXPECT_EQ(runtime.MigrateTask(request).code(), StatusCode::kNotFound);
+  request.component = "source";
+  request.from_task = 0;
+  request.to_task = 0;
+  EXPECT_FALSE(runtime.MigrateTask(request).ok());
+
+  runtime.AwaitCompletion();
+}
+
+// Satellite 2 regression: the dedup ledger must travel inside the migrated
+// TCK1 container. The sink is slow and the ack timeout short, so wave-1
+// trees replay; the stream is held while task 0 migrates to task 1, then the
+// replays (and wave 2) land on the target. If the target restored state
+// without the ledger, a replayed duplicate would re-execute there and the
+// count sequence would fork.
+TEST(TaskMigrationTest, DedupLedgerTravelsWithMigratedState) {
+  constexpr size_t kTotal = 36;
+  constexpr size_t kWaveOne = 18;
+  MigrationRig rig = MakeRig(kTotal);
+
+  reliability::InMemoryStateStore store;
+  LocalRuntime::Options options;
+  options.enable_migration = true;
+  options.enable_acking = true;
+  options.ack_timeout_micros = 30'000;
+  options.max_replays = 100;
+  options.supervisor_interval_micros = 1'000;
+  options.enable_checkpointing = true;
+  options.checkpoint_interval_micros = 3'000'000;  // only forced checkpoints
+  options.state_store = &store;
+  options.enable_replay_dedup = true;
+
+  LocalRuntime runtime(rig.Build(/*sink_delay_micros=*/5'000), options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  rig.source->allowed.store(kWaveOne, std::memory_order_release);
+  // Wait until the engine executed all of wave 1; the slow sink still holds
+  // most trees open past the ack timeout, so replays are already flying.
+  for (int i = 0; i < 2000; ++i) {
+    if (runtime.metrics()->TotalsForTask("engine", 0).executed >= kWaveOne) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(runtime.metrics()->TotalsForTask("engine", 0).executed, kWaveOne);
+
+  Status migrated = runtime.MigrateTask(EngineMove(rig.router(), 0, 1));
+  EXPECT_TRUE(migrated.ok()) << migrated.ToString();
+
+  rig.source->allowed.store(kTotal, std::memory_order_release);
+  runtime.AwaitCompletion();
+
+  auto task_of = CheckExactlyOnceCounts(rig.sink.get(), kTotal);
+  EXPECT_EQ(task_of[1], 0);
+  EXPECT_EQ(task_of[static_cast<int64_t>(kTotal)], 1);
+
+  auto source_totals = runtime.metrics()->Totals("source");
+  auto engine_totals = runtime.metrics()->Totals("engine");
+  EXPECT_GE(source_totals.replayed, 1u) << "rig produced no replays";
+  EXPECT_GE(engine_totals.deduped, 1u);
+  EXPECT_EQ(engine_totals.task_migrations, 1u);
+  // Exactly-once at the engine despite the replays: one execution per seq.
+  EXPECT_EQ(engine_totals.executed, kTotal);
+}
+
+// Satellite 3 regression: a failed restore on the target rolls the routing
+// flip back and the source keeps processing with its state untouched — the
+// state line never degrades to clean.
+TEST(TaskMigrationTest, RestoreFailureRollsBackToSource) {
+  constexpr size_t kTotal = 30;
+  constexpr size_t kWaveOne = 15;
+  MigrationRig rig = MakeRig(kTotal);
+
+  LocalRuntime::Options options;
+  options.enable_migration = true;
+  LocalRuntime runtime(rig.Build(0), options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  rig.source->allowed.store(kWaveOne, std::memory_order_release);
+  WaitForSinkRows(rig.sink.get(), kWaveOne);
+
+  auto before = rig.router()->Snapshot();
+  rig.engine->fail_restores.store(1);
+  Status migrated = runtime.MigrateTask(EngineMove(rig.router(), 0, 1));
+  EXPECT_FALSE(migrated.ok());
+  EXPECT_EQ(rig.engine->fail_restores.load(), 0);  // the poison was consumed
+
+  // Routing rolled back: every region points at task 0 again.
+  auto after = rig.router()->Snapshot();
+  ASSERT_EQ(after->routes().size(), 1u);
+  for (const auto& [region, engine] : after->routes()[0].region_to_engine) {
+    EXPECT_EQ(engine, 0) << "region " << region << " left pointing away";
+  }
+  EXPECT_EQ(after->routes()[0].fallback_engines,
+            before->routes()[0].fallback_engines);
+
+  rig.source->allowed.store(kTotal, std::memory_order_release);
+  runtime.AwaitCompletion();
+
+  // The source stayed authoritative: counts continue at task 0, unbroken.
+  auto task_of = CheckExactlyOnceCounts(rig.sink.get(), kTotal);
+  for (auto& [seq, task] : task_of) EXPECT_EQ(task, 0);
+
+  auto totals = runtime.metrics()->Totals("engine");
+  EXPECT_EQ(totals.task_migrations, 0u);
+  EXPECT_EQ(totals.migration_failures, 1u);
+  EXPECT_EQ(runtime.metrics()->TotalsForTask("engine", 0).executed, kTotal);
+}
+
+// ---------------------------------------------------------------------------
+// Controller end-to-end: a saturated engine task trips the policy after the
+// configured streak and the controller migrates it onto the standby.
+// ---------------------------------------------------------------------------
+
+/// Counting engine that also burns wall-clock per tuple, so the execute-p99
+/// trigger has something to see.
+class SlowCountingBolt : public CountingEngineBolt {
+ public:
+  SlowCountingBolt(std::shared_ptr<Control> control, MicrosT delay_micros)
+      : CountingEngineBolt(std::move(control)), delay_micros_(delay_micros) {}
+  void Execute(const Tuple& input, Collector* collector) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros_));
+    CountingEngineBolt::Execute(input, collector);
+  }
+
+ private:
+  MicrosT delay_micros_;
+};
+
+TEST(ElasticControllerTest, DetectsHotEngineAndMigrates) {
+  constexpr size_t kTotal = 300;
+  MigrationRig rig = MakeRig(kTotal);
+  rig.source->allowed.store(kTotal);   // whole stream released...
+  rig.source->interval_micros = 1'000;  // ...but paced, so it outlives the
+                                        // controller's reaction time
+
+  TopologyBuilder builder;
+  auto source_control = rig.source;
+  builder.SetSpout("source",
+                   [source_control] {
+                     return std::make_unique<GatedSpout>(source_control);
+                   },
+                   Fields({"region", "seq"}));
+  auto engine_control = rig.engine;
+  // Override the rig's engine with the slow variant before wiring the rest.
+  dsps::Topology topology = [&] {
+    builder
+        .SetBolt("split",
+                 [&rig] {
+                   return std::make_unique<traffic::SplitterBolt>(
+                       rig.router()->AsFunction());
+                 },
+                 Fields({"region", "seq"}))
+        .GlobalGrouping("source");
+    builder
+        .SetBolt("engine",
+                 [engine_control] {
+                   return std::make_unique<SlowCountingBolt>(engine_control,
+                                                             2'000);
+                 },
+                 Fields({"seq", "count", "task"}), 2)
+        .DirectGrouping("split");
+    auto sink_control = rig.sink;
+    builder
+        .SetBolt("sink",
+                 [sink_control] {
+                   return std::make_unique<RecordingSink>(sink_control, 0);
+                 },
+                 Fields({}))
+        .GlobalGrouping("engine");
+    auto built = builder.Build();
+    TMS_CHECK(built.ok()) << built.status().ToString();
+    return std::move(*built);
+  }();
+
+  LocalRuntime::Options options;
+  options.enable_migration = true;
+  LocalRuntime runtime(std::move(topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  elastic::ElasticController::Options controller_options;
+  controller_options.component = "engine";
+  controller_options.policy.p99_target_micros = 500;  // 2ms/tuple trips this
+  controller_options.policy.capacity_high = 0;
+  controller_options.policy.occupancy_high = 0;
+  controller_options.policy.min_hot_windows = 2;
+  // Long cooldown: exactly one migration even though the standby, once
+  // loaded, will look hot itself.
+  controller_options.policy.cooldown_micros = 60'000'000;
+  controller_options.engine_rules = {{{/*window_length=*/3.0,
+                                       /*num_thresholds=*/1.0}},
+                                     {{3.0, 1.0}}};
+  elastic::ElasticController controller(&runtime, rig.router(),
+                                        controller_options);
+
+  // Manual ticks (the deterministic unit surface): baseline window first,
+  // then decision windows until the migration fires.
+  ASSERT_TRUE(controller.Tick().ok());
+  bool migrated = false;
+  for (int i = 0; i < 100 && !migrated; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(controller.Tick().ok());
+    migrated = controller.stats().migrations > 0;
+  }
+  EXPECT_TRUE(migrated) << "controller never migrated the hot engine";
+
+  runtime.AwaitCompletion();
+
+  auto stats = controller.stats();
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.last_from_task, 0);
+  EXPECT_EQ(stats.last_to_task, 1);
+  EXPECT_GE(stats.ticks, 3u);
+
+  auto task_of = CheckExactlyOnceCounts(rig.sink.get(), kTotal);
+  EXPECT_EQ(runtime.metrics()->Totals("engine").task_migrations, 1u);
+  EXPECT_GT(runtime.metrics()->TotalsForTask("engine", 1).executed, 0u);
+  // The hot-engine signals the controller acted on are exposed for tests.
+  ASSERT_EQ(controller.last_samples().size(), 2u);
+}
+
+TEST(ElasticControllerTest, StartStopBackgroundLoopIsIdempotent) {
+  MigrationRig rig = MakeRig(8);
+  rig.source->allowed.store(8);
+  LocalRuntime::Options options;
+  options.enable_migration = true;
+  LocalRuntime runtime(rig.Build(0), options);
+  ASSERT_TRUE(runtime.Start().ok());
+
+  elastic::ElasticController::Options controller_options;
+  controller_options.component = "engine";
+  controller_options.tick_interval_micros = 5'000;
+  elastic::ElasticController controller(&runtime, rig.router(),
+                                        controller_options);
+  ASSERT_TRUE(controller.Start().ok());
+  EXPECT_EQ(controller.Start().code(), StatusCode::kFailedPrecondition);
+  for (int i = 0; i < 200 && controller.stats().ticks < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(controller.stats().ticks, 2u);
+  controller.Stop();
+  controller.Stop();
+  runtime.AwaitCompletion();
+}
+
+}  // namespace
+}  // namespace insight

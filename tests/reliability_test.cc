@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -112,7 +113,7 @@ TEST(ReplayBufferTest, SchedulesBackedOffRetriesThenGivesUp) {
   policy.backoff_base_micros = 100;
   policy.backoff_factor = 2.0;
   ReplayBuffer buffer(policy);
-  buffer.Store(1, {Value(int64_t{5})});
+  buffer.Store(1, 0, 0, {Value(int64_t{5})});
 
   // First failure: retry due at t+100.
   ASSERT_TRUE(buffer.Fail(1, 0, 0, /*now=*/1000));
@@ -134,13 +135,13 @@ TEST(ReplayBufferTest, SchedulesBackedOffRetriesThenGivesUp) {
 
 TEST(ReplayBufferTest, AckDropsPayloadAndScheduledRetry) {
   ReplayBuffer buffer(ReplayPolicy{});
-  buffer.Store(1, {Value(int64_t{1})});
+  buffer.Store(1, 0, 0, {Value(int64_t{1})});
   ASSERT_TRUE(buffer.Fail(1, 0, 0, 0));
   EXPECT_EQ(buffer.scheduled_retries(), 1u);
-  EXPECT_TRUE(buffer.Ack(1));
+  EXPECT_TRUE(buffer.Ack(1, 0, 0));
   EXPECT_EQ(buffer.scheduled_retries(), 0u);
   EXPECT_EQ(buffer.stored(), 0u);
-  EXPECT_FALSE(buffer.Ack(1));
+  EXPECT_FALSE(buffer.Ack(1, 0, 0));
   EXPECT_FALSE(buffer.Fail(1, 0, 0, 0));
 }
 
@@ -148,8 +149,8 @@ TEST(ReplayBufferTest, TakeDueFiltersBySpoutTask) {
   ReplayBuffer buffer(ReplayPolicy{.max_replays = 3,
                                    .backoff_base_micros = 0,
                                    .backoff_factor = 1.0});
-  buffer.Store(1, {Value(int64_t{1})});
-  buffer.Store(2, {Value(int64_t{2})});
+  buffer.Store(1, 0, 0, {Value(int64_t{1})});
+  buffer.Store(2, 0, 1, {Value(int64_t{2})});
   ASSERT_TRUE(buffer.Fail(1, /*spout_component=*/0, /*spout_task=*/0, 0));
   ASSERT_TRUE(buffer.Fail(2, /*spout_component=*/0, /*spout_task=*/1, 0));
   auto due0 = buffer.TakeDue(0, 0, 10);
@@ -158,6 +159,34 @@ TEST(ReplayBufferTest, TakeDueFiltersBySpoutTask) {
   auto due1 = buffer.TakeDue(0, 1, 10);
   ASSERT_EQ(due1.size(), 1u);
   EXPECT_EQ(due1[0].message_id, 2u);
+}
+
+TEST(ReplayBufferTest, ScopesPayloadsBySpoutTask) {
+  // Two spouts reusing one message-id space must not clobber each other's
+  // payloads: regression for a cross-spout collision where the second
+  // Store replaced the first payload and an Ack for either spout erased
+  // both, leaking the other spout's pending tree.
+  ReplayBuffer buffer(ReplayPolicy{.max_replays = 3,
+                                   .backoff_base_micros = 0,
+                                   .backoff_factor = 1.0});
+  buffer.Store(1, /*spout_component=*/0, /*spout_task=*/0,
+               {Value(int64_t{10})});
+  buffer.Store(1, /*spout_component=*/1, /*spout_task=*/0,
+               {Value(int64_t{20})});
+  EXPECT_EQ(buffer.stored(), 2u);
+
+  // Acking one spout's message leaves the other's payload and retry alone.
+  ASSERT_TRUE(buffer.Fail(1, 1, 0, 0));
+  EXPECT_TRUE(buffer.Ack(1, 0, 0));
+  EXPECT_EQ(buffer.stored(), 1u);
+  EXPECT_EQ(buffer.scheduled_retries(), 1u);
+
+  // The surviving retry replays the second spout's values, not the first's.
+  auto due = buffer.TakeDue(1, 0, 10);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].values[0].AsInt(), 20);
+  EXPECT_TRUE(buffer.Discard(1, 1, 0));
+  EXPECT_EQ(buffer.stored(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -480,6 +509,77 @@ TEST(ReliabilityEndToEndTest, DuplicatesDeliveredAtLeastOnceNotExactlyOnce) {
   EXPECT_EQ(result.spout_totals.acked, static_cast<uint64_t>(kTuples));
 }
 
+/// Emits `n` rooted tuples with message ids 1..n and counts its callbacks
+/// through shared state (the factory owns the instance).
+class CountedIdSpout : public Spout {
+ public:
+  struct Counts {
+    std::atomic<int> acked{0};
+    std::atomic<int> failed{0};
+  };
+  CountedIdSpout(int n, std::shared_ptr<Counts> counts)
+      : n_(n), counts_(std::move(counts)) {}
+  bool NextTuple(Collector* collector) override {
+    if (next_ >= n_) return false;
+    collector->EmitRooted(static_cast<uint64_t>(next_ + 1),
+                          {Value(int64_t{next_})});
+    ++next_;
+    return next_ < n_;
+  }
+  void Ack(uint64_t) override { counts_->acked.fetch_add(1); }
+  void Fail(uint64_t) override { counts_->failed.fetch_add(1); }
+
+ private:
+  int n_;
+  int next_ = 0;
+  std::shared_ptr<Counts> counts_;
+};
+
+TEST(ReliabilityEndToEndTest, OverlappingSpoutMessageIdsResolveIndependently) {
+  // Two spouts numbering their streams 1..N concurrently: message ids are
+  // only unique per spout task, so the acker and replay buffer must scope
+  // their keys by the emitting task. Regression for a cross-spout id
+  // collision that overwrote one tree's accumulator, leaked a pending
+  // root, and hung AwaitCompletion forever.
+  static constexpr int kPerSpout = 300;
+  auto counts_a = std::make_shared<CountedIdSpout::Counts>();
+  auto counts_b = std::make_shared<CountedIdSpout::Counts>();
+  auto sink = std::make_shared<CountingSink::Sink>();
+  TopologyBuilder builder;
+  builder.SetSpout("a", [counts_a] {
+    return std::make_unique<CountedIdSpout>(kPerSpout, counts_a);
+  }, Fields({"v"}));
+  builder.SetSpout("b", [counts_b] {
+    return std::make_unique<CountedIdSpout>(kPerSpout, counts_b);
+  }, Fields({"v"}));
+  builder.SetBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); },
+                  Fields({}))
+      .ShuffleGrouping("a")
+      .ShuffleGrouping("b");
+  auto topology = builder.Build();
+  ASSERT_TRUE(topology.ok());
+
+  LocalRuntime::Options options;
+  options.enable_acking = true;
+  LocalRuntime runtime(std::move(*topology), options);
+  ASSERT_TRUE(runtime.Start().ok());
+  runtime.AwaitCompletion();
+
+  EXPECT_EQ(counts_a->acked.load(), kPerSpout);
+  EXPECT_EQ(counts_b->acked.load(), kPerSpout);
+  EXPECT_EQ(counts_a->failed.load(), 0);
+  EXPECT_EQ(counts_b->failed.load(), 0);
+  size_t total = 0;
+  {
+    MutexLock lock(sink->mutex);
+    for (const auto& [value, count] : sink->counts) {
+      total += static_cast<size_t>(count);
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(2 * kPerSpout));
+  runtime.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // Replay backoff jitter
 // ---------------------------------------------------------------------------
@@ -553,7 +653,7 @@ TEST(ReplayJitterTest, FailSchedulesTheJitteredDelay) {
   policy.backoff_jitter = 0.5;
   policy.jitter_seed = 0x5eedULL;
   ReplayBuffer buffer(policy);
-  buffer.Store(7, {Value(int64_t{1})});
+  buffer.Store(7, 0, 0, {Value(int64_t{1})});
 
   const MicrosT expected = buffer.BackoffFor(7, 1);
   ASSERT_TRUE(buffer.Fail(7, 0, 0, /*now=*/1'000'000));
